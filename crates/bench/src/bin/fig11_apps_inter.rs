@@ -1,0 +1,85 @@
+//! Fig. 11 — inter-group communication patterns of the three applications,
+//! with local-link saturation correlated against per-terminal latency
+//! (outer ring: color = avg packet latency, size = avg hop count).
+//!
+//! Paper shapes: all three applications show high variance of per-terminal
+//! latency and hops; AMR Boxlib's global links out of the first groups
+//! carry most of the traffic and saturate.
+
+use hrviz_bench::{
+    dataset_active, inter_group_spec, run_app, write_csv, write_out, Expectations,
+};
+use hrviz_core::compare_views;
+use hrviz_network::{RoutingAlgorithm, RunData};
+use hrviz_render::{render_radial_row, RadialLayout};
+use hrviz_workloads::{AppKind, PlacementPolicy};
+
+/// Coefficient of variation of per-terminal mean latency (active terminals).
+fn latency_cv(run: &RunData) -> f64 {
+    let vals: Vec<f64> = run
+        .terminals
+        .iter()
+        .filter(|t| t.packets_finished > 0)
+        .map(|t| t.avg_latency_ns)
+        .collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+    var.sqrt() / mean.max(f64::MIN_POSITIVE)
+}
+
+fn main() {
+    println!("Fig. 11: inter-group patterns + terminal latency (2,550 terminals)");
+    let runs: Vec<RunData> = AppKind::ALL
+        .iter()
+        .map(|&k| {
+            run_app(2_550, k, RoutingAlgorithm::adaptive_default(), PlacementPolicy::Contiguous, None)
+        })
+        .collect();
+
+    let datasets: Vec<_> = runs.iter().map(dataset_active).collect();
+    let refs: Vec<&_> = datasets.iter().collect();
+    let views = compare_views(&refs, &inter_group_spec(9)).expect("views build");
+    write_out(
+        "fig11_apps_inter.svg",
+        &render_radial_row(
+            &[
+                (&views[0], "AMG"),
+                (&views[1], "AMR Boxlib"),
+                (&views[2], "MiniFE"),
+            ],
+            &RadialLayout::default(),
+            "Fig 11: inter-group patterns; outer ring = terminal latency (shared scales)",
+        ),
+    );
+
+    let mut rows = vec![vec!["app".into(), "latency_cv".into(), "hops_cv".into()]];
+    for (kind, run) in AppKind::ALL.iter().zip(&runs) {
+        let hops: Vec<f64> = run
+            .terminals
+            .iter()
+            .filter(|t| t.packets_finished > 0)
+            .map(|t| t.avg_hops)
+            .collect();
+        let mean = hops.iter().sum::<f64>() / hops.len().max(1) as f64;
+        let var = hops.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / hops.len().max(1) as f64;
+        rows.push(vec![
+            kind.name().into(),
+            format!("{:.3}", latency_cv(run)),
+            format!("{:.3}", var.sqrt() / mean.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    write_csv("fig11_variance.csv", &rows);
+
+    let mut exp = Expectations::new();
+    for (kind, run) in AppKind::ALL.iter().zip(&runs) {
+        exp.check(
+            &format!("{}: per-terminal latency varies (CV > 0.1)", kind.name()),
+            latency_cv(run) > 0.1,
+        );
+    }
+    exp.check("views share scales so panels are comparable", views.len() == 3);
+    std::process::exit(i32::from(!exp.finish("fig11")));
+}

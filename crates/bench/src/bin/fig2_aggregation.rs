@@ -1,0 +1,78 @@
+//! Fig. 2 — the entity tree and hierarchical aggregation example:
+//! aggregate the network by router rank, then by (rank, port), then an
+//! extra 6-bin histogram over accumulated global-link traffic (§IV-A).
+
+use hrviz_bench::{run_synthetic, write_csv, Expectations};
+use hrviz_core::{AggregateTree, DataSet, EntityKind, Field, TreeLevel};
+use hrviz_network::RoutingAlgorithm;
+use hrviz_pdes::SimTime;
+use hrviz_workloads::SyntheticConfig;
+
+fn main() {
+    println!("Fig. 2: hierarchical aggregation over a 5,256-terminal Dragonfly");
+    let run = run_synthetic(
+        5_256,
+        SyntheticConfig::uniform(4096, 10, SimTime::micros(4)),
+        RoutingAlgorithm::adaptive_default(),
+    );
+    let ds = DataSet::from_run(&run);
+    let tree = AggregateTree::build(
+        &ds,
+        &[
+            TreeLevel {
+                entity: EntityKind::GlobalLink,
+                fields: vec![Field::RouterRank],
+                max_bins: None,
+            },
+            TreeLevel {
+                entity: EntityKind::GlobalLink,
+                fields: vec![Field::RouterRank, Field::RouterPort],
+                max_bins: None,
+            },
+            TreeLevel {
+                entity: EntityKind::GlobalLink,
+                fields: vec![Field::RouterId, Field::RouterPort],
+                max_bins: Some((Field::Traffic, 6)),
+            },
+        ],
+    );
+
+    let a = run.spec.topology.routers_per_group as usize;
+    let h = run.spec.topology.global_ports as usize;
+    println!(
+        "  level sizes: {} -> {} -> {} (network has {} global links)",
+        tree.levels[0].len(),
+        tree.levels[1].len(),
+        tree.levels[2].len(),
+        run.global_links.len()
+    );
+
+    let mut rows = vec![vec!["level".into(), "key".into(), "members".into(), "traffic".into(), "sat_ns".into()]];
+    for (li, level) in tree.levels.iter().enumerate() {
+        for item in level {
+            rows.push(vec![
+                li.to_string(),
+                format!("{:?}", item.key),
+                item.rows.len().to_string(),
+                item.metric(&ds, EntityKind::GlobalLink, Field::Traffic).to_string(),
+                item.metric(&ds, EntityKind::GlobalLink, Field::SatTime).to_string(),
+            ]);
+        }
+    }
+    write_csv("fig2_aggregate_tree.csv", &rows);
+
+    let mut exp = Expectations::new();
+    exp.check("level 0 has one item per router rank", tree.levels[0].len() == a);
+    exp.check("level 1 has rank x port items", tree.levels[1].len() == a * h);
+    exp.check("histogram level capped at 6 bins", tree.levels[2].len() <= 6);
+    let total: usize = tree.levels[2].iter().map(|i| i.rows.len()).sum();
+    exp.check("binned level covers every global link", total == run.global_links.len());
+    // Aggregation conserves total traffic at every level.
+    let t0: f64 =
+        tree.levels[0].iter().map(|i| i.metric(&ds, EntityKind::GlobalLink, Field::Traffic)).sum();
+    exp.check(
+        "aggregation conserves traffic",
+        (t0 - run.class_traffic(hrviz_network::LinkClass::Global) as f64).abs() < 1.0,
+    );
+    std::process::exit(i32::from(!exp.finish("fig2")));
+}

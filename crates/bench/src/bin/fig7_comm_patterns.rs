@@ -1,0 +1,88 @@
+//! Fig. 7 — intra-group communication patterns under adaptive routing on
+//! a 5,256-terminal Dragonfly: nearest-neighbor vs uniform-random traffic,
+//! correlating the saturation of local, global and terminal links.
+//!
+//! Paper shapes: nearest neighbor drives traffic onto one specific local
+//! link per router pair and saturates specific local links; uniform random
+//! spreads load evenly (all ribbons the same color) and saturates no local
+//! links.
+
+use hrviz_bench::{
+    class_summary, class_summary_header, intra_group_spec, run_synthetic, write_csv, write_out,
+    Expectations,
+};
+use hrviz_core::{compare_views, DataSet};
+use hrviz_network::{LinkClass, RoutingAlgorithm};
+use hrviz_pdes::SimTime;
+use hrviz_render::{render_radial_row, RadialLayout};
+use hrviz_workloads::SyntheticConfig;
+
+fn main() {
+    println!("Fig. 7: nearest neighbor vs uniform random (5,256 terminals, adaptive)");
+    // ~40 % injection load: the NN hot links (all p terminals of a router
+    // funnel onto the single link to the next router) oversubscribe and
+    // saturate, while UR's evenly spread load stays under capacity.
+    let p = 6; // terminals per router at this scale
+    let nn = run_synthetic(
+        5_256,
+        SyntheticConfig::nearest_neighbor(16 * 1024, 48, SimTime::micros(8)).with_stride(p),
+        RoutingAlgorithm::adaptive_default(),
+    );
+    let ur = run_synthetic(
+        5_256,
+        SyntheticConfig::uniform(16 * 1024, 48, SimTime::micros(8)),
+        RoutingAlgorithm::adaptive_default(),
+    );
+
+    let ds_nn = DataSet::from_run(&nn);
+    let ds_ur = DataSet::from_run(&ur);
+    let spec = intra_group_spec();
+    let views = compare_views(&[&ds_nn, &ds_ur], &spec).expect("views build");
+    write_out(
+        "fig7_comm_patterns.svg",
+        &render_radial_row(
+            &[(&views[0], "Nearest Neighbor"), (&views[1], "Uniform Random")],
+            &RadialLayout::default(),
+            "Fig 7: intra-group patterns and per-class saturation (shared scales)",
+        ),
+    );
+
+    let rows = vec![
+        class_summary_header(),
+        class_summary("nearest_neighbor", &nn),
+        class_summary("uniform_random", &ur),
+    ];
+    write_csv("fig7_class_summary.csv", &rows);
+
+    let mut exp = Expectations::new();
+    // Concentration: share of local traffic carried by the busiest 10 % of
+    // local links (NN funnels everything onto one link per router; UR
+    // spreads).
+    let top_decile_share = |run: &hrviz_network::RunData| -> f64 {
+        let mut t: Vec<u64> = run.local_links.iter().map(|l| l.traffic).collect();
+        t.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = t.iter().sum();
+        let top: u64 = t[..t.len() / 10].iter().sum();
+        top as f64 / total.max(1) as f64
+    };
+    let nn_share = top_decile_share(&nn);
+    let ur_share = top_decile_share(&ur);
+    println!("  top-decile local-link share: NN {nn_share:.2} vs UR {ur_share:.2}");
+    exp.check("NN concentrates traffic on specific local links", nn_share > 0.5);
+    exp.check("UR balances local-link traffic", ur_share < 0.3);
+    exp.check(
+        "NN saturates local links more than UR",
+        nn.class_sat_ns(LinkClass::Local) > ur.class_sat_ns(LinkClass::Local),
+    );
+    exp.check("UR has (near-)zero local saturation", {
+        ur.class_sat_ns(LinkClass::Local) < nn.class_sat_ns(LinkClass::Local) / 10 + 1_000
+    });
+    exp.check("both views share the same color scale", {
+        // Shared scales: the hottest ribbon across both views is 1.0 in
+        // exactly the view that owns it.
+        let m0 = views[0].ribbons.iter().map(|r| r.size).fold(0.0f64, f64::max);
+        let m1 = views[1].ribbons.iter().map(|r| r.size).fold(0.0f64, f64::max);
+        (m0 - 1.0).abs() < 1e-9 || (m1 - 1.0).abs() < 1e-9
+    });
+    std::process::exit(i32::from(!exp.finish("fig7")));
+}

@@ -1,0 +1,80 @@
+//! Fig. 9 — minimal vs adaptive routing for uniform-random traffic on the
+//! 9,702-terminal Dragonfly.
+//!
+//! Paper shapes: adaptive routing roughly doubles global-link usage (the
+//! random proxy groups double global bandwidth consumption), raises local
+//! traffic in the proxy groups, removes local-link saturation, and —
+//! because of the longer paths — *increases* mean hop count and packet
+//! latency; minimal routing under-uses local links but saturates them via
+//! path conflicts.
+
+use hrviz_bench::{
+    class_summary, class_summary_header, inter_group_spec, mean_hops, mean_latency_ns,
+    run_synthetic, write_csv, write_out, Expectations,
+};
+use hrviz_core::{compare_views, DataSet};
+use hrviz_network::{LinkClass, RoutingAlgorithm};
+use hrviz_pdes::SimTime;
+use hrviz_render::{render_radial_row, RadialLayout};
+use hrviz_workloads::SyntheticConfig;
+
+fn main() {
+    println!("Fig. 9: minimal vs adaptive routing, uniform random on 9,702 terminals");
+    // Load high enough that minimal routing's gateway queues build up but
+    // below the bisection limit (override: HRVIZ_F9_PERIOD_US).
+    let period_us: u64 = std::env::var("HRVIZ_F9_PERIOD_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let traffic = SyntheticConfig::uniform(16 * 1024, 24, SimTime::micros(period_us));
+    let minimal = run_synthetic(9_702, traffic, RoutingAlgorithm::Minimal);
+    let adaptive = run_synthetic(9_702, traffic, RoutingAlgorithm::adaptive_default());
+
+    let ds_min = DataSet::from_run(&minimal);
+    let ds_ada = DataSet::from_run(&adaptive);
+    let views = compare_views(&[&ds_min, &ds_ada], &inter_group_spec(9)).expect("views build");
+    write_out(
+        "fig9_routing_ur.svg",
+        &render_radial_row(
+            &[(&views[0], "Minimal Routing"), (&views[1], "Adaptive Routing")],
+            &RadialLayout::default(),
+            "Fig 9: uniform random on 9,702 terminals (shared scales)",
+        ),
+    );
+    write_csv(
+        "fig9_class_summary.csv",
+        &[
+            class_summary_header(),
+            class_summary("minimal", &minimal),
+            class_summary("adaptive", &adaptive),
+        ],
+    );
+
+    let g_min = minimal.class_traffic(LinkClass::Global) as f64;
+    let g_ada = adaptive.class_traffic(LinkClass::Global) as f64;
+    let l_min = minimal.class_traffic(LinkClass::Local) as f64;
+    let l_ada = adaptive.class_traffic(LinkClass::Local) as f64;
+
+    let mut exp = Expectations::new();
+    exp.check(
+        "adaptive increases global-link usage",
+        g_ada > 1.2 * g_min,
+    );
+    exp.check("adaptive increases local-link usage (proxy groups)", l_ada > l_min);
+    exp.check(
+        "minimal saturates local links more than adaptive",
+        minimal.class_sat_ns(LinkClass::Local) > adaptive.class_sat_ns(LinkClass::Local),
+    );
+    exp.check(
+        "adaptive increases mean hop count",
+        mean_hops(&adaptive) > mean_hops(&minimal),
+    );
+    println!(
+        "  hops: minimal {:.2} adaptive {:.2} | latency: minimal {:.1}us adaptive {:.1}us",
+        mean_hops(&minimal),
+        mean_hops(&adaptive),
+        mean_latency_ns(&minimal) / 1e3,
+        mean_latency_ns(&adaptive) / 1e3,
+    );
+    std::process::exit(i32::from(!exp.finish("fig9")));
+}

@@ -1,0 +1,53 @@
+//! Table I — Summary of Applications: ranks, data volume, communication
+//! pattern. Regenerated from the application-proxy definitions plus the
+//! measured injection volume of each generator (paper §V-C).
+
+use hrviz_bench::{data_scale, write_csv};
+use hrviz_network::{JobMeta, TerminalId};
+use hrviz_pdes::SimTime;
+use hrviz_workloads::{generate_app, AppConfig, AppKind};
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1_000_000_000 {
+        format!("{:.1}GB", b as f64 / 1e9)
+    } else {
+        format!("{:.1}MB", b as f64 / 1e6)
+    }
+}
+
+fn main() {
+    println!("Table I: Summary of Applications");
+    println!("{:<12} {:>6} {:>9} {:<22}", "Application", "Ranks", "Data", "Comm. Pattern");
+    let mut rows = vec![
+        ["application", "ranks", "data_bytes", "comm_pattern", "generated_bytes_at_scale", "scale"]
+            .map(str::to_string)
+            .to_vec(),
+    ];
+    for kind in AppKind::ALL {
+        // Verify the generator actually produces the nominal volume.
+        let job = JobMeta {
+            name: kind.name().into(),
+            terminals: (0..kind.ranks()).map(TerminalId).collect(),
+        };
+        let cfg = AppConfig::new(kind)
+            .with_scale(data_scale())
+            .with_duration(SimTime::micros(400));
+        let generated: u64 = generate_app(0, &job, &cfg).iter().map(|m| m.bytes).sum();
+        println!(
+            "{:<12} {:>6} {:>9} {:<22}",
+            kind.name(),
+            kind.ranks(),
+            human_bytes(kind.data_bytes()),
+            kind.comm_pattern()
+        );
+        rows.push(vec![
+            kind.name().into(),
+            kind.ranks().to_string(),
+            kind.data_bytes().to_string(),
+            kind.comm_pattern().into(),
+            generated.to_string(),
+            format!("{:.6}", data_scale()),
+        ]);
+    }
+    write_csv("table1_applications.csv", &rows);
+}

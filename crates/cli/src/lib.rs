@@ -1,0 +1,500 @@
+//! Implementation of the `hrviz` command-line tool.
+//!
+//! ```text
+//! hrviz view    --terminals 2550 --pattern tornado --routing adaptive \
+//!               [--script view.hrviz] [--svg out/view.svg]
+//! hrviz trace   --in trace.csv --terminals 2550 --routing minimal \
+//!               [--script view.hrviz] [--svg out/view.svg]
+//! hrviz compare --terminals 2550 --pattern tornado \
+//!               --routing minimal,adaptive [--script s] [--svg out/cmp.svg]
+//! hrviz check   view.hrviz
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs after a
+//! subcommand) to keep the dependency set at zero.
+
+use hrviz_core::{
+    build_view, compare_views, parse_script, DataSet, EntityKind, Field, LevelSpec,
+    ProjectionSpec, RibbonSpec,
+};
+use hrviz_network::{
+    DragonflyConfig, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm, RunData, Simulation,
+    TerminalId,
+};
+use hrviz_pdes::SimTime;
+use hrviz_render::{render_radial, render_radial_row, RadialLayout};
+use hrviz_workloads::{generate_synthetic, load_trace, SyntheticConfig, TrafficPattern};
+use std::collections::BTreeMap;
+
+/// A parsed command line: subcommand + `--key value` options.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cli {
+    /// The subcommand (`view`, `trace`, `compare`, `check`).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: BTreeMap<String, String>,
+}
+
+/// CLI failure with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
+    let Some(command) = args.first() else {
+        return err(USAGE);
+    };
+    let mut positional = Vec::new();
+    let mut options = BTreeMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let Some(value) = args.get(i + 1) else {
+                return err(format!("--{key} needs a value"));
+            };
+            options.insert(key.to_string(), value.clone());
+            i += 2;
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(Cli { command: command.clone(), positional, options })
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: hrviz <view|trace|compare|check> [options]
+  view    --terminals N --pattern P --routing R [--msgs N] [--bytes N]
+          [--period-us N] [--script FILE] [--svg FILE] [--seed N]
+  trace   --in FILE --terminals N --routing R [--script FILE] [--svg FILE]
+  compare --terminals N --pattern P --routing R1,R2[,..] [--script FILE] [--svg FILE]
+  check   FILE
+patterns: uniform-random nearest-neighbor all-to-all transpose
+          bit-complement tornado permutation
+routings: minimal nonminimal adaptive progressive-adaptive";
+
+fn routing_of(s: &str) -> Result<RoutingAlgorithm, CliError> {
+    Ok(match s {
+        "minimal" => RoutingAlgorithm::Minimal,
+        "nonminimal" | "valiant" => RoutingAlgorithm::NonMinimal,
+        "adaptive" | "ugal" => RoutingAlgorithm::adaptive_default(),
+        "progressive-adaptive" | "par" => RoutingAlgorithm::par_default(),
+        other => return err(format!("unknown routing {other:?}")),
+    })
+}
+
+fn pattern_of(s: &str) -> Result<TrafficPattern, CliError> {
+    Ok(match s {
+        "uniform-random" | "ur" => TrafficPattern::UniformRandom,
+        "nearest-neighbor" | "nn" => TrafficPattern::NearestNeighbor,
+        "all-to-all" => TrafficPattern::AllToAll,
+        "transpose" => TrafficPattern::Transpose,
+        "bit-complement" => TrafficPattern::BitComplement,
+        "tornado" => TrafficPattern::Tornado,
+        "permutation" => TrafficPattern::Permutation,
+        other => return err(format!("unknown pattern {other:?}")),
+    })
+}
+
+fn terminals_of(cli: &Cli) -> Result<DragonflyConfig, CliError> {
+    let n: u32 = cli
+        .options
+        .get("terminals")
+        .ok_or(CliError("--terminals is required".into()))?
+        .parse()
+        .map_err(|_| CliError("--terminals must be a number".into()))?;
+    match n {
+        2_550 | 5_256 | 9_702 => Ok(DragonflyConfig::paper_scale(n)),
+        _ => {
+            // Find the canonical h whose terminal count matches, else error.
+            for h in 1..=16 {
+                let c = DragonflyConfig::canonical(h);
+                if c.num_terminals() == n {
+                    return Ok(c);
+                }
+            }
+            err(format!(
+                "no canonical Dragonfly with {n} terminals; use a paper scale \
+                 (2550/5256/9702) or a canonical size (g*a*p for a=2h, p=h)"
+            ))
+        }
+    }
+}
+
+fn u64_opt(cli: &Cli, key: &str, default: u64) -> Result<u64, CliError> {
+    match cli.options.get(key) {
+        Some(v) => v.parse().map_err(|_| CliError(format!("--{key} must be a number"))),
+        None => Ok(default),
+    }
+}
+
+/// The default projection script applied when `--script` is omitted.
+pub const DEFAULT_SCRIPT: &str = r#"
+{ project : "local_link",
+  aggregate : "router_rank",
+  vmap : { color : "sat_time" },
+  colors : ["white", "steelblue"],
+  ribbons : { project : "local_link", size : "traffic", color : "sat_time" } },
+{ project : "global_link",
+  aggregate : ["router_rank", "router_port"],
+  vmap : { color : "sat_time", size : "traffic" },
+  colors : ["white", "purple"] },
+{ project : "terminal",
+  aggregate : ["router_id"],
+  vmap : { color : "avg_latency", size : "avg_hops" },
+  colors : ["white", "purple"] }
+"#;
+
+fn spec_of(cli: &Cli) -> Result<ProjectionSpec, CliError> {
+    match cli.options.get("script") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            parse_script(&text).map_err(|e| CliError(e.to_string()))
+        }
+        None => parse_script(DEFAULT_SCRIPT).map_err(|e| CliError(e.to_string())),
+    }
+}
+
+fn summarize(run: &RunData) -> String {
+    let pkts: u64 = run.terminals.iter().map(|t| t.packets_finished).sum();
+    let lat = run
+        .terminals
+        .iter()
+        .map(|t| t.avg_latency_ns * t.packets_finished as f64)
+        .sum::<f64>()
+        / pkts.max(1) as f64;
+    let mut s = format!(
+        "events {}  end {}  delivered {}/{} bytes  mean latency {:.1} us\n",
+        run.events_processed,
+        run.end_time,
+        run.total_delivered(),
+        run.total_injected(),
+        lat / 1e3,
+    );
+    for class in LinkClass::ALL {
+        s.push_str(&format!(
+            "  {:<8} traffic {:>14} B  saturation {:>14} ns\n",
+            class.label(),
+            run.class_traffic(class),
+            run.class_sat_ns(class)
+        ));
+    }
+    s
+}
+
+fn simulate(cli: &Cli, routing: RoutingAlgorithm) -> Result<RunData, CliError> {
+    let cfg = terminals_of(cli)?;
+    let pattern = pattern_of(
+        cli.options.get("pattern").ok_or(CliError("--pattern is required".into()))?,
+    )?;
+    let msgs = u64_opt(cli, "msgs", 16)? as u32;
+    let bytes = u64_opt(cli, "bytes", 16 * 1024)? as u32;
+    let period = SimTime::micros(u64_opt(cli, "period-us", 4)?);
+    let seed = u64_opt(cli, "seed", 42)?;
+    let spec = NetworkSpec::new(cfg).with_routing(routing).with_seed(seed);
+    let mut sim = Simulation::new(spec);
+    let all: Vec<TerminalId> = (0..cfg.num_terminals()).map(TerminalId).collect();
+    let meta = JobMeta { name: pattern.name().into(), terminals: all };
+    let job = sim.add_job(meta.clone());
+    let mut scfg = SyntheticConfig {
+        pattern,
+        msg_bytes: bytes,
+        msgs_per_rank: msgs,
+        period,
+        stride: 1,
+        seed,
+    };
+    if let Some(s) = cli.options.get("stride") {
+        scfg.stride = s.parse().map_err(|_| CliError("--stride must be a number".into()))?;
+    }
+    sim.inject_all(generate_synthetic(job, &meta, &scfg));
+    Ok(sim.run())
+}
+
+fn write_svg(cli: &Cli, default_name: &str, svg: String) -> Result<String, CliError> {
+    let fallback = format!("out/{default_name}");
+    let path = cli.options.get("svg").cloned().unwrap_or(fallback);
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&path, svg).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    Ok(path)
+}
+
+/// Run a parsed command; returns the text to print.
+pub fn run(cli: &Cli) -> Result<String, CliError> {
+    match cli.command.as_str() {
+        "view" => {
+            let routing = routing_of(
+                cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"),
+            )?;
+            let run = simulate(cli, routing)?;
+            let spec = spec_of(cli)?;
+            let ds = DataSet::from_run(&run);
+            let view = build_view(&ds, &spec).map_err(|e| CliError(e.to_string()))?;
+            let svg = render_radial(&view, &RadialLayout::default(), "hrviz view");
+            let path = write_svg(cli, "view.svg", svg)?;
+            Ok(format!("{}wrote {path}", summarize(&run)))
+        }
+        "trace" => {
+            let input = cli.options.get("in").ok_or(CliError("--in is required".into()))?;
+            let msgs = load_trace(std::path::Path::new(input))
+                .map_err(|e| CliError(e.to_string()))?;
+            let cfg = terminals_of(cli)?;
+            let routing = routing_of(
+                cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"),
+            )?;
+            let mut sim = Simulation::new(NetworkSpec::new(cfg).with_routing(routing));
+            sim.inject_all(msgs);
+            let run = sim.run();
+            let spec = spec_of(cli)?;
+            let ds = DataSet::from_run(&run);
+            let view = build_view(&ds, &spec).map_err(|e| CliError(e.to_string()))?;
+            let svg = render_radial(&view, &RadialLayout::default(), input);
+            let path = write_svg(cli, "trace.svg", svg)?;
+            Ok(format!("{}wrote {path}", summarize(&run)))
+        }
+        "compare" => {
+            let routings: Vec<RoutingAlgorithm> = cli
+                .options
+                .get("routing")
+                .ok_or(CliError("--routing R1,R2 is required".into()))?
+                .split(',')
+                .map(routing_of)
+                .collect::<Result<_, _>>()?;
+            if routings.len() < 2 {
+                return err("compare needs at least two routings (comma-separated)");
+            }
+            let spec = spec_of(cli)?;
+            let runs: Vec<RunData> =
+                routings.iter().map(|&r| simulate(cli, r)).collect::<Result<_, _>>()?;
+            let datasets: Vec<DataSet> = runs.iter().map(DataSet::from_run).collect();
+            let refs: Vec<&DataSet> = datasets.iter().collect();
+            let views = compare_views(&refs, &spec).map_err(|e| CliError(e.to_string()))?;
+            let labeled: Vec<(&_, &str)> = views
+                .iter()
+                .zip(routings.iter().map(|r| r.name()))
+                .map(|(v, n)| (v, n))
+                .collect();
+            let svg =
+                render_radial_row(&labeled, &RadialLayout::default(), "hrviz compare");
+            let path = write_svg(cli, "compare.svg", svg)?;
+            let mut out = String::new();
+            for (r, run) in routings.iter().zip(&runs) {
+                out.push_str(&format!("--- {} ---\n{}", r.name(), summarize(run)));
+            }
+            out.push_str(&format!("wrote {path}"));
+            Ok(out)
+        }
+        "check" => {
+            let Some(path) = cli.positional.first() else {
+                return err("check needs a script file argument");
+            };
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
+            let spec = parse_script(&text).map_err(|e| CliError(e.to_string()))?;
+            let mut out = format!("{path}: ok, {} ring(s)\n", spec.levels.len());
+            for (i, l) in spec.levels.iter().enumerate() {
+                out.push_str(&format!(
+                    "  ring {i}: {} by {:?} -> {:?}\n",
+                    l.entity,
+                    l.aggregate.iter().map(Field::name).collect::<Vec<_>>(),
+                    l.vmap.plot_kind()
+                ));
+            }
+            Ok(out)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+/// Default spec builder used for doc parity with the script constant.
+pub fn default_spec() -> ProjectionSpec {
+    ProjectionSpec::new(vec![
+        LevelSpec::new(EntityKind::LocalLink)
+            .aggregate(&[Field::RouterRank])
+            .color(Field::SatTime),
+        LevelSpec::new(EntityKind::GlobalLink)
+            .aggregate(&[Field::RouterRank, Field::RouterPort])
+            .color(Field::SatTime)
+            .size(Field::Traffic),
+    ])
+    .ribbons(RibbonSpec::new(EntityKind::LocalLink))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_options_and_positionals() {
+        let cli = parse_args(&args(&["view", "--terminals", "72", "--pattern", "tornado"])).unwrap();
+        assert_eq!(cli.command, "view");
+        assert_eq!(cli.options["terminals"], "72");
+        let cli = parse_args(&args(&["check", "file.hrviz"])).unwrap();
+        assert_eq!(cli.positional, vec!["file.hrviz"]);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let e = parse_args(&args(&["view", "--terminals"])).unwrap_err();
+        assert!(e.to_string().contains("needs a value"));
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn terminal_counts_resolve() {
+        let cli = parse_args(&args(&["view", "--terminals", "2550"])).unwrap();
+        assert_eq!(terminals_of(&cli).unwrap().groups, 51);
+        let cli = parse_args(&args(&["view", "--terminals", "72"])).unwrap();
+        assert_eq!(terminals_of(&cli).unwrap().groups, 9); // canonical h=2
+        let cli = parse_args(&args(&["view", "--terminals", "123"])).unwrap();
+        assert!(terminals_of(&cli).is_err());
+    }
+
+    #[test]
+    fn view_end_to_end() {
+        let dir = std::env::temp_dir().join("hrviz_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let svg = dir.join("v.svg");
+        let cli = parse_args(&args(&[
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--routing",
+            "adaptive",
+            "--msgs",
+            "4",
+            "--bytes",
+            "4096",
+            "--svg",
+            svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("delivered"));
+        assert!(svg.exists());
+        assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+        std::fs::remove_file(&svg).ok();
+    }
+
+    #[test]
+    fn compare_needs_two_routings() {
+        let cli = parse_args(&args(&[
+            "compare",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--routing",
+            "minimal",
+        ]))
+        .unwrap();
+        assert!(run(&cli).unwrap_err().to_string().contains("at least two"));
+    }
+
+    #[test]
+    fn compare_end_to_end() {
+        let dir = std::env::temp_dir().join("hrviz_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let svg = dir.join("c.svg");
+        let cli = parse_args(&args(&[
+            "compare",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--routing",
+            "minimal,adaptive",
+            "--msgs",
+            "4",
+            "--svg",
+            svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("--- minimal ---"));
+        assert!(out.contains("--- adaptive ---"));
+        assert!(svg.exists());
+        std::fs::remove_file(&svg).ok();
+    }
+
+    #[test]
+    fn trace_subcommand_simulates_a_csv() {
+        let dir = std::env::temp_dir().join("hrviz_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.csv");
+        std::fs::write(&trace, "time_ns,src,dst,bytes,job\n0,0,40,8192,0\n").unwrap();
+        let svg = dir.join("t.svg");
+        let cli = parse_args(&args(&[
+            "trace",
+            "--in",
+            trace.to_str().unwrap(),
+            "--terminals",
+            "72",
+            "--routing",
+            "minimal",
+            "--svg",
+            svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("delivered 8192/8192"));
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&svg).ok();
+    }
+
+    #[test]
+    fn check_reports_rings() {
+        let dir = std::env::temp_dir().join("hrviz_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("s.hrviz");
+        std::fs::write(&f, DEFAULT_SCRIPT).unwrap();
+        let cli = parse_args(&args(&["check", f.to_str().unwrap()])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("3 ring(s)"));
+        assert!(out.contains("Heatmap1D"));
+        std::fs::remove_file(&f).ok();
+    }
+
+    #[test]
+    fn unknown_commands_and_enums_error() {
+        let cli = parse_args(&args(&["frobnicate"])).unwrap();
+        assert!(run(&cli).is_err());
+        assert!(routing_of("warp").is_err());
+        assert!(pattern_of("noise").is_err());
+        let cli = parse_args(&args(&["help"])).unwrap();
+        assert!(run(&cli).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn default_script_matches_builder_shape() {
+        let s = parse_script(DEFAULT_SCRIPT).unwrap();
+        let b = default_spec();
+        assert_eq!(s.levels[0].entity, b.levels[0].entity);
+        assert_eq!(s.levels[1].vmap.plot_kind(), b.levels[1].vmap.plot_kind());
+    }
+}

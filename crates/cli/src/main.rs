@@ -1,0 +1,12 @@
+//! The `hrviz` binary: see [`hrviz_cli`] for the implementation.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hrviz_cli::parse_args(&args).and_then(|cli| hrviz_cli::run(&cli)) {
+        Ok(out) => println!("{out}"),
+        Err(e) => {
+            eprintln!("hrviz: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Hierarchical and binned data aggregation (paper §IV-A).
+//!
+//! Entities are grouped by one or more attribute fields ("aggregate the
+//! data by the rank of the routers", Fig. 2b); when a level still has more
+//! items than `maxBins`, an extra *binned aggregation* merges items into a
+//! histogram over one of their aggregated metrics ("divide the global
+//! links into a histogram of six bins based on accumulated traffic").
+//! Sums are used for volume/time metrics and means for the latency/hop
+//! metrics, per [`Field::rule`](crate::entity::Field::rule).
+
+use crate::dataset::DataSet;
+use crate::entity::{AggRule, EntityKind, Field};
+
+/// One aggregate item: a group key plus the member row indices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggregateItem {
+    /// Values of the group-by fields (empty for a whole-table aggregate).
+    pub key: Vec<f64>,
+    /// Member rows (indices into the dataset's table for the entity kind).
+    pub rows: Vec<usize>,
+}
+
+impl AggregateItem {
+    /// Aggregated value of `field` over the members.
+    pub fn metric(&self, ds: &DataSet, kind: EntityKind, field: Field) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.rows.iter().map(|&i| ds.value(kind, i, field)).sum();
+        match field.rule() {
+            AggRule::Mean => sum / self.rows.len() as f64,
+            AggRule::Sum => sum,
+            // Attributes: representative value (identical across members by
+            // construction when the field is part of the key).
+            AggRule::Key => ds.value(kind, self.rows[0], field),
+        }
+    }
+}
+
+fn key_cmp(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        match x.partial_cmp(y) {
+            Some(std::cmp::Ordering::Equal) | None => continue,
+            Some(o) => return o,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// Group rows of `kind` by `fields` (all attributes); returns items sorted
+/// by key. Empty `fields` yields one item per row (individual entities).
+pub fn group_rows(ds: &DataSet, kind: EntityKind, fields: &[Field]) -> Vec<AggregateItem> {
+    for f in fields {
+        assert!(f.is_attribute(), "cannot group by metric field {f}");
+        assert!(DataSet::has_field(kind, *f), "{kind} rows have no field {f}");
+    }
+    let n = ds.len(kind);
+    if fields.is_empty() {
+        return (0..n)
+            .map(|i| AggregateItem { key: vec![i as f64], rows: vec![i] })
+            .collect();
+    }
+    let mut keyed: Vec<(Vec<f64>, usize)> = (0..n)
+        .map(|i| (fields.iter().map(|&f| ds.value(kind, i, f)).collect(), i))
+        .collect();
+    keyed.sort_by(|a, b| key_cmp(&a.0, &b.0).then(a.1.cmp(&b.1)));
+    let mut items: Vec<AggregateItem> = Vec::new();
+    for (key, row) in keyed {
+        match items.last_mut() {
+            Some(last) if last.key == key => last.rows.push(row),
+            _ => items.push(AggregateItem { key, rows: vec![row] }),
+        }
+    }
+    items
+}
+
+/// Binned aggregation: merge `items` into at most `max_bins` equal-width
+/// histogram bins over their aggregated `by` metric. Item keys become the
+/// bin index. No-op when already within the limit.
+pub fn bin_items(
+    ds: &DataSet,
+    kind: EntityKind,
+    items: Vec<AggregateItem>,
+    by: Field,
+    max_bins: usize,
+) -> Vec<AggregateItem> {
+    assert!(max_bins >= 1);
+    if items.len() <= max_bins {
+        return items;
+    }
+    let values: Vec<f64> = items.iter().map(|it| it.metric(ds, kind, by)).collect();
+    let (min, max) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let width = (max - min) / max_bins as f64;
+    let mut bins: Vec<AggregateItem> = (0..max_bins)
+        .map(|b| AggregateItem { key: vec![b as f64], rows: Vec::new() })
+        .collect();
+    for (item, v) in items.into_iter().zip(values) {
+        let b = if width > 0.0 {
+            (((v - min) / width) as usize).min(max_bins - 1)
+        } else {
+            0
+        };
+        bins[b].rows.extend(item.rows);
+    }
+    bins.retain(|b| !b.rows.is_empty());
+    bins
+}
+
+/// One level of an aggregate tree: which entity, grouped how.
+#[derive(Clone, Debug)]
+pub struct TreeLevel {
+    /// Entity kind projected at this level.
+    pub entity: EntityKind,
+    /// Group-by fields.
+    pub fields: Vec<Field>,
+    /// Optional binned-aggregation cap.
+    pub max_bins: Option<(Field, usize)>,
+}
+
+/// A multi-level aggregate tree (paper Fig. 2b): each level is an
+/// independent aggregation of one entity kind, stacked for display.
+#[derive(Clone, Debug)]
+pub struct AggregateTree {
+    /// Per-level aggregate items.
+    pub levels: Vec<Vec<AggregateItem>>,
+}
+
+impl AggregateTree {
+    /// Build the tree over a dataset.
+    pub fn build(ds: &DataSet, levels: &[TreeLevel]) -> AggregateTree {
+        let levels = levels
+            .iter()
+            .map(|lv| {
+                let items = group_rows(ds, lv.entity, &lv.fields);
+                match lv.max_bins {
+                    Some((by, cap)) => bin_items(ds, lv.entity, items, by, cap),
+                    None => items,
+                }
+            })
+            .collect();
+        AggregateTree { levels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TerminalRow;
+
+    /// Hand-built dataset: 8 terminals on 4 routers in 2 groups.
+    fn ds() -> DataSet {
+        let mut d = DataSet { jobs: vec!["a".into()], ..DataSet::default() };
+        for i in 0..8u32 {
+            d.terminals.push(TerminalRow {
+                terminal: i,
+                router: i / 2,
+                group: i / 4,
+                rank: (i / 2) % 2,
+                port: i % 2,
+                job: 0,
+                data_size: (i + 1) as f64 * 100.0,
+                recv_bytes: 0.0,
+                busy: 10.0,
+                sat: i as f64,
+                packets_finished: 2.0,
+                packets_sent: 2.0,
+                avg_latency: (i + 1) as f64 * 1000.0,
+                avg_hops: 3.0,
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn grouping_by_router_creates_pairs() {
+        let d = ds();
+        let items = group_rows(&d, EntityKind::Terminal, &[Field::RouterId]);
+        assert_eq!(items.len(), 4);
+        for (r, it) in items.iter().enumerate() {
+            assert_eq!(it.key, vec![r as f64]);
+            assert_eq!(it.rows.len(), 2);
+        }
+    }
+
+    #[test]
+    fn multi_field_grouping_is_lexicographic() {
+        let d = ds();
+        let items = group_rows(&d, EntityKind::Terminal, &[Field::GroupId, Field::RouterRank]);
+        assert_eq!(items.len(), 4);
+        assert_eq!(items[0].key, vec![0.0, 0.0]);
+        assert_eq!(items[1].key, vec![0.0, 1.0]);
+        assert_eq!(items[2].key, vec![1.0, 0.0]);
+        assert_eq!(items[3].key, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_fields_yield_individual_entities() {
+        let d = ds();
+        let items = group_rows(&d, EntityKind::Terminal, &[]);
+        assert_eq!(items.len(), 8);
+        assert!(items.iter().all(|it| it.rows.len() == 1));
+    }
+
+    #[test]
+    fn sum_and_mean_rules() {
+        let d = ds();
+        let items = group_rows(&d, EntityKind::Terminal, &[Field::RouterId]);
+        // Router 0 hosts terminals 0 and 1: data 100 + 200.
+        assert_eq!(items[0].metric(&d, EntityKind::Terminal, Field::DataSize), 300.0);
+        // Latency is averaged: (1000 + 2000) / 2.
+        assert_eq!(items[0].metric(&d, EntityKind::Terminal, Field::AvgLatency), 1500.0);
+        // Key fields return the representative value.
+        assert_eq!(items[0].metric(&d, EntityKind::Terminal, Field::RouterId), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot group by metric")]
+    fn grouping_by_metric_rejected() {
+        let d = ds();
+        group_rows(&d, EntityKind::Terminal, &[Field::DataSize]);
+    }
+
+    #[test]
+    fn binning_merges_to_cap() {
+        let d = ds();
+        let items = group_rows(&d, EntityKind::Terminal, &[Field::TerminalId]);
+        assert_eq!(items.len(), 8);
+        let binned = bin_items(&d, EntityKind::Terminal, items, Field::DataSize, 3);
+        assert!(binned.len() <= 3);
+        let total_rows: usize = binned.iter().map(|b| b.rows.len()).sum();
+        assert_eq!(total_rows, 8, "binning must not drop rows");
+        // Bin keys are indices in metric order: bin 0 holds the smallest.
+        assert!(binned[0]
+            .rows
+            .iter()
+            .all(|&r| d.terminals[r].data_size <= 300.0));
+    }
+
+    #[test]
+    fn binning_noop_when_within_cap() {
+        let d = ds();
+        let items = group_rows(&d, EntityKind::Terminal, &[Field::RouterId]);
+        let binned = bin_items(&d, EntityKind::Terminal, items.clone(), Field::DataSize, 10);
+        assert_eq!(binned, items);
+    }
+
+    #[test]
+    fn binning_constant_metric_collapses_to_one() {
+        let d = ds();
+        let items = group_rows(&d, EntityKind::Terminal, &[Field::TerminalId]);
+        let binned = bin_items(&d, EntityKind::Terminal, items, Field::AvgHops, 4);
+        assert_eq!(binned.len(), 1);
+    }
+
+    #[test]
+    fn tree_builds_fig2_shape() {
+        // Fig. 2b: aggregate by router rank, then by (rank, port), then a
+        // histogram capped at 6 bins.
+        let d = ds();
+        let tree = AggregateTree::build(
+            &d,
+            &[
+                TreeLevel {
+                    entity: EntityKind::Terminal,
+                    fields: vec![Field::RouterRank],
+                    max_bins: None,
+                },
+                TreeLevel {
+                    entity: EntityKind::Terminal,
+                    fields: vec![Field::RouterRank, Field::RouterPort],
+                    max_bins: None,
+                },
+                TreeLevel {
+                    entity: EntityKind::Terminal,
+                    fields: vec![Field::TerminalId],
+                    max_bins: Some((Field::DataSize, 6)),
+                },
+            ],
+        );
+        assert_eq!(tree.levels[0].len(), 2);
+        assert_eq!(tree.levels[1].len(), 4);
+        assert!(tree.levels[2].len() <= 6);
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-run comparison (paper §III, §V-B): build the *same* projection
+//! spec over several datasets with unified encoding scales, so that color
+//! and size are directly comparable between network configurations.
+
+use crate::dataset::DataSet;
+use crate::projection::{build_view_scaled, compute_scales, ProjectionView, ScaleSet};
+use crate::spec::{ProjectionSpec, SpecError};
+use rayon::prelude::*;
+
+/// Build one view per dataset under shared min/max scales.
+pub fn compare_views(
+    datasets: &[&DataSet],
+    spec: &ProjectionSpec,
+) -> Result<Vec<ProjectionView>, SpecError> {
+    let scales = shared_scales(datasets, spec)?;
+    datasets
+        .par_iter()
+        .map(|ds| build_view_scaled(ds, spec, &scales))
+        .collect()
+}
+
+/// The merged scales the comparison uses.
+pub fn shared_scales(datasets: &[&DataSet], spec: &ProjectionSpec) -> Result<ScaleSet, SpecError> {
+    let parts: Result<Vec<ScaleSet>, SpecError> =
+        datasets.par_iter().map(|ds| compute_scales(ds, spec)).collect();
+    let mut merged = ScaleSet::default();
+    for p in parts? {
+        merged.merge(&p);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::TerminalRow;
+    use crate::entity::{EntityKind, Field};
+    use crate::spec::LevelSpec;
+
+    fn ds(scale: f64) -> DataSet {
+        let mut d = DataSet { jobs: vec!["a".into()], ..DataSet::default() };
+        for i in 0..4u32 {
+            d.terminals.push(TerminalRow {
+                terminal: i,
+                router: i,
+                group: 0,
+                rank: i,
+                port: 0,
+                job: 0,
+                data_size: scale * (i + 1) as f64,
+                recv_bytes: 0.0,
+                busy: 0.0,
+                sat: scale * i as f64,
+                packets_finished: 1.0,
+                packets_sent: 1.0,
+                avg_latency: 0.0,
+                avg_hops: 0.0,
+            });
+        }
+        d
+    }
+
+    fn spec() -> ProjectionSpec {
+        ProjectionSpec::new(vec![LevelSpec::new(EntityKind::Terminal)
+            .aggregate(&[Field::RouterId])
+            .color(Field::SatTime)])
+    }
+
+    #[test]
+    fn comparison_uses_global_extents() {
+        let a = ds(1.0);
+        let b = ds(10.0);
+        let views = compare_views(&[&a, &b], &spec()).unwrap();
+        // Max saturation in run a is 3, in run b is 30: under the shared
+        // scale, a's hottest item sits at 0.1.
+        let ca = views[0].rings[0].items[3].color.unwrap();
+        let cb = views[1].rings[0].items[3].color.unwrap();
+        assert_eq!(cb, 1.0);
+        assert!((ca - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_scales_equal_merged_individual_scales() {
+        let a = ds(1.0);
+        let b = ds(10.0);
+        let merged = shared_scales(&[&a, &b], &spec()).unwrap();
+        let sb = compute_scales(&b, &spec()).unwrap();
+        assert_eq!(
+            merged.encodings.get(&(0, "color")),
+            sb.encodings.get(&(0, "color")),
+            "b dominates the shared extent"
+        );
+    }
+
+    #[test]
+    fn single_dataset_comparison_matches_plain_build() {
+        use crate::projection::build_view;
+        let a = ds(2.0);
+        let cmp = compare_views(&[&a], &spec()).unwrap();
+        let plain = build_view(&a, &spec()).unwrap();
+        let c1: Vec<_> = cmp[0].rings[0].items.iter().map(|i| i.color).collect();
+        let c2: Vec<_> = plain.rings[0].items.iter().map(|i| i.color).collect();
+        assert_eq!(c1, c2);
+    }
+}

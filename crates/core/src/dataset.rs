@@ -1,0 +1,567 @@
+//! The dataset: flattened entity rows extracted from a simulation run
+//! (optionally restricted to a time range or a selection).
+//!
+//! This is the root of the paper's entity tree (Fig. 2a): one table per
+//! entity kind, each row exposing its attributes/metrics via [`Field`].
+
+use crate::entity::{EntityKind, Field};
+use hrviz_network::{LinkRecord, RunData, TerminalRecord, NO_JOB};
+use hrviz_pdes::SimTime;
+use std::collections::HashSet;
+
+/// A router row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouterRow {
+    /// Router id.
+    pub router: u32,
+    /// Group.
+    pub group: u32,
+    /// Rank within group.
+    pub rank: u32,
+    /// Dominant job among attached terminals (proxy index when none).
+    pub job: u32,
+    /// Outgoing global-link bytes.
+    pub global_traffic: f64,
+    /// Outgoing global-link saturation ns.
+    pub global_sat: f64,
+    /// Outgoing local-link bytes.
+    pub local_traffic: f64,
+    /// Outgoing local-link saturation ns.
+    pub local_sat: f64,
+}
+
+/// A directed link row (local or global).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkRow {
+    /// Source router id.
+    pub src_router: u32,
+    /// Source group.
+    pub src_group: u32,
+    /// Source rank.
+    pub src_rank: u32,
+    /// Source class-local port.
+    pub src_port: u32,
+    /// Destination router id.
+    pub dst_router: u32,
+    /// Destination group.
+    pub dst_group: u32,
+    /// Destination rank.
+    pub dst_rank: u32,
+    /// Destination class-local port.
+    pub dst_port: u32,
+    /// Source-side job (router-dominant).
+    pub src_job: u32,
+    /// Destination-side job.
+    pub dst_job: u32,
+    /// Bytes carried.
+    pub traffic: f64,
+    /// Saturation ns.
+    pub sat: f64,
+}
+
+/// A terminal row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TerminalRow {
+    /// Terminal id.
+    pub terminal: u32,
+    /// Owning router.
+    pub router: u32,
+    /// Group.
+    pub group: u32,
+    /// Router rank.
+    pub rank: u32,
+    /// Port on the router.
+    pub port: u32,
+    /// Job (proxy index when idle).
+    pub job: u32,
+    /// Bytes injected.
+    pub data_size: f64,
+    /// Bytes received.
+    pub recv_bytes: f64,
+    /// Injection busy ns.
+    pub busy: f64,
+    /// Terminal-link saturation ns.
+    pub sat: f64,
+    /// Packets received.
+    pub packets_finished: f64,
+    /// Packets sent.
+    pub packets_sent: f64,
+    /// Mean packet latency ns.
+    pub avg_latency: f64,
+    /// Mean hops.
+    pub avg_hops: f64,
+}
+
+/// The flattened dataset the analytics operate on.
+#[derive(Clone, Debug, Default)]
+pub struct DataSet {
+    /// Job names; the index one past the end is the idle/"proxy" class.
+    pub jobs: Vec<String>,
+    /// Router rows.
+    pub routers: Vec<RouterRow>,
+    /// Local-link rows.
+    pub local_links: Vec<LinkRow>,
+    /// Global-link rows.
+    pub global_links: Vec<LinkRow>,
+    /// Terminal rows.
+    pub terminals: Vec<TerminalRow>,
+    /// The time range this dataset covers (whole run when `None`).
+    pub time_range: Option<(SimTime, SimTime)>,
+}
+
+fn ranged(v: u64, bins: &Option<hrviz_network::Bins>, range: Option<(SimTime, SimTime)>) -> f64 {
+    match (range, bins) {
+        (Some((s, e)), Some(b)) => b.sum_range(s, e) as f64,
+        _ => v as f64,
+    }
+}
+
+impl DataSet {
+    /// Build directly from entity tables. This is how non-Dragonfly
+    /// substrates (e.g. the Fat-Tree model, one of the paper's named
+    /// future-work targets) feed the analytics: any topology that can
+    /// express itself as groups/ranks/ports produces the same views.
+    pub fn from_tables(
+        jobs: Vec<String>,
+        routers: Vec<RouterRow>,
+        local_links: Vec<LinkRow>,
+        global_links: Vec<LinkRow>,
+        terminals: Vec<TerminalRow>,
+    ) -> DataSet {
+        DataSet { jobs, routers, local_links, global_links, terminals, time_range: None }
+    }
+
+    /// Build from a whole run.
+    pub fn from_run(run: &RunData) -> DataSet {
+        Self::build(run, None)
+    }
+
+    /// Build restricted to `[start, end)`. Requires the run to have been
+    /// sampled ([`hrviz_network::NetworkSpec::with_sampling`]); metrics
+    /// without bins fall back to whole-run values.
+    pub fn from_run_range(run: &RunData, start: SimTime, end: SimTime) -> DataSet {
+        Self::build(run, Some((start, end)))
+    }
+
+    fn build(run: &RunData, range: Option<(SimTime, SimTime)>) -> DataSet {
+        let topo = run.topology();
+        let num_jobs = run.jobs.len() as u32;
+        let proxy = num_jobs;
+
+        // Dominant job per router (most attached terminals; proxy if none).
+        let mut router_job = vec![proxy; run.routers.len()];
+        for (r, counts) in router_job.iter_mut().enumerate() {
+            let mut tally = vec![0u32; num_jobs as usize];
+            let p = run.spec.topology.terminals_per_router;
+            for k in 0..p {
+                let t = topo.terminal_of(hrviz_network::RouterId(r as u32), k);
+                let job = run.terminals[t.0 as usize].job;
+                if job != NO_JOB {
+                    tally[job as usize] += 1;
+                }
+            }
+            if let Some((best, &n)) = tally.iter().enumerate().max_by_key(|(_, &n)| n) {
+                if n > 0 {
+                    *counts = best as u32;
+                }
+            }
+        }
+
+        let link_row = |l: &LinkRecord| LinkRow {
+            src_router: l.src_router.0,
+            src_group: topo.group_of_router(l.src_router).0,
+            src_rank: topo.rank_of_router(l.src_router),
+            src_port: l.src_port,
+            dst_router: l.dst_router.0,
+            dst_group: topo.group_of_router(l.dst_router).0,
+            dst_rank: topo.rank_of_router(l.dst_router),
+            dst_port: l.dst_port,
+            src_job: router_job[l.src_router.0 as usize],
+            dst_job: router_job[l.dst_router.0 as usize],
+            traffic: ranged(l.traffic, &l.traffic_bins, range),
+            sat: ranged(l.sat_ns, &l.sat_bins, range),
+        };
+        let local_links: Vec<LinkRow> = run.local_links.iter().map(link_row).collect();
+        let global_links: Vec<LinkRow> = run.global_links.iter().map(link_row).collect();
+
+        let term_row = |t: &TerminalRecord| {
+            let (latency, hops) = match range {
+                Some((s, e)) => {
+                    let count = t
+                        .count_bins
+                        .as_ref()
+                        .map(|b| b.sum_range(s, e))
+                        .unwrap_or(t.packets_finished);
+                    let lat = t.latency_bins.as_ref().map(|b| b.sum_range(s, e) as f64);
+                    let hop = t.hops_bins.as_ref().map(|b| b.sum_range(s, e) as f64);
+                    match (lat, hop) {
+                        (Some(l), Some(h)) if count > 0 => {
+                            (l / count as f64, h / count as f64)
+                        }
+                        (Some(_), Some(_)) => (0.0, 0.0),
+                        _ => (t.avg_latency_ns, t.avg_hops),
+                    }
+                }
+                None => (t.avg_latency_ns, t.avg_hops),
+            };
+            let packets_in_range = match range {
+                Some((s, e)) => t
+                    .count_bins
+                    .as_ref()
+                    .map(|b| b.sum_range(s, e) as f64)
+                    .unwrap_or(t.packets_finished as f64),
+                None => t.packets_finished as f64,
+            };
+            TerminalRow {
+                terminal: t.terminal.0,
+                router: t.router.0,
+                group: topo.group_of_router(t.router).0,
+                rank: topo.rank_of_router(t.router),
+                port: t.port,
+                job: if t.job == NO_JOB { proxy } else { t.job as u32 },
+                data_size: ranged(t.data_bytes, &t.traffic_bins, range),
+                recv_bytes: t.recv_bytes as f64,
+                busy: t.busy_ns as f64,
+                sat: ranged(t.sat_ns, &t.sat_bins, range),
+                packets_finished: packets_in_range,
+                packets_sent: t.packets_sent as f64,
+                avg_latency: latency,
+                avg_hops: hops,
+            }
+        };
+        let terminals: Vec<TerminalRow> = run.terminals.iter().map(term_row).collect();
+
+        // Router roll-ups recomputed from (possibly ranged) link rows so
+        // they stay consistent with the links shown.
+        let mut routers: Vec<RouterRow> = run
+            .routers
+            .iter()
+            .map(|r| RouterRow {
+                router: r.router.0,
+                group: r.group,
+                rank: r.rank,
+                job: router_job[r.router.0 as usize],
+                global_traffic: 0.0,
+                global_sat: 0.0,
+                local_traffic: 0.0,
+                local_sat: 0.0,
+            })
+            .collect();
+        for l in &local_links {
+            let r = &mut routers[l.src_router as usize];
+            r.local_traffic += l.traffic;
+            r.local_sat += l.sat;
+        }
+        for l in &global_links {
+            let r = &mut routers[l.src_router as usize];
+            r.global_traffic += l.traffic;
+            r.global_sat += l.sat;
+        }
+
+        DataSet {
+            jobs: run.jobs.iter().map(|j| j.name.clone()).collect(),
+            routers,
+            local_links,
+            global_links,
+            terminals,
+            time_range: range,
+        }
+    }
+
+    /// Display label for a job value produced by [`Field::Workload`].
+    pub fn job_label(&self, job: u32) -> &str {
+        self.jobs.get(job as usize).map(String::as_str).unwrap_or("idle/proxy")
+    }
+
+    /// Number of rows of a kind.
+    pub fn len(&self, kind: EntityKind) -> usize {
+        match kind {
+            EntityKind::Router => self.routers.len(),
+            EntityKind::LocalLink => self.local_links.len(),
+            EntityKind::GlobalLink => self.global_links.len(),
+            EntityKind::Terminal => self.terminals.len(),
+        }
+    }
+
+    /// `true` when the dataset has no rows at all.
+    pub fn is_empty(&self) -> bool {
+        EntityKind::ALL.iter().all(|&k| self.len(k) == 0)
+    }
+
+    /// Field value of row `idx` of `kind`. Panics on fields the entity does
+    /// not carry (script validation rejects those earlier).
+    pub fn value(&self, kind: EntityKind, idx: usize, field: Field) -> f64 {
+        match kind {
+            EntityKind::Router => {
+                let r = &self.routers[idx];
+                match field {
+                    Field::GroupId => r.group as f64,
+                    Field::RouterId => r.router as f64,
+                    Field::RouterRank => r.rank as f64,
+                    Field::Workload => r.job as f64,
+                    Field::GlobalTraffic => r.global_traffic,
+                    Field::GlobalSatTime => r.global_sat,
+                    Field::LocalTraffic => r.local_traffic,
+                    Field::LocalSatTime => r.local_sat,
+                    Field::TotalTraffic | Field::Traffic => r.global_traffic + r.local_traffic,
+                    Field::TotalSatTime | Field::SatTime => r.global_sat + r.local_sat,
+                    other => panic!("router rows have no field {other}"),
+                }
+            }
+            EntityKind::LocalLink | EntityKind::GlobalLink => {
+                let l = if kind == EntityKind::LocalLink {
+                    &self.local_links[idx]
+                } else {
+                    &self.global_links[idx]
+                };
+                match field {
+                    Field::GroupId => l.src_group as f64,
+                    Field::RouterId => l.src_router as f64,
+                    Field::RouterRank => l.src_rank as f64,
+                    Field::RouterPort => l.src_port as f64,
+                    Field::Workload => l.src_job as f64,
+                    Field::DstGroupId => l.dst_group as f64,
+                    Field::DstRouterId => l.dst_router as f64,
+                    Field::DstRouterRank => l.dst_rank as f64,
+                    Field::DstRouterPort => l.dst_port as f64,
+                    Field::DstWorkload => l.dst_job as f64,
+                    Field::Traffic => l.traffic,
+                    Field::SatTime => l.sat,
+                    other => panic!("link rows have no field {other}"),
+                }
+            }
+            EntityKind::Terminal => {
+                let t = &self.terminals[idx];
+                match field {
+                    Field::GroupId => t.group as f64,
+                    Field::RouterId => t.router as f64,
+                    Field::RouterRank => t.rank as f64,
+                    Field::RouterPort => t.port as f64,
+                    Field::TerminalId => t.terminal as f64,
+                    Field::Workload => t.job as f64,
+                    Field::Traffic | Field::DataSize => t.data_size,
+                    Field::SatTime => t.sat,
+                    Field::RecvBytes => t.recv_bytes,
+                    Field::BusyTime => t.busy,
+                    Field::PacketsFinished => t.packets_finished,
+                    Field::PacketsSent => t.packets_sent,
+                    Field::AvgLatency => t.avg_latency,
+                    Field::AvgHops => t.avg_hops,
+                    other => panic!("terminal rows have no field {other}"),
+                }
+            }
+        }
+    }
+
+    /// Whether `kind` rows carry `field`.
+    pub fn has_field(kind: EntityKind, field: Field) -> bool {
+        use Field::*;
+        match kind {
+            EntityKind::Router => matches!(
+                field,
+                GroupId
+                    | RouterId
+                    | RouterRank
+                    | Workload
+                    | GlobalTraffic
+                    | GlobalSatTime
+                    | LocalTraffic
+                    | LocalSatTime
+                    | TotalTraffic
+                    | TotalSatTime
+                    | Traffic
+                    | SatTime
+            ),
+            EntityKind::LocalLink | EntityKind::GlobalLink => matches!(
+                field,
+                GroupId
+                    | RouterId
+                    | RouterRank
+                    | RouterPort
+                    | Workload
+                    | DstGroupId
+                    | DstRouterId
+                    | DstRouterRank
+                    | DstRouterPort
+                    | DstWorkload
+                    | Traffic
+                    | SatTime
+            ),
+            EntityKind::Terminal => matches!(
+                field,
+                GroupId
+                    | RouterId
+                    | RouterRank
+                    | RouterPort
+                    | TerminalId
+                    | Workload
+                    | Traffic
+                    | DataSize
+                    | SatTime
+                    | RecvBytes
+                    | BusyTime
+                    | PacketsFinished
+                    | PacketsSent
+                    | AvgLatency
+                    | AvgHops
+            ),
+        }
+    }
+
+    /// Restrict to terminals satisfying `pred`, keeping links that touch a
+    /// router hosting a selected terminal (interactive brushing, §IV-C).
+    pub fn brush_terminals(&self, pred: impl Fn(&TerminalRow) -> bool) -> DataSet {
+        let terminals: Vec<TerminalRow> =
+            self.terminals.iter().filter(|t| pred(t)).copied().collect();
+        let routers_kept: HashSet<u32> = terminals.iter().map(|t| t.router).collect();
+        let keep_link =
+            |l: &&LinkRow| routers_kept.contains(&l.src_router) || routers_kept.contains(&l.dst_router);
+        DataSet {
+            jobs: self.jobs.clone(),
+            routers: self
+                .routers
+                .iter()
+                .filter(|r| routers_kept.contains(&r.router))
+                .copied()
+                .collect(),
+            local_links: self.local_links.iter().filter(keep_link).copied().collect(),
+            global_links: self.global_links.iter().filter(keep_link).copied().collect(),
+            terminals,
+            time_range: self.time_range,
+        }
+    }
+
+    /// Drop idle terminals (the paper filters unused terminals out when a
+    /// job is smaller than the machine, §V-C).
+    pub fn without_idle_terminals(&self) -> DataSet {
+        let proxy = self.jobs.len() as u32;
+        self.brush_terminals(|t| t.job != proxy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrviz_network::{
+        DragonflyConfig, JobMeta, MsgInjection, NetworkSpec, Simulation, TerminalId,
+    };
+
+    fn toy_run(sampling: bool) -> RunData {
+        let mut spec = NetworkSpec::new(DragonflyConfig::canonical(2));
+        if sampling {
+            spec = spec.with_sampling(SimTime::micros(1), 512);
+        }
+        let mut sim = Simulation::new(spec);
+        let job = sim.add_job(JobMeta {
+            name: "toy".into(),
+            terminals: (0..16).map(TerminalId).collect(),
+        });
+        for src in 0..16u32 {
+            sim.inject(MsgInjection {
+                time: SimTime::ZERO,
+                src: TerminalId(src),
+                dst: TerminalId((src + 8) % 16),
+                bytes: 8192,
+                job,
+            });
+        }
+        sim.run()
+    }
+
+    #[test]
+    fn dataset_row_counts_match_run() {
+        let run = toy_run(false);
+        let ds = DataSet::from_run(&run);
+        assert_eq!(ds.terminals.len(), run.terminals.len());
+        assert_eq!(ds.local_links.len(), run.local_links.len());
+        assert_eq!(ds.global_links.len(), run.global_links.len());
+        assert_eq!(ds.routers.len(), run.routers.len());
+        assert_eq!(ds.len(EntityKind::Terminal), 72);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn values_are_consistent_across_entities() {
+        let run = toy_run(false);
+        let ds = DataSet::from_run(&run);
+        // Router local traffic equals the sum of its local-link rows.
+        let r0_local: f64 = ds
+            .local_links
+            .iter()
+            .filter(|l| l.src_router == 0)
+            .map(|l| l.traffic)
+            .sum();
+        assert_eq!(ds.value(EntityKind::Router, 0, Field::LocalTraffic), r0_local);
+        // Terminal data_size matches the injected volume.
+        let injected: f64 = (0..16)
+            .map(|i| ds.value(EntityKind::Terminal, i, Field::DataSize))
+            .sum();
+        assert_eq!(injected, 16.0 * 8192.0);
+    }
+
+    #[test]
+    fn job_stamping_and_proxy_label() {
+        let run = toy_run(false);
+        let ds = DataSet::from_run(&run);
+        assert_eq!(ds.terminals[0].job, 0);
+        assert_eq!(ds.terminals[40].job, 1); // proxy index
+        assert_eq!(ds.job_label(0), "toy");
+        assert_eq!(ds.job_label(1), "idle/proxy");
+        // Routers hosting job terminals get the job; far routers are proxy.
+        assert_eq!(ds.routers[0].job, 0);
+        assert_eq!(ds.routers[20].job, 1);
+    }
+
+    #[test]
+    fn time_range_restriction_reduces_traffic() {
+        let run = toy_run(true);
+        let full = DataSet::from_run(&run);
+        let early = DataSet::from_run_range(&run, SimTime::ZERO, SimTime::micros(1));
+        let total_full: f64 = full.terminals.iter().map(|t| t.data_size).sum();
+        let total_early: f64 = early.terminals.iter().map(|t| t.data_size).sum();
+        assert!(total_early <= total_full);
+        assert!(total_early > 0.0, "injections happen at t=0");
+        // The full range via bins reproduces the whole-run totals.
+        let all = DataSet::from_run_range(&run, SimTime::ZERO, SimTime::millis(100));
+        let total_all: f64 = all.terminals.iter().map(|t| t.data_size).sum();
+        assert_eq!(total_all, total_full);
+    }
+
+    #[test]
+    fn brushing_keeps_touching_links() {
+        let run = toy_run(false);
+        let ds = DataSet::from_run(&run);
+        let brushed = ds.brush_terminals(|t| t.terminal < 2);
+        assert_eq!(brushed.terminals.len(), 2);
+        assert!(brushed
+            .local_links
+            .iter()
+            .all(|l| l.src_router == 0 || l.dst_router == 0));
+        assert!(!brushed.local_links.is_empty());
+        assert_eq!(brushed.routers.len(), 1);
+    }
+
+    #[test]
+    fn idle_filtering_drops_unused_terminals() {
+        let run = toy_run(false);
+        let ds = DataSet::from_run(&run).without_idle_terminals();
+        assert_eq!(ds.terminals.len(), 16);
+    }
+
+    #[test]
+    fn has_field_matrix() {
+        assert!(DataSet::has_field(EntityKind::Terminal, Field::AvgLatency));
+        assert!(!DataSet::has_field(EntityKind::Router, Field::AvgLatency));
+        assert!(DataSet::has_field(EntityKind::GlobalLink, Field::DstGroupId));
+        assert!(!DataSet::has_field(EntityKind::Terminal, Field::DstGroupId));
+        assert!(DataSet::has_field(EntityKind::Router, Field::TotalSatTime));
+    }
+
+    #[test]
+    #[should_panic(expected = "have no field")]
+    fn wrong_field_panics() {
+        let run = toy_run(false);
+        let ds = DataSet::from_run(&run);
+        ds.value(EntityKind::Router, 0, Field::AvgLatency);
+    }
+}

@@ -1,0 +1,68 @@
+//! # hrviz-core — visual analytics for large-scale high-radix networks
+//!
+//! The paper's primary contribution (§IV): scalable visual analytics over
+//! Dragonfly network performance data. This crate implements
+//!
+//! * the **entity tree** — flattened entity tables ([`DataSet`]) with a
+//!   field vocabulary matching the paper's Fig. 2(a),
+//! * **hierarchical + binned aggregation** ([`aggregate`]) with the
+//!   paper's sum/mean rules and `maxBins` re-binning,
+//! * **projection-view specifications** ([`spec`]) with plot-type
+//!   inference from encoding counts, and the Fig. 5 **script language**
+//!   ([`script`]),
+//! * **view building** ([`projection`]): rings, partition arcs, and
+//!   bundled link ribbons (size = traffic, color = max saturation),
+//! * the **detail view** ([`detail`]): link scatters + terminal parallel
+//!   coordinates with highlighting and axis brushing,
+//! * the **timeline view** ([`timeline`]) with time-range selection, and
+//! * **cross-run comparison** ([`compare`]) under shared scales.
+//!
+//! ## Example
+//!
+//! ```
+//! use hrviz_core::{DataSet, script, projection};
+//! use hrviz_network::{DragonflyConfig, NetworkSpec, Simulation, MsgInjection, TerminalId};
+//! use hrviz_pdes::SimTime;
+//!
+//! // Simulate...
+//! let mut sim = Simulation::new(NetworkSpec::new(DragonflyConfig::canonical(2)));
+//! sim.inject(MsgInjection { time: SimTime::ZERO, src: TerminalId(0),
+//!                           dst: TerminalId(50), bytes: 65536, job: 0 });
+//! let run = sim.run();
+//!
+//! // ...analyze with a projection script.
+//! let ds = DataSet::from_run(&run);
+//! let spec = script::parse_script(r#"
+//!     { project: "router", aggregate: "router_rank",
+//!       vmap: { color: "total_sat_time", size: "total_traffic" } }
+//! "#).unwrap();
+//! let view = projection::build_view(&ds, &spec).unwrap();
+//! assert_eq!(view.rings.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod color;
+pub mod compare;
+pub mod dataset;
+pub mod detail;
+pub mod entity;
+pub mod projection;
+pub mod script;
+pub mod spec;
+pub mod timeline;
+
+pub use aggregate::{bin_items, group_rows, AggregateItem, AggregateTree, TreeLevel};
+pub use color::{Color, ColorScale};
+pub use compare::{compare_views, shared_scales};
+pub use dataset::{DataSet, LinkRow, RouterRow, TerminalRow};
+pub use detail::{brush_axis, DetailView, LinkScatter, ParallelCoords, PCP_AXES};
+pub use entity::{AggRule, EntityKind, Field};
+pub use projection::{
+    build_view, build_view_scaled, compute_scales, ArcSegment, ProjectionView, Ribbon, Ring,
+    ScaleSet, VisualItem,
+};
+pub use script::{parse_script, to_script, FIG5A_SCRIPT, FIG5B_SCRIPT};
+pub use spec::{FilterClause, LevelSpec, PlotKind, ProjectionSpec, RibbonSpec, SpecError, VMap};
+pub use timeline::{TimelineSeries, TimelineView};

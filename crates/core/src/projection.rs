@@ -1,0 +1,735 @@
+//! Projection views: the hierarchical radial visualization (paper §IV-B).
+//!
+//! [`build_view`] turns a [`ProjectionSpec`] + [`DataSet`] into a resolved
+//! [`ProjectionView`]: concentric rings of visual items with normalized
+//! encodings, partition arcs, and bundled link ribbons in the center. The
+//! view model is geometry-free (angular spans in turns, values in `[0,1]`);
+//! `hrviz-render` turns it into SVG.
+
+use crate::aggregate::{bin_items, group_rows, AggregateItem};
+use crate::color::{Color, ColorScale};
+use crate::dataset::DataSet;
+use crate::entity::{AggRule, EntityKind, Field};
+use crate::spec::{LevelSpec, PlotKind, ProjectionSpec, RibbonSpec, SpecError};
+use std::collections::{BTreeMap, HashMap};
+
+/// Min/max scales per (level, encoding), shared across views for fair
+/// comparison (paper §IV-B2: "the scale for visual encoding uses the same
+/// minimum and maximum values").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScaleSet {
+    /// Per (level index, encoding name) extents.
+    pub encodings: HashMap<(usize, &'static str), (f64, f64)>,
+    /// Ribbon size extent.
+    pub ribbon_size: Option<(f64, f64)>,
+    /// Ribbon color extent.
+    pub ribbon_color: Option<(f64, f64)>,
+    /// Arc weight extent.
+    pub arc_weight: Option<(f64, f64)>,
+}
+
+impl ScaleSet {
+    /// Merge extents from another scale set (union of ranges).
+    pub fn merge(&mut self, other: &ScaleSet) {
+        for (k, &(lo, hi)) in &other.encodings {
+            let e = self.encodings.entry(*k).or_insert((lo, hi));
+            e.0 = e.0.min(lo);
+            e.1 = e.1.max(hi);
+        }
+        let merge_opt = |a: &mut Option<(f64, f64)>, b: Option<(f64, f64)>| {
+            if let Some((lo, hi)) = b {
+                match a {
+                    Some(e) => {
+                        e.0 = e.0.min(lo);
+                        e.1 = e.1.max(hi);
+                    }
+                    None => *a = Some((lo, hi)),
+                }
+            }
+        };
+        merge_opt(&mut self.ribbon_size, other.ribbon_size);
+        merge_opt(&mut self.ribbon_color, other.ribbon_color);
+        merge_opt(&mut self.arc_weight, other.arc_weight);
+    }
+}
+
+fn normalize(v: f64, (lo, hi): (f64, f64)) -> f64 {
+    if hi > lo {
+        ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+    } else if v != 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Raw (unnormalized) encoding values of an item, for tooltips/reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RawValues {
+    /// Color metric value.
+    pub color: Option<f64>,
+    /// Size metric value.
+    pub size: Option<f64>,
+    /// X metric value.
+    pub x: Option<f64>,
+    /// Y metric value.
+    pub y: Option<f64>,
+}
+
+/// One visual item on a ring.
+#[derive(Clone, Debug)]
+pub struct VisualItem {
+    /// Group key (or `[row]`/`[bin]` for individuals/bins).
+    pub key: Vec<f64>,
+    /// Member row indices in the dataset table of the ring's entity.
+    pub rows: Vec<usize>,
+    /// Angular span in turns, `[start, end)` ⊂ [0, 1].
+    pub span: (f64, f64),
+    /// Normalized color value (None when the level has no color encoding).
+    pub color: Option<f64>,
+    /// Normalized size value.
+    pub size: Option<f64>,
+    /// Normalized x value.
+    pub x: Option<f64>,
+    /// Normalized y value.
+    pub y: Option<f64>,
+    /// Raw values backing the encodings.
+    pub raw: RawValues,
+    /// Resolved fill color.
+    pub fill: Color,
+}
+
+/// One ring of the view.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    /// Plot type (inferred from the encoding count).
+    pub plot: PlotKind,
+    /// Entity kind projected.
+    pub entity: EntityKind,
+    /// Items in key order.
+    pub items: Vec<VisualItem>,
+    /// Whether items draw borders.
+    pub border: bool,
+}
+
+/// A bundled-links ribbon between two ring-0 items.
+#[derive(Clone, Debug)]
+pub struct Ribbon {
+    /// Ring-0 item index of one end.
+    pub a: usize,
+    /// Ring-0 item index of the other end.
+    pub b: usize,
+    /// Normalized width.
+    pub size: f64,
+    /// Raw size-metric total.
+    pub raw_size: f64,
+    /// Raw color metric (max of the two directions, §IV-B1).
+    pub raw_color: f64,
+    /// Resolved color.
+    pub color: Color,
+}
+
+/// A ring-0 partition arc.
+#[derive(Clone, Debug)]
+pub struct ArcSegment {
+    /// Group key of the partition.
+    pub key: Vec<f64>,
+    /// Angular span in turns.
+    pub span: (f64, f64),
+    /// Display label.
+    pub label: String,
+}
+
+/// The resolved projection view.
+#[derive(Clone, Debug)]
+pub struct ProjectionView {
+    /// Rings, innermost first (ring 0 also defines the arcs).
+    pub rings: Vec<Ring>,
+    /// Center ribbons.
+    pub ribbons: Vec<Ribbon>,
+    /// Partition arcs (one per ring-0 item).
+    pub arcs: Vec<ArcSegment>,
+}
+
+impl ProjectionView {
+    /// The dataset rows behind an item, for detail-view highlighting
+    /// (paper §IV-C: selecting a visual aggregate highlights the
+    /// corresponding entities).
+    pub fn item_rows(&self, ring: usize, item: usize) -> (EntityKind, &[usize]) {
+        let r = &self.rings[ring];
+        (r.entity, &r.items[item].rows)
+    }
+}
+
+fn key_bits(key: &[f64]) -> Vec<u64> {
+    key.iter().map(|v| v.to_bits()).collect()
+}
+
+struct LevelBuild {
+    items: Vec<AggregateItem>,
+    /// Original group key → final item index (differs when binning merged).
+    key_to_item: BTreeMap<Vec<u64>, usize>,
+}
+
+fn build_level_items(ds: &DataSet, lv: &LevelSpec) -> LevelBuild {
+    // Filter rows first.
+    let n = ds.len(lv.entity);
+    let passes = |i: usize| {
+        lv.filter.iter().all(|c| c.accepts(ds.value(lv.entity, i, c.field)))
+    };
+    // Group (respecting filters) — group_rows works on the whole table, so
+    // group then strip filtered rows.
+    let mut items = group_rows(ds, lv.entity, &lv.aggregate);
+    if !lv.filter.is_empty() {
+        for it in &mut items {
+            it.rows.retain(|&r| passes(r));
+        }
+        items.retain(|it| !it.rows.is_empty());
+    }
+    let _ = n;
+    let base_keys: Vec<Vec<u64>> = items.iter().map(|it| key_bits(&it.key)).collect();
+
+    let mut key_to_item = BTreeMap::new();
+    let items = match lv.max_bins {
+        Some(cap) if items.len() > cap => {
+            // Bin by the primary metric: size if mapped, else color, else traffic.
+            let by = lv
+                .vmap
+                .size
+                .or(lv.vmap.color)
+                .filter(|f| f.rule() != AggRule::Key)
+                .unwrap_or(Field::Traffic);
+            // Record which bin each original key landed in by re-deriving
+            // membership from rows.
+            let binned = bin_items(ds, lv.entity, items.clone(), by, cap);
+            let mut row_to_bin = HashMap::new();
+            for (bi, b) in binned.iter().enumerate() {
+                for &r in &b.rows {
+                    row_to_bin.insert(r, bi);
+                }
+            }
+            for (it, kb) in items.iter().zip(base_keys) {
+                if let Some(&bin) = it.rows.first().and_then(|r| row_to_bin.get(r)) {
+                    key_to_item.insert(kb, bin);
+                }
+            }
+            binned
+        }
+        _ => {
+            for (i, kb) in base_keys.into_iter().enumerate() {
+                key_to_item.insert(kb, i);
+            }
+            items
+        }
+    };
+    LevelBuild { items, key_to_item }
+}
+
+fn level_scales(
+    ds: &DataSet,
+    lv: &LevelSpec,
+    items: &[AggregateItem],
+    level_idx: usize,
+    out: &mut ScaleSet,
+) {
+    for (enc, field) in lv.vmap.entries() {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for it in items {
+            let v = it.metric(ds, lv.entity, field);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if items.is_empty() {
+            lo = 0.0;
+            hi = 0.0;
+        }
+        // Volume metrics anchor at zero so empty == white.
+        if field.rule() == AggRule::Sum {
+            lo = lo.min(0.0);
+        }
+        let e = out.encodings.entry((level_idx, enc)).or_insert((lo, hi));
+        e.0 = e.0.min(lo);
+        e.1 = e.1.max(hi);
+    }
+}
+
+/// Compute the auto scales a view of `spec` over `ds` would use; merge the
+/// results from several datasets for fair cross-run comparison.
+pub fn compute_scales(ds: &DataSet, spec: &ProjectionSpec) -> Result<ScaleSet, SpecError> {
+    spec.validate()?;
+    let mut scales = ScaleSet::default();
+    for (i, lv) in spec.levels.iter().enumerate() {
+        let build = build_level_items(ds, lv);
+        level_scales(ds, lv, &build.items, i, &mut scales);
+    }
+    // Ribbons + arcs.
+    let ring0 = build_level_items(ds, &spec.levels[0]);
+    if let Some(rs) = &spec.ribbons {
+        let bundles = bundle_links(ds, spec, rs, &ring0);
+        let (mut slo, mut shi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut clo, mut chi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for b in &bundles {
+            slo = slo.min(b.raw_size);
+            shi = shi.max(b.raw_size);
+            clo = clo.min(b.raw_color);
+            chi = chi.max(b.raw_color);
+        }
+        if !bundles.is_empty() {
+            scales.ribbon_size = Some((slo.min(0.0), shi));
+            scales.ribbon_color = Some((clo.min(0.0), chi));
+        }
+    }
+    if let Some(w) = spec.arc_weight {
+        let lv = &spec.levels[0];
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for it in &ring0.items {
+            let v = it.metric(ds, lv.entity, w);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !ring0.items.is_empty() {
+            scales.arc_weight = Some((lo.min(0.0), hi));
+        }
+    }
+    Ok(scales)
+}
+
+struct RawRibbon {
+    a: usize,
+    b: usize,
+    raw_size: f64,
+    raw_color: f64,
+}
+
+fn bundle_links(
+    ds: &DataSet,
+    spec: &ProjectionSpec,
+    rs: &RibbonSpec,
+    ring0: &LevelBuild,
+) -> Vec<RawRibbon> {
+    let ring0_spec = &spec.levels[0];
+    let fields = &ring0_spec.aggregate;
+    let dst_fields: Vec<Field> =
+        fields.iter().map(|f| f.dst_counterpart().expect("validated")).collect();
+    let n = ds.len(rs.entity);
+    // Directed totals between item pairs.
+    let mut size_dir: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut color_dir: HashMap<(usize, usize), f64> = HashMap::new();
+    for row in 0..n {
+        // Apply ring-0 filters to both endpoints so filtered views bundle
+        // only the visible sub-network.
+        let ok = ring0_spec.filter.iter().all(|c| {
+            let src_ok = c.accepts(ds.value(rs.entity, row, c.field));
+            let dst_ok = c
+                .field
+                .dst_counterpart()
+                .map(|df| c.accepts(ds.value(rs.entity, row, df)))
+                .unwrap_or(true);
+            src_ok && dst_ok
+        });
+        if !ok {
+            continue;
+        }
+        let src_key: Vec<u64> =
+            fields.iter().map(|&f| ds.value(rs.entity, row, f).to_bits()).collect();
+        let dst_key: Vec<u64> =
+            dst_fields.iter().map(|&f| ds.value(rs.entity, row, f).to_bits()).collect();
+        let (Some(&a), Some(&b)) =
+            (ring0.key_to_item.get(&src_key), ring0.key_to_item.get(&dst_key))
+        else {
+            continue;
+        };
+        if a == b {
+            continue; // intra-partition links are not drawn as ribbons
+        }
+        if let Some(f) = rs.size {
+            *size_dir.entry((a, b)).or_default() += ds.value(rs.entity, row, f);
+        }
+        if let Some(f) = rs.color {
+            *color_dir.entry((a, b)).or_default() += ds.value(rs.entity, row, f);
+        }
+    }
+    // Fold directions: size = sum, color = max of the two ends (§IV-B1).
+    let mut pairs: BTreeMap<(usize, usize), (f64, f64)> = BTreeMap::new();
+    for (&(a, b), &s) in &size_dir {
+        let k = (a.min(b), a.max(b));
+        pairs.entry(k).or_insert((0.0, 0.0)).0 += s;
+    }
+    for (&(a, b), &c) in &color_dir {
+        let k = (a.min(b), a.max(b));
+        let e = pairs.entry(k).or_insert((0.0, 0.0));
+        e.1 = e.1.max(c);
+    }
+    pairs
+        .into_iter()
+        .map(|((a, b), (raw_size, raw_color))| RawRibbon { a, b, raw_size, raw_color })
+        .collect()
+}
+
+fn resolve_color(lv: &LevelSpec, field: Option<Field>, raw: f64, norm: f64, ds: &DataSet) -> Color {
+    match field {
+        Some(Field::Workload) => {
+            // Categorical: palette entry per job, gray for idle/proxy.
+            let idx = raw as usize;
+            if idx < ds.jobs.len() && idx < lv.colors.len() {
+                lv.colors.pick(idx)
+            } else if idx < ds.jobs.len() {
+                ColorScale::jobs().pick(idx)
+            } else {
+                Color::rgb(211, 211, 211)
+            }
+        }
+        Some(_) => lv.colors.sample(norm),
+        None => Color::rgb(230, 230, 230),
+    }
+}
+
+/// Build a projection view with automatic scales.
+pub fn build_view(ds: &DataSet, spec: &ProjectionSpec) -> Result<ProjectionView, SpecError> {
+    let scales = compute_scales(ds, spec)?;
+    build_view_scaled(ds, spec, &scales)
+}
+
+/// Build a projection view using explicit scales (cross-run comparison).
+pub fn build_view_scaled(
+    ds: &DataSet,
+    spec: &ProjectionSpec,
+    scales: &ScaleSet,
+) -> Result<ProjectionView, SpecError> {
+    spec.validate()?;
+    let ring0_build = build_level_items(ds, &spec.levels[0]);
+
+    // --- arcs: ring-0 spans ---
+    let lv0 = &spec.levels[0];
+    let weights: Vec<f64> = match spec.arc_weight {
+        Some(w) => ring0_build
+            .items
+            .iter()
+            .map(|it| it.metric(ds, lv0.entity, w).max(0.0))
+            .collect(),
+        None => vec![1.0; ring0_build.items.len()],
+    };
+    let wsum: f64 = weights.iter().sum();
+    let eps = 0.004; // keep zero-weight partitions visible
+    let n0 = ring0_build.items.len().max(1);
+    let mut spans = Vec::with_capacity(n0);
+    let mut cursor = 0.0;
+    let effective: Vec<f64> = weights
+        .iter()
+        .map(|&w| if wsum > 0.0 { (w / wsum).max(eps) } else { 1.0 / n0 as f64 })
+        .collect();
+    let esum: f64 = effective.iter().sum();
+    for e in &effective {
+        let frac = e / esum.max(f64::MIN_POSITIVE);
+        spans.push((cursor, cursor + frac));
+        cursor += frac;
+    }
+    let arcs: Vec<ArcSegment> = ring0_build
+        .items
+        .iter()
+        .zip(&spans)
+        .map(|(it, &span)| {
+            let label = match (lv0.aggregate.first(), it.key.first()) {
+                (Some(Field::Workload), Some(&j)) => ds.job_label(j as u32).to_string(),
+                (Some(f), Some(v)) => format!("{f}={v:.0}"),
+                _ => String::new(),
+            };
+            ArcSegment { key: it.key.clone(), span, label }
+        })
+        .collect();
+
+    // --- rings ---
+    let mut rings = Vec::with_capacity(spec.levels.len());
+    for (li, lv) in spec.levels.iter().enumerate() {
+        let build = if li == 0 {
+            LevelBuild {
+                items: ring0_build.items.clone(),
+                key_to_item: ring0_build.key_to_item.clone(),
+            }
+        } else {
+            build_level_items(ds, lv)
+        };
+        let n = build.items.len().max(1);
+        let items: Vec<VisualItem> = build
+            .items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| {
+                let span = if li == 0 {
+                    spans[i]
+                } else {
+                    (i as f64 / n as f64, (i + 1) as f64 / n as f64)
+                };
+                let get = |enc: &'static str, f: Option<Field>| -> (Option<f64>, Option<f64>) {
+                    match f {
+                        Some(field) => {
+                            let raw = it.metric(ds, lv.entity, field);
+                            let ext = scales
+                                .encodings
+                                .get(&(li, enc))
+                                .copied()
+                                .unwrap_or((0.0, raw.max(1.0)));
+                            (Some(normalize(raw, ext)), Some(raw))
+                        }
+                        None => (None, None),
+                    }
+                };
+                let (color, raw_color) = get("color", lv.vmap.color);
+                let (size, raw_size) = get("size", lv.vmap.size);
+                let (x, raw_x) = get("x", lv.vmap.x);
+                let (y, raw_y) = get("y", lv.vmap.y);
+                let fill = resolve_color(
+                    lv,
+                    lv.vmap.color,
+                    raw_color.unwrap_or(0.0),
+                    color.unwrap_or(0.0),
+                    ds,
+                );
+                VisualItem {
+                    key: it.key.clone(),
+                    rows: it.rows.clone(),
+                    span,
+                    color,
+                    size,
+                    x,
+                    y,
+                    raw: RawValues { color: raw_color, size: raw_size, x: raw_x, y: raw_y },
+                    fill,
+                }
+            })
+            .collect();
+        rings.push(Ring { plot: lv.vmap.plot_kind(), entity: lv.entity, items, border: lv.border });
+    }
+
+    // --- ribbons ---
+    let ribbons = match &spec.ribbons {
+        Some(rs) => {
+            let raw = bundle_links(ds, spec, rs, &ring0_build);
+            let sext = scales.ribbon_size.unwrap_or((0.0, 1.0));
+            let cext = scales.ribbon_color.unwrap_or((0.0, 1.0));
+            raw.into_iter()
+                .map(|r| Ribbon {
+                    a: r.a,
+                    b: r.b,
+                    size: normalize(r.raw_size, sext),
+                    raw_size: r.raw_size,
+                    raw_color: r.raw_color,
+                    color: rs.colors.sample(normalize(r.raw_color, cext)),
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+
+    Ok(ProjectionView { rings, ribbons, arcs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{LinkRow, TerminalRow};
+    use crate::spec::LevelSpec;
+
+    /// 2 groups × 2 routers × 2 terminals, with hand-set metrics.
+    fn ds() -> DataSet {
+        let mut d = DataSet { jobs: vec!["j0".into(), "j1".into()], ..DataSet::default() };
+        for i in 0..8u32 {
+            d.terminals.push(TerminalRow {
+                terminal: i,
+                router: i / 2,
+                group: i / 4,
+                rank: (i / 2) % 2,
+                port: i % 2,
+                job: i / 4, // group 0 = job0, group 1 = job1
+                data_size: 100.0 * (i + 1) as f64,
+                recv_bytes: 0.0,
+                busy: 5.0,
+                sat: i as f64 * 10.0,
+                packets_finished: 1.0,
+                packets_sent: 1.0,
+                avg_latency: 1000.0 + i as f64,
+                avg_hops: 3.0,
+            });
+        }
+        // Local links between the two routers of each group.
+        for g in 0..2u32 {
+            for (a, b) in [(0u32, 1u32), (1, 0)] {
+                d.local_links.push(LinkRow {
+                    src_router: g * 2 + a,
+                    src_group: g,
+                    src_rank: a,
+                    src_port: b,
+                    dst_router: g * 2 + b,
+                    dst_group: g,
+                    dst_rank: b,
+                    dst_port: a,
+                    src_job: g,
+                    dst_job: g,
+                    traffic: 1000.0 * (g + 1) as f64,
+                    sat: 50.0 * g as f64,
+                });
+            }
+        }
+        // One global link pair between the groups.
+        for (sg, dg) in [(0u32, 1u32), (1, 0)] {
+            d.global_links.push(LinkRow {
+                src_router: sg * 2,
+                src_group: sg,
+                src_rank: 0,
+                src_port: 0,
+                dst_router: dg * 2,
+                dst_group: dg,
+                dst_rank: 0,
+                dst_port: 0,
+                src_job: sg,
+                dst_job: dg,
+                traffic: 5000.0,
+                sat: 25.0,
+            });
+        }
+        d
+    }
+
+    fn group_spec() -> ProjectionSpec {
+        ProjectionSpec::new(vec![
+            LevelSpec::new(EntityKind::Terminal)
+                .aggregate(&[Field::GroupId])
+                .color(Field::SatTime)
+                .size(Field::DataSize),
+            LevelSpec::new(EntityKind::Terminal)
+                .aggregate(&[Field::GroupId, Field::RouterRank])
+                .color(Field::SatTime),
+        ])
+        .ribbons(crate::spec::RibbonSpec::new(EntityKind::GlobalLink))
+    }
+
+    #[test]
+    fn rings_and_arcs_have_expected_shapes() {
+        let view = build_view(&ds(), &group_spec()).unwrap();
+        assert_eq!(view.rings.len(), 2);
+        assert_eq!(view.rings[0].items.len(), 2); // 2 groups
+        assert_eq!(view.rings[1].items.len(), 4); // 2 groups × 2 ranks
+        assert_eq!(view.arcs.len(), 2);
+        // Arcs cover the full circle.
+        assert!((view.arcs[0].span.0 - 0.0).abs() < 1e-9);
+        assert!((view.arcs[1].span.1 - 1.0).abs() < 1e-9);
+        assert_eq!(view.rings[0].plot, PlotKind::Bar);
+        assert_eq!(view.rings[1].plot, PlotKind::Heatmap1D);
+    }
+
+    #[test]
+    fn encodings_are_normalized() {
+        let view = build_view(&ds(), &group_spec()).unwrap();
+        for ring in &view.rings {
+            for item in &ring.items {
+                for v in [item.color, item.size, item.x, item.y].into_iter().flatten() {
+                    assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+        // Group 1 has strictly more saturation: its color must be higher.
+        let r0 = &view.rings[0].items;
+        assert!(r0[1].color.unwrap() > r0[0].color.unwrap());
+        // The max item saturates to 1.0.
+        assert_eq!(r0[1].color.unwrap(), 1.0);
+    }
+
+    #[test]
+    fn ribbons_connect_groups_with_max_color_rule() {
+        let view = build_view(&ds(), &group_spec()).unwrap();
+        assert_eq!(view.ribbons.len(), 1);
+        let r = &view.ribbons[0];
+        assert_eq!((r.a, r.b), (0, 1));
+        assert_eq!(r.raw_size, 10_000.0); // both directions summed
+        assert_eq!(r.raw_color, 25.0); // max of the two directions
+    }
+
+    #[test]
+    fn filter_restricts_rows_and_ribbons() {
+        let spec = ProjectionSpec::new(vec![LevelSpec::new(EntityKind::Terminal)
+            .aggregate(&[Field::GroupId])
+            .filter(Field::GroupId, 0.0, 0.0)
+            .color(Field::SatTime)])
+        .ribbons(crate::spec::RibbonSpec::new(EntityKind::GlobalLink));
+        let view = build_view(&ds(), &spec).unwrap();
+        assert_eq!(view.rings[0].items.len(), 1);
+        // Global links cross the filter boundary → no ribbons survive.
+        assert!(view.ribbons.is_empty());
+    }
+
+    #[test]
+    fn max_bins_rebins_and_ribbons_follow() {
+        let spec = ProjectionSpec::new(vec![LevelSpec::new(EntityKind::Terminal)
+            .aggregate(&[Field::RouterId])
+            .max_bins(3)
+            .color(Field::DataSize)])
+        .ribbons(crate::spec::RibbonSpec::new(EntityKind::LocalLink));
+        let view = build_view(&ds(), &spec).unwrap();
+        // 4 routers re-binned into ≤3 histogram bins.
+        assert!(view.rings[0].items.len() <= 3);
+        let total_rows: usize = view.rings[0].items.iter().map(|i| i.rows.len()).sum();
+        assert_eq!(total_rows, 8);
+    }
+
+    #[test]
+    fn workload_color_is_categorical() {
+        let spec = ProjectionSpec::new(vec![LevelSpec::new(EntityKind::Terminal)
+            .aggregate(&[Field::GroupId])
+            .color(Field::Workload)
+            .colors(&["green", "orange", "brown"])]);
+        let view = build_view(&ds(), &spec).unwrap();
+        assert_eq!(view.rings[0].items[0].fill, Color::parse("green").unwrap());
+        assert_eq!(view.rings[0].items[1].fill, Color::parse("orange").unwrap());
+    }
+
+    #[test]
+    fn arc_weight_skews_spans() {
+        let spec = ProjectionSpec::new(vec![LevelSpec::new(EntityKind::Terminal)
+            .aggregate(&[Field::GroupId])
+            .color(Field::SatTime)])
+        .arc_weight(Field::DataSize);
+        let view = build_view(&ds(), &spec).unwrap();
+        let w0 = view.arcs[0].span.1 - view.arcs[0].span.0;
+        let w1 = view.arcs[1].span.1 - view.arcs[1].span.0;
+        // Group 1 injected more data → wider arc.
+        assert!(w1 > w0);
+        assert!((w0 + w1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_scales_make_views_comparable() {
+        let d1 = ds();
+        let mut d2 = ds();
+        for t in &mut d2.terminals {
+            t.sat *= 2.0; // run 2 saturates twice as hard
+        }
+        let spec = group_spec();
+        let mut scales = compute_scales(&d1, &spec).unwrap();
+        scales.merge(&compute_scales(&d2, &spec).unwrap());
+        let v1 = build_view_scaled(&d1, &spec, &scales).unwrap();
+        let v2 = build_view_scaled(&d2, &spec, &scales).unwrap();
+        // Under the shared scale, run 1's max color is half of run 2's.
+        let c1 = v1.rings[0].items[1].color.unwrap();
+        let c2 = v2.rings[0].items[1].color.unwrap();
+        assert!(c2 > c1);
+        assert_eq!(c2, 1.0);
+        assert!((c1 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn item_rows_support_highlighting() {
+        let view = build_view(&ds(), &group_spec()).unwrap();
+        let (kind, rows) = view.item_rows(0, 0);
+        assert_eq!(kind, EntityKind::Terminal);
+        assert_eq!(rows, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_dataset_builds_empty_view() {
+        let d = DataSet::default();
+        let view = build_view(&d, &group_spec()).unwrap();
+        assert!(view.rings[0].items.is_empty());
+        assert!(view.ribbons.is_empty());
+    }
+}

@@ -1,0 +1,453 @@
+//! Fat-Tree simulation assembly and analytics extraction.
+
+use crate::config::{FatTreeConfig, Layer, UpRouting};
+use crate::switch::{FtLinks, SwitchLp};
+use hrviz_core::dataset::{DataSet, LinkRow, RouterRow, TerminalRow};
+use hrviz_network::config::LinkClass;
+use hrviz_network::events::NetEvent;
+use hrviz_network::terminal::TerminalLp;
+use hrviz_network::topology::TerminalId;
+use hrviz_network::traffic::{JobMeta, MsgInjection};
+use hrviz_network::NO_JOB;
+use hrviz_pdes::{Ctx, Engine, Lp, SimTime};
+
+enum FtNode {
+    Host(TerminalLp),
+    Switch(SwitchLp),
+}
+
+impl Lp<NetEvent> for FtNode {
+    fn on_init(&mut self, ctx: &mut Ctx<'_, NetEvent>) {
+        if let FtNode::Host(h) = self {
+            h.on_init(ctx);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, NetEvent>, ev: NetEvent) {
+        match self {
+            FtNode::Host(h) => h.on_event(ctx, ev),
+            FtNode::Switch(s) => s.on_event(ctx, ev),
+        }
+    }
+
+    fn on_finish(&mut self, now: SimTime) {
+        match self {
+            FtNode::Host(h) => h.on_finish(now),
+            FtNode::Switch(s) => s.on_finish(now),
+        }
+    }
+}
+
+/// A configured Fat-Tree simulation.
+pub struct FatTreeSim {
+    cfg: FatTreeConfig,
+    routing: UpRouting,
+    links: FtLinks,
+    packet_bytes: u32,
+    vc_buffer_bytes: u32,
+    schedules: Vec<Vec<MsgInjection>>,
+    jobs: Vec<JobMeta>,
+}
+
+impl FatTreeSim {
+    /// New simulation with default link parameters.
+    pub fn new(cfg: FatTreeConfig, routing: UpRouting) -> FatTreeSim {
+        FatTreeSim {
+            cfg,
+            routing,
+            links: FtLinks::default(),
+            packet_bytes: 2048,
+            vc_buffer_bytes: 16 * 1024,
+            schedules: vec![Vec::new(); cfg.num_hosts() as usize],
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The shape.
+    pub fn config(&self) -> FatTreeConfig {
+        self.cfg
+    }
+
+    /// Register a job.
+    pub fn add_job(&mut self, meta: JobMeta) -> u16 {
+        let id = self.jobs.len() as u16;
+        self.jobs.push(meta);
+        id
+    }
+
+    /// Queue a message.
+    pub fn inject(&mut self, msg: MsgInjection) {
+        assert!(msg.src.0 < self.cfg.num_hosts(), "source host out of range");
+        assert!(msg.dst.0 < self.cfg.num_hosts(), "destination host out of range");
+        self.schedules[msg.src.0 as usize].push(msg);
+    }
+
+    /// Queue many messages.
+    pub fn inject_all(&mut self, msgs: impl IntoIterator<Item = MsgInjection>) {
+        for m in msgs {
+            self.inject(m);
+        }
+    }
+
+    /// Run to completion and extract results.
+    pub fn run(mut self) -> FatTreeRun {
+        let cfg = self.cfg;
+        let mut nodes = Vec::with_capacity(cfg.num_lps() as usize);
+        for hst in 0..cfg.num_hosts() {
+            let mut lp = TerminalLp::new(
+                TerminalId(hst),
+                cfg.switch_lp(cfg.edge_of_host(hst)),
+                self.links.host,
+                self.packet_bytes,
+                self.vc_buffer_bytes,
+                None,
+            );
+            let mut sched = std::mem::take(&mut self.schedules[hst as usize]);
+            sched.sort_by_key(|m| m.time);
+            lp.set_schedule(sched);
+            nodes.push(FtNode::Host(lp));
+        }
+        for sw in 0..cfg.num_switches() {
+            nodes.push(FtNode::Switch(SwitchLp::new(
+                cfg,
+                sw,
+                self.routing,
+                &self.links,
+                1,
+                self.vc_buffer_bytes,
+                None,
+            )));
+        }
+        for (j, job) in self.jobs.iter().enumerate() {
+            for &t in &job.terminals {
+                match &mut nodes[t.0 as usize] {
+                    FtNode::Host(h) => h.job = j as u16,
+                    FtNode::Switch(_) => unreachable!(),
+                }
+            }
+        }
+        // Lookahead = min link latency.
+        let lookahead = self
+            .links
+            .host
+            .latency
+            .min(self.links.pod.latency)
+            .min(self.links.core.latency);
+        let mut engine = Engine::new(nodes, lookahead);
+        engine.run_to_completion();
+        let stats = engine.stats();
+        FatTreeRun {
+            cfg,
+            jobs: self.jobs,
+            nodes: engine.into_lps(),
+            end_time: stats.end_time,
+            events_processed: stats.events_processed,
+        }
+    }
+}
+
+/// Results of a Fat-Tree run.
+pub struct FatTreeRun {
+    cfg: FatTreeConfig,
+    jobs: Vec<JobMeta>,
+    nodes: Vec<FtNode>,
+    /// Simulated end time.
+    pub end_time: SimTime,
+    /// Events processed.
+    pub events_processed: u64,
+}
+
+impl FatTreeRun {
+    /// Total bytes delivered to hosts.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.hosts().map(|h| h.stats.recv_bytes).sum()
+    }
+
+    /// Total bytes injected.
+    pub fn injected_bytes(&self) -> u64 {
+        self.hosts().map(|h| h.stats.injected_bytes).sum()
+    }
+
+    fn hosts(&self) -> impl Iterator<Item = &TerminalLp> {
+        self.nodes.iter().filter_map(|n| match n {
+            FtNode::Host(h) => Some(h),
+            FtNode::Switch(_) => None,
+        })
+    }
+
+    fn switches(&self) -> impl Iterator<Item = &SwitchLp> {
+        self.nodes.iter().filter_map(|n| match n {
+            FtNode::Switch(s) => Some(s),
+            FtNode::Host(_) => None,
+        })
+    }
+
+    /// Mean packet latency (ns) over all delivered packets.
+    pub fn mean_latency_ns(&self) -> f64 {
+        let (mut sum, mut n) = (0u64, 0u64);
+        for h in self.hosts() {
+            sum += h.stats.latency_sum_ns;
+            n += h.stats.packets_finished;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
+    /// Flatten into the analytics tables: pods become groups, switch
+    /// positions become ranks, pod links the local class and core links
+    /// the global class — the *same* projection scripts, detail views and
+    /// renderers as the Dragonfly then apply unchanged.
+    pub fn to_dataset(&self) -> DataSet {
+        let cfg = self.cfg;
+        let mut routers = Vec::new();
+        let mut local_links = Vec::new();
+        let mut global_links = Vec::new();
+        // Dominant job per edge switch (for link job attribution).
+        let host_job: Vec<u16> = self.hosts().map(|h| h.job).collect();
+        let switch_job = |sw: u32| -> u32 {
+            match cfg.classify(sw) {
+                (Layer::Edge, _, _) => {
+                    let h = cfg.half();
+                    let mut tally = std::collections::HashMap::new();
+                    for p in 0..h {
+                        let j = host_job[(sw * h + p) as usize];
+                        if j != NO_JOB {
+                            *tally.entry(j).or_insert(0u32) += 1;
+                        }
+                    }
+                    tally
+                        .into_iter()
+                        .max_by_key(|&(_, n)| n)
+                        .map(|(j, _)| j as u32)
+                        .unwrap_or(self.jobs.len() as u32)
+                }
+                _ => self.jobs.len() as u32,
+            }
+        };
+        for s in self.switches() {
+            let (group, rank) = cfg.analytics_coords(s.id);
+            let mut row = RouterRow {
+                router: s.id,
+                group,
+                rank,
+                job: switch_job(s.id),
+                global_traffic: 0.0,
+                global_sat: 0.0,
+                local_traffic: 0.0,
+                local_sat: 0.0,
+            };
+            for p in s.ports() {
+                let peer_sw = p.peer_lp.0.saturating_sub(cfg.num_hosts());
+                let (dst_group, dst_rank) = cfg.analytics_coords(peer_sw);
+                let link = LinkRow {
+                    src_router: s.id,
+                    src_group: group,
+                    src_rank: rank,
+                    src_port: p.class_idx,
+                    dst_router: peer_sw,
+                    dst_group,
+                    dst_rank,
+                    dst_port: p.peer_port,
+                    src_job: switch_job(s.id),
+                    dst_job: switch_job(peer_sw),
+                    traffic: p.traffic as f64,
+                    sat: p.sat_ns as f64,
+                };
+                match p.class {
+                    LinkClass::Local => {
+                        row.local_traffic += link.traffic;
+                        row.local_sat += link.sat;
+                        local_links.push(link);
+                    }
+                    LinkClass::Global => {
+                        row.global_traffic += link.traffic;
+                        row.global_sat += link.sat;
+                        global_links.push(link);
+                    }
+                    LinkClass::Terminal => {}
+                }
+            }
+            routers.push(row);
+        }
+        let terminals: Vec<TerminalRow> = self
+            .hosts()
+            .map(|h| {
+                let edge = cfg.edge_of_host(h.id.0);
+                let (group, rank) = cfg.analytics_coords(edge);
+                TerminalRow {
+                    terminal: h.id.0,
+                    router: edge,
+                    group,
+                    rank,
+                    port: cfg.host_port(h.id.0),
+                    job: if h.job == NO_JOB { self.jobs.len() as u32 } else { h.job as u32 },
+                    data_size: h.stats.injected_bytes as f64,
+                    recv_bytes: h.stats.recv_bytes as f64,
+                    busy: h.stats.busy_ns as f64,
+                    sat: h.stats.sat_ns as f64,
+                    packets_finished: h.stats.packets_finished as f64,
+                    packets_sent: h.stats.packets_sent as f64,
+                    avg_latency: h.stats.avg_latency_ns(),
+                    avg_hops: h.stats.avg_hops(),
+                }
+            })
+            .collect();
+        DataSet::from_tables(
+            self.jobs.iter().map(|j| j.name.clone()).collect(),
+            routers,
+            local_links,
+            global_links,
+            terminals,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrviz_core::{build_view, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec};
+    use rand::{Rng, SeedableRng};
+
+    fn msg(t: u64, src: u32, dst: u32, bytes: u64) -> MsgInjection {
+        MsgInjection {
+            time: SimTime(t),
+            src: TerminalId(src),
+            dst: TerminalId(dst),
+            bytes,
+            job: 0,
+        }
+    }
+
+    #[test]
+    fn single_message_crosses_the_tree() {
+        let cfg = FatTreeConfig::new(4);
+        let mut sim = FatTreeSim::new(cfg, UpRouting::Ecmp);
+        sim.inject(msg(0, 0, 15, 10_000)); // pod 0 → pod 3: full up/down
+        let run = sim.run();
+        assert_eq!(run.delivered_bytes(), 10_000);
+        let ds = run.to_dataset();
+        // 5 switch hops: edge, agg, core, agg, edge.
+        assert_eq!(ds.terminals[15].avg_hops, 5.0);
+        assert!(ds.terminals[15].avg_latency > 0.0);
+    }
+
+    #[test]
+    fn same_edge_stays_local() {
+        let cfg = FatTreeConfig::new(4);
+        let mut sim = FatTreeSim::new(cfg, UpRouting::Ecmp);
+        sim.inject(msg(0, 0, 1, 4096)); // same edge switch
+        let run = sim.run();
+        let ds = run.to_dataset();
+        assert_eq!(ds.terminals[1].avg_hops, 1.0);
+        // No pod or core link carries traffic.
+        assert!(ds.local_links.iter().all(|l| l.traffic == 0.0));
+        assert!(ds.global_links.iter().all(|l| l.traffic == 0.0));
+    }
+
+    #[test]
+    fn conservation_under_random_traffic_both_routings() {
+        for routing in [UpRouting::Ecmp, UpRouting::Adaptive] {
+            let cfg = FatTreeConfig::new(4);
+            let mut sim = FatTreeSim::new(cfg, routing);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            let n = cfg.num_hosts();
+            let mut expect = 0u64;
+            for src in 0..n {
+                for k in 0..20u64 {
+                    let dst = (src + 1 + rng.gen_range(0..n - 1)) % n;
+                    sim.inject(msg(k * 500, src, dst, 4096));
+                    expect += 4096;
+                }
+            }
+            let run = sim.run();
+            assert_eq!(run.delivered_bytes(), expect, "{}", routing.name());
+        }
+    }
+
+    #[test]
+    fn adaptive_balances_better_than_ecmp_under_incast_stripes() {
+        // All hosts of pod 0 send to pod 1 continuously: ECMP hashing
+        // collides on up-links, adaptive levels them.
+        let run_with = |routing| {
+            let cfg = FatTreeConfig::new(4);
+            let mut sim = FatTreeSim::new(cfg, routing);
+            for src in 0..4u32 {
+                for k in 0..40u64 {
+                    sim.inject(msg(k * 100, src, 4 + src, 16 * 1024));
+                }
+            }
+            sim.run()
+        };
+        let ecmp = run_with(UpRouting::Ecmp);
+        let ada = run_with(UpRouting::Adaptive);
+        assert!(
+            ada.mean_latency_ns() <= ecmp.mean_latency_ns() * 1.05,
+            "adaptive {} should not lose to ecmp {}",
+            ada.mean_latency_ns(),
+            ecmp.mean_latency_ns()
+        );
+        assert!(ada.end_time <= ecmp.end_time);
+    }
+
+    #[test]
+    fn dataset_feeds_the_same_analytics_stack() {
+        let cfg = FatTreeConfig::new(4);
+        let mut sim = FatTreeSim::new(cfg, UpRouting::Adaptive);
+        let all: Vec<TerminalId> = (0..cfg.num_hosts()).map(TerminalId).collect();
+        sim.add_job(JobMeta { name: "ft".into(), terminals: all });
+        for src in 0..16u32 {
+            sim.inject(MsgInjection {
+                time: SimTime::ZERO,
+                src: TerminalId(src),
+                dst: TerminalId((src + 8) % 16),
+                bytes: 8192,
+                job: 0,
+            });
+        }
+        let run = sim.run();
+        let ds = run.to_dataset();
+        // The Dragonfly projection machinery works unchanged: pods as
+        // groups, pod links bundled as ribbons.
+        let spec = ProjectionSpec::new(vec![
+            LevelSpec::new(EntityKind::Router)
+                .aggregate(&[Field::GroupId])
+                .color(Field::TotalSatTime)
+                .size(Field::TotalTraffic),
+            LevelSpec::new(EntityKind::Terminal)
+                .aggregate(&[Field::GroupId, Field::RouterRank])
+                .color(Field::AvgLatency),
+        ])
+        .ribbons(RibbonSpec::new(EntityKind::GlobalLink));
+        let view = build_view(&ds, &spec).expect("fat-tree dataset builds views");
+        // 4 pods + the core pseudo-group.
+        assert_eq!(view.rings[0].items.len(), 5);
+        assert!(!view.ribbons.is_empty(), "pod-to-core ribbons present");
+        // Ribbons connect pods to the core pseudo-group only (all global
+        // links have a core endpoint).
+        let core_item = 4;
+        assert!(view.ribbons.iter().all(|r| r.a == core_item || r.b == core_item));
+        // Job stamping flows through.
+        assert!(ds.terminals.iter().all(|t| t.job == 0));
+    }
+
+    #[test]
+    fn pods_as_groups_roll_up_correctly() {
+        let cfg = FatTreeConfig::new(4);
+        let mut sim = FatTreeSim::new(cfg, UpRouting::Ecmp);
+        sim.inject(msg(0, 0, 15, 64 * 1024));
+        let ds = sim.run().to_dataset();
+        // 20 switches → 20 router rows; cores in pseudo-group 4.
+        assert_eq!(ds.routers.len(), 20);
+        let core_rows: Vec<_> = ds.routers.iter().filter(|r| r.group == 4).collect();
+        assert_eq!(core_rows.len(), 4);
+        // Per-packet ECMP spreads the 32-packet flow over the cores, but
+        // every byte crosses the core layer exactly once.
+        let used: Vec<_> = core_rows.iter().filter(|r| r.global_traffic > 0.0).collect();
+        assert!(!used.is_empty() && used.len() <= 4);
+        let core_bytes: f64 = core_rows.iter().map(|r| r.global_traffic).sum();
+        assert_eq!(core_bytes, 64.0 * 1024.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Event payloads exchanged between terminal and router LPs.
+
+use crate::packet::Packet;
+use hrviz_pdes::{LpId, SimTime};
+
+/// Where to return the credit once a packet leaves the receiving node, and
+/// how long the return trip takes.
+#[derive(Clone, Copy, Debug)]
+pub struct CreditReturn {
+    /// The upstream LP holding the credit counter.
+    pub lp: LpId,
+    /// Out-port index on the upstream node (ignored for terminals, which
+    /// have a single injection channel).
+    pub port: u16,
+    /// Virtual channel the credit belongs to.
+    pub vc: u8,
+    /// Bytes to release.
+    pub bytes: u32,
+    /// Propagation latency of the reverse channel.
+    pub latency: SimTime,
+}
+
+/// Network simulation event payload.
+#[derive(Clone, Debug)]
+pub enum NetEvent {
+    /// Self-scheduled wake-up at a terminal to inject pending messages.
+    InjectWake,
+    /// A packet fully arrived at a router input buffer.
+    RouterArrive {
+        /// The packet.
+        pkt: Packet,
+        /// Credit bookkeeping for the buffer the packet occupies.
+        from: CreditReturn,
+    },
+    /// A packet fully arrived at its destination terminal.
+    TerminalArrive {
+        /// The packet.
+        pkt: Packet,
+        /// Credit bookkeeping for the router's ejection port.
+        from: CreditReturn,
+    },
+    /// Downstream freed `bytes` of buffer on (`port`, `vc`).
+    Credit {
+        /// Out-port index on the receiving node.
+        port: u16,
+        /// Virtual channel.
+        vc: u8,
+        /// Bytes released.
+        bytes: u32,
+    },
+    /// An out-port finished serializing a packet; start the next one.
+    XmitDone {
+        /// Out-port index.
+        port: u16,
+    },
+    /// The terminal's injection channel finished serializing a packet.
+    TerminalXmitDone,
+}

@@ -1,0 +1,56 @@
+//! The LP enum tying terminals and routers into one engine.
+
+use crate::events::NetEvent;
+use crate::router::RouterLp;
+use crate::terminal::TerminalLp;
+use hrviz_pdes::{Ctx, Lp, SimTime};
+
+/// A simulation node: either a terminal or a router. Using an enum (rather
+/// than trait objects) keeps the event loop monomorphic and branch-predicted.
+#[derive(Debug)]
+pub enum NetNode {
+    /// Compute-node NIC.
+    Terminal(TerminalLp),
+    /// Dragonfly router.
+    Router(RouterLp),
+}
+
+impl NetNode {
+    /// The terminal, if this node is one.
+    pub fn as_terminal(&self) -> Option<&TerminalLp> {
+        match self {
+            NetNode::Terminal(t) => Some(t),
+            NetNode::Router(_) => None,
+        }
+    }
+
+    /// The router, if this node is one.
+    pub fn as_router(&self) -> Option<&RouterLp> {
+        match self {
+            NetNode::Router(r) => Some(r),
+            NetNode::Terminal(_) => None,
+        }
+    }
+}
+
+impl Lp<NetEvent> for NetNode {
+    fn on_init(&mut self, ctx: &mut Ctx<'_, NetEvent>) {
+        if let NetNode::Terminal(t) = self {
+            t.on_init(ctx);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, NetEvent>, ev: NetEvent) {
+        match self {
+            NetNode::Terminal(t) => t.on_event(ctx, ev),
+            NetNode::Router(r) => r.on_event(ctx, ev),
+        }
+    }
+
+    fn on_finish(&mut self, now: SimTime) {
+        match self {
+            NetNode::Terminal(t) => t.on_finish(now),
+            NetNode::Router(r) => r.on_finish(now),
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Router output ports: virtual channels, credit pools, serialization and
+//! saturation accounting.
+//!
+//! Credits model the *downstream* input buffer: an out port may only start
+//! a packet when the matching VC has enough credit. A packet that cannot
+//! get credit parks in the VC's pending queue; the paper's "link saturation
+//! time" is exactly the time such a queue is non-empty (the VC buffers of
+//! the link are full — §III).
+
+use crate::config::{LinkClass, LinkClassParams, SamplingConfig};
+use crate::events::CreditReturn;
+use crate::packet::Packet;
+use crate::sampling::Bins;
+use hrviz_pdes::{LpId, SimTime};
+use std::collections::VecDeque;
+
+/// One virtual channel of an out port.
+#[derive(Debug)]
+struct VcState {
+    credits: i64,
+    pending: VecDeque<(Packet, CreditReturn)>,
+}
+
+/// An entry granted credit, queued for (or in) serialization.
+type XmitEntry = (Packet, u8, CreditReturn);
+
+/// A router (or terminal) output port.
+#[derive(Debug)]
+pub struct OutPort {
+    /// Link class of this port.
+    pub class: LinkClass,
+    /// Index within the class (terminal k / peer rank / global port).
+    pub class_idx: u32,
+    /// LP on the far end of the link.
+    pub peer_lp: LpId,
+    /// Port index the reverse link occupies on the peer (for link-record
+    /// pairing; not used by the protocol itself).
+    pub peer_port: u32,
+    /// Link parameters.
+    pub params: LinkClassParams,
+    vcs: Vec<VcState>,
+    /// Packets granted credit, awaiting (or in) serialization.
+    xmit_q: VecDeque<XmitEntry>,
+    busy: bool,
+    /// Bytes committed to this port (pending + granted); the congestion
+    /// signal adaptive routing reads.
+    pub queued_bytes: u64,
+    // --- statistics ---
+    /// Total bytes serialized onto the link.
+    pub traffic: u64,
+    /// Total saturated time (some VC pending queue non-empty).
+    pub sat_ns: u64,
+    sat_since: Option<SimTime>,
+    /// Optional time series.
+    pub traffic_bins: Option<Bins>,
+    /// Optional time series of saturated ns.
+    pub sat_bins: Option<Bins>,
+}
+
+/// What the router should do after an [`OutPort`] operation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PortAction {
+    /// Nothing to schedule.
+    None,
+    /// Start serializing: schedule `XmitDone` for this port at `finish`.
+    StartXmit {
+        /// Serialization completes at this time.
+        finish: SimTime,
+    },
+}
+
+impl OutPort {
+    /// Build a port with `num_vcs` virtual channels of `vc_buffer_bytes`
+    /// credit each.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        class: LinkClass,
+        class_idx: u32,
+        peer_lp: LpId,
+        peer_port: u32,
+        params: LinkClassParams,
+        num_vcs: u8,
+        vc_buffer_bytes: u32,
+        sampling: Option<SamplingConfig>,
+    ) -> Self {
+        OutPort {
+            class,
+            class_idx,
+            peer_lp,
+            peer_port,
+            params,
+            vcs: (0..num_vcs)
+                .map(|_| VcState { credits: vc_buffer_bytes as i64, pending: VecDeque::new() })
+                .collect(),
+            xmit_q: VecDeque::new(),
+            busy: false,
+            queued_bytes: 0,
+            traffic: 0,
+            sat_ns: 0,
+            sat_since: None,
+            traffic_bins: sampling.map(Bins::new),
+            sat_bins: sampling.map(Bins::new),
+        }
+    }
+
+    /// Number of virtual channels.
+    pub fn num_vcs(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Credits currently available on `vc` (can be transiently negative
+    /// never — grants check first).
+    pub fn credits(&self, vc: u8) -> i64 {
+        self.vcs[vc as usize].credits
+    }
+
+    /// Whether any VC has parked packets (the saturation condition).
+    pub fn is_saturated(&self) -> bool {
+        self.vcs.iter().any(|v| !v.pending.is_empty())
+    }
+
+    fn note_sat_start(&mut self, now: SimTime) {
+        if self.sat_since.is_none() {
+            self.sat_since = Some(now);
+        }
+    }
+
+    fn note_sat_maybe_end(&mut self, now: SimTime) {
+        if !self.is_saturated() {
+            if let Some(s) = self.sat_since.take() {
+                self.sat_ns += (now - s).as_nanos();
+                if let Some(b) = &mut self.sat_bins {
+                    b.add_interval(s, now);
+                }
+            }
+        }
+    }
+
+    /// Close any open saturation interval at end of run.
+    pub fn finish(&mut self, now: SimTime) {
+        if let Some(s) = self.sat_since.take() {
+            self.sat_ns += (now - s).as_nanos();
+            if let Some(b) = &mut self.sat_bins {
+                b.add_interval(s, now);
+            }
+        }
+    }
+
+    /// Offer a packet to this port on virtual channel `vc`.
+    ///
+    /// If the VC has credit the packet is granted (credit debited, packet
+    /// queued for serialization) and, when the line is idle, serialization
+    /// starts — the returned action tells the router what to schedule.
+    /// Without credit the packet parks and the saturation clock starts.
+    pub fn offer(&mut self, now: SimTime, pkt: Packet, vc: u8, from: CreditReturn) -> PortAction {
+        self.queued_bytes += pkt.bytes as u64;
+        let v = vc as usize;
+        assert!(v < self.vcs.len(), "packet VC {v} exceeds configured VCs");
+        // FIFO per VC: if the VC already has parked packets, park behind them.
+        if !self.vcs[v].pending.is_empty() || self.vcs[v].credits < pkt.bytes as i64 {
+            self.vcs[v].pending.push_back((pkt, from));
+            self.note_sat_start(now);
+            return PortAction::None;
+        }
+        self.grant(pkt, vc, from);
+        self.try_start(now)
+    }
+
+    fn grant(&mut self, pkt: Packet, vc: u8, from: CreditReturn) {
+        self.vcs[vc as usize].credits -= pkt.bytes as i64;
+        self.xmit_q.push_back((pkt, vc, from));
+    }
+
+    fn try_start(&mut self, now: SimTime) -> PortAction {
+        if self.busy || self.xmit_q.is_empty() {
+            return PortAction::None;
+        }
+        self.busy = true;
+        let bytes = self.xmit_q.front().expect("non-empty").0.bytes;
+        self.traffic += bytes as u64;
+        if let Some(b) = &mut self.traffic_bins {
+            b.add_at(now, bytes as u64);
+        }
+        PortAction::StartXmit { finish: now + self.params.serialize(bytes) }
+    }
+
+    /// Serialization finished: pop the transmitted packet. The caller sends
+    /// the arrival + upstream credit events, then must call
+    /// [`OutPort::after_xmit`] to start the next packet.
+    pub fn complete_xmit(&mut self, _now: SimTime) -> XmitEntry {
+        debug_assert!(self.busy);
+        self.busy = false;
+        let entry = self.xmit_q.pop_front().expect("xmit queue empty on XmitDone");
+        self.queued_bytes -= entry.0.bytes as u64;
+        entry
+    }
+
+    /// Start the next granted packet, if any.
+    pub fn after_xmit(&mut self, now: SimTime) -> PortAction {
+        self.try_start(now)
+    }
+
+    /// Credit arrived from downstream: release bytes on `vc` and un-park as
+    /// many pending packets as now fit (FIFO).
+    pub fn credit(&mut self, now: SimTime, vc: u8, bytes: u32) -> PortAction {
+        let v = &mut self.vcs[vc as usize];
+        v.credits += bytes as i64;
+        let mut granted = false;
+        while let Some((pkt, _)) = v.pending.front() {
+            if v.credits >= pkt.bytes as i64 {
+                let (pkt, from) = v.pending.pop_front().expect("non-empty");
+                v.credits -= pkt.bytes as i64;
+                self.xmit_q.push_back((pkt, vc, from));
+                granted = true;
+            } else {
+                break;
+            }
+        }
+        self.note_sat_maybe_end(now);
+        if granted {
+            self.try_start(now)
+        } else {
+            PortAction::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::RoutePlan;
+    use crate::topology::TerminalId;
+
+    fn params() -> LinkClassParams {
+        LinkClassParams { bandwidth_bytes_per_ns: 1.0, latency: SimTime(10) }
+    }
+
+    fn port(buf: u32) -> OutPort {
+        OutPort::new(LinkClass::Local, 0, LpId(99), 0, params(), 3, buf, None)
+    }
+
+    fn pkt(id: u64, bytes: u32, vc: u8) -> Packet {
+        Packet {
+            id,
+            src: TerminalId(0),
+            dst: TerminalId(1),
+            bytes,
+            inject_time: SimTime::ZERO,
+            job: 0,
+            hops: 0,
+            global_hops: vc,
+            diverted: false,
+            plan: RoutePlan::Minimal,
+        }
+    }
+
+    fn ret() -> CreditReturn {
+        CreditReturn { lp: LpId(0), port: 0, vc: 0, bytes: 0, latency: SimTime(10) }
+    }
+
+    #[test]
+    fn grant_starts_xmit_when_idle() {
+        let mut p = port(1000);
+        let act = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        assert_eq!(act, PortAction::StartXmit { finish: SimTime(100) });
+        assert_eq!(p.credits(0), 900);
+        assert_eq!(p.traffic, 100);
+    }
+
+    #[test]
+    fn second_packet_waits_for_line() {
+        let mut p = port(1000);
+        let _ = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        let act = p.offer(SimTime(5), pkt(2, 200, 0), 0, ret());
+        assert_eq!(act, PortAction::None); // line busy, but credit granted
+        assert_eq!(p.credits(0), 700);
+        let (done, _, _) = p.complete_xmit(SimTime(100));
+        assert_eq!(done.id, 1);
+        let act = p.after_xmit(SimTime(100));
+        assert_eq!(act, PortAction::StartXmit { finish: SimTime(300) });
+    }
+
+    #[test]
+    fn no_credit_parks_and_saturates() {
+        let mut p = port(150);
+        let _ = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        let act = p.offer(SimTime(10), pkt(2, 100, 0), 0, ret());
+        assert_eq!(act, PortAction::None);
+        assert!(p.is_saturated());
+        // Credit arrives at t=60: packet 2 un-parks; 50 ns of saturation.
+        let act = p.credit(SimTime(60), 0, 100);
+        assert!(!p.is_saturated());
+        assert_eq!(p.sat_ns, 50);
+        // Line is still busy with packet 1 (finishes at t=100), so no start.
+        assert_eq!(act, PortAction::None);
+    }
+
+    #[test]
+    fn vcs_have_independent_credit() {
+        let mut p = port(100);
+        let _ = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        // VC1 still has credit even though VC0 is drained.
+        assert_eq!(p.credits(0), 0);
+        assert_eq!(p.credits(1), 100);
+        let act = p.offer(SimTime(0), pkt(2, 100, 1), 1, ret());
+        assert_eq!(act, PortAction::None); // busy line; granted though
+        assert_eq!(p.credits(1), 0);
+        assert!(!p.is_saturated());
+    }
+
+    #[test]
+    fn fifo_within_vc_preserved_under_credit_starvation() {
+        let mut p = port(100);
+        let _ = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        let _ = p.offer(SimTime(1), pkt(2, 60, 0), 0, ret());
+        let _ = p.offer(SimTime(2), pkt(3, 40, 0), 0, ret());
+        // Returning 60 bytes frees exactly packet 2; packet 3 must wait even
+        // though it would also fit eventually (FIFO per VC).
+        let _ = p.credit(SimTime(50), 0, 60);
+        assert!(p.is_saturated());
+        let _ = p.credit(SimTime(80), 0, 40);
+        assert!(!p.is_saturated());
+        // Drain the line: order must be 1, 2, 3.
+        let (a, _, _) = p.complete_xmit(SimTime(100));
+        let _ = p.after_xmit(SimTime(100));
+        let (b, _, _) = p.complete_xmit(SimTime(160));
+        let _ = p.after_xmit(SimTime(160));
+        let (c, _, _) = p.complete_xmit(SimTime(200));
+        assert_eq!((a.id, b.id, c.id), (1, 2, 3));
+    }
+
+    #[test]
+    fn finish_closes_open_saturation() {
+        let mut p = port(50);
+        let _ = p.offer(SimTime(0), pkt(1, 50, 0), 0, ret());
+        let _ = p.offer(SimTime(20), pkt(2, 50, 0), 0, ret());
+        assert!(p.is_saturated());
+        p.finish(SimTime(120));
+        assert_eq!(p.sat_ns, 100);
+    }
+
+    #[test]
+    fn queued_bytes_tracks_commitments() {
+        let mut p = port(1000);
+        let _ = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        let _ = p.offer(SimTime(0), pkt(2, 200, 0), 0, ret());
+        assert_eq!(p.queued_bytes, 300);
+        let _ = p.complete_xmit(SimTime(100));
+        assert_eq!(p.queued_bytes, 200);
+    }
+
+    #[test]
+    fn sampling_bins_populated() {
+        let sampling = SamplingConfig { bin_width: SimTime(50), max_bins: 100 };
+        let mut p = OutPort::new(
+            LinkClass::Local,
+            0,
+            LpId(9),
+            0,
+            params(),
+            2,
+            100,
+            Some(sampling),
+        );
+        let _ = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        let _ = p.offer(SimTime(10), pkt(2, 100, 0), 0, ret());
+        let _ = p.credit(SimTime(75), 0, 100);
+        assert_eq!(p.traffic_bins.as_ref().unwrap().values()[0], 100);
+        // Saturated 10..75 → 40 ns in bin 0, 25 ns in bin 1.
+        assert_eq!(p.sat_bins.as_ref().unwrap().values(), &[40, 25]);
+    }
+}

@@ -1,0 +1,489 @@
+//! Router logical process.
+//!
+//! Implements the per-hop pipeline: arrival → (plan transition) → routing
+//! step selection → VC selection → credit-gated forwarding → serialization
+//! → downstream arrival + upstream credit return. All four routing
+//! strategies of [`crate::routing`] hang off the plan-transition step.
+
+use crate::config::{LinkClass, NetworkSpec};
+use crate::events::{CreditReturn, NetEvent};
+use crate::packet::{Packet, RoutePlan};
+use crate::port::{OutPort, PortAction};
+use crate::routing::{
+    minimal_step, random_intermediate, toward_group, ugal_prefers_nonminimal, valiant_hops,
+    vc_for_step, RoutingAlgorithm, Step,
+};
+use crate::topology::{GroupId, RouterId, Topology};
+use hrviz_pdes::{Ctx, LpId, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Router logical process.
+#[derive(Debug)]
+pub struct RouterLp {
+    /// This router's id.
+    pub id: RouterId,
+    my_lp: LpId,
+    topo: Topology,
+    routing: RoutingAlgorithm,
+    ports: Vec<OutPort>,
+    rng: StdRng,
+}
+
+impl RouterLp {
+    /// Build a router with its full port complement wired per the topology.
+    pub fn new(spec: &Arc<NetworkSpec>, id: RouterId) -> Self {
+        let topo = Topology::new(spec.topology);
+        let my_lp = topo.router_lp(id);
+        let group = topo.group_of_router(id);
+        let my_rank = topo.rank_of_router(id);
+        let cfg = spec.topology;
+        let mut ports = Vec::with_capacity(topo.ports_per_router() as usize);
+        // Ejection ports.
+        for k in 0..cfg.terminals_per_router {
+            let t = topo.terminal_of(id, k);
+            ports.push(OutPort::new(
+                LinkClass::Terminal,
+                k,
+                topo.terminal_lp(t),
+                0,
+                spec.terminal_link,
+                spec.num_vcs,
+                spec.vc_buffer_bytes,
+                spec.sampling,
+            ));
+        }
+        // Local ports, indexed by peer rank (self slot present but unused).
+        for peer_rank in 0..cfg.routers_per_group {
+            let peer = topo.router_in_group(group, peer_rank);
+            ports.push(OutPort::new(
+                LinkClass::Local,
+                peer_rank,
+                topo.router_lp(peer),
+                topo.local_port(my_rank),
+                spec.local_link,
+                spec.num_vcs,
+                spec.vc_buffer_bytes,
+                spec.sampling,
+            ));
+        }
+        // Global ports.
+        for gp in 0..cfg.global_ports {
+            let (peer, peer_gp) = topo.global_peer(id, gp);
+            ports.push(OutPort::new(
+                LinkClass::Global,
+                gp,
+                topo.router_lp(peer),
+                topo.global_port(peer_gp),
+                spec.global_link,
+                spec.num_vcs,
+                spec.vc_buffer_bytes,
+                spec.sampling,
+            ));
+        }
+        // Per-router deterministic RNG stream.
+        let rng = StdRng::seed_from_u64(spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(my_lp.0 as u64 + 1)));
+        RouterLp { id, my_lp, topo, routing: spec.routing, ports, rng }
+    }
+
+    /// The router's out ports (metric extraction).
+    pub fn ports(&self) -> &[OutPort] {
+        &self.ports
+    }
+
+    fn step_port(&self, step: Step) -> usize {
+        (match step {
+            Step::Eject(k) => self.topo.eject_port(k),
+            Step::Local(rank) => self.topo.local_port(rank),
+            Step::Global(gp) => self.topo.global_port(gp),
+        }) as usize
+    }
+
+    fn queued(&self, step: Step) -> u64 {
+        self.ports[self.step_port(step)].queued_bytes
+    }
+
+    /// UGAL-L comparison from this router; returns the intermediate group
+    /// to divert through, if non-minimal wins.
+    fn ugal_choice(
+        &mut self,
+        pkt: &Packet,
+        dst_router: RouterId,
+        my_group: GroupId,
+        dst_group: GroupId,
+        threshold: u64,
+    ) -> Option<GroupId> {
+        let gi = random_intermediate(&self.topo, &mut self.rng, my_group, dst_group)?;
+        let min_first = minimal_step(&self.topo, self.id, dst_router, 0);
+        let non_first = toward_group(&self.topo, self.id, gi);
+        let q_min = self.queued(min_first);
+        let q_non = self.queued(non_first);
+        let h_min = self.topo.minimal_hops(self.id, dst_router).max(1);
+        let h_non = valiant_hops(&self.topo, self.id, gi, dst_router).max(1);
+        let _ = pkt;
+        ugal_prefers_nonminimal(q_min, h_min, q_non, h_non, threshold).then_some(gi)
+    }
+
+    fn initial_decision(
+        &mut self,
+        pkt: &Packet,
+        dst_router: RouterId,
+        my_group: GroupId,
+        dst_group: GroupId,
+    ) -> RoutePlan {
+        if my_group == dst_group {
+            return RoutePlan::Minimal;
+        }
+        match self.routing {
+            RoutingAlgorithm::Minimal => RoutePlan::Minimal,
+            RoutingAlgorithm::NonMinimal => {
+                match random_intermediate(&self.topo, &mut self.rng, my_group, dst_group) {
+                    Some(gi) => RoutePlan::Via(gi),
+                    None => RoutePlan::Minimal,
+                }
+            }
+            RoutingAlgorithm::Adaptive { threshold } => {
+                match self.ugal_choice(pkt, dst_router, my_group, dst_group, threshold) {
+                    Some(gi) => RoutePlan::Via(gi),
+                    None => RoutePlan::Minimal,
+                }
+            }
+            RoutingAlgorithm::ProgressiveAdaptive { threshold } => {
+                match self.ugal_choice(pkt, dst_router, my_group, dst_group, threshold) {
+                    Some(gi) => RoutePlan::Via(gi),
+                    None => RoutePlan::MinimalPar,
+                }
+            }
+        }
+    }
+
+    fn route_and_offer(&mut self, ctx: &mut Ctx<'_, NetEvent>, mut pkt: Packet, from: CreditReturn) {
+        let dst_router = self.topo.router_of_terminal(pkt.dst);
+        let src_group = self.topo.group_of_router(self.topo.router_of_terminal(pkt.src));
+        let my_group = self.topo.group_of_router(self.id);
+        let dst_group = self.topo.group_of_router(dst_router);
+
+        // Plan transitions.
+        match pkt.plan {
+            RoutePlan::Decide => {
+                pkt.plan = self.initial_decision(&pkt, dst_router, my_group, dst_group);
+            }
+            RoutePlan::MinimalPar
+                if pkt.global_hops == 0
+                    && my_group == src_group
+                    && my_group != dst_group
+                    && !pkt.diverted =>
+            {
+                // PAR: re-evaluate while still minimal in the source group.
+                let threshold = match self.routing {
+                    RoutingAlgorithm::ProgressiveAdaptive { threshold } => threshold,
+                    _ => u64::MAX, // plan from a PAR run replayed elsewhere: stay minimal
+                };
+                if threshold != u64::MAX {
+                    if let Some(gi) =
+                        self.ugal_choice(&pkt, dst_router, my_group, dst_group, threshold)
+                    {
+                        pkt.plan = RoutePlan::Via(gi);
+                        pkt.diverted = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+        // Reaching the intermediate group completes the Valiant detour.
+        if let RoutePlan::Via(gi) = pkt.plan {
+            if my_group == gi {
+                pkt.plan = RoutePlan::Minimal;
+            }
+        }
+
+        let step = match pkt.plan {
+            RoutePlan::Via(gi) => toward_group(&self.topo, self.id, gi),
+            _ => minimal_step(&self.topo, self.id, dst_router, self.topo.terminal_port(pkt.dst)),
+        };
+        let vc = vc_for_step(
+            step,
+            pkt.global_hops,
+            my_group == src_group && pkt.global_hops == 0,
+            pkt.diverted,
+            my_group == dst_group,
+        );
+        let port = self.step_port(step);
+        let action = self.ports[port].offer(ctx.now(), pkt, vc, from);
+        self.apply(ctx, port, action);
+    }
+
+    fn apply(&mut self, ctx: &mut Ctx<'_, NetEvent>, port: usize, action: PortAction) {
+        if let PortAction::StartXmit { finish } = action {
+            ctx.send_self(finish - ctx.now(), NetEvent::XmitDone { port: port as u16 });
+        }
+    }
+
+    /// Handle an event addressed to this router.
+    pub fn on_event(&mut self, ctx: &mut Ctx<'_, NetEvent>, ev: NetEvent) {
+        match ev {
+            NetEvent::RouterArrive { mut pkt, from } => {
+                pkt.hops = pkt.hops.saturating_add(1);
+                self.route_and_offer(ctx, pkt, from);
+            }
+            NetEvent::Credit { port, vc, bytes } => {
+                let action = self.ports[port as usize].credit(ctx.now(), vc, bytes);
+                self.apply(ctx, port as usize, action);
+            }
+            NetEvent::XmitDone { port } => {
+                let now = ctx.now();
+                let (mut pkt, vc, from) = self.ports[port as usize].complete_xmit(now);
+                let (peer_lp, latency, class) = {
+                    let p = &self.ports[port as usize];
+                    (p.peer_lp, p.params.latency, p.class)
+                };
+                // Return the credit for the buffer the packet just vacated.
+                ctx.send(
+                    from.lp,
+                    from.latency,
+                    NetEvent::Credit { port: from.port, vc: from.vc, bytes: from.bytes },
+                );
+                // Deliver downstream.
+                let next_from = CreditReturn {
+                    lp: self.my_lp,
+                    port,
+                    vc,
+                    bytes: pkt.bytes,
+                    latency,
+                };
+                match class {
+                    LinkClass::Terminal => {
+                        ctx.send(peer_lp, latency, NetEvent::TerminalArrive { pkt, from: next_from });
+                    }
+                    LinkClass::Global => {
+                        pkt.global_hops += 1;
+                        ctx.send(peer_lp, latency, NetEvent::RouterArrive { pkt, from: next_from });
+                    }
+                    LinkClass::Local => {
+                        ctx.send(peer_lp, latency, NetEvent::RouterArrive { pkt, from: next_from });
+                    }
+                }
+                let action = self.ports[port as usize].after_xmit(now);
+                self.apply(ctx, port as usize, action);
+            }
+            NetEvent::InjectWake | NetEvent::TerminalXmitDone | NetEvent::TerminalArrive { .. } => {
+                unreachable!("terminal event delivered to router")
+            }
+        }
+    }
+
+    /// Close open saturation intervals.
+    pub fn on_finish(&mut self, now: SimTime) {
+        for p in &mut self.ports {
+            p.finish(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DragonflyConfig;
+    use crate::topology::TerminalId;
+    use hrviz_pdes::Event;
+
+    fn spec() -> Arc<NetworkSpec> {
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2)); // g=9, a=4, p=2
+        s.num_vcs = 4;
+        Arc::new(s)
+    }
+
+    fn drive(
+        r: &mut RouterLp,
+        now: SimTime,
+        ev: NetEvent,
+    ) -> Vec<Event<NetEvent>> {
+        let mut seq = 0;
+        let mut out = Vec::new();
+        let me = r.my_lp;
+        let mut ctx = Ctx::detached(now, me, &mut seq, &mut out, SimTime(30));
+        r.on_event(&mut ctx, ev);
+        out
+    }
+
+    fn pkt_to(src: u32, dst: u32) -> Packet {
+        Packet {
+            id: 1,
+            src: TerminalId(src),
+            dst: TerminalId(dst),
+            bytes: 1024,
+            inject_time: SimTime::ZERO,
+            job: 0,
+            hops: 0,
+            global_hops: 0,
+            diverted: false,
+            plan: RoutePlan::Decide,
+        }
+    }
+
+    fn terminal_from(t: u32) -> CreditReturn {
+        CreditReturn { lp: LpId(t), port: 0, vc: 0, bytes: 1024, latency: SimTime(30) }
+    }
+
+    #[test]
+    fn arrival_for_attached_terminal_ejects() {
+        let spec = spec();
+        let topo = Topology::new(spec.topology);
+        let mut r = RouterLp::new(&spec, RouterId(0));
+        // Terminal 1 lives on router 0 (p=2).
+        let out = drive(&mut r, SimTime(100), NetEvent::RouterArrive {
+            pkt: pkt_to(5, 1),
+            from: terminal_from(5),
+        });
+        // Serialization starts immediately: one self XmitDone event.
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, NetEvent::XmitDone { port: 1 }));
+        // Completing the xmit delivers to the terminal LP + returns credit.
+        let finish = out[0].key.time;
+        let out = drive(&mut r, finish, NetEvent::XmitDone { port: 1 });
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0].payload, NetEvent::Credit { .. }));
+        assert_eq!(out[0].key.dst, LpId(5));
+        match &out[1].payload {
+            NetEvent::TerminalArrive { pkt, from } => {
+                assert_eq!(pkt.hops, 1);
+                assert_eq!(from.lp, topo.router_lp(RouterId(0)));
+            }
+            other => panic!("expected TerminalArrive, got {other:?}"),
+        }
+        assert_eq!(out[1].key.dst, topo.terminal_lp(TerminalId(1)));
+    }
+
+    #[test]
+    fn minimal_routing_walks_to_other_group() {
+        let spec = spec();
+        let topo = Topology::new(spec.topology);
+        // Send a packet from terminal 0 (router 0, group 0) to the last
+        // terminal (last group) and follow it through routers.
+        let dst = TerminalId(spec.topology.num_terminals() - 1);
+        let dst_router = topo.router_of_terminal(dst);
+        let mut current = RouterId(0);
+        let mut pkt = pkt_to(0, dst.0);
+        let mut from = terminal_from(0);
+        let mut hops = 0;
+        loop {
+            let mut r = RouterLp::new(&spec, current);
+            let out = drive(&mut r, SimTime(0), NetEvent::RouterArrive { pkt, from });
+            let xmit = out
+                .iter()
+                .find_map(|e| match e.payload {
+                    NetEvent::XmitDone { port } => Some(port),
+                    _ => None,
+                })
+                .expect("xmit scheduled");
+            let out = drive(&mut r, SimTime(1000), NetEvent::XmitDone { port: xmit });
+            let arrival = out.last().unwrap();
+            match &arrival.payload {
+                NetEvent::TerminalArrive { pkt: p, .. } => {
+                    assert_eq!(p.dst, dst);
+                    assert_eq!(current, dst_router);
+                    break;
+                }
+                NetEvent::RouterArrive { pkt: p, from: f } => {
+                    // Find which router the event targets.
+                    let lp = arrival.key.dst;
+                    let rid = RouterId(lp.0 - spec.topology.num_terminals());
+                    pkt = *p;
+                    from = *f;
+                    current = rid;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            hops += 1;
+            assert!(hops <= 4, "minimal path too long");
+        }
+        assert!(hops <= 3);
+    }
+
+    #[test]
+    fn nonminimal_packets_get_intermediate_group() {
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.num_vcs = 4;
+        s.routing = RoutingAlgorithm::NonMinimal;
+        let spec = Arc::new(s);
+        let mut r = RouterLp::new(&spec, RouterId(0));
+        // Repeatedly decide for fresh packets: all must be Via(≠0, ≠dst group).
+        let topo = Topology::new(spec.topology);
+        let dst = TerminalId(spec.topology.num_terminals() - 1);
+        let dst_group = topo.group_of_router(topo.router_of_terminal(dst));
+        for _ in 0..20 {
+            let plan = r.initial_decision(
+                &pkt_to(0, dst.0),
+                topo.router_of_terminal(dst),
+                GroupId(0),
+                dst_group,
+            );
+            match plan {
+                RoutePlan::Via(gi) => {
+                    assert_ne!(gi, GroupId(0));
+                    assert_ne!(gi, dst_group);
+                }
+                other => panic!("expected Via, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_stays_minimal_with_empty_queues() {
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.num_vcs = 4;
+        s.routing = RoutingAlgorithm::adaptive_default();
+        let spec = Arc::new(s);
+        let topo = Topology::new(spec.topology);
+        let mut r = RouterLp::new(&spec, RouterId(0));
+        let dst = TerminalId(spec.topology.num_terminals() - 1);
+        let dst_group = topo.group_of_router(topo.router_of_terminal(dst));
+        let plan = r.initial_decision(
+            &pkt_to(0, dst.0),
+            topo.router_of_terminal(dst),
+            GroupId(0),
+            dst_group,
+        );
+        assert_eq!(plan, RoutePlan::Minimal);
+    }
+
+    #[test]
+    fn intra_group_destination_routes_minimal_locally() {
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.num_vcs = 4;
+        s.routing = RoutingAlgorithm::NonMinimal;
+        let spec = Arc::new(s);
+        let mut r = RouterLp::new(&spec, RouterId(0));
+        // Destination terminal on router 1, same group: local forward.
+        let out = drive(&mut r, SimTime(0), NetEvent::RouterArrive {
+            pkt: pkt_to(0, 2), // terminal 2 → router 1 (p=2)
+            from: terminal_from(0),
+        });
+        assert_eq!(out.len(), 1);
+        let NetEvent::XmitDone { port } = out[0].payload else { panic!() };
+        // local port to rank 1 = p + 1 = 3.
+        assert_eq!(port, 3);
+    }
+
+    #[test]
+    fn global_traversal_increments_global_hops() {
+        let spec = spec();
+        let topo = Topology::new(spec.topology);
+        // Use the router that owns the channel to the destination group so
+        // the first hop is global.
+        let dst = TerminalId(spec.topology.num_terminals() - 1);
+        let dst_group = topo.group_of_router(topo.router_of_terminal(dst));
+        let (gw, _) = topo.gateway(GroupId(0), dst_group);
+        let src_terminal = topo.terminal_of(gw, 0);
+        let mut r = RouterLp::new(&spec, gw);
+        let out = drive(&mut r, SimTime(0), NetEvent::RouterArrive {
+            pkt: pkt_to(src_terminal.0, dst.0),
+            from: terminal_from(src_terminal.0),
+        });
+        let NetEvent::XmitDone { port } = out[0].payload else { panic!() };
+        let out = drive(&mut r, SimTime(1000), NetEvent::XmitDone { port });
+        let NetEvent::RouterArrive { pkt, .. } = &out[1].payload else { panic!() };
+        assert_eq!(pkt.global_hops, 1);
+    }
+}

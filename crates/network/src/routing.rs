@@ -1,0 +1,361 @@
+//! Routing strategies for the Dragonfly (paper §II-A, §V-B).
+//!
+//! * **Minimal** — up to `local → global → local`: at most one local hop to
+//!   the gateway router owning the global channel to the destination group,
+//!   the global hop, then at most one local hop to the destination router.
+//! * **Non-minimal (Valiant)** — minimal to a uniformly random intermediate
+//!   group, then minimal to the destination; doubles the path length but
+//!   spreads adversarial traffic.
+//! * **Adaptive (UGAL-L)** — at the source router, compare the congestion
+//!   of the minimal and one sampled non-minimal path using local queue
+//!   occupancy scaled by path length; divert when
+//!   `q_min · h_min > q_nonmin · h_nonmin + threshold`.
+//! * **Progressive adaptive (PAR)** — like UGAL, but routers in the source
+//!   group re-evaluate the decision while the packet is still routed
+//!   minimally, diverting later if congestion develops (the mitigation the
+//!   paper suggests for traffic bursts in §V-C).
+//!
+//! ## Virtual-channel discipline
+//!
+//! Each hop class along a path is a *stage* with a dedicated VC, and stages
+//! are totally ordered, which makes the channel dependency graph acyclic
+//! (deadlock freedom):
+//!
+//! | stage | hop | VC |
+//! |-------|-----|----|
+//! | L0 | local in source group | local 0 |
+//! | L1 | local after a PAR diversion (still source group) | local 1 |
+//! | G0 | first global | global 0 |
+//! | L2 | local in intermediate group | local 2 |
+//! | G1 | second global | global 1 |
+//! | L3 | local in destination group | local 3 |
+//!
+//! Ejection always drains (terminals consume instantly), so it needs no VC
+//! ordering. `NetworkSpec::num_vcs` must therefore be ≥ 4.
+
+use crate::topology::{GroupId, RouterId, Topology};
+use rand::Rng;
+
+/// Routing algorithm selector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RoutingAlgorithm {
+    /// Always the shortest path.
+    Minimal,
+    /// Always Valiant (random intermediate group).
+    NonMinimal,
+    /// UGAL-L decided once at the source router. `threshold` is in
+    /// byte·hops: larger values bias toward minimal routing.
+    Adaptive {
+        /// UGAL bias; `q_min·h_min > q_non·h_non + threshold` diverts.
+        threshold: u64,
+    },
+    /// UGAL-L with per-hop re-evaluation inside the source group.
+    ProgressiveAdaptive {
+        /// Same semantics as [`RoutingAlgorithm::Adaptive::threshold`].
+        threshold: u64,
+    },
+}
+
+impl RoutingAlgorithm {
+    /// Reasonable default bias (one packet's worth of queueing).
+    pub fn adaptive_default() -> Self {
+        RoutingAlgorithm::Adaptive { threshold: 2048 }
+    }
+
+    /// Reasonable default PAR configuration.
+    pub fn par_default() -> Self {
+        RoutingAlgorithm::ProgressiveAdaptive { threshold: 2048 }
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingAlgorithm::Minimal => "minimal",
+            RoutingAlgorithm::NonMinimal => "nonminimal",
+            RoutingAlgorithm::Adaptive { .. } => "adaptive",
+            RoutingAlgorithm::ProgressiveAdaptive { .. } => "progressive-adaptive",
+        }
+    }
+}
+
+/// One forwarding step out of a router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Eject to the router's `k`-th terminal.
+    Eject(u32),
+    /// Local link to the router with this rank.
+    Local(u32),
+    /// Global port `gp`.
+    Global(u32),
+}
+
+/// The next minimal-routing step from `me` toward `target_group` (which
+/// must differ from `me`'s group).
+pub fn toward_group(topo: &Topology, me: RouterId, target_group: GroupId) -> Step {
+    let my_group = topo.group_of_router(me);
+    debug_assert_ne!(my_group, target_group);
+    let (gateway, gp) = topo.gateway(my_group, target_group);
+    if gateway == me {
+        Step::Global(gp)
+    } else {
+        Step::Local(topo.rank_of_router(gateway))
+    }
+}
+
+/// The next minimal-routing step from `me` toward `dst_router` /
+/// `dst_terminal_port` (the terminal's port index on its router).
+pub fn minimal_step(
+    topo: &Topology,
+    me: RouterId,
+    dst_router: RouterId,
+    dst_terminal_port: u32,
+) -> Step {
+    if me == dst_router {
+        return Step::Eject(dst_terminal_port);
+    }
+    let my_group = topo.group_of_router(me);
+    let dst_group = topo.group_of_router(dst_router);
+    if my_group == dst_group {
+        Step::Local(topo.rank_of_router(dst_router))
+    } else {
+        toward_group(topo, me, dst_group)
+    }
+}
+
+/// Estimated router-to-router hops of the Valiant path `me → gi → dst`.
+pub fn valiant_hops(topo: &Topology, me: RouterId, gi: GroupId, dst_router: RouterId) -> u32 {
+    let my_group = topo.group_of_router(me);
+    if my_group == gi {
+        return topo.minimal_hops(me, dst_router);
+    }
+    let (gw, gp) = topo.gateway(my_group, gi);
+    let (lander, _) = topo.global_peer(gw, gp);
+    u32::from(me != gw) + 1 + topo.minimal_hops(lander, dst_router)
+}
+
+/// Pick a random intermediate group distinct from both endpoints. Returns
+/// `None` when the network is too small to have one.
+pub fn random_intermediate<R: Rng>(
+    topo: &Topology,
+    rng: &mut R,
+    src_group: GroupId,
+    dst_group: GroupId,
+) -> Option<GroupId> {
+    let g = topo.config().groups;
+    let excluded = if src_group == dst_group { 1 } else { 2 };
+    if g <= excluded {
+        return None;
+    }
+    loop {
+        let cand = GroupId(rng.gen_range(0..g));
+        if cand != src_group && cand != dst_group {
+            return Some(cand);
+        }
+    }
+}
+
+/// UGAL-L comparison: `true` means divert to the non-minimal path.
+///
+/// `q_*` are local queue occupancies in bytes of the candidate first-hop
+/// ports; `h_*` are the path-length estimates.
+pub fn ugal_prefers_nonminimal(
+    q_min: u64,
+    h_min: u32,
+    q_nonmin: u64,
+    h_nonmin: u32,
+    threshold: u64,
+) -> bool {
+    q_min.saturating_mul(h_min as u64) > q_nonmin.saturating_mul(h_nonmin as u64) + threshold
+}
+
+/// Virtual channel for a forwarding step, per the stage table in the module
+/// docs.
+///
+/// * `global_hops` — global links already traversed.
+/// * `in_source_group` — the packet has not yet left its source group.
+/// * `diverted` — a PAR router already diverted this packet mid-group.
+/// * `in_dst_group` — the router is in the destination group.
+pub fn vc_for_step(
+    step: Step,
+    global_hops: u8,
+    in_source_group: bool,
+    diverted: bool,
+    in_dst_group: bool,
+) -> u8 {
+    match step {
+        Step::Eject(_) => 0,
+        Step::Global(_) => global_hops, // G0 = vc0, G1 = vc1
+        Step::Local(_) => {
+            if in_source_group && global_hops == 0 {
+                u8::from(diverted) // L0 or L1
+            } else if in_dst_group {
+                3 // L3
+            } else {
+                2 // L2 (intermediate group)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DragonflyConfig;
+    use crate::topology::TerminalId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        Topology::new(DragonflyConfig::canonical(3)) // g=19, a=6, p=3
+    }
+
+    #[test]
+    fn minimal_step_ejects_at_destination() {
+        let t = topo();
+        let term = TerminalId(10);
+        let r = t.router_of_terminal(term);
+        let step = minimal_step(&t, r, r, t.terminal_port(term));
+        assert_eq!(step, Step::Eject(t.terminal_port(term)));
+    }
+
+    #[test]
+    fn minimal_step_is_local_within_group() {
+        let t = topo();
+        let r0 = RouterId(0);
+        let r3 = RouterId(3);
+        assert_eq!(minimal_step(&t, r0, r3, 0), Step::Local(3));
+    }
+
+    #[test]
+    fn minimal_path_walk_reaches_destination_within_bound() {
+        let t = topo();
+        let cfg = *t.config();
+        for src in (0..cfg.num_terminals()).step_by(11) {
+            for dst in (0..cfg.num_terminals()).step_by(13) {
+                if src == dst {
+                    continue;
+                }
+                let dst_t = TerminalId(dst);
+                let dst_r = t.router_of_terminal(dst_t);
+                let mut cur = t.router_of_terminal(TerminalId(src));
+                let mut hops = 0;
+                loop {
+                    match minimal_step(&t, cur, dst_r, t.terminal_port(dst_t)) {
+                        Step::Eject(k) => {
+                            assert_eq!(t.terminal_of(cur, k), dst_t);
+                            break;
+                        }
+                        Step::Local(rank) => {
+                            cur = t.router_in_group(t.group_of_router(cur), rank);
+                        }
+                        Step::Global(gp) => {
+                            cur = t.global_peer(cur, gp).0;
+                        }
+                    }
+                    hops += 1;
+                    assert!(hops <= 3, "minimal path exceeded l-g-l bound");
+                }
+                assert_eq!(hops, t.minimal_hops(t.router_of_terminal(TerminalId(src)), dst_r));
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_walk_reaches_destination_within_bound() {
+        let t = topo();
+        let cfg = *t.config();
+        let mut rng = StdRng::seed_from_u64(7);
+        for case in 0..200 {
+            let src = TerminalId((case * 37) % cfg.num_terminals());
+            let dst = TerminalId((case * 61 + 5) % cfg.num_terminals());
+            if src == dst {
+                continue;
+            }
+            let src_r = t.router_of_terminal(src);
+            let dst_r = t.router_of_terminal(dst);
+            let sg = t.group_of_router(src_r);
+            let dg = t.group_of_router(dst_r);
+            let Some(gi) = random_intermediate(&t, &mut rng, sg, dg) else {
+                continue;
+            };
+            assert_ne!(gi, sg);
+            assert_ne!(gi, dg);
+            // Walk: minimal to gi, then minimal to dst.
+            let mut cur = src_r;
+            let mut hops = 0;
+            while t.group_of_router(cur) != gi {
+                match toward_group(&t, cur, gi) {
+                    Step::Local(rank) => cur = t.router_in_group(t.group_of_router(cur), rank),
+                    Step::Global(gp) => cur = t.global_peer(cur, gp).0,
+                    Step::Eject(_) => unreachable!(),
+                }
+                hops += 1;
+                assert!(hops <= 3);
+            }
+            while cur != dst_r {
+                match minimal_step(&t, cur, dst_r, t.terminal_port(dst)) {
+                    Step::Local(rank) => cur = t.router_in_group(t.group_of_router(cur), rank),
+                    Step::Global(gp) => cur = t.global_peer(cur, gp).0,
+                    Step::Eject(_) => break,
+                }
+                hops += 1;
+                assert!(hops <= 6, "valiant path exceeded bound");
+            }
+            assert!(hops <= valiant_hops(&t, src_r, gi, dst_r) + 1);
+        }
+    }
+
+    #[test]
+    fn random_intermediate_avoids_endpoints() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let gi = random_intermediate(&t, &mut rng, GroupId(0), GroupId(5)).unwrap();
+            assert_ne!(gi, GroupId(0));
+            assert_ne!(gi, GroupId(5));
+        }
+    }
+
+    #[test]
+    fn random_intermediate_none_for_tiny_networks() {
+        let t = Topology::new(DragonflyConfig {
+            groups: 2,
+            routers_per_group: 2,
+            terminals_per_router: 1,
+            global_ports: 1,
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(random_intermediate(&t, &mut rng, GroupId(0), GroupId(1)), None);
+    }
+
+    #[test]
+    fn ugal_comparison() {
+        // Empty queues: stay minimal.
+        assert!(!ugal_prefers_nonminimal(0, 3, 0, 6, 1000));
+        // Congested minimal, idle nonminimal path: divert.
+        assert!(ugal_prefers_nonminimal(10_000, 3, 100, 6, 1000));
+        // Symmetric congestion: path-length scaling keeps it minimal.
+        assert!(!ugal_prefers_nonminimal(5_000, 3, 5_000, 6, 1000));
+    }
+
+    #[test]
+    fn vc_stages_are_ordered() {
+        // L0 then L1 then G0 then L2 then G1 then L3.
+        assert_eq!(vc_for_step(Step::Local(0), 0, true, false, false), 0);
+        assert_eq!(vc_for_step(Step::Local(0), 0, true, true, false), 1);
+        assert_eq!(vc_for_step(Step::Global(0), 0, true, false, false), 0);
+        assert_eq!(vc_for_step(Step::Local(0), 1, false, false, false), 2);
+        assert_eq!(vc_for_step(Step::Global(0), 1, false, false, false), 1);
+        assert_eq!(vc_for_step(Step::Local(0), 1, false, false, true), 3);
+        assert_eq!(vc_for_step(Step::Local(0), 2, false, false, true), 3);
+        assert_eq!(vc_for_step(Step::Eject(2), 2, false, false, true), 0);
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(RoutingAlgorithm::Minimal.name(), "minimal");
+        assert_eq!(RoutingAlgorithm::adaptive_default().name(), "adaptive");
+        assert_eq!(RoutingAlgorithm::par_default().name(), "progressive-adaptive");
+        assert_eq!(RoutingAlgorithm::NonMinimal.name(), "nonminimal");
+    }
+}

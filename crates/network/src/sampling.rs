@@ -1,0 +1,188 @@
+//! Time-binned metric accumulation.
+//!
+//! The paper extends CODES instrumentation to "capture time series data for
+//! any given sampling rate" (§III); [`Bins`] is that mechanism. Each link
+//! and terminal optionally owns a pair of bins (traffic bytes, saturated
+//! nanoseconds) whose width is the sampling period.
+
+use crate::config::SamplingConfig;
+use hrviz_pdes::SimTime;
+
+/// A time-binned accumulator. Values past `max_bins` clamp into the final
+/// bin, so pathological runs degrade gracefully instead of allocating
+/// unboundedly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bins {
+    width_ns: u64,
+    max_bins: usize,
+    values: Vec<u64>,
+}
+
+impl Bins {
+    /// New accumulator with the given sampling configuration.
+    pub fn new(cfg: SamplingConfig) -> Self {
+        assert!(cfg.bin_width.as_nanos() > 0, "bin width must be positive");
+        Bins { width_ns: cfg.bin_width.as_nanos(), max_bins: cfg.max_bins.max(1), values: Vec::new() }
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> SimTime {
+        SimTime(self.width_ns)
+    }
+
+    fn bin_of(&self, t: SimTime) -> usize {
+        ((t.as_nanos() / self.width_ns) as usize).min(self.max_bins - 1)
+    }
+
+    fn ensure(&mut self, bin: usize) {
+        if self.values.len() <= bin {
+            self.values.resize(bin + 1, 0);
+        }
+    }
+
+    /// Add a point quantity (e.g. bytes transmitted) at time `t`.
+    pub fn add_at(&mut self, t: SimTime, amount: u64) {
+        let b = self.bin_of(t);
+        self.ensure(b);
+        self.values[b] += amount;
+    }
+
+    /// Add a duration quantity spread across the bins it overlaps
+    /// (e.g. a saturated interval `[start, end)` contributing nanoseconds).
+    pub fn add_interval(&mut self, start: SimTime, end: SimTime) {
+        if end <= start {
+            return;
+        }
+        let (s, e) = (start.as_nanos(), end.as_nanos());
+        let first = self.bin_of(start);
+        let last = self.bin_of(SimTime(e - 1));
+        self.ensure(last);
+        if first == last {
+            self.values[first] += e - s;
+            return;
+        }
+        for b in first..=last {
+            let bin_start = (b as u64) * self.width_ns;
+            let bin_end = if b == self.max_bins - 1 { u64::MAX } else { bin_start + self.width_ns };
+            let lo = s.max(bin_start);
+            let hi = e.min(bin_end);
+            if hi > lo {
+                self.values[b] += hi - lo;
+            }
+        }
+    }
+
+    /// The accumulated values (one per bin; trailing empty bins omitted).
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Sum over bins whose *start* lies in `[range_start, range_end)`.
+    /// This is the granularity at which the timeline view selects data.
+    pub fn sum_range(&self, range_start: SimTime, range_end: SimTime) -> u64 {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| {
+                let t = (*b as u64) * self.width_ns;
+                t >= range_start.as_nanos() && t < range_end.as_nanos()
+            })
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Total across all bins.
+    pub fn total(&self) -> u64 {
+        self.values.iter().sum()
+    }
+
+    /// Element-wise accumulate another `Bins` (must have the same width).
+    pub fn merge(&mut self, other: &Bins) {
+        assert_eq!(self.width_ns, other.width_ns, "merging bins of different widths");
+        self.ensure(other.values.len().saturating_sub(1));
+        for (dst, src) in self.values.iter_mut().zip(&other.values) {
+            *dst += src;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(width: u64, max: usize) -> SamplingConfig {
+        SamplingConfig { bin_width: SimTime(width), max_bins: max }
+    }
+
+    #[test]
+    fn point_amounts_land_in_bins() {
+        let mut b = Bins::new(cfg(10, 100));
+        b.add_at(SimTime(0), 5);
+        b.add_at(SimTime(9), 5);
+        b.add_at(SimTime(10), 7);
+        assert_eq!(b.values(), &[10, 7]);
+        assert_eq!(b.total(), 17);
+    }
+
+    #[test]
+    fn interval_splits_across_bins() {
+        let mut b = Bins::new(cfg(10, 100));
+        b.add_interval(SimTime(5), SimTime(25));
+        assert_eq!(b.values(), &[5, 10, 5]);
+    }
+
+    #[test]
+    fn interval_within_one_bin() {
+        let mut b = Bins::new(cfg(10, 100));
+        b.add_interval(SimTime(2), SimTime(7));
+        assert_eq!(b.values(), &[5]);
+    }
+
+    #[test]
+    fn empty_interval_is_noop() {
+        let mut b = Bins::new(cfg(10, 100));
+        b.add_interval(SimTime(7), SimTime(7));
+        b.add_interval(SimTime(9), SimTime(3));
+        assert!(b.values().is_empty());
+    }
+
+    #[test]
+    fn clamps_into_last_bin() {
+        let mut b = Bins::new(cfg(10, 3));
+        b.add_at(SimTime(1_000_000), 9);
+        assert_eq!(b.values(), &[0, 0, 9]);
+        b.add_interval(SimTime(15), SimTime(1_000));
+        // 5 ns land in bin 1, the remaining 980 in the (clamped) last bin.
+        assert_eq!(b.values()[1], 5);
+        assert_eq!(b.values()[2], 9 + 980);
+    }
+
+    #[test]
+    fn range_sum_selects_bins_by_start() {
+        let mut b = Bins::new(cfg(10, 100));
+        for i in 0..5u64 {
+            b.add_at(SimTime(i * 10), i + 1);
+        }
+        assert_eq!(b.sum_range(SimTime(10), SimTime(40)), 2 + 3 + 4);
+        assert_eq!(b.sum_range(SimTime(0), SimTime(1_000)), b.total());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Bins::new(cfg(10, 100));
+        let mut b = Bins::new(cfg(10, 100));
+        a.add_at(SimTime(0), 1);
+        b.add_at(SimTime(0), 2);
+        b.add_at(SimTime(15), 4);
+        a.merge(&b);
+        assert_eq!(a.values(), &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different widths")]
+    fn merge_rejects_mismatched_widths() {
+        let mut a = Bins::new(cfg(10, 100));
+        let b = Bins::new(cfg(20, 100));
+        a.merge(&b);
+    }
+}

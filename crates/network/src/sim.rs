@@ -1,0 +1,448 @@
+//! Simulation assembly and execution.
+//!
+//! [`Simulation`] builds the LP population from a [`NetworkSpec`], installs
+//! workload injections and job metadata, runs the engine (sequential or
+//! conservative-parallel — bit-identical results), and extracts a
+//! [`RunData`].
+
+use crate::config::NetworkSpec;
+use crate::metrics::RunData;
+use crate::node::NetNode;
+use crate::packet::JobId;
+use crate::router::RouterLp;
+use crate::terminal::TerminalLp;
+use crate::topology::{RouterId, TerminalId, Topology};
+use crate::traffic::{JobMeta, MsgInjection};
+use hrviz_pdes::{Engine, ParallelEngine, SimTime};
+use std::sync::Arc;
+
+/// A configured, not-yet-run simulation.
+pub struct Simulation {
+    spec: Arc<NetworkSpec>,
+    topo: Topology,
+    /// Per-terminal injection schedules.
+    schedules: Vec<Vec<MsgInjection>>,
+    jobs: Vec<JobMeta>,
+    /// Hard stop (events after this time are not processed).
+    horizon: SimTime,
+    event_budget: u64,
+}
+
+impl Simulation {
+    /// Start building a simulation for `spec`.
+    pub fn new(spec: NetworkSpec) -> Self {
+        let topo = Topology::new(spec.topology);
+        assert!(
+            spec.num_vcs >= 4,
+            "the stage-ordered VC discipline requires at least 4 VCs (got {})",
+            spec.num_vcs
+        );
+        let nt = spec.topology.num_terminals() as usize;
+        Simulation {
+            spec: Arc::new(spec),
+            topo,
+            schedules: vec![Vec::new(); nt],
+            jobs: Vec::new(),
+            horizon: SimTime::MAX,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// The network specification.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Topology helper.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Register a job (name + terminals in rank order); returns its id.
+    pub fn add_job(&mut self, meta: JobMeta) -> JobId {
+        let id = self.jobs.len() as JobId;
+        self.jobs.push(meta);
+        id
+    }
+
+    /// Queue one message injection.
+    pub fn inject(&mut self, msg: MsgInjection) {
+        assert!(
+            msg.src.0 < self.spec.topology.num_terminals(),
+            "source terminal out of range"
+        );
+        assert!(
+            msg.dst.0 < self.spec.topology.num_terminals(),
+            "destination terminal out of range"
+        );
+        self.schedules[msg.src.0 as usize].push(msg);
+    }
+
+    /// Queue many injections.
+    pub fn inject_all(&mut self, msgs: impl IntoIterator<Item = MsgInjection>) {
+        for m in msgs {
+            self.inject(m);
+        }
+    }
+
+    /// Stop the simulation at `horizon` even if traffic remains undelivered.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Cap processed events (runaway/deadlock safety valve in tests).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    fn build_nodes(&mut self) -> Vec<NetNode> {
+        let cfg = self.spec.topology;
+        let nt = cfg.num_terminals();
+        let mut nodes = Vec::with_capacity(self.topo.num_lps() as usize);
+        for t in 0..nt {
+            let tid = TerminalId(t);
+            let mut lp = TerminalLp::new(
+                tid,
+                self.topo.router_lp(self.topo.router_of_terminal(tid)),
+                self.spec.terminal_link,
+                self.spec.packet_bytes,
+                self.spec.vc_buffer_bytes,
+                self.spec.sampling,
+            );
+            let mut sched = std::mem::take(&mut self.schedules[t as usize]);
+            sched.sort_by_key(|m| m.time);
+            lp.set_schedule(sched);
+            nodes.push(NetNode::Terminal(lp));
+        }
+        for r in 0..cfg.num_routers() {
+            nodes.push(NetNode::Router(RouterLp::new(&self.spec, RouterId(r))));
+        }
+        // Stamp terminal job ids from job metadata.
+        for (j, job) in self.jobs.iter().enumerate() {
+            for &t in &job.terminals {
+                match &mut nodes[t.0 as usize] {
+                    NetNode::Terminal(lp) => lp.job = j as JobId,
+                    NetNode::Router(_) => unreachable!(),
+                }
+            }
+        }
+        nodes
+    }
+
+    /// Run on the sequential engine.
+    pub fn run(mut self) -> RunData {
+        let nodes = self.build_nodes();
+        let mut engine = Engine::new(nodes, self.spec.lookahead());
+        engine.set_event_budget(self.event_budget);
+        if self.horizon == SimTime::MAX {
+            engine.run_to_completion();
+        } else {
+            engine.run_until(self.horizon);
+            let now = engine.now();
+            // Finalize open intervals at the horizon.
+            for i in 0..engine.num_lps() {
+                use hrviz_pdes::Lp;
+                engine.lp_mut(hrviz_pdes::LpId(i as u32)).on_finish(now);
+            }
+        }
+        let stats = engine.stats();
+        let nodes = engine.into_lps();
+        RunData::extract(&self.spec, self.jobs, &nodes, stats.end_time, stats.events_processed)
+    }
+
+    /// Run on the conservative parallel engine with `partitions` workers.
+    /// Produces results identical to [`Simulation::run`].
+    pub fn run_parallel(mut self, partitions: usize) -> RunData {
+        assert!(
+            self.horizon == SimTime::MAX && self.event_budget == u64::MAX,
+            "horizon/budget bounds are only supported on the sequential engine"
+        );
+        let nodes = self.build_nodes();
+        let mut engine = ParallelEngine::new(nodes, self.spec.lookahead(), partitions);
+        let stats = engine.run_to_completion();
+        let nodes = engine.into_lps();
+        RunData::extract(&self.spec, self.jobs, &nodes, stats.end_time, stats.events_processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DragonflyConfig;
+    use crate::routing::RoutingAlgorithm;
+
+    fn small_spec() -> NetworkSpec {
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2)); // 72 terminals
+        s.num_vcs = 4;
+        s
+    }
+
+    fn msg(t: u64, src: u32, dst: u32, bytes: u64) -> MsgInjection {
+        MsgInjection {
+            time: SimTime(t),
+            src: TerminalId(src),
+            dst: TerminalId(dst),
+            bytes,
+            job: 0,
+        }
+    }
+
+    #[test]
+    fn single_message_is_delivered() {
+        let mut sim = Simulation::new(small_spec());
+        sim.inject(msg(0, 0, 71, 10_000));
+        let run = sim.run();
+        assert_eq!(run.total_injected(), 10_000);
+        assert_eq!(run.total_delivered(), 10_000);
+        let dst = &run.terminals[71];
+        assert_eq!(dst.packets_finished, 5); // 10_000 / 2048 → 5 packets
+        assert!(dst.avg_latency_ns > 0.0);
+        assert!(dst.avg_hops >= 1.0 && dst.avg_hops <= 4.0);
+        assert!(run.end_time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn all_to_one_congests_terminal_link() {
+        let mut sim = Simulation::new(small_spec());
+        for src in 1..24 {
+            sim.inject(msg(0, src, 0, 64 * 1024));
+        }
+        let run = sim.run();
+        assert_eq!(run.total_delivered(), 23 * 64 * 1024);
+        // The hot ejection link must have saturated somewhere upstream.
+        let total_sat: u64 = run.class_sat_ns(crate::config::LinkClass::Local)
+            + run.class_sat_ns(crate::config::LinkClass::Global)
+            + run.class_sat_ns(crate::config::LinkClass::Terminal);
+        assert!(total_sat > 0, "incast should saturate buffers");
+    }
+
+    #[test]
+    fn conservation_under_uniform_traffic() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut sim = Simulation::new(small_spec());
+        let n = 72;
+        for src in 0..n {
+            for k in 0..10u64 {
+                let dst = loop {
+                    let d = rng.gen_range(0..n);
+                    if d != src {
+                        break d;
+                    }
+                };
+                sim.inject(msg(k * 1_000, src, dst, 4096));
+            }
+        }
+        let run = sim.run();
+        assert_eq!(run.total_delivered(), run.total_injected());
+        assert_eq!(run.total_injected(), n as u64 * 10 * 4096);
+        // Every packet takes ≥1 router hop; none lost.
+        let pkts: u64 = run.terminals.iter().map(|t| t.packets_finished).sum();
+        assert_eq!(pkts, n as u64 * 10 * 2);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        use rand::{Rng, SeedableRng};
+        let build = || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let mut sim = Simulation::new(small_spec().with_routing(RoutingAlgorithm::adaptive_default()));
+            for src in 0..72 {
+                for k in 0..5u64 {
+                    let dst = (src + 1 + rng.gen_range(0..70)) % 72;
+                    sim.inject(msg(k * 500, src, dst, 8192));
+                }
+            }
+            sim
+        };
+        let seq = build().run();
+        let par = build().run_parallel(4);
+        assert_eq!(seq.events_processed, par.events_processed);
+        assert_eq!(seq.end_time, par.end_time);
+        assert_eq!(seq.total_delivered(), par.total_delivered());
+        for (a, b) in seq.terminals.iter().zip(&par.terminals) {
+            assert_eq!(a.packets_finished, b.packets_finished);
+            assert_eq!(a.avg_latency_ns, b.avg_latency_ns);
+            assert_eq!(a.sat_ns, b.sat_ns);
+        }
+        for (a, b) in seq.local_links.iter().zip(&par.local_links) {
+            assert_eq!(a.traffic, b.traffic);
+            assert_eq!(a.sat_ns, b.sat_ns);
+        }
+        for (a, b) in seq.global_links.iter().zip(&par.global_links) {
+            assert_eq!(a.traffic, b.traffic);
+        }
+    }
+
+    #[test]
+    fn routing_algorithms_all_deliver() {
+        for routing in [
+            RoutingAlgorithm::Minimal,
+            RoutingAlgorithm::NonMinimal,
+            RoutingAlgorithm::adaptive_default(),
+            RoutingAlgorithm::par_default(),
+        ] {
+            let mut sim = Simulation::new(small_spec().with_routing(routing));
+            for src in 0..72u32 {
+                sim.inject(msg(0, src, (src + 36) % 72, 16 * 1024));
+            }
+            let run = sim.run();
+            assert_eq!(
+                run.total_delivered(),
+                72 * 16 * 1024,
+                "routing {:?} lost traffic",
+                routing.name()
+            );
+        }
+    }
+
+    #[test]
+    fn nonminimal_routing_increases_hops() {
+        let run_with = |routing| {
+            let mut sim = Simulation::new(small_spec().with_routing(routing));
+            for src in 0..72u32 {
+                sim.inject(msg(0, src, (src + 36) % 72, 8192));
+            }
+            let run = sim.run();
+            let pkts: u64 = run.terminals.iter().map(|t| t.packets_finished).sum();
+            let hops: f64 = run
+                .terminals
+                .iter()
+                .map(|t| t.avg_hops * t.packets_finished as f64)
+                .sum::<f64>()
+                / pkts as f64;
+            hops
+        };
+        let min_hops = run_with(RoutingAlgorithm::Minimal);
+        let non_hops = run_with(RoutingAlgorithm::NonMinimal);
+        assert!(
+            non_hops > min_hops + 0.5,
+            "valiant should lengthen paths: {min_hops} vs {non_hops}"
+        );
+    }
+
+    #[test]
+    fn jobs_are_stamped_and_aggregated() {
+        let mut sim = Simulation::new(small_spec());
+        let job = sim.add_job(JobMeta {
+            name: "toy".into(),
+            terminals: (0..8).map(TerminalId).collect(),
+        });
+        for src in 0..8u32 {
+            sim.inject(MsgInjection {
+                time: SimTime::ZERO,
+                src: TerminalId(src),
+                dst: TerminalId((src + 4) % 8),
+                bytes: 4096,
+                job,
+            });
+        }
+        let run = sim.run();
+        let stats = run.job_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "toy");
+        assert_eq!(stats[0].ranks, 8);
+        assert_eq!(stats[0].bytes, 8 * 4096);
+        assert!(stats[0].avg_latency_ns > 0.0);
+        assert!(stats[0].makespan > SimTime::ZERO);
+        assert_eq!(run.terminals[0].job, 0);
+        assert_eq!(run.terminals[9].job, crate::packet::NO_JOB);
+    }
+
+    #[test]
+    fn sampling_produces_series() {
+        let spec = small_spec().with_sampling(SimTime::micros(1), 1000);
+        let mut sim = Simulation::new(spec);
+        for src in 0..72u32 {
+            sim.inject(msg(0, src, (src + 7) % 72, 32 * 1024));
+        }
+        let run = sim.run();
+        let series = run.series.as_ref().expect("sampling enabled");
+        let total_term: u64 = series.traffic[0].total();
+        assert_eq!(total_term, run.total_injected());
+        assert_eq!(series.recv_count.total(), run.terminals.iter().map(|t| t.packets_finished).sum::<u64>());
+        assert!(series.latency_sum.total() > 0);
+    }
+
+    #[test]
+    fn horizon_stops_early() {
+        let mut sim = Simulation::new(small_spec());
+        for src in 0..72u32 {
+            sim.inject(msg(0, src, (src + 36) % 72, 1 << 20));
+        }
+        let run = sim.with_horizon(SimTime::micros(5)).run();
+        assert!(run.end_time <= SimTime::micros(5));
+        assert!(run.total_delivered() < run.total_injected());
+    }
+
+    #[test]
+    fn no_deadlock_with_tiny_buffers_under_valiant_pressure() {
+        // Failure injection for the VC discipline: buffers barely larger
+        // than one packet, adversarial tornado traffic, and the two
+        // detouring routings. Any cycle in the channel dependency graph
+        // would wedge this configuration; the event budget turns a wedge
+        // into a test failure instead of a hang.
+        for routing in [RoutingAlgorithm::NonMinimal, RoutingAlgorithm::par_default()] {
+            let mut spec = small_spec().with_routing(routing);
+            spec.vc_buffer_bytes = 3 * 1024; // ~1.5 packets per VC
+            let mut sim = Simulation::new(spec);
+            for src in 0..72u32 {
+                sim.inject(msg(0, src, (src + 36) % 72, 64 * 1024));
+            }
+            let sim = sim.with_event_budget(50_000_000);
+            let run = sim.run();
+            assert_eq!(
+                run.total_delivered(),
+                72 * 64 * 1024,
+                "{} wedged or lost traffic with tiny buffers",
+                routing.name()
+            );
+        }
+    }
+
+    #[test]
+    fn horizon_finalizes_open_saturation_intervals() {
+        // Stop mid-congestion: saturation accounting must be closed at the
+        // horizon, never exceed it, and remain non-zero for the hot links.
+        let mut spec = small_spec();
+        spec.vc_buffer_bytes = 4 * 1024;
+        let mut sim = Simulation::new(spec);
+        for src in 1..36u32 {
+            sim.inject(msg(0, src, 0, 256 * 1024)); // incast on terminal 0
+        }
+        let run = sim.with_horizon(SimTime::micros(20)).run();
+        let horizon = run.end_time.as_nanos();
+        for l in run.local_links.iter().chain(&run.global_links) {
+            assert!(l.sat_ns <= horizon);
+        }
+        let total_sat: u64 = run.terminals.iter().map(|t| t.sat_ns).sum();
+        assert!(total_sat > 0, "incast must have saturated by the horizon");
+        assert!(run.terminals.iter().all(|t| t.sat_ns <= horizon));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn injection_bounds_checked() {
+        let mut sim = Simulation::new(small_spec());
+        sim.inject(msg(0, 0, 10_000, 100));
+    }
+
+    #[test]
+    fn link_records_cover_topology() {
+        let spec = small_spec();
+        let cfg = spec.topology;
+        let sim = Simulation::new(spec);
+        let run = sim.run();
+        // Directed local links: a routers each with a-1 peers per group.
+        let a = cfg.routers_per_group as usize;
+        let expect_local = cfg.groups as usize * a * (a - 1);
+        assert_eq!(run.local_links.len(), expect_local);
+        // Directed global links: every router has h.
+        let expect_global = cfg.num_routers() as usize * cfg.global_ports as usize;
+        assert_eq!(run.global_links.len(), expect_global);
+        assert_eq!(run.terminals.len(), cfg.num_terminals() as usize);
+        assert_eq!(run.routers.len(), cfg.num_routers() as usize);
+    }
+}

@@ -1,0 +1,367 @@
+//! Dragonfly connectivity arithmetic: id spaces, port layout, and the
+//! global-channel wiring.
+//!
+//! Global channels use the standard "consecutive" allocation (as in CODES):
+//! group `i`'s channel `c` (`c = rank·h + port`, `c ∈ 0..a·h = g−1` in the
+//! balanced sizing) connects to group `(i + c + 1) mod g`, and the paired
+//! reverse channel in that group is `c' = (g − c − 2) mod g`. Each ordered
+//! group pair therefore has exactly one channel, and the wiring is an
+//! involution (the channel you arrive on points back at the group you came
+//! from).
+
+use crate::config::DragonflyConfig;
+use hrviz_pdes::LpId;
+
+/// Terminal index, `0..num_terminals`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TerminalId(pub u32);
+
+/// Router index, `0..num_routers`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RouterId(pub u32);
+
+/// Group index, `0..groups`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+/// Topology helper bound to a concrete [`DragonflyConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct Topology {
+    cfg: DragonflyConfig,
+}
+
+impl Topology {
+    /// Wrap a configuration.
+    pub fn new(cfg: DragonflyConfig) -> Self {
+        Topology { cfg }
+    }
+
+    /// The wrapped configuration.
+    pub fn config(&self) -> &DragonflyConfig {
+        &self.cfg
+    }
+
+    // ---- id space ---------------------------------------------------------
+
+    /// The router a terminal is attached to.
+    pub fn router_of_terminal(&self, t: TerminalId) -> RouterId {
+        RouterId(t.0 / self.cfg.terminals_per_router)
+    }
+
+    /// The port (0-based, within the terminal port class) the terminal
+    /// occupies on its router.
+    pub fn terminal_port(&self, t: TerminalId) -> u32 {
+        t.0 % self.cfg.terminals_per_router
+    }
+
+    /// The `k`-th terminal of a router.
+    pub fn terminal_of(&self, r: RouterId, k: u32) -> TerminalId {
+        debug_assert!(k < self.cfg.terminals_per_router);
+        TerminalId(r.0 * self.cfg.terminals_per_router + k)
+    }
+
+    /// The group a router belongs to.
+    pub fn group_of_router(&self, r: RouterId) -> GroupId {
+        GroupId(r.0 / self.cfg.routers_per_group)
+    }
+
+    /// The router's rank within its group.
+    pub fn rank_of_router(&self, r: RouterId) -> u32 {
+        r.0 % self.cfg.routers_per_group
+    }
+
+    /// Router with `rank` in `group`.
+    pub fn router_in_group(&self, g: GroupId, rank: u32) -> RouterId {
+        debug_assert!(rank < self.cfg.routers_per_group);
+        RouterId(g.0 * self.cfg.routers_per_group + rank)
+    }
+
+    // ---- LP layout --------------------------------------------------------
+    // LPs 0..T are terminals; LPs T..T+R are routers.
+
+    /// LP id of a terminal.
+    pub fn terminal_lp(&self, t: TerminalId) -> LpId {
+        LpId(t.0)
+    }
+
+    /// LP id of a router.
+    pub fn router_lp(&self, r: RouterId) -> LpId {
+        LpId(self.cfg.num_terminals() + r.0)
+    }
+
+    /// Total LPs in the simulation.
+    pub fn num_lps(&self) -> u32 {
+        self.cfg.num_terminals() + self.cfg.num_routers()
+    }
+
+    // ---- router port layout ----------------------------------------------
+    // Out-port indices on every router:
+    //   [0, p)            terminal (ejection) ports, one per attached terminal
+    //   [p, p + a)        local ports, indexed by *peer rank* (own rank unused)
+    //   [p + a, p + a + h) global ports
+    //
+    // Indexing local ports by peer rank (leaving the self slot empty) keeps
+    // the arithmetic branch-free; the self slot is never enqueued to.
+
+    /// Number of out ports on every router (including the unused self slot).
+    pub fn ports_per_router(&self) -> u32 {
+        self.cfg.terminals_per_router + self.cfg.routers_per_group + self.cfg.global_ports
+    }
+
+    /// Out-port index for ejecting to the router's `k`-th terminal.
+    pub fn eject_port(&self, k: u32) -> u32 {
+        debug_assert!(k < self.cfg.terminals_per_router);
+        k
+    }
+
+    /// Out-port index for the local link to `peer_rank`.
+    pub fn local_port(&self, peer_rank: u32) -> u32 {
+        debug_assert!(peer_rank < self.cfg.routers_per_group);
+        self.cfg.terminals_per_router + peer_rank
+    }
+
+    /// Out-port index for global port `gp` (`gp ∈ 0..h`).
+    pub fn global_port(&self, gp: u32) -> u32 {
+        debug_assert!(gp < self.cfg.global_ports);
+        self.cfg.terminals_per_router + self.cfg.routers_per_group + gp
+    }
+
+    /// Classify an out-port index into (class, index-within-class).
+    pub fn classify_port(&self, port: u32) -> (crate::config::LinkClass, u32) {
+        use crate::config::LinkClass;
+        let p = self.cfg.terminals_per_router;
+        let a = self.cfg.routers_per_group;
+        if port < p {
+            (LinkClass::Terminal, port)
+        } else if port < p + a {
+            (LinkClass::Local, port - p)
+        } else {
+            (LinkClass::Global, port - p - a)
+        }
+    }
+
+    // ---- global wiring ----------------------------------------------------
+
+    /// Group-level channel index of (router rank, global port).
+    pub fn channel_index(&self, rank: u32, gp: u32) -> u32 {
+        rank * self.cfg.global_ports + gp
+    }
+
+    /// The group that channel `c` of group `g` connects to.
+    pub fn channel_target_group(&self, g: GroupId, c: u32) -> GroupId {
+        GroupId((g.0 + c + 1) % self.cfg.groups)
+    }
+
+    /// The channel index of the reverse direction of (`g`, `c`), i.e. the
+    /// channel in the target group that points back at `g`.
+    pub fn reverse_channel(&self, _g: GroupId, c: u32) -> u32 {
+        (self.cfg.groups - c - 2) % self.cfg.groups
+    }
+
+    /// The channel of group `src` that reaches group `dst` (balanced sizing:
+    /// exactly one per ordered pair). Panics if `src == dst`.
+    pub fn channel_to_group(&self, src: GroupId, dst: GroupId) -> u32 {
+        assert_ne!(src.0, dst.0, "no global channel within a group");
+        (dst.0 + self.cfg.groups - src.0 - 1) % self.cfg.groups
+    }
+
+    /// The router (and its global port) owning channel `c` of a group.
+    pub fn channel_owner(&self, g: GroupId, c: u32) -> (RouterId, u32) {
+        let rank = c / self.cfg.global_ports;
+        let gp = c % self.cfg.global_ports;
+        (self.router_in_group(g, rank), gp)
+    }
+
+    /// Given a router and one of its global ports, the remote router and the
+    /// remote global port the link lands on.
+    pub fn global_peer(&self, r: RouterId, gp: u32) -> (RouterId, u32) {
+        let g = self.group_of_router(r);
+        let c = self.channel_index(self.rank_of_router(r), gp);
+        let tg = self.channel_target_group(g, c);
+        let rc = self.reverse_channel(g, c);
+        self.channel_owner(tg, rc)
+    }
+
+    /// In group `src_group`, the router rank owning the channel to
+    /// `dst_group` and the global port to use.
+    pub fn gateway(&self, src_group: GroupId, dst_group: GroupId) -> (RouterId, u32) {
+        let c = self.channel_to_group(src_group, dst_group);
+        self.channel_owner(src_group, c)
+    }
+
+    /// Number of router-to-router hops on the minimal path from router
+    /// `from` to terminal-owning router `to` (0 if equal).
+    pub fn minimal_hops(&self, from: RouterId, to: RouterId) -> u32 {
+        if from == to {
+            return 0;
+        }
+        let gf = self.group_of_router(from);
+        let gt = self.group_of_router(to);
+        if gf == gt {
+            return 1;
+        }
+        let (gw, gp) = self.gateway(gf, gt);
+        let (lander, _) = self.global_peer(gw, gp);
+        // hops = (from→gateway if needed) + global + (lander→to if needed)
+        u32::from(from != gw) + 1 + u32::from(lander != to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn topo(h: u32) -> Topology {
+        Topology::new(DragonflyConfig::canonical(h))
+    }
+
+    #[test]
+    fn terminal_router_group_roundtrip() {
+        let t = topo(3); // g=19, a=6, p=3
+        let cfg = *t.config();
+        for term in 0..cfg.num_terminals() {
+            let tid = TerminalId(term);
+            let r = t.router_of_terminal(tid);
+            let k = t.terminal_port(tid);
+            assert_eq!(t.terminal_of(r, k), tid);
+            let g = t.group_of_router(r);
+            let rank = t.rank_of_router(r);
+            assert_eq!(t.router_in_group(g, rank), r);
+        }
+    }
+
+    #[test]
+    fn global_wiring_is_an_involution() {
+        for h in 1..=5 {
+            let t = topo(h);
+            let cfg = *t.config();
+            for r in 0..cfg.num_routers() {
+                for gp in 0..cfg.global_ports {
+                    let (pr, pgp) = t.global_peer(RouterId(r), gp);
+                    let (back, bgp) = t.global_peer(pr, pgp);
+                    assert_eq!(back, RouterId(r), "h={h} r={r} gp={gp}");
+                    assert_eq!(bgp, gp);
+                    // A global link never stays within the group.
+                    assert_ne!(t.group_of_router(pr), t.group_of_router(RouterId(r)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_group_pair_has_exactly_one_channel() {
+        let t = topo(3);
+        let g = t.config().groups;
+        for src in 0..g {
+            let mut seen = vec![0u32; g as usize];
+            for c in 0..t.config().global_channels_per_group() {
+                let tg = t.channel_target_group(GroupId(src), c);
+                seen[tg.0 as usize] += 1;
+            }
+            for dst in 0..g {
+                let expect = u32::from(dst != src);
+                assert_eq!(seen[dst as usize], expect, "src={src} dst={dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn channel_to_group_inverts_target() {
+        let t = topo(4);
+        let g = t.config().groups;
+        for src in 0..g {
+            for dst in 0..g {
+                if src == dst {
+                    continue;
+                }
+                let c = t.channel_to_group(GroupId(src), GroupId(dst));
+                assert_eq!(t.channel_target_group(GroupId(src), c), GroupId(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_reaches_destination_group() {
+        let t = topo(3);
+        let g = t.config().groups;
+        for src in 0..g {
+            for dst in 0..g {
+                if src == dst {
+                    continue;
+                }
+                let (gw, gp) = t.gateway(GroupId(src), GroupId(dst));
+                assert_eq!(t.group_of_router(gw), GroupId(src));
+                let (lander, _) = t.global_peer(gw, gp);
+                assert_eq!(t.group_of_router(lander), GroupId(dst));
+            }
+        }
+    }
+
+    #[test]
+    fn port_layout_partitions_cleanly() {
+        let t = topo(3);
+        let cfg = *t.config();
+        use crate::config::LinkClass;
+        let mut counts = [0u32; 3];
+        for port in 0..t.ports_per_router() {
+            let (class, idx) = t.classify_port(port);
+            match class {
+                LinkClass::Terminal => {
+                    assert_eq!(t.eject_port(idx), port);
+                    counts[0] += 1;
+                }
+                LinkClass::Local => {
+                    assert_eq!(t.local_port(idx), port);
+                    counts[1] += 1;
+                }
+                LinkClass::Global => {
+                    assert_eq!(t.global_port(idx), port);
+                    counts[2] += 1;
+                }
+            }
+        }
+        assert_eq!(counts, [cfg.terminals_per_router, cfg.routers_per_group, cfg.global_ports]);
+    }
+
+    #[test]
+    fn minimal_hops_bounds() {
+        let t = topo(3);
+        let cfg = *t.config();
+        for from in (0..cfg.num_routers()).step_by(7) {
+            for to in (0..cfg.num_routers()).step_by(5) {
+                let hops = t.minimal_hops(RouterId(from), RouterId(to));
+                if from == to {
+                    assert_eq!(hops, 0);
+                } else if t.group_of_router(RouterId(from)) == t.group_of_router(RouterId(to)) {
+                    assert_eq!(hops, 1);
+                } else {
+                    assert!((1..=3).contains(&hops), "{from}->{to} = {hops}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lp_layout_is_dense() {
+        let t = topo(2);
+        let cfg = *t.config();
+        assert_eq!(t.terminal_lp(TerminalId(0)).0, 0);
+        assert_eq!(t.router_lp(RouterId(0)).0, cfg.num_terminals());
+        assert_eq!(t.num_lps(), cfg.num_terminals() + cfg.num_routers());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_global_involution(h in 1u32..6, seed in 0u32..10_000) {
+            let t = topo(h);
+            let cfg = *t.config();
+            let r = RouterId(seed % cfg.num_routers());
+            let gp = seed % cfg.global_ports;
+            let (pr, pgp) = t.global_peer(r, gp);
+            let (back, bgp) = t.global_peer(pr, pgp);
+            prop_assert_eq!(back, r);
+            prop_assert_eq!(bgp, gp);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Workload-facing types: message injections and job metadata.
+//!
+//! Workload generators (the `hrviz-workloads` crate) produce flat lists of
+//! [`MsgInjection`]s — the same interface CODES exposes for synthetic
+//! patterns and DUMPI trace replay.
+
+use crate::packet::JobId;
+use crate::topology::TerminalId;
+use hrviz_pdes::SimTime;
+
+/// One message to be injected at a terminal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsgInjection {
+    /// Absolute injection time.
+    pub time: SimTime,
+    /// Source terminal.
+    pub src: TerminalId,
+    /// Destination terminal.
+    pub dst: TerminalId,
+    /// Message size in bytes (segmented into packets on injection).
+    pub bytes: u64,
+    /// Job the message belongs to.
+    pub job: JobId,
+}
+
+/// Metadata of a job participating in a run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobMeta {
+    /// Display name (e.g. "AMG").
+    pub name: String,
+    /// Terminals allocated to the job, in rank order (rank `i` runs on
+    /// `terminals[i]`).
+    pub terminals: Vec<TerminalId>,
+}
+
+impl JobMeta {
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.terminals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_meta_rank_count() {
+        let j = JobMeta { name: "AMG".into(), terminals: vec![TerminalId(3), TerminalId(9)] };
+        assert_eq!(j.ranks(), 2);
+    }
+
+    #[test]
+    fn injection_is_value_type() {
+        let m = MsgInjection {
+            time: SimTime(5),
+            src: TerminalId(0),
+            dst: TerminalId(1),
+            bytes: 4096,
+            job: 0,
+        };
+        let n = m;
+        assert_eq!(m, n);
+    }
+}

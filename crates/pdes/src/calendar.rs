@@ -1,0 +1,335 @@
+//! Pending-event sets.
+//!
+//! Two interchangeable implementations are provided:
+//!
+//! * [`HeapQueue`] — a thin wrapper over `std::collections::BinaryHeap`,
+//!   simple and robust for any event-time distribution.
+//! * [`CalendarQueue`] — a classic bucketed calendar queue (Brown 1988),
+//!   O(1) amortized enqueue/dequeue when event times are roughly uniform
+//!   within a rotating "year", as they are for network simulations where
+//!   most events fire within a few link latencies of now.
+//!
+//! Both maintain the same total order ([`EventKey`]), verified against each
+//! other by property tests, so the engine can use either.
+
+use crate::event::{Event, EventKey};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Common interface for pending-event sets, keyed by [`EventKey`].
+pub trait EventQueue<P> {
+    /// Insert an event.
+    fn push(&mut self, ev: Event<P>);
+    /// Remove and return the minimum event, if any.
+    fn pop(&mut self) -> Option<Event<P>>;
+    /// Key of the minimum event without removing it.
+    fn peek_key(&self) -> Option<EventKey>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Whether the queue is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Binary-heap backed event queue.
+pub struct HeapQueue<P> {
+    heap: BinaryHeap<Reverse<Event<P>>>,
+}
+
+impl<P> HeapQueue<P> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        HeapQueue { heap: BinaryHeap::new() }
+    }
+
+    /// Create an empty queue with room for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        HeapQueue { heap: BinaryHeap::with_capacity(cap) }
+    }
+}
+
+impl<P> Default for HeapQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EventQueue<P> for HeapQueue<P> {
+    fn push(&mut self, ev: Event<P>) {
+        self.heap.push(Reverse(ev));
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+
+    fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek().map(|Reverse(ev)| ev.key)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Bucketed calendar queue.
+///
+/// Events are hashed into `num_buckets` day-buckets by
+/// `(time / bucket_width) % num_buckets`; a dequeue scans forward from the
+/// current day and takes the earliest event belonging to the current year.
+/// The structure resizes (doubling/halving buckets, re-estimating width)
+/// when occupancy drifts, keeping operations near O(1).
+pub struct CalendarQueue<P> {
+    buckets: Vec<Vec<Event<P>>>,
+    bucket_width: u64,
+    /// Index of the bucket the virtual clock is currently scanning.
+    current: usize,
+    /// Start time of the bucket at `current`.
+    bucket_start: u64,
+    len: usize,
+    /// Resize thresholds.
+    grow_at: usize,
+    shrink_at: usize,
+}
+
+const MIN_BUCKETS: usize = 8;
+
+impl<P> CalendarQueue<P> {
+    /// Create a queue tuned for events spaced ~`expected_gap_ns` apart.
+    pub fn new(expected_gap_ns: u64) -> Self {
+        CalendarQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            bucket_width: expected_gap_ns.max(1),
+            current: 0,
+            bucket_start: 0,
+            len: 0,
+            grow_at: MIN_BUCKETS * 2,
+            shrink_at: 0,
+        }
+    }
+
+    fn bucket_of(&self, t: SimTime) -> usize {
+        ((t.0 / self.bucket_width) % self.buckets.len() as u64) as usize
+    }
+
+    fn resize(&mut self, new_count: usize) {
+        let new_count = new_count.max(MIN_BUCKETS);
+        // Re-estimate bucket width from a sample of inter-event gaps so a
+        // year spans roughly the live event population.
+        let mut times: Vec<u64> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|e| e.key.time.0))
+            .collect();
+        times.sort_unstable();
+        let width = if times.len() >= 2 {
+            let span = times[times.len() - 1] - times[0];
+            (span / times.len() as u64).max(1)
+        } else {
+            self.bucket_width
+        };
+        let old: Vec<Event<P>> = std::mem::take(&mut self.buckets).into_iter().flatten().collect();
+        self.buckets = (0..new_count).map(|_| Vec::new()).collect();
+        self.bucket_width = width;
+        self.grow_at = new_count * 2;
+        self.shrink_at = if new_count > MIN_BUCKETS { new_count / 2 } else { 0 };
+        // Restart the scan from the earliest live event.
+        let min_t = old.iter().map(|e| e.key.time.0).min().unwrap_or(0);
+        self.current = ((min_t / self.bucket_width) % new_count as u64) as usize;
+        self.bucket_start = min_t / self.bucket_width * self.bucket_width;
+        self.len = 0;
+        for ev in old {
+            self.push_inner(ev);
+        }
+    }
+
+    fn push_inner(&mut self, ev: Event<P>) {
+        let idx = self.bucket_of(ev.key.time);
+        // Keep each bucket sorted descending so the minimum is at the back
+        // (cheap pop). Buckets are short by construction.
+        let bucket = &mut self.buckets[idx];
+        let pos = bucket
+            .binary_search_by(|probe| ev.key.cmp(&probe.key))
+            .unwrap_or_else(|p| p);
+        bucket.insert(pos, ev);
+        self.len += 1;
+    }
+}
+
+impl<P> EventQueue<P> for CalendarQueue<P> {
+    fn push(&mut self, ev: Event<P>) {
+        // An event earlier than the scan position would otherwise be skipped
+        // for a whole "year"; rewind the scan to cover it.
+        if ev.key.time.0 < self.bucket_start {
+            self.bucket_start = ev.key.time.0 / self.bucket_width * self.bucket_width;
+            self.current = self.bucket_of(ev.key.time);
+        }
+        self.push_inner(ev);
+        if self.len > self.grow_at {
+            let n = self.buckets.len() * 2;
+            self.resize(n);
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let year = self.bucket_width * self.buckets.len() as u64;
+            // One sweep over all buckets of the current year.
+            for _ in 0..self.buckets.len() {
+                let end = self.bucket_start + self.bucket_width;
+                let bucket = &mut self.buckets[self.current];
+                if let Some(last) = bucket.last() {
+                    if last.key.time.0 < end {
+                        let ev = bucket.pop().expect("non-empty");
+                        self.len -= 1;
+                        if self.len < self.shrink_at {
+                            let n = self.buckets.len() / 2;
+                            self.resize(n);
+                        }
+                        return Some(ev);
+                    }
+                }
+                self.current = (self.current + 1) % self.buckets.len();
+                self.bucket_start = end;
+            }
+            // Nothing in this year: jump the clock to the earliest event.
+            let min_t = self
+                .buckets
+                .iter()
+                .filter_map(|b| b.last().map(|e| e.key.time.0))
+                .min()
+                .expect("len > 0");
+            // Align the scan to the year containing min_t.
+            let _ = year;
+            self.bucket_start = min_t / self.bucket_width * self.bucket_width;
+            self.current = ((min_t / self.bucket_width) % self.buckets.len() as u64) as usize;
+        }
+    }
+
+    fn peek_key(&self) -> Option<EventKey> {
+        self.buckets.iter().filter_map(|b| b.last().map(|e| e.key)).min()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::LpId;
+    use proptest::prelude::*;
+
+    fn ev(t: u64, seq: u64) -> Event<u64> {
+        Event {
+            key: EventKey { time: SimTime(t), dst: LpId(0), src: LpId(0), seq },
+            payload: t,
+        }
+    }
+
+    #[test]
+    fn heap_orders_events() {
+        let mut q = HeapQueue::new();
+        for t in [5u64, 1, 9, 3, 7] {
+            q.push(ev(t, t));
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(got, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn heap_peek_matches_pop() {
+        let mut q = HeapQueue::new();
+        q.push(ev(4, 0));
+        q.push(ev(2, 0));
+        assert_eq!(q.peek_key().unwrap().time, SimTime(2));
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn calendar_orders_events() {
+        let mut q = CalendarQueue::new(2);
+        for t in [50u64, 10, 90, 30, 70, 10] {
+            q.push(ev(t, t));
+        }
+        // Two events at t=10 with the same seq differ only by payload; both emerge.
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(got, vec![10, 10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn calendar_handles_sparse_then_dense() {
+        let mut q = CalendarQueue::new(1);
+        q.push(ev(1_000_000, 0));
+        q.push(ev(5, 1));
+        assert_eq!(q.pop().unwrap().payload, 5);
+        assert_eq!(q.pop().unwrap().payload, 1_000_000);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_survives_resize() {
+        let mut q = CalendarQueue::new(3);
+        for t in 0..500u64 {
+            q.push(ev(t * 7 % 101, t));
+        }
+        let mut prev = None;
+        let mut n = 0;
+        while let Some(e) = q.pop() {
+            if let Some(p) = prev {
+                assert!(e.key >= p, "calendar queue emitted out of order");
+            }
+            prev = Some(e.key);
+            n += 1;
+        }
+        assert_eq!(n, 500);
+    }
+
+    #[test]
+    fn calendar_interleaved_push_pop() {
+        let mut q = CalendarQueue::new(10);
+        q.push(ev(100, 0));
+        assert_eq!(q.pop().unwrap().payload, 100);
+        // Pushing an earlier event after the clock advanced must still work.
+        q.push(ev(50, 1));
+        q.push(ev(150, 2));
+        assert_eq!(q.pop().unwrap().payload, 50);
+        assert_eq!(q.pop().unwrap().payload, 150);
+    }
+
+    proptest! {
+        /// The calendar queue and the heap queue agree on output order for
+        /// arbitrary interleavings of pushes and pops.
+        #[test]
+        fn calendar_equals_heap(ops in prop::collection::vec((0u64..10_000, prop::bool::ANY), 1..300)) {
+            let mut cal = CalendarQueue::new(16);
+            let mut heap = HeapQueue::new();
+            let mut seq = 0u64;
+            for (t, is_pop) in ops {
+                if is_pop {
+                    let a = cal.pop().map(|e| e.key);
+                    let b = heap.pop().map(|e| e.key);
+                    prop_assert_eq!(a, b);
+                } else {
+                    cal.push(ev(t, seq));
+                    heap.push(ev(t, seq));
+                    seq += 1;
+                }
+                prop_assert_eq!(cal.len(), heap.len());
+            }
+            loop {
+                let a = cal.pop().map(|e| e.key);
+                let b = heap.pop().map(|e| e.key);
+                prop_assert_eq!(a, b);
+                if b.is_none() { break; }
+            }
+        }
+    }
+}

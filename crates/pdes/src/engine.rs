@@ -1,0 +1,298 @@
+//! Sequential discrete-event engine.
+//!
+//! Processes events in the deterministic total order defined by
+//! [`EventKey`]. This engine is the semantic
+//! reference: the parallel scheduler in [`crate::parallel`] is required (and
+//! property-tested) to produce identical LP state.
+
+use crate::calendar::{EventQueue, HeapQueue};
+use crate::event::{Event, EventKey, LpId, EXTERNAL_SRC};
+use crate::lp::{Ctx, Lp};
+use crate::time::SimTime;
+
+/// Aggregate statistics for a completed (or paused) run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events delivered to LP handlers.
+    pub events_processed: u64,
+    /// Events scheduled (including pre-run injections).
+    pub events_scheduled: u64,
+    /// Timestamp of the last processed event.
+    pub end_time: SimTime,
+}
+
+/// Outcome of [`Engine::run_until`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The pending-event set drained completely.
+    Drained,
+    /// The time bound was reached with events still pending.
+    TimeBound,
+    /// The event-count budget was exhausted (see [`Engine::set_event_budget`]).
+    Budget,
+}
+
+/// Sequential event-driven simulation engine over a set of LPs.
+pub struct Engine<P, L: Lp<P>> {
+    lps: Vec<L>,
+    /// Per-LP event sequence counters (provenance for deterministic order).
+    seqs: Vec<u64>,
+    queue: HeapQueue<P>,
+    now: SimTime,
+    stats: EngineStats,
+    lookahead: SimTime,
+    /// External injection counter (events scheduled before/outside LPs).
+    ext_seq: u64,
+    budget: u64,
+    out_buf: Vec<Event<P>>,
+    initialized: bool,
+}
+
+impl<P, L: Lp<P>> Engine<P, L> {
+    /// Build an engine over `lps`. `lookahead` is the minimum cross-LP
+    /// event delay the model guarantees; the sequential engine only uses it
+    /// for validation, while the parallel engine requires it to be > 0.
+    pub fn new(lps: Vec<L>, lookahead: SimTime) -> Self {
+        let n = lps.len();
+        Engine {
+            lps,
+            seqs: vec![0; n],
+            queue: HeapQueue::new(),
+            now: SimTime::ZERO,
+            stats: EngineStats::default(),
+            lookahead,
+            ext_seq: 0,
+            budget: u64::MAX,
+            out_buf: Vec::with_capacity(16),
+            initialized: false,
+        }
+    }
+
+    /// Number of LPs.
+    pub fn num_lps(&self) -> usize {
+        self.lps.len()
+    }
+
+    /// Current simulation time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Immutable access to an LP (e.g. to read out final metrics).
+    pub fn lp(&self, id: LpId) -> &L {
+        &self.lps[id.index()]
+    }
+
+    /// Mutable access to an LP.
+    pub fn lp_mut(&mut self, id: LpId) -> &mut L {
+        &mut self.lps[id.index()]
+    }
+
+    /// Iterate over all LPs.
+    pub fn lps(&self) -> impl Iterator<Item = &L> {
+        self.lps.iter()
+    }
+
+    /// Consume the engine, returning the LPs.
+    pub fn into_lps(self) -> Vec<L> {
+        self.lps
+    }
+
+    /// Limit the total number of events processed (safety valve for tests
+    /// and for detecting runaway models).
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.budget = budget;
+    }
+
+    /// Inject an event from outside the simulation at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, dst: LpId, payload: P) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let key = EventKey { time: at, dst, src: EXTERNAL_SRC, seq: self.ext_seq };
+        self.ext_seq += 1;
+        self.stats.events_scheduled += 1;
+        self.queue.push(Event { key, payload });
+    }
+
+    fn init(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for i in 0..self.lps.len() {
+            let id = LpId(i as u32);
+            let mut ctx =
+                Ctx::new(SimTime::ZERO, id, &mut self.seqs[i], &mut self.out_buf, self.lookahead);
+            self.lps[i].on_init(&mut ctx);
+            self.stats.events_scheduled += self.out_buf.len() as u64;
+            for ev in self.out_buf.drain(..) {
+                self.queue.push(ev);
+            }
+        }
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.init();
+        let Some(ev) = self.queue.pop() else { return false };
+        debug_assert!(ev.key.time >= self.now, "event time went backwards");
+        self.now = ev.key.time;
+        let idx = ev.key.dst.index();
+        let mut ctx =
+            Ctx::new(self.now, ev.key.dst, &mut self.seqs[idx], &mut self.out_buf, self.lookahead);
+        self.lps[idx].on_event(&mut ctx, ev.payload);
+        self.stats.events_processed += 1;
+        self.stats.events_scheduled += self.out_buf.len() as u64;
+        self.stats.end_time = self.now;
+        for ev in self.out_buf.drain(..) {
+            self.queue.push(ev);
+        }
+        true
+    }
+
+    /// Run until the queue drains, `until` is passed, or the budget runs out.
+    ///
+    /// Events with `time >= until` remain queued, so runs can be resumed.
+    pub fn run_until(&mut self, until: SimTime) -> RunOutcome {
+        self.init();
+        loop {
+            if self.stats.events_processed >= self.budget {
+                return RunOutcome::Budget;
+            }
+            match self.queue.peek_key() {
+                None => return RunOutcome::Drained,
+                Some(k) if k.time >= until => return RunOutcome::TimeBound,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Run until no events remain (or the budget runs out).
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        let outcome = self.run_until(SimTime::MAX);
+        let now = self.now;
+        for lp in &mut self.lps {
+            lp.on_finish(now);
+        }
+        outcome
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy model: a ring of LPs passing a token `hops` times, each hop
+    /// taking 10 ns, recording visits.
+    struct RingLp {
+        visits: u32,
+        n: u32,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Token {
+        hops_left: u32,
+    }
+
+    impl Lp<Token> for RingLp {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Token>, t: Token) {
+            self.visits += 1;
+            if t.hops_left > 0 {
+                let next = LpId((ctx.me().0 + 1) % self.n);
+                ctx.send(next, SimTime(10), Token { hops_left: t.hops_left - 1 });
+            }
+        }
+    }
+
+    fn ring(n: u32, hops: u32) -> Engine<Token, RingLp> {
+        let lps = (0..n).map(|_| RingLp { visits: 0, n }).collect();
+        let mut eng = Engine::new(lps, SimTime(10));
+        eng.schedule(SimTime::ZERO, LpId(0), Token { hops_left: hops });
+        eng
+    }
+
+    #[test]
+    fn token_circulates() {
+        let mut eng = ring(4, 7);
+        assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+        // Token visits LP0 at t=0 then makes 7 more hops: 8 visits total.
+        let total: u32 = eng.lps().map(|l| l.visits).sum();
+        assert_eq!(total, 8);
+        assert_eq!(eng.now(), SimTime(70));
+        assert_eq!(eng.stats().events_processed, 8);
+    }
+
+    #[test]
+    fn run_until_pauses_and_resumes() {
+        let mut eng = ring(4, 7);
+        assert_eq!(eng.run_until(SimTime(35)), RunOutcome::TimeBound);
+        assert!(eng.now() <= SimTime(35));
+        assert!(eng.pending() > 0);
+        assert_eq!(eng.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(eng.now(), SimTime(70));
+    }
+
+    #[test]
+    fn budget_halts_runaway() {
+        // Each visit schedules another: infinite loop without a budget.
+        struct Forever;
+        impl Lp<()> for Forever {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, ()>, _: ()) {
+                ctx.send_self(SimTime(1), ());
+            }
+        }
+        let mut eng = Engine::new(vec![Forever], SimTime(1));
+        eng.schedule(SimTime::ZERO, LpId(0), ());
+        eng.set_event_budget(100);
+        assert_eq!(eng.run_to_completion(), RunOutcome::Budget);
+        assert_eq!(eng.stats().events_processed, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut eng = ring(2, 3);
+        eng.run_to_completion();
+        eng.schedule(SimTime(5), LpId(0), Token { hops_left: 0 });
+    }
+
+    #[test]
+    fn deterministic_event_order_across_runs() {
+        let run = || {
+            let mut eng = ring(5, 100);
+            eng.run_to_completion();
+            eng.lps().map(|l| l.visits).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn on_init_schedules_events() {
+        struct InitLp {
+            fired: bool,
+        }
+        impl Lp<()> for InitLp {
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.send_self(SimTime(42), ());
+            }
+            fn on_event(&mut self, _ctx: &mut Ctx<'_, ()>, _: ()) {
+                self.fired = true;
+            }
+        }
+        let mut eng = Engine::new(vec![InitLp { fired: false }], SimTime(1));
+        eng.run_to_completion();
+        assert!(eng.lp(LpId(0)).fired);
+        assert_eq!(eng.now(), SimTime(42));
+    }
+}

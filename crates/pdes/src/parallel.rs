@@ -1,0 +1,358 @@
+//! Conservative parallel scheduler.
+//!
+//! ROSS runs Time Warp (optimistic) synchronization; for this reproduction
+//! we implement the conservative, barrier-synchronized equivalent: LPs are
+//! partitioned across workers, and execution proceeds in epochs of width
+//! `lookahead` — the model-guaranteed minimum cross-LP event delay. Within
+//! an epoch `[W, W + lookahead)` no event created in the epoch can affect
+//! another partition inside the same epoch, so partitions execute
+//! independently and exchange cross-partition events at the barrier.
+//!
+//! Because every event carries a deterministic total-order key
+//! ([`EventKey`]) and each partition processes its
+//! events in that order, the per-LP event sequence is *identical* to the
+//! sequential engine's — the two engines are interchangeable, which the
+//! test suite verifies on several models.
+
+use crate::calendar::{EventQueue, HeapQueue};
+use crate::engine::EngineStats;
+use crate::event::{Event, EventKey, LpId, EXTERNAL_SRC};
+use crate::lp::{Ctx, Lp};
+use crate::time::SimTime;
+use rayon::prelude::*;
+
+struct Partition<P, L> {
+    /// Global ids of the LPs this partition owns (a contiguous block).
+    base: u32,
+    lps: Vec<L>,
+    seqs: Vec<u64>,
+    queue: HeapQueue<P>,
+    events_processed: u64,
+    now: SimTime,
+}
+
+impl<P, L: Lp<P>> Partition<P, L> {
+    fn owns(&self, id: LpId) -> bool {
+        let i = id.0;
+        i >= self.base && i < self.base + self.lps.len() as u32
+    }
+
+    fn local(&self, id: LpId) -> usize {
+        (id.0 - self.base) as usize
+    }
+
+    /// Process all queued events with `time < end`, in key order.
+    /// Cross-partition events are collected into `outbox`.
+    fn run_window(
+        &mut self,
+        end: SimTime,
+        lookahead: SimTime,
+        out_buf: &mut Vec<Event<P>>,
+        outbox: &mut Vec<Event<P>>,
+    ) {
+        while let Some(key) = self.queue.peek_key() {
+            if key.time >= end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.now = ev.key.time;
+            let idx = self.local(ev.key.dst);
+            let mut ctx = Ctx::new(
+                self.now,
+                ev.key.dst,
+                &mut self.seqs[idx],
+                out_buf,
+                lookahead,
+            );
+            self.lps[idx].on_event(&mut ctx, ev.payload);
+            self.events_processed += 1;
+            for new_ev in out_buf.drain(..) {
+                if self.owns(new_ev.key.dst) {
+                    self.queue.push(new_ev);
+                } else {
+                    outbox.push(new_ev);
+                }
+            }
+        }
+    }
+
+    fn min_pending(&self) -> Option<SimTime> {
+        self.queue.peek_key().map(|k| k.time)
+    }
+}
+
+/// Conservative parallel engine; drop-in alternative to
+/// [`Engine`](crate::engine::Engine) producing identical results.
+pub struct ParallelEngine<P, L: Lp<P>> {
+    parts: Vec<Partition<P, L>>,
+    /// Partition boundaries: LP `i` lives in the partition whose base is the
+    /// greatest `bounds[p] <= i`.
+    bounds: Vec<u32>,
+    lookahead: SimTime,
+    ext_seq: u64,
+    scheduled: u64,
+    now: SimTime,
+    initialized: bool,
+}
+
+impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
+    /// Build a parallel engine over `lps` split into `num_partitions`
+    /// contiguous blocks. `lookahead` must be greater than zero: it is both
+    /// the epoch width and the minimum legal cross-LP delay.
+    pub fn new(lps: Vec<L>, lookahead: SimTime, num_partitions: usize) -> Self {
+        assert!(lookahead > SimTime::ZERO, "parallel execution requires lookahead > 0");
+        assert!(num_partitions > 0);
+        let n = lps.len();
+        let parts_n = num_partitions.min(n.max(1));
+        let mut parts = Vec::with_capacity(parts_n);
+        let mut bounds = Vec::with_capacity(parts_n);
+        let mut iter = lps.into_iter();
+        let mut base = 0u32;
+        for p in 0..parts_n {
+            // Spread the remainder across the first partitions.
+            let size = n / parts_n + usize::from(p < n % parts_n);
+            let chunk: Vec<L> = iter.by_ref().take(size).collect();
+            bounds.push(base);
+            parts.push(Partition {
+                base,
+                seqs: vec![0; chunk.len()],
+                queue: HeapQueue::new(),
+                events_processed: 0,
+                now: SimTime::ZERO,
+                lps: chunk,
+            });
+            base += size as u32;
+        }
+        ParallelEngine {
+            parts,
+            bounds,
+            lookahead,
+            ext_seq: 0,
+            scheduled: 0,
+            now: SimTime::ZERO,
+            initialized: false,
+        }
+    }
+
+    fn part_of(&self, id: LpId) -> usize {
+        match self.bounds.binary_search(&id.0) {
+            Ok(p) => p,
+            Err(p) => p - 1,
+        }
+    }
+
+    /// Inject an event from outside the simulation.
+    pub fn schedule(&mut self, at: SimTime, dst: LpId, payload: P) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let key = EventKey { time: at, dst, src: EXTERNAL_SRC, seq: self.ext_seq };
+        self.ext_seq += 1;
+        self.scheduled += 1;
+        let p = self.part_of(dst);
+        self.parts[p].queue.push(Event { key, payload });
+    }
+
+    fn init(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        let lookahead = self.lookahead;
+        // on_init may emit cross-partition events; run it partition-parallel
+        // and route afterwards.
+        let outboxes: Vec<Vec<Event<P>>> = self
+            .parts
+            .par_iter_mut()
+            .map(|part| {
+                let mut out_buf = Vec::new();
+                let mut outbox = Vec::new();
+                for i in 0..part.lps.len() {
+                    let id = LpId(part.base + i as u32);
+                    let mut ctx =
+                        Ctx::new(SimTime::ZERO, id, &mut part.seqs[i], &mut out_buf, lookahead);
+                    part.lps[i].on_init(&mut ctx);
+                    for ev in out_buf.drain(..) {
+                        if part.owns(ev.key.dst) {
+                            part.queue.push(ev);
+                        } else {
+                            outbox.push(ev);
+                        }
+                    }
+                }
+                outbox
+            })
+            .collect();
+        self.route(outboxes);
+    }
+
+    fn route(&mut self, outboxes: Vec<Vec<Event<P>>>) {
+        for outbox in outboxes {
+            for ev in outbox {
+                let p = self.part_of(ev.key.dst);
+                self.parts[p].queue.push(ev);
+            }
+        }
+    }
+
+    /// Run until all queues drain; returns aggregate statistics.
+    pub fn run_to_completion(&mut self) -> EngineStats {
+        self.init();
+        let lookahead = self.lookahead;
+        loop {
+            let Some(window_start) =
+                self.parts.iter().filter_map(|p| p.min_pending()).min()
+            else {
+                break;
+            };
+            let window_end = window_start
+                .checked_add(lookahead)
+                .unwrap_or(SimTime::MAX);
+            let outboxes: Vec<Vec<Event<P>>> = self
+                .parts
+                .par_iter_mut()
+                .map(|part| {
+                    let mut out_buf = Vec::with_capacity(8);
+                    let mut outbox = Vec::new();
+                    part.run_window(window_end, lookahead, &mut out_buf, &mut outbox);
+                    outbox
+                })
+                .collect();
+            self.now = self.now.max(window_end);
+            self.route(outboxes);
+        }
+        let end = self.parts.iter().map(|p| p.now).max().unwrap_or(SimTime::ZERO);
+        self.now = end;
+        self.parts.par_iter_mut().for_each(|p| {
+            for lp in &mut p.lps {
+                lp.on_finish(end);
+            }
+        });
+        EngineStats {
+            events_processed: self.parts.iter().map(|p| p.events_processed).sum(),
+            events_scheduled: self.scheduled,
+            end_time: end,
+        }
+    }
+
+    /// Immutable access to an LP by global id.
+    pub fn lp(&self, id: LpId) -> &L {
+        let p = self.part_of(id);
+        &self.parts[p].lps[self.parts[p].local(id)]
+    }
+
+    /// Iterate over all LPs in global id order.
+    pub fn lps(&self) -> impl Iterator<Item = &L> {
+        self.parts.iter().flat_map(|p| p.lps.iter())
+    }
+
+    /// Consume the engine, returning the LPs in global id order.
+    pub fn into_lps(self) -> Vec<L> {
+        self.parts.into_iter().flat_map(|p| p.lps).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    /// A stress model: each LP, upon receiving a counter, mixes it into its
+    /// state hash and forwards two messages to pseudo-random LPs with
+    /// delays >= lookahead, until the hop budget runs out.
+    #[derive(Clone)]
+    struct HashLp {
+        state: u64,
+        n: u32,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Msg {
+        hops_left: u32,
+        value: u64,
+    }
+
+    fn mix(a: u64, b: u64) -> u64 {
+        let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x
+    }
+
+    impl Lp<Msg> for HashLp {
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, m: Msg) {
+            self.state = mix(self.state, m.value ^ ctx.now().as_nanos());
+            if m.hops_left > 0 {
+                for k in 0..2u64 {
+                    let dst = LpId((mix(self.state, k) % self.n as u64) as u32);
+                    let delay = SimTime(10 + (mix(m.value, k) % 50));
+                    ctx.send(dst, delay, Msg { hops_left: m.hops_left - 1, value: mix(m.value, k) });
+                }
+            }
+        }
+    }
+
+    fn run_seq(n: u32, seeds: u32, hops: u32) -> Vec<u64> {
+        let lps = (0..n).map(|i| HashLp { state: i as u64, n }).collect();
+        let mut eng = Engine::new(lps, SimTime(10));
+        for s in 0..seeds {
+            eng.schedule(SimTime(s as u64), LpId(s % n), Msg { hops_left: hops, value: s as u64 });
+        }
+        eng.run_to_completion();
+        eng.lps().map(|l| l.state).collect()
+    }
+
+    fn run_par(n: u32, seeds: u32, hops: u32, parts: usize) -> Vec<u64> {
+        let lps = (0..n).map(|i| HashLp { state: i as u64, n }).collect();
+        let mut eng = ParallelEngine::new(lps, SimTime(10), parts);
+        for s in 0..seeds {
+            eng.schedule(SimTime(s as u64), LpId(s % n), Msg { hops_left: hops, value: s as u64 });
+        }
+        eng.run_to_completion();
+        eng.lps().map(|l| l.state).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_small() {
+        assert_eq!(run_seq(7, 3, 6), run_par(7, 3, 6, 3));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_larger() {
+        assert_eq!(run_seq(64, 16, 10), run_par(64, 16, 10, 8));
+    }
+
+    #[test]
+    fn parallel_matches_for_every_partition_count() {
+        let reference = run_seq(13, 5, 8);
+        for parts in 1..=13 {
+            assert_eq!(reference, run_par(13, 5, 8, parts), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn more_partitions_than_lps_is_clamped() {
+        assert_eq!(run_seq(3, 2, 4), run_par(3, 2, 4, 64));
+    }
+
+    #[test]
+    fn stats_event_counts_match_sequential() {
+        let n = 16;
+        let lps: Vec<HashLp> = (0..n).map(|i| HashLp { state: i as u64, n }).collect();
+        let mut seq = Engine::new(lps.clone(), SimTime(10));
+        seq.schedule(SimTime::ZERO, LpId(0), Msg { hops_left: 8, value: 1 });
+        seq.run_to_completion();
+
+        let mut par = ParallelEngine::new(lps, SimTime(10), 4);
+        par.schedule(SimTime::ZERO, LpId(0), Msg { hops_left: 8, value: 1 });
+        let pstats = par.run_to_completion();
+        assert_eq!(pstats.events_processed, seq.stats().events_processed);
+        assert_eq!(pstats.end_time, seq.stats().end_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead > 0")]
+    fn zero_lookahead_rejected() {
+        let lps: Vec<HashLp> = vec![HashLp { state: 0, n: 1 }];
+        let _ = ParallelEngine::new(lps, SimTime::ZERO, 2);
+    }
+}

@@ -1,0 +1,293 @@
+//! Minimal SVG document builder (no external dependencies).
+//!
+//! The interactive front end of the paper is a web UI; this reproduction
+//! renders the same views as standalone SVG (see DESIGN.md, substitution
+//! 3). The builder keeps a flat element list with explicit grouping, which
+//! is all the views need.
+
+use hrviz_core::Color;
+use std::fmt::Write as _;
+
+/// Escape text content for XML.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Format a number for axis labels: SI suffixes, trimmed decimals.
+pub fn format_si(v: f64) -> String {
+    let a = v.abs();
+    let (scaled, suffix) = if a >= 1e12 {
+        (v / 1e12, "T")
+    } else if a >= 1e9 {
+        (v / 1e9, "G")
+    } else if a >= 1e6 {
+        (v / 1e6, "M")
+    } else if a >= 1e3 {
+        (v / 1e3, "k")
+    } else {
+        (v, "")
+    };
+    if scaled == scaled.trunc() && scaled.abs() < 1e4 {
+        format!("{}{}", scaled as i64, suffix)
+    } else {
+        format!("{scaled:.1}{suffix}")
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Clone, Debug)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+    group_depth: usize,
+}
+
+impl SvgDoc {
+    /// New document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> SvgDoc {
+        SvgDoc { width, height, body: String::new(), group_depth: 0 }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Open a `<g>` with an optional transform and class.
+    pub fn open_group(&mut self, transform: Option<&str>, class: Option<&str>) {
+        self.body.push_str("<g");
+        if let Some(t) = transform {
+            let _ = write!(self.body, " transform=\"{}\"", escape(t));
+        }
+        if let Some(c) = class {
+            let _ = write!(self.body, " class=\"{}\"", escape(c));
+        }
+        self.body.push_str(">\n");
+        self.group_depth += 1;
+    }
+
+    /// Close the innermost `<g>`.
+    pub fn close_group(&mut self) {
+        assert!(self.group_depth > 0, "unbalanced close_group");
+        self.body.push_str("</g>\n");
+        self.group_depth -= 1;
+    }
+
+    /// Raw path element.
+    pub fn path(&mut self, d: &str, fill: Option<Color>, stroke: Option<(Color, f64)>, opacity: f64) {
+        let _ = write!(self.body, "<path d=\"{}\"", d);
+        match fill {
+            Some(c) => {
+                let _ = write!(self.body, " fill=\"{c}\"");
+            }
+            None => self.body.push_str(" fill=\"none\""),
+        }
+        if let Some((c, w)) = stroke {
+            let _ = write!(self.body, " stroke=\"{c}\" stroke-width=\"{w:.2}\"");
+        }
+        if opacity < 1.0 {
+            let _ = write!(self.body, " opacity=\"{opacity:.3}\"");
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Circle element.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: Color, stroke: Option<(Color, f64)>) {
+        let _ = write!(self.body, "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{fill}\"");
+        if let Some((c, w)) = stroke {
+            let _ = write!(self.body, " stroke=\"{c}\" stroke-width=\"{w:.2}\"");
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Rectangle element.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: Color, stroke: Option<(Color, f64)>) {
+        let _ = write!(
+            self.body,
+            "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{fill}\""
+        );
+        if let Some((c, sw)) = stroke {
+            let _ = write!(self.body, " stroke=\"{c}\" stroke-width=\"{sw:.2}\"");
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Line element.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: Color, width: f64, opacity: f64) {
+        let _ = write!(
+            self.body,
+            "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\""
+        );
+        if opacity < 1.0 {
+            let _ = write!(self.body, " opacity=\"{opacity:.3}\"");
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Polyline through points.
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: Color, width: f64, opacity: f64) {
+        if pts.is_empty() {
+            return;
+        }
+        self.body.push_str("<polyline points=\"");
+        for (x, y) in pts {
+            let _ = write!(self.body, "{x:.2},{y:.2} ");
+        }
+        let _ = write!(
+            self.body,
+            "\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\""
+        );
+        if opacity < 1.0 {
+            let _ = write!(self.body, " opacity=\"{opacity:.3}\"");
+        }
+        self.body.push_str("/>\n");
+    }
+
+    /// Text anchor values.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        let _ = write!(
+            self.body,
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"sans-serif\" text-anchor=\"{anchor}\" fill=\"#333\">{}</text>\n",
+            escape(content)
+        );
+    }
+
+    /// Optional tooltip (`<title>`) attached to the previous element is not
+    /// representable in a flat builder; instead emit an invisible labeled
+    /// marker for tooling/tests.
+    pub fn comment(&mut self, c: &str) {
+        let _ = write!(self.body, "<!-- {} -->\n", escape(c));
+    }
+
+    /// Append raw, already-valid SVG markup (panel embedding).
+    pub fn raw(&mut self, markup: &str) {
+        self.body.push_str(markup);
+        self.body.push('\n');
+    }
+
+    /// Finish the document.
+    pub fn finish(mut self) -> String {
+        while self.group_depth > 0 {
+            self.close_group();
+        }
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// Polar → cartesian around a center. Angle in *turns* (0..1), 0 at 12
+/// o'clock, clockwise.
+pub fn polar(cx: f64, cy: f64, r: f64, turns: f64) -> (f64, f64) {
+    let rad = turns * std::f64::consts::TAU - std::f64::consts::FRAC_PI_2;
+    (cx + r * rad.cos(), cy + r * rad.sin())
+}
+
+/// SVG path for an annular sector spanning `a0..a1` turns between radii
+/// `r0 < r1`.
+pub fn annular_sector(cx: f64, cy: f64, r0: f64, r1: f64, a0: f64, a1: f64) -> String {
+    let large = if (a1 - a0) > 0.5 { 1 } else { 0 };
+    let (x0, y0) = polar(cx, cy, r1, a0);
+    let (x1, y1) = polar(cx, cy, r1, a1);
+    let (x2, y2) = polar(cx, cy, r0, a1);
+    let (x3, y3) = polar(cx, cy, r0, a0);
+    format!(
+        "M {x0:.2} {y0:.2} A {r1:.2} {r1:.2} 0 {large} 1 {x1:.2} {y1:.2} L {x2:.2} {y2:.2} A {r0:.2} {r0:.2} 0 {large} 0 {x3:.2} {y3:.2} Z"
+    )
+}
+
+/// SVG path for a ribbon between two boundary points through the center
+/// (quadratic Bézier with the center as control point), with width.
+pub fn ribbon_path(cx: f64, cy: f64, r: f64, a_span: (f64, f64), b_span: (f64, f64)) -> String {
+    let (ax0, ay0) = polar(cx, cy, r, a_span.0);
+    let (ax1, ay1) = polar(cx, cy, r, a_span.1);
+    let (bx0, by0) = polar(cx, cy, r, b_span.0);
+    let (bx1, by1) = polar(cx, cy, r, b_span.1);
+    // a0 → (center) → b0 → arc b0..b1 → (center) → a1 → arc back.
+    format!(
+        "M {ax0:.2} {ay0:.2} Q {cx:.2} {cy:.2} {bx1:.2} {by1:.2} A {r:.2} {r:.2} 0 0 0 {bx0:.2} {by0:.2} Q {cx:.2} {cy:.2} {ax1:.2} {ay1:.2} A {r:.2} {r:.2} 0 0 0 {ax0:.2} {ay0:.2} Z"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure_is_well_formed() {
+        let mut doc = SvgDoc::new(100.0, 50.0);
+        doc.open_group(Some("translate(10,10)"), Some("ring"));
+        doc.circle(5.0, 5.0, 2.0, Color::rgb(255, 0, 0), None);
+        doc.close_group();
+        let s = doc.finish();
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert_eq!(s.matches("<g").count(), s.matches("</g>").count());
+        assert!(s.contains("viewBox=\"0 0 100 50\""));
+        assert!(s.contains("class=\"ring\""));
+    }
+
+    #[test]
+    fn unclosed_groups_are_closed_on_finish() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.open_group(None, None);
+        doc.open_group(None, None);
+        let s = doc.finish();
+        assert_eq!(s.matches("<g").count(), 2);
+        assert_eq!(s.matches("</g>").count(), 2);
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut doc = SvgDoc::new(10.0, 10.0);
+        doc.text(0.0, 0.0, 10.0, "start", "a<b & \"c\"");
+        let s = doc.finish();
+        assert!(s.contains("a&lt;b &amp; &quot;c&quot;"));
+    }
+
+    #[test]
+    fn polar_angles_are_clock_oriented() {
+        let (x, y) = polar(0.0, 0.0, 1.0, 0.0);
+        assert!((x - 0.0).abs() < 1e-9 && (y + 1.0).abs() < 1e-9, "0 turns = 12 o'clock");
+        let (x, y) = polar(0.0, 0.0, 1.0, 0.25);
+        assert!((x - 1.0).abs() < 1e-9 && y.abs() < 1e-9, "quarter turn = 3 o'clock");
+    }
+
+    #[test]
+    fn sector_path_contains_arcs() {
+        let d = annular_sector(0.0, 0.0, 10.0, 20.0, 0.0, 0.1);
+        assert!(d.starts_with('M'));
+        assert!(d.ends_with('Z'));
+        assert_eq!(d.matches('A').count(), 2);
+        // Small sector: no large-arc flag.
+        assert!(d.contains(" 0 0 1 "));
+        // Wide sector sets the flag.
+        let d = annular_sector(0.0, 0.0, 10.0, 20.0, 0.0, 0.7);
+        assert!(d.contains(" 0 1 1 "));
+    }
+
+    #[test]
+    fn ribbon_path_closes() {
+        let d = ribbon_path(50.0, 50.0, 40.0, (0.0, 0.05), (0.5, 0.55));
+        assert!(d.starts_with('M'));
+        assert!(d.ends_with('Z'));
+        assert_eq!(d.matches('Q').count(), 2);
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(format_si(0.0), "0");
+        assert_eq!(format_si(950.0), "950");
+        assert_eq!(format_si(1_500.0), "1.5k");
+        assert_eq!(format_si(2_000_000.0), "2M");
+        assert_eq!(format_si(3.25e9), "3.2G"); // ties round to even
+        assert_eq!(format_si(1.0e12), "1T");
+    }
+}

@@ -1,0 +1,47 @@
+//! # hrviz-workloads — workload generation for Dragonfly simulations
+//!
+//! The paper drives its CODES simulations with synthetic traffic patterns
+//! and DUMPI application traces under several job placement policies
+//! (§III, §V). This crate provides all three ingredients:
+//!
+//! * [`TrafficPattern`] / [`generate_synthetic`] — uniform random, nearest
+//!   neighbor, and friends;
+//! * [`AppKind`] / [`generate_app`] — synthetic proxies of the AMG, AMR
+//!   Boxlib, and MiniFE traces of Table I (structure-preserving stand-ins
+//!   for the unavailable DUMPI data; see DESIGN.md);
+//! * [`PlacementPolicy`] / [`place_jobs`] — contiguous, random-group,
+//!   random-router and random-node placement, composable per job into the
+//!   paper's hybrid strategy;
+//! * [`trace`] — portable CSV message traces (the open stand-in for the
+//!   paper's DUMPI input path).
+//!
+//! ## Example
+//!
+//! ```
+//! use hrviz_network::{DragonflyConfig, Topology};
+//! use hrviz_workloads::{place_jobs, PlacementPolicy, PlacementRequest,
+//!                       generate_synthetic, SyntheticConfig};
+//! use hrviz_pdes::SimTime;
+//!
+//! let topo = Topology::new(DragonflyConfig::canonical(2));
+//! let jobs = place_jobs(topo, &[PlacementRequest {
+//!     name: "toy".into(),
+//!     ranks: 16,
+//!     policy: PlacementPolicy::RandomRouter,
+//! }], 42).unwrap();
+//! let msgs = generate_synthetic(0, &jobs[0],
+//!     &SyntheticConfig::uniform(4096, 8, SimTime::micros(1)));
+//! assert_eq!(msgs.len(), 16 * 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod placement;
+pub mod synthetic;
+pub mod trace;
+
+pub use apps::{generate_app, AppConfig, AppKind};
+pub use placement::{place_jobs, Allocator, PlacementError, PlacementPolicy, PlacementRequest};
+pub use synthetic::{generate_synthetic, SyntheticConfig, TrafficPattern};
+pub use trace::{load_trace, read_trace, save_trace, write_trace, TraceError};
