@@ -110,7 +110,9 @@ fn bench_maxbins(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_maxbins");
     for &bins in &[4usize, 16, 64, 256] {
         g.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, &bins| {
-            b.iter(|| bin_items(&ds, EntityKind::GlobalLink, items.clone(), Field::Traffic, bins).len())
+            b.iter(|| {
+                bin_items(&ds, EntityKind::GlobalLink, items.clone(), Field::Traffic, bins).len()
+            })
         });
     }
     g.finish();
@@ -120,7 +122,9 @@ fn bench_scheduler(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_scheduler");
     g.sample_size(10);
     g.bench_function("sequential", |b| {
-        b.iter(|| tornado_sim(NetworkSpec::new(DragonflyConfig::canonical(3))).run().events_processed)
+        b.iter(|| {
+            tornado_sim(NetworkSpec::new(DragonflyConfig::canonical(3))).run().events_processed
+        })
     });
     for &parts in &[2usize, 4, 8] {
         g.bench_with_input(BenchmarkId::new("parallel", parts), &parts, |b, &parts| {
@@ -134,11 +138,5 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_buffer_sweep,
-    bench_ugal_threshold,
-    bench_maxbins,
-    bench_scheduler
-);
+criterion_group!(benches, bench_buffer_sweep, bench_ugal_threshold, bench_maxbins, bench_scheduler);
 criterion_main!(benches);

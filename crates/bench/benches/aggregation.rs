@@ -31,9 +31,7 @@ fn sample_run() -> RunData {
 
 fn spec() -> ProjectionSpec {
     ProjectionSpec::new(vec![
-        LevelSpec::new(EntityKind::LocalLink)
-            .aggregate(&[Field::RouterRank])
-            .color(Field::SatTime),
+        LevelSpec::new(EntityKind::LocalLink).aggregate(&[Field::RouterRank]).color(Field::SatTime),
         LevelSpec::new(EntityKind::GlobalLink)
             .aggregate(&[Field::RouterRank, Field::RouterPort])
             .color(Field::SatTime)

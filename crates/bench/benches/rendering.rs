@@ -30,9 +30,7 @@ fn dataset() -> DataSet {
 fn bench_render(c: &mut Criterion) {
     let ds = dataset();
     let spec = ProjectionSpec::new(vec![
-        LevelSpec::new(EntityKind::LocalLink)
-            .aggregate(&[Field::RouterRank])
-            .color(Field::SatTime),
+        LevelSpec::new(EntityKind::LocalLink).aggregate(&[Field::RouterRank]).color(Field::SatTime),
         LevelSpec::new(EntityKind::GlobalLink)
             .aggregate(&[Field::RouterRank, Field::RouterPort])
             .color(Field::SatTime)

@@ -87,9 +87,7 @@ fn uniform_sim(msgs: u64) -> Simulation {
 fn bench_network(c: &mut Criterion) {
     let mut g = c.benchmark_group("network");
     g.sample_size(10);
-    g.bench_function("uniform_342t_seq", |b| {
-        b.iter(|| uniform_sim(8).run().events_processed)
-    });
+    g.bench_function("uniform_342t_seq", |b| b.iter(|| uniform_sim(8).run().events_processed));
     g.bench_function("uniform_342t_par4", |b| {
         b.iter(|| uniform_sim(8).run_parallel(4).events_processed)
     });
@@ -99,27 +97,22 @@ fn bench_network(c: &mut Criterion) {
         RoutingAlgorithm::adaptive_default(),
         RoutingAlgorithm::par_default(),
     ] {
-        g.bench_with_input(
-            BenchmarkId::new("routing", routing.name()),
-            &routing,
-            |b, &routing| {
-                b.iter(|| {
-                    let spec =
-                        NetworkSpec::new(DragonflyConfig::canonical(3)).with_routing(routing);
-                    let mut sim = Simulation::new(spec);
-                    for src in 0..342u32 {
-                        sim.inject(MsgInjection {
-                            time: SimTime::ZERO,
-                            src: TerminalId(src),
-                            dst: TerminalId((src + 171) % 342),
-                            bytes: 16 * 1024,
-                            job: 0,
-                        });
-                    }
-                    sim.run().events_processed
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("routing", routing.name()), &routing, |b, &routing| {
+            b.iter(|| {
+                let spec = NetworkSpec::new(DragonflyConfig::canonical(3)).with_routing(routing);
+                let mut sim = Simulation::new(spec);
+                for src in 0..342u32 {
+                    sim.inject(MsgInjection {
+                        time: SimTime::ZERO,
+                        src: TerminalId(src),
+                        dst: TerminalId((src + 171) % 342),
+                        bytes: 16 * 1024,
+                        job: 0,
+                    });
+                }
+                sim.run().events_processed
+            })
+        });
     }
     g.finish();
 }

@@ -36,6 +36,7 @@ fn run(routing: UpRouting) -> FatTreeRun {
 }
 
 fn main() {
+    hrviz_bench::obs_init("ext_fattree");
     println!("Extension: Fat Tree (k=8, 128 hosts) under ECMP vs adaptive up-routing");
     let ecmp = run(UpRouting::Ecmp);
     let ada = run(UpRouting::Adaptive);
@@ -73,7 +74,12 @@ fn main() {
     write_csv(
         "ext_fattree.csv",
         &[
-            vec!["routing".into(), "pod_link_sat_ns".into(), "mean_latency_ns".into(), "end_ns".into()],
+            vec![
+                "routing".into(),
+                "pod_link_sat_ns".into(),
+                "mean_latency_ns".into(),
+                "end_ns".into(),
+            ],
             vec![
                 "ecmp".into(),
                 format!("{:.0}", sat(&ds_e)),

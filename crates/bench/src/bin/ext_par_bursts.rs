@@ -6,7 +6,9 @@
 //! abrupt synchronized burst over adversarial destinations, under
 //! adaptive vs progressive adaptive routing.
 
-use hrviz_bench::{class_summary, class_summary_header, mean_latency_ns, write_csv, Expectations, SEED};
+use hrviz_bench::{
+    class_summary, class_summary_header, mean_latency_ns, write_csv, Expectations, SEED,
+};
 use hrviz_network::{
     DragonflyConfig, LinkClass, MsgInjection, NetworkSpec, RoutingAlgorithm, RunData, Simulation,
     TerminalId,
@@ -15,9 +17,8 @@ use hrviz_pdes::SimTime;
 
 fn burst(routing: RoutingAlgorithm) -> RunData {
     let n = 2_550u32;
-    let spec = NetworkSpec::new(DragonflyConfig::paper_scale(n))
-        .with_routing(routing)
-        .with_seed(SEED);
+    let spec =
+        NetworkSpec::new(DragonflyConfig::paper_scale(n)).with_routing(routing).with_seed(SEED);
     let mut sim = Simulation::new(spec);
     // A sudden group-tornado burst: everyone fires 64 KB at t≈0 toward the
     // same relative group offset, so every minimal route shares one global
@@ -37,6 +38,7 @@ fn burst(routing: RoutingAlgorithm) -> RunData {
 }
 
 fn main() {
+    hrviz_bench::obs_init("ext_par_bursts");
     println!("Extension: traffic bursts under adaptive vs progressive adaptive routing");
     let ada = burst(RoutingAlgorithm::adaptive_default());
     let par = burst(RoutingAlgorithm::par_default());

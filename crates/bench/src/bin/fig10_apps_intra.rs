@@ -49,11 +49,18 @@ fn local_share_of_first_ranks(run: &RunData, n: u32) -> f64 {
 }
 
 fn main() {
+    hrviz_bench::obs_init("fig10_apps_intra");
     println!("Fig. 10: intra-group patterns of AMG / AMR Boxlib / MiniFE (2,550 terminals)");
     let runs: Vec<RunData> = AppKind::ALL
         .iter()
         .map(|&k| {
-            run_app(2_550, k, RoutingAlgorithm::adaptive_default(), PlacementPolicy::Contiguous, None)
+            run_app(
+                2_550,
+                k,
+                RoutingAlgorithm::adaptive_default(),
+                PlacementPolicy::Contiguous,
+                None,
+            )
         })
         .collect();
 
@@ -63,11 +70,7 @@ fn main() {
     write_out(
         "fig10_apps_intra.svg",
         &render_radial_row(
-            &[
-                (&views[0], "AMG"),
-                (&views[1], "AMR Boxlib"),
-                (&views[2], "MiniFE"),
-            ],
+            &[(&views[0], "AMG"), (&views[1], "AMR Boxlib"), (&views[2], "MiniFE")],
             &RadialLayout::default(),
             "Fig 10: intra-group communication patterns (shared scales)",
         ),

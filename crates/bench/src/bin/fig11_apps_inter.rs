@@ -6,9 +6,7 @@
 //! latency and hops; AMR Boxlib's global links out of the first groups
 //! carry most of the traffic and saturate.
 
-use hrviz_bench::{
-    dataset_active, inter_group_spec, run_app, write_csv, write_out, Expectations,
-};
+use hrviz_bench::{dataset_active, inter_group_spec, run_app, write_csv, write_out, Expectations};
 use hrviz_core::compare_views;
 use hrviz_network::{RoutingAlgorithm, RunData};
 use hrviz_render::{render_radial_row, RadialLayout};
@@ -16,12 +14,8 @@ use hrviz_workloads::{AppKind, PlacementPolicy};
 
 /// Coefficient of variation of per-terminal mean latency (active terminals).
 fn latency_cv(run: &RunData) -> f64 {
-    let vals: Vec<f64> = run
-        .terminals
-        .iter()
-        .filter(|t| t.packets_finished > 0)
-        .map(|t| t.avg_latency_ns)
-        .collect();
+    let vals: Vec<f64> =
+        run.terminals.iter().filter(|t| t.packets_finished > 0).map(|t| t.avg_latency_ns).collect();
     if vals.is_empty() {
         return 0.0;
     }
@@ -31,11 +25,18 @@ fn latency_cv(run: &RunData) -> f64 {
 }
 
 fn main() {
+    hrviz_bench::obs_init("fig11_apps_inter");
     println!("Fig. 11: inter-group patterns + terminal latency (2,550 terminals)");
     let runs: Vec<RunData> = AppKind::ALL
         .iter()
         .map(|&k| {
-            run_app(2_550, k, RoutingAlgorithm::adaptive_default(), PlacementPolicy::Contiguous, None)
+            run_app(
+                2_550,
+                k,
+                RoutingAlgorithm::adaptive_default(),
+                PlacementPolicy::Contiguous,
+                None,
+            )
         })
         .collect();
 
@@ -45,11 +46,7 @@ fn main() {
     write_out(
         "fig11_apps_inter.svg",
         &render_radial_row(
-            &[
-                (&views[0], "AMG"),
-                (&views[1], "AMR Boxlib"),
-                (&views[2], "MiniFE"),
-            ],
+            &[(&views[0], "AMG"), (&views[1], "AMR Boxlib"), (&views[2], "MiniFE")],
             &RadialLayout::default(),
             "Fig 11: inter-group patterns; outer ring = terminal latency (shared scales)",
         ),
@@ -57,12 +54,8 @@ fn main() {
 
     let mut rows = vec![vec!["app".into(), "latency_cv".into(), "hops_cv".into()]];
     for (kind, run) in AppKind::ALL.iter().zip(&runs) {
-        let hops: Vec<f64> = run
-            .terminals
-            .iter()
-            .filter(|t| t.packets_finished > 0)
-            .map(|t| t.avg_hops)
-            .collect();
+        let hops: Vec<f64> =
+            run.terminals.iter().filter(|t| t.packets_finished > 0).map(|t| t.avg_hops).collect();
         let mean = hops.iter().sum::<f64>() / hops.len().max(1) as f64;
         let var = hops.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / hops.len().max(1) as f64;
         rows.push(vec![

@@ -42,6 +42,7 @@ fn total_series(run: &RunData) -> Vec<f64> {
 }
 
 fn main() {
+    hrviz_bench::obs_init("fig12_temporal");
     println!("Fig. 12: temporal characteristics of the three applications");
     let mut combined = Vec::new();
     let mut csv = vec![vec!["app".into(), "bin".into(), "traffic_bytes".into()]];

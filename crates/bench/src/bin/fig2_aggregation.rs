@@ -9,6 +9,7 @@ use hrviz_pdes::SimTime;
 use hrviz_workloads::SyntheticConfig;
 
 fn main() {
+    hrviz_bench::obs_init("fig2_aggregation");
     println!("Fig. 2: hierarchical aggregation over a 5,256-terminal Dragonfly");
     let run = run_synthetic(
         5_256,
@@ -47,7 +48,13 @@ fn main() {
         run.global_links.len()
     );
 
-    let mut rows = vec![vec!["level".into(), "key".into(), "members".into(), "traffic".into(), "sat_ns".into()]];
+    let mut rows = vec![vec![
+        "level".into(),
+        "key".into(),
+        "members".into(),
+        "traffic".into(),
+        "sat_ns".into(),
+    ]];
     for (li, level) in tree.levels.iter().enumerate() {
         for item in level {
             rows.push(vec![

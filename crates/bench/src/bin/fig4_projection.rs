@@ -5,14 +5,13 @@
 //! (color = workload, size = avg latency, x = avg hops, y = data size).
 
 use hrviz_bench::{run_three_jobs, write_csv, write_out, Expectations};
-use hrviz_core::{
-    build_view, DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec,
-};
+use hrviz_core::{build_view, DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec};
 use hrviz_network::RoutingAlgorithm;
 use hrviz_render::{render_radial, RadialLayout};
 use hrviz_workloads::PlacementPolicy;
 
 fn main() {
+    hrviz_bench::obs_init("fig4_projection");
     println!("Fig. 4: projection view of three jobs under random-router placement");
     let run = run_three_jobs(
         [PlacementPolicy::RandomRouter; 3],
@@ -76,18 +75,12 @@ fn main() {
         view.rings[2].items.len() == run.terminals.len(),
     );
     exp.check("ribbons bundle intra-group links between ranks", !view.ribbons.is_empty());
-    exp.check(
-        "three jobs visible in the scatter colors",
-        {
-            let mut jobs: Vec<u64> = view.rings[2]
-                .items
-                .iter()
-                .filter_map(|i| i.raw.color.map(|c| c as u64))
-                .collect();
-            jobs.sort_unstable();
-            jobs.dedup();
-            jobs.len() >= 3
-        },
-    );
+    exp.check("three jobs visible in the scatter colors", {
+        let mut jobs: Vec<u64> =
+            view.rings[2].items.iter().filter_map(|i| i.raw.color.map(|c| c as u64)).collect();
+        jobs.sort_unstable();
+        jobs.dedup();
+        jobs.len() >= 3
+    });
     std::process::exit(i32::from(!exp.finish("fig4")));
 }

@@ -10,6 +10,7 @@ use hrviz_render::{render_radial, RadialLayout};
 use hrviz_workloads::PlacementPolicy;
 
 fn main() {
+    hrviz_bench::obs_init("fig5_scripts");
     println!("Fig. 5: script-driven projection views (73-group network, 3 jobs, random router)");
     let run = run_three_jobs(
         [PlacementPolicy::RandomRouter; 3],
@@ -22,7 +23,11 @@ fn main() {
     let view_a = build_view(&ds, &spec_a).expect("view builds");
     write_out(
         "fig5a_partitions.svg",
-        &render_radial(&view_a, &RadialLayout::default(), "Fig 5a: 73 groups binned to <=8 partitions"),
+        &render_radial(
+            &view_a,
+            &RadialLayout::default(),
+            "Fig 5a: 73 groups binned to <=8 partitions",
+        ),
     );
 
     let spec_b = parse_script(FIG5B_SCRIPT).expect("Fig. 5b script parses");
@@ -42,17 +47,22 @@ fn main() {
 
     let a = run.spec.topology.routers_per_group as usize;
     let mut exp = Expectations::new();
-    exp.check("5a ring 0 collapses 73 groups into <=8 partitions", view_a.rings[0].items.len() <= 8);
+    exp.check(
+        "5a ring 0 collapses 73 groups into <=8 partitions",
+        view_a.rings[0].items.len() <= 8,
+    );
     exp.check("5a ring 1 shows the 12 router ranks", view_a.rings[1].items.len() == a);
     exp.check("5b shows only groups 0-8", {
-        view_b.rings[0].items.len() == 9
-            && view_b.rings[0].items.iter().all(|i| i.key[0] <= 8.0)
+        view_b.rings[0].items.len() == 9 && view_b.rings[0].items.iter().all(|i| i.key[0] <= 8.0)
     });
     exp.check("5b local-link heatmap covers rank x port of 9 groups", {
         // 12 ranks × up to 12 peer ports (self excluded at runtime).
         let n = view_b.rings[1].items.len();
         n > a && n <= a * a
     });
-    exp.check("ribbons present in both views", !view_a.ribbons.is_empty() && !view_b.ribbons.is_empty());
+    exp.check(
+        "ribbons present in both views",
+        !view_a.ribbons.is_empty() && !view_b.ribbons.is_empty(),
+    );
     std::process::exit(i32::from(!exp.finish("fig5")));
 }

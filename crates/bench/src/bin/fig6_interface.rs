@@ -13,6 +13,7 @@ use hrviz_render::{
 use hrviz_workloads::{AppKind, PlacementPolicy};
 
 fn main() {
+    hrviz_bench::obs_init("fig6_interface");
     println!("Fig. 6: interactive interface around an AMG run (2,550 terminals)");
     // AMG with its Fig. 12 sampling rate (0.02 ms).
     let run = run_app(
@@ -40,22 +41,28 @@ fn main() {
         .items
         .iter()
         .enumerate()
-        .max_by(|a, b| {
-            a.1.color
-                .partial_cmp(&b.1.color)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .max_by(|a, b| a.1.color.partial_cmp(&b.1.color).unwrap_or(std::cmp::Ordering::Equal))
         .map(|(i, _)| i)
         .expect("items exist");
     let (kind, rows) = view.item_rows(hot_ring, hot_item);
     detail.highlight(kind, rows);
     write_out(
         "fig6b_global_scatter.svg",
-        &render_link_scatter(&detail.global_links, 360.0, 240.0, "Global links: traffic vs saturation"),
+        &render_link_scatter(
+            &detail.global_links,
+            360.0,
+            240.0,
+            "Global links: traffic vs saturation",
+        ),
     );
     write_out(
         "fig6b_local_scatter.svg",
-        &render_link_scatter(&detail.local_links, 360.0, 240.0, "Local links: traffic vs saturation"),
+        &render_link_scatter(
+            &detail.local_links,
+            360.0,
+            240.0,
+            "Local links: traffic vs saturation",
+        ),
     );
     write_out(
         "fig6b_terminals_pcp.svg",
@@ -74,7 +81,12 @@ fn main() {
     let (t0, t1) = tl.select_bins(mid_peak.saturating_sub(2), (mid_peak + 3).min(bins));
     write_out(
         "fig6c_timeline.svg",
-        &render_timeline(&tl, 760.0, 90.0, "Fig 6c: link traffic over time (selection = 2nd burst)"),
+        &render_timeline(
+            &tl,
+            760.0,
+            90.0,
+            "Fig 6c: link traffic over time (selection = 2nd burst)",
+        ),
     );
 
     // Re-derive the projection for the selected range (the paper's linked
@@ -98,7 +110,8 @@ fn main() {
     rows_csv.push(vec!["burst_window_start_ns".into(), t0.as_nanos().to_string()]);
     rows_csv.push(vec!["burst_window_end_ns".into(), t1.as_nanos().to_string()]);
     rows_csv.push(vec!["highlighted_terminals".into(), detail.highlighted_terminals().to_string()]);
-    rows_csv.push(vec!["brushed_high_latency_terminals".into(), brushed.terminals.len().to_string()]);
+    rows_csv
+        .push(vec!["brushed_high_latency_terminals".into(), brushed.terminals.len().to_string()]);
     rows_csv.push(vec!["active_terminals".into(), ds.terminals.len().to_string()]);
     write_csv("fig6_interaction.csv", &rows_csv);
 

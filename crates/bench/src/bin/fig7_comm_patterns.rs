@@ -18,6 +18,7 @@ use hrviz_render::{render_radial_row, RadialLayout};
 use hrviz_workloads::SyntheticConfig;
 
 fn main() {
+    hrviz_bench::obs_init("fig7_comm_patterns");
     println!("Fig. 7: nearest neighbor vs uniform random (5,256 terminals, adaptive)");
     // ~40 % injection load: the NN hot links (all p terminals of a router
     // funnel onto the single link to the next router) oversubscribe and

@@ -15,14 +15,10 @@ use hrviz_render::{render_radial_row, RadialLayout};
 use hrviz_workloads::{AppKind, PlacementPolicy};
 
 fn main() {
+    hrviz_bench::obs_init("fig8_routing_amg");
     println!("Fig. 8: minimal vs adaptive routing, AMG on 2,550 terminals");
-    let minimal = run_app(
-        2_550,
-        AppKind::Amg,
-        RoutingAlgorithm::Minimal,
-        PlacementPolicy::Contiguous,
-        None,
-    );
+    let minimal =
+        run_app(2_550, AppKind::Amg, RoutingAlgorithm::Minimal, PlacementPolicy::Contiguous, None);
     let adaptive = run_app(
         2_550,
         AppKind::Amg,

@@ -19,13 +19,12 @@ use hrviz_render::{render_radial_row, RadialLayout};
 use hrviz_workloads::SyntheticConfig;
 
 fn main() {
+    hrviz_bench::obs_init("fig9_routing_ur");
     println!("Fig. 9: minimal vs adaptive routing, uniform random on 9,702 terminals");
     // Load high enough that minimal routing's gateway queues build up but
     // below the bisection limit (override: HRVIZ_F9_PERIOD_US).
-    let period_us: u64 = std::env::var("HRVIZ_F9_PERIOD_US")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5);
+    let period_us: u64 =
+        std::env::var("HRVIZ_F9_PERIOD_US").ok().and_then(|v| v.parse().ok()).unwrap_or(5);
     let traffic = SyntheticConfig::uniform(16 * 1024, 24, SimTime::micros(period_us));
     let minimal = run_synthetic(9_702, traffic, RoutingAlgorithm::Minimal);
     let adaptive = run_synthetic(9_702, traffic, RoutingAlgorithm::adaptive_default());
@@ -56,19 +55,13 @@ fn main() {
     let l_ada = adaptive.class_traffic(LinkClass::Local) as f64;
 
     let mut exp = Expectations::new();
-    exp.check(
-        "adaptive increases global-link usage",
-        g_ada > 1.2 * g_min,
-    );
+    exp.check("adaptive increases global-link usage", g_ada > 1.2 * g_min);
     exp.check("adaptive increases local-link usage (proxy groups)", l_ada > l_min);
     exp.check(
         "minimal saturates local links more than adaptive",
         minimal.class_sat_ns(LinkClass::Local) > adaptive.class_sat_ns(LinkClass::Local),
     );
-    exp.check(
-        "adaptive increases mean hop count",
-        mean_hops(&adaptive) > mean_hops(&minimal),
-    );
+    exp.check("adaptive increases mean hop count", mean_hops(&adaptive) > mean_hops(&minimal));
     println!(
         "  hops: minimal {:.2} adaptive {:.2} | latency: minimal {:.1}us adaptive {:.1}us",
         mean_hops(&minimal),

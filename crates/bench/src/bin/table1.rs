@@ -16,22 +16,26 @@ fn human_bytes(b: u64) -> String {
 }
 
 fn main() {
+    hrviz_bench::obs_init("table1");
     println!("Table I: Summary of Applications");
     println!("{:<12} {:>6} {:>9} {:<22}", "Application", "Ranks", "Data", "Comm. Pattern");
-    let mut rows = vec![
-        ["application", "ranks", "data_bytes", "comm_pattern", "generated_bytes_at_scale", "scale"]
-            .map(str::to_string)
-            .to_vec(),
-    ];
+    let mut rows = vec![[
+        "application",
+        "ranks",
+        "data_bytes",
+        "comm_pattern",
+        "generated_bytes_at_scale",
+        "scale",
+    ]
+    .map(str::to_string)
+    .to_vec()];
     for kind in AppKind::ALL {
         // Verify the generator actually produces the nominal volume.
         let job = JobMeta {
             name: kind.name().into(),
             terminals: (0..kind.ranks()).map(TerminalId).collect(),
         };
-        let cfg = AppConfig::new(kind)
-            .with_scale(data_scale())
-            .with_duration(SimTime::micros(400));
+        let cfg = AppConfig::new(kind).with_scale(data_scale()).with_duration(SimTime::micros(400));
         let generated: u64 = generate_app(0, &job, &cfg).iter().map(|m| m.bytes).sum();
         println!(
             "{:<12} {:>6} {:>9} {:<22}",

@@ -9,12 +9,15 @@ use hrviz_core::{DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSp
 use hrviz_network::{
     DragonflyConfig, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm, RunData, Simulation,
 };
+use hrviz_obs::{fingerprint64, Collector, Json, LogLevel, PerfRecord, RunManifest};
 use hrviz_pdes::SimTime;
 use hrviz_workloads::{
     generate_app, generate_synthetic, place_jobs, AppConfig, AppKind, PlacementPolicy,
     PlacementRequest, SyntheticConfig,
 };
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Output directory for figures/CSVs (`out/` in the working directory, or
 /// `$HRVIZ_OUT`).
@@ -57,6 +60,101 @@ pub fn app_duration() -> SimTime {
 /// Simulation seed shared by all experiments.
 pub const SEED: u64 = 0xC0DE5;
 
+/// Driver telemetry state: name + start time from [`obs_init`], plus the
+/// topology of the last simulation the harness set up (for the manifest).
+struct ObsRun {
+    driver: String,
+    started: Instant,
+    topology: Vec<(String, Json)>,
+}
+
+static OBS_RUN: Mutex<Option<ObsRun>> = Mutex::new(None);
+
+/// Initialize driver telemetry and install the collector globally (so spans
+/// in core/render/workloads attach to the same run). Tracing is opt-in via
+/// `$HRVIZ_TRACE`: unset → disabled collector (near-zero overhead); `1` →
+/// trace JSONL at `out/<driver>/trace.jsonl`; any other value → that path.
+/// `$HRVIZ_LOG` sets the log level (error/warn/info/debug/trace).
+pub fn obs_init(driver: &str) -> Collector {
+    let c = match std::env::var("HRVIZ_TRACE") {
+        Ok(v) if !v.is_empty() => {
+            let path = if v == "1" {
+                out_dir().join(driver).join("trace.jsonl")
+            } else {
+                PathBuf::from(v)
+            };
+            Collector::with_trace_file(&path).expect("create trace file")
+        }
+        _ => Collector::disabled(),
+    };
+    if let Some(level) = std::env::var("HRVIZ_LOG").ok().as_deref().and_then(LogLevel::parse) {
+        c.set_level(level);
+    }
+    hrviz_obs::install(c.clone());
+    *OBS_RUN.lock().unwrap() =
+        Some(ObsRun { driver: driver.into(), started: Instant::now(), topology: Vec::new() });
+    c
+}
+
+/// Record the network shape for the run manifest (harness-internal).
+fn note_topology(spec: &NetworkSpec) {
+    if let Some(run) = OBS_RUN.lock().unwrap().as_mut() {
+        let t = spec.topology;
+        run.topology = vec![
+            ("groups".into(), Json::from(t.groups)),
+            ("routers_per_group".into(), Json::from(t.routers_per_group)),
+            ("terminals_per_router".into(), Json::from(t.terminals_per_router)),
+            ("global_ports".into(), Json::from(t.global_ports)),
+            ("terminals".into(), Json::from(t.num_terminals())),
+            ("routing".into(), Json::Str(spec.routing.name().into())),
+        ];
+    }
+}
+
+/// Write `out/<driver>/manifest.json` + `out/BENCH_<driver>.json` and flush
+/// the trace. No-op unless [`obs_init`] ran with tracing enabled. Called by
+/// [`Expectations::finish`] because drivers exit via `std::process::exit`
+/// (destructors never run).
+fn write_obs_artifacts() {
+    let guard = OBS_RUN.lock().unwrap();
+    let Some(run) = guard.as_ref() else { return };
+    let c = hrviz_obs::get();
+    if !c.is_enabled() {
+        return;
+    }
+    let wall = run.started.elapsed().as_secs_f64();
+    let events = c.counter("pdes/events_processed");
+    let eps = if wall > 0.0 { events as f64 / wall } else { 0.0 };
+    let peak = c.gauge("pdes/peak_queue_depth").unwrap_or(0.0) as u64;
+    let topo_text: String =
+        run.topology.iter().map(|(k, v)| format!("{k}={};", v.render())).collect();
+
+    let mut m = RunManifest::new(run.driver.clone());
+    m.config_fingerprint =
+        fingerprint64(&format!("{}:{}scale={}", run.driver, topo_text, data_scale()));
+    m.seed = SEED;
+    m.topology = run.topology.clone();
+    m.wall_time_s = wall;
+    m.events_per_sec = eps;
+    m.peak_queue_depth = peak;
+    m.snapshot = Some(c.snapshot());
+    match m.write(&out_dir()) {
+        Ok(p) => println!("  wrote {}", p.display()),
+        Err(e) => eprintln!("  manifest write failed: {e}"),
+    }
+
+    let mut perf = PerfRecord::new(run.driver.clone());
+    perf.wall_time_s = wall;
+    perf.events_per_sec = eps;
+    perf.peak_queue_depth = peak;
+    perf.extra = vec![("events_processed".into(), Json::from(events))];
+    match perf.write(&out_dir()) {
+        Ok(p) => println!("  wrote {}", p.display()),
+        Err(e) => eprintln!("  perf record write failed: {e}"),
+    }
+    let _ = c.flush();
+}
+
 /// Run one application alone on a network (paper §V-C setup: adaptive
 /// routing, contiguous placement unless stated otherwise).
 pub fn run_app(
@@ -72,7 +170,8 @@ pub fn run_app(
     if let Some((w, n)) = sampling {
         spec = spec.with_sampling(w, n);
     }
-    let mut sim = Simulation::new(spec);
+    note_topology(&spec);
+    let mut sim = Simulation::new(spec).with_collector(hrviz_obs::get());
     let topo = sim.topology();
     let jobs = place_jobs(
         topo,
@@ -95,7 +194,8 @@ pub fn run_synthetic(
     let spec = NetworkSpec::new(DragonflyConfig::paper_scale(terminals))
         .with_routing(routing)
         .with_seed(SEED);
-    let mut sim = Simulation::new(spec);
+    note_topology(&spec);
+    let mut sim = Simulation::new(spec).with_collector(hrviz_obs::get());
     let all: Vec<_> = (0..terminals).map(hrviz_network::TerminalId).collect();
     let meta = JobMeta { name: pattern.pattern.name().into(), terminals: all };
     let job = sim.add_job(meta.clone());
@@ -110,13 +210,13 @@ pub fn run_three_jobs(
     routing: RoutingAlgorithm,
     sampling: Option<(SimTime, usize)>,
 ) -> RunData {
-    let mut spec = NetworkSpec::new(DragonflyConfig::paper_scale(5_256))
-        .with_routing(routing)
-        .with_seed(SEED);
+    let mut spec =
+        NetworkSpec::new(DragonflyConfig::paper_scale(5_256)).with_routing(routing).with_seed(SEED);
     if let Some((w, n)) = sampling {
         spec = spec.with_sampling(w, n);
     }
-    let mut sim = Simulation::new(spec);
+    note_topology(&spec);
+    let mut sim = Simulation::new(spec).with_collector(hrviz_obs::get());
     let topo = sim.topology();
     let kinds = [AppKind::Amg, AppKind::AmrBoxlib, AppKind::MiniFe];
     let requests: Vec<PlacementRequest> = kinds
@@ -229,10 +329,7 @@ pub fn mean_latency_ns(run: &RunData) -> f64 {
     if pkts == 0 {
         return 0.0;
     }
-    run.terminals
-        .iter()
-        .map(|t| t.avg_latency_ns * t.packets_finished as f64)
-        .sum::<f64>()
+    run.terminals.iter().map(|t| t.avg_latency_ns * t.packets_finished as f64).sum::<f64>()
         / pkts as f64
 }
 
@@ -267,8 +364,11 @@ impl Expectations {
         self.checks.push((name.to_string(), ok));
     }
 
-    /// Summary line; returns whether all passed.
+    /// Summary line; returns whether all passed. Also writes the telemetry
+    /// artifacts (manifest, perf record, trace flush) when tracing is on,
+    /// since drivers exit via `std::process::exit` right after.
     pub fn finish(self, what: &str) -> bool {
+        write_obs_artifacts();
         let pass = self.checks.iter().filter(|c| c.1).count();
         println!("{what}: {pass}/{} expectation checks passed", self.checks.len());
         pass == self.checks.len()

@@ -1,0 +1,85 @@
+//! The disabled-collector overhead budget (≤2% of simulator event cost),
+//! asserted as a unit test so a regression fails CI rather than only
+//! showing up in the `obs_overhead` criterion bench.
+
+use hrviz_network::{
+    DragonflyConfig, MsgInjection, NetworkSpec, RoutingAlgorithm, Simulation, TerminalId,
+};
+use hrviz_obs::Collector;
+use hrviz_pdes::SimTime;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Per-event wall cost of the packet simulator with a disabled collector
+/// attached (the production default), in seconds.
+fn per_event_cost() -> f64 {
+    let spec = NetworkSpec::new(DragonflyConfig::canonical(2)) // 72 terminals
+        .with_routing(RoutingAlgorithm::adaptive_default());
+    let mut sim = Simulation::new(spec).with_collector(Collector::disabled());
+    for src in 0..72u32 {
+        for k in 0..4u64 {
+            sim.inject(MsgInjection {
+                time: SimTime(k * 1000),
+                src: TerminalId(src),
+                dst: TerminalId((src + 31) % 72),
+                bytes: 4096,
+                job: 0,
+            });
+        }
+    }
+    let t0 = Instant::now();
+    let run = sim.run();
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(run.events_processed > 1_000, "workload too small to time");
+    wall / run.events_processed as f64
+}
+
+/// Best-of-four per-iteration time of `f` over a million iterations.
+fn timed(mut f: impl FnMut(u64)) -> f64 {
+    const N: u64 = 1_000_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..4 {
+        let t0 = Instant::now();
+        for i in 0..N {
+            f(i);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / N as f64);
+    }
+    best
+}
+
+/// Cost of the telemetry calls a per-event instrumentation site would pay
+/// with a disabled collector: the enabled-check branch plus a counter op.
+/// (The engine itself does even less — it reports only at run boundaries.)
+/// Loop/black_box overhead is measured separately and subtracted so the
+/// number isolates the collector, not the harness.
+fn per_disabled_op_cost() -> f64 {
+    let c = Collector::disabled();
+    let baseline = timed(|i| {
+        black_box(i);
+        black_box("pdes/events_processed");
+    });
+    let ops = timed(|i| {
+        black_box(c.is_enabled());
+        c.counter_add(black_box("pdes/events_processed"), black_box(i));
+    });
+    (ops - baseline).max(0.0)
+}
+
+#[test]
+fn disabled_collector_overhead_within_two_percent_budget() {
+    let event = per_event_cost();
+    let op = per_disabled_op_cost();
+    let ratio = op / event;
+    // The budget from the design: a disabled collector may cost at most 2%
+    // of the per-event simulation work. In practice the ratio is well under
+    // 0.1% — a disabled op is a single branch with no clock read — so this
+    // only trips if someone puts real work on the disabled path.
+    assert!(
+        ratio <= 0.02,
+        "disabled telemetry ops cost {:.3e}s vs {:.3e}s per event ({:.2}% > 2% budget)",
+        op,
+        event,
+        100.0 * ratio
+    );
+}

@@ -14,13 +14,14 @@
 //! subcommand) to keep the dependency set at zero.
 
 use hrviz_core::{
-    build_view, compare_views, parse_script, DataSet, EntityKind, Field, LevelSpec,
-    ProjectionSpec, RibbonSpec,
+    build_view, compare_views, parse_script, DataSet, EntityKind, Field, LevelSpec, ProjectionSpec,
+    RibbonSpec,
 };
 use hrviz_network::{
     DragonflyConfig, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm, RunData, Simulation,
     TerminalId,
 };
+use hrviz_obs::{Collector, LogLevel};
 use hrviz_pdes::SimTime;
 use hrviz_render::{render_radial, render_radial_row, RadialLayout};
 use hrviz_workloads::{generate_synthetic, load_trace, SyntheticConfig, TrafficPattern};
@@ -84,9 +85,78 @@ pub const USAGE: &str = "usage: hrviz <view|trace|compare|check> [options]
   trace   --in FILE --terminals N --routing R [--script FILE] [--svg FILE]
   compare --terminals N --pattern P --routing R1,R2[,..] [--script FILE] [--svg FILE]
   check   FILE
+common: --trace-out FILE (write a JSONL telemetry trace)
+        --log-level error|warn|info|debug|trace
 patterns: uniform-random nearest-neighbor all-to-all transpose
           bit-complement tornado permutation
 routings: minimal nonminimal adaptive progressive-adaptive";
+
+/// Flags every subcommand accepts.
+const COMMON_FLAGS: &[&str] = &["trace-out", "log-level"];
+
+/// The per-subcommand flag allowlist (`None` = unknown subcommand, reported
+/// separately by [`run`]).
+fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
+    match command {
+        "view" | "compare" => Some(&[
+            "terminals",
+            "pattern",
+            "routing",
+            "msgs",
+            "bytes",
+            "period-us",
+            "seed",
+            "stride",
+            "script",
+            "svg",
+        ]),
+        "trace" => Some(&["in", "terminals", "routing", "script", "svg"]),
+        "check" => Some(&[]),
+        "help" | "--help" | "-h" => Some(&[]),
+        _ => None,
+    }
+}
+
+/// Reject flags the subcommand does not understand, naming the ones it does.
+fn validate_flags(cli: &Cli) -> Result<(), CliError> {
+    let Some(allowed) = allowed_flags(&cli.command) else {
+        return Ok(()); // unknown subcommand: handled with its own error
+    };
+    for key in cli.options.keys() {
+        if !allowed.contains(&key.as_str()) && !COMMON_FLAGS.contains(&key.as_str()) {
+            let mut known: Vec<&str> = allowed.iter().chain(COMMON_FLAGS).copied().collect();
+            known.sort_unstable();
+            let listed: Vec<String> = known.iter().map(|f| format!("--{f}")).collect();
+            return err(format!(
+                "unknown flag --{key} for '{}'; accepted flags: {}",
+                cli.command,
+                listed.join(" ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Build the run's collector from `--trace-out` / `--log-level`. Either
+/// flag enables telemetry; with no trace file, events go to an in-memory
+/// sink and logs still reach stderr.
+fn collector_of(cli: &Cli) -> Result<Collector, CliError> {
+    let trace_out = cli.options.get("trace-out");
+    let log_level = cli.options.get("log-level");
+    let c = match trace_out {
+        Some(path) => Collector::with_trace_file(std::path::Path::new(path))
+            .map_err(|e| CliError(format!("cannot write trace to {path}: {e}")))?,
+        None if log_level.is_some() => Collector::enabled(),
+        None => Collector::disabled(),
+    };
+    if let Some(lv) = log_level {
+        let level = LogLevel::parse(lv).ok_or_else(|| {
+            CliError(format!("unknown log level {lv:?}; use error, warn, info, debug or trace"))
+        })?;
+        c.set_level(level);
+    }
+    Ok(c)
+}
 
 fn routing_of(s: &str) -> Result<RoutingAlgorithm, CliError> {
     Ok(match s {
@@ -173,12 +243,9 @@ fn spec_of(cli: &Cli) -> Result<ProjectionSpec, CliError> {
 
 fn summarize(run: &RunData) -> String {
     let pkts: u64 = run.terminals.iter().map(|t| t.packets_finished).sum();
-    let lat = run
-        .terminals
-        .iter()
-        .map(|t| t.avg_latency_ns * t.packets_finished as f64)
-        .sum::<f64>()
-        / pkts.max(1) as f64;
+    let lat =
+        run.terminals.iter().map(|t| t.avg_latency_ns * t.packets_finished as f64).sum::<f64>()
+            / pkts.max(1) as f64;
     let mut s = format!(
         "events {}  end {}  delivered {}/{} bytes  mean latency {:.1} us\n",
         run.events_processed,
@@ -200,9 +267,8 @@ fn summarize(run: &RunData) -> String {
 
 fn simulate(cli: &Cli, routing: RoutingAlgorithm) -> Result<RunData, CliError> {
     let cfg = terminals_of(cli)?;
-    let pattern = pattern_of(
-        cli.options.get("pattern").ok_or(CliError("--pattern is required".into()))?,
-    )?;
+    let pattern =
+        pattern_of(cli.options.get("pattern").ok_or(CliError("--pattern is required".into()))?)?;
     let msgs = u64_opt(cli, "msgs", 16)? as u32;
     let bytes = u64_opt(cli, "bytes", 16 * 1024)? as u32;
     let period = SimTime::micros(u64_opt(cli, "period-us", 4)?);
@@ -212,19 +278,13 @@ fn simulate(cli: &Cli, routing: RoutingAlgorithm) -> Result<RunData, CliError> {
     let all: Vec<TerminalId> = (0..cfg.num_terminals()).map(TerminalId).collect();
     let meta = JobMeta { name: pattern.name().into(), terminals: all };
     let job = sim.add_job(meta.clone());
-    let mut scfg = SyntheticConfig {
-        pattern,
-        msg_bytes: bytes,
-        msgs_per_rank: msgs,
-        period,
-        stride: 1,
-        seed,
-    };
+    let mut scfg =
+        SyntheticConfig { pattern, msg_bytes: bytes, msgs_per_rank: msgs, period, stride: 1, seed };
     if let Some(s) = cli.options.get("stride") {
         scfg.stride = s.parse().map_err(|_| CliError("--stride must be a number".into()))?;
     }
     sim.inject_all(generate_synthetic(job, &meta, &scfg));
-    Ok(sim.run())
+    Ok(sim.with_collector(hrviz_obs::get()).run())
 }
 
 fn write_svg(cli: &Cli, default_name: &str, svg: String) -> Result<String, CliError> {
@@ -239,11 +299,19 @@ fn write_svg(cli: &Cli, default_name: &str, svg: String) -> Result<String, CliEr
 
 /// Run a parsed command; returns the text to print.
 pub fn run(cli: &Cli) -> Result<String, CliError> {
+    validate_flags(cli)?;
+    let collector = collector_of(cli)?;
+    hrviz_obs::install(collector.clone());
+    let result = dispatch(cli);
+    collector.flush().map_err(|e| CliError(format!("cannot flush trace: {e}")))?;
+    result
+}
+
+fn dispatch(cli: &Cli) -> Result<String, CliError> {
     match cli.command.as_str() {
         "view" => {
-            let routing = routing_of(
-                cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"),
-            )?;
+            let routing =
+                routing_of(cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"))?;
             let run = simulate(cli, routing)?;
             let spec = spec_of(cli)?;
             let ds = DataSet::from_run(&run);
@@ -254,13 +322,13 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         }
         "trace" => {
             let input = cli.options.get("in").ok_or(CliError("--in is required".into()))?;
-            let msgs = load_trace(std::path::Path::new(input))
-                .map_err(|e| CliError(e.to_string()))?;
+            let msgs =
+                load_trace(std::path::Path::new(input)).map_err(|e| CliError(e.to_string()))?;
             let cfg = terminals_of(cli)?;
-            let routing = routing_of(
-                cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"),
-            )?;
-            let mut sim = Simulation::new(NetworkSpec::new(cfg).with_routing(routing));
+            let routing =
+                routing_of(cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"))?;
+            let mut sim = Simulation::new(NetworkSpec::new(cfg).with_routing(routing))
+                .with_collector(hrviz_obs::get());
             sim.inject_all(msgs);
             let run = sim.run();
             let spec = spec_of(cli)?;
@@ -287,13 +355,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             let datasets: Vec<DataSet> = runs.iter().map(DataSet::from_run).collect();
             let refs: Vec<&DataSet> = datasets.iter().collect();
             let views = compare_views(&refs, &spec).map_err(|e| CliError(e.to_string()))?;
-            let labeled: Vec<(&_, &str)> = views
-                .iter()
-                .zip(routings.iter().map(|r| r.name()))
-                .map(|(v, n)| (v, n))
-                .collect();
-            let svg =
-                render_radial_row(&labeled, &RadialLayout::default(), "hrviz compare");
+            let labeled: Vec<(&_, &str)> =
+                views.iter().zip(routings.iter().map(|r| r.name())).collect();
+            let svg = render_radial_row(&labeled, &RadialLayout::default(), "hrviz compare");
             let path = write_svg(cli, "compare.svg", svg)?;
             let mut out = String::new();
             for (r, run) in routings.iter().zip(&runs) {
@@ -328,9 +392,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
 /// Default spec builder used for doc parity with the script constant.
 pub fn default_spec() -> ProjectionSpec {
     ProjectionSpec::new(vec![
-        LevelSpec::new(EntityKind::LocalLink)
-            .aggregate(&[Field::RouterRank])
-            .color(Field::SatTime),
+        LevelSpec::new(EntityKind::LocalLink).aggregate(&[Field::RouterRank]).color(Field::SatTime),
         LevelSpec::new(EntityKind::GlobalLink)
             .aggregate(&[Field::RouterRank, Field::RouterPort])
             .color(Field::SatTime)
@@ -349,7 +411,8 @@ mod tests {
 
     #[test]
     fn parses_subcommand_options_and_positionals() {
-        let cli = parse_args(&args(&["view", "--terminals", "72", "--pattern", "tornado"])).unwrap();
+        let cli =
+            parse_args(&args(&["view", "--terminals", "72", "--pattern", "tornado"])).unwrap();
         assert_eq!(cli.command, "view");
         assert_eq!(cli.options["terminals"], "72");
         let cli = parse_args(&args(&["check", "file.hrviz"])).unwrap();
@@ -488,6 +551,61 @@ mod tests {
         assert!(pattern_of("noise").is_err());
         let cli = parse_args(&args(&["help"])).unwrap();
         assert!(run(&cli).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_with_the_allowlist() {
+        let cli = parse_args(&args(&["view", "--terminls", "72"])).unwrap();
+        let e = run(&cli).unwrap_err().to_string();
+        assert!(e.contains("unknown flag --terminls for 'view'"), "got: {e}");
+        assert!(e.contains("--terminals"), "error should list accepted flags: {e}");
+        assert!(e.contains("--trace-out"), "error should list common flags: {e}");
+        // check takes only positionals (plus the common flags).
+        let cli = parse_args(&args(&["check", "f.hrviz", "--svg", "x"])).unwrap();
+        assert!(run(&cli).unwrap_err().to_string().contains("unknown flag --svg"));
+    }
+
+    #[test]
+    fn trace_out_writes_a_jsonl_trace() {
+        let dir = std::env::temp_dir().join("hrviz_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let svg = dir.join("traced.svg");
+        let trace = dir.join("traced.jsonl");
+        let cli = parse_args(&args(&[
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--msgs",
+            "2",
+            "--bytes",
+            "2048",
+            "--svg",
+            svg.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&cli).unwrap();
+        let text = std::fs::read_to_string(&trace).unwrap();
+        assert!(text.lines().count() >= 2, "trace should hold several events: {text}");
+        assert!(text.contains("\"kind\":\"engine_run\""), "engine boundary event: {text}");
+        assert!(text.contains("\"label\":\"sim/run\""), "sim span event: {text}");
+        std::fs::remove_file(&svg).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn log_level_flag_parses_and_rejects_garbage() {
+        let cli = parse_args(&args(&["view", "--log-level", "shout"])).unwrap();
+        let e = run(&cli).unwrap_err().to_string();
+        assert!(e.contains("unknown log level"), "got: {e}");
+        // A valid level alone enables an in-memory collector.
+        let cli = parse_args(&args(&["check", "--log-level", "debug"])).unwrap();
+        let c = collector_of(&cli).unwrap();
+        assert!(c.is_enabled());
+        assert_eq!(c.level(), Some(LogLevel::Debug));
     }
 
     #[test]

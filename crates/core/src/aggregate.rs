@@ -56,13 +56,10 @@ pub fn group_rows(ds: &DataSet, kind: EntityKind, fields: &[Field]) -> Vec<Aggre
     }
     let n = ds.len(kind);
     if fields.is_empty() {
-        return (0..n)
-            .map(|i| AggregateItem { key: vec![i as f64], rows: vec![i] })
-            .collect();
+        return (0..n).map(|i| AggregateItem { key: vec![i as f64], rows: vec![i] }).collect();
     }
-    let mut keyed: Vec<(Vec<f64>, usize)> = (0..n)
-        .map(|i| (fields.iter().map(|&f| ds.value(kind, i, f)).collect(), i))
-        .collect();
+    let mut keyed: Vec<(Vec<f64>, usize)> =
+        (0..n).map(|i| (fields.iter().map(|&f| ds.value(kind, i, f)).collect(), i)).collect();
     keyed.sort_by(|a, b| key_cmp(&a.0, &b.0).then(a.1.cmp(&b.1)));
     let mut items: Vec<AggregateItem> = Vec::new();
     for (key, row) in keyed {
@@ -93,15 +90,10 @@ pub fn bin_items(
         .iter()
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     let width = (max - min) / max_bins as f64;
-    let mut bins: Vec<AggregateItem> = (0..max_bins)
-        .map(|b| AggregateItem { key: vec![b as f64], rows: Vec::new() })
-        .collect();
+    let mut bins: Vec<AggregateItem> =
+        (0..max_bins).map(|b| AggregateItem { key: vec![b as f64], rows: Vec::new() }).collect();
     for (item, v) in items.into_iter().zip(values) {
-        let b = if width > 0.0 {
-            (((v - min) / width) as usize).min(max_bins - 1)
-        } else {
-            0
-        };
+        let b = if width > 0.0 { (((v - min) / width) as usize).min(max_bins - 1) } else { 0 };
         bins[b].rows.extend(item.rows);
     }
     bins.retain(|b| !b.rows.is_empty());
@@ -130,6 +122,7 @@ pub struct AggregateTree {
 impl AggregateTree {
     /// Build the tree over a dataset.
     pub fn build(ds: &DataSet, levels: &[TreeLevel]) -> AggregateTree {
+        let _span = hrviz_obs::get().span("core/aggregate");
         let levels = levels
             .iter()
             .map(|lv| {
@@ -232,10 +225,7 @@ mod tests {
         let total_rows: usize = binned.iter().map(|b| b.rows.len()).sum();
         assert_eq!(total_rows, 8, "binning must not drop rows");
         // Bin keys are indices in metric order: bin 0 holds the smallest.
-        assert!(binned[0]
-            .rows
-            .iter()
-            .all(|&r| d.terminals[r].data_size <= 300.0));
+        assert!(binned[0].rows.iter().all(|&r| d.terminals[r].data_size <= 300.0));
     }
 
     #[test]

@@ -12,11 +12,9 @@ pub fn compare_views(
     datasets: &[&DataSet],
     spec: &ProjectionSpec,
 ) -> Result<Vec<ProjectionView>, SpecError> {
+    let _span = hrviz_obs::get().span("core/compare");
     let scales = shared_scales(datasets, spec)?;
-    datasets
-        .par_iter()
-        .map(|ds| build_view_scaled(ds, spec, &scales))
-        .collect()
+    datasets.par_iter().map(|ds| build_view_scaled(ds, spec, &scales)).collect()
 }
 
 /// The merged scales the comparison uses.

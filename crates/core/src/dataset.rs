@@ -195,9 +195,7 @@ impl DataSet {
                     let lat = t.latency_bins.as_ref().map(|b| b.sum_range(s, e) as f64);
                     let hop = t.hops_bins.as_ref().map(|b| b.sum_range(s, e) as f64);
                     match (lat, hop) {
-                        (Some(l), Some(h)) if count > 0 => {
-                            (l / count as f64, h / count as f64)
-                        }
+                        (Some(l), Some(h)) if count > 0 => (l / count as f64, h / count as f64),
                         (Some(_), Some(_)) => (0.0, 0.0),
                         _ => (t.avg_latency_ns, t.avg_hops),
                     }
@@ -414,8 +412,9 @@ impl DataSet {
         let terminals: Vec<TerminalRow> =
             self.terminals.iter().filter(|t| pred(t)).copied().collect();
         let routers_kept: HashSet<u32> = terminals.iter().map(|t| t.router).collect();
-        let keep_link =
-            |l: &&LinkRow| routers_kept.contains(&l.src_router) || routers_kept.contains(&l.dst_router);
+        let keep_link = |l: &&LinkRow| {
+            routers_kept.contains(&l.src_router) || routers_kept.contains(&l.dst_router)
+        };
         DataSet {
             jobs: self.jobs.clone(),
             routers: self
@@ -452,10 +451,8 @@ mod tests {
             spec = spec.with_sampling(SimTime::micros(1), 512);
         }
         let mut sim = Simulation::new(spec);
-        let job = sim.add_job(JobMeta {
-            name: "toy".into(),
-            terminals: (0..16).map(TerminalId).collect(),
-        });
+        let job = sim
+            .add_job(JobMeta { name: "toy".into(), terminals: (0..16).map(TerminalId).collect() });
         for src in 0..16u32 {
             sim.inject(MsgInjection {
                 time: SimTime::ZERO,
@@ -485,17 +482,12 @@ mod tests {
         let run = toy_run(false);
         let ds = DataSet::from_run(&run);
         // Router local traffic equals the sum of its local-link rows.
-        let r0_local: f64 = ds
-            .local_links
-            .iter()
-            .filter(|l| l.src_router == 0)
-            .map(|l| l.traffic)
-            .sum();
+        let r0_local: f64 =
+            ds.local_links.iter().filter(|l| l.src_router == 0).map(|l| l.traffic).sum();
         assert_eq!(ds.value(EntityKind::Router, 0, Field::LocalTraffic), r0_local);
         // Terminal data_size matches the injected volume.
-        let injected: f64 = (0..16)
-            .map(|i| ds.value(EntityKind::Terminal, i, Field::DataSize))
-            .sum();
+        let injected: f64 =
+            (0..16).map(|i| ds.value(EntityKind::Terminal, i, Field::DataSize)).sum();
         assert_eq!(injected, 16.0 * 8192.0);
     }
 
@@ -533,10 +525,7 @@ mod tests {
         let ds = DataSet::from_run(&run);
         let brushed = ds.brush_terminals(|t| t.terminal < 2);
         assert_eq!(brushed.terminals.len(), 2);
-        assert!(brushed
-            .local_links
-            .iter()
-            .all(|l| l.src_router == 0 || l.dst_router == 0));
+        assert!(brushed.local_links.iter().all(|l| l.src_router == 0 || l.dst_router == 0));
         assert!(!brushed.local_links.is_empty());
         assert_eq!(brushed.routers.len(), 1);
     }

@@ -282,17 +282,12 @@ mod tests {
     fn pcp_normalizes_per_axis() {
         let view = DetailView::new(&ds());
         assert_eq!(view.terminals.axes.len(), PCP_AXES.len());
-        let lat_axis = view
-            .terminals
-            .axes
-            .iter()
-            .position(|a| a.field == Field::AvgLatency)
-            .unwrap();
+        let lat_axis =
+            view.terminals.axes.iter().position(|a| a.field == Field::AvgLatency).unwrap();
         assert_eq!(view.terminals.lines[0].values[lat_axis], 0.0);
         assert_eq!(view.terminals.lines[3].values[lat_axis], 1.0);
         // Constant axes (sat = 0 everywhere) normalize to 0.
-        let sat_axis =
-            view.terminals.axes.iter().position(|a| a.field == Field::SatTime).unwrap();
+        let sat_axis = view.terminals.axes.iter().position(|a| a.field == Field::SatTime).unwrap();
         assert!(view.terminals.lines.iter().all(|l| l.values[sat_axis] == 0.0));
     }
 

@@ -200,9 +200,9 @@ impl Field {
         use Field::*;
         match self {
             AvgLatency | AvgHops => AggRule::Mean,
-            Traffic | SatTime | DataSize | RecvBytes | BusyTime | PacketsFinished
-            | PacketsSent | GlobalTraffic | GlobalSatTime | LocalTraffic | LocalSatTime
-            | TotalTraffic | TotalSatTime => AggRule::Sum,
+            Traffic | SatTime | DataSize | RecvBytes | BusyTime | PacketsFinished | PacketsSent
+            | GlobalTraffic | GlobalSatTime | LocalTraffic | LocalSatTime | TotalTraffic
+            | TotalSatTime => AggRule::Sum,
             _ => AggRule::Key,
         }
     }

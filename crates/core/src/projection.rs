@@ -174,9 +174,7 @@ struct LevelBuild {
 fn build_level_items(ds: &DataSet, lv: &LevelSpec) -> LevelBuild {
     // Filter rows first.
     let n = ds.len(lv.entity);
-    let passes = |i: usize| {
-        lv.filter.iter().all(|c| c.accepts(ds.value(lv.entity, i, c.field)))
-    };
+    let passes = |i: usize| lv.filter.iter().all(|c| c.accepts(ds.value(lv.entity, i, c.field)));
     // Group (respecting filters) — group_rows works on the whole table, so
     // group then strip filtered rows.
     let mut items = group_rows(ds, lv.entity, &lv.aggregate);
@@ -397,17 +395,16 @@ pub fn build_view_scaled(
     spec: &ProjectionSpec,
     scales: &ScaleSet,
 ) -> Result<ProjectionView, SpecError> {
+    let _span = hrviz_obs::get().span("core/project");
     spec.validate()?;
     let ring0_build = build_level_items(ds, &spec.levels[0]);
 
     // --- arcs: ring-0 spans ---
     let lv0 = &spec.levels[0];
     let weights: Vec<f64> = match spec.arc_weight {
-        Some(w) => ring0_build
-            .items
-            .iter()
-            .map(|it| it.metric(ds, lv0.entity, w).max(0.0))
-            .collect(),
+        Some(w) => {
+            ring0_build.items.iter().map(|it| it.metric(ds, lv0.entity, w).max(0.0)).collect()
+        }
         None => vec![1.0; ring0_build.items.len()],
     };
     let wsum: f64 = weights.iter().sum();

@@ -83,10 +83,8 @@ impl<'a> Parser<'a> {
 
     fn err(&self, msg: &str) -> SpecError {
         // Report a 1-based line number for the current position.
-        let line = 1 + self.src[..self.pos.min(self.src.len())]
-            .iter()
-            .filter(|&&c| c == b'\n')
-            .count();
+        let line =
+            1 + self.src[..self.pos.min(self.src.len())].iter().filter(|&&c| c == b'\n').count();
         SpecError(format!("script parse error (line {line}): {msg}"))
     }
 
@@ -259,9 +257,7 @@ pub fn parse_values(src: &str) -> Result<Vec<Value>, SpecError> {
 }
 
 fn field_of(v: &Value, ctx: &str) -> Result<Field, SpecError> {
-    let s = v
-        .as_str()
-        .ok_or_else(|| SpecError(format!("{ctx}: expected a field name string")))?;
+    let s = v.as_str().ok_or_else(|| SpecError(format!("{ctx}: expected a field name string")))?;
     Field::parse(s).ok_or_else(|| SpecError(format!("{ctx}: unknown field {s:?}")))
 }
 
@@ -286,7 +282,10 @@ fn colors_of(v: &Value, ctx: &str) -> Result<Vec<String>, SpecError> {
     }
 }
 
-fn decode_level(obj: &Value, idx: usize) -> Result<(LevelSpec, Option<RibbonSpec>, Option<Field>), SpecError> {
+fn decode_level(
+    obj: &Value,
+    idx: usize,
+) -> Result<(LevelSpec, Option<RibbonSpec>, Option<Field>), SpecError> {
     let ctx = format!("level {idx}");
     let entity_name = obj
         .get("project")
@@ -327,9 +326,7 @@ fn decode_level(obj: &Value, idx: usize) -> Result<(LevelSpec, Option<RibbonSpec
         }
     }
     if let Some(v) = obj.get("maxBins").or_else(|| obj.get("max_bins")) {
-        let n = v
-            .as_num()
-            .ok_or_else(|| SpecError(format!("{ctx}.maxBins: expected a number")))?;
+        let n = v.as_num().ok_or_else(|| SpecError(format!("{ctx}.maxBins: expected a number")))?;
         level.max_bins = Some(n as usize);
     }
     if let Some(v) = obj.get("vmap") {
@@ -343,9 +340,7 @@ fn decode_level(obj: &Value, idx: usize) -> Result<(LevelSpec, Option<RibbonSpec
                 "size" => level.vmap.size = Some(f),
                 "x" => level.vmap.x = Some(f),
                 "y" => level.vmap.y = Some(f),
-                other => {
-                    return Err(SpecError(format!("{ctx}.vmap: unknown encoding {other:?}")))
-                }
+                other => return Err(SpecError(format!("{ctx}.vmap: unknown encoding {other:?}"))),
             }
         }
     }
@@ -392,6 +387,7 @@ fn decode_level(obj: &Value, idx: usize) -> Result<(LevelSpec, Option<RibbonSpec
 
 /// Parse a complete projection script into a validated [`ProjectionSpec`].
 pub fn parse_script(src: &str) -> Result<ProjectionSpec, SpecError> {
+    let _span = hrviz_obs::get().span("core/parse_script");
     let objs = parse_values(src)?;
     if objs.is_empty() {
         return Err(SpecError("empty script".into()));
@@ -544,12 +540,12 @@ mod tests {
 
     #[test]
     fn tolerates_trailing_commas_and_comments() {
-        let v = parse_values(
-            "{ a: [1, 2, 3,], }, // ring one\n{ b: 2, }",
-        )
-        .unwrap();
+        let v = parse_values("{ a: [1, 2, 3,], }, // ring one\n{ b: 2, }").unwrap();
         assert_eq!(v.len(), 2);
-        assert_eq!(v[0].get("a"), Some(&Value::Arr(vec![Value::Num(1.0), Value::Num(2.0), Value::Num(3.0)])));
+        assert_eq!(
+            v[0].get("a"),
+            Some(&Value::Arr(vec![Value::Num(1.0), Value::Num(2.0), Value::Num(3.0)]))
+        );
     }
 
     #[test]
@@ -600,23 +596,25 @@ mod tests {
     #[test]
     fn validation_runs_after_decode() {
         // avg_latency is not a router field: decoder accepts, validator rejects.
-        let err = parse_script("{ project: \"router\", vmap: { color: \"avg_latency\" } }")
-            .unwrap_err();
+        let err =
+            parse_script("{ project: \"router\", vmap: { color: \"avg_latency\" } }").unwrap_err();
         assert!(err.to_string().contains("router has no field"));
     }
 
     #[test]
     fn scalar_filter_becomes_point_range() {
-        let spec =
-            parse_script("{ project: \"terminal\", filter: { workload: 2 }, vmap: { color: \"sat_time\" } }")
-                .unwrap();
+        let spec = parse_script(
+            "{ project: \"terminal\", filter: { workload: 2 }, vmap: { color: \"sat_time\" } }",
+        )
+        .unwrap();
         assert_eq!(spec.levels[0].filter[0].min, 2.0);
         assert_eq!(spec.levels[0].filter[0].max, 2.0);
     }
 
     #[test]
     fn array_wrapped_script_accepted() {
-        let spec = parse_script("[ { project: \"terminal\", vmap: { color: \"sat_time\" } } ]").unwrap();
+        let spec =
+            parse_script("[ { project: \"terminal\", vmap: { color: \"sat_time\" } } ]").unwrap();
         assert_eq!(spec.levels.len(), 1);
     }
 

@@ -375,14 +375,14 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fields() {
-        let spec = ProjectionSpec::new(vec![
-            LevelSpec::new(EntityKind::Router).color(Field::AvgLatency)
-        ]);
+        let spec =
+            ProjectionSpec::new(vec![LevelSpec::new(EntityKind::Router).color(Field::AvgLatency)]);
         let err = spec.validate().unwrap_err();
         assert!(err.to_string().contains("avg_latency"));
 
-        let spec =
-            ProjectionSpec::new(vec![LevelSpec::new(EntityKind::Terminal).aggregate(&[Field::Traffic])]);
+        let spec = ProjectionSpec::new(vec![
+            LevelSpec::new(EntityKind::Terminal).aggregate(&[Field::Traffic])
+        ]);
         assert!(spec.validate().is_err());
 
         assert!(ProjectionSpec::new(vec![]).validate().is_err());

@@ -129,13 +129,11 @@ impl TimelineView {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hrviz_network::{
-        DragonflyConfig, MsgInjection, NetworkSpec, Simulation, TerminalId,
-    };
+    use hrviz_network::{DragonflyConfig, MsgInjection, NetworkSpec, Simulation, TerminalId};
 
     fn sampled_run() -> RunData {
-        let spec = NetworkSpec::new(DragonflyConfig::canonical(2))
-            .with_sampling(SimTime::micros(1), 256);
+        let spec =
+            NetworkSpec::new(DragonflyConfig::canonical(2)).with_sampling(SimTime::micros(1), 256);
         let mut sim = Simulation::new(spec);
         // Two waves: t=0 and t=10us.
         for src in 0..16u32 {

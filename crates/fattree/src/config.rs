@@ -50,7 +50,7 @@ pub enum Layer {
 impl FatTreeConfig {
     /// New k-ary Fat-Tree (k must be even and ≥ 2).
     pub fn new(k: u32) -> FatTreeConfig {
-        assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2, got {k}");
+        assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2, got {k}");
         FatTreeConfig { k }
     }
 

@@ -11,6 +11,9 @@ use hrviz_network::traffic::{JobMeta, MsgInjection};
 use hrviz_network::NO_JOB;
 use hrviz_pdes::{Ctx, Engine, Lp, SimTime};
 
+// Hosts dominate the node population; keep the flat in-place layout rather
+// than boxing (same trade-off as `hrviz_network::NetNode`).
+#[allow(clippy::large_enum_variant)]
 enum FtNode {
     Host(TerminalLp),
     Switch(SwitchLp),
@@ -127,15 +130,15 @@ impl FatTreeSim {
             }
         }
         // Lookahead = min link latency.
-        let lookahead = self
-            .links
-            .host
-            .latency
-            .min(self.links.pod.latency)
-            .min(self.links.core.latency);
+        let lookahead =
+            self.links.host.latency.min(self.links.pod.latency).min(self.links.core.latency);
+        let collector = hrviz_obs::get();
+        let span = collector.span("sim/fattree_run");
         let mut engine = Engine::new(nodes, lookahead);
+        engine.set_collector(collector);
         engine.run_to_completion();
         let stats = engine.stats();
+        span.end();
         FatTreeRun {
             cfg,
             jobs: self.jobs,
@@ -312,13 +315,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn msg(t: u64, src: u32, dst: u32, bytes: u64) -> MsgInjection {
-        MsgInjection {
-            time: SimTime(t),
-            src: TerminalId(src),
-            dst: TerminalId(dst),
-            bytes,
-            job: 0,
-        }
+        MsgInjection { time: SimTime(t), src: TerminalId(src), dst: TerminalId(dst), bytes, job: 0 }
     }
 
     #[test]

@@ -60,7 +60,16 @@ impl SwitchLp {
         let h = cfg.half();
         let mut ports = Vec::new();
         let port = |class, class_idx, peer_lp, peer_port, params: LinkClassParams| {
-            OutPort::new(class, class_idx, peer_lp, peer_port, params, num_vcs, vc_buffer_bytes, sampling)
+            OutPort::new(
+                class,
+                class_idx,
+                peer_lp,
+                peer_port,
+                params,
+                num_vcs,
+                vc_buffer_bytes,
+                sampling,
+            )
         };
         match layer {
             Layer::Edge => {
@@ -80,13 +89,7 @@ impl SwitchLp {
                 // Down: to every edge of the pod; peer's up port = my index.
                 for e in 0..h {
                     let edge = cfg.edge_id(pod, e);
-                    ports.push(port(
-                        LinkClass::Local,
-                        e,
-                        cfg.switch_lp(edge),
-                        h + idx,
-                        links.pod,
-                    ));
+                    ports.push(port(LinkClass::Local, e, cfg.switch_lp(edge), h + idx, links.pod));
                 }
                 // Up: to cores idx*h .. (idx+1)*h; core's down port = my pod.
                 for i in 0..h {
@@ -145,10 +148,9 @@ impl SwitchLp {
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 self.up_range().start + (h >> 33) as usize % self.cfg.half() as usize
             }
-            UpRouting::Adaptive => self
-                .up_range()
-                .min_by_key(|&p| self.ports[p].queued_bytes)
-                .expect("up ports exist"),
+            UpRouting::Adaptive => {
+                self.up_range().min_by_key(|&p| self.ports[p].queued_bytes).expect("up ports exist")
+            }
         }
     }
 
@@ -268,7 +270,7 @@ mod tests {
     fn agg_descends_within_pod_and_climbs_otherwise() {
         let cfg = FatTreeConfig::new(4);
         let s = switch(cfg, cfg.agg_id(1, 0)); // pod 1
-        // Host 5 lives in pod 1 (edge 2): descend via down port 0 (edge 2 % 2).
+                                               // Host 5 lives in pod 1 (edge 2): descend via down port 0 (edge 2 % 2).
         assert_eq!(s.route(&pkt(0, 5)), 0);
         // Host 15 is pod 3: climb.
         assert!((2..4).contains(&s.route(&pkt(0, 15))));

@@ -227,10 +227,7 @@ impl NetworkSpec {
 
     /// The minimum cross-LP event latency: used as the PDES lookahead.
     pub fn lookahead(&self) -> SimTime {
-        self.terminal_link
-            .latency
-            .min(self.local_link.latency)
-            .min(self.global_link.latency)
+        self.terminal_link.latency.min(self.local_link.latency).min(self.global_link.latency)
     }
 }
 

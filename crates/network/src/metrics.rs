@@ -7,7 +7,7 @@ use crate::packet::JobId;
 use crate::sampling::Bins;
 use crate::topology::{RouterId, TerminalId, Topology};
 use crate::traffic::JobMeta;
-use hrviz_pdes::SimTime;
+use hrviz_pdes::{EngineStats, SimTime};
 
 /// One directed router-to-router link's metrics.
 #[derive(Clone, Debug)]
@@ -151,6 +151,10 @@ pub struct RunData {
     pub end_time: SimTime,
     /// Events the engine processed.
     pub events_processed: u64,
+    /// Events the engine scheduled.
+    pub events_scheduled: u64,
+    /// High-water mark of the engine's pending-event queue.
+    pub peak_queue_depth: u64,
 }
 
 impl RunData {
@@ -159,8 +163,7 @@ impl RunData {
         spec: &NetworkSpec,
         jobs: Vec<JobMeta>,
         nodes: &[NetNode],
-        end_time: SimTime,
-        events_processed: u64,
+        stats: EngineStats,
     ) -> RunData {
         let topo = Topology::new(spec.topology);
         let cfg = spec.topology;
@@ -202,10 +205,8 @@ impl RunData {
                             class: LinkClass::Local,
                             src_router: rid,
                             src_port: port.class_idx,
-                            dst_router: topo.router_in_group(
-                                topo.group_of_router(rid),
-                                port.class_idx,
-                            ),
+                            dst_router: topo
+                                .router_in_group(topo.group_of_router(rid), port.class_idx),
                             dst_port: my_rank,
                             traffic: port.traffic,
                             sat_ns: port.sat_ns,
@@ -311,8 +312,10 @@ impl RunData {
             global_links,
             terminals,
             series,
-            end_time,
-            events_processed,
+            end_time: stats.end_time,
+            events_processed: stats.events_processed,
+            events_scheduled: stats.events_scheduled,
+            peak_queue_depth: stats.peak_queue_depth,
         }
     }
 

@@ -19,6 +19,8 @@ use std::collections::VecDeque;
 struct VcState {
     credits: i64,
     pending: VecDeque<(Packet, CreditReturn)>,
+    /// Smallest credit level ever seen (peak downstream-buffer occupancy).
+    min_credits: i64,
 }
 
 /// An entry granted credit, queued for (or in) serialization.
@@ -50,6 +52,10 @@ pub struct OutPort {
     pub traffic: u64,
     /// Total saturated time (some VC pending queue non-empty).
     pub sat_ns: u64,
+    /// Packets that had to park for lack of credit (credit stalls).
+    pub stalls: u64,
+    /// Per-VC credit pool size (for occupancy normalization).
+    vc_buffer_bytes: u32,
     sat_since: Option<SimTime>,
     /// Optional time series.
     pub traffic_bins: Option<Bins>,
@@ -90,13 +96,19 @@ impl OutPort {
             peer_port,
             params,
             vcs: (0..num_vcs)
-                .map(|_| VcState { credits: vc_buffer_bytes as i64, pending: VecDeque::new() })
+                .map(|_| VcState {
+                    credits: vc_buffer_bytes as i64,
+                    pending: VecDeque::new(),
+                    min_credits: vc_buffer_bytes as i64,
+                })
                 .collect(),
             xmit_q: VecDeque::new(),
             busy: false,
             queued_bytes: 0,
             traffic: 0,
             sat_ns: 0,
+            stalls: 0,
+            vc_buffer_bytes,
             sat_since: None,
             traffic_bins: sampling.map(Bins::new),
             sat_bins: sampling.map(Bins::new),
@@ -117,6 +129,19 @@ impl OutPort {
     /// Whether any VC has parked packets (the saturation condition).
     pub fn is_saturated(&self) -> bool {
         self.vcs.iter().any(|v| !v.pending.is_empty())
+    }
+
+    /// Peak occupancy of each VC's downstream buffer as a fraction of its
+    /// credit pool (0 = never used, 1 = fully consumed at some point).
+    pub fn vc_peak_occupancies(&self) -> impl Iterator<Item = f64> + '_ {
+        let buf = self.vc_buffer_bytes as f64;
+        self.vcs.iter().map(move |v| {
+            if buf <= 0.0 {
+                0.0
+            } else {
+                (self.vc_buffer_bytes as i64 - v.min_credits) as f64 / buf
+            }
+        })
     }
 
     fn note_sat_start(&mut self, now: SimTime) {
@@ -159,6 +184,7 @@ impl OutPort {
         // FIFO per VC: if the VC already has parked packets, park behind them.
         if !self.vcs[v].pending.is_empty() || self.vcs[v].credits < pkt.bytes as i64 {
             self.vcs[v].pending.push_back((pkt, from));
+            self.stalls += 1;
             self.note_sat_start(now);
             return PortAction::None;
         }
@@ -167,7 +193,9 @@ impl OutPort {
     }
 
     fn grant(&mut self, pkt: Packet, vc: u8, from: CreditReturn) {
-        self.vcs[vc as usize].credits -= pkt.bytes as i64;
+        let v = &mut self.vcs[vc as usize];
+        v.credits -= pkt.bytes as i64;
+        v.min_credits = v.min_credits.min(v.credits);
         self.xmit_q.push_back((pkt, vc, from));
     }
 
@@ -210,6 +238,7 @@ impl OutPort {
             if v.credits >= pkt.bytes as i64 {
                 let (pkt, from) = v.pending.pop_front().expect("non-empty");
                 v.credits -= pkt.bytes as i64;
+                v.min_credits = v.min_credits.min(v.credits);
                 self.xmit_q.push_back((pkt, vc, from));
                 granted = true;
             } else {
@@ -350,18 +379,37 @@ mod tests {
     }
 
     #[test]
+    fn stalls_count_parked_packets() {
+        let mut p = port(150);
+        assert_eq!(p.stalls, 0);
+        let _ = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        assert_eq!(p.stalls, 0); // granted, no stall
+        let _ = p.offer(SimTime(10), pkt(2, 100, 0), 0, ret());
+        let _ = p.offer(SimTime(20), pkt(3, 100, 0), 0, ret());
+        assert_eq!(p.stalls, 2);
+        // Un-parking via credit does not count as a new stall.
+        let _ = p.credit(SimTime(60), 0, 100);
+        assert_eq!(p.stalls, 2);
+    }
+
+    #[test]
+    fn vc_peak_occupancy_tracks_credit_low_water() {
+        let mut p = port(1000);
+        let _ = p.offer(SimTime(0), pkt(1, 250, 0), 0, ret());
+        let _ = p.offer(SimTime(1), pkt(2, 250, 0), 0, ret());
+        // VC0 dipped to 500 credits → 50% peak occupancy; VC1/VC2 untouched.
+        let occ: Vec<f64> = p.vc_peak_occupancies().collect();
+        assert_eq!(occ, vec![0.5, 0.0, 0.0]);
+        // Credits returning do not lower the recorded peak.
+        let _ = p.credit(SimTime(10), 0, 500);
+        let occ: Vec<f64> = p.vc_peak_occupancies().collect();
+        assert_eq!(occ[0], 0.5);
+    }
+
+    #[test]
     fn sampling_bins_populated() {
         let sampling = SamplingConfig { bin_width: SimTime(50), max_bins: 100 };
-        let mut p = OutPort::new(
-            LinkClass::Local,
-            0,
-            LpId(9),
-            0,
-            params(),
-            2,
-            100,
-            Some(sampling),
-        );
+        let mut p = OutPort::new(LinkClass::Local, 0, LpId(9), 0, params(), 2, 100, Some(sampling));
         let _ = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
         let _ = p.offer(SimTime(10), pkt(2, 100, 0), 0, ret());
         let _ = p.credit(SimTime(75), 0, 100);

@@ -83,7 +83,9 @@ impl RouterLp {
             ));
         }
         // Per-router deterministic RNG stream.
-        let rng = StdRng::seed_from_u64(spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(my_lp.0 as u64 + 1)));
+        let rng = StdRng::seed_from_u64(
+            spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(my_lp.0 as u64 + 1)),
+        );
         RouterLp { id, my_lp, topo, routing: spec.routing, ports, rng }
     }
 
@@ -158,7 +160,12 @@ impl RouterLp {
         }
     }
 
-    fn route_and_offer(&mut self, ctx: &mut Ctx<'_, NetEvent>, mut pkt: Packet, from: CreditReturn) {
+    fn route_and_offer(
+        &mut self,
+        ctx: &mut Ctx<'_, NetEvent>,
+        mut pkt: Packet,
+        from: CreditReturn,
+    ) {
         let dst_router = self.topo.router_of_terminal(pkt.dst);
         let src_group = self.topo.group_of_router(self.topo.router_of_terminal(pkt.src));
         let my_group = self.topo.group_of_router(self.id);
@@ -245,16 +252,15 @@ impl RouterLp {
                     NetEvent::Credit { port: from.port, vc: from.vc, bytes: from.bytes },
                 );
                 // Deliver downstream.
-                let next_from = CreditReturn {
-                    lp: self.my_lp,
-                    port,
-                    vc,
-                    bytes: pkt.bytes,
-                    latency,
-                };
+                let next_from =
+                    CreditReturn { lp: self.my_lp, port, vc, bytes: pkt.bytes, latency };
                 match class {
                     LinkClass::Terminal => {
-                        ctx.send(peer_lp, latency, NetEvent::TerminalArrive { pkt, from: next_from });
+                        ctx.send(
+                            peer_lp,
+                            latency,
+                            NetEvent::TerminalArrive { pkt, from: next_from },
+                        );
                     }
                     LinkClass::Global => {
                         pkt.global_hops += 1;
@@ -294,11 +300,7 @@ mod tests {
         Arc::new(s)
     }
 
-    fn drive(
-        r: &mut RouterLp,
-        now: SimTime,
-        ev: NetEvent,
-    ) -> Vec<Event<NetEvent>> {
+    fn drive(r: &mut RouterLp, now: SimTime, ev: NetEvent) -> Vec<Event<NetEvent>> {
         let mut seq = 0;
         let mut out = Vec::new();
         let me = r.my_lp;
@@ -332,10 +334,11 @@ mod tests {
         let topo = Topology::new(spec.topology);
         let mut r = RouterLp::new(&spec, RouterId(0));
         // Terminal 1 lives on router 0 (p=2).
-        let out = drive(&mut r, SimTime(100), NetEvent::RouterArrive {
-            pkt: pkt_to(5, 1),
-            from: terminal_from(5),
-        });
+        let out = drive(
+            &mut r,
+            SimTime(100),
+            NetEvent::RouterArrive { pkt: pkt_to(5, 1), from: terminal_from(5) },
+        );
         // Serialization starts immediately: one self XmitDone event.
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].payload, NetEvent::XmitDone { port: 1 }));
@@ -456,10 +459,14 @@ mod tests {
         let spec = Arc::new(s);
         let mut r = RouterLp::new(&spec, RouterId(0));
         // Destination terminal on router 1, same group: local forward.
-        let out = drive(&mut r, SimTime(0), NetEvent::RouterArrive {
-            pkt: pkt_to(0, 2), // terminal 2 → router 1 (p=2)
-            from: terminal_from(0),
-        });
+        let out = drive(
+            &mut r,
+            SimTime(0),
+            NetEvent::RouterArrive {
+                pkt: pkt_to(0, 2), // terminal 2 → router 1 (p=2)
+                from: terminal_from(0),
+            },
+        );
         assert_eq!(out.len(), 1);
         let NetEvent::XmitDone { port } = out[0].payload else { panic!() };
         // local port to rank 1 = p + 1 = 3.
@@ -477,10 +484,14 @@ mod tests {
         let (gw, _) = topo.gateway(GroupId(0), dst_group);
         let src_terminal = topo.terminal_of(gw, 0);
         let mut r = RouterLp::new(&spec, gw);
-        let out = drive(&mut r, SimTime(0), NetEvent::RouterArrive {
-            pkt: pkt_to(src_terminal.0, dst.0),
-            from: terminal_from(src_terminal.0),
-        });
+        let out = drive(
+            &mut r,
+            SimTime(0),
+            NetEvent::RouterArrive {
+                pkt: pkt_to(src_terminal.0, dst.0),
+                from: terminal_from(src_terminal.0),
+            },
+        );
         let NetEvent::XmitDone { port } = out[0].payload else { panic!() };
         let out = drive(&mut r, SimTime(1000), NetEvent::XmitDone { port });
         let NetEvent::RouterArrive { pkt, .. } = &out[1].payload else { panic!() };

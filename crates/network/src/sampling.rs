@@ -22,7 +22,11 @@ impl Bins {
     /// New accumulator with the given sampling configuration.
     pub fn new(cfg: SamplingConfig) -> Self {
         assert!(cfg.bin_width.as_nanos() > 0, "bin width must be positive");
-        Bins { width_ns: cfg.bin_width.as_nanos(), max_bins: cfg.max_bins.max(1), values: Vec::new() }
+        Bins {
+            width_ns: cfg.bin_width.as_nanos(),
+            max_bins: cfg.max_bins.max(1),
+            values: Vec::new(),
+        }
     }
 
     /// Bin width.
@@ -97,11 +101,17 @@ impl Bins {
     }
 
     /// Element-wise accumulate another `Bins` (must have the same width).
+    /// Bins beyond this accumulator's `max_bins` fold into its final bin,
+    /// preserving both the clamp invariant and the total.
     pub fn merge(&mut self, other: &Bins) {
         assert_eq!(self.width_ns, other.width_ns, "merging bins of different widths");
-        self.ensure(other.values.len().saturating_sub(1));
-        for (dst, src) in self.values.iter_mut().zip(&other.values) {
-            *dst += src;
+        if other.values.is_empty() {
+            return;
+        }
+        let last = (other.values.len() - 1).min(self.max_bins - 1);
+        self.ensure(last);
+        for (b, &src) in other.values.iter().enumerate() {
+            self.values[b.min(self.max_bins - 1)] += src;
         }
     }
 }
@@ -184,5 +194,72 @@ mod tests {
         let mut a = Bins::new(cfg(10, 100));
         let b = Bins::new(cfg(20, 100));
         a.merge(&b);
+    }
+
+    #[test]
+    fn zero_width_interval_at_bin_boundary_is_noop() {
+        let mut b = Bins::new(cfg(10, 100));
+        b.add_interval(SimTime(10), SimTime(10)); // exactly on a boundary
+        b.add_interval(SimTime(0), SimTime(0));
+        assert!(b.values().is_empty());
+        assert_eq!(b.total(), 0);
+    }
+
+    #[test]
+    fn interval_spanning_final_bin_boundary_conserves_total() {
+        // Last real bin starts at 20 (max_bins = 3); the interval starts in
+        // bin 1 and runs far past the clamp point.
+        let mut b = Bins::new(cfg(10, 3));
+        b.add_interval(SimTime(15), SimTime(45));
+        assert_eq!(b.values(), &[0, 5, 25]);
+        assert_eq!(b.total(), 30); // nothing lost at the clamp boundary
+    }
+
+    #[test]
+    fn interval_entirely_past_the_clamp_lands_in_last_bin() {
+        let mut b = Bins::new(cfg(10, 3));
+        b.add_interval(SimTime(100), SimTime(160));
+        assert_eq!(b.values(), &[0, 0, 60]);
+    }
+
+    #[test]
+    fn merge_clamps_longer_source_into_final_bin() {
+        // `other` legitimately has more bins than `self` allows; the excess
+        // must fold into self's last bin instead of growing past max_bins.
+        let mut a = Bins::new(cfg(10, 3));
+        let mut b = Bins::new(cfg(10, 100));
+        for i in 0..6u64 {
+            b.add_at(SimTime(i * 10), 1);
+        }
+        assert_eq!(b.values().len(), 6);
+        a.merge(&b);
+        assert_eq!(a.values().len(), 3, "merge must respect max_bins");
+        assert_eq!(a.values(), &[1, 1, 4]);
+        assert_eq!(a.total(), b.total());
+    }
+
+    #[test]
+    fn merge_from_empty_and_into_empty() {
+        let mut a = Bins::new(cfg(10, 3));
+        let empty = Bins::new(cfg(10, 3));
+        a.merge(&empty);
+        assert!(a.values().is_empty());
+        let mut c = Bins::new(cfg(10, 3));
+        let mut d = Bins::new(cfg(10, 3));
+        d.add_at(SimTime(0), 2);
+        c.merge(&d);
+        assert_eq!(c.values(), &[2]);
+    }
+
+    #[test]
+    fn merge_after_clamped_merge_keeps_invariant() {
+        // Repeated merges through the clamp path must stay bounded.
+        let mut a = Bins::new(cfg(10, 2));
+        let mut b = Bins::new(cfg(10, 50));
+        b.add_interval(SimTime(0), SimTime(100));
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.values().len(), 2);
+        assert_eq!(a.total(), 200);
     }
 }

@@ -13,6 +13,7 @@ use crate::router::RouterLp;
 use crate::terminal::TerminalLp;
 use crate::topology::{RouterId, TerminalId, Topology};
 use crate::traffic::{JobMeta, MsgInjection};
+use hrviz_obs::Collector;
 use hrviz_pdes::{Engine, ParallelEngine, SimTime};
 use std::sync::Arc;
 
@@ -26,6 +27,7 @@ pub struct Simulation {
     /// Hard stop (events after this time are not processed).
     horizon: SimTime,
     event_budget: u64,
+    collector: Collector,
 }
 
 impl Simulation {
@@ -45,7 +47,16 @@ impl Simulation {
             jobs: Vec::new(),
             horizon: SimTime::MAX,
             event_budget: u64::MAX,
+            collector: Collector::disabled(),
         }
+    }
+
+    /// Attach a telemetry collector: the engine reports event counters, the
+    /// network layer reports packet/credit-stall counters and VC-occupancy
+    /// histograms, and the whole run executes under a `sim/run` span.
+    pub fn with_collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
     }
 
     /// The network specification.
@@ -67,10 +78,7 @@ impl Simulation {
 
     /// Queue one message injection.
     pub fn inject(&mut self, msg: MsgInjection) {
-        assert!(
-            msg.src.0 < self.spec.topology.num_terminals(),
-            "source terminal out of range"
-        );
+        assert!(msg.src.0 < self.spec.topology.num_terminals(), "source terminal out of range");
         assert!(
             msg.dst.0 < self.spec.topology.num_terminals(),
             "destination terminal out of range"
@@ -133,8 +141,11 @@ impl Simulation {
 
     /// Run on the sequential engine.
     pub fn run(mut self) -> RunData {
+        let collector = self.collector.clone();
+        let span = collector.span("sim/run");
         let nodes = self.build_nodes();
         let mut engine = Engine::new(nodes, self.spec.lookahead());
+        engine.set_collector(collector.clone());
         engine.set_event_budget(self.event_budget);
         if self.horizon == SimTime::MAX {
             engine.run_to_completion();
@@ -149,7 +160,13 @@ impl Simulation {
         }
         let stats = engine.stats();
         let nodes = engine.into_lps();
-        RunData::extract(&self.spec, self.jobs, &nodes, stats.end_time, stats.events_processed)
+        let run = {
+            let _extract = collector.span("sim/extract");
+            RunData::extract(&self.spec, self.jobs, &nodes, stats)
+        };
+        report_network(&collector, &nodes, &run);
+        span.end();
+        run
     }
 
     /// Run on the conservative parallel engine with `partitions` workers.
@@ -159,12 +176,47 @@ impl Simulation {
             self.horizon == SimTime::MAX && self.event_budget == u64::MAX,
             "horizon/budget bounds are only supported on the sequential engine"
         );
+        let collector = self.collector.clone();
+        let span = collector.span("sim/run");
         let nodes = self.build_nodes();
         let mut engine = ParallelEngine::new(nodes, self.spec.lookahead(), partitions);
+        engine.set_collector(collector.clone());
         let stats = engine.run_to_completion();
         let nodes = engine.into_lps();
-        RunData::extract(&self.spec, self.jobs, &nodes, stats.end_time, stats.events_processed)
+        let run = {
+            let _extract = collector.span("sim/extract");
+            RunData::extract(&self.spec, self.jobs, &nodes, stats)
+        };
+        report_network(&collector, &nodes, &run);
+        span.end();
+        run
     }
+}
+
+/// Report network-level boundary telemetry: packet and byte totals, credit
+/// stalls, and the peak VC-occupancy histogram across all router ports.
+fn report_network(c: &Collector, nodes: &[NetNode], run: &RunData) {
+    if !c.is_enabled() {
+        return;
+    }
+    c.counter_add("net/packets_injected", run.terminals.iter().map(|t| t.packets_sent).sum());
+    c.counter_add("net/packets_delivered", run.terminals.iter().map(|t| t.packets_finished).sum());
+    c.counter_add("net/bytes_injected", run.total_injected());
+    c.counter_add("net/bytes_delivered", run.total_delivered());
+    // 21 buckets of 0.05 over [0, 1.05): exact 1.0 lands in the last bucket.
+    c.hist_ensure("net/vc_occupancy", 0.0, 0.05, 21);
+    let mut stalls = 0u64;
+    for node in nodes {
+        if let Some(r) = node.as_router() {
+            for port in r.ports() {
+                stalls += port.stalls;
+                for occ in port.vc_peak_occupancies() {
+                    c.hist_record("net/vc_occupancy", occ);
+                }
+            }
+        }
+    }
+    c.counter_add("net/credit_stalls", stalls);
 }
 
 #[cfg(test)]
@@ -180,13 +232,7 @@ mod tests {
     }
 
     fn msg(t: u64, src: u32, dst: u32, bytes: u64) -> MsgInjection {
-        MsgInjection {
-            time: SimTime(t),
-            src: TerminalId(src),
-            dst: TerminalId(dst),
-            bytes,
-            job: 0,
-        }
+        MsgInjection { time: SimTime(t), src: TerminalId(src), dst: TerminalId(dst), bytes, job: 0 }
     }
 
     #[test]
@@ -248,7 +294,8 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let build = || {
             let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-            let mut sim = Simulation::new(small_spec().with_routing(RoutingAlgorithm::adaptive_default()));
+            let mut sim =
+                Simulation::new(small_spec().with_routing(RoutingAlgorithm::adaptive_default()));
             for src in 0..72 {
                 for k in 0..5u64 {
                     let dst = (src + 1 + rng.gen_range(0..70)) % 72;
@@ -274,6 +321,52 @@ mod tests {
         for (a, b) in seq.global_links.iter().zip(&par.global_links) {
             assert_eq!(a.traffic, b.traffic);
         }
+    }
+
+    #[test]
+    fn collector_counters_match_between_engines() {
+        use hrviz_obs::Collector;
+        let build = || {
+            let mut sim = Simulation::new(small_spec());
+            for src in 0..72u32 {
+                sim.inject(msg(0, src, (src + 36) % 72, 16 * 1024));
+            }
+            sim
+        };
+        let cs = Collector::enabled();
+        let seq = build().with_collector(cs.clone()).run();
+        let cp = Collector::enabled();
+        let par = build().with_collector(cp.clone()).run_parallel(4);
+
+        // The headline acceptance criterion: both engines report identical
+        // delivered-packet (and injected/byte/event) counters.
+        assert_eq!(
+            cs.counter("net/packets_delivered"),
+            cp.counter("net/packets_delivered"),
+            "sequential vs parallel delivered-packet counters diverged"
+        );
+        assert!(cs.counter("net/packets_delivered") > 0);
+        assert_eq!(cs.counter("net/packets_injected"), cp.counter("net/packets_injected"));
+        assert_eq!(cs.counter("net/bytes_delivered"), cp.counter("net/bytes_delivered"));
+        assert_eq!(cs.counter("net/credit_stalls"), cp.counter("net/credit_stalls"));
+        assert_eq!(cs.counter("pdes/events_processed"), cp.counter("pdes/events_processed"));
+        assert_eq!(seq.total_delivered(), par.total_delivered());
+
+        // Both runs recorded the sim/run span and a VC-occupancy histogram.
+        for c in [&cs, &cp] {
+            let snap = c.snapshot();
+            assert_eq!(snap.spans["sim/run"].count, 1);
+            assert!(snap.hists["net/vc_occupancy"].count > 0);
+        }
+    }
+
+    #[test]
+    fn run_data_carries_engine_stats() {
+        let mut sim = Simulation::new(small_spec());
+        sim.inject(msg(0, 0, 71, 10_000));
+        let run = sim.run();
+        assert!(run.peak_queue_depth > 0);
+        assert!(run.events_scheduled >= run.events_processed);
     }
 
     #[test]
@@ -307,12 +400,9 @@ mod tests {
             }
             let run = sim.run();
             let pkts: u64 = run.terminals.iter().map(|t| t.packets_finished).sum();
-            let hops: f64 = run
-                .terminals
-                .iter()
-                .map(|t| t.avg_hops * t.packets_finished as f64)
-                .sum::<f64>()
-                / pkts as f64;
+            let hops: f64 =
+                run.terminals.iter().map(|t| t.avg_hops * t.packets_finished as f64).sum::<f64>()
+                    / pkts as f64;
             hops
         };
         let min_hops = run_with(RoutingAlgorithm::Minimal);
@@ -326,10 +416,8 @@ mod tests {
     #[test]
     fn jobs_are_stamped_and_aggregated() {
         let mut sim = Simulation::new(small_spec());
-        let job = sim.add_job(JobMeta {
-            name: "toy".into(),
-            terminals: (0..8).map(TerminalId).collect(),
-        });
+        let job = sim
+            .add_job(JobMeta { name: "toy".into(), terminals: (0..8).map(TerminalId).collect() });
         for src in 0..8u32 {
             sim.inject(MsgInjection {
                 time: SimTime::ZERO,
@@ -362,7 +450,10 @@ mod tests {
         let series = run.series.as_ref().expect("sampling enabled");
         let total_term: u64 = series.traffic[0].total();
         assert_eq!(total_term, run.total_injected());
-        assert_eq!(series.recv_count.total(), run.terminals.iter().map(|t| t.packets_finished).sum::<u64>());
+        assert_eq!(
+            series.recv_count.total(),
+            run.terminals.iter().map(|t| t.packets_finished).sum::<u64>()
+        );
         assert!(series.latency_sum.total() > 0);
     }
 

@@ -298,11 +298,7 @@ mod tests {
     }
 
     /// Drive the terminal manually, capturing outgoing events.
-    fn drive(
-        t: &mut TerminalLp,
-        now: SimTime,
-        ev: NetEvent,
-    ) -> Vec<hrviz_pdes::Event<NetEvent>> {
+    fn drive(t: &mut TerminalLp, now: SimTime, ev: NetEvent) -> Vec<hrviz_pdes::Event<NetEvent>> {
         let mut seq = 0;
         let mut out = Vec::new();
         let mut ctx = Ctx::detached(now, LpId(0), &mut seq, &mut out, SimTime(10));

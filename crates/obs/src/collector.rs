@@ -1,0 +1,551 @@
+//! The metric collector: named counters, gauges, fixed-bucket histograms,
+//! span aggregates, and the JSONL event stream.
+//!
+//! A [`Collector`] is a cheap handle (`Option<Arc<_>>`): clones share state,
+//! and the disabled collector is a `None` whose every operation is a single
+//! predictable branch — cheap enough to leave the instrumentation calls in
+//! hot-adjacent code unconditionally (the simulator reports at phase
+//! boundaries, never per event).
+
+use crate::json::Json;
+use crate::span::Span;
+use crate::trace::TraceSink;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Unrecoverable or data-loss conditions.
+    Error = 0,
+    /// Suspicious but survivable conditions.
+    Warn = 1,
+    /// Run-level milestones (default threshold).
+    Info = 2,
+    /// Phase-level detail.
+    Debug = 3,
+    /// Everything, including per-window detail.
+    Trace = 4,
+}
+
+impl LogLevel {
+    /// Parse a level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            "trace" => Some(LogLevel::Trace),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+            LogLevel::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            0 => LogLevel::Error,
+            1 => LogLevel::Warn,
+            2 => LogLevel::Info,
+            3 => LogLevel::Debug,
+            _ => LogLevel::Trace,
+        }
+    }
+}
+
+/// A fixed-bucket histogram over `[lo, lo + width * buckets)`, with
+/// under/overflow counters and running sum/min/max.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Hist {
+    /// Lower bound of bucket 0.
+    pub lo: f64,
+    /// Width of each bucket.
+    pub width: f64,
+    /// Per-bucket sample counts.
+    pub counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above the last bucket boundary.
+    pub overflow: u64,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`INFINITY` when empty).
+    pub min: f64,
+    /// Largest sample (`NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Hist {
+    /// A histogram with `buckets` buckets of `width` starting at `lo`.
+    pub fn new(lo: f64, width: f64, buckets: usize) -> Hist {
+        assert!(width > 0.0, "histogram bucket width must be positive");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Hist {
+            lo,
+            width,
+            counts: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((v - self.lo) / self.width) as usize;
+        match self.counts.get_mut(idx) {
+            Some(c) => *c += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lo", Json::F64(self.lo)),
+            ("width", Json::F64(self.width)),
+            ("counts", Json::Arr(self.counts.iter().map(|&c| Json::U64(c)).collect())),
+            ("underflow", Json::U64(self.underflow)),
+            ("overflow", Json::U64(self.overflow)),
+            ("count", Json::U64(self.count)),
+            ("sum", Json::F64(self.sum)),
+            ("mean", Json::F64(self.mean())),
+            ("min", Json::F64(if self.count == 0 { 0.0 } else { self.min })),
+            ("max", Json::F64(if self.count == 0 { 0.0 } else { self.max })),
+        ])
+    }
+}
+
+/// Aggregate timing for one span label.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed spans with this label.
+    pub count: u64,
+    /// Total time across them, in ns.
+    pub total_ns: u64,
+    /// Longest single span, in ns.
+    pub max_ns: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct State {
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
+    pub(crate) hists: BTreeMap<String, Hist>,
+    pub(crate) spans: BTreeMap<String, SpanStat>,
+}
+
+pub(crate) struct Inner {
+    pub(crate) epoch: Instant,
+    pub(crate) state: Mutex<State>,
+    pub(crate) sink: Mutex<TraceSink>,
+    pub(crate) level: AtomicU8,
+}
+
+impl Inner {
+    /// Emit one event line: `{"ts_us":..., "kind":..., <fields>}`.
+    pub(crate) fn emit(&self, kind: &str, fields: &[(&str, Json)]) {
+        let ts_us = self.epoch.elapsed().as_micros() as u64;
+        let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 2);
+        pairs.push(("ts_us".into(), Json::U64(ts_us)));
+        pairs.push(("kind".into(), Json::Str(kind.into())));
+        for (k, v) in fields {
+            pairs.push(((*k).into(), v.clone()));
+        }
+        let line = Json::Obj(pairs).render();
+        self.sink.lock().expect("sink poisoned").write_line(&line);
+    }
+}
+
+/// An immutable copy of the collector's aggregated state.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, Hist>,
+    /// Span aggregates by label.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Snapshot {
+    /// Render the whole snapshot as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(self.counters.iter().map(|(k, &v)| (k.clone(), Json::U64(v))).collect()),
+            ),
+            (
+                "gauges",
+                Json::Obj(self.gauges.iter().map(|(k, &v)| (k.clone(), Json::F64(v))).collect()),
+            ),
+            (
+                "histograms",
+                Json::Obj(self.hists.iter().map(|(k, h)| (k.clone(), h.to_json())).collect()),
+            ),
+            (
+                "spans",
+                Json::Obj(
+                    self.spans
+                        .iter()
+                        .map(|(k, s)| {
+                            (
+                                k.clone(),
+                                Json::obj([
+                                    ("count", Json::U64(s.count)),
+                                    ("total_ns", Json::U64(s.total_ns)),
+                                    ("max_ns", Json::U64(s.max_ns)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Handle to (possibly disabled) run telemetry. Clones share state.
+#[derive(Clone, Default)]
+pub struct Collector {
+    pub(crate) inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+impl Collector {
+    /// A collector that records nothing; every operation is a single branch.
+    pub fn disabled() -> Collector {
+        Collector { inner: None }
+    }
+
+    fn with_sink(sink: TraceSink) -> Collector {
+        Collector {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+                sink: Mutex::new(sink),
+                level: AtomicU8::new(LogLevel::Info as u8),
+            })),
+        }
+    }
+
+    /// An enabled collector whose event stream is kept in memory (drain it
+    /// with [`Collector::drain_events`]).
+    pub fn enabled() -> Collector {
+        Collector::with_sink(TraceSink::Memory(Vec::new()))
+    }
+
+    /// An enabled collector streaming events to a JSONL file at `path`.
+    pub fn with_trace_file(path: &Path) -> io::Result<Collector> {
+        Ok(Collector::with_sink(TraceSink::file(path)?))
+    }
+
+    /// Whether this collector records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to counter `name`.
+    #[inline]
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().expect("state poisoned");
+        match st.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                st.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 when disabled or never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let st = inner.state.lock().expect("state poisoned");
+        st.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `v`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner.state.lock().expect("state poisoned").gauges.insert(name.to_string(), v);
+    }
+
+    /// Raise gauge `name` to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().expect("state poisoned");
+        let e = st.gauges.entry(name.to_string()).or_insert(f64::NEG_INFINITY);
+        if v > *e {
+            *e = v;
+        }
+    }
+
+    /// Current value of gauge `name` (`None` when disabled or never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        let inner = self.inner.as_ref()?;
+        let st = inner.state.lock().expect("state poisoned");
+        st.gauges.get(name).copied()
+    }
+
+    /// Configure histogram `name` before recording into it. Re-configuring
+    /// an existing histogram resets it.
+    pub fn hist_config(&self, name: &str, lo: f64, width: f64, buckets: usize) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().expect("state poisoned");
+        st.hists.insert(name.to_string(), Hist::new(lo, width, buckets));
+    }
+
+    /// Configure histogram `name` only if it does not exist yet (safe to
+    /// call once per run on a shared collector).
+    pub fn hist_ensure(&self, name: &str, lo: f64, width: f64, buckets: usize) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().expect("state poisoned");
+        if !st.hists.contains_key(name) {
+            st.hists.insert(name.to_string(), Hist::new(lo, width, buckets));
+        }
+    }
+
+    /// Record a sample into histogram `name` (auto-configured as 64 unit
+    /// buckets from 0 when never configured).
+    #[inline]
+    pub fn hist_record(&self, name: &str, v: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.state.lock().expect("state poisoned");
+        match st.hists.get_mut(name) {
+            Some(h) => h.record(v),
+            None => {
+                let mut h = Hist::new(0.0, 1.0, 64);
+                h.record(v);
+                st.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Start a timed span with a hierarchical `label` (e.g. `sim/run`). The
+    /// span records itself when dropped. Free when disabled: no clock read.
+    #[inline]
+    pub fn span(&self, label: &str) -> Span {
+        Span::start(self.inner.clone(), label)
+    }
+
+    /// Set the log threshold (messages above it are dropped).
+    pub fn set_level(&self, level: LogLevel) {
+        if let Some(inner) = &self.inner {
+            inner.level.store(level as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Current log threshold (`None` when disabled).
+    pub fn level(&self) -> Option<LogLevel> {
+        self.inner.as_ref().map(|i| LogLevel::from_u8(i.level.load(Ordering::Relaxed)))
+    }
+
+    /// Log `msg` at `level`: appended to the trace stream and echoed to
+    /// stderr when at or below the threshold.
+    pub fn log(&self, level: LogLevel, msg: &str) {
+        let Some(inner) = &self.inner else { return };
+        if level as u8 > inner.level.load(Ordering::Relaxed) {
+            return;
+        }
+        inner.emit(
+            "log",
+            &[("level", Json::Str(level.as_str().into())), ("msg", Json::Str(msg.into()))],
+        );
+        eprintln!("[{}] {}", level.as_str(), msg);
+    }
+
+    /// Append a custom event (`kind` plus fields) to the trace stream.
+    pub fn event(&self, kind: &str, fields: &[(&str, Json)]) {
+        let Some(inner) = &self.inner else { return };
+        inner.emit(kind, fields);
+    }
+
+    /// Copy out the aggregated state.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.inner else { return Snapshot::default() };
+        let st = inner.state.lock().expect("state poisoned");
+        Snapshot {
+            counters: st.counters.clone(),
+            gauges: st.gauges.clone(),
+            hists: st.hists.clone(),
+            spans: st.spans.clone(),
+        }
+    }
+
+    /// Drain buffered trace lines (memory sink only; empty otherwise).
+    pub fn drain_events(&self) -> Vec<String> {
+        let Some(inner) = &self.inner else { return Vec::new() };
+        let mut sink = inner.sink.lock().expect("sink poisoned");
+        match &mut *sink {
+            TraceSink::Memory(lines) => std::mem::take(lines),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Flush the trace sink (file sinks buffer).
+    pub fn flush(&self) -> io::Result<()> {
+        let Some(inner) = &self.inner else { return Ok(()) };
+        inner.sink.lock().expect("sink poisoned").flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_collector_is_inert() {
+        let c = Collector::disabled();
+        assert!(!c.is_enabled());
+        c.counter_add("x", 5);
+        c.gauge_set("g", 1.0);
+        c.hist_record("h", 2.0);
+        c.log(LogLevel::Error, "nothing happens");
+        drop(c.span("s"));
+        assert_eq!(c.counter("x"), 0);
+        assert_eq!(c.gauge("g"), None);
+        let snap = c.snapshot();
+        assert!(snap.counters.is_empty() && snap.hists.is_empty() && snap.spans.is_empty());
+        assert!(c.drain_events().is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let c = Collector::enabled();
+        c.counter_add("pkts", 3);
+        c.counter_add("pkts", 4);
+        assert_eq!(c.counter("pkts"), 7);
+        c.gauge_set("depth", 2.0);
+        c.gauge_max("depth", 9.0);
+        c.gauge_max("depth", 4.0);
+        assert_eq!(c.gauge("depth"), Some(9.0));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Collector::enabled();
+        let b = a.clone();
+        b.counter_add("n", 1);
+        assert_eq!(a.counter("n"), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let c = Collector::enabled();
+        c.hist_config("h", 0.0, 10.0, 3); // [0,10) [10,20) [20,30)
+        for v in [-1.0, 0.0, 9.9, 15.0, 29.9, 30.0, 100.0] {
+            c.hist_record("h", v);
+        }
+        let h = &c.snapshot().hists["h"];
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, -1.0);
+        assert_eq!(h.max, 100.0);
+    }
+
+    #[test]
+    fn unconfigured_histogram_gets_default() {
+        let c = Collector::enabled();
+        c.hist_record("vc", 3.0);
+        let h = &c.snapshot().hists["vc"];
+        assert_eq!(h.counts.len(), 64);
+        assert_eq!(h.counts[3], 1);
+    }
+
+    #[test]
+    fn spans_aggregate_and_emit() {
+        let c = Collector::enabled();
+        {
+            let _s = c.span("sim/run");
+            let _t = c.span("sim/router_phase");
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.spans["sim/run"].count, 1);
+        assert_eq!(snap.spans["sim/router_phase"].count, 1);
+        let events = c.drain_events();
+        assert_eq!(events.len(), 2);
+        assert!(events.iter().all(|e| e.contains("\"kind\":\"span\"")));
+        assert!(events.iter().any(|e| e.contains("\"label\":\"sim/run\"")));
+    }
+
+    #[test]
+    fn log_respects_threshold() {
+        let c = Collector::enabled();
+        c.set_level(LogLevel::Warn);
+        c.log(LogLevel::Info, "dropped");
+        c.log(LogLevel::Error, "kept");
+        let events = c.drain_events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].contains("kept"));
+    }
+
+    #[test]
+    fn log_level_parses() {
+        assert_eq!(LogLevel::parse("DEBUG"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("warning"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("bogus"), None);
+        assert_eq!(LogLevel::Trace.as_str(), "trace");
+    }
+
+    #[test]
+    fn snapshot_renders_json() {
+        let c = Collector::enabled();
+        c.counter_add("a", 1);
+        c.gauge_set("b", 0.5);
+        c.hist_record("h", 1.0);
+        drop(c.span("s"));
+        let json = c.snapshot().to_json().render();
+        assert!(json.contains("\"counters\":{\"a\":1}"));
+        assert!(json.contains("\"gauges\":{\"b\":0.5}"));
+        assert!(json.contains("\"spans\":{\"s\":"));
+    }
+}

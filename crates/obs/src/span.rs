@@ -1,0 +1,84 @@
+//! RAII span timers.
+//!
+//! A [`Span`] measures the wall time between its creation and its drop,
+//! folds the result into the per-label aggregate, and appends a `span`
+//! event to the trace stream. Labels are hierarchical by convention —
+//! `sim/run`, `sim/router_phase`, `core/aggregate`, `render/radial` — so
+//! downstream tooling can group by prefix.
+
+use crate::collector::{Inner, SpanStat};
+use crate::json::Json;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A running span; records itself on drop. Spans from a disabled collector
+/// never read the clock.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    label: String,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn start(inner: Option<Arc<Inner>>, label: &str) -> Span {
+        Span {
+            active: inner.map(|inner| ActiveSpan {
+                inner,
+                label: label.to_string(),
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else { return };
+        let dur_ns = active.start.elapsed().as_nanos() as u64;
+        {
+            let mut st = active.inner.state.lock().expect("state poisoned");
+            let stat = st.spans.entry(active.label.clone()).or_insert(SpanStat::default());
+            stat.count += 1;
+            stat.total_ns += dur_ns;
+            stat.max_ns = stat.max_ns.max(dur_ns);
+        }
+        active.inner.emit(
+            "span",
+            &[("label", Json::Str(active.label)), ("dur_us", Json::F64(dur_ns as f64 / 1_000.0))],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Collector;
+
+    #[test]
+    fn span_measures_nonnegative_time() {
+        let c = Collector::enabled();
+        {
+            let _s = c.span("t");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = c.snapshot();
+        assert!(snap.spans["t"].total_ns >= 1_000_000, "slept 2ms, recorded less than 1ms");
+        assert_eq!(snap.spans["t"].count, 1);
+        assert_eq!(snap.spans["t"].max_ns, snap.spans["t"].total_ns);
+    }
+
+    #[test]
+    fn explicit_end_records_once() {
+        let c = Collector::enabled();
+        let s = c.span("e");
+        s.end();
+        assert_eq!(c.snapshot().spans["e"].count, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! JSONL trace sinks.
+//!
+//! A sink receives one JSON object per line. The in-memory sink backs the
+//! snapshot API and tests; the file sink streams events to disk so long
+//! runs don't accumulate unbounded state.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Where trace events go.
+#[derive(Debug)]
+pub enum TraceSink {
+    /// Drop events (counters/spans still aggregate).
+    Null,
+    /// Keep rendered lines in memory (drained via
+    /// [`crate::Collector::drain_events`]).
+    Memory(Vec<String>),
+    /// Stream lines to a JSONL file.
+    File(BufWriter<File>),
+}
+
+impl TraceSink {
+    /// Open a file sink, creating parent directories as needed.
+    pub fn file(path: &Path) -> io::Result<TraceSink> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(TraceSink::File(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Append one rendered JSON line.
+    pub fn write_line(&mut self, line: &str) {
+        match self {
+            TraceSink::Null => {}
+            TraceSink::Memory(lines) => lines.push(line.to_string()),
+            TraceSink::File(w) => {
+                // Trace output is best-effort; a full disk should not abort
+                // the simulation that is being observed.
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    /// Flush buffered output (no-op for non-file sinks).
+    pub fn flush(&mut self) -> io::Result<()> {
+        match self {
+            TraceSink::File(w) => w.flush(),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let mut s = TraceSink::Memory(Vec::new());
+        s.write_line("{\"a\":1}");
+        s.write_line("{\"b\":2}");
+        match s {
+            TraceSink::Memory(lines) => assert_eq!(lines, vec!["{\"a\":1}", "{\"b\":2}"]),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn file_sink_writes_jsonl() {
+        let dir = std::env::temp_dir().join("hrviz_obs_trace_test");
+        let path = dir.join("nested").join("t.jsonl");
+        let mut s = TraceSink::file(&path).unwrap();
+        s.write_line("{\"x\":1}");
+        s.write_line("{\"y\":2}");
+        s.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"x\":1}\n{\"y\":2}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let mut s = TraceSink::Null;
+        s.write_line("{}");
+        s.flush().unwrap();
+    }
+}

@@ -118,11 +118,8 @@ impl<P> CalendarQueue<P> {
         let new_count = new_count.max(MIN_BUCKETS);
         // Re-estimate bucket width from a sample of inter-event gaps so a
         // year spans roughly the live event population.
-        let mut times: Vec<u64> = self
-            .buckets
-            .iter()
-            .flat_map(|b| b.iter().map(|e| e.key.time.0))
-            .collect();
+        let mut times: Vec<u64> =
+            self.buckets.iter().flat_map(|b| b.iter().map(|e| e.key.time.0)).collect();
         times.sort_unstable();
         let width = if times.len() >= 2 {
             let span = times[times.len() - 1] - times[0];
@@ -150,9 +147,7 @@ impl<P> CalendarQueue<P> {
         // Keep each bucket sorted descending so the minimum is at the back
         // (cheap pop). Buckets are short by construction.
         let bucket = &mut self.buckets[idx];
-        let pos = bucket
-            .binary_search_by(|probe| ev.key.cmp(&probe.key))
-            .unwrap_or_else(|p| p);
+        let pos = bucket.binary_search_by(|probe| ev.key.cmp(&probe.key)).unwrap_or_else(|p| p);
         bucket.insert(pos, ev);
         self.len += 1;
     }
@@ -227,10 +222,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn ev(t: u64, seq: u64) -> Event<u64> {
-        Event {
-            key: EventKey { time: SimTime(t), dst: LpId(0), src: LpId(0), seq },
-            payload: t,
-        }
+        Event { key: EventKey { time: SimTime(t), dst: LpId(0), src: LpId(0), seq }, payload: t }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::calendar::{EventQueue, HeapQueue};
 use crate::event::{Event, EventKey, LpId, EXTERNAL_SRC};
 use crate::lp::{Ctx, Lp};
 use crate::time::SimTime;
+use hrviz_obs::{Collector, Json};
 
 /// Aggregate statistics for a completed (or paused) run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -19,6 +20,8 @@ pub struct EngineStats {
     pub events_scheduled: u64,
     /// Timestamp of the last processed event.
     pub end_time: SimTime,
+    /// High-water mark of the pending-event queue.
+    pub peak_queue_depth: u64,
 }
 
 /// Outcome of [`Engine::run_until`].
@@ -46,6 +49,9 @@ pub struct Engine<P, L: Lp<P>> {
     budget: u64,
     out_buf: Vec<Event<P>>,
     initialized: bool,
+    collector: Collector,
+    /// Stats already reported to the collector (resumed runs report deltas).
+    reported: EngineStats,
 }
 
 impl<P, L: Lp<P>> Engine<P, L> {
@@ -65,7 +71,21 @@ impl<P, L: Lp<P>> Engine<P, L> {
             budget: u64::MAX,
             out_buf: Vec::with_capacity(16),
             initialized: false,
+            collector: Collector::disabled(),
+            reported: EngineStats::default(),
         }
+    }
+
+    /// Attach a telemetry collector. The engine reports run-level counters
+    /// (`pdes/events_processed`, `pdes/events_scheduled`, rates, peak queue
+    /// depth) at run boundaries, never per event.
+    pub fn set_collector(&mut self, collector: Collector) {
+        self.collector = collector;
+    }
+
+    /// The attached telemetry collector (disabled by default).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
     }
 
     /// Number of LPs.
@@ -151,6 +171,10 @@ impl<P, L: Lp<P>> Engine<P, L> {
         for ev in self.out_buf.drain(..) {
             self.queue.push(ev);
         }
+        let depth = self.queue.len() as u64;
+        if depth > self.stats.peak_queue_depth {
+            self.stats.peak_queue_depth = depth;
+        }
         true
     }
 
@@ -159,18 +183,49 @@ impl<P, L: Lp<P>> Engine<P, L> {
     /// Events with `time >= until` remain queued, so runs can be resumed.
     pub fn run_until(&mut self, until: SimTime) -> RunOutcome {
         self.init();
-        loop {
+        let t0 = self.collector.is_enabled().then(std::time::Instant::now);
+        let outcome = loop {
             if self.stats.events_processed >= self.budget {
-                return RunOutcome::Budget;
+                break RunOutcome::Budget;
             }
             match self.queue.peek_key() {
-                None => return RunOutcome::Drained,
-                Some(k) if k.time >= until => return RunOutcome::TimeBound,
+                None => break RunOutcome::Drained,
+                Some(k) if k.time >= until => break RunOutcome::TimeBound,
                 Some(_) => {
                     self.step();
                 }
             }
+        };
+        if let Some(t0) = t0 {
+            self.report_run(t0.elapsed());
         }
+        outcome
+    }
+
+    /// Report boundary telemetry for the run segment since the last report.
+    fn report_run(&mut self, wall: std::time::Duration) {
+        let c = &self.collector;
+        let processed = self.stats.events_processed - self.reported.events_processed;
+        let scheduled = self.stats.events_scheduled - self.reported.events_scheduled;
+        self.reported = self.stats;
+        c.counter_add("pdes/events_processed", processed);
+        c.counter_add("pdes/events_scheduled", scheduled);
+        c.gauge_max("pdes/peak_queue_depth", self.stats.peak_queue_depth as f64);
+        let secs = wall.as_secs_f64();
+        let rate = if secs > 0.0 { processed as f64 / secs } else { 0.0 };
+        if rate > 0.0 {
+            c.gauge_set("pdes/events_per_sec", rate);
+        }
+        c.event(
+            "engine_run",
+            &[
+                ("events_processed", Json::U64(processed)),
+                ("events_scheduled", Json::U64(scheduled)),
+                ("events_per_sec", Json::F64(rate)),
+                ("peak_queue_depth", Json::U64(self.stats.peak_queue_depth)),
+                ("wall_us", Json::F64(secs * 1e6)),
+            ],
+        );
     }
 
     /// Run until no events remain (or the budget runs out).
@@ -275,6 +330,38 @@ mod tests {
             eng.lps().map(|l| l.visits).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn collector_reports_run_boundary_counters() {
+        let c = hrviz_obs::Collector::enabled();
+        let mut eng = ring(4, 7);
+        eng.set_collector(c.clone());
+        eng.run_to_completion();
+        assert_eq!(c.counter("pdes/events_processed"), 8);
+        assert_eq!(c.counter("pdes/events_scheduled"), 8);
+        assert!(c.gauge("pdes/peak_queue_depth").unwrap() >= 1.0);
+        let events = c.drain_events();
+        assert!(events.iter().any(|e| e.contains("\"kind\":\"engine_run\"")));
+    }
+
+    #[test]
+    fn peak_queue_depth_tracks_fanout() {
+        // Each event schedules two more for 3 generations: the queue must
+        // have held at least 4 pending events at some point.
+        struct FanLp;
+        impl Lp<u32> for FanLp {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, u32>, gen: u32) {
+                if gen > 0 {
+                    ctx.send_self(SimTime(1), gen - 1);
+                    ctx.send_self(SimTime(2), gen - 1);
+                }
+            }
+        }
+        let mut eng = Engine::new(vec![FanLp], SimTime(1));
+        eng.schedule(SimTime::ZERO, LpId(0), 3);
+        eng.run_to_completion();
+        assert!(eng.stats().peak_queue_depth >= 4, "peak {}", eng.stats().peak_queue_depth);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::engine::EngineStats;
 use crate::event::{Event, EventKey, LpId, EXTERNAL_SRC};
 use crate::lp::{Ctx, Lp};
 use crate::time::SimTime;
+use hrviz_obs::{Collector, Json};
 use rayon::prelude::*;
 
 struct Partition<P, L> {
@@ -28,6 +29,8 @@ struct Partition<P, L> {
     seqs: Vec<u64>,
     queue: HeapQueue<P>,
     events_processed: u64,
+    /// Events this partition's LPs scheduled (cross-partition included).
+    events_scheduled: u64,
     now: SimTime,
 }
 
@@ -57,15 +60,10 @@ impl<P, L: Lp<P>> Partition<P, L> {
             let ev = self.queue.pop().expect("peeked");
             self.now = ev.key.time;
             let idx = self.local(ev.key.dst);
-            let mut ctx = Ctx::new(
-                self.now,
-                ev.key.dst,
-                &mut self.seqs[idx],
-                out_buf,
-                lookahead,
-            );
+            let mut ctx = Ctx::new(self.now, ev.key.dst, &mut self.seqs[idx], out_buf, lookahead);
             self.lps[idx].on_event(&mut ctx, ev.payload);
             self.events_processed += 1;
+            self.events_scheduled += out_buf.len() as u64;
             for new_ev in out_buf.drain(..) {
                 if self.owns(new_ev.key.dst) {
                     self.queue.push(new_ev);
@@ -93,6 +91,11 @@ pub struct ParallelEngine<P, L: Lp<P>> {
     scheduled: u64,
     now: SimTime,
     initialized: bool,
+    collector: Collector,
+    /// Per-partition time spent waiting at the epoch barrier (ns), i.e. the
+    /// gap between a partition finishing its window and the slowest
+    /// partition finishing. Only accumulated when a collector is attached.
+    barrier_wait_ns: Vec<u64>,
 }
 
 impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
@@ -118,12 +121,14 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
                 seqs: vec![0; chunk.len()],
                 queue: HeapQueue::new(),
                 events_processed: 0,
+                events_scheduled: 0,
                 now: SimTime::ZERO,
                 lps: chunk,
             });
             base += size as u32;
         }
         ParallelEngine {
+            barrier_wait_ns: vec![0; parts.len()],
             parts,
             bounds,
             lookahead,
@@ -131,7 +136,25 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
             scheduled: 0,
             now: SimTime::ZERO,
             initialized: false,
+            collector: Collector::disabled(),
         }
+    }
+
+    /// Attach a telemetry collector. Enables per-partition barrier-wait
+    /// accounting and run-boundary counters.
+    pub fn set_collector(&mut self, collector: Collector) {
+        self.collector = collector;
+    }
+
+    /// The attached telemetry collector (disabled by default).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Per-partition barrier-wait time in ns (all zeros unless an enabled
+    /// collector was attached before the run).
+    pub fn barrier_wait_ns(&self) -> &[u64] {
+        &self.barrier_wait_ns
     }
 
     fn part_of(&self, id: LpId) -> usize {
@@ -170,6 +193,7 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
                     let mut ctx =
                         Ctx::new(SimTime::ZERO, id, &mut part.seqs[i], &mut out_buf, lookahead);
                     part.lps[i].on_init(&mut ctx);
+                    part.events_scheduled += out_buf.len() as u64;
                     for ev in out_buf.drain(..) {
                         if part.owns(ev.key.dst) {
                             part.queue.push(ev);
@@ -197,27 +221,36 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
     pub fn run_to_completion(&mut self) -> EngineStats {
         self.init();
         let lookahead = self.lookahead;
-        loop {
-            let Some(window_start) =
-                self.parts.iter().filter_map(|p| p.min_pending()).min()
-            else {
-                break;
-            };
-            let window_end = window_start
-                .checked_add(lookahead)
-                .unwrap_or(SimTime::MAX);
-            let outboxes: Vec<Vec<Event<P>>> = self
+        let timing = self.collector.is_enabled();
+        let t0 = timing.then(std::time::Instant::now);
+        let mut peak_queue_depth = 0u64;
+        let mut windows = 0u64;
+        while let Some(window_start) = self.parts.iter().filter_map(|p| p.min_pending()).min() {
+            // Queue depth is sampled at epoch boundaries (the engine never
+            // holds a global queue, so this is the natural sampling point).
+            let depth: u64 = self.parts.iter().map(|p| p.queue.len() as u64).sum();
+            peak_queue_depth = peak_queue_depth.max(depth);
+            let window_end = window_start.checked_add(lookahead).unwrap_or(SimTime::MAX);
+            let results: Vec<(Vec<Event<P>>, u64)> = self
                 .parts
                 .par_iter_mut()
                 .map(|part| {
+                    let w0 = timing.then(std::time::Instant::now);
                     let mut out_buf = Vec::with_capacity(8);
                     let mut outbox = Vec::new();
                     part.run_window(window_end, lookahead, &mut out_buf, &mut outbox);
-                    outbox
+                    (outbox, w0.map_or(0, |w| w.elapsed().as_nanos() as u64))
                 })
                 .collect();
+            if timing {
+                windows += 1;
+                let slowest = results.iter().map(|(_, ns)| *ns).max().unwrap_or(0);
+                for (wait, (_, ns)) in self.barrier_wait_ns.iter_mut().zip(&results) {
+                    *wait += slowest - ns;
+                }
+            }
             self.now = self.now.max(window_end);
-            self.route(outboxes);
+            self.route(results.into_iter().map(|(outbox, _)| outbox).collect());
         }
         let end = self.parts.iter().map(|p| p.now).max().unwrap_or(SimTime::ZERO);
         self.now = end;
@@ -226,11 +259,49 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
                 lp.on_finish(end);
             }
         });
-        EngineStats {
+        let stats = EngineStats {
             events_processed: self.parts.iter().map(|p| p.events_processed).sum(),
-            events_scheduled: self.scheduled,
+            events_scheduled: self.scheduled
+                + self.parts.iter().map(|p| p.events_scheduled).sum::<u64>(),
             end_time: end,
+            peak_queue_depth,
+        };
+        if let Some(t0) = t0 {
+            self.report_run(stats, windows, t0.elapsed());
         }
+        stats
+    }
+
+    /// Report run-boundary telemetry (counters + one trace event).
+    fn report_run(&self, stats: EngineStats, windows: u64, wall: std::time::Duration) {
+        let c = &self.collector;
+        c.counter_add("pdes/events_processed", stats.events_processed);
+        c.counter_add("pdes/events_scheduled", stats.events_scheduled);
+        c.counter_add("pdes/windows", windows);
+        c.gauge_max("pdes/peak_queue_depth", stats.peak_queue_depth as f64);
+        for (p, &wait) in self.barrier_wait_ns.iter().enumerate() {
+            c.counter_add(&format!("pdes/barrier_wait_ns/p{p}"), wait);
+        }
+        let secs = wall.as_secs_f64();
+        let rate = if secs > 0.0 { stats.events_processed as f64 / secs } else { 0.0 };
+        if rate > 0.0 {
+            c.gauge_set("pdes/events_per_sec", rate);
+        }
+        c.event(
+            "parallel_run",
+            &[
+                ("partitions", Json::U64(self.parts.len() as u64)),
+                ("windows", Json::U64(windows)),
+                ("events_processed", Json::U64(stats.events_processed)),
+                ("events_per_sec", Json::F64(rate)),
+                ("peak_queue_depth", Json::U64(stats.peak_queue_depth)),
+                (
+                    "barrier_wait_ns",
+                    Json::Arr(self.barrier_wait_ns.iter().map(|&w| Json::U64(w)).collect()),
+                ),
+                ("wall_us", Json::F64(secs * 1e6)),
+            ],
+        );
     }
 
     /// Immutable access to an LP by global id.
@@ -285,7 +356,11 @@ mod tests {
                 for k in 0..2u64 {
                     let dst = LpId((mix(self.state, k) % self.n as u64) as u32);
                     let delay = SimTime(10 + (mix(m.value, k) % 50));
-                    ctx.send(dst, delay, Msg { hops_left: m.hops_left - 1, value: mix(m.value, k) });
+                    ctx.send(
+                        dst,
+                        delay,
+                        Msg { hops_left: m.hops_left - 1, value: mix(m.value, k) },
+                    );
                 }
             }
         }
@@ -347,6 +422,63 @@ mod tests {
         let pstats = par.run_to_completion();
         assert_eq!(pstats.events_processed, seq.stats().events_processed);
         assert_eq!(pstats.end_time, seq.stats().end_time);
+    }
+
+    #[test]
+    fn collector_counts_match_sequential_engine() {
+        let n = 16;
+        let lps: Vec<HashLp> = (0..n).map(|i| HashLp { state: i as u64, n }).collect();
+        let cs = hrviz_obs::Collector::enabled();
+        let mut seq = Engine::new(lps.clone(), SimTime(10));
+        seq.set_collector(cs.clone());
+        seq.schedule(SimTime::ZERO, LpId(0), Msg { hops_left: 9, value: 3 });
+        seq.run_to_completion();
+
+        let cp = hrviz_obs::Collector::enabled();
+        let mut par = ParallelEngine::new(lps, SimTime(10), 4);
+        par.set_collector(cp.clone());
+        par.schedule(SimTime::ZERO, LpId(0), Msg { hops_left: 9, value: 3 });
+        par.run_to_completion();
+
+        assert_eq!(
+            cs.counter("pdes/events_processed"),
+            cp.counter("pdes/events_processed"),
+            "sequential and parallel runs must report identical event counters"
+        );
+        assert_eq!(cs.counter("pdes/events_scheduled"), cp.counter("pdes/events_scheduled"));
+        assert!(cp.counter("pdes/windows") > 0);
+    }
+
+    #[test]
+    fn barrier_wait_is_tracked_per_partition() {
+        let n = 8;
+        let lps: Vec<HashLp> = (0..n).map(|i| HashLp { state: i as u64, n }).collect();
+        let c = hrviz_obs::Collector::enabled();
+        let mut par = ParallelEngine::new(lps, SimTime(10), 4);
+        par.set_collector(c.clone());
+        par.schedule(SimTime::ZERO, LpId(0), Msg { hops_left: 10, value: 1 });
+        par.run_to_completion();
+        assert_eq!(par.barrier_wait_ns().len(), 4);
+        // Every window has exactly one slowest partition with zero wait, so
+        // at least one partition must have accumulated non-zero wait (the
+        // model is unbalanced enough that not all partitions tie).
+        let waits = par.barrier_wait_ns();
+        assert!(waits.iter().any(|&w| w > 0), "waits: {waits:?}");
+        for (p, &w) in waits.iter().enumerate() {
+            assert_eq!(c.counter(&format!("pdes/barrier_wait_ns/p{p}")), w);
+        }
+        let events = c.drain_events();
+        assert!(events.iter().any(|e| e.contains("\"kind\":\"parallel_run\"")));
+    }
+
+    #[test]
+    fn without_collector_no_barrier_accounting() {
+        let n = 8;
+        let lps: Vec<HashLp> = (0..n).map(|i| HashLp { state: i as u64, n }).collect();
+        let mut par = ParallelEngine::new(lps, SimTime(10), 4);
+        par.schedule(SimTime::ZERO, LpId(0), Msg { hops_left: 6, value: 1 });
+        par.run_to_completion();
+        assert!(par.barrier_wait_ns().iter().all(|&w| w == 0));
     }
 
     #[test]

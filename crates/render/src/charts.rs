@@ -126,7 +126,14 @@ pub fn render_timeline(tl: &TimelineView, w: f64, panel_h: f64, title: &str) -> 
         if let Some((from, to)) = tl.selection {
             let x0 = MARGIN_L + from as f64 / bins as f64 * (w - MARGIN_L - MARGIN_R);
             let x1 = MARGIN_L + to as f64 / bins as f64 * (w - MARGIN_L - MARGIN_R);
-            doc.rect(x0, top + 12.0, (x1 - x0).max(1.0), bottom - top - 12.0, Color::rgb(240, 200, 20), None);
+            doc.rect(
+                x0,
+                top + 12.0,
+                (x1 - x0).max(1.0),
+                bottom - top - 12.0,
+                Color::rgb(240, 200, 20),
+                None,
+            );
         }
         doc.text(w - MARGIN_R, top + 8.0, 8.0, "end", &format!("max {}", format_si(max)));
         doc.close_group();
@@ -150,7 +157,13 @@ pub struct BarGroup {
 /// under three placement policies). Like the paper's figure, each group
 /// gets its own y scale (its maximum is printed above it) so jobs whose
 /// magnitudes differ by orders of magnitude stay readable side by side.
-pub fn render_grouped_bars(groups: &[BarGroup], w: f64, h: f64, title: &str, y_label: &str) -> String {
+pub fn render_grouped_bars(
+    groups: &[BarGroup],
+    w: f64,
+    h: f64,
+    title: &str,
+    y_label: &str,
+) -> String {
     let mut doc = SvgDoc::new(w, h);
     frame(&mut doc, w, h, title, "", y_label);
     let palette = ColorScale::from_names(&["steelblue", "orange", "green", "purple", "brown"]);
@@ -166,7 +179,13 @@ pub fn render_grouped_bars(groups: &[BarGroup], w: f64, h: f64, title: &str, y_l
             doc.rect(x, y, bw * 0.92, (h - MARGIN_B) - y, palette.pick(si), None);
         }
         doc.text(x0 + gw / 2.0, h - MARGIN_B + 12.0, 9.0, "middle", &g.label);
-        doc.text(x0 + gw / 2.0, MARGIN_T + 2.0, 8.0, "middle", &format!("max {}", format_si(y_max)));
+        doc.text(
+            x0 + gw / 2.0,
+            MARGIN_T + 2.0,
+            8.0,
+            "middle",
+            &format!("max {}", format_si(y_max)),
+        );
     }
     // Legend from the first group's series labels.
     if let Some(g) = groups.first() {

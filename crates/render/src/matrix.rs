@@ -58,10 +58,8 @@ impl MatrixView {
                 other => panic!("unsupported matrix metric {other}"),
             }
         };
-        let mut keys: Vec<f64> = links
-            .iter()
-            .flat_map(|l| [key_of(l, by), key_of(l, dst)])
-            .collect();
+        let mut keys: Vec<f64> =
+            links.iter().flat_map(|l| [key_of(l, by), key_of(l, dst)]).collect();
         keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
         keys.dedup();
         let index: BTreeMap<u64, usize> =
@@ -122,7 +120,13 @@ pub fn render_matrix(m: &MatrixView, size_px: f64, title: &str) -> String {
     for (i, k) in m.keys.iter().enumerate().step_by(step) {
         let pos = 24.0 + (i as f64 + 0.5) * cell;
         doc.text(margin - 4.0, pos + 3.0, 8.0, "end", &format!("{k:.0}"));
-        doc.text(margin + (i as f64 + 0.5) * cell, 24.0 + size_px + 10.0, 8.0, "middle", &format!("{k:.0}"));
+        doc.text(
+            margin + (i as f64 + 0.5) * cell,
+            24.0 + size_px + 10.0,
+            8.0,
+            "middle",
+            &format!("{k:.0}"),
+        );
     }
     doc.text(
         (size_px + margin) / 2.0,
@@ -140,7 +144,8 @@ mod tests {
 
     fn ds() -> DataSet {
         let mut d = DataSet::default();
-        for (a, b, traffic, sat) in [(0u32, 1u32, 100.0, 5.0), (1, 0, 50.0, 2.0), (0, 2, 25.0, 0.0)] {
+        for (a, b, traffic, sat) in [(0u32, 1u32, 100.0, 5.0), (1, 0, 50.0, 2.0), (0, 2, 25.0, 0.0)]
+        {
             d.local_links.push(LinkRow {
                 src_router: a,
                 src_group: 0,

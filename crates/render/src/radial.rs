@@ -50,6 +50,7 @@ impl RadialLayout {
 
 /// Render a projection view to SVG.
 pub fn render_radial(view: &ProjectionView, layout: &RadialLayout, title: &str) -> String {
+    let _span = hrviz_obs::get().span("render/radial");
     let mut doc = SvgDoc::new(layout.size, layout.size + 28.0);
     let c = layout.size / 2.0;
     let cy = c + 24.0;
@@ -238,9 +239,7 @@ mod tests {
             });
         }
         let spec = ProjectionSpec::new(vec![
-            LevelSpec::new(EntityKind::Terminal)
-                .aggregate(&[Field::GroupId])
-                .color(Field::SatTime),
+            LevelSpec::new(EntityKind::Terminal).aggregate(&[Field::GroupId]).color(Field::SatTime),
             LevelSpec::new(EntityKind::Terminal)
                 .aggregate(&[Field::RouterId])
                 .color(Field::SatTime)
@@ -276,8 +275,7 @@ mod tests {
         assert!(!v.ribbons.is_empty());
         let svg = render_radial(&v, &RadialLayout::default(), "");
         let ribbon_part = svg.split("class=\"ribbons\"").nth(1).unwrap();
-        let ribbon_paths =
-            ribbon_part.split("</g>").next().unwrap().matches("<path").count();
+        let ribbon_paths = ribbon_part.split("</g>").next().unwrap().matches("<path").count();
         assert_eq!(ribbon_paths, v.ribbons.len());
     }
 
@@ -293,7 +291,8 @@ mod tests {
     #[test]
     fn row_rendering_embeds_panels() {
         let v = view();
-        let svg = render_radial_row(&[(&v, "left"), (&v, "right")], &RadialLayout::default(), "cmp");
+        let svg =
+            render_radial_row(&[(&v, "left"), (&v, "right")], &RadialLayout::default(), "cmp");
         assert!(svg.contains("panel 0: left"));
         assert!(svg.contains("panel 1: right"));
         assert!(svg.contains("cmp"));

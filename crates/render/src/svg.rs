@@ -80,7 +80,13 @@ impl SvgDoc {
     }
 
     /// Raw path element.
-    pub fn path(&mut self, d: &str, fill: Option<Color>, stroke: Option<(Color, f64)>, opacity: f64) {
+    pub fn path(
+        &mut self,
+        d: &str,
+        fill: Option<Color>,
+        stroke: Option<(Color, f64)>,
+        opacity: f64,
+    ) {
         let _ = write!(self.body, "<path d=\"{}\"", d);
         match fill {
             Some(c) => {
@@ -99,7 +105,8 @@ impl SvgDoc {
 
     /// Circle element.
     pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: Color, stroke: Option<(Color, f64)>) {
-        let _ = write!(self.body, "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{fill}\"");
+        let _ =
+            write!(self.body, "<circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" fill=\"{fill}\"");
         if let Some((c, w)) = stroke {
             let _ = write!(self.body, " stroke=\"{c}\" stroke-width=\"{w:.2}\"");
         }
@@ -107,7 +114,15 @@ impl SvgDoc {
     }
 
     /// Rectangle element.
-    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: Color, stroke: Option<(Color, f64)>) {
+    pub fn rect(
+        &mut self,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        fill: Color,
+        stroke: Option<(Color, f64)>,
+    ) {
         let _ = write!(
             self.body,
             "<rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" fill=\"{fill}\""
@@ -119,7 +134,17 @@ impl SvgDoc {
     }
 
     /// Line element.
-    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: Color, width: f64, opacity: f64) {
+    #[allow(clippy::too_many_arguments)] // mirrors the SVG attribute list
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: Color,
+        width: f64,
+        opacity: f64,
+    ) {
         let _ = write!(
             self.body,
             "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\""
@@ -139,10 +164,8 @@ impl SvgDoc {
         for (x, y) in pts {
             let _ = write!(self.body, "{x:.2},{y:.2} ");
         }
-        let _ = write!(
-            self.body,
-            "\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\""
-        );
+        let _ =
+            write!(self.body, "\" fill=\"none\" stroke=\"{stroke}\" stroke-width=\"{width:.2}\"");
         if opacity < 1.0 {
             let _ = write!(self.body, " opacity=\"{opacity:.3}\"");
         }
@@ -151,9 +174,9 @@ impl SvgDoc {
 
     /// Text anchor values.
     pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
-        let _ = write!(
+        let _ = writeln!(
             self.body,
-            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"sans-serif\" text-anchor=\"{anchor}\" fill=\"#333\">{}</text>\n",
+            "<text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"sans-serif\" text-anchor=\"{anchor}\" fill=\"#333\">{}</text>",
             escape(content)
         );
     }
@@ -162,7 +185,7 @@ impl SvgDoc {
     /// representable in a flat builder; instead emit an invisible labeled
     /// marker for tooling/tests.
     pub fn comment(&mut self, c: &str) {
-        let _ = write!(self.body, "<!-- {} -->\n", escape(c));
+        let _ = writeln!(self.body, "<!-- {} -->", escape(c));
     }
 
     /// Append raw, already-valid SVG markup (panel embedding).

@@ -135,11 +135,11 @@ fn grid3(n: u32) -> (u32, u32, u32) {
     let mut best_score = u32::MAX;
     let mut x = 1;
     while x * x * x <= n {
-        if n % x == 0 {
+        if n.is_multiple_of(x) {
             let rem = n / x;
             let mut y = x;
             while y * y <= rem {
-                if rem % y == 0 {
+                if rem.is_multiple_of(y) {
                     let z = rem / y;
                     let score = z - x; // minimize spread
                     if score < best_score {
@@ -199,7 +199,12 @@ fn amg(job_id: JobId, job: &JobMeta, cfg: &AppConfig, rng: &mut StdRng) -> Vec<M
     out
 }
 
-fn amr_boxlib(job_id: JobId, job: &JobMeta, cfg: &AppConfig, rng: &mut StdRng) -> Vec<MsgInjection> {
+fn amr_boxlib(
+    job_id: JobId,
+    job: &JobMeta,
+    cfg: &AppConfig,
+    rng: &mut StdRng,
+) -> Vec<MsgInjection> {
     let n = job.terminals.len() as u32;
     // Concentrated send budgets: the first ~6 % of ranks (the deepest
     // refinement levels, resident in the job's first groups under
@@ -220,9 +225,7 @@ fn amr_boxlib(job_id: JobId, job: &JobMeta, cfg: &AppConfig, rng: &mut StdRng) -
     // rank joins. This produces the irregular sawtooth of Fig. 12 and the
     // bursty interference profile of §V-D.
     let n_events = 10usize;
-    let mut events: Vec<u64> = (0..n_events)
-        .map(|_| rng.gen_range(0..(t as u64).max(1)))
-        .collect();
+    let mut events: Vec<u64> = (0..n_events).map(|_| rng.gen_range(0..(t as u64).max(1))).collect();
     events.sort_unstable();
     let mut out = Vec::new();
     for r in 0..n {
@@ -241,7 +244,11 @@ fn amr_boxlib(job_id: JobId, job: &JobMeta, cfg: &AppConfig, rng: &mut StdRng) -
             .map(|_| {
                 if rng.gen_bool(0.9) {
                     let delta = rng.gen_range(1..=64);
-                    if rng.gen_bool(0.5) { (r + delta) % n } else { (r + n - delta) % n }
+                    if rng.gen_bool(0.5) {
+                        (r + delta) % n
+                    } else {
+                        (r + n - delta) % n
+                    }
                 } else {
                     rng.gen_range(0..n)
                 }
@@ -295,17 +302,14 @@ fn minife(job_id: JobId, job: &JobMeta, cfg: &AppConfig, rng: &mut StdRng) -> Ve
     // 90 % of the volume stays within blocks; 10 % crosses blocks.
     let n_local = local_strides.len().max(1) as u64;
     let n_global = global_strides.len() as u64;
-    let local_msg =
-        (total * 9 / 10 / (n as u64 * n_local * ITERATIONS)).max(1);
-    let global_msg = if n_global > 0 {
-        (total / 10 / (n as u64 * n_global * ITERATIONS)).max(1)
-    } else {
-        0
-    };
+    let local_msg = (total * 9 / 10 / (n as u64 * n_local * ITERATIONS)).max(1);
+    let global_msg =
+        if n_global > 0 { (total / 10 / (n as u64 * n_global * ITERATIONS)).max(1) } else { 0 };
     // Boundary subdomains exchange bigger halos: vary per-rank volume by
     // ±50 % so per-terminal metrics spread (the high latency variance the
     // paper reads off the outer scatter rings).
-    let rank_scale: Vec<f64> = (0..n).map(|_| 0.5 + rng.gen_range(0..=100) as f64 / 100.0).collect();
+    let rank_scale: Vec<f64> =
+        (0..n).map(|_| 0.5 + rng.gen_range(0..=100) as f64 / 100.0).collect();
     let iter_span = cfg.duration.as_nanos() / ITERATIONS;
     let mut out = Vec::with_capacity((n as u64 * (n_local + n_global) * ITERATIONS) as usize);
     for it in 0..ITERATIONS {
@@ -313,11 +317,7 @@ fn minife(job_id: JobId, job: &JobMeta, cfg: &AppConfig, rng: &mut StdRng) -> Ve
         for r in 0..n {
             let b0 = r / block * block;
             for &(s, local) in &strides {
-                let dst = if local {
-                    b0 + ((r - b0) + s) % block.min(n - b0)
-                } else {
-                    (r + s) % n
-                };
+                let dst = if local { b0 + ((r - b0) + s) % block.min(n - b0) } else { (r + s) % n };
                 if dst == r {
                     continue;
                 }
@@ -342,7 +342,9 @@ fn minife(job_id: JobId, job: &JobMeta, cfg: &AppConfig, rng: &mut StdRng) -> Ve
 /// on `job.terminals[i]`; `job.terminals.len()` may be smaller than the
 /// nominal rank count (the proxy shrinks with the job).
 pub fn generate_app(job_id: JobId, job: &JobMeta, cfg: &AppConfig) -> Vec<MsgInjection> {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((job_id as u64) << 32) ^ cfg.kind.ranks() as u64);
+    let _span = hrviz_obs::get().span("workloads/generate");
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ ((job_id as u64) << 32) ^ cfg.kind.ranks() as u64);
     match cfg.kind {
         AppKind::Amg => amg(job_id, job, cfg, &mut rng),
         AppKind::AmrBoxlib => amr_boxlib(job_id, job, cfg, &mut rng),
@@ -395,12 +397,7 @@ mod tests {
         // On a 3x3x3 grid, neighbor ids differ by 1, 3, or 9.
         for m in &msgs {
             let d = m.src.0.abs_diff(m.dst.0);
-            assert!(
-                d == 1 || d == 3 || d == 9,
-                "non-neighbor message {} -> {}",
-                m.src.0,
-                m.dst.0
-            );
+            assert!(d == 1 || d == 3 || d == 9, "non-neighbor message {} -> {}", m.src.0, m.dst.0);
         }
     }
 

@@ -206,12 +206,9 @@ mod tests {
             [PlacementPolicy::RandomGroup, PlacementPolicy::RandomRouter],
             [PlacementPolicy::RandomNode, PlacementPolicy::RandomGroup],
         ] {
-            let jobs = place_jobs(
-                topo(),
-                &[req("a", 100, policies[0]), req("b", 120, policies[1])],
-                7,
-            )
-            .unwrap();
+            let jobs =
+                place_jobs(topo(), &[req("a", 100, policies[0]), req("b", 120, policies[1])], 7)
+                    .unwrap();
             let a: HashSet<_> = jobs[0].terminals.iter().collect();
             let b: HashSet<_> = jobs[1].terminals.iter().collect();
             assert!(a.is_disjoint(&b), "{policies:?}");
@@ -242,11 +239,8 @@ mod tests {
         let t = topo();
         let per_group = t.config().routers_per_group * t.config().terminals_per_router; // 18
         let jobs = place_jobs(t, &[req("a", 36, PlacementPolicy::RandomGroup)], 11).unwrap();
-        let groups: HashSet<_> = jobs[0]
-            .terminals
-            .iter()
-            .map(|&x| t.group_of_router(t.router_of_terminal(x)))
-            .collect();
+        let groups: HashSet<_> =
+            jobs[0].terminals.iter().map(|&x| t.group_of_router(t.router_of_terminal(x))).collect();
         assert_eq!(groups.len(), (36 / per_group) as usize);
     }
 
@@ -272,8 +266,8 @@ mod tests {
 
     #[test]
     fn overfull_machine_errors() {
-        let err = place_jobs(topo(), &[req("big", 1_000, PlacementPolicy::Contiguous)], 1)
-            .unwrap_err();
+        let err =
+            place_jobs(topo(), &[req("big", 1_000, PlacementPolicy::Contiguous)], 1).unwrap_err();
         assert_eq!(err.unplaced, 1_000 - 342);
         assert!(err.to_string().contains("big"));
     }

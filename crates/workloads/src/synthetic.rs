@@ -96,7 +96,7 @@ impl SyntheticConfig {
 
 fn square_side(n: u32) -> u32 {
     let mut m = (n as f64).sqrt() as u32;
-    while m > 1 && n % m != 0 {
+    while m > 1 && !n.is_multiple_of(m) {
         m -= 1;
     }
     m.max(1)
@@ -104,7 +104,12 @@ fn square_side(n: u32) -> u32 {
 
 /// Generate the injection list for `job` (rank `i` runs on
 /// `job.terminals[i]`).
-pub fn generate_synthetic(job_id: JobId, job: &JobMeta, cfg: &SyntheticConfig) -> Vec<MsgInjection> {
+pub fn generate_synthetic(
+    job_id: JobId,
+    job: &JobMeta,
+    cfg: &SyntheticConfig,
+) -> Vec<MsgInjection> {
+    let _span = hrviz_obs::get().span("workloads/generate");
     let n = job.terminals.len() as u32;
     if n < 2 {
         return Vec::new();
@@ -139,10 +144,7 @@ pub fn generate_synthetic(job_id: JobId, job: &JobMeta, cfg: &SyntheticConfig) -
                     }
                 },
                 TrafficPattern::NearestNeighbor => (rank + cfg.stride.max(1) % n) % n,
-                TrafficPattern::AllToAll => {
-                    let d = (rank + 1 + k % (n - 1)) % n;
-                    d
-                }
+                TrafficPattern::AllToAll => (rank + 1 + k % (n - 1)) % n,
                 TrafficPattern::Transpose => {
                     let (r, c) = (rank / m, rank % m);
                     let t = c * m + r;
@@ -267,11 +269,8 @@ mod tests {
         cfg.msgs_per_rank = n - 1;
         let msgs = generate_synthetic(0, &job(n), &cfg);
         for rank in 0..n {
-            let partners: std::collections::HashSet<_> = msgs
-                .iter()
-                .filter(|m| m.src.0 == rank)
-                .map(|m| m.dst.0)
-                .collect();
+            let partners: std::collections::HashSet<_> =
+                msgs.iter().filter(|m| m.src.0 == rank).map(|m| m.dst.0).collect();
             assert_eq!(partners.len() as u32, n - 1, "rank {rank}");
         }
     }
@@ -280,11 +279,8 @@ mod tests {
     fn permutation_is_fixed_and_self_free() {
         let msgs = generate_synthetic(0, &job(32), &cfg(TrafficPattern::Permutation));
         for rank in 0..32u32 {
-            let dsts: std::collections::HashSet<_> = msgs
-                .iter()
-                .filter(|m| m.src.0 == rank)
-                .map(|m| m.dst.0)
-                .collect();
+            let dsts: std::collections::HashSet<_> =
+                msgs.iter().filter(|m| m.src.0 == rank).map(|m| m.dst.0).collect();
             assert_eq!(dsts.len(), 1, "permutation destination must be stable");
             assert!(!dsts.contains(&rank));
         }
@@ -293,11 +289,8 @@ mod tests {
     #[test]
     fn messages_are_periodic_with_stable_phase() {
         let msgs = generate_synthetic(0, &job(4), &cfg(TrafficPattern::NearestNeighbor));
-        let times: Vec<u64> = msgs
-            .iter()
-            .filter(|m| m.src.0 == 0)
-            .map(|m| m.time.as_nanos())
-            .collect();
+        let times: Vec<u64> =
+            msgs.iter().filter(|m| m.src.0 == 0).map(|m| m.time.as_nanos()).collect();
         // Per-rank phase offset within one period, then strict periodicity.
         assert!(times[0] < 100);
         for w in times.windows(2) {
@@ -308,11 +301,8 @@ mod tests {
     #[test]
     fn phases_are_staggered_across_ranks() {
         let msgs = generate_synthetic(0, &job(64), &cfg(TrafficPattern::NearestNeighbor));
-        let first: std::collections::HashSet<u64> = msgs
-            .iter()
-            .filter(|m| m.time.as_nanos() < 100)
-            .map(|m| m.time.as_nanos())
-            .collect();
+        let first: std::collections::HashSet<u64> =
+            msgs.iter().filter(|m| m.time.as_nanos() < 100).map(|m| m.time.as_nanos()).collect();
         assert!(first.len() > 16, "ranks must not inject in lockstep");
     }
 

@@ -59,10 +59,8 @@ pub fn read_trace(r: impl BufRead) -> Result<Vec<MsgInjection>, TraceError> {
             });
         }
         let parse_u64 = |s: &str, what: &str| -> Result<u64, TraceError> {
-            s.parse().map_err(|_| TraceError {
-                line: lineno,
-                message: format!("bad {what}: {s:?}"),
-            })
+            s.parse()
+                .map_err(|_| TraceError { line: lineno, message: format!("bad {what}: {s:?}") })
         };
         out.push(MsgInjection {
             time: SimTime(parse_u64(fields[0], "time_ns")?),
@@ -120,9 +118,7 @@ mod tests {
 
     #[test]
     fn tolerates_comments_blanks_and_whitespace() {
-        let text = format!(
-            "# exported by some tool\n\n{TRACE_HEADER}\n 10 , 1 , 2 , 300 , 0 \n"
-        );
+        let text = format!("# exported by some tool\n\n{TRACE_HEADER}\n 10 , 1 , 2 , 300 , 0 \n");
         let back = read_trace(text.as_bytes()).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].bytes, 300);

@@ -10,7 +10,9 @@
 //! ```
 
 use hrviz::core::{build_view, parse_script, DataSet};
-use hrviz::network::{DragonflyConfig, JobMeta, NetworkSpec, RoutingAlgorithm, Simulation, TerminalId};
+use hrviz::network::{
+    DragonflyConfig, JobMeta, NetworkSpec, RoutingAlgorithm, Simulation, TerminalId,
+};
 use hrviz::pdes::SimTime;
 use hrviz::render::{render_radial, RadialLayout};
 use hrviz::workloads::{generate_synthetic, SyntheticConfig, TrafficPattern};

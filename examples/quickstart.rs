@@ -6,13 +6,13 @@
 //! ```
 
 use hrviz::core::{build_view, parse_script, DataSet, DetailView, TimelineView};
+use hrviz::network::JobMeta;
 use hrviz::network::{
     DragonflyConfig, LinkClass, NetworkSpec, RoutingAlgorithm, Simulation, TerminalId,
 };
 use hrviz::pdes::SimTime;
 use hrviz::render::{render_link_scatter, render_radial, render_timeline, RadialLayout};
 use hrviz::workloads::{generate_synthetic, SyntheticConfig, TrafficPattern};
-use hrviz::network::JobMeta;
 
 fn main() {
     // 1. Describe the network: a canonical Dragonfly with h=4

@@ -6,7 +6,9 @@
 //! cargo run --release --example routing_study
 //! ```
 
-use hrviz::core::{compare_views, DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec};
+use hrviz::core::{
+    compare_views, DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec,
+};
 use hrviz::network::{
     DragonflyConfig, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm, RunData, Simulation,
     TerminalId,
@@ -54,17 +56,10 @@ fn main() {
     let runs: Vec<RunData> = strategies.iter().map(|&r| run(r)).collect();
     for (s, r) in strategies.iter().zip(&runs) {
         let pkts: u64 = r.terminals.iter().map(|t| t.packets_finished).sum();
-        let lat = r
-            .terminals
-            .iter()
-            .map(|t| t.avg_latency_ns * t.packets_finished as f64)
-            .sum::<f64>()
-            / pkts.max(1) as f64;
-        let hops = r
-            .terminals
-            .iter()
-            .map(|t| t.avg_hops * t.packets_finished as f64)
-            .sum::<f64>()
+        let lat =
+            r.terminals.iter().map(|t| t.avg_latency_ns * t.packets_finished as f64).sum::<f64>()
+                / pkts.max(1) as f64;
+        let hops = r.terminals.iter().map(|t| t.avg_hops * t.packets_finished as f64).sum::<f64>()
             / pkts.max(1) as f64;
         println!(
             "{:<22} {:>12} {:>12} {:>12} {:>10.1} {:>8.2}",
@@ -95,15 +90,15 @@ fn main() {
     let datasets: Vec<DataSet> = runs.iter().map(DataSet::from_run).collect();
     let refs: Vec<&DataSet> = datasets.iter().collect();
     let views = compare_views(&refs, &spec).expect("views build");
-    let labeled: Vec<(&_, &str)> = views
-        .iter()
-        .zip(strategies.iter().map(|s| s.name()))
-        .map(|(v, n)| (v, n))
-        .collect();
+    let labeled: Vec<(&_, &str)> = views.iter().zip(strategies.iter().map(|s| s.name())).collect();
     std::fs::create_dir_all("out").unwrap();
     std::fs::write(
         "out/routing_study.svg",
-        render_radial_row(&labeled, &RadialLayout::default(), "tornado: routing strategies compared"),
+        render_radial_row(
+            &labeled,
+            &RadialLayout::default(),
+            "tornado: routing strategies compared",
+        ),
     )
     .unwrap();
     println!("\nwrote out/routing_study.svg");

@@ -19,12 +19,15 @@
 //! * [`render`] — SVG renderings of every view model.
 //! * [`fattree`] — the k-ary Fat-Tree model named as future work in the
 //!   paper's conclusion, feeding the same analytics.
+//! * [`obs`] — structured run telemetry: counters, spans, JSONL traces,
+//!   and run/perf manifests (see README "Observability").
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use hrviz_core as core;
 pub use hrviz_fattree as fattree;
 pub use hrviz_network as network;
+pub use hrviz_obs as obs;
 pub use hrviz_pdes as pdes;
 pub use hrviz_render as render;
 pub use hrviz_workloads as workloads;

@@ -14,9 +14,7 @@ use hrviz::workloads::{
 fn simulate(seed: u64) -> RunData {
     let cfg = DragonflyConfig::canonical(3); // 342 terminals
     let mut sim = Simulation::new(
-        NetworkSpec::new(cfg)
-            .with_routing(RoutingAlgorithm::adaptive_default())
-            .with_seed(seed),
+        NetworkSpec::new(cfg).with_routing(RoutingAlgorithm::adaptive_default()).with_seed(seed),
     );
     let topo = sim.topology();
     let jobs = place_jobs(
@@ -81,10 +79,7 @@ fn different_seeds_differ() {
     let a = simulate(7);
     let b = simulate(8);
     // Placement and routing randomness differ → different event counts.
-    assert_ne!(
-        (a.events_processed, a.end_time),
-        (b.events_processed, b.end_time)
-    );
+    assert_ne!((a.events_processed, a.end_time), (b.events_processed, b.end_time));
 }
 
 #[test]

@@ -40,9 +40,7 @@ fn spec() -> ProjectionSpec {
             .aggregate(&[Field::RouterRank])
             .color(Field::SatTime)
             .size(Field::Traffic),
-        LevelSpec::new(EntityKind::Terminal)
-            .aggregate(&[Field::RouterId])
-            .color(Field::AvgLatency),
+        LevelSpec::new(EntityKind::Terminal).aggregate(&[Field::RouterId]).color(Field::AvgLatency),
     ])
 }
 

@@ -1,0 +1,273 @@
+//! Offline stand-in for the subset of the `rayon` crate API this workspace
+//! uses: `par_iter()` / `par_iter_mut()` over slices with `map` /
+//! `for_each` / order-preserving `collect`. Work is executed on scoped OS
+//! threads, one contiguous chunk per available core (sequentially when only
+//! one element or one core is available).
+
+// Vendored stand-in: exempt from style lints.
+#![allow(clippy::all)]
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Import to get `par_iter` / `par_iter_mut` on slices and `Vec`.
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Number of worker threads to use for `n` items.
+fn threads_for(n: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4);
+    cores.min(n).max(1)
+}
+
+/// Run `f` over each chunk on its own scoped thread, returning the outputs
+/// in input order.
+fn run_chunked<'a, T: Send + 'a, R: Send, F>(chunks: Vec<&'a mut [T]>, f: &F) -> Vec<R>
+where
+    F: Fn(&'a mut T) -> R + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Split `items` into at most `threads_for(len)` contiguous chunks that keep
+/// the original borrow lifetime.
+fn chunk_mut<'a, T>(mut items: &'a mut [T]) -> Vec<&'a mut [T]> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let per = n.div_ceil(threads_for(n));
+    let mut out = Vec::new();
+    while !items.is_empty() {
+        let taken = std::mem::take(&mut items);
+        let (head, tail) = taken.split_at_mut(per.min(taken.len()));
+        out.push(head);
+        items = tail;
+    }
+    out
+}
+
+/// `.par_iter()` — parallel iteration over shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.par_iter_mut()` — parallel iteration over mutable references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: Send + 'a;
+
+    /// A parallel iterator over `&mut Item`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel iterator over `&T`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Run `f` for every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        self.map(f).run();
+    }
+}
+
+/// Mapped parallel iterator over `&T`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    fn run<R>(self) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        let n = self.items.len();
+        if n <= 1 || threads_for(n) == 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let per = n.div_ceil(threads_for(n));
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(per)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        })
+    }
+
+    /// Collect results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over `&mut T`.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMapMut<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a mut T) -> R + Sync,
+    {
+        ParMapMut { items: self.items, f }
+    }
+
+    /// Run `f` for every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Sync,
+    {
+        ParMapMut { items: self.items, f }.run();
+    }
+}
+
+/// Mapped parallel iterator over `&mut T`.
+pub struct ParMapMut<'a, T, F> {
+    items: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, F> ParMapMut<'a, T, F> {
+    fn run<R>(self) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&'a mut T) -> R + Sync,
+    {
+        let n = self.items.len();
+        if n <= 1 || threads_for(n) == 1 {
+            return self.items.into_iter().map(&self.f).collect();
+        }
+        run_chunked(chunk_mut(self.items), &self.f)
+    }
+
+    /// Collect results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a mut T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_type() {
+        let v: Vec<u64> = (0..10).collect();
+        let ok: Result<Vec<u64>, String> = v.par_iter().map(|x| Ok(*x)).collect();
+        assert_eq!(ok.unwrap().len(), 10);
+        let err: Result<Vec<u64>, String> =
+            v.par_iter().map(|x| if *x == 5 { Err("boom".into()) } else { Ok(*x) }).collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn mut_for_each_mutates_everything() {
+        let mut v: Vec<u64> = vec![1; 512];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn mut_map_returns_in_order() {
+        let mut v: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = v
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}
