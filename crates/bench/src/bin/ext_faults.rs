@@ -1,0 +1,125 @@
+//! Extension (robustness): degraded-mode routing under a canned fault
+//! schedule. Injects link/router failures mid-run into a Dragonfly and a
+//! Fat Tree, checks that every run completes without panicking, that
+//! minimal routing reports counted drops where adaptive routing reroutes,
+//! and that the same schedule replays bit-for-bit. The drop/reroute
+//! counters flow into the run manifest via hrviz-obs (`net/packets_dropped`,
+//! `net/packets_rerouted`), which the CI smoke job asserts on.
+
+use hrviz_bench::{write_out, Expectations};
+use hrviz_fattree::{FatTreeConfig, FatTreeSim, UpRouting};
+use hrviz_network::{
+    DragonflyConfig, FaultEvent, FaultSchedule, GroupId, MsgInjection, NetworkSpec,
+    RoutingAlgorithm, RunData, Simulation, TerminalId, Topology,
+};
+use hrviz_pdes::SimTime;
+
+/// The canned schedule: a dead gateway channel from group 0, a router that
+/// dies mid-run and comes back, and a half-speed local link.
+fn canned_schedule(cfg: DragonflyConfig) -> FaultSchedule {
+    let topo = Topology::new(cfg);
+    let dst = TerminalId(cfg.num_terminals() - 1);
+    let dst_group = topo.group_of_router(topo.router_of_terminal(dst));
+    let (gw, gp) = topo.gateway(GroupId(0), dst_group);
+    let mut faults = FaultSchedule::new(0xFA17);
+    faults
+        .push(SimTime::ZERO, FaultEvent::LinkDown { router: gw.0, port: topo.global_port(gp) })
+        .push(SimTime::micros(5), FaultEvent::RouterDown { router: 17 })
+        .push(SimTime::micros(40), FaultEvent::RouterUp { router: 17 })
+        .push(SimTime::micros(2), FaultEvent::DegradedLink { router: 5, port: 3, factor: 0.5 });
+    faults
+}
+
+fn dragonfly(routing: RoutingAlgorithm, faults: FaultSchedule) -> RunData {
+    let cfg = DragonflyConfig::canonical(2);
+    let mut spec = NetworkSpec::new(cfg).with_routing(routing);
+    spec.num_vcs = 4;
+    let mut sim = Simulation::try_new(spec)
+        .expect("canonical spec validates")
+        .with_faults(faults)
+        .with_collector(hrviz_obs::get());
+    for src in 0..cfg.num_terminals() {
+        for k in 0..8u64 {
+            sim.inject(MsgInjection {
+                time: SimTime(k * 2_000),
+                src: TerminalId(src),
+                dst: TerminalId((src + cfg.num_terminals() / 2) % cfg.num_terminals()),
+                bytes: 4096,
+                job: 0,
+            });
+        }
+    }
+    sim.try_run().expect("faulted run completes with a structured result")
+}
+
+fn fingerprint(run: &RunData) -> String {
+    format!(
+        "{}:{}:{}:{}:{}",
+        run.end_time.0,
+        run.events_processed,
+        run.total_delivered(),
+        run.total_dropped(),
+        run.total_rerouted()
+    )
+}
+
+fn main() {
+    hrviz_bench::obs_init("ext_faults");
+    println!("Extension: fault injection + degraded-mode routing (Dragonfly 72t, Fat Tree k=4)");
+    let cfg = DragonflyConfig::canonical(2);
+    let faults = canned_schedule(cfg);
+    write_out("ext_faults_schedule.json", &faults.to_json());
+
+    let minimal = dragonfly(RoutingAlgorithm::Minimal, faults.clone());
+    let adaptive = dragonfly(RoutingAlgorithm::adaptive_default(), faults.clone());
+    let replay = dragonfly(RoutingAlgorithm::adaptive_default(), faults.clone());
+
+    // Fat Tree under a dead edge switch: completes with counted drops.
+    let ft_cfg = FatTreeConfig::new(4);
+    let mut ft_faults = FaultSchedule::new(0xF7);
+    ft_faults.push(SimTime::ZERO, FaultEvent::RouterDown { router: ft_cfg.edge_id(0, 0) });
+    let mut ft = FatTreeSim::new(ft_cfg, UpRouting::Adaptive).with_faults(ft_faults);
+    for src in 0..ft_cfg.num_hosts() {
+        ft.inject(MsgInjection {
+            time: SimTime::ZERO,
+            src: TerminalId(src),
+            dst: TerminalId((src + ft_cfg.num_hosts() / 2) % ft_cfg.num_hosts()),
+            bytes: 4096,
+            job: 0,
+        });
+    }
+    let ft_run = ft.try_run().expect("faulted fat-tree run completes");
+
+    println!(
+        "  dragonfly minimal: delivered {} dropped {} | adaptive: delivered {} dropped {} rerouted {}",
+        minimal.total_delivered(),
+        minimal.total_dropped(),
+        adaptive.total_delivered(),
+        adaptive.total_dropped(),
+        adaptive.total_rerouted(),
+    );
+    println!(
+        "  fat-tree adaptive: delivered {} dropped {}",
+        ft_run.delivered_bytes(),
+        ft_run.dropped_packets()
+    );
+
+    let mut exp = Expectations::new();
+    exp.check("minimal routing reports counted drops", minimal.total_dropped() > 0);
+    exp.check(
+        "every byte is delivered or a counted drop (minimal)",
+        minimal.total_delivered() + minimal.dropped_bytes() == minimal.total_injected(),
+    );
+    exp.check("adaptive routing reroutes around dead links", adaptive.total_rerouted() > 0);
+    exp.check(
+        "adaptive delivers more than minimal under faults",
+        adaptive.total_delivered() > minimal.total_delivered(),
+    );
+    exp.check("same schedule replays bit-for-bit", fingerprint(&adaptive) == fingerprint(&replay));
+    exp.check("fat-tree run completes with counted drops", ft_run.dropped_packets() > 0);
+    exp.check(
+        "fat-tree conserves bytes under a dead switch",
+        ft_run.delivered_bytes() + ft_run.dropped_bytes() == ft_run.injected_bytes(),
+    );
+    std::process::exit(i32::from(!exp.finish("ext_faults")));
+}

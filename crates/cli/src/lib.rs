@@ -12,14 +12,20 @@
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs after a
 //! subcommand) to keep the dependency set at zero.
+//!
+//! Every failure is a structured [`HrvizError`]; `main` maps the error
+//! class to a distinct nonzero exit code (usage 2, config 3, io 4,
+//! parse 5, sim 6).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use hrviz_core::{
     build_view, compare_views, parse_script, DataSet, EntityKind, Field, LevelSpec, ProjectionSpec,
     RibbonSpec,
 };
 use hrviz_network::{
-    DragonflyConfig, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm, RunData, Simulation,
-    TerminalId,
+    DragonflyConfig, FaultSchedule, HrvizError, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm,
+    RunData, Simulation, TerminalId,
 };
 use hrviz_obs::{Collector, LogLevel};
 use hrviz_pdes::SimTime;
@@ -38,24 +44,12 @@ pub struct Cli {
     pub options: BTreeMap<String, String>,
 }
 
-/// CLI failure with a user-facing message.
-#[derive(Debug)]
-pub struct CliError(pub String);
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
-    }
-}
-
-impl std::error::Error for CliError {}
-
-fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
-    Err(CliError(msg.into()))
+fn err<T>(msg: impl Into<String>) -> Result<T, HrvizError> {
+    Err(HrvizError::usage(msg))
 }
 
 /// Parse an argument vector (without the program name).
-pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
+pub fn parse_args(args: &[String]) -> Result<Cli, HrvizError> {
     let Some(command) = args.first() else {
         return err(USAGE);
     };
@@ -87,6 +81,8 @@ pub const USAGE: &str = "usage: hrviz <view|trace|compare|check> [options]
   check   FILE
 common: --trace-out FILE (write a JSONL telemetry trace)
         --log-level error|warn|info|debug|trace
+sim:    --faults FILE (fault schedule JSON, applied to every run)
+        --hop-limit N (per-packet hop budget before a counted drop, default 16)
 patterns: uniform-random nearest-neighbor all-to-all transpose
           bit-complement tornado permutation
 routings: minimal nonminimal adaptive progressive-adaptive";
@@ -109,8 +105,10 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "stride",
             "script",
             "svg",
+            "faults",
+            "hop-limit",
         ]),
-        "trace" => Some(&["in", "terminals", "routing", "script", "svg"]),
+        "trace" => Some(&["in", "terminals", "routing", "script", "svg", "faults", "hop-limit"]),
         "check" => Some(&[]),
         "help" | "--help" | "-h" => Some(&[]),
         _ => None,
@@ -118,7 +116,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
 }
 
 /// Reject flags the subcommand does not understand, naming the ones it does.
-fn validate_flags(cli: &Cli) -> Result<(), CliError> {
+fn validate_flags(cli: &Cli) -> Result<(), HrvizError> {
     let Some(allowed) = allowed_flags(&cli.command) else {
         return Ok(()); // unknown subcommand: handled with its own error
     };
@@ -140,25 +138,27 @@ fn validate_flags(cli: &Cli) -> Result<(), CliError> {
 /// Build the run's collector from `--trace-out` / `--log-level`. Either
 /// flag enables telemetry; with no trace file, events go to an in-memory
 /// sink and logs still reach stderr.
-fn collector_of(cli: &Cli) -> Result<Collector, CliError> {
+fn collector_of(cli: &Cli) -> Result<Collector, HrvizError> {
     let trace_out = cli.options.get("trace-out");
     let log_level = cli.options.get("log-level");
     let c = match trace_out {
         Some(path) => Collector::with_trace_file(std::path::Path::new(path))
-            .map_err(|e| CliError(format!("cannot write trace to {path}: {e}")))?,
+            .map_err(|e| HrvizError::io(path, e))?,
         None if log_level.is_some() => Collector::enabled(),
         None => Collector::disabled(),
     };
     if let Some(lv) = log_level {
         let level = LogLevel::parse(lv).ok_or_else(|| {
-            CliError(format!("unknown log level {lv:?}; use error, warn, info, debug or trace"))
+            HrvizError::usage(format!(
+                "unknown log level {lv:?}; use error, warn, info, debug or trace"
+            ))
         })?;
         c.set_level(level);
     }
     Ok(c)
 }
 
-fn routing_of(s: &str) -> Result<RoutingAlgorithm, CliError> {
+fn routing_of(s: &str) -> Result<RoutingAlgorithm, HrvizError> {
     Ok(match s {
         "minimal" => RoutingAlgorithm::Minimal,
         "nonminimal" | "valiant" => RoutingAlgorithm::NonMinimal,
@@ -168,7 +168,7 @@ fn routing_of(s: &str) -> Result<RoutingAlgorithm, CliError> {
     })
 }
 
-fn pattern_of(s: &str) -> Result<TrafficPattern, CliError> {
+fn pattern_of(s: &str) -> Result<TrafficPattern, HrvizError> {
     Ok(match s {
         "uniform-random" | "ur" => TrafficPattern::UniformRandom,
         "nearest-neighbor" | "nn" => TrafficPattern::NearestNeighbor,
@@ -181,13 +181,13 @@ fn pattern_of(s: &str) -> Result<TrafficPattern, CliError> {
     })
 }
 
-fn terminals_of(cli: &Cli) -> Result<DragonflyConfig, CliError> {
+fn terminals_of(cli: &Cli) -> Result<DragonflyConfig, HrvizError> {
     let n: u32 = cli
         .options
         .get("terminals")
-        .ok_or(CliError("--terminals is required".into()))?
+        .ok_or_else(|| HrvizError::usage("--terminals is required"))?
         .parse()
-        .map_err(|_| CliError("--terminals must be a number".into()))?;
+        .map_err(|_| HrvizError::usage("--terminals must be a number"))?;
     match n {
         2_550 | 5_256 | 9_702 => Ok(DragonflyConfig::paper_scale(n)),
         _ => {
@@ -198,17 +198,17 @@ fn terminals_of(cli: &Cli) -> Result<DragonflyConfig, CliError> {
                     return Ok(c);
                 }
             }
-            err(format!(
+            Err(HrvizError::config(format!(
                 "no canonical Dragonfly with {n} terminals; use a paper scale \
                  (2550/5256/9702) or a canonical size (g*a*p for a=2h, p=h)"
-            ))
+            )))
         }
     }
 }
 
-fn u64_opt(cli: &Cli, key: &str, default: u64) -> Result<u64, CliError> {
+fn u64_opt(cli: &Cli, key: &str, default: u64) -> Result<u64, HrvizError> {
     match cli.options.get(key) {
-        Some(v) => v.parse().map_err(|_| CliError(format!("--{key} must be a number"))),
+        Some(v) => v.parse().map_err(|_| HrvizError::usage(format!("--{key} must be a number"))),
         None => Ok(default),
     }
 }
@@ -230,14 +230,15 @@ pub const DEFAULT_SCRIPT: &str = r#"
   colors : ["white", "purple"] }
 "#;
 
-fn spec_of(cli: &Cli) -> Result<ProjectionSpec, CliError> {
+fn spec_of(cli: &Cli) -> Result<ProjectionSpec, HrvizError> {
     match cli.options.get("script") {
         Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-            parse_script(&text).map_err(|e| CliError(e.to_string()))
+            let text =
+                std::fs::read_to_string(path).map_err(|e| HrvizError::io(path.clone(), e))?;
+            parse_script(&text).map_err(|e| HrvizError::parse(path.clone(), e.to_string()))
         }
-        None => parse_script(DEFAULT_SCRIPT).map_err(|e| CliError(e.to_string())),
+        None => parse_script(DEFAULT_SCRIPT)
+            .map_err(|e| HrvizError::parse("default script", e.to_string())),
     }
 }
 
@@ -262,52 +263,73 @@ fn summarize(run: &RunData) -> String {
             run.class_sat_ns(class)
         ));
     }
+    if run.total_dropped() > 0 || run.total_rerouted() > 0 {
+        s.push_str(&format!(
+            "  faults: dropped {} packet(s)  rerouted {} packet(s)\n",
+            run.total_dropped(),
+            run.total_rerouted()
+        ));
+    }
     s
 }
 
-fn simulate(cli: &Cli, routing: RoutingAlgorithm) -> Result<RunData, CliError> {
+/// Apply `--faults` / `--hop-limit` to a network spec + simulation pair.
+fn faulted_sim(cli: &Cli, mut spec: NetworkSpec) -> Result<Simulation, HrvizError> {
+    if let Some(v) = cli.options.get("hop-limit") {
+        spec.hop_limit =
+            v.parse().map_err(|_| HrvizError::usage("--hop-limit must be a number in 1..=255"))?;
+    }
+    let mut sim = Simulation::try_new(spec)?;
+    if let Some(path) = cli.options.get("faults") {
+        sim = sim.with_faults(FaultSchedule::from_file(path)?);
+    }
+    Ok(sim)
+}
+
+fn simulate(cli: &Cli, routing: RoutingAlgorithm) -> Result<RunData, HrvizError> {
     let cfg = terminals_of(cli)?;
-    let pattern =
-        pattern_of(cli.options.get("pattern").ok_or(CliError("--pattern is required".into()))?)?;
+    let pattern = pattern_of(
+        cli.options.get("pattern").ok_or_else(|| HrvizError::usage("--pattern is required"))?,
+    )?;
     let msgs = u64_opt(cli, "msgs", 16)? as u32;
     let bytes = u64_opt(cli, "bytes", 16 * 1024)? as u32;
     let period = SimTime::micros(u64_opt(cli, "period-us", 4)?);
     let seed = u64_opt(cli, "seed", 42)?;
     let spec = NetworkSpec::new(cfg).with_routing(routing).with_seed(seed);
-    let mut sim = Simulation::new(spec);
+    let mut sim = faulted_sim(cli, spec)?;
     let all: Vec<TerminalId> = (0..cfg.num_terminals()).map(TerminalId).collect();
     let meta = JobMeta { name: pattern.name().into(), terminals: all };
     let job = sim.add_job(meta.clone());
     let mut scfg =
         SyntheticConfig { pattern, msg_bytes: bytes, msgs_per_rank: msgs, period, stride: 1, seed };
     if let Some(s) = cli.options.get("stride") {
-        scfg.stride = s.parse().map_err(|_| CliError("--stride must be a number".into()))?;
+        scfg.stride = s.parse().map_err(|_| HrvizError::usage("--stride must be a number"))?;
     }
     sim.inject_all(generate_synthetic(job, &meta, &scfg));
-    Ok(sim.with_collector(hrviz_obs::get()).run())
+    sim.with_collector(hrviz_obs::get()).try_run()
 }
 
-fn write_svg(cli: &Cli, default_name: &str, svg: String) -> Result<String, CliError> {
+fn write_svg(cli: &Cli, default_name: &str, svg: String) -> Result<String, HrvizError> {
     let fallback = format!("out/{default_name}");
     let path = cli.options.get("svg").cloned().unwrap_or(fallback);
     if let Some(dir) = std::path::Path::new(&path).parent() {
         std::fs::create_dir_all(dir).ok();
     }
-    std::fs::write(&path, svg).map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    std::fs::write(&path, svg).map_err(|e| HrvizError::io(path.clone(), e))?;
     Ok(path)
 }
 
 /// Run a parsed command; returns the text to print.
-pub fn run(cli: &Cli) -> Result<String, CliError> {
+pub fn run(cli: &Cli) -> Result<String, HrvizError> {
     validate_flags(cli)?;
     let collector = collector_of(cli)?;
     hrviz_obs::install(collector.clone());
     let result = dispatch(cli);
-    collector.flush().map_err(|e| CliError(format!("cannot flush trace: {e}")))?;
+    collector.flush().map_err(|e| HrvizError::io("trace output", e))?;
     result
 }
 
-fn dispatch(cli: &Cli) -> Result<String, CliError> {
+fn dispatch(cli: &Cli) -> Result<String, HrvizError> {
     match cli.command.as_str() {
         "view" => {
             let routing =
@@ -315,25 +337,26 @@ fn dispatch(cli: &Cli) -> Result<String, CliError> {
             let run = simulate(cli, routing)?;
             let spec = spec_of(cli)?;
             let ds = DataSet::from_run(&run);
-            let view = build_view(&ds, &spec).map_err(|e| CliError(e.to_string()))?;
+            let view = build_view(&ds, &spec).map_err(|e| HrvizError::config(e.to_string()))?;
             let svg = render_radial(&view, &RadialLayout::default(), "hrviz view");
             let path = write_svg(cli, "view.svg", svg)?;
             Ok(format!("{}wrote {path}", summarize(&run)))
         }
         "trace" => {
-            let input = cli.options.get("in").ok_or(CliError("--in is required".into()))?;
-            let msgs =
-                load_trace(std::path::Path::new(input)).map_err(|e| CliError(e.to_string()))?;
+            let input =
+                cli.options.get("in").ok_or_else(|| HrvizError::usage("--in is required"))?;
+            let msgs = load_trace(std::path::Path::new(input))
+                .map_err(|e| HrvizError::parse(input.clone(), e.to_string()))?;
             let cfg = terminals_of(cli)?;
             let routing =
                 routing_of(cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"))?;
-            let mut sim = Simulation::new(NetworkSpec::new(cfg).with_routing(routing))
+            let mut sim = faulted_sim(cli, NetworkSpec::new(cfg).with_routing(routing))?
                 .with_collector(hrviz_obs::get());
             sim.inject_all(msgs);
-            let run = sim.run();
+            let run = sim.try_run()?;
             let spec = spec_of(cli)?;
             let ds = DataSet::from_run(&run);
-            let view = build_view(&ds, &spec).map_err(|e| CliError(e.to_string()))?;
+            let view = build_view(&ds, &spec).map_err(|e| HrvizError::config(e.to_string()))?;
             let svg = render_radial(&view, &RadialLayout::default(), input);
             let path = write_svg(cli, "trace.svg", svg)?;
             Ok(format!("{}wrote {path}", summarize(&run)))
@@ -342,7 +365,7 @@ fn dispatch(cli: &Cli) -> Result<String, CliError> {
             let routings: Vec<RoutingAlgorithm> = cli
                 .options
                 .get("routing")
-                .ok_or(CliError("--routing R1,R2 is required".into()))?
+                .ok_or_else(|| HrvizError::usage("--routing R1,R2 is required"))?
                 .split(',')
                 .map(routing_of)
                 .collect::<Result<_, _>>()?;
@@ -354,7 +377,8 @@ fn dispatch(cli: &Cli) -> Result<String, CliError> {
                 routings.iter().map(|&r| simulate(cli, r)).collect::<Result<_, _>>()?;
             let datasets: Vec<DataSet> = runs.iter().map(DataSet::from_run).collect();
             let refs: Vec<&DataSet> = datasets.iter().collect();
-            let views = compare_views(&refs, &spec).map_err(|e| CliError(e.to_string()))?;
+            let views =
+                compare_views(&refs, &spec).map_err(|e| HrvizError::config(e.to_string()))?;
             let labeled: Vec<(&_, &str)> =
                 views.iter().zip(routings.iter().map(|r| r.name())).collect();
             let svg = render_radial_row(&labeled, &RadialLayout::default(), "hrviz compare");
@@ -370,9 +394,10 @@ fn dispatch(cli: &Cli) -> Result<String, CliError> {
             let Some(path) = cli.positional.first() else {
                 return err("check needs a script file argument");
             };
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| CliError(format!("cannot read {path}: {e}")))?;
-            let spec = parse_script(&text).map_err(|e| CliError(e.to_string()))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| HrvizError::io(path.clone(), e))?;
+            let spec =
+                parse_script(&text).map_err(|e| HrvizError::parse(path.clone(), e.to_string()))?;
             let mut out = format!("{path}: ok, {} ring(s)\n", spec.levels.len());
             for (i, l) in spec.levels.iter().enumerate() {
                 out.push_str(&format!(
@@ -606,6 +631,88 @@ mod tests {
         let c = collector_of(&cli).unwrap();
         assert!(c.is_enabled());
         assert_eq!(c.level(), Some(LogLevel::Debug));
+    }
+
+    #[test]
+    fn faults_flag_runs_a_degraded_view() {
+        use hrviz_network::FaultEvent;
+        let dir = std::env::temp_dir().join("hrviz_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sched = dir.join("faults.json");
+        let svg = dir.join("faulted.svg");
+        let mut faults = FaultSchedule::new(3);
+        // Tornado from group 0 with its first global link dead: drops under
+        // minimal routing show up in the summary.
+        faults.push(SimTime::ZERO, FaultEvent::RouterDown { router: 0 });
+        faults.to_file(sched.to_str().unwrap()).unwrap();
+        let cli = parse_args(&args(&[
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--routing",
+            "minimal",
+            "--msgs",
+            "2",
+            "--bytes",
+            "2048",
+            "--faults",
+            sched.to_str().unwrap(),
+            "--svg",
+            svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("dropped"), "fault summary line expected: {out}");
+        std::fs::remove_file(&sched).ok();
+        std::fs::remove_file(&svg).ok();
+    }
+
+    #[test]
+    fn fault_flag_errors_have_distinct_exit_codes() {
+        // Usage: bad hop limit.
+        let cli = parse_args(&args(&[
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--hop-limit",
+            "many",
+        ]))
+        .unwrap();
+        let e = run(&cli).unwrap_err();
+        assert!(e.to_string().contains("--hop-limit"));
+        assert_eq!(e.exit_code(), 2);
+        // Config: hop limit of zero is rejected by spec validation.
+        let cli = parse_args(&args(&[
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--hop-limit",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(run(&cli).unwrap_err().exit_code(), 3);
+        // Io: missing schedule file.
+        let cli = parse_args(&args(&[
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--faults",
+            "/nonexistent/faults.json",
+        ]))
+        .unwrap();
+        assert_eq!(run(&cli).unwrap_err().exit_code(), 4);
+        // Config: impossible terminal count.
+        let cli =
+            parse_args(&args(&["view", "--terminals", "123", "--pattern", "tornado"])).unwrap();
+        assert_eq!(run(&cli).unwrap_err().exit_code(), 3);
     }
 
     #[test]

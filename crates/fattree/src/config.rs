@@ -50,8 +50,21 @@ pub enum Layer {
 impl FatTreeConfig {
     /// New k-ary Fat-Tree (k must be even and ≥ 2).
     pub fn new(k: u32) -> FatTreeConfig {
-        assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2, got {k}");
-        FatTreeConfig { k }
+        match Self::try_new(k) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: rejects an odd or too-small radix with a
+    /// descriptive error instead of panicking (CLI / config-file boundary).
+    pub fn try_new(k: u32) -> Result<FatTreeConfig, hrviz_faults::HrvizError> {
+        if k < 2 || !k.is_multiple_of(2) {
+            return Err(hrviz_faults::HrvizError::config(format!(
+                "k must be even and >= 2, got {k}"
+            )));
+        }
+        Ok(FatTreeConfig { k })
     }
 
     /// Half radix (`k/2`), the fan of every layer.
@@ -189,6 +202,13 @@ impl FatTreeConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_new_rejects_odd_and_tiny_k() {
+        assert!(FatTreeConfig::try_new(3).unwrap_err().to_string().contains("even"));
+        assert!(FatTreeConfig::try_new(0).unwrap_err().to_string().contains("even"));
+        assert_eq!(FatTreeConfig::try_new(4).unwrap().k, 4);
+    }
 
     #[test]
     fn k4_counts() {

@@ -3,13 +3,15 @@
 use crate::config::{FatTreeConfig, Layer, UpRouting};
 use crate::switch::{FtLinks, SwitchLp};
 use hrviz_core::dataset::{DataSet, LinkRow, RouterRow, TerminalRow};
+use hrviz_faults::{FaultSchedule, HrvizError};
 use hrviz_network::config::LinkClass;
 use hrviz_network::events::NetEvent;
 use hrviz_network::terminal::TerminalLp;
 use hrviz_network::topology::TerminalId;
 use hrviz_network::traffic::{JobMeta, MsgInjection};
 use hrviz_network::NO_JOB;
-use hrviz_pdes::{Ctx, Engine, Lp, SimTime};
+use hrviz_obs::Json;
+use hrviz_pdes::{Ctx, Engine, Lp, SimTime, WatchdogConfig};
 
 // Hosts dominate the node population; keep the flat in-place layout rather
 // than boxing (same trade-off as `hrviz_network::NetNode`).
@@ -39,6 +41,13 @@ impl Lp<NetEvent> for FtNode {
             FtNode::Switch(s) => s.on_finish(now),
         }
     }
+
+    fn audit(&self) -> Result<(), String> {
+        match self {
+            FtNode::Host(h) => h.audit(),
+            FtNode::Switch(s) => s.audit(),
+        }
+    }
 }
 
 /// A configured Fat-Tree simulation.
@@ -50,6 +59,10 @@ pub struct FatTreeSim {
     vc_buffer_bytes: u32,
     schedules: Vec<Vec<MsgInjection>>,
     jobs: Vec<JobMeta>,
+    faults: FaultSchedule,
+    hop_limit: u8,
+    drop_without_credit: bool,
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl FatTreeSim {
@@ -63,7 +76,30 @@ impl FatTreeSim {
             vc_buffer_bytes: 16 * 1024,
             schedules: vec![Vec::new(); cfg.num_hosts() as usize],
             jobs: Vec::new(),
+            faults: FaultSchedule::new(0),
+            hop_limit: 16,
+            drop_without_credit: false,
+            watchdog: None,
         }
+    }
+
+    /// Attach a fault schedule; every event is broadcast to all switches at
+    /// its injection time.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Per-packet hop budget before a counted TTL drop (default 16).
+    pub fn with_hop_limit(mut self, hop_limit: u8) -> Self {
+        self.hop_limit = hop_limit;
+        self
+    }
+
+    /// Override the engine watchdog thresholds.
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
     }
 
     /// The shape.
@@ -93,7 +129,19 @@ impl FatTreeSim {
     }
 
     /// Run to completion and extract results.
-    pub fn run(mut self) -> FatTreeRun {
+    ///
+    /// Panics on a watchdog trip or failed credit audit; prefer
+    /// [`FatTreeSim::try_run`] for fault-injected workloads.
+    pub fn run(self) -> FatTreeRun {
+        match self.try_run() {
+            Ok(run) => run,
+            Err(e) => panic!("fat-tree simulation failed: {e}"),
+        }
+    }
+
+    /// Run to completion, converting watchdog trips and credit-audit
+    /// failures into structured errors instead of panicking.
+    pub fn try_run(mut self) -> Result<FatTreeRun, HrvizError> {
         let cfg = self.cfg;
         let mut nodes = Vec::with_capacity(cfg.num_lps() as usize);
         for hst in 0..cfg.num_hosts() {
@@ -111,15 +159,10 @@ impl FatTreeSim {
             nodes.push(FtNode::Host(lp));
         }
         for sw in 0..cfg.num_switches() {
-            nodes.push(FtNode::Switch(SwitchLp::new(
-                cfg,
-                sw,
-                self.routing,
-                &self.links,
-                1,
-                self.vc_buffer_bytes,
-                None,
-            )));
+            let mut lp =
+                SwitchLp::new(cfg, sw, self.routing, &self.links, 1, self.vc_buffer_bytes, None);
+            lp.set_fault_policy(self.hop_limit, self.drop_without_credit);
+            nodes.push(FtNode::Switch(lp));
         }
         for (j, job) in self.jobs.iter().enumerate() {
             for &t in &job.terminals {
@@ -135,17 +178,39 @@ impl FatTreeSim {
         let collector = hrviz_obs::get();
         let span = collector.span("sim/fattree_run");
         let mut engine = Engine::new(nodes, lookahead);
-        engine.set_collector(collector);
-        engine.run_to_completion();
+        engine.set_collector(collector.clone());
+        if let Some(wd) = self.watchdog {
+            engine.set_watchdog(wd);
+        }
+        if !self.faults.is_empty() {
+            for tf in self.faults.events() {
+                collector.event(
+                    "fault_injected",
+                    &[
+                        ("time_ns", Json::U64(tf.time.0)),
+                        ("kind", Json::Str(tf.fault.kind().to_string())),
+                        ("router", Json::U64(tf.fault.router() as u64)),
+                    ],
+                );
+                for sw in 0..cfg.num_switches() {
+                    engine.schedule(tf.time, cfg.switch_lp(sw), NetEvent::Fault(tf.fault));
+                }
+            }
+            collector.counter_add("net/fault_events", self.faults.len() as u64);
+        }
+        engine.try_run_to_completion()?;
         let stats = engine.stats();
         span.end();
-        FatTreeRun {
+        let run = FatTreeRun {
             cfg,
             jobs: self.jobs,
             nodes: engine.into_lps(),
             end_time: stats.end_time,
             events_processed: stats.events_processed,
-        }
+        };
+        collector.counter_add("net/packets_dropped", run.dropped_packets());
+        collector.counter_add("net/packets_rerouted", run.rerouted_packets());
+        Ok(run)
     }
 }
 
@@ -169,6 +234,22 @@ impl FatTreeRun {
     /// Total bytes injected.
     pub fn injected_bytes(&self) -> u64 {
         self.hosts().map(|h| h.stats.injected_bytes).sum()
+    }
+
+    /// Packets discarded by switches (fault schedule / TTL), all causes.
+    pub fn dropped_packets(&self) -> u64 {
+        self.switches().map(|s| s.drops().total()).sum()
+    }
+
+    /// Bytes discarded by switches.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.switches().map(|s| s.drops().bytes).sum()
+    }
+
+    /// Packets steered to an alternate up-port because their first choice
+    /// was dead.
+    pub fn rerouted_packets(&self) -> u64 {
+        self.switches().map(|s| s.reroutes()).sum()
     }
 
     fn hosts(&self) -> impl Iterator<Item = &TerminalLp> {
@@ -312,6 +393,7 @@ impl FatTreeRun {
 mod tests {
     use super::*;
     use hrviz_core::{build_view, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec};
+    use hrviz_faults::FaultEvent;
     use rand::{Rng, SeedableRng};
 
     fn msg(t: u64, src: u32, dst: u32, bytes: u64) -> MsgInjection {
@@ -387,6 +469,78 @@ mod tests {
             ecmp.mean_latency_ns()
         );
         assert!(ada.end_time <= ecmp.end_time);
+    }
+
+    #[test]
+    fn dead_core_uplink_is_routed_around() {
+        // Kill one agg → core up-link in every pod's first aggregation:
+        // all cross-pod traffic through those aggs must shift to the
+        // sibling core, and nothing may be dropped.
+        let cfg = FatTreeConfig::new(4);
+        let h = cfg.half();
+        let mut faults = FaultSchedule::new(1);
+        for pod in 0..cfg.pods() {
+            faults
+                .push(SimTime::ZERO, FaultEvent::LinkDown { router: cfg.agg_id(pod, 0), port: h });
+        }
+        for routing in [UpRouting::Ecmp, UpRouting::Adaptive] {
+            let mut sim = FatTreeSim::new(cfg, routing).with_faults(faults.clone());
+            let mut expect = 0u64;
+            for src in 0..cfg.num_hosts() {
+                let dst = (src + cfg.num_hosts() / 2) % cfg.num_hosts(); // cross-pod
+                for k in 0..4u64 {
+                    sim.inject(msg(k * 400, src, dst, 4096));
+                    expect += 4096;
+                }
+            }
+            let run = sim.try_run().expect("faulted fat-tree run completes");
+            assert_eq!(run.delivered_bytes(), expect, "{}", routing.name());
+            assert_eq!(run.dropped_packets(), 0, "{}", routing.name());
+            assert!(run.rerouted_packets() > 0, "{}", routing.name());
+        }
+    }
+
+    #[test]
+    fn dead_edge_switch_drops_with_counted_drops() {
+        let cfg = FatTreeConfig::new(4);
+        let mut faults = FaultSchedule::new(2);
+        faults.push(SimTime::ZERO, FaultEvent::RouterDown { router: cfg.edge_id(0, 0) });
+        let mut sim = FatTreeSim::new(cfg, UpRouting::Adaptive).with_faults(faults);
+        sim.inject(msg(0, 4, 0, 4096)); // pod 1 → dead edge's host
+        sim.inject(msg(0, 5, 10, 4096)); // pod 1 → pod 2, unaffected
+        let run = sim.try_run().expect("run completes despite the dead switch");
+        assert_eq!(run.delivered_bytes(), 4096, "healthy flow still lands");
+        assert!(run.dropped_packets() > 0, "doomed flow is counted, not lost");
+        assert_eq!(
+            run.delivered_bytes() + run.dropped_bytes(),
+            run.injected_bytes(),
+            "every injected byte is either delivered or a counted drop"
+        );
+    }
+
+    #[test]
+    fn fat_tree_fault_replay_is_deterministic() {
+        let cfg = FatTreeConfig::new(4);
+        let run_once = || {
+            let faults = FaultSchedule::generate(11, cfg.num_switches(), cfg.k, 8, 20_000);
+            let mut sim = FatTreeSim::new(cfg, UpRouting::Adaptive).with_faults(faults);
+            let n = cfg.num_hosts();
+            for src in 0..n {
+                for k in 0..6u64 {
+                    sim.inject(msg(k * 700, src, (src + 1 + (k as u32 * 3) % (n - 1)) % n, 2048));
+                }
+            }
+            let run = sim.try_run().expect("generated schedule replays cleanly");
+            (
+                run.end_time,
+                run.events_processed,
+                run.delivered_bytes(),
+                run.dropped_packets(),
+                run.rerouted_packets(),
+                run.mean_latency_ns().to_bits(),
+            )
+        };
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! credit-gated [`OutPort`]s and event vocabulary.
 
 use crate::config::{FatTreeConfig, Layer, UpRouting};
+use hrviz_faults::{FaultEvent, FaultView};
 use hrviz_network::config::{LinkClass, LinkClassParams, SamplingConfig};
 use hrviz_network::events::{CreditReturn, NetEvent};
 use hrviz_network::packet::Packet;
 use hrviz_network::port::{OutPort, PortAction};
+use hrviz_network::DropCounters;
 use hrviz_pdes::{Ctx, LpId, SimTime};
 
 /// Per-class link parameters for the Fat Tree.
@@ -29,6 +31,12 @@ impl Default for FtLinks {
     }
 }
 
+enum FtDrop {
+    SwitchDown,
+    NoRoute,
+    Ttl,
+}
+
 /// One Fat-Tree switch.
 #[derive(Debug)]
 pub struct SwitchLp {
@@ -43,6 +51,11 @@ pub struct SwitchLp {
     my_lp: LpId,
     routing: UpRouting,
     ports: Vec<OutPort>,
+    faults: FaultView,
+    hop_limit: u8,
+    drop_without_credit: bool,
+    drops: DropCounters,
+    reroutes: u64,
 }
 
 impl SwitchLp {
@@ -118,7 +131,46 @@ impl SwitchLp {
                 }
             }
         }
-        SwitchLp { id, cfg, layer, pod, idx, my_lp: cfg.switch_lp(id), routing, ports }
+        SwitchLp {
+            id,
+            cfg,
+            layer,
+            pod,
+            idx,
+            my_lp: cfg.switch_lp(id),
+            routing,
+            ports,
+            faults: FaultView::new(),
+            hop_limit: 16,
+            drop_without_credit: false,
+            drops: DropCounters::default(),
+            reroutes: 0,
+        }
+    }
+
+    /// Set the per-packet hop budget (TTL) and the credit-drop mode.
+    pub fn set_fault_policy(&mut self, hop_limit: u8, drop_without_credit: bool) {
+        self.hop_limit = hop_limit;
+        self.drop_without_credit = drop_without_credit;
+    }
+
+    /// Packets discarded at this switch.
+    pub fn drops(&self) -> &DropCounters {
+        &self.drops
+    }
+
+    /// Packets steered to an alternate up-port because their first choice
+    /// was dead.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// Post-drain invariant check: every credit lent out came back.
+    pub fn audit(&self) -> Result<(), String> {
+        for p in &self.ports {
+            p.audit().map_err(|e| format!("switch {}: {e}", self.id))?;
+        }
+        Ok(())
     }
 
     /// The switch's layer.
@@ -141,38 +193,83 @@ impl SwitchLp {
         h..2 * h
     }
 
-    fn choose_up(&self, pkt: &Packet) -> usize {
+    /// A port is usable when its link is up and its switch-class peer is
+    /// alive; host links always accept ejection.
+    fn port_is_live(&self, port: usize) -> bool {
+        let p = &self.ports[port];
+        if p.class == LinkClass::Terminal {
+            return true;
+        }
+        if self.faults.link_dead(self.id, port as u32) {
+            return false;
+        }
+        let peer_sw = p.peer_lp.0 - self.cfg.num_hosts();
+        !self.faults.router_dead(peer_sw)
+    }
+
+    /// Pick an up-port among the live ones. With a clean fault view this is
+    /// identical to plain ECMP / least-queued over the full up fan.
+    fn choose_up(&self, pkt: &Packet) -> Option<usize> {
+        let live: Vec<usize> = self.up_range().filter(|&p| self.port_is_live(p)).collect();
+        if live.is_empty() {
+            return None;
+        }
         match self.routing {
             UpRouting::Ecmp => {
                 let h = (pkt.id ^ (pkt.src.0 as u64) << 17 ^ (pkt.dst.0 as u64) << 31)
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                self.up_range().start + (h >> 33) as usize % self.cfg.half() as usize
+                Some(live[(h >> 33) as usize % live.len()])
             }
-            UpRouting::Adaptive => {
-                self.up_range().min_by_key(|&p| self.ports[p].queued_bytes).expect("up ports exist")
-            }
+            UpRouting::Adaptive => live.into_iter().min_by_key(|&p| self.ports[p].queued_bytes),
         }
     }
 
-    fn route(&self, pkt: &Packet) -> usize {
+    /// Next-hop port and whether the packet was steered around dead
+    /// up-capacity. `None` means no live port can make progress: the
+    /// caller drops and counts the packet (down-paths in a tree are
+    /// unique, so a dead down-link is unroutable by construction).
+    fn route_live(&self, pkt: &Packet) -> Option<(usize, bool)> {
         let dst = pkt.dst.0;
         let h = self.cfg.half();
-        match self.layer {
+        let down = match self.layer {
             Layer::Edge => {
-                if self.cfg.edge_of_host(dst) == self.id {
-                    self.cfg.host_port(dst) as usize
-                } else {
-                    self.choose_up(pkt)
-                }
+                (self.cfg.edge_of_host(dst) == self.id).then(|| self.cfg.host_port(dst) as usize)
             }
-            Layer::Aggregation => {
-                if self.cfg.pod_of_host(dst) == self.pod {
-                    (self.cfg.edge_of_host(dst) % h) as usize
-                } else {
-                    self.choose_up(pkt)
-                }
-            }
-            Layer::Core => self.cfg.pod_of_host(dst) as usize,
+            Layer::Aggregation => (self.cfg.pod_of_host(dst) == self.pod)
+                .then(|| (self.cfg.edge_of_host(dst) % h) as usize),
+            Layer::Core => Some(self.cfg.pod_of_host(dst) as usize),
+        };
+        if let Some(port) = down {
+            return self.port_is_live(port).then_some((port, false));
+        }
+        let degraded = self.up_range().any(|p| !self.port_is_live(p));
+        self.choose_up(pkt).map(|port| (port, degraded))
+    }
+
+    #[cfg(test)]
+    fn route(&self, pkt: &Packet) -> usize {
+        self.route_live(pkt).expect("no live route for packet").0
+    }
+
+    fn drop_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, NetEvent>,
+        pkt: &Packet,
+        from: CreditReturn,
+        reason: FtDrop,
+    ) {
+        match reason {
+            FtDrop::SwitchDown => self.drops.router_down += 1,
+            FtDrop::NoRoute => self.drops.no_route += 1,
+            FtDrop::Ttl => self.drops.ttl += 1,
+        }
+        self.drops.bytes += pkt.bytes as u64;
+        if !self.drop_without_credit {
+            ctx.send(
+                from.lp,
+                from.latency,
+                NetEvent::Credit { port: from.port, vc: from.vc, bytes: from.bytes },
+            );
         }
     }
 
@@ -187,7 +284,21 @@ impl SwitchLp {
         match ev {
             NetEvent::RouterArrive { mut pkt, from } => {
                 pkt.hops = pkt.hops.saturating_add(1);
-                let port = self.route(&pkt);
+                if self.faults.router_dead(self.id) {
+                    self.drop_packet(ctx, &pkt, from, FtDrop::SwitchDown);
+                    return;
+                }
+                if pkt.hops > self.hop_limit {
+                    self.drop_packet(ctx, &pkt, from, FtDrop::Ttl);
+                    return;
+                }
+                let Some((port, rerouted)) = self.route_live(&pkt) else {
+                    self.drop_packet(ctx, &pkt, from, FtDrop::NoRoute);
+                    return;
+                };
+                if rerouted {
+                    self.reroutes += 1;
+                }
                 // Up/down routing needs no VC escape ordering: the channel
                 // dependency graph of a tree is acyclic on a single VC.
                 let action = self.ports[port].offer(ctx.now(), pkt, 0, from);
@@ -218,6 +329,22 @@ impl SwitchLp {
                 }
                 let action = self.ports[port as usize].after_xmit(now);
                 self.apply(ctx, port as usize, action);
+            }
+            NetEvent::Fault(fev) => {
+                self.faults.apply(&fev);
+                match fev {
+                    FaultEvent::DegradedLink { router, port, factor } if router == self.id => {
+                        if let Some(p) = self.ports.get_mut(port as usize) {
+                            p.set_degrade_factor(factor);
+                        }
+                    }
+                    FaultEvent::LinkUp { router, port } if router == self.id => {
+                        if let Some(p) = self.ports.get_mut(port as usize) {
+                            p.set_degrade_factor(1.0);
+                        }
+                    }
+                    _ => {}
+                }
             }
             other => unreachable!("host event delivered to switch: {other:?}"),
         }

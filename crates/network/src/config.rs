@@ -2,6 +2,7 @@
 //! buffering, packetization and sampling.
 
 use crate::routing::RoutingAlgorithm;
+use hrviz_faults::HrvizError;
 use hrviz_pdes::SimTime;
 
 /// Shape of a (1-D) Dragonfly network, after Kim et al. 2008.
@@ -37,8 +38,17 @@ impl DragonflyConfig {
     }
 
     /// The three network scales used in the paper's evaluation (§V):
-    /// 2,550 / 5,256 / 9,702 terminals. Panics for other sizes.
+    /// 2,550 / 5,256 / 9,702 terminals. Panics for other sizes; callers
+    /// handling user input should prefer [`DragonflyConfig::try_paper_scale`].
     pub fn paper_scale(terminals: u32) -> Self {
+        match Self::try_paper_scale(terminals) {
+            Ok(cfg) => cfg,
+            Err(_) => panic!("no paper configuration with {terminals} terminals"),
+        }
+    }
+
+    /// Checked variant of [`DragonflyConfig::paper_scale`].
+    pub fn try_paper_scale(terminals: u32) -> Result<Self, HrvizError> {
         let cfg = match terminals {
             2_550 => DragonflyConfig {
                 groups: 51,
@@ -58,10 +68,40 @@ impl DragonflyConfig {
                 terminals_per_router: 7,
                 global_ports: 7,
             },
-            other => panic!("no paper configuration with {other} terminals"),
+            other => {
+                return Err(HrvizError::config(format!(
+                    "no paper configuration with {other} terminals \
+                     (valid: 2550, 5256, 9702)"
+                )))
+            }
         };
         debug_assert_eq!(cfg.num_terminals(), terminals);
-        cfg
+        Ok(cfg)
+    }
+
+    /// Reject inconsistent shapes with a descriptive error: every dimension
+    /// must be at least one, and the group count must satisfy the balanced
+    /// sizing `g = a·h + 1` the channel arithmetic assumes.
+    pub fn validate(&self) -> Result<(), HrvizError> {
+        if self.groups == 0
+            || self.routers_per_group == 0
+            || self.terminals_per_router == 0
+            || self.global_ports == 0
+        {
+            return Err(HrvizError::config(format!(
+                "dragonfly dimensions must all be >= 1 \
+                 (g={}, a={}, p={}, h={})",
+                self.groups, self.routers_per_group, self.terminals_per_router, self.global_ports
+            )));
+        }
+        if !self.is_balanced() {
+            return Err(HrvizError::config(format!(
+                "unbalanced dragonfly: g must equal a*h + 1, got g={} with a*h + 1 = {}",
+                self.groups,
+                self.global_channels_per_group() + 1
+            )));
+        }
+        Ok(())
     }
 
     /// Total routers in the network.
@@ -99,6 +139,12 @@ impl LinkClassParams {
     /// Time to serialize `bytes` onto the link.
     pub fn serialize(&self, bytes: u32) -> SimTime {
         SimTime((bytes as f64 / self.bandwidth_bytes_per_ns).ceil() as u64)
+    }
+
+    /// Time to serialize `bytes` on a link running at `factor` of nominal
+    /// bandwidth (`0 < factor <= 1`; see `DegradedLink` fault events).
+    pub fn serialize_degraded(&self, bytes: u32, factor: f64) -> SimTime {
+        SimTime((bytes as f64 / (self.bandwidth_bytes_per_ns * factor)).ceil() as u64)
     }
 }
 
@@ -169,6 +215,14 @@ pub struct NetworkSpec {
     pub sampling: Option<SamplingConfig>,
     /// Master RNG seed (routing randomness).
     pub seed: u64,
+    /// Per-packet TTL: a packet whose hop count exceeds this is dropped and
+    /// counted (livelock guard through partitioned/degraded groups).
+    pub hop_limit: u8,
+    /// Diagnostics knob: when set, dropped packets do *not* return their
+    /// upstream buffer credit. This induces a genuine credit leak so tests
+    /// can exercise the engine's credit-leak auditor; leave off for
+    /// production runs.
+    pub drop_without_credit: bool,
 }
 
 impl NetworkSpec {
@@ -195,7 +249,55 @@ impl NetworkSpec {
             routing: RoutingAlgorithm::Minimal,
             sampling: None,
             seed: 0x5EED,
+            hop_limit: 16,
+            drop_without_credit: false,
         }
+    }
+
+    /// Reject inconsistent specifications with a descriptive
+    /// [`HrvizError::Config`] instead of panicking (or deadlocking)
+    /// downstream.
+    pub fn validate(&self) -> Result<(), HrvizError> {
+        self.topology.validate()?;
+        if self.num_vcs < 4 {
+            return Err(HrvizError::config(format!(
+                "stage-ordered VC discipline requires at least 4 VCs, got {}",
+                self.num_vcs
+            )));
+        }
+        if self.packet_bytes == 0 {
+            return Err(HrvizError::config("packet_bytes must be >= 1"));
+        }
+        if self.vc_buffer_bytes < self.packet_bytes {
+            return Err(HrvizError::config(format!(
+                "vc_buffer_bytes ({}) must hold at least one packet ({} bytes)",
+                self.vc_buffer_bytes, self.packet_bytes
+            )));
+        }
+        if self.hop_limit == 0 {
+            return Err(HrvizError::config("hop_limit must be >= 1"));
+        }
+        for (label, link) in [
+            ("terminal", self.terminal_link),
+            ("local", self.local_link),
+            ("global", self.global_link),
+        ] {
+            // NaN must fail too, so avoid a plain `<= 0.0` comparison.
+            let bw_ok =
+                link.bandwidth_bytes_per_ns > 0.0 && link.bandwidth_bytes_per_ns.is_finite();
+            if !bw_ok {
+                return Err(HrvizError::config(format!(
+                    "{label} link bandwidth must be positive and finite, got {}",
+                    link.bandwidth_bytes_per_ns
+                )));
+            }
+            if link.latency == SimTime::ZERO {
+                return Err(HrvizError::config(format!(
+                    "{label} link latency must be > 0 (it is the PDES lookahead)"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Builder-style: set routing.
@@ -213,6 +315,12 @@ impl NetworkSpec {
     /// Builder-style: enable time-series sampling.
     pub fn with_sampling(mut self, bin_width: SimTime, max_bins: usize) -> Self {
         self.sampling = Some(SamplingConfig { bin_width, max_bins });
+        self
+    }
+
+    /// Builder-style: set the per-packet TTL.
+    pub fn with_hop_limit(mut self, hop_limit: u8) -> Self {
+        self.hop_limit = hop_limit;
         self
     }
 
@@ -261,6 +369,81 @@ mod tests {
     #[should_panic(expected = "no paper configuration")]
     fn unknown_scale_panics() {
         DragonflyConfig::paper_scale(1234);
+    }
+
+    #[test]
+    fn try_paper_scale_rejects_unknown_sizes_cleanly() {
+        let e = DragonflyConfig::try_paper_scale(1234).unwrap_err();
+        assert_eq!(e.exit_code(), 3);
+        assert!(e.to_string().contains("1234"));
+        assert!(DragonflyConfig::try_paper_scale(2_550).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_group_count() {
+        let mut c = DragonflyConfig::canonical(2); // g = 9
+        c.groups = 10; // violates g = a*h + 1
+        let e = c.validate().unwrap_err();
+        assert!(e.to_string().contains("a*h + 1"), "{e}");
+        assert!(DragonflyConfig::canonical(2).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_dimensions() {
+        for field in 0..4 {
+            let mut c = DragonflyConfig::canonical(2);
+            match field {
+                0 => c.groups = 0,
+                1 => c.routers_per_group = 0,
+                2 => c.terminals_per_router = 0,
+                _ => c.global_ports = 0,
+            }
+            let e = c.validate().unwrap_err();
+            assert!(e.to_string().contains(">= 1"), "field {field}: {e}");
+        }
+    }
+
+    #[test]
+    fn spec_validate_rejects_too_few_vcs() {
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.num_vcs = 3;
+        let e = s.validate().unwrap_err();
+        assert!(e.to_string().contains("4 VCs"), "{e}");
+    }
+
+    #[test]
+    fn spec_validate_rejects_zero_buffers_and_packets() {
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.vc_buffer_bytes = 0;
+        assert!(s.validate().unwrap_err().to_string().contains("vc_buffer_bytes"));
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.packet_bytes = 0;
+        assert!(s.validate().unwrap_err().to_string().contains("packet_bytes"));
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.vc_buffer_bytes = s.packet_bytes - 1;
+        assert!(s.validate().unwrap_err().to_string().contains("at least one packet"));
+    }
+
+    #[test]
+    fn spec_validate_rejects_degenerate_links_and_ttl() {
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.hop_limit = 0;
+        assert!(s.validate().unwrap_err().to_string().contains("hop_limit"));
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.global_link.bandwidth_bytes_per_ns = 0.0;
+        assert!(s.validate().unwrap_err().to_string().contains("bandwidth"));
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.local_link.latency = SimTime::ZERO;
+        assert!(s.validate().unwrap_err().to_string().contains("latency"));
+        assert!(NetworkSpec::new(DragonflyConfig::canonical(2)).validate().is_ok());
+    }
+
+    #[test]
+    fn degraded_serialization_scales_with_factor() {
+        let l = LinkClassParams { bandwidth_bytes_per_ns: 4.0, latency: SimTime::nanos(10) };
+        assert_eq!(l.serialize_degraded(8, 1.0), l.serialize(8));
+        assert_eq!(l.serialize_degraded(8, 0.5), SimTime(4));
+        assert_eq!(l.serialize_degraded(8, 0.25), SimTime(8));
     }
 
     #[test]

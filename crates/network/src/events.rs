@@ -55,4 +55,7 @@ pub enum NetEvent {
     },
     /// The terminal's injection channel finished serializing a packet.
     TerminalXmitDone,
+    /// A fault-schedule condition change, broadcast to every router at its
+    /// trigger time (terminals never receive faults).
+    Fault(hrviz_faults::FaultEvent),
 }

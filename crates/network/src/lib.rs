@@ -56,8 +56,10 @@ pub mod topology;
 pub mod traffic;
 
 pub use config::{DragonflyConfig, LinkClass, LinkClassParams, NetworkSpec, SamplingConfig};
+pub use hrviz_faults::{FaultEvent, FaultSchedule, FaultView, HrvizError, TimedFault};
 pub use metrics::{ClassSeries, JobStats, LinkRecord, RouterRecord, RunData, TerminalRecord};
 pub use packet::{JobId, Packet, RoutePlan, NO_JOB};
+pub use router::DropCounters;
 pub use routing::RoutingAlgorithm;
 pub use sampling::Bins;
 pub use sim::Simulation;

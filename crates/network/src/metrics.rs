@@ -92,6 +92,13 @@ pub struct RouterRecord {
     pub local_traffic: u64,
     /// Total saturated ns on its outgoing local links.
     pub local_sat_ns: u64,
+    /// Packets this router discarded (fault drops: dead router, no live
+    /// route, hop limit).
+    pub dropped: u64,
+    /// Payload bytes across this router's dropped packets.
+    pub dropped_bytes: u64,
+    /// Packets this router diverted around a dead link.
+    pub rerouted: u64,
 }
 
 /// Network-wide per-class time series (the timeline view's data).
@@ -185,6 +192,9 @@ impl RunData {
                 router: rid,
                 group: topo.group_of_router(rid).0,
                 rank: my_rank,
+                dropped: r.drops().total(),
+                dropped_bytes: r.drops().bytes,
+                rerouted: r.reroutes(),
                 ..RouterRecord::default()
             };
             for port in r.ports() {
@@ -273,7 +283,9 @@ impl RunData {
             let mut latency_sum = Bins::new(sampling);
             let mut recv_count = Bins::new(sampling);
             let mut hops_sum = Bins::new(sampling);
-            let class_slot = |c: LinkClass| LinkClass::ALL.iter().position(|&x| x == c).unwrap();
+            let class_slot = |c: LinkClass| {
+                LinkClass::ALL.iter().position(|&x| x == c).expect("ALL covers every class")
+            };
             for l in local_links.iter().chain(&global_links) {
                 let slot = class_slot(l.class);
                 if let Some(b) = &l.traffic_bins {
@@ -365,6 +377,22 @@ impl RunData {
     /// Total bytes injected by terminals.
     pub fn total_injected(&self) -> u64 {
         self.terminals.iter().map(|t| t.data_bytes).sum()
+    }
+
+    /// Total packets dropped by routers under fault conditions.
+    pub fn total_dropped(&self) -> u64 {
+        self.routers.iter().map(|r| r.dropped).sum()
+    }
+
+    /// Total payload bytes across all fault drops (byte-conservation checks:
+    /// `total_delivered() + dropped_bytes() == total_injected()`).
+    pub fn dropped_bytes(&self) -> u64 {
+        self.routers.iter().map(|r| r.dropped_bytes).sum()
+    }
+
+    /// Total packets routers diverted around dead links.
+    pub fn total_rerouted(&self) -> u64 {
+        self.routers.iter().map(|r| r.rerouted).sum()
     }
 
     /// Sum of `traffic` over links of a class (terminal class sums

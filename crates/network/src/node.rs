@@ -56,4 +56,11 @@ impl Lp<NetEvent> for NetNode {
             NetNode::Router(r) => r.on_finish(now),
         }
     }
+
+    fn audit(&self) -> Result<(), String> {
+        match self {
+            NetNode::Terminal(t) => t.audit(),
+            NetNode::Router(r) => r.audit(),
+        }
+    }
 }

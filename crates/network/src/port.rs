@@ -56,6 +56,8 @@ pub struct OutPort {
     pub stalls: u64,
     /// Per-VC credit pool size (for occupancy normalization).
     vc_buffer_bytes: u32,
+    /// Bandwidth fraction retained (fault-schedule degrade; 1.0 = healthy).
+    degrade: f64,
     sat_since: Option<SimTime>,
     /// Optional time series.
     pub traffic_bins: Option<Bins>,
@@ -109,6 +111,7 @@ impl OutPort {
             sat_ns: 0,
             stalls: 0,
             vc_buffer_bytes,
+            degrade: 1.0,
             sat_since: None,
             traffic_bins: sampling.map(Bins::new),
             sat_bins: sampling.map(Bins::new),
@@ -118,6 +121,44 @@ impl OutPort {
     /// Number of virtual channels.
     pub fn num_vcs(&self) -> usize {
         self.vcs.len()
+    }
+
+    /// Set the bandwidth fraction retained on this link. Takes effect for
+    /// serializations that start after the call; an in-flight packet keeps
+    /// its already-scheduled finish time.
+    pub fn set_degrade_factor(&mut self, factor: f64) {
+        self.degrade = if factor.is_finite() { factor.clamp(1e-6, 1.0) } else { 1.0 };
+    }
+
+    /// End-of-run invariant check: with the network drained, every credit
+    /// must be back home and no packet may still be parked or queued.
+    pub fn audit(&self) -> Result<(), String> {
+        for (i, v) in self.vcs.iter().enumerate() {
+            if v.credits != self.vc_buffer_bytes as i64 {
+                return Err(format!(
+                    "{:?} port {}: vc {} holds {} of {} credits after drain",
+                    self.class, self.class_idx, i, v.credits, self.vc_buffer_bytes
+                ));
+            }
+            if !v.pending.is_empty() {
+                return Err(format!(
+                    "{:?} port {}: vc {} still has {} parked packets after drain",
+                    self.class,
+                    self.class_idx,
+                    i,
+                    v.pending.len()
+                ));
+            }
+        }
+        if !self.xmit_q.is_empty() {
+            return Err(format!(
+                "{:?} port {}: {} packets still queued for serialization after drain",
+                self.class,
+                self.class_idx,
+                self.xmit_q.len()
+            ));
+        }
+        Ok(())
     }
 
     /// Credits currently available on `vc` (can be transiently negative
@@ -209,7 +250,7 @@ impl OutPort {
         if let Some(b) = &mut self.traffic_bins {
             b.add_at(now, bytes as u64);
         }
-        PortAction::StartXmit { finish: now + self.params.serialize(bytes) }
+        PortAction::StartXmit { finish: now + self.params.serialize_degraded(bytes, self.degrade) }
     }
 
     /// Serialization finished: pop the transmitted packet. The caller sends
@@ -404,6 +445,31 @@ mod tests {
         let _ = p.credit(SimTime(10), 0, 500);
         let occ: Vec<f64> = p.vc_peak_occupancies().collect();
         assert_eq!(occ[0], 0.5);
+    }
+
+    #[test]
+    fn degraded_link_serializes_slower() {
+        let mut p = port(1000);
+        p.set_degrade_factor(0.5);
+        let act = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        assert_eq!(act, PortAction::StartXmit { finish: SimTime(200) });
+        // Restoring full speed restores nominal serialization.
+        p.set_degrade_factor(1.0);
+        let _ = p.complete_xmit(SimTime(200));
+        let act = p.offer(SimTime(200), pkt(2, 100, 0), 0, ret());
+        assert_eq!(act, PortAction::StartXmit { finish: SimTime(300) });
+    }
+
+    #[test]
+    fn audit_flags_outstanding_credit_until_drained() {
+        let mut p = port(1000);
+        assert!(p.audit().is_ok());
+        let _ = p.offer(SimTime(0), pkt(1, 100, 0), 0, ret());
+        assert!(p.audit().is_err()); // packet queued, credit debited
+        let _ = p.complete_xmit(SimTime(100));
+        assert!(p.audit().is_err()); // credit still downstream
+        let _ = p.credit(SimTime(120), 0, 100);
+        assert!(p.audit().is_ok());
     }
 
     #[test]

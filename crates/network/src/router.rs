@@ -14,10 +14,41 @@ use crate::routing::{
     vc_for_step, RoutingAlgorithm, Step,
 };
 use crate::topology::{GroupId, RouterId, Topology};
+use hrviz_faults::{FaultEvent, FaultView};
 use hrviz_pdes::{Ctx, LpId, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// How many intermediate-group candidates a reroute samples before giving
+/// up and counting the packet as undeliverable.
+const REROUTE_ATTEMPTS: u32 = 8;
+
+/// Packets discarded at a router, broken down by cause.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DropCounters {
+    /// Dropped because this router was marked down by the fault schedule.
+    pub router_down: u64,
+    /// Dropped because every viable next hop was dead.
+    pub no_route: u64,
+    /// Dropped because the per-packet hop limit was exceeded.
+    pub ttl: u64,
+    /// Total payload bytes across all drops.
+    pub bytes: u64,
+}
+
+impl DropCounters {
+    /// Total dropped packets, all causes.
+    pub fn total(&self) -> u64 {
+        self.router_down + self.no_route + self.ttl
+    }
+}
+
+enum DropReason {
+    RouterDown,
+    NoRoute,
+    Ttl,
+}
 
 /// Router logical process.
 #[derive(Debug)]
@@ -29,6 +60,11 @@ pub struct RouterLp {
     routing: RoutingAlgorithm,
     ports: Vec<OutPort>,
     rng: StdRng,
+    faults: FaultView,
+    hop_limit: u8,
+    drop_without_credit: bool,
+    drops: DropCounters,
+    reroutes: u64,
 }
 
 impl RouterLp {
@@ -86,12 +122,42 @@ impl RouterLp {
         let rng = StdRng::seed_from_u64(
             spec.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(my_lp.0 as u64 + 1)),
         );
-        RouterLp { id, my_lp, topo, routing: spec.routing, ports, rng }
+        RouterLp {
+            id,
+            my_lp,
+            topo,
+            routing: spec.routing,
+            ports,
+            rng,
+            faults: FaultView::new(),
+            hop_limit: spec.hop_limit,
+            drop_without_credit: spec.drop_without_credit,
+            drops: DropCounters::default(),
+            reroutes: 0,
+        }
     }
 
     /// The router's out ports (metric extraction).
     pub fn ports(&self) -> &[OutPort] {
         &self.ports
+    }
+
+    /// Packets discarded at this router (metric extraction).
+    pub fn drops(&self) -> &DropCounters {
+        &self.drops
+    }
+
+    /// Packets this router diverted around a dead link.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
+    /// End-of-run credit-conservation check across all out ports.
+    pub fn audit(&self) -> Result<(), String> {
+        for p in &self.ports {
+            p.audit().map_err(|e| format!("router {}: {e}", self.id.0))?;
+        }
+        Ok(())
     }
 
     fn step_port(&self, step: Step) -> usize {
@@ -104,6 +170,79 @@ impl RouterLp {
 
     fn queued(&self, step: Step) -> u64 {
         self.ports[self.step_port(step)].queued_bytes
+    }
+
+    /// Whether the out link a step uses is up and its far-end router alive.
+    /// Ejection links never fail (a dead router is modeled at the router).
+    fn step_is_live(&self, step: Step) -> bool {
+        if matches!(step, Step::Eject(_)) {
+            return true;
+        }
+        let port = self.step_port(step);
+        if self.faults.link_dead(self.id.0, port as u32) {
+            return false;
+        }
+        let peer = RouterId(self.ports[port].peer_lp.0 - self.topo.config().num_terminals());
+        !self.faults.router_dead(peer.0)
+    }
+
+    /// Try to divert a packet around a dead next hop: sample intermediate
+    /// groups until one is reachable over live links. Only legal while the
+    /// packet is still in its source group with no global hops taken — the
+    /// divert rides the same VC stage as a PAR divert, so the channel
+    /// dependency order (and thus deadlock freedom) is preserved.
+    fn reroute_step(
+        &mut self,
+        pkt: &mut Packet,
+        src_group: GroupId,
+        my_group: GroupId,
+        dst_group: GroupId,
+    ) -> Option<Step> {
+        let adaptive = !matches!(self.routing, RoutingAlgorithm::Minimal);
+        if !adaptive
+            || my_group != src_group
+            || my_group == dst_group
+            || pkt.global_hops != 0
+            || pkt.diverted
+        {
+            return None;
+        }
+        for _ in 0..REROUTE_ATTEMPTS {
+            let gi = random_intermediate(&self.topo, &mut self.rng, my_group, dst_group)?;
+            let step = toward_group(&self.topo, self.id, gi);
+            if self.step_is_live(step) {
+                pkt.plan = RoutePlan::Via(gi);
+                pkt.diverted = true;
+                return Some(step);
+            }
+        }
+        None
+    }
+
+    /// Discard a packet, count it, and (normally) return the upstream
+    /// credit so the drop does not consume buffer space forever. The
+    /// `drop_without_credit` knob suppresses the return to deliberately
+    /// induce a credit leak for auditor tests.
+    fn drop_packet(
+        &mut self,
+        ctx: &mut Ctx<'_, NetEvent>,
+        pkt: &Packet,
+        from: CreditReturn,
+        reason: DropReason,
+    ) {
+        match reason {
+            DropReason::RouterDown => self.drops.router_down += 1,
+            DropReason::NoRoute => self.drops.no_route += 1,
+            DropReason::Ttl => self.drops.ttl += 1,
+        }
+        self.drops.bytes += pkt.bytes as u64;
+        if !self.drop_without_credit {
+            ctx.send(
+                from.lp,
+                from.latency,
+                NetEvent::Credit { port: from.port, vc: from.vc, bytes: from.bytes },
+            );
+        }
     }
 
     /// UGAL-L comparison from this router; returns the intermediate group
@@ -171,6 +310,19 @@ impl RouterLp {
         let my_group = self.topo.group_of_router(self.id);
         let dst_group = self.topo.group_of_router(dst_router);
 
+        // A down router refuses new work; in-flight traffic already granted
+        // credit keeps draining so credit conservation holds.
+        if self.faults.router_dead(self.id.0) {
+            self.drop_packet(ctx, &pkt, from, DropReason::RouterDown);
+            return;
+        }
+        // Hop-limit guard: a packet trapped by churning faults is counted
+        // and discarded, never left to cycle forever.
+        if pkt.hops > self.hop_limit {
+            self.drop_packet(ctx, &pkt, from, DropReason::Ttl);
+            return;
+        }
+
         // Plan transitions.
         match pkt.plan {
             RoutePlan::Decide => {
@@ -205,10 +357,24 @@ impl RouterLp {
             }
         }
 
-        let step = match pkt.plan {
+        let mut step = match pkt.plan {
             RoutePlan::Via(gi) => toward_group(&self.topo, self.id, gi),
             _ => minimal_step(&self.topo, self.id, dst_router, self.topo.terminal_port(pkt.dst)),
         };
+        // Degraded-mode routing: a dead next hop is either diverted around
+        // (adaptive policies, while still legal) or a counted drop.
+        if !self.step_is_live(step) {
+            match self.reroute_step(&mut pkt, src_group, my_group, dst_group) {
+                Some(live) => {
+                    step = live;
+                    self.reroutes += 1;
+                }
+                None => {
+                    self.drop_packet(ctx, &pkt, from, DropReason::NoRoute);
+                    return;
+                }
+            }
+        }
         let vc = vc_for_step(
             step,
             pkt.global_hops,
@@ -272,6 +438,23 @@ impl RouterLp {
                 }
                 let action = self.ports[port as usize].after_xmit(now);
                 self.apply(ctx, port as usize, action);
+            }
+            NetEvent::Fault(fev) => {
+                self.faults.apply(&fev);
+                // Degrade factors act on this router's own out ports.
+                match fev {
+                    FaultEvent::DegradedLink { router, port, factor } if router == self.id.0 => {
+                        if let Some(p) = self.ports.get_mut(port as usize) {
+                            p.set_degrade_factor(factor);
+                        }
+                    }
+                    FaultEvent::LinkUp { router, port } if router == self.id.0 => {
+                        if let Some(p) = self.ports.get_mut(port as usize) {
+                            p.set_degrade_factor(1.0);
+                        }
+                    }
+                    _ => {}
+                }
             }
             NetEvent::InjectWake | NetEvent::TerminalXmitDone | NetEvent::TerminalArrive { .. } => {
                 unreachable!("terminal event delivered to router")
@@ -471,6 +654,131 @@ mod tests {
         let NetEvent::XmitDone { port } = out[0].payload else { panic!() };
         // local port to rank 1 = p + 1 = 3.
         assert_eq!(port, 3);
+    }
+
+    #[test]
+    fn dead_router_drops_arrivals_and_returns_credit() {
+        let spec = spec();
+        let mut r = RouterLp::new(&spec, RouterId(0));
+        let _ = drive(&mut r, SimTime(0), NetEvent::Fault(FaultEvent::RouterDown { router: 0 }));
+        let out = drive(
+            &mut r,
+            SimTime(10),
+            NetEvent::RouterArrive { pkt: pkt_to(5, 1), from: terminal_from(5) },
+        );
+        // Upstream credit comes back; nothing is forwarded.
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, NetEvent::Credit { bytes: 1024, .. }));
+        assert_eq!(out[0].key.dst, LpId(5));
+        assert_eq!(r.drops().router_down, 1);
+        assert_eq!(r.drops().bytes, 1024);
+        // RouterUp restores service.
+        let _ = drive(&mut r, SimTime(20), NetEvent::Fault(FaultEvent::RouterUp { router: 0 }));
+        let out = drive(
+            &mut r,
+            SimTime(30),
+            NetEvent::RouterArrive { pkt: pkt_to(5, 1), from: terminal_from(5) },
+        );
+        assert!(matches!(out[0].payload, NetEvent::XmitDone { .. }));
+    }
+
+    #[test]
+    fn hop_limit_exceeded_is_counted_ttl_drop() {
+        let spec = spec(); // hop_limit defaults to 16
+        let mut r = RouterLp::new(&spec, RouterId(0));
+        let mut p = pkt_to(5, 1);
+        p.hops = spec.hop_limit; // arrival increments past the limit
+        let out =
+            drive(&mut r, SimTime(0), NetEvent::RouterArrive { pkt: p, from: terminal_from(5) });
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, NetEvent::Credit { .. }));
+        assert_eq!(r.drops().ttl, 1);
+    }
+
+    #[test]
+    fn minimal_routing_counts_drop_on_dead_global_link() {
+        let spec = spec();
+        let topo = Topology::new(spec.topology);
+        let dst = TerminalId(spec.topology.num_terminals() - 1);
+        let dst_group = topo.group_of_router(topo.router_of_terminal(dst));
+        let (gw, gp) = topo.gateway(GroupId(0), dst_group);
+        let src_terminal = topo.terminal_of(gw, 0);
+        let mut r = RouterLp::new(&spec, gw);
+        let _ = drive(
+            &mut r,
+            SimTime(0),
+            NetEvent::Fault(FaultEvent::LinkDown { router: gw.0, port: topo.global_port(gp) }),
+        );
+        let out = drive(
+            &mut r,
+            SimTime(10),
+            NetEvent::RouterArrive {
+                pkt: pkt_to(src_terminal.0, dst.0),
+                from: terminal_from(src_terminal.0),
+            },
+        );
+        assert!(matches!(out[0].payload, NetEvent::Credit { .. }));
+        assert_eq!(r.drops().no_route, 1);
+        assert_eq!(r.reroutes(), 0);
+    }
+
+    #[test]
+    fn adaptive_routing_diverts_around_dead_global_link() {
+        let mut s = NetworkSpec::new(DragonflyConfig::canonical(2));
+        s.num_vcs = 4;
+        s.routing = RoutingAlgorithm::adaptive_default();
+        let spec = Arc::new(s);
+        let topo = Topology::new(spec.topology);
+        let dst = TerminalId(spec.topology.num_terminals() - 1);
+        let dst_group = topo.group_of_router(topo.router_of_terminal(dst));
+        let (gw, gp) = topo.gateway(GroupId(0), dst_group);
+        let src_terminal = topo.terminal_of(gw, 0);
+        let mut r = RouterLp::new(&spec, gw);
+        let _ = drive(
+            &mut r,
+            SimTime(0),
+            NetEvent::Fault(FaultEvent::LinkDown { router: gw.0, port: topo.global_port(gp) }),
+        );
+        let out = drive(
+            &mut r,
+            SimTime(10),
+            NetEvent::RouterArrive {
+                pkt: pkt_to(src_terminal.0, dst.0),
+                from: terminal_from(src_terminal.0),
+            },
+        );
+        // The packet is granted on some live port instead of being dropped.
+        assert!(matches!(out[0].payload, NetEvent::XmitDone { .. }));
+        assert_eq!(r.reroutes(), 1);
+        assert_eq!(r.drops().total(), 0);
+    }
+
+    #[test]
+    fn degraded_link_fault_slows_own_port() {
+        let spec = spec();
+        let mut r = RouterLp::new(&spec, RouterId(0));
+        // Halve the ejection port for terminal 1 (port index 1).
+        let _ = drive(
+            &mut r,
+            SimTime(0),
+            NetEvent::Fault(FaultEvent::DegradedLink { router: 0, port: 1, factor: 0.5 }),
+        );
+        let out = drive(
+            &mut r,
+            SimTime(0),
+            NetEvent::RouterArrive { pkt: pkt_to(5, 1), from: terminal_from(5) },
+        );
+        let healthy = {
+            let mut r2 = RouterLp::new(&spec, RouterId(0));
+            let out2 = drive(
+                &mut r2,
+                SimTime(0),
+                NetEvent::RouterArrive { pkt: pkt_to(5, 1), from: terminal_from(5) },
+            );
+            out2[0].key.time
+        };
+        assert!(out[0].key.time > healthy);
+        assert_eq!(out[0].key.time, spec.terminal_link.serialize_degraded(1024, 0.5));
     }
 
     #[test]

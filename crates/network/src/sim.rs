@@ -6,6 +6,7 @@
 //! [`RunData`].
 
 use crate::config::NetworkSpec;
+use crate::events::NetEvent;
 use crate::metrics::RunData;
 use crate::node::NetNode;
 use crate::packet::JobId;
@@ -13,8 +14,9 @@ use crate::router::RouterLp;
 use crate::terminal::TerminalLp;
 use crate::topology::{RouterId, TerminalId, Topology};
 use crate::traffic::{JobMeta, MsgInjection};
-use hrviz_obs::Collector;
-use hrviz_pdes::{Engine, ParallelEngine, SimTime};
+use hrviz_faults::{FaultSchedule, HrvizError};
+use hrviz_obs::{Collector, Json};
+use hrviz_pdes::{Engine, LpId, ParallelEngine, SimTime, WatchdogConfig};
 use std::sync::Arc;
 
 /// A configured, not-yet-run simulation.
@@ -28,6 +30,10 @@ pub struct Simulation {
     horizon: SimTime,
     event_budget: u64,
     collector: Collector,
+    /// Timed fault events, broadcast to every router.
+    faults: FaultSchedule,
+    /// Engine watchdog override (engine default when `None`).
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl Simulation {
@@ -48,7 +54,16 @@ impl Simulation {
             horizon: SimTime::MAX,
             event_budget: u64::MAX,
             collector: Collector::disabled(),
+            faults: FaultSchedule::new(0),
+            watchdog: None,
         }
+    }
+
+    /// Like [`Simulation::new`] but validating the whole spec up front and
+    /// returning a descriptive error instead of panicking.
+    pub fn try_new(spec: NetworkSpec) -> Result<Self, HrvizError> {
+        spec.validate()?;
+        Ok(Simulation::new(spec))
     }
 
     /// Attach a telemetry collector: the engine reports event counters, the
@@ -105,6 +120,42 @@ impl Simulation {
         self
     }
 
+    /// Attach a fault schedule. Each timed event is broadcast to every
+    /// router at its trigger time over the engines' deterministic external
+    /// injection path, so sequential and parallel runs stay bit-identical.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Override the engine watchdog (no-progress detector) configuration.
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
+    }
+
+    /// Broadcast the fault schedule through `schedule` and report it.
+    fn broadcast_faults(&self, mut schedule: impl FnMut(SimTime, LpId, NetEvent)) {
+        if self.faults.is_empty() {
+            return;
+        }
+        let cfg = self.spec.topology;
+        for tf in self.faults.events() {
+            self.collector.event(
+                "fault_injected",
+                &[
+                    ("time_ns", Json::U64(tf.time.0)),
+                    ("kind", Json::Str(tf.fault.kind().to_string())),
+                    ("router", Json::U64(tf.fault.router() as u64)),
+                ],
+            );
+            for r in 0..cfg.num_routers() {
+                schedule(tf.time, self.topo.router_lp(RouterId(r)), NetEvent::Fault(tf.fault));
+            }
+        }
+        self.collector.counter_add("net/fault_events", self.faults.len() as u64);
+    }
+
     fn build_nodes(&mut self) -> Vec<NetNode> {
         let cfg = self.spec.topology;
         let nt = cfg.num_terminals();
@@ -139,18 +190,45 @@ impl Simulation {
         nodes
     }
 
-    /// Run on the sequential engine.
-    pub fn run(mut self) -> RunData {
+    /// Run on the sequential engine. Panics if the watchdog or the
+    /// end-of-run credit auditor reports a failure — use
+    /// [`Simulation::try_run`] for structured errors.
+    pub fn run(self) -> RunData {
+        match self.run_inner(false) {
+            Ok(run) => run,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+
+    /// Run on the sequential engine with watchdog and end-of-run credit
+    /// auditing: silent deadlocks come back as structured errors.
+    pub fn try_run(self) -> Result<RunData, HrvizError> {
+        self.run_inner(true)
+    }
+
+    fn run_inner(mut self, checked: bool) -> Result<RunData, HrvizError> {
         let collector = self.collector.clone();
         let span = collector.span("sim/run");
         let nodes = self.build_nodes();
         let mut engine = Engine::new(nodes, self.spec.lookahead());
         engine.set_collector(collector.clone());
         engine.set_event_budget(self.event_budget);
+        if let Some(w) = self.watchdog {
+            engine.set_watchdog(w);
+        }
+        self.broadcast_faults(|t, lp, ev| engine.schedule(t, lp, ev));
         if self.horizon == SimTime::MAX {
-            engine.run_to_completion();
+            if checked {
+                engine.try_run_to_completion()?;
+            } else {
+                engine.run_to_completion();
+            }
         } else {
-            engine.run_until(self.horizon);
+            if checked {
+                engine.try_run_until(self.horizon)?;
+            } else {
+                engine.run_until(self.horizon);
+            }
             let now = engine.now();
             // Finalize open intervals at the horizon.
             for i in 0..engine.num_lps() {
@@ -166,12 +244,30 @@ impl Simulation {
         };
         report_network(&collector, &nodes, &run);
         span.end();
-        run
+        Ok(run)
     }
 
     /// Run on the conservative parallel engine with `partitions` workers.
     /// Produces results identical to [`Simulation::run`].
-    pub fn run_parallel(mut self, partitions: usize) -> RunData {
+    pub fn run_parallel(self, partitions: usize) -> RunData {
+        match self.run_parallel_inner(partitions, false) {
+            Ok(run) => run,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+
+    /// Checked variant of [`Simulation::run_parallel`]: watchdog trips and
+    /// credit-audit failures surface as structured errors. Produces results
+    /// identical to [`Simulation::try_run`].
+    pub fn try_run_parallel(self, partitions: usize) -> Result<RunData, HrvizError> {
+        self.run_parallel_inner(partitions, true)
+    }
+
+    fn run_parallel_inner(
+        mut self,
+        partitions: usize,
+        checked: bool,
+    ) -> Result<RunData, HrvizError> {
         assert!(
             self.horizon == SimTime::MAX && self.event_budget == u64::MAX,
             "horizon/budget bounds are only supported on the sequential engine"
@@ -181,7 +277,12 @@ impl Simulation {
         let nodes = self.build_nodes();
         let mut engine = ParallelEngine::new(nodes, self.spec.lookahead(), partitions);
         engine.set_collector(collector.clone());
-        let stats = engine.run_to_completion();
+        if let Some(w) = self.watchdog {
+            engine.set_watchdog(w);
+        }
+        self.broadcast_faults(|t, lp, ev| engine.schedule(t, lp, ev));
+        let stats =
+            if checked { engine.try_run_to_completion()? } else { engine.run_to_completion() };
         let nodes = engine.into_lps();
         let run = {
             let _extract = collector.span("sim/extract");
@@ -189,7 +290,7 @@ impl Simulation {
         };
         report_network(&collector, &nodes, &run);
         span.end();
-        run
+        Ok(run)
     }
 }
 
@@ -203,6 +304,8 @@ fn report_network(c: &Collector, nodes: &[NetNode], run: &RunData) {
     c.counter_add("net/packets_delivered", run.terminals.iter().map(|t| t.packets_finished).sum());
     c.counter_add("net/bytes_injected", run.total_injected());
     c.counter_add("net/bytes_delivered", run.total_delivered());
+    c.counter_add("net/packets_dropped", run.total_dropped());
+    c.counter_add("net/packets_rerouted", run.total_rerouted());
     // 21 buckets of 0.05 over [0, 1.05): exact 1.0 lands in the last bucket.
     c.hist_ensure("net/vc_occupancy", 0.0, 0.05, 21);
     let mut stalls = 0u64;
@@ -511,6 +614,119 @@ mod tests {
         let total_sat: u64 = run.terminals.iter().map(|t| t.sat_ns).sum();
         assert!(total_sat > 0, "incast must have saturated by the horizon");
         assert!(run.terminals.iter().all(|t| t.sat_ns <= horizon));
+    }
+
+    #[test]
+    fn router_down_mid_run_completes_with_counted_drops() {
+        use hrviz_faults::FaultEvent;
+        let topo = Topology::new(small_spec().topology);
+        let dst_router = topo.router_of_terminal(TerminalId(71));
+        let mut faults = FaultSchedule::new(1);
+        faults.push(SimTime::micros(5), FaultEvent::RouterDown { router: dst_router.0 });
+        let mut sim = Simulation::new(small_spec()).with_faults(faults);
+        for k in 0..50u64 {
+            sim.inject(msg(k * 1_000, 0, 71, 2048));
+        }
+        let run = sim.try_run().expect("faulted run must complete cleanly");
+        assert!(run.total_delivered() > 0, "pre-fault packets must land");
+        assert!(run.total_dropped() > 0, "post-fault packets must be counted drops");
+        assert_eq!(
+            run.total_delivered() + run.total_dropped() * 2048,
+            run.total_injected(),
+            "every packet is either delivered or a counted drop"
+        );
+        // Drops land at the dead router itself (in-flight arrivals) and at
+        // its neighbors, whose liveness check sees the dead peer.
+        let dst_group = topo.group_of_router(dst_router).0;
+        for r in &run.routers {
+            assert!(r.dropped == 0 || r.group == dst_group, "drop outside the faulted group");
+        }
+        assert!(run.routers[dst_router.0 as usize].dropped > 0);
+    }
+
+    #[test]
+    fn fault_counters_reach_the_collector() {
+        use hrviz_faults::FaultEvent;
+        use hrviz_obs::Collector;
+        let topo = Topology::new(small_spec().topology);
+        let dst_router = topo.router_of_terminal(TerminalId(71));
+        let mut faults = FaultSchedule::new(1);
+        faults.push(SimTime::ZERO, FaultEvent::RouterDown { router: dst_router.0 });
+        let c = Collector::enabled();
+        let mut sim = Simulation::new(small_spec()).with_faults(faults).with_collector(c.clone());
+        sim.inject(msg(0, 0, 71, 4096));
+        let run = sim.try_run().expect("clean completion");
+        assert_eq!(c.counter("net/fault_events"), 1);
+        assert_eq!(c.counter("net/packets_dropped"), run.total_dropped());
+        assert!(run.total_dropped() > 0);
+        let events = c.drain_events();
+        assert!(events.iter().any(|e| e.contains("fault_injected")));
+    }
+
+    #[test]
+    fn blackhole_drop_trips_credit_auditor() {
+        use hrviz_faults::{FaultEvent, HrvizError};
+        use hrviz_pdes::SimError;
+        let mut spec = small_spec();
+        spec.drop_without_credit = true;
+        let topo = Topology::new(spec.topology);
+        let dst_router = topo.router_of_terminal(TerminalId(71));
+        let mut faults = FaultSchedule::new(1);
+        faults.push(SimTime::ZERO, FaultEvent::RouterDown { router: dst_router.0 });
+        let mut sim = Simulation::new(spec).with_faults(faults);
+        for k in 0..10u64 {
+            sim.inject(msg(k * 100, 0, 71, 2048));
+        }
+        let err = sim.try_run().expect_err("swallowed credits must fail the audit");
+        assert!(matches!(err, HrvizError::Sim(SimError::Invariant { .. })), "got {err}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_faults() {
+        use hrviz_faults::FaultEvent;
+        let build = || {
+            let cfg = small_spec().topology;
+            let mut faults = FaultSchedule::new(3);
+            // Global port 0 of router 0 (port index p + a = 6).
+            faults.push(SimTime::ZERO, FaultEvent::LinkDown { router: 0, port: 6 });
+            faults.push(SimTime::micros(2), FaultEvent::RouterDown { router: 17 });
+            faults.push(SimTime::micros(4), FaultEvent::RouterUp { router: 17 });
+            faults.push(
+                SimTime::micros(1),
+                FaultEvent::DegradedLink { router: 5, port: 3, factor: 0.5 },
+            );
+            assert!(17 < cfg.num_routers());
+            let mut sim =
+                Simulation::new(small_spec().with_routing(RoutingAlgorithm::adaptive_default()))
+                    .with_faults(faults);
+            for src in 0..72u32 {
+                sim.inject(msg(0, src, (src + 36) % 72, 16 * 1024));
+            }
+            sim
+        };
+        let seq = build().try_run().expect("sequential");
+        let par = build().try_run_parallel(4).expect("parallel");
+        assert_eq!(seq.events_processed, par.events_processed);
+        assert_eq!(seq.end_time, par.end_time);
+        assert_eq!(seq.total_delivered(), par.total_delivered());
+        assert_eq!(seq.total_dropped(), par.total_dropped());
+        assert_eq!(seq.total_rerouted(), par.total_rerouted());
+        for (a, b) in seq.routers.iter().zip(&par.routers) {
+            assert_eq!(a.dropped, b.dropped);
+            assert_eq!(a.rerouted, b.rerouted);
+        }
+        for (a, b) in seq.terminals.iter().zip(&par.terminals) {
+            assert_eq!(a.packets_finished, b.packets_finished);
+            assert_eq!(a.avg_latency_ns, b.avg_latency_ns);
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_spec() {
+        let mut spec = small_spec();
+        spec.num_vcs = 2;
+        let Err(err) = Simulation::try_new(spec) else { panic!("2 VCs must be rejected") };
+        assert!(err.to_string().contains("4 VCs"), "got {err}");
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub struct TerminalLp {
     link: LinkClassParams,
     packet_bytes: u32,
     credits: i64,
+    initial_credits: i64,
     queue: VecDeque<Packet>,
     in_flight: Option<Packet>,
     blocked_since: Option<SimTime>,
@@ -116,6 +117,7 @@ impl TerminalLp {
             link,
             packet_bytes,
             credits: vc_buffer_bytes as i64,
+            initial_credits: vc_buffer_bytes as i64,
             queue: VecDeque::new(),
             in_flight: None,
             blocked_since: None,
@@ -131,6 +133,30 @@ impl TerminalLp {
         debug_assert!(schedule.windows(2).all(|w| w[0].time <= w[1].time));
         self.schedule = schedule;
         self.cursor = 0;
+    }
+
+    /// End-of-run invariant check: with the event queue drained, every
+    /// injection credit must be home and no packet stuck waiting. A deficit
+    /// here means a downstream node swallowed a packet without returning
+    /// its credit (the credit-leak deadlock the watchdog reports).
+    pub fn audit(&self) -> Result<(), String> {
+        if self.credits != self.initial_credits {
+            return Err(format!(
+                "terminal {}: holds {} of {} injection credits after drain",
+                self.id.0, self.credits, self.initial_credits
+            ));
+        }
+        if self.in_flight.is_some() {
+            return Err(format!("terminal {}: packet still in flight after drain", self.id.0));
+        }
+        if !self.queue.is_empty() {
+            return Err(format!(
+                "terminal {}: {} packets still queued after drain (credit starvation)",
+                self.id.0,
+                self.queue.len()
+            ));
+        }
+        Ok(())
     }
 
     /// Pending messages not yet injected.
@@ -251,7 +277,7 @@ impl TerminalLp {
                     NetEvent::Credit { port: from.port, vc: from.vc, bytes: from.bytes },
                 );
             }
-            NetEvent::RouterArrive { .. } | NetEvent::XmitDone { .. } => {
+            NetEvent::RouterArrive { .. } | NetEvent::XmitDone { .. } | NetEvent::Fault(_) => {
                 unreachable!("router event delivered to terminal")
             }
         }

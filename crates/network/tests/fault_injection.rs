@@ -1,0 +1,133 @@
+//! Fault-injection integration tests: deterministic replay of generated
+//! schedules and the degraded-mode routing contract (adaptive policies
+//! route around dead links, minimal routing reports counted drops).
+
+use hrviz_network::{
+    DragonflyConfig, FaultEvent, FaultSchedule, GroupId, MsgInjection, NetworkSpec,
+    RoutingAlgorithm, RunData, Simulation, TerminalId, Topology,
+};
+use hrviz_pdes::SimTime;
+use proptest::prelude::*;
+use std::fmt::Write;
+
+fn spec(routing: RoutingAlgorithm) -> NetworkSpec {
+    let mut s = NetworkSpec::new(DragonflyConfig::canonical(2)); // 72 terminals
+    s.num_vcs = 4;
+    s.routing = routing;
+    s
+}
+
+fn faulted_run(routing: RoutingAlgorithm, faults: FaultSchedule) -> RunData {
+    let mut sim = Simulation::new(spec(routing)).with_faults(faults);
+    for src in 0..72u32 {
+        sim.inject(MsgInjection {
+            time: SimTime::ZERO,
+            src: TerminalId(src),
+            dst: TerminalId((src + 36) % 72),
+            bytes: 4096,
+            job: 0,
+        });
+    }
+    sim.try_run().expect("faulted run must complete without panicking")
+}
+
+/// Serialize every metric a replay must reproduce bit-for-bit.
+fn fingerprint(run: &RunData) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "end={} ev={} sched={} del={} drop={} rr={};",
+        run.end_time.0,
+        run.events_processed,
+        run.events_scheduled,
+        run.total_delivered(),
+        run.total_dropped(),
+        run.total_rerouted(),
+    );
+    for t in &run.terminals {
+        let _ = write!(
+            s,
+            "t{}={},{:?},{:?};",
+            t.terminal.0, t.packets_finished, t.avg_latency_ns, t.avg_hops
+        );
+    }
+    for r in &run.routers {
+        let _ = write!(
+            s,
+            "r{}={},{},{},{};",
+            r.router.0, r.dropped, r.rerouted, r.local_traffic, r.global_traffic
+        );
+    }
+    for l in run.local_links.iter().chain(&run.global_links) {
+        let _ = write!(s, "l{},{}={},{};", l.src_router.0, l.src_port, l.traffic, l.sat_ns);
+    }
+    s
+}
+
+#[test]
+fn ugal_delivers_while_minimal_reports_counted_drops() {
+    // Kill the single global channel from group 0 toward the last group:
+    // every minimal path from group 0 crosses it; adaptive paths need not.
+    let cfg = DragonflyConfig::canonical(2);
+    let topo = Topology::new(cfg);
+    let dst = TerminalId(cfg.num_terminals() - 1);
+    let dst_group = topo.group_of_router(topo.router_of_terminal(dst));
+    let (gw, gp) = topo.gateway(GroupId(0), dst_group);
+    let mut faults = FaultSchedule::new(9);
+    faults.push(SimTime::ZERO, FaultEvent::LinkDown { router: gw.0, port: topo.global_port(gp) });
+
+    let run_with = |routing: RoutingAlgorithm| {
+        let mut sim = Simulation::new(spec(routing)).with_faults(faults.clone());
+        for src in 0..8u32 {
+            // All of group 0's terminals (a·p = 8) target the far group.
+            sim.inject(MsgInjection {
+                time: SimTime::ZERO,
+                src: TerminalId(src),
+                dst,
+                bytes: 4096,
+                job: 0,
+            });
+        }
+        sim.try_run().expect("run must complete")
+    };
+
+    let minimal = run_with(RoutingAlgorithm::Minimal);
+    assert_eq!(minimal.total_delivered(), 0, "minimal has no path around the dead channel");
+    assert_eq!(minimal.total_dropped(), 8 * 2, "every packet is a counted drop");
+    assert_eq!(minimal.total_rerouted(), 0);
+
+    let ugal = run_with(RoutingAlgorithm::adaptive_default());
+    assert_eq!(ugal.total_delivered(), 8 * 4096, "UGAL-L must route around the dead channel");
+    assert_eq!(ugal.total_dropped(), 0);
+    assert!(ugal.total_rerouted() > 0, "deliveries must come via divert reroutes");
+}
+
+#[test]
+fn schedule_survives_json_roundtrip_with_identical_replay() {
+    let cfg = DragonflyConfig::canonical(2);
+    let faults = FaultSchedule::generate(
+        42,
+        cfg.num_routers(),
+        Topology::new(cfg).ports_per_router(),
+        10,
+        20_000,
+    );
+    let parsed = FaultSchedule::from_json(&faults.to_json()).expect("round-trip parse");
+    assert_eq!(faults, parsed);
+    let a = faulted_run(RoutingAlgorithm::adaptive_default(), faults);
+    let b = faulted_run(RoutingAlgorithm::adaptive_default(), parsed);
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+}
+
+proptest! {
+    /// The tentpole determinism contract: the same seed and fault schedule
+    /// replay to byte-identical metrics, run after run.
+    #[test]
+    fn generated_fault_schedules_replay_deterministically(seed in 0u64..(1u64 << 48)) {
+        let cfg = DragonflyConfig::canonical(2);
+        let faults = FaultSchedule::generate(seed, cfg.num_routers(), Topology::new(cfg).ports_per_router(), 12, 30_000);
+        let a = faulted_run(RoutingAlgorithm::par_default(), faults.clone());
+        let b = faulted_run(RoutingAlgorithm::par_default(), faults);
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

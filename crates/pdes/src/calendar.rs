@@ -151,6 +151,26 @@ impl<P> CalendarQueue<P> {
         bucket.insert(pos, ev);
         self.len += 1;
     }
+
+    /// Remove the globally minimal event by scanning every bucket. Used
+    /// when day boundaries would overflow `u64` (times near `SimTime::MAX`),
+    /// where the rotating-year scan cannot operate.
+    fn pop_min_scan(&mut self) -> Option<Event<P>> {
+        let idx = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.last().map(|e| (i, e.key)))
+            .min_by_key(|&(_, k)| k)
+            .map(|(i, _)| i)?;
+        let ev = self.buckets[idx].pop()?;
+        self.len -= 1;
+        if self.len < self.shrink_at {
+            let n = self.buckets.len() / 2;
+            self.resize(n);
+        }
+        Some(ev)
+    }
 }
 
 impl<P> EventQueue<P> for CalendarQueue<P> {
@@ -173,10 +193,18 @@ impl<P> EventQueue<P> for CalendarQueue<P> {
             return None;
         }
         loop {
-            let year = self.bucket_width * self.buckets.len() as u64;
             // One sweep over all buckets of the current year.
             for _ in 0..self.buckets.len() {
-                let end = self.bucket_start + self.bucket_width;
+                // Widen to u128: for event times within a bucket width of
+                // `u64::MAX` the day boundary itself overflows u64.
+                let end = self.bucket_start as u128 + self.bucket_width as u128;
+                if end > u64::MAX as u128 {
+                    // Degenerate tail of the time axis: day boundaries can
+                    // no longer be represented, so take the global minimum
+                    // directly (cold path, only reached near t = MAX).
+                    return self.pop_min_scan();
+                }
+                let end = end as u64;
                 let bucket = &mut self.buckets[self.current];
                 if let Some(last) = bucket.last() {
                     if last.key.time.0 < end {
@@ -193,14 +221,16 @@ impl<P> EventQueue<P> for CalendarQueue<P> {
                 self.bucket_start = end;
             }
             // Nothing in this year: jump the clock to the earliest event.
-            let min_t = self
-                .buckets
-                .iter()
-                .filter_map(|b| b.last().map(|e| e.key.time.0))
-                .min()
-                .expect("len > 0");
+            let Some(min_t) =
+                self.buckets.iter().filter_map(|b| b.last().map(|e| e.key.time.0)).min()
+            else {
+                // `len` said non-empty but no bucket holds an event; treat
+                // as drained rather than spinning forever.
+                debug_assert!(false, "calendar len/bucket mismatch");
+                self.len = 0;
+                return None;
+            };
             // Align the scan to the year containing min_t.
-            let _ = year;
             self.bucket_start = min_t / self.bucket_width * self.bucket_width;
             self.current = ((min_t / self.bucket_width) % self.buckets.len() as u64) as usize;
         }
@@ -294,6 +324,72 @@ mod tests {
         q.push(ev(150, 2));
         assert_eq!(q.pop().unwrap().payload, 50);
         assert_eq!(q.pop().unwrap().payload, 150);
+    }
+
+    #[test]
+    fn calendar_handles_times_near_u64_max() {
+        // Day boundaries near the end of the time axis used to overflow
+        // `bucket_start + bucket_width`; the queue must still order events.
+        let mut q = CalendarQueue::new(16);
+        q.push(ev(u64::MAX, 2));
+        q.push(ev(u64::MAX - 3, 1));
+        q.push(ev(7, 0));
+        assert_eq!(q.pop().unwrap().key.time, SimTime(7));
+        assert_eq!(q.pop().unwrap().key.time, SimTime(u64::MAX - 3));
+        assert_eq!(q.pop().unwrap().key.time, SimTime(u64::MAX));
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn calendar_reusable_after_max_time_drain() {
+        let mut q = CalendarQueue::new(8);
+        q.push(ev(u64::MAX, 0));
+        assert_eq!(q.pop().unwrap().key.time, SimTime(u64::MAX));
+        // The scan position is parked at the end of the axis; a small-time
+        // push must rewind it.
+        q.push(ev(3, 1));
+        assert_eq!(q.pop().unwrap().key.time, SimTime(3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_pop_on_empty_is_none_repeatedly() {
+        let mut q: CalendarQueue<u64> = CalendarQueue::new(4);
+        for _ in 0..3 {
+            assert!(q.pop().is_none());
+        }
+        q.push(ev(10, 0));
+        assert_eq!(q.pop().unwrap().payload, 10);
+        for _ in 0..3 {
+            assert!(q.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn calendar_duplicate_timestamps_emerge_in_seq_order() {
+        let mut q = CalendarQueue::new(4);
+        // Enough same-time events to force a resize mid-stream.
+        for seq in (0..64u64).rev() {
+            q.push(ev(1000, seq));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.key.seq).collect();
+        let want: Vec<u64> = (0..64).collect();
+        assert_eq!(seqs, want);
+    }
+
+    #[test]
+    fn calendar_shrinks_after_burst_and_stays_consistent() {
+        let mut q = CalendarQueue::new(2);
+        for t in 0..200u64 {
+            q.push(ev(t, t));
+        }
+        for expect in 0..200u64 {
+            let e = q.pop().expect("still populated");
+            assert_eq!(e.key.time, SimTime(expect));
+        }
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
     }
 
     proptest! {

@@ -6,6 +6,7 @@
 //! property-tested) to produce identical LP state.
 
 use crate::calendar::{EventQueue, HeapQueue};
+use crate::error::{SimError, WatchdogConfig};
 use crate::event::{Event, EventKey, LpId, EXTERNAL_SRC};
 use crate::lp::{Ctx, Lp};
 use crate::time::SimTime;
@@ -52,6 +53,9 @@ pub struct Engine<P, L: Lp<P>> {
     collector: Collector,
     /// Stats already reported to the collector (resumed runs report deltas).
     reported: EngineStats,
+    watchdog: WatchdogConfig,
+    /// Consecutive events processed without virtual time advancing.
+    stalled_events: u64,
 }
 
 impl<P, L: Lp<P>> Engine<P, L> {
@@ -73,6 +77,8 @@ impl<P, L: Lp<P>> Engine<P, L> {
             initialized: false,
             collector: Collector::disabled(),
             reported: EngineStats::default(),
+            watchdog: WatchdogConfig::default(),
+            stalled_events: 0,
         }
     }
 
@@ -129,6 +135,12 @@ impl<P, L: Lp<P>> Engine<P, L> {
         self.budget = budget;
     }
 
+    /// Configure the no-progress watchdog used by the checked run APIs
+    /// ([`Engine::try_run_until`] / [`Engine::try_run_to_completion`]).
+    pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.watchdog = cfg;
+    }
+
     /// Inject an event from outside the simulation at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, dst: LpId, payload: P) {
         assert!(at >= self.now, "cannot schedule into the past");
@@ -160,6 +172,11 @@ impl<P, L: Lp<P>> Engine<P, L> {
         self.init();
         let Some(ev) = self.queue.pop() else { return false };
         debug_assert!(ev.key.time >= self.now, "event time went backwards");
+        if ev.key.time > self.now {
+            self.stalled_events = 0;
+        } else {
+            self.stalled_events += 1;
+        }
         self.now = ev.key.time;
         let idx = ev.key.dst.index();
         let mut ctx =
@@ -238,10 +255,96 @@ impl<P, L: Lp<P>> Engine<P, L> {
         outcome
     }
 
+    /// Checked variant of [`Engine::run_until`]: additionally watches for
+    /// virtual-time stalls (see [`Engine::set_watchdog`]) and converts them
+    /// into a structured [`SimError`] instead of looping forever.
+    pub fn try_run_until(&mut self, until: SimTime) -> Result<RunOutcome, SimError> {
+        self.init();
+        let t0 = self.collector.is_enabled().then(std::time::Instant::now);
+        let limit = self.watchdog.max_stalled_events;
+        let outcome = loop {
+            if self.stats.events_processed >= self.budget {
+                break Ok(RunOutcome::Budget);
+            }
+            match self.queue.peek_key() {
+                None => break Ok(RunOutcome::Drained),
+                Some(k) if k.time >= until => break Ok(RunOutcome::TimeBound),
+                Some(_) => {
+                    self.step();
+                    if self.stalled_events > limit {
+                        break Err(SimError::VirtualTimeStall {
+                            now: self.now,
+                            events: self.stalled_events,
+                            limit,
+                        });
+                    }
+                }
+            }
+        };
+        if let Some(t0) = t0 {
+            self.report_run(t0.elapsed());
+        }
+        if let Err(e) = &outcome {
+            report_watchdog(&self.collector, e);
+        }
+        outcome
+    }
+
+    /// Checked variant of [`Engine::run_to_completion`]: watches for
+    /// virtual-time stalls while running, and after a fully drained run
+    /// audits every LP ([`Lp::audit`]), converting violations (e.g. leaked
+    /// flow-control credits) into [`SimError::Invariant`].
+    pub fn try_run_to_completion(&mut self) -> Result<RunOutcome, SimError> {
+        let outcome = self.try_run_until(SimTime::MAX)?;
+        let now = self.now;
+        for lp in &mut self.lps {
+            lp.on_finish(now);
+        }
+        if outcome == RunOutcome::Drained {
+            audit_lps(self.lps.iter().map(|l| l as &dyn Lp<P>), &self.collector)?;
+        }
+        Ok(outcome)
+    }
+
     /// Number of events currently pending.
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
+}
+
+/// Emit the watchdog-trip diagnostics shared by both engines: a counter and
+/// one structured trace event with the failure detail.
+pub(crate) fn report_watchdog(c: &Collector, e: &SimError) {
+    c.counter_add("pdes/watchdog_trips", 1);
+    c.event(
+        "watchdog_trip",
+        &[("trip", Json::Str(e.kind().to_string())), ("detail", Json::Str(e.to_string()))],
+    );
+}
+
+/// Run [`Lp::audit`] over every LP (in global id order) and fold failures
+/// into a [`SimError::Invariant`]. Reporting keeps at most the first eight
+/// violations; the total count is preserved.
+pub(crate) fn audit_lps<'a, P: 'a>(
+    lps: impl Iterator<Item = &'a dyn Lp<P>>,
+    c: &Collector,
+) -> Result<(), SimError> {
+    let mut failures = Vec::new();
+    let mut total = 0u64;
+    for (i, lp) in lps.enumerate() {
+        if let Err(what) = lp.audit() {
+            total += 1;
+            if failures.len() < 8 {
+                failures.push((i as u32, what));
+            }
+        }
+    }
+    if total == 0 {
+        return Ok(());
+    }
+    let e = SimError::Invariant { failures, total };
+    report_watchdog(c, &e);
+    Err(e)
 }
 
 #[cfg(test)]
@@ -362,6 +465,56 @@ mod tests {
         eng.schedule(SimTime::ZERO, LpId(0), 3);
         eng.run_to_completion();
         assert!(eng.stats().peak_queue_depth >= 4, "peak {}", eng.stats().peak_queue_depth);
+    }
+
+    #[test]
+    fn watchdog_converts_zero_delay_loop_into_error() {
+        struct SpinLp;
+        impl Lp<()> for SpinLp {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, ()>, _: ()) {
+                ctx.send_self(SimTime::ZERO, ());
+            }
+        }
+        let c = hrviz_obs::Collector::enabled();
+        let mut eng = Engine::new(vec![SpinLp], SimTime(1));
+        eng.set_collector(c.clone());
+        eng.schedule(SimTime::ZERO, LpId(0), ());
+        eng.set_watchdog(WatchdogConfig { max_stalled_events: 100 });
+        let err = eng.try_run_to_completion().unwrap_err();
+        assert!(matches!(err, SimError::VirtualTimeStall { limit: 100, .. }), "{err:?}");
+        assert_eq!(c.counter("pdes/watchdog_trips"), 1);
+        let events = c.drain_events();
+        assert!(events.iter().any(|e| e.contains("\"kind\":\"watchdog_trip\"")));
+    }
+
+    #[test]
+    fn audit_failure_surfaces_as_invariant_error() {
+        struct LeakyLp;
+        impl Lp<()> for LeakyLp {
+            fn on_event(&mut self, _: &mut Ctx<'_, ()>, _: ()) {}
+            fn audit(&self) -> Result<(), String> {
+                Err("credit leak".into())
+            }
+        }
+        let mut eng = Engine::new(vec![LeakyLp], SimTime(1));
+        eng.schedule(SimTime::ZERO, LpId(0), ());
+        match eng.try_run_to_completion() {
+            Err(SimError::Invariant { failures, total }) => {
+                assert_eq!(total, 1);
+                assert!(failures[0].1.contains("credit leak"));
+            }
+            other => panic!("expected invariant error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_run_matches_unchecked_on_healthy_model() {
+        let mut a = ring(4, 7);
+        let mut b = ring(4, 7);
+        assert_eq!(a.run_to_completion(), RunOutcome::Drained);
+        assert_eq!(b.try_run_to_completion(), Ok(RunOutcome::Drained));
+        assert_eq!(a.stats().events_processed, b.stats().events_processed);
+        assert_eq!(a.now(), b.now());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod error;
 pub mod event;
 pub mod lp;
 pub mod parallel;
@@ -47,6 +48,7 @@ pub mod time;
 
 pub use calendar::{CalendarQueue, EventQueue, HeapQueue};
 pub use engine::{Engine, EngineStats, RunOutcome};
+pub use error::{SimError, WatchdogConfig};
 pub use event::{Event, EventKey, LpId, EXTERNAL_SRC};
 pub use lp::{Ctx, Lp};
 pub use parallel::ParallelEngine;

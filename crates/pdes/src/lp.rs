@@ -29,6 +29,15 @@ pub trait Lp<P>: Send {
     fn on_finish(&mut self, now: SimTime) {
         let _ = now;
     }
+
+    /// Post-run invariant check used by the checked engine APIs
+    /// ([`Engine::try_run_to_completion`](crate::Engine::try_run_to_completion)).
+    /// Called only after the event set fully drained; return a short
+    /// description of any violated invariant (e.g. flow-control credits that
+    /// were never returned). The default implementation always passes.
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Execution context handed to an LP while it processes an event.

@@ -15,7 +15,8 @@
 //! test suite verifies on several models.
 
 use crate::calendar::{EventQueue, HeapQueue};
-use crate::engine::EngineStats;
+use crate::engine::{audit_lps, report_watchdog, EngineStats};
+use crate::error::{SimError, WatchdogConfig};
 use crate::event::{Event, EventKey, LpId, EXTERNAL_SRC};
 use crate::lp::{Ctx, Lp};
 use crate::time::SimTime;
@@ -46,18 +47,37 @@ impl<P, L: Lp<P>> Partition<P, L> {
 
     /// Process all queued events with `time < end`, in key order.
     /// Cross-partition events are collected into `outbox`.
+    ///
+    /// `stall_cap` bounds consecutive same-timestamp events: virtual time
+    /// strictly advances between windows, so a zero-delay event loop can
+    /// only spin *inside* one window, where this cap converts it into a
+    /// [`SimError::VirtualTimeStall`].
     fn run_window(
         &mut self,
         end: SimTime,
         lookahead: SimTime,
         out_buf: &mut Vec<Event<P>>,
         outbox: &mut Vec<Event<P>>,
-    ) {
+        stall_cap: u64,
+    ) -> Result<(), SimError> {
+        let mut stalled = 0u64;
         while let Some(key) = self.queue.peek_key() {
             if key.time >= end {
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
+            if ev.key.time > self.now {
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled > stall_cap {
+                    return Err(SimError::VirtualTimeStall {
+                        now: ev.key.time,
+                        events: stalled,
+                        limit: stall_cap,
+                    });
+                }
+            }
             self.now = ev.key.time;
             let idx = self.local(ev.key.dst);
             let mut ctx = Ctx::new(self.now, ev.key.dst, &mut self.seqs[idx], out_buf, lookahead);
@@ -72,6 +92,7 @@ impl<P, L: Lp<P>> Partition<P, L> {
                 }
             }
         }
+        Ok(())
     }
 
     fn min_pending(&self) -> Option<SimTime> {
@@ -96,6 +117,7 @@ pub struct ParallelEngine<P, L: Lp<P>> {
     /// gap between a partition finishing its window and the slowest
     /// partition finishing. Only accumulated when a collector is attached.
     barrier_wait_ns: Vec<u64>,
+    watchdog: WatchdogConfig,
 }
 
 impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
@@ -137,7 +159,14 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
             now: SimTime::ZERO,
             initialized: false,
             collector: Collector::disabled(),
+            watchdog: WatchdogConfig::default(),
         }
+    }
+
+    /// Configure the no-progress watchdog used by
+    /// [`ParallelEngine::try_run_to_completion`].
+    pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.watchdog = cfg;
     }
 
     /// Attach a telemetry collector. Enables per-partition barrier-wait
@@ -219,6 +248,31 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
 
     /// Run until all queues drain; returns aggregate statistics.
     pub fn run_to_completion(&mut self) -> EngineStats {
+        match self.run_core(u64::MAX) {
+            Ok(stats) => stats,
+            // The stall cap is u64::MAX: the watchdog cannot trip.
+            Err(e) => unreachable!("uncapped run reported a stall: {e}"),
+        }
+    }
+
+    /// Checked variant of [`ParallelEngine::run_to_completion`]: bounds
+    /// same-timestamp event bursts per partition window (see
+    /// [`ParallelEngine::set_watchdog`]) and, once drained, audits every LP
+    /// ([`Lp::audit`]); violations surface as [`SimError`] values instead of
+    /// hangs or silent corruption.
+    pub fn try_run_to_completion(&mut self) -> Result<EngineStats, SimError> {
+        let stats = match self.run_core(self.watchdog.max_stalled_events) {
+            Ok(stats) => stats,
+            Err(e) => {
+                report_watchdog(&self.collector, &e);
+                return Err(e);
+            }
+        };
+        audit_lps(self.lps().map(|l| l as &dyn Lp<P>), &self.collector)?;
+        Ok(stats)
+    }
+
+    fn run_core(&mut self, stall_cap: u64) -> Result<EngineStats, SimError> {
         self.init();
         let lookahead = self.lookahead;
         let timing = self.collector.is_enabled();
@@ -231,26 +285,39 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
             let depth: u64 = self.parts.iter().map(|p| p.queue.len() as u64).sum();
             peak_queue_depth = peak_queue_depth.max(depth);
             let window_end = window_start.checked_add(lookahead).unwrap_or(SimTime::MAX);
-            let results: Vec<(Vec<Event<P>>, u64)> = self
+            // (outbox, wall ns, per-window watchdog verdict) per partition.
+            type WindowResult<P> = (Vec<Event<P>>, u64, Result<(), SimError>);
+            let results: Vec<WindowResult<P>> = self
                 .parts
                 .par_iter_mut()
                 .map(|part| {
                     let w0 = timing.then(std::time::Instant::now);
                     let mut out_buf = Vec::with_capacity(8);
                     let mut outbox = Vec::new();
-                    part.run_window(window_end, lookahead, &mut out_buf, &mut outbox);
-                    (outbox, w0.map_or(0, |w| w.elapsed().as_nanos() as u64))
+                    let res = part.run_window(
+                        window_end,
+                        lookahead,
+                        &mut out_buf,
+                        &mut outbox,
+                        stall_cap,
+                    );
+                    (outbox, w0.map_or(0, |w| w.elapsed().as_nanos() as u64), res)
                 })
                 .collect();
+            // First tripped partition (in partition order) wins: the report
+            // is deterministic even when several stall simultaneously.
+            if let Some(e) = results.iter().find_map(|(_, _, r)| r.as_ref().err()) {
+                return Err(e.clone());
+            }
             if timing {
                 windows += 1;
-                let slowest = results.iter().map(|(_, ns)| *ns).max().unwrap_or(0);
-                for (wait, (_, ns)) in self.barrier_wait_ns.iter_mut().zip(&results) {
+                let slowest = results.iter().map(|(_, ns, _)| *ns).max().unwrap_or(0);
+                for (wait, (_, ns, _)) in self.barrier_wait_ns.iter_mut().zip(&results) {
                     *wait += slowest - ns;
                 }
             }
             self.now = self.now.max(window_end);
-            self.route(results.into_iter().map(|(outbox, _)| outbox).collect());
+            self.route(results.into_iter().map(|(outbox, _, _)| outbox).collect());
         }
         let end = self.parts.iter().map(|p| p.now).max().unwrap_or(SimTime::ZERO);
         self.now = end;
@@ -269,7 +336,7 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
         if let Some(t0) = t0 {
             self.report_run(stats, windows, t0.elapsed());
         }
-        stats
+        Ok(stats)
     }
 
     /// Report run-boundary telemetry (counters + one trace event).
@@ -479,6 +546,51 @@ mod tests {
         par.schedule(SimTime::ZERO, LpId(0), Msg { hops_left: 6, value: 1 });
         par.run_to_completion();
         assert!(par.barrier_wait_ns().iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn watchdog_converts_zero_delay_loop_into_error() {
+        struct SpinLp;
+        impl Lp<()> for SpinLp {
+            fn on_event(&mut self, ctx: &mut Ctx<'_, ()>, _: ()) {
+                ctx.send_self(SimTime::ZERO, ());
+            }
+        }
+        let mut eng = ParallelEngine::new(vec![SpinLp, SpinLp], SimTime(10), 2);
+        eng.set_watchdog(WatchdogConfig { max_stalled_events: 50 });
+        eng.schedule(SimTime::ZERO, LpId(0), ());
+        let err = eng.try_run_to_completion().unwrap_err();
+        assert!(matches!(err, SimError::VirtualTimeStall { limit: 50, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn try_run_matches_unchecked_for_healthy_model() {
+        let reference = run_seq(13, 5, 8);
+        let lps = (0..13u32).map(|i| HashLp { state: i as u64, n: 13 }).collect();
+        let mut eng = ParallelEngine::new(lps, SimTime(10), 4);
+        for s in 0..5u32 {
+            eng.schedule(SimTime(s as u64), LpId(s % 13), Msg { hops_left: 8, value: s as u64 });
+        }
+        let stats = eng.try_run_to_completion().expect("healthy model");
+        assert!(stats.events_processed > 0);
+        assert_eq!(reference, eng.lps().map(|l| l.state).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_audit_failure_surfaces_as_invariant_error() {
+        struct LeakyLp;
+        impl Lp<()> for LeakyLp {
+            fn on_event(&mut self, _: &mut Ctx<'_, ()>, _: ()) {}
+            fn audit(&self) -> Result<(), String> {
+                Err("leak".into())
+            }
+        }
+        let mut eng = ParallelEngine::new(vec![LeakyLp, LeakyLp, LeakyLp], SimTime(10), 2);
+        eng.schedule(SimTime::ZERO, LpId(1), ());
+        match eng.try_run_to_completion() {
+            Err(SimError::Invariant { total, .. }) => assert_eq!(total, 3),
+            other => panic!("expected invariant error, got {other:?}"),
+        }
     }
 
     #[test]
