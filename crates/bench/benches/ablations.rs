@@ -105,7 +105,7 @@ fn bench_maxbins(c: &mut Criterion) {
             job: 0,
         });
     }
-    let ds = DataSet::from_run(&sim.run());
+    let ds = DataSet::builder(&sim.run()).build();
     let items = group_rows(&ds, EntityKind::GlobalLink, &[Field::RouterId, Field::RouterPort]);
     let mut g = c.benchmark_group("ablation_maxbins");
     for &bins in &[4usize, 16, 64, 256] {

@@ -47,10 +47,10 @@ fn spec() -> ProjectionSpec {
 
 fn bench_analytics(c: &mut Criterion) {
     let run = sample_run();
-    let ds = DataSet::from_run(&run);
+    let ds = DataSet::builder(&run).build();
     let mut g = c.benchmark_group("analytics");
 
-    g.bench_function("dataset_from_run_2550t", |b| b.iter(|| DataSet::from_run(&run)));
+    g.bench_function("dataset_from_run_2550t", |b| b.iter(|| DataSet::builder(&run).build()));
 
     g.throughput(Throughput::Elements(ds.len(EntityKind::LocalLink) as u64));
     g.bench_function("group_local_links_by_rank", |b| {

@@ -24,7 +24,7 @@ fn dataset() -> DataSet {
             job: 0,
         });
     }
-    DataSet::from_run(&sim.run())
+    DataSet::builder(&sim.run()).build()
 }
 
 fn bench_render(c: &mut Criterion) {

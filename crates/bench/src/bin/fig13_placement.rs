@@ -83,7 +83,7 @@ fn main() {
         .collect();
 
     // (a–c) projection views with job-class arcs and global-link ribbons.
-    let datasets: Vec<DataSet> = runs.iter().map(|(_, r)| DataSet::from_run(r)).collect();
+    let datasets: Vec<DataSet> = runs.iter().map(|(_, r)| DataSet::builder(r).build()).collect();
     let refs: Vec<&DataSet> = datasets.iter().collect();
     let views = compare_views(&refs, &job_spec()).expect("views build");
     write_out(

@@ -16,7 +16,7 @@ fn main() {
         SyntheticConfig::uniform(4096, 10, SimTime::micros(4)),
         RoutingAlgorithm::adaptive_default(),
     );
-    let ds = DataSet::from_run(&run);
+    let ds = DataSet::builder(&run).build();
     let tree = AggregateTree::build(
         &ds,
         &[

@@ -18,7 +18,7 @@ fn main() {
         RoutingAlgorithm::adaptive_default(),
         None,
     );
-    let ds = DataSet::from_run(&run);
+    let ds = DataSet::builder(&run).build();
 
     // The Fig. 4a configuration: aggregate by router rank.
     let spec = ProjectionSpec::new(vec![

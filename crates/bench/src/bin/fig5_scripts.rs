@@ -17,7 +17,7 @@ fn main() {
         RoutingAlgorithm::adaptive_default(),
         None,
     );
-    let ds = DataSet::from_run(&run);
+    let ds = DataSet::builder(&run).build();
 
     let spec_a = parse_script(FIG5A_SCRIPT).expect("Fig. 5a script parses");
     let view_a = build_view(&ds, &spec_a).expect("view builds");

@@ -26,7 +26,7 @@ fn main() {
 
     // (a) Projection view over the whole run (idle terminals filtered out,
     // as in the paper).
-    let ds = DataSet::from_run(&run).without_idle_terminals();
+    let ds = DataSet::builder(&run).drop_idle().build();
     let view = build_view(&ds, &intra_group_spec()).expect("view builds");
     write_out(
         "fig6a_projection.svg",
@@ -91,7 +91,7 @@ fn main() {
 
     // Re-derive the projection for the selected range (the paper's linked
     // interaction).
-    let ds_range = DataSet::from_run_range(&run, t0, t1).without_idle_terminals();
+    let ds_range = DataSet::builder(&run).range(t0, t1).drop_idle().build();
     let view_range = build_view(&ds_range, &intra_group_spec()).expect("ranged view builds");
     write_out(
         "fig6_projection_burst.svg",

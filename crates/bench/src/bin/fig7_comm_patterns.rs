@@ -35,8 +35,8 @@ fn main() {
         RoutingAlgorithm::adaptive_default(),
     );
 
-    let ds_nn = DataSet::from_run(&nn);
-    let ds_ur = DataSet::from_run(&ur);
+    let ds_nn = DataSet::builder(&nn).build();
+    let ds_ur = DataSet::builder(&ur).build();
     let spec = intra_group_spec();
     let views = compare_views(&[&ds_nn, &ds_ur], &spec).expect("views build");
     write_out(

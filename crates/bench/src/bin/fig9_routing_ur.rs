@@ -29,8 +29,8 @@ fn main() {
     let minimal = run_synthetic(9_702, traffic, RoutingAlgorithm::Minimal);
     let adaptive = run_synthetic(9_702, traffic, RoutingAlgorithm::adaptive_default());
 
-    let ds_min = DataSet::from_run(&minimal);
-    let ds_ada = DataSet::from_run(&adaptive);
+    let ds_min = DataSet::builder(&minimal).build();
+    let ds_ada = DataSet::builder(&adaptive).build();
     let views = compare_views(&[&ds_min, &ds_ada], &inter_group_spec(9)).expect("views build");
     write_out(
         "fig9_routing_ur.svg",

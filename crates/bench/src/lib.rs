@@ -344,7 +344,7 @@ pub fn mean_hops(run: &RunData) -> f64 {
 
 /// Dataset with idle terminals dropped (paper §V-C).
 pub fn dataset_active(run: &RunData) -> DataSet {
-    DataSet::from_run(run).without_idle_terminals()
+    DataSet::builder(run).drop_idle().build()
 }
 
 /// PASS/FAIL expectation reporting for the shape checks each driver runs.

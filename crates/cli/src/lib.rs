@@ -6,12 +6,19 @@
 //! hrviz trace   --in trace.csv --terminals 2550 --routing minimal \
 //!               [--script view.hrviz] [--svg out/view.svg]
 //! hrviz compare --terminals 2550 --pattern tornado \
-//!               --routing minimal,adaptive [--script s] [--svg out/cmp.svg]
+//!               --routing minimal,adaptive [--store DIR] [--svg out/cmp.svg]
+//! hrviz sweep   --terminals 72 --routings minimal,adaptive \
+//!               --patterns uniform-random,tornado --seeds 1,2 \
+//!               --store out/store --workers 4
 //! hrviz check   view.hrviz
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--key value` pairs after a
 //! subcommand) to keep the dependency set at zero.
+//!
+//! [`run`] returns a typed [`RunOutput`] — summary text, the artifact
+//! paths the command wrote, and named numeric metrics — whose `Display`
+//! form is exactly the text older versions returned as a bare `String`.
 //!
 //! Every failure is a structured [`HrvizError`]; `main` maps the error
 //! class to a distinct nonzero exit code (usage 2, config 3, io 4,
@@ -20,8 +27,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use hrviz_core::{
-    build_view, compare_views, parse_script, DataSet, EntityKind, Field, LevelSpec, ProjectionSpec,
-    RibbonSpec,
+    build_view, compare_views, compare_views_cached, parse_script, AggregateCache, DataKey,
+    DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec,
 };
 use hrviz_network::{
     DragonflyConfig, FaultSchedule, HrvizError, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm,
@@ -30,8 +37,13 @@ use hrviz_network::{
 use hrviz_obs::{Collector, LogLevel};
 use hrviz_pdes::SimTime;
 use hrviz_render::{render_radial, render_radial_row, RadialLayout};
+use hrviz_sweep::{
+    dragonfly_of, FaultAxis, RunStore, StoredManifest, SweepEngine, SweepSpec, TopologyAxis,
+};
 use hrviz_workloads::{generate_synthetic, load_trace, SyntheticConfig, TrafficPattern};
 use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
 
 /// A parsed command line: subcommand + `--key value` options.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +58,57 @@ pub struct Cli {
 
 fn err<T>(msg: impl Into<String>) -> Result<T, HrvizError> {
     Err(HrvizError::usage(msg))
+}
+
+/// The typed result of a CLI command.
+///
+/// `Display` reproduces the exact text the old `run -> String` API
+/// returned: the summary, then one `wrote <path>` line per artifact.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunOutput {
+    /// Human-readable summary (ends with a newline when artifacts follow).
+    pub summary: String,
+    /// Files or directories the command wrote, in creation order.
+    pub artifacts: Vec<PathBuf>,
+    /// Named numeric results (event counts, byte totals, cache counters).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl RunOutput {
+    /// An output that is pure text (no artifacts, no metrics).
+    pub fn text(summary: impl Into<String>) -> RunOutput {
+        RunOutput { summary: summary.into(), ..RunOutput::default() }
+    }
+
+    /// Append an artifact path.
+    pub fn artifact(mut self, path: impl Into<PathBuf>) -> RunOutput {
+        self.artifacts.push(path.into());
+        self
+    }
+
+    /// Append a named metric.
+    pub fn metric(mut self, name: impl Into<String>, value: f64) -> RunOutput {
+        self.metrics.push((name.into(), value));
+        self
+    }
+
+    /// Look up a metric by name.
+    pub fn metric_value(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+}
+
+impl fmt::Display for RunOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary)?;
+        for (i, path) in self.artifacts.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n")?;
+            }
+            write!(f, "wrote {}", path.display())?;
+        }
+        Ok(())
+    }
 }
 
 /// Parse an argument vector (without the program name).
@@ -73,11 +136,18 @@ pub fn parse_args(args: &[String]) -> Result<Cli, HrvizError> {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: hrviz <view|trace|compare|check> [options]
+pub const USAGE: &str = "usage: hrviz <view|trace|compare|sweep|check> [options]
   view    --terminals N --pattern P --routing R [--msgs N] [--bytes N]
           [--period-us N] [--script FILE] [--svg FILE] [--seed N]
   trace   --in FILE --terminals N --routing R [--script FILE] [--svg FILE]
   compare --terminals N --pattern P --routing R1,R2[,..] [--script FILE] [--svg FILE]
+          [--store DIR (reuse/persist runs in a content-addressed store)]
+          [--workers N]
+  sweep   --terminals N | --fattree K
+          [--routings R1,R2[,..]] [--patterns P1,P2[,..]] [--seeds S1,S2[,..]]
+          [--store DIR] [--workers N] [--report DIR] [--name NAME]
+          [--msgs N] [--bytes N] [--period-us N]
+          (--faults FILE sweeps a faulty axis point next to the healthy one)
   check   FILE
 common: --trace-out FILE (write a JSONL telemetry trace)
         --log-level error|warn|info|debug|trace
@@ -94,7 +164,7 @@ const COMMON_FLAGS: &[&str] = &["trace-out", "log-level"];
 /// separately by [`run`]).
 fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
     match command {
-        "view" | "compare" => Some(&[
+        "view" => Some(&[
             "terminals",
             "pattern",
             "routing",
@@ -107,6 +177,39 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "svg",
             "faults",
             "hop-limit",
+        ]),
+        "compare" => Some(&[
+            "terminals",
+            "pattern",
+            "routing",
+            "msgs",
+            "bytes",
+            "period-us",
+            "seed",
+            "stride",
+            "script",
+            "svg",
+            "faults",
+            "hop-limit",
+            "store",
+            "workers",
+        ]),
+        "sweep" => Some(&[
+            "terminals",
+            "fattree",
+            "pattern",
+            "patterns",
+            "routing",
+            "routings",
+            "seeds",
+            "msgs",
+            "bytes",
+            "period-us",
+            "faults",
+            "store",
+            "workers",
+            "report",
+            "name",
         ]),
         "trace" => Some(&["in", "terminals", "routing", "script", "svg", "faults", "hop-limit"]),
         "check" => Some(&[]),
@@ -211,6 +314,92 @@ fn u64_opt(cli: &Cli, key: &str, default: u64) -> Result<u64, HrvizError> {
         Some(v) => v.parse().map_err(|_| HrvizError::usage(format!("--{key} must be a number"))),
         None => Ok(default),
     }
+}
+
+/// The sweep topology: `--terminals N` (Dragonfly) or `--fattree K`.
+fn topology_of(cli: &Cli) -> Result<TopologyAxis, HrvizError> {
+    match (cli.options.get("terminals"), cli.options.get("fattree")) {
+        (Some(_), Some(_)) => err("--terminals and --fattree are mutually exclusive"),
+        (Some(n), None) => {
+            let terminals =
+                n.parse().map_err(|_| HrvizError::usage("--terminals must be a number"))?;
+            dragonfly_of(terminals)?; // validate the size eagerly
+            Ok(TopologyAxis::Dragonfly { terminals })
+        }
+        (None, Some(k)) => Ok(TopologyAxis::FatTree {
+            k: k.parse().map_err(|_| HrvizError::usage("--fattree must be a number"))?,
+        }),
+        (None, None) => err("--terminals N or --fattree K is required"),
+    }
+}
+
+/// First present of `keys`, split on commas.
+fn csv_opt<'a>(cli: &'a Cli, keys: &[&str]) -> Option<Vec<&'a str>> {
+    keys.iter()
+        .find_map(|k| cli.options.get(*k))
+        .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).collect())
+}
+
+/// Shared sweep-grid parsing for `sweep` and `compare --store`. When
+/// `fault_baseline` is set, `--faults FILE` sweeps the schedule *next to*
+/// a healthy axis point (doubling the grid); otherwise the schedule is the
+/// only fault axis point, matching `--faults` semantics elsewhere.
+fn sweep_spec_of(
+    cli: &Cli,
+    default_name: &str,
+    fault_baseline: bool,
+) -> Result<SweepSpec, HrvizError> {
+    let routings: Vec<RoutingAlgorithm> = csv_opt(cli, &["routings", "routing"])
+        .unwrap_or_else(|| vec!["minimal"])
+        .into_iter()
+        .map(routing_of)
+        .collect::<Result<_, _>>()?;
+    let patterns: Vec<TrafficPattern> = csv_opt(cli, &["patterns", "pattern"])
+        .unwrap_or_else(|| vec!["uniform-random"])
+        .into_iter()
+        .map(pattern_of)
+        .collect::<Result<_, _>>()?;
+    let seeds: Vec<u64> = match csv_opt(cli, &["seeds", "seed"]) {
+        None => vec![42],
+        Some(list) => list
+            .into_iter()
+            .map(|s| s.parse().map_err(|_| HrvizError::usage("--seeds must be numbers")))
+            .collect::<Result<_, _>>()?,
+    };
+    let name = cli.options.get("name").cloned().unwrap_or_else(|| default_name.to_string());
+    let mut spec = SweepSpec::new(name, topology_of(cli)?)
+        .routings(routings)
+        .patterns(patterns)
+        .seeds(seeds)
+        .msgs_per_rank(u64_opt(cli, "msgs", 16)? as u32)
+        .msg_bytes(u64_opt(cli, "bytes", 16 * 1024)? as u32)
+        .period(SimTime::micros(u64_opt(cli, "period-us", 4)?));
+    if let Some(path) = cli.options.get("faults") {
+        let schedule = FaultSchedule::from_file(path)?;
+        let faulted = FaultAxis::schedule("faulted", schedule);
+        spec = spec.faults(if fault_baseline {
+            vec![FaultAxis::none(), faulted]
+        } else {
+            vec![faulted]
+        });
+    }
+    Ok(spec)
+}
+
+/// Summary block for a run loaded from the store (same shape as
+/// [`summarize`], minus the per-class rows the manifest does not keep).
+fn summarize_manifest(m: &StoredManifest) -> String {
+    let mut s = format!(
+        "events {}  end {} ns  delivered {}/{} bytes\n",
+        m.events_processed, m.end_time_ns, m.delivered, m.injected,
+    );
+    if m.dropped > 0 || m.rerouted > 0 {
+        s.push_str(&format!(
+            "  faults: dropped {} packet(s)  rerouted {} packet(s)\n",
+            m.dropped, m.rerouted
+        ));
+    }
+    s
 }
 
 /// The default projection script applied when `--script` is omitted.
@@ -319,8 +508,17 @@ fn write_svg(cli: &Cli, default_name: &str, svg: String) -> Result<String, Hrviz
     Ok(path)
 }
 
-/// Run a parsed command; returns the text to print.
-pub fn run(cli: &Cli) -> Result<String, HrvizError> {
+/// Run metrics shared by `view` and `trace`.
+fn run_metrics(out: RunOutput, run: &RunData) -> RunOutput {
+    out.metric("events", run.events_processed as f64)
+        .metric("delivered_bytes", run.total_delivered() as f64)
+        .metric("injected_bytes", run.total_injected() as f64)
+        .metric("dropped_packets", run.total_dropped() as f64)
+        .metric("rerouted_packets", run.total_rerouted() as f64)
+}
+
+/// Run a parsed command.
+pub fn run(cli: &Cli) -> Result<RunOutput, HrvizError> {
     validate_flags(cli)?;
     let collector = collector_of(cli)?;
     hrviz_obs::install(collector.clone());
@@ -329,18 +527,18 @@ pub fn run(cli: &Cli) -> Result<String, HrvizError> {
     result
 }
 
-fn dispatch(cli: &Cli) -> Result<String, HrvizError> {
+fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
     match cli.command.as_str() {
         "view" => {
             let routing =
                 routing_of(cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"))?;
             let run = simulate(cli, routing)?;
             let spec = spec_of(cli)?;
-            let ds = DataSet::from_run(&run);
+            let ds = DataSet::builder(&run).build();
             let view = build_view(&ds, &spec).map_err(|e| HrvizError::config(e.to_string()))?;
             let svg = render_radial(&view, &RadialLayout::default(), "hrviz view");
             let path = write_svg(cli, "view.svg", svg)?;
-            Ok(format!("{}wrote {path}", summarize(&run)))
+            Ok(run_metrics(RunOutput::text(summarize(&run)).artifact(path), &run))
         }
         "trace" => {
             let input =
@@ -355,11 +553,11 @@ fn dispatch(cli: &Cli) -> Result<String, HrvizError> {
             sim.inject_all(msgs);
             let run = sim.try_run()?;
             let spec = spec_of(cli)?;
-            let ds = DataSet::from_run(&run);
+            let ds = DataSet::builder(&run).build();
             let view = build_view(&ds, &spec).map_err(|e| HrvizError::config(e.to_string()))?;
             let svg = render_radial(&view, &RadialLayout::default(), input);
             let path = write_svg(cli, "trace.svg", svg)?;
-            Ok(format!("{}wrote {path}", summarize(&run)))
+            Ok(run_metrics(RunOutput::text(summarize(&run)).artifact(path), &run))
         }
         "compare" => {
             let routings: Vec<RoutingAlgorithm> = cli
@@ -372,10 +570,13 @@ fn dispatch(cli: &Cli) -> Result<String, HrvizError> {
             if routings.len() < 2 {
                 return err("compare needs at least two routings (comma-separated)");
             }
+            if cli.options.contains_key("store") {
+                return compare_from_store(cli, &routings);
+            }
             let spec = spec_of(cli)?;
             let runs: Vec<RunData> =
                 routings.iter().map(|&r| simulate(cli, r)).collect::<Result<_, _>>()?;
-            let datasets: Vec<DataSet> = runs.iter().map(DataSet::from_run).collect();
+            let datasets: Vec<DataSet> = runs.iter().map(|r| DataSet::builder(r).build()).collect();
             let refs: Vec<&DataSet> = datasets.iter().collect();
             let views =
                 compare_views(&refs, &spec).map_err(|e| HrvizError::config(e.to_string()))?;
@@ -387,8 +588,39 @@ fn dispatch(cli: &Cli) -> Result<String, HrvizError> {
             for (r, run) in routings.iter().zip(&runs) {
                 out.push_str(&format!("--- {} ---\n{}", r.name(), summarize(run)));
             }
-            out.push_str(&format!("wrote {path}"));
-            Ok(out)
+            let mut typed = RunOutput::text(out).artifact(path);
+            for (r, run) in routings.iter().zip(&runs) {
+                typed = typed.metric(format!("{}/events", r.name()), run.events_processed as f64);
+            }
+            Ok(typed)
+        }
+        "sweep" => {
+            let spec = sweep_spec_of(cli, "cli", true)?;
+            let workers = u64_opt(cli, "workers", 0)? as usize;
+            let store_dir =
+                cli.options.get("store").cloned().unwrap_or_else(|| "out/store".to_string());
+            let engine = SweepEngine::new(RunStore::open(&store_dir)?).with_workers(workers);
+            let outcome = engine.run(&spec)?;
+            let report_dir = cli.options.get("report").cloned().unwrap_or_else(|| "out".into());
+            let report = outcome.write(std::path::Path::new(&report_dir))?;
+            let summary = format!(
+                "sweep {}: {} configs, {} cached, {} simulated on {} worker(s)\n\
+                 events {}  store generation {}\n",
+                outcome.name,
+                outcome.configs,
+                outcome.store_hits,
+                outcome.store_misses,
+                outcome.workers,
+                outcome.events_simulated,
+                outcome.generation,
+            );
+            Ok(RunOutput::text(summary)
+                .artifact(report)
+                .artifact(store_dir)
+                .metric("configs", outcome.configs as f64)
+                .metric("store_hits", outcome.store_hits as f64)
+                .metric("store_misses", outcome.store_misses as f64)
+                .metric("events_simulated", outcome.events_simulated as f64))
         }
         "check" => {
             let Some(path) = cli.positional.first() else {
@@ -407,11 +639,58 @@ fn dispatch(cli: &Cli) -> Result<String, HrvizError> {
                     l.vmap.plot_kind()
                 ));
             }
-            Ok(out)
+            Ok(RunOutput::text(out).metric("rings", spec.levels.len() as f64))
         }
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "help" | "--help" | "-h" => Ok(RunOutput::text(USAGE)),
         other => err(format!("unknown command {other:?}\n{USAGE}")),
     }
+}
+
+/// `compare --store DIR`: resolve each routing's run through the
+/// content-addressed store (simulating only what is missing), then build
+/// the comparison views through the aggregation cache.
+fn compare_from_store(cli: &Cli, routings: &[RoutingAlgorithm]) -> Result<RunOutput, HrvizError> {
+    let spec = spec_of(cli)?;
+    let sweep = sweep_spec_of(cli, "compare", false)?.routings(routings.to_vec());
+    let workers = u64_opt(cli, "workers", 0)? as usize;
+    let store_dir = &cli.options["store"];
+    let engine = SweepEngine::new(RunStore::open(store_dir)?).with_workers(workers);
+    let outcome = engine.run(&sweep)?;
+    let configs = sweep.expand()?;
+    let mut loaded: Vec<(DataSet, DataKey, StoredManifest)> = Vec::with_capacity(configs.len());
+    for cfg in &configs {
+        let stored = engine.store().load(&cfg.run_id())?;
+        loaded.push((stored.data.to_dataset(), engine.store().data_key(cfg), stored.manifest));
+    }
+    let cache = AggregateCache::new();
+    let pairs: Vec<(&DataSet, DataKey)> = loaded.iter().map(|(d, k, _)| (d, *k)).collect();
+    let views = compare_views_cached(&pairs, &spec, &cache)
+        .map_err(|e| HrvizError::config(e.to_string()))?;
+    let labels: Vec<&str> = routings.iter().map(|r| r.name()).collect();
+    let labeled: Vec<(&_, &str)> = views.iter().zip(labels.iter().copied()).collect();
+    let svg = render_radial_row(&labeled, &RadialLayout::default(), "hrviz compare");
+    let path = write_svg(cli, "compare.svg", svg)?;
+    let mut out = String::new();
+    for (label, (_, _, manifest)) in labels.iter().zip(&loaded) {
+        out.push_str(&format!("--- {label} ---\n{}", summarize_manifest(manifest)));
+    }
+    out.push_str(&format!(
+        "store: {} cached, {} simulated  aggregates: {} hit(s), {} miss(es)\n",
+        outcome.store_hits,
+        outcome.store_misses,
+        cache.hits(),
+        cache.misses(),
+    ));
+    let mut typed = RunOutput::text(out)
+        .artifact(path)
+        .metric("store_hits", outcome.store_hits as f64)
+        .metric("store_misses", outcome.store_misses as f64)
+        .metric("agg_cache_hits", cache.hits() as f64)
+        .metric("agg_cache_misses", cache.misses() as f64);
+    for (label, (_, _, manifest)) in labels.iter().zip(&loaded) {
+        typed = typed.metric(format!("{label}/events"), manifest.events_processed as f64);
+    }
+    Ok(typed)
 }
 
 /// Default spec builder used for doc parity with the script constant.
@@ -483,7 +762,9 @@ mod tests {
         ]))
         .unwrap();
         let out = run(&cli).unwrap();
-        assert!(out.contains("delivered"));
+        assert!(out.to_string().contains("delivered"));
+        assert_eq!(out.artifacts, vec![svg.clone()]);
+        assert!(out.metric_value("events").unwrap() > 0.0);
         assert!(svg.exists());
         assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
         std::fs::remove_file(&svg).ok();
@@ -523,7 +804,7 @@ mod tests {
             svg.to_str().unwrap(),
         ]))
         .unwrap();
-        let out = run(&cli).unwrap();
+        let out = run(&cli).unwrap().to_string();
         assert!(out.contains("--- minimal ---"));
         assert!(out.contains("--- adaptive ---"));
         assert!(svg.exists());
@@ -550,7 +831,8 @@ mod tests {
         ]))
         .unwrap();
         let out = run(&cli).unwrap();
-        assert!(out.contains("delivered 8192/8192"));
+        assert!(out.to_string().contains("delivered 8192/8192"));
+        assert_eq!(out.metric_value("delivered_bytes"), Some(8192.0));
         std::fs::remove_file(&trace).ok();
         std::fs::remove_file(&svg).ok();
     }
@@ -563,8 +845,10 @@ mod tests {
         std::fs::write(&f, DEFAULT_SCRIPT).unwrap();
         let cli = parse_args(&args(&["check", f.to_str().unwrap()])).unwrap();
         let out = run(&cli).unwrap();
-        assert!(out.contains("3 ring(s)"));
-        assert!(out.contains("Heatmap1D"));
+        assert!(out.to_string().contains("3 ring(s)"));
+        assert!(out.to_string().contains("Heatmap1D"));
+        assert_eq!(out.metric_value("rings"), Some(3.0));
+        assert!(out.artifacts.is_empty());
         std::fs::remove_file(&f).ok();
     }
 
@@ -575,7 +859,7 @@ mod tests {
         assert!(routing_of("warp").is_err());
         assert!(pattern_of("noise").is_err());
         let cli = parse_args(&args(&["help"])).unwrap();
-        assert!(run(&cli).unwrap().contains("usage"));
+        assert!(run(&cli).unwrap().to_string().contains("usage"));
     }
 
     #[test]
@@ -663,7 +947,7 @@ mod tests {
             svg.to_str().unwrap(),
         ]))
         .unwrap();
-        let out = run(&cli).unwrap();
+        let out = run(&cli).unwrap().to_string();
         assert!(out.contains("dropped"), "fault summary line expected: {out}");
         std::fs::remove_file(&sched).ok();
         std::fs::remove_file(&svg).ok();
@@ -713,6 +997,111 @@ mod tests {
         let cli =
             parse_args(&args(&["view", "--terminals", "123", "--pattern", "tornado"])).unwrap();
         assert_eq!(run(&cli).unwrap_err().exit_code(), 3);
+    }
+
+    #[test]
+    fn run_output_display_reproduces_the_legacy_string() {
+        let plain = RunOutput::text("summary line\n");
+        assert_eq!(plain.to_string(), "summary line\n");
+        let with_artifact = RunOutput::text("summary line\n").artifact("out/x.svg");
+        assert_eq!(with_artifact.to_string(), "summary line\nwrote out/x.svg");
+        let two = RunOutput::text("s\n").artifact("a").artifact("b");
+        assert_eq!(two.to_string(), "s\nwrote a\nwrote b");
+        let m = RunOutput::text("x").metric("events", 5.0);
+        assert_eq!(m.metric_value("events"), Some(5.0));
+        assert_eq!(m.metric_value("nope"), None);
+    }
+
+    #[test]
+    fn sweep_end_to_end_then_warm_cache() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.join("store");
+        let report = dir.join("reports");
+        let argv = args(&[
+            "sweep",
+            "--terminals",
+            "72",
+            "--routings",
+            "minimal,adaptive",
+            "--patterns",
+            "uniform-random,tornado",
+            "--msgs",
+            "2",
+            "--bytes",
+            "1024",
+            "--workers",
+            "2",
+            "--store",
+            store.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ]);
+        let cli = parse_args(&argv).unwrap();
+        let cold = run(&cli).unwrap();
+        assert_eq!(cold.metric_value("configs"), Some(4.0));
+        assert_eq!(cold.metric_value("store_misses"), Some(4.0));
+        assert!(cold.metric_value("events_simulated").unwrap() > 0.0);
+        assert!(cold.to_string().contains("4 simulated"), "{cold}");
+        let report_file = report.join("sweep_cli.json");
+        assert!(report_file.is_file());
+        // Second identical sweep: all hits, zero events, report says so.
+        let warm = run(&cli).unwrap();
+        assert_eq!(warm.metric_value("store_hits"), Some(4.0));
+        assert_eq!(warm.metric_value("store_misses"), Some(0.0));
+        assert_eq!(warm.metric_value("events_simulated"), Some(0.0));
+        let text = std::fs::read_to_string(&report_file).unwrap();
+        assert!(text.contains("\"store_misses\":0"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_requires_a_topology_and_rejects_two() {
+        let cli = parse_args(&args(&["sweep", "--routings", "minimal"])).unwrap();
+        assert!(run(&cli).unwrap_err().to_string().contains("--terminals N or --fattree K"));
+        let cli = parse_args(&args(&["sweep", "--terminals", "72", "--fattree", "4"])).unwrap();
+        assert!(run(&cli).unwrap_err().to_string().contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn compare_store_reuses_runs_and_aggregates() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_cmpstore_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.join("store");
+        let svg = dir.join("c.svg");
+        let argv = args(&[
+            "compare",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--routing",
+            "minimal,adaptive",
+            "--msgs",
+            "2",
+            "--bytes",
+            "1024",
+            "--store",
+            store.to_str().unwrap(),
+            "--svg",
+            svg.to_str().unwrap(),
+        ]);
+        let cli = parse_args(&argv).unwrap();
+        let cold = run(&cli).unwrap();
+        assert_eq!(cold.metric_value("store_misses"), Some(2.0));
+        assert!(cold.to_string().contains("--- minimal ---"), "{cold}");
+        assert!(cold.metric_value("agg_cache_hits").unwrap() > 0.0, "shared scales reuse groups");
+        assert!(svg.exists());
+        // Second run: both runs come from the store, nothing simulates.
+        let warm = run(&cli).unwrap();
+        assert_eq!(warm.metric_value("store_hits"), Some(2.0));
+        assert_eq!(warm.metric_value("store_misses"), Some(0.0));
+        assert_eq!(
+            warm.metric_value("minimal/events"),
+            cold.metric_value("minimal/events"),
+            "stored manifests replay identical counters"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 
 use crate::dataset::DataSet;
 use crate::entity::{AggRule, EntityKind, Field};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One aggregate item: a group key plus the member row indices.
 #[derive(Clone, Debug, PartialEq)]
@@ -135,6 +138,176 @@ impl AggregateTree {
             .collect();
         AggregateTree { levels }
     }
+
+    /// Build the tree through an [`AggregateCache`]: a repeat build over the
+    /// same stored run (same [`DataKey`]) returns the memoized tree without
+    /// rescanning a row.
+    pub fn build_cached(
+        ds: &DataSet,
+        levels: &[TreeLevel],
+        cache: &AggregateCache,
+        key: DataKey,
+    ) -> Arc<AggregateTree> {
+        cache.tree(key, ds, levels)
+    }
+}
+
+/// Identity of a stored dataset for cache-keying purposes: the run's
+/// content hash plus the store *generation* it was read under. Bumping the
+/// generation (any write to the store) makes every old key unreachable, so
+/// stale aggregates can never be served; [`AggregateCache::retain_generation`]
+/// reclaims their memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DataKey {
+    /// Content hash of the run (the sweep engine's config hash).
+    pub run: u64,
+    /// Store generation the dataset was loaded under.
+    pub generation: u64,
+}
+
+/// Memoizes [`group_rows`]/[`bin_items`] outputs and whole
+/// [`AggregateTree`]s per `(DataKey, operation)` key, so projection,
+/// timeline and compare views over a sweep reuse aggregates instead of
+/// re-scanning rows. Hit/miss totals are reported through `hrviz-obs`
+/// (`core/agg_cache_hit` / `core/agg_cache_miss`) and kept locally for
+/// tests. The cache is `Sync`; `compare_views_cached` shares one across
+/// worker threads.
+#[derive(Default)]
+pub struct AggregateCache {
+    groups: CacheMap<Vec<AggregateItem>>,
+    trees: CacheMap<AggregateTree>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A memo table keyed by `(data, operation-fingerprint)`.
+type CacheMap<V> = Mutex<HashMap<(DataKey, u64), Arc<V>>>;
+
+fn op_fingerprint(parts: &mut Vec<String>, entity: EntityKind, fields: &[Field]) {
+    parts.push(entity.to_string());
+    for f in fields {
+        parts.push(f.name().to_string());
+    }
+}
+
+impl AggregateCache {
+    /// An empty cache.
+    pub fn new() -> AggregateCache {
+        AggregateCache::default()
+    }
+
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            hrviz_obs::get().counter_add("core/agg_cache_hit", 1);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            hrviz_obs::get().counter_add("core/agg_cache_miss", 1);
+        }
+    }
+
+    /// Memoized [`group_rows`]. The caller must pass the dataset `key`
+    /// identifies — the cache trusts the key, that is the whole point.
+    pub fn group_rows(
+        &self,
+        key: DataKey,
+        ds: &DataSet,
+        kind: EntityKind,
+        fields: &[Field],
+    ) -> Arc<Vec<AggregateItem>> {
+        let mut parts = vec!["group".to_string()];
+        op_fingerprint(&mut parts, kind, fields);
+        self.memo_items(key, parts, || group_rows(ds, kind, fields))
+    }
+
+    /// Memoized group-then-bin for one [`TreeLevel`].
+    pub fn level_items(
+        &self,
+        key: DataKey,
+        ds: &DataSet,
+        lv: &TreeLevel,
+    ) -> Arc<Vec<AggregateItem>> {
+        let mut parts = vec!["level".to_string()];
+        op_fingerprint(&mut parts, lv.entity, &lv.fields);
+        if let Some((by, cap)) = lv.max_bins {
+            parts.push(format!("bin:{}:{cap}", by.name()));
+        }
+        self.memo_items(key, parts, || {
+            let items = group_rows(ds, lv.entity, &lv.fields);
+            match lv.max_bins {
+                Some((by, cap)) => bin_items(ds, lv.entity, items, by, cap),
+                None => items,
+            }
+        })
+    }
+
+    fn memo_items(
+        &self,
+        key: DataKey,
+        parts: Vec<String>,
+        compute: impl FnOnce() -> Vec<AggregateItem>,
+    ) -> Arc<Vec<AggregateItem>> {
+        let op = hrviz_obs::fingerprint64(&parts.join("\u{1f}"));
+        if let Some(hit) = self.groups.lock().expect("cache poisoned").get(&(key, op)) {
+            self.record(true);
+            return hit.clone();
+        }
+        // Compute outside the lock: a racing duplicate costs one redundant
+        // aggregation, never a stale answer.
+        let made = Arc::new(compute());
+        self.record(false);
+        self.groups.lock().expect("cache poisoned").insert((key, op), made.clone());
+        made
+    }
+
+    /// Memoized [`AggregateTree::build`].
+    pub fn tree(&self, key: DataKey, ds: &DataSet, levels: &[TreeLevel]) -> Arc<AggregateTree> {
+        let mut parts = vec!["tree".to_string()];
+        for lv in levels {
+            op_fingerprint(&mut parts, lv.entity, &lv.fields);
+            if let Some((by, cap)) = lv.max_bins {
+                parts.push(format!("bin:{}:{cap}", by.name()));
+            }
+            parts.push(";".to_string());
+        }
+        let op = hrviz_obs::fingerprint64(&parts.join("\u{1f}"));
+        if let Some(hit) = self.trees.lock().expect("cache poisoned").get(&(key, op)) {
+            self.record(true);
+            return hit.clone();
+        }
+        let made = Arc::new(AggregateTree::build(ds, levels));
+        self.record(false);
+        self.trees.lock().expect("cache poisoned").insert((key, op), made.clone());
+        made
+    }
+
+    /// Drop every entry from a generation other than `generation` —
+    /// invalidation after the backing store changed.
+    pub fn retain_generation(&self, generation: u64) {
+        self.groups.lock().expect("cache poisoned").retain(|(k, _), _| k.generation == generation);
+        self.trees.lock().expect("cache poisoned").retain(|(k, _), _| k.generation == generation);
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently held (group results + trees).
+    pub fn len(&self) -> usize {
+        self.groups.lock().expect("cache poisoned").len()
+            + self.trees.lock().expect("cache poisoned").len()
+    }
+
+    /// `true` when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +415,79 @@ mod tests {
         let items = group_rows(&d, EntityKind::Terminal, &[Field::TerminalId]);
         let binned = bin_items(&d, EntityKind::Terminal, items, Field::AvgHops, 4);
         assert_eq!(binned.len(), 1);
+    }
+
+    #[test]
+    fn cache_memoizes_per_key_and_operation() {
+        let d = ds();
+        let cache = AggregateCache::new();
+        let key = DataKey { run: 7, generation: 1 };
+        let a = cache.group_rows(key, &d, EntityKind::Terminal, &[Field::RouterId]);
+        let b = cache.group_rows(key, &d, EntityKind::Terminal, &[Field::RouterId]);
+        assert!(Arc::ptr_eq(&a, &b), "second identical call is a hit");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // A different operation or a different run misses.
+        cache.group_rows(key, &d, EntityKind::Terminal, &[Field::GroupId]);
+        cache.group_rows(
+            DataKey { run: 8, generation: 1 },
+            &d,
+            EntityKind::Terminal,
+            &[Field::RouterId],
+        );
+        assert_eq!((cache.hits(), cache.misses()), (1, 3));
+        assert_eq!(*a, group_rows(&d, EntityKind::Terminal, &[Field::RouterId]));
+    }
+
+    #[test]
+    fn cache_level_items_cover_binning() {
+        let d = ds();
+        let cache = AggregateCache::new();
+        let key = DataKey { run: 1, generation: 1 };
+        let lv = TreeLevel {
+            entity: EntityKind::Terminal,
+            fields: vec![Field::TerminalId],
+            max_bins: Some((Field::DataSize, 3)),
+        };
+        let a = cache.level_items(key, &d, &lv);
+        assert!(a.len() <= 3);
+        let b = cache.level_items(key, &d, &lv);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Same grouping without the bin cap is a distinct operation.
+        let unbinned = cache.level_items(
+            key,
+            &d,
+            &TreeLevel {
+                entity: EntityKind::Terminal,
+                fields: vec![Field::TerminalId],
+                max_bins: None,
+            },
+        );
+        assert_eq!(unbinned.len(), 8);
+    }
+
+    #[test]
+    fn cache_trees_and_generation_invalidation() {
+        let d = ds();
+        let cache = AggregateCache::new();
+        let levels = [TreeLevel {
+            entity: EntityKind::Terminal,
+            fields: vec![Field::RouterRank],
+            max_bins: None,
+        }];
+        let g1 = DataKey { run: 1, generation: 1 };
+        let t1 = AggregateTree::build_cached(&d, &levels, &cache, g1);
+        let t2 = AggregateTree::build_cached(&d, &levels, &cache, g1);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        assert_eq!(t1.levels[0].len(), 2);
+        // A store write bumps the generation: old keys are unreachable and
+        // retain_generation reclaims them.
+        let g2 = DataKey { run: 1, generation: 2 };
+        let t3 = AggregateTree::build_cached(&d, &levels, &cache, g2);
+        assert!(!Arc::ptr_eq(&t1, &t3), "new generation must rebuild");
+        assert_eq!(cache.len(), 2);
+        cache.retain_generation(2);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
     }
 
     #[test]

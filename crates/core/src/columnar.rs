@@ -1,0 +1,347 @@
+//! Columnar (struct-of-arrays) re-backing of [`DataSet`].
+//!
+//! The sweep engine persists every run as one column per stored field
+//! (JSONL in `out/store/<run-id>/`), which keeps run files diffable,
+//! mergeable and cheap to scan for a single metric. The schema is not
+//! hand-maintained: it is derived from the per-kind field tables in
+//! [`crate::dataset`] (`set: Some(..)` columns only), so a field added to
+//! the row structs automatically persists — and derived fields (aliases,
+//! roll-ups) are automatically excluded.
+//!
+//! [`ColumnTable::new`] is a *validated* constructor: a table loaded from
+//! disk either matches the kind's stored schema exactly or fails with a
+//! message naming the mismatch, which makes [`ColumnarDataSet::to_dataset`]
+//! infallible.
+
+use crate::dataset::{
+    DataSet, FieldCol, LinkRow, RouterRow, TerminalRow, LINK_COLS, ROUTER_COLS, TERMINAL_COLS,
+};
+use crate::entity::{EntityKind, Field};
+use hrviz_pdes::SimTime;
+
+fn stored_fields<R>(cols: &'static [FieldCol<R>]) -> Vec<Field> {
+    cols.iter().filter(|c| c.set.is_some()).map(|c| c.field).collect()
+}
+
+/// The stored (persistable) fields of an entity kind, in schema order.
+pub fn schema_of(kind: EntityKind) -> Vec<Field> {
+    match kind {
+        EntityKind::Router => stored_fields(ROUTER_COLS),
+        EntityKind::LocalLink | EntityKind::GlobalLink => stored_fields(LINK_COLS),
+        EntityKind::Terminal => stored_fields(TERMINAL_COLS),
+    }
+}
+
+/// One entity table stored column-major: `columns[i]` holds the values of
+/// `fields[i]` for every row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnTable {
+    kind: EntityKind,
+    len: usize,
+    fields: Vec<Field>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl ColumnTable {
+    /// Validated constructor for the load path: `fields` must be exactly
+    /// the stored schema of `kind` (same fields, same order) and every
+    /// column must have the same length.
+    pub fn new(
+        kind: EntityKind,
+        fields: Vec<Field>,
+        columns: Vec<Vec<f64>>,
+    ) -> Result<ColumnTable, String> {
+        let schema = schema_of(kind);
+        if fields != schema {
+            let want: Vec<&str> = schema.iter().map(|f| f.name()).collect();
+            let got: Vec<&str> = fields.iter().map(|f| f.name()).collect();
+            return Err(format!(
+                "{kind} column schema mismatch: expected [{}], got [{}]",
+                want.join(", "),
+                got.join(", ")
+            ));
+        }
+        if fields.len() != columns.len() {
+            return Err(format!(
+                "{kind} table has {} fields but {} columns",
+                fields.len(),
+                columns.len()
+            ));
+        }
+        let len = columns.first().map(Vec::len).unwrap_or(0);
+        for (f, c) in fields.iter().zip(&columns) {
+            if c.len() != len {
+                return Err(format!("{kind} column {f} has {} values, expected {len}", c.len()));
+            }
+        }
+        Ok(ColumnTable { kind, len, fields, columns })
+    }
+
+    fn from_rows<R>(kind: EntityKind, rows: &[R], cols: &'static [FieldCol<R>]) -> ColumnTable {
+        let stored: Vec<&FieldCol<R>> = cols.iter().filter(|c| c.set.is_some()).collect();
+        ColumnTable {
+            kind,
+            len: rows.len(),
+            fields: stored.iter().map(|c| c.field).collect(),
+            columns: stored.iter().map(|c| rows.iter().map(c.get).collect()).collect(),
+        }
+    }
+
+    fn to_rows<R: Default>(&self, cols: &'static [FieldCol<R>]) -> Vec<R> {
+        let setters: Vec<fn(&mut R, f64)> = self
+            .fields
+            .iter()
+            .map(|f| {
+                cols.iter()
+                    .find(|c| c.field == *f)
+                    .and_then(|c| c.set)
+                    .expect("schema validated at construction")
+            })
+            .collect();
+        (0..self.len)
+            .map(|i| {
+                let mut row = R::default();
+                for (set, col) in setters.iter().zip(&self.columns) {
+                    set(&mut row, col[i]);
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Entity kind of the table.
+    pub fn kind(&self) -> EntityKind {
+        self.kind
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The stored fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The values of one stored field (`None` for derived/absent fields).
+    pub fn column(&self, field: Field) -> Option<&[f64]> {
+        self.fields.iter().position(|&f| f == field).map(|i| self.columns[i].as_slice())
+    }
+
+    /// Iterate `(field, values)` pairs in column order.
+    pub fn iter(&self) -> impl Iterator<Item = (Field, &[f64])> {
+        self.fields.iter().copied().zip(self.columns.iter().map(Vec::as_slice))
+    }
+}
+
+/// A whole dataset stored column-major: the on-disk shape of a run in the
+/// sweep engine's `RunStore`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnarDataSet {
+    /// Job names (same contract as [`DataSet::jobs`]).
+    pub jobs: Vec<String>,
+    /// Router columns.
+    pub routers: ColumnTable,
+    /// Local-link columns.
+    pub local_links: ColumnTable,
+    /// Global-link columns.
+    pub global_links: ColumnTable,
+    /// Terminal columns.
+    pub terminals: ColumnTable,
+    /// The time range the dataset covers.
+    pub time_range: Option<(SimTime, SimTime)>,
+}
+
+impl ColumnarDataSet {
+    /// Transpose a row-major dataset into columns.
+    pub fn from_dataset(ds: &DataSet) -> ColumnarDataSet {
+        ColumnarDataSet {
+            jobs: ds.jobs.clone(),
+            routers: ColumnTable::from_rows(EntityKind::Router, &ds.routers, ROUTER_COLS),
+            local_links: ColumnTable::from_rows(EntityKind::LocalLink, &ds.local_links, LINK_COLS),
+            global_links: ColumnTable::from_rows(
+                EntityKind::GlobalLink,
+                &ds.global_links,
+                LINK_COLS,
+            ),
+            terminals: ColumnTable::from_rows(EntityKind::Terminal, &ds.terminals, TERMINAL_COLS),
+            time_range: ds.time_range,
+        }
+    }
+
+    /// Validated constructor for the load path: each table must carry its
+    /// expected kind.
+    pub fn new(
+        jobs: Vec<String>,
+        routers: ColumnTable,
+        local_links: ColumnTable,
+        global_links: ColumnTable,
+        terminals: ColumnTable,
+        time_range: Option<(SimTime, SimTime)>,
+    ) -> Result<ColumnarDataSet, String> {
+        for (table, want) in [
+            (&routers, EntityKind::Router),
+            (&local_links, EntityKind::LocalLink),
+            (&global_links, EntityKind::GlobalLink),
+            (&terminals, EntityKind::Terminal),
+        ] {
+            if table.kind != want {
+                return Err(format!("expected a {want} table, got {}", table.kind));
+            }
+        }
+        Ok(ColumnarDataSet { jobs, routers, local_links, global_links, terminals, time_range })
+    }
+
+    /// Materialize row-major [`DataSet`] views over the columns. Derived
+    /// fields come back automatically because they are recomputed from the
+    /// stored parts by the field tables.
+    pub fn to_dataset(&self) -> DataSet {
+        DataSet {
+            jobs: self.jobs.clone(),
+            routers: self.routers.to_rows::<RouterRow>(ROUTER_COLS),
+            local_links: self.local_links.to_rows::<LinkRow>(LINK_COLS),
+            global_links: self.global_links.to_rows::<LinkRow>(LINK_COLS),
+            terminals: self.terminals.to_rows::<TerminalRow>(TERMINAL_COLS),
+            time_range: self.time_range,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> DataSet {
+        let mut d = DataSet { jobs: vec!["a".into(), "b".into()], ..DataSet::default() };
+        for i in 0..6u32 {
+            d.terminals.push(TerminalRow {
+                terminal: i,
+                router: i / 2,
+                group: i / 4,
+                rank: (i / 2) % 2,
+                port: i % 2,
+                job: i % 2,
+                data_size: 0.1 + i as f64 * 1000.0,
+                recv_bytes: 17.0,
+                busy: 3.5,
+                sat: i as f64 / 3.0, // non-terminating binary fraction
+                packets_finished: 2.0,
+                packets_sent: 2.0,
+                avg_latency: 1234.5678,
+                avg_hops: 3.25,
+            });
+        }
+        for i in 0..3u32 {
+            d.local_links.push(LinkRow {
+                src_router: i,
+                src_group: 0,
+                src_rank: i,
+                src_port: 1,
+                dst_router: (i + 1) % 3,
+                dst_group: 0,
+                dst_rank: (i + 1) % 3,
+                dst_port: 0,
+                src_job: 0,
+                dst_job: 1,
+                traffic: i as f64 * 4096.0,
+                sat: i as f64 * 0.001,
+            });
+        }
+        d.global_links.push(LinkRow { traffic: 9.0, ..LinkRow::default() });
+        d.routers.push(RouterRow {
+            router: 0,
+            group: 0,
+            rank: 0,
+            job: 0,
+            global_traffic: 9.0,
+            local_traffic: 4096.0,
+            global_sat: 0.25,
+            local_sat: 0.125,
+        });
+        d
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let ds = toy();
+        let col = ColumnarDataSet::from_dataset(&ds);
+        let back = col.to_dataset();
+        assert_eq!(back.jobs, ds.jobs);
+        assert_eq!(back.terminals, ds.terminals);
+        assert_eq!(back.local_links, ds.local_links);
+        assert_eq!(back.global_links, ds.global_links);
+        assert_eq!(back.routers, ds.routers);
+        assert_eq!(back.time_range, ds.time_range);
+    }
+
+    #[test]
+    fn schema_excludes_derived_fields() {
+        let router_schema = schema_of(EntityKind::Router);
+        assert!(!router_schema.contains(&Field::TotalTraffic));
+        assert!(!router_schema.contains(&Field::Traffic));
+        assert!(router_schema.contains(&Field::GlobalTraffic));
+        let term_schema = schema_of(EntityKind::Terminal);
+        assert!(!term_schema.contains(&Field::Traffic));
+        assert!(term_schema.contains(&Field::DataSize));
+    }
+
+    #[test]
+    fn derived_values_survive_the_round_trip() {
+        let ds = toy();
+        let back = ColumnarDataSet::from_dataset(&ds).to_dataset();
+        assert_eq!(
+            back.value(EntityKind::Router, 0, Field::TotalTraffic),
+            ds.value(EntityKind::Router, 0, Field::TotalTraffic),
+        );
+    }
+
+    #[test]
+    fn validated_constructor_rejects_bad_schemas() {
+        let ds = toy();
+        let col = ColumnarDataSet::from_dataset(&ds);
+        // Wrong field set for the kind.
+        let err = ColumnTable::new(
+            EntityKind::Router,
+            col.terminals.fields().to_vec(),
+            col.terminals.columns.clone(),
+        )
+        .unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+        // Ragged columns.
+        let mut ragged = col.terminals.columns.clone();
+        ragged[0].pop();
+        let err = ColumnTable::new(EntityKind::Terminal, col.terminals.fields().to_vec(), ragged)
+            .unwrap_err();
+        assert!(err.contains("expected"), "{err}");
+        // Kind mismatch at the dataset level.
+        let err = ColumnarDataSet::new(
+            vec![],
+            col.terminals.clone(),
+            col.local_links.clone(),
+            col.global_links.clone(),
+            col.routers.clone(),
+            None,
+        )
+        .unwrap_err();
+        assert!(err.contains("expected a router table"), "{err}");
+    }
+
+    #[test]
+    fn column_lookup_by_field() {
+        let col = ColumnarDataSet::from_dataset(&toy());
+        let sizes = col.terminals.column(Field::DataSize).unwrap();
+        assert_eq!(sizes.len(), 6);
+        assert_eq!(sizes[1], 1000.1);
+        assert!(col.terminals.column(Field::TotalTraffic).is_none());
+        assert_eq!(col.terminals.len(), 6);
+        assert!(!col.terminals.is_empty());
+        assert_eq!(col.terminals.kind(), EntityKind::Terminal);
+        assert_eq!(col.terminals.iter().count(), col.terminals.fields().len());
+    }
+}

@@ -2,8 +2,12 @@
 //! spec over several datasets with unified encoding scales, so that color
 //! and size are directly comparable between network configurations.
 
+use crate::aggregate::{AggregateCache, DataKey};
 use crate::dataset::DataSet;
-use crate::projection::{build_view_scaled, compute_scales, ProjectionView, ScaleSet};
+use crate::projection::{
+    build_view_scaled, build_view_scaled_cached, compute_scales, compute_scales_cached,
+    ProjectionView, ScaleSet,
+};
 use crate::spec::{ProjectionSpec, SpecError};
 use rayon::prelude::*;
 
@@ -17,10 +21,42 @@ pub fn compare_views(
     datasets.par_iter().map(|ds| build_view_scaled(ds, spec, &scales)).collect()
 }
 
+/// [`compare_views`] over *stored* runs: each dataset is paired with its
+/// [`DataKey`] and aggregation is memoized through the shared `cache`, so
+/// re-comparing a sweep (or comparing overlapping subsets of it) reuses
+/// grouped items across calls and across the comparison's worker threads.
+pub fn compare_views_cached(
+    datasets: &[(&DataSet, DataKey)],
+    spec: &ProjectionSpec,
+    cache: &AggregateCache,
+) -> Result<Vec<ProjectionView>, SpecError> {
+    let _span = hrviz_obs::get().span("core/compare");
+    let scales = shared_scales_cached(datasets, spec, cache)?;
+    datasets
+        .par_iter()
+        .map(|(ds, key)| build_view_scaled_cached(ds, spec, &scales, cache, *key))
+        .collect()
+}
+
 /// The merged scales the comparison uses.
 pub fn shared_scales(datasets: &[&DataSet], spec: &ProjectionSpec) -> Result<ScaleSet, SpecError> {
     let parts: Result<Vec<ScaleSet>, SpecError> =
         datasets.par_iter().map(|ds| compute_scales(ds, spec)).collect();
+    let mut merged = ScaleSet::default();
+    for p in parts? {
+        merged.merge(&p);
+    }
+    Ok(merged)
+}
+
+/// [`shared_scales`] with aggregation memoized through `cache`.
+pub fn shared_scales_cached(
+    datasets: &[(&DataSet, DataKey)],
+    spec: &ProjectionSpec,
+    cache: &AggregateCache,
+) -> Result<ScaleSet, SpecError> {
+    let parts: Result<Vec<ScaleSet>, SpecError> =
+        datasets.par_iter().map(|(ds, key)| compute_scales_cached(ds, spec, cache, *key)).collect();
     let mut merged = ScaleSet::default();
     for p in parts? {
         merged.merge(&p);
@@ -88,6 +124,26 @@ mod tests {
             sb.encodings.get(&(0, "color")),
             "b dominates the shared extent"
         );
+    }
+
+    #[test]
+    fn cached_comparison_matches_and_reuses_aggregates() {
+        let a = ds(1.0);
+        let b = ds(10.0);
+        let cache = AggregateCache::new();
+        let keyed =
+            [(&a, DataKey { run: 1, generation: 1 }), (&b, DataKey { run: 2, generation: 1 })];
+        let plain = compare_views(&[&a, &b], &spec()).unwrap();
+        let cached = compare_views_cached(&keyed, &spec(), &cache).unwrap();
+        for (p, c) in plain.iter().zip(&cached) {
+            let cp: Vec<_> = p.rings[0].items.iter().map(|i| i.color).collect();
+            let cc: Vec<_> = c.rings[0].items.iter().map(|i| i.color).collect();
+            assert_eq!(cp, cc);
+        }
+        let (h0, m0) = (cache.hits(), cache.misses());
+        compare_views_cached(&keyed, &spec(), &cache).unwrap();
+        assert!(cache.hits() > h0, "re-comparison must hit");
+        assert_eq!(cache.misses(), m0, "re-comparison must add no misses");
     }
 
     #[test]

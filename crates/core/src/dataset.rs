@@ -3,6 +3,14 @@
 //!
 //! This is the root of the paper's entity tree (Fig. 2a): one table per
 //! entity kind, each row exposing its attributes/metrics via [`Field`].
+//!
+//! Datasets are constructed through [`DataSetBuilder`] (time-range
+//! restriction, terminal brushing and idle filtering composed in one
+//! place); the per-kind **field tables** ([`FieldCol`]) are the single
+//! source of truth tying a [`Field`] to its row accessor, so
+//! [`DataSet::value`], [`DataSet::has_field`] and the columnar re-backing
+//! in [`crate::columnar`] can never disagree about which fields a kind
+//! carries.
 
 use crate::entity::{EntityKind, Field};
 use hrviz_network::{LinkRecord, RunData, TerminalRecord, NO_JOB};
@@ -10,7 +18,7 @@ use hrviz_pdes::SimTime;
 use std::collections::HashSet;
 
 /// A router row.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RouterRow {
     /// Router id.
     pub router: u32,
@@ -31,7 +39,7 @@ pub struct RouterRow {
 }
 
 /// A directed link row (local or global).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LinkRow {
     /// Source router id.
     pub src_router: u32,
@@ -60,7 +68,7 @@ pub struct LinkRow {
 }
 
 /// A terminal row.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct TerminalRow {
     /// Terminal id.
     pub terminal: u32,
@@ -92,6 +100,177 @@ pub struct TerminalRow {
     pub avg_hops: f64,
 }
 
+/// One column of an entity table: the field, how to read it from a row,
+/// and — for *stored* fields — how to write it back. Derived fields
+/// (aliases and roll-ups such as [`Field::TotalTraffic`]) carry no setter
+/// and are recomputed from stored columns, never persisted.
+pub struct FieldCol<R: 'static> {
+    /// The field this column exposes.
+    pub field: Field,
+    /// Read the field from a row.
+    pub get: fn(&R) -> f64,
+    /// Write the field back into a row (`None` for derived fields).
+    pub set: Option<fn(&mut R, f64)>,
+}
+
+/// The router field table (single source of truth; see module docs).
+pub const ROUTER_COLS: &[FieldCol<RouterRow>] = &[
+    FieldCol {
+        field: Field::GroupId,
+        get: |r| r.group as f64,
+        set: Some(|r, v| r.group = v as u32),
+    },
+    FieldCol {
+        field: Field::RouterId,
+        get: |r| r.router as f64,
+        set: Some(|r, v| r.router = v as u32),
+    },
+    FieldCol {
+        field: Field::RouterRank,
+        get: |r| r.rank as f64,
+        set: Some(|r, v| r.rank = v as u32),
+    },
+    FieldCol { field: Field::Workload, get: |r| r.job as f64, set: Some(|r, v| r.job = v as u32) },
+    FieldCol {
+        field: Field::GlobalTraffic,
+        get: |r| r.global_traffic,
+        set: Some(|r, v| r.global_traffic = v),
+    },
+    FieldCol {
+        field: Field::GlobalSatTime,
+        get: |r| r.global_sat,
+        set: Some(|r, v| r.global_sat = v),
+    },
+    FieldCol {
+        field: Field::LocalTraffic,
+        get: |r| r.local_traffic,
+        set: Some(|r, v| r.local_traffic = v),
+    },
+    FieldCol {
+        field: Field::LocalSatTime,
+        get: |r| r.local_sat,
+        set: Some(|r, v| r.local_sat = v),
+    },
+    FieldCol { field: Field::TotalTraffic, get: |r| r.global_traffic + r.local_traffic, set: None },
+    FieldCol { field: Field::TotalSatTime, get: |r| r.global_sat + r.local_sat, set: None },
+    FieldCol { field: Field::Traffic, get: |r| r.global_traffic + r.local_traffic, set: None },
+    FieldCol { field: Field::SatTime, get: |r| r.global_sat + r.local_sat, set: None },
+];
+
+/// The link field table (shared by local and global links).
+pub const LINK_COLS: &[FieldCol<LinkRow>] = &[
+    FieldCol {
+        field: Field::GroupId,
+        get: |l| l.src_group as f64,
+        set: Some(|l, v| l.src_group = v as u32),
+    },
+    FieldCol {
+        field: Field::RouterId,
+        get: |l| l.src_router as f64,
+        set: Some(|l, v| l.src_router = v as u32),
+    },
+    FieldCol {
+        field: Field::RouterRank,
+        get: |l| l.src_rank as f64,
+        set: Some(|l, v| l.src_rank = v as u32),
+    },
+    FieldCol {
+        field: Field::RouterPort,
+        get: |l| l.src_port as f64,
+        set: Some(|l, v| l.src_port = v as u32),
+    },
+    FieldCol {
+        field: Field::Workload,
+        get: |l| l.src_job as f64,
+        set: Some(|l, v| l.src_job = v as u32),
+    },
+    FieldCol {
+        field: Field::DstGroupId,
+        get: |l| l.dst_group as f64,
+        set: Some(|l, v| l.dst_group = v as u32),
+    },
+    FieldCol {
+        field: Field::DstRouterId,
+        get: |l| l.dst_router as f64,
+        set: Some(|l, v| l.dst_router = v as u32),
+    },
+    FieldCol {
+        field: Field::DstRouterRank,
+        get: |l| l.dst_rank as f64,
+        set: Some(|l, v| l.dst_rank = v as u32),
+    },
+    FieldCol {
+        field: Field::DstRouterPort,
+        get: |l| l.dst_port as f64,
+        set: Some(|l, v| l.dst_port = v as u32),
+    },
+    FieldCol {
+        field: Field::DstWorkload,
+        get: |l| l.dst_job as f64,
+        set: Some(|l, v| l.dst_job = v as u32),
+    },
+    FieldCol { field: Field::Traffic, get: |l| l.traffic, set: Some(|l, v| l.traffic = v) },
+    FieldCol { field: Field::SatTime, get: |l| l.sat, set: Some(|l, v| l.sat = v) },
+];
+
+/// The terminal field table.
+pub const TERMINAL_COLS: &[FieldCol<TerminalRow>] = &[
+    FieldCol {
+        field: Field::GroupId,
+        get: |t| t.group as f64,
+        set: Some(|t, v| t.group = v as u32),
+    },
+    FieldCol {
+        field: Field::RouterId,
+        get: |t| t.router as f64,
+        set: Some(|t, v| t.router = v as u32),
+    },
+    FieldCol {
+        field: Field::RouterRank,
+        get: |t| t.rank as f64,
+        set: Some(|t, v| t.rank = v as u32),
+    },
+    FieldCol {
+        field: Field::RouterPort,
+        get: |t| t.port as f64,
+        set: Some(|t, v| t.port = v as u32),
+    },
+    FieldCol {
+        field: Field::TerminalId,
+        get: |t| t.terminal as f64,
+        set: Some(|t, v| t.terminal = v as u32),
+    },
+    FieldCol { field: Field::Workload, get: |t| t.job as f64, set: Some(|t, v| t.job = v as u32) },
+    FieldCol { field: Field::DataSize, get: |t| t.data_size, set: Some(|t, v| t.data_size = v) },
+    FieldCol { field: Field::Traffic, get: |t| t.data_size, set: None },
+    FieldCol { field: Field::SatTime, get: |t| t.sat, set: Some(|t, v| t.sat = v) },
+    FieldCol { field: Field::RecvBytes, get: |t| t.recv_bytes, set: Some(|t, v| t.recv_bytes = v) },
+    FieldCol { field: Field::BusyTime, get: |t| t.busy, set: Some(|t, v| t.busy = v) },
+    FieldCol {
+        field: Field::PacketsFinished,
+        get: |t| t.packets_finished,
+        set: Some(|t, v| t.packets_finished = v),
+    },
+    FieldCol {
+        field: Field::PacketsSent,
+        get: |t| t.packets_sent,
+        set: Some(|t, v| t.packets_sent = v),
+    },
+    FieldCol {
+        field: Field::AvgLatency,
+        get: |t| t.avg_latency,
+        set: Some(|t, v| t.avg_latency = v),
+    },
+    FieldCol { field: Field::AvgHops, get: |t| t.avg_hops, set: Some(|t, v| t.avg_hops = v) },
+];
+
+fn col_of<R>(cols: &'static [FieldCol<R>], kind: EntityKind, field: Field) -> fn(&R) -> f64 {
+    match cols.iter().find(|c| c.field == field) {
+        Some(c) => c.get,
+        None => panic!("{kind} rows have no field {field}"),
+    }
+}
+
 /// The flattened dataset the analytics operate on.
 #[derive(Clone, Debug, Default)]
 pub struct DataSet {
@@ -116,7 +295,70 @@ fn ranged(v: u64, bins: &Option<hrviz_network::Bins>, range: Option<(SimTime, Si
     }
 }
 
+/// A borrowed terminal-brushing predicate (see [`DataSetBuilder::brush`]).
+type BrushPredicate<'a> = Box<dyn Fn(&TerminalRow) -> bool + 'a>;
+
+/// Builder for [`DataSet`]s: the one construction path combining whole-run
+/// extraction, time-range restriction, terminal brushing (§IV-C) and idle
+/// filtering (§V-C).
+///
+/// ```
+/// # use hrviz_core::DataSet;
+/// # use hrviz_network::{DragonflyConfig, NetworkSpec, Simulation};
+/// # let run = Simulation::new(NetworkSpec::new(DragonflyConfig::canonical(2))).run();
+/// let ds = DataSet::builder(&run).drop_idle().build();
+/// ```
+pub struct DataSetBuilder<'a> {
+    run: &'a RunData,
+    range: Option<(SimTime, SimTime)>,
+    brush: Option<BrushPredicate<'a>>,
+    drop_idle: bool,
+}
+
+impl<'a> DataSetBuilder<'a> {
+    /// Restrict to `[start, end)`. Requires the run to have been sampled
+    /// ([`hrviz_network::NetworkSpec::with_sampling`]); metrics without
+    /// bins fall back to whole-run values.
+    pub fn range(mut self, start: SimTime, end: SimTime) -> Self {
+        self.range = Some((start, end));
+        self
+    }
+
+    /// Keep only terminals satisfying `pred` plus the links touching a
+    /// router that hosts a selected terminal (interactive brushing).
+    pub fn brush(mut self, pred: impl Fn(&TerminalRow) -> bool + 'a) -> Self {
+        self.brush = Some(Box::new(pred));
+        self
+    }
+
+    /// Drop idle terminals (the paper filters unused terminals out when a
+    /// job is smaller than the machine).
+    pub fn drop_idle(mut self) -> Self {
+        self.drop_idle = true;
+        self
+    }
+
+    /// Materialize the dataset.
+    pub fn build(self) -> DataSet {
+        let ds = DataSet::extract(self.run, self.range);
+        let proxy = ds.jobs.len() as u32;
+        match (self.brush, self.drop_idle) {
+            (Some(pred), true) => ds.filter_terminals(|t| t.job != proxy && pred(t)),
+            (Some(pred), false) => ds.filter_terminals(pred),
+            (None, true) => ds.filter_terminals(|t| t.job != proxy),
+            (None, false) => ds,
+        }
+    }
+}
+
 impl DataSet {
+    /// Start building a dataset from a run: the single replacement for the
+    /// old `from_run` / `from_run_range` / `brush_terminals` /
+    /// `without_idle_terminals` constructor sprawl.
+    pub fn builder(run: &RunData) -> DataSetBuilder<'_> {
+        DataSetBuilder { run, range: None, brush: None, drop_idle: false }
+    }
+
     /// Build directly from entity tables. This is how non-Dragonfly
     /// substrates (e.g. the Fat-Tree model, one of the paper's named
     /// future-work targets) feed the analytics: any topology that can
@@ -132,18 +374,18 @@ impl DataSet {
     }
 
     /// Build from a whole run.
+    #[deprecated(note = "use `DataSet::builder(run).build()`")]
     pub fn from_run(run: &RunData) -> DataSet {
-        Self::build(run, None)
+        Self::extract(run, None)
     }
 
-    /// Build restricted to `[start, end)`. Requires the run to have been
-    /// sampled ([`hrviz_network::NetworkSpec::with_sampling`]); metrics
-    /// without bins fall back to whole-run values.
+    /// Build restricted to `[start, end)`.
+    #[deprecated(note = "use `DataSet::builder(run).range(start, end).build()`")]
     pub fn from_run_range(run: &RunData, start: SimTime, end: SimTime) -> DataSet {
-        Self::build(run, Some((start, end)))
+        Self::extract(run, Some((start, end)))
     }
 
-    fn build(run: &RunData, range: Option<(SimTime, SimTime)>) -> DataSet {
+    fn extract(run: &RunData, range: Option<(SimTime, SimTime)>) -> DataSet {
         let topo = run.topology();
         let num_jobs = run.jobs.len() as u32;
         let proxy = num_jobs;
@@ -286,129 +528,46 @@ impl DataSet {
         EntityKind::ALL.iter().all(|&k| self.len(k) == 0)
     }
 
-    /// Field value of row `idx` of `kind`. Panics on fields the entity does
-    /// not carry (script validation rejects those earlier).
+    /// Field value of row `idx` of `kind`, resolved through the per-kind
+    /// field table. Panics on fields the entity does not carry (script
+    /// validation rejects those earlier).
     pub fn value(&self, kind: EntityKind, idx: usize, field: Field) -> f64 {
         match kind {
-            EntityKind::Router => {
-                let r = &self.routers[idx];
-                match field {
-                    Field::GroupId => r.group as f64,
-                    Field::RouterId => r.router as f64,
-                    Field::RouterRank => r.rank as f64,
-                    Field::Workload => r.job as f64,
-                    Field::GlobalTraffic => r.global_traffic,
-                    Field::GlobalSatTime => r.global_sat,
-                    Field::LocalTraffic => r.local_traffic,
-                    Field::LocalSatTime => r.local_sat,
-                    Field::TotalTraffic | Field::Traffic => r.global_traffic + r.local_traffic,
-                    Field::TotalSatTime | Field::SatTime => r.global_sat + r.local_sat,
-                    other => panic!("router rows have no field {other}"),
-                }
-            }
-            EntityKind::LocalLink | EntityKind::GlobalLink => {
-                let l = if kind == EntityKind::LocalLink {
-                    &self.local_links[idx]
-                } else {
-                    &self.global_links[idx]
-                };
-                match field {
-                    Field::GroupId => l.src_group as f64,
-                    Field::RouterId => l.src_router as f64,
-                    Field::RouterRank => l.src_rank as f64,
-                    Field::RouterPort => l.src_port as f64,
-                    Field::Workload => l.src_job as f64,
-                    Field::DstGroupId => l.dst_group as f64,
-                    Field::DstRouterId => l.dst_router as f64,
-                    Field::DstRouterRank => l.dst_rank as f64,
-                    Field::DstRouterPort => l.dst_port as f64,
-                    Field::DstWorkload => l.dst_job as f64,
-                    Field::Traffic => l.traffic,
-                    Field::SatTime => l.sat,
-                    other => panic!("link rows have no field {other}"),
-                }
-            }
-            EntityKind::Terminal => {
-                let t = &self.terminals[idx];
-                match field {
-                    Field::GroupId => t.group as f64,
-                    Field::RouterId => t.router as f64,
-                    Field::RouterRank => t.rank as f64,
-                    Field::RouterPort => t.port as f64,
-                    Field::TerminalId => t.terminal as f64,
-                    Field::Workload => t.job as f64,
-                    Field::Traffic | Field::DataSize => t.data_size,
-                    Field::SatTime => t.sat,
-                    Field::RecvBytes => t.recv_bytes,
-                    Field::BusyTime => t.busy,
-                    Field::PacketsFinished => t.packets_finished,
-                    Field::PacketsSent => t.packets_sent,
-                    Field::AvgLatency => t.avg_latency,
-                    Field::AvgHops => t.avg_hops,
-                    other => panic!("terminal rows have no field {other}"),
-                }
-            }
+            EntityKind::Router => col_of(ROUTER_COLS, kind, field)(&self.routers[idx]),
+            EntityKind::LocalLink => col_of(LINK_COLS, kind, field)(&self.local_links[idx]),
+            EntityKind::GlobalLink => col_of(LINK_COLS, kind, field)(&self.global_links[idx]),
+            EntityKind::Terminal => col_of(TERMINAL_COLS, kind, field)(&self.terminals[idx]),
         }
     }
 
-    /// Whether `kind` rows carry `field`.
+    /// Whether `kind` rows carry `field` — answered from the same field
+    /// table [`DataSet::value`] dispatches through, so the two can never
+    /// desync when a field is added.
     pub fn has_field(kind: EntityKind, field: Field) -> bool {
-        use Field::*;
         match kind {
-            EntityKind::Router => matches!(
-                field,
-                GroupId
-                    | RouterId
-                    | RouterRank
-                    | Workload
-                    | GlobalTraffic
-                    | GlobalSatTime
-                    | LocalTraffic
-                    | LocalSatTime
-                    | TotalTraffic
-                    | TotalSatTime
-                    | Traffic
-                    | SatTime
-            ),
-            EntityKind::LocalLink | EntityKind::GlobalLink => matches!(
-                field,
-                GroupId
-                    | RouterId
-                    | RouterRank
-                    | RouterPort
-                    | Workload
-                    | DstGroupId
-                    | DstRouterId
-                    | DstRouterRank
-                    | DstRouterPort
-                    | DstWorkload
-                    | Traffic
-                    | SatTime
-            ),
-            EntityKind::Terminal => matches!(
-                field,
-                GroupId
-                    | RouterId
-                    | RouterRank
-                    | RouterPort
-                    | TerminalId
-                    | Workload
-                    | Traffic
-                    | DataSize
-                    | SatTime
-                    | RecvBytes
-                    | BusyTime
-                    | PacketsFinished
-                    | PacketsSent
-                    | AvgLatency
-                    | AvgHops
-            ),
+            EntityKind::Router => ROUTER_COLS.iter().any(|c| c.field == field),
+            EntityKind::LocalLink | EntityKind::GlobalLink => {
+                LINK_COLS.iter().any(|c| c.field == field)
+            }
+            EntityKind::Terminal => TERMINAL_COLS.iter().any(|c| c.field == field),
+        }
+    }
+
+    /// Every field `kind` rows carry, in field-table order.
+    pub fn fields_of(kind: EntityKind) -> Vec<Field> {
+        match kind {
+            EntityKind::Router => ROUTER_COLS.iter().map(|c| c.field).collect(),
+            EntityKind::LocalLink | EntityKind::GlobalLink => {
+                LINK_COLS.iter().map(|c| c.field).collect()
+            }
+            EntityKind::Terminal => TERMINAL_COLS.iter().map(|c| c.field).collect(),
         }
     }
 
     /// Restrict to terminals satisfying `pred`, keeping links that touch a
-    /// router hosting a selected terminal (interactive brushing, §IV-C).
-    pub fn brush_terminals(&self, pred: impl Fn(&TerminalRow) -> bool) -> DataSet {
+    /// router hosting a selected terminal (shared by the builder and the
+    /// deprecated shims).
+    pub(crate) fn filter_terminals(&self, pred: impl Fn(&TerminalRow) -> bool) -> DataSet {
         let terminals: Vec<TerminalRow> =
             self.terminals.iter().filter(|t| pred(t)).copied().collect();
         let routers_kept: HashSet<u32> = terminals.iter().map(|t| t.router).collect();
@@ -430,11 +589,20 @@ impl DataSet {
         }
     }
 
+    /// Restrict to terminals satisfying `pred` (interactive brushing,
+    /// §IV-C).
+    #[deprecated(note = "use `DataSet::builder(run).brush(pred).build()` or keep the dataset \
+                         and call this through the builder")]
+    pub fn brush_terminals(&self, pred: impl Fn(&TerminalRow) -> bool) -> DataSet {
+        self.filter_terminals(pred)
+    }
+
     /// Drop idle terminals (the paper filters unused terminals out when a
     /// job is smaller than the machine, §V-C).
+    #[deprecated(note = "use `DataSet::builder(run).drop_idle().build()`")]
     pub fn without_idle_terminals(&self) -> DataSet {
         let proxy = self.jobs.len() as u32;
-        self.brush_terminals(|t| t.job != proxy)
+        self.filter_terminals(|t| t.job != proxy)
     }
 }
 
@@ -468,7 +636,7 @@ mod tests {
     #[test]
     fn dataset_row_counts_match_run() {
         let run = toy_run(false);
-        let ds = DataSet::from_run(&run);
+        let ds = DataSet::builder(&run).build();
         assert_eq!(ds.terminals.len(), run.terminals.len());
         assert_eq!(ds.local_links.len(), run.local_links.len());
         assert_eq!(ds.global_links.len(), run.global_links.len());
@@ -480,7 +648,7 @@ mod tests {
     #[test]
     fn values_are_consistent_across_entities() {
         let run = toy_run(false);
-        let ds = DataSet::from_run(&run);
+        let ds = DataSet::builder(&run).build();
         // Router local traffic equals the sum of its local-link rows.
         let r0_local: f64 =
             ds.local_links.iter().filter(|l| l.src_router == 0).map(|l| l.traffic).sum();
@@ -494,7 +662,7 @@ mod tests {
     #[test]
     fn job_stamping_and_proxy_label() {
         let run = toy_run(false);
-        let ds = DataSet::from_run(&run);
+        let ds = DataSet::builder(&run).build();
         assert_eq!(ds.terminals[0].job, 0);
         assert_eq!(ds.terminals[40].job, 1); // proxy index
         assert_eq!(ds.job_label(0), "toy");
@@ -507,14 +675,14 @@ mod tests {
     #[test]
     fn time_range_restriction_reduces_traffic() {
         let run = toy_run(true);
-        let full = DataSet::from_run(&run);
-        let early = DataSet::from_run_range(&run, SimTime::ZERO, SimTime::micros(1));
+        let full = DataSet::builder(&run).build();
+        let early = DataSet::builder(&run).range(SimTime::ZERO, SimTime::micros(1)).build();
         let total_full: f64 = full.terminals.iter().map(|t| t.data_size).sum();
         let total_early: f64 = early.terminals.iter().map(|t| t.data_size).sum();
         assert!(total_early <= total_full);
         assert!(total_early > 0.0, "injections happen at t=0");
         // The full range via bins reproduces the whole-run totals.
-        let all = DataSet::from_run_range(&run, SimTime::ZERO, SimTime::millis(100));
+        let all = DataSet::builder(&run).range(SimTime::ZERO, SimTime::millis(100)).build();
         let total_all: f64 = all.terminals.iter().map(|t| t.data_size).sum();
         assert_eq!(total_all, total_full);
     }
@@ -522,8 +690,7 @@ mod tests {
     #[test]
     fn brushing_keeps_touching_links() {
         let run = toy_run(false);
-        let ds = DataSet::from_run(&run);
-        let brushed = ds.brush_terminals(|t| t.terminal < 2);
+        let brushed = DataSet::builder(&run).brush(|t| t.terminal < 2).build();
         assert_eq!(brushed.terminals.len(), 2);
         assert!(brushed.local_links.iter().all(|l| l.src_router == 0 || l.dst_router == 0));
         assert!(!brushed.local_links.is_empty());
@@ -533,8 +700,29 @@ mod tests {
     #[test]
     fn idle_filtering_drops_unused_terminals() {
         let run = toy_run(false);
-        let ds = DataSet::from_run(&run).without_idle_terminals();
+        let ds = DataSet::builder(&run).drop_idle().build();
         assert_eq!(ds.terminals.len(), 16);
+        // Brushing and idle filtering compose in one pass.
+        let both = DataSet::builder(&run).brush(|t| t.terminal < 4).drop_idle().build();
+        assert_eq!(both.terminals.len(), 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        let run = toy_run(false);
+        let ds = DataSet::from_run(&run);
+        let built = DataSet::builder(&run).build();
+        assert_eq!(ds.terminals, built.terminals);
+        assert_eq!(ds.local_links, built.local_links);
+        assert_eq!(
+            ds.without_idle_terminals().terminals,
+            DataSet::builder(&run).drop_idle().build().terminals
+        );
+        assert_eq!(
+            ds.brush_terminals(|t| t.terminal < 2).terminals,
+            DataSet::builder(&run).brush(|t| t.terminal < 2).build().terminals
+        );
     }
 
     #[test]
@@ -547,10 +735,29 @@ mod tests {
     }
 
     #[test]
+    fn field_table_is_the_single_source_of_truth() {
+        // Every field the table lists is readable through value(); derived
+        // fields (no setter) are consistent with their stored parts.
+        let run = toy_run(false);
+        let ds = DataSet::builder(&run).build();
+        for kind in EntityKind::ALL {
+            for field in DataSet::fields_of(kind) {
+                assert!(DataSet::has_field(kind, field));
+                let v = ds.value(kind, 0, field);
+                assert!(v.is_finite(), "{kind}/{field} yields a finite value");
+            }
+        }
+        let total = ds.value(EntityKind::Router, 0, Field::TotalTraffic);
+        let parts = ds.value(EntityKind::Router, 0, Field::GlobalTraffic)
+            + ds.value(EntityKind::Router, 0, Field::LocalTraffic);
+        assert_eq!(total, parts);
+    }
+
+    #[test]
     #[should_panic(expected = "have no field")]
     fn wrong_field_panics() {
         let run = toy_run(false);
-        let ds = DataSet::from_run(&run);
+        let ds = DataSet::builder(&run).build();
         ds.value(EntityKind::Router, 0, Field::AvgLatency);
     }
 }

@@ -224,7 +224,7 @@ pub fn brush_axis(ds: &DataSet, field: Field, lo: f64, hi: f64) -> DataSet {
         };
         v >= lo && v <= hi
     };
-    ds.brush_terminals(check)
+    ds.filter_terminals(check)
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@
 //! let run = sim.run();
 //!
 //! // ...analyze with a projection script.
-//! let ds = DataSet::from_run(&run);
+//! let ds = DataSet::builder(&run).build();
 //! let spec = script::parse_script(r#"
 //!     { project: "router", aggregate: "router_rank",
 //!       vmap: { color: "total_sat_time", size: "total_traffic" } }
@@ -44,6 +44,7 @@
 
 pub mod aggregate;
 pub mod color;
+pub mod columnar;
 pub mod compare;
 pub mod dataset;
 pub mod detail;
@@ -53,15 +54,18 @@ pub mod script;
 pub mod spec;
 pub mod timeline;
 
-pub use aggregate::{bin_items, group_rows, AggregateItem, AggregateTree, TreeLevel};
+pub use aggregate::{
+    bin_items, group_rows, AggregateCache, AggregateItem, AggregateTree, DataKey, TreeLevel,
+};
 pub use color::{Color, ColorScale};
-pub use compare::{compare_views, shared_scales};
-pub use dataset::{DataSet, LinkRow, RouterRow, TerminalRow};
+pub use columnar::{schema_of, ColumnTable, ColumnarDataSet};
+pub use compare::{compare_views, compare_views_cached, shared_scales, shared_scales_cached};
+pub use dataset::{DataSet, DataSetBuilder, LinkRow, RouterRow, TerminalRow};
 pub use detail::{brush_axis, DetailView, LinkScatter, ParallelCoords, PCP_AXES};
 pub use entity::{AggRule, EntityKind, Field};
 pub use projection::{
-    build_view, build_view_scaled, compute_scales, ArcSegment, ProjectionView, Ribbon, Ring,
-    ScaleSet, VisualItem,
+    build_view, build_view_cached, build_view_scaled, build_view_scaled_cached, compute_scales,
+    compute_scales_cached, ArcSegment, ProjectionView, Ribbon, Ring, ScaleSet, VisualItem,
 };
 pub use script::{parse_script, to_script, FIG5A_SCRIPT, FIG5B_SCRIPT};
 pub use spec::{FilterClause, LevelSpec, PlotKind, ProjectionSpec, RibbonSpec, SpecError, VMap};

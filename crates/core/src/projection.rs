@@ -6,7 +6,7 @@
 //! view model is geometry-free (angular spans in turns, values in `[0,1]`);
 //! `hrviz-render` turns it into SVG.
 
-use crate::aggregate::{bin_items, group_rows, AggregateItem};
+use crate::aggregate::{bin_items, group_rows, AggregateCache, AggregateItem, DataKey};
 use crate::color::{Color, ColorScale};
 use crate::dataset::DataSet;
 use crate::entity::{AggRule, EntityKind, Field};
@@ -171,13 +171,22 @@ struct LevelBuild {
     key_to_item: BTreeMap<Vec<u64>, usize>,
 }
 
-fn build_level_items(ds: &DataSet, lv: &LevelSpec) -> LevelBuild {
+/// Optional aggregation memoization: views built over a stored run thread
+/// the cache plus the run's [`DataKey`] through every grouping call.
+type Cache<'a> = Option<(&'a AggregateCache, DataKey)>;
+
+fn build_level_items(ds: &DataSet, lv: &LevelSpec, cache: Cache) -> LevelBuild {
     // Filter rows first.
     let n = ds.len(lv.entity);
     let passes = |i: usize| lv.filter.iter().all(|c| c.accepts(ds.value(lv.entity, i, c.field)));
     // Group (respecting filters) — group_rows works on the whole table, so
-    // group then strip filtered rows.
-    let mut items = group_rows(ds, lv.entity, &lv.aggregate);
+    // group then strip filtered rows. The grouping (the sort) is the
+    // expensive part, so that is what the cache memoizes; the filter and
+    // binning below mutate a clone of the shared result.
+    let mut items = match cache {
+        Some((c, key)) => (*c.group_rows(key, ds, lv.entity, &lv.aggregate)).clone(),
+        None => group_rows(ds, lv.entity, &lv.aggregate),
+    };
     if !lv.filter.is_empty() {
         for it in &mut items {
             it.rows.retain(|&r| passes(r));
@@ -255,14 +264,33 @@ fn level_scales(
 /// Compute the auto scales a view of `spec` over `ds` would use; merge the
 /// results from several datasets for fair cross-run comparison.
 pub fn compute_scales(ds: &DataSet, spec: &ProjectionSpec) -> Result<ScaleSet, SpecError> {
+    compute_scales_inner(ds, spec, None)
+}
+
+/// [`compute_scales`] with aggregation memoized through `cache` under the
+/// stored run identified by `key`.
+pub fn compute_scales_cached(
+    ds: &DataSet,
+    spec: &ProjectionSpec,
+    cache: &AggregateCache,
+    key: DataKey,
+) -> Result<ScaleSet, SpecError> {
+    compute_scales_inner(ds, spec, Some((cache, key)))
+}
+
+fn compute_scales_inner(
+    ds: &DataSet,
+    spec: &ProjectionSpec,
+    cache: Cache,
+) -> Result<ScaleSet, SpecError> {
     spec.validate()?;
     let mut scales = ScaleSet::default();
     for (i, lv) in spec.levels.iter().enumerate() {
-        let build = build_level_items(ds, lv);
+        let build = build_level_items(ds, lv, cache);
         level_scales(ds, lv, &build.items, i, &mut scales);
     }
     // Ribbons + arcs.
-    let ring0 = build_level_items(ds, &spec.levels[0]);
+    let ring0 = build_level_items(ds, &spec.levels[0], cache);
     if let Some(rs) = &spec.ribbons {
         let bundles = bundle_links(ds, spec, rs, &ring0);
         let (mut slo, mut shi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -389,15 +417,48 @@ pub fn build_view(ds: &DataSet, spec: &ProjectionSpec) -> Result<ProjectionView,
     build_view_scaled(ds, spec, &scales)
 }
 
+/// [`build_view`] with aggregation memoized through `cache`: repeat views
+/// over the same stored run (same [`DataKey`]) reuse grouped items instead
+/// of re-scanning and re-sorting rows.
+pub fn build_view_cached(
+    ds: &DataSet,
+    spec: &ProjectionSpec,
+    cache: &AggregateCache,
+    key: DataKey,
+) -> Result<ProjectionView, SpecError> {
+    let scales = compute_scales_cached(ds, spec, cache, key)?;
+    build_view_scaled_cached(ds, spec, &scales, cache, key)
+}
+
 /// Build a projection view using explicit scales (cross-run comparison).
 pub fn build_view_scaled(
     ds: &DataSet,
     spec: &ProjectionSpec,
     scales: &ScaleSet,
 ) -> Result<ProjectionView, SpecError> {
+    build_view_scaled_inner(ds, spec, scales, None)
+}
+
+/// [`build_view_scaled`] with aggregation memoized through `cache`.
+pub fn build_view_scaled_cached(
+    ds: &DataSet,
+    spec: &ProjectionSpec,
+    scales: &ScaleSet,
+    cache: &AggregateCache,
+    key: DataKey,
+) -> Result<ProjectionView, SpecError> {
+    build_view_scaled_inner(ds, spec, scales, Some((cache, key)))
+}
+
+fn build_view_scaled_inner(
+    ds: &DataSet,
+    spec: &ProjectionSpec,
+    scales: &ScaleSet,
+    cache: Cache,
+) -> Result<ProjectionView, SpecError> {
     let _span = hrviz_obs::get().span("core/project");
     spec.validate()?;
-    let ring0_build = build_level_items(ds, &spec.levels[0]);
+    let ring0_build = build_level_items(ds, &spec.levels[0], cache);
 
     // --- arcs: ring-0 spans ---
     let lv0 = &spec.levels[0];
@@ -445,7 +506,7 @@ pub fn build_view_scaled(
                 key_to_item: ring0_build.key_to_item.clone(),
             }
         } else {
-            build_level_items(ds, lv)
+            build_level_items(ds, lv, cache)
         };
         let n = build.items.len().max(1);
         let items: Vec<VisualItem> = build
@@ -720,6 +781,26 @@ mod tests {
         let (kind, rows) = view.item_rows(0, 0);
         assert_eq!(kind, EntityKind::Terminal);
         assert_eq!(rows, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cached_build_matches_uncached_and_hits_on_repeat() {
+        let d = ds();
+        let spec = group_spec();
+        let cache = AggregateCache::new();
+        let key = DataKey { run: 42, generation: 1 };
+        let plain = build_view(&d, &spec).unwrap();
+        let cached = build_view_cached(&d, &spec, &cache, key).unwrap();
+        assert_eq!(plain.rings.len(), cached.rings.len());
+        for (a, b) in plain.rings.iter().zip(&cached.rings) {
+            let ca: Vec<_> = a.items.iter().map(|i| (i.color, i.size, i.span)).collect();
+            let cb: Vec<_> = b.items.iter().map(|i| (i.color, i.size, i.span)).collect();
+            assert_eq!(ca, cb);
+        }
+        assert!(cache.misses() > 0);
+        let before_hits = cache.hits();
+        build_view_cached(&d, &spec, &cache, key).unwrap();
+        assert!(cache.hits() > before_hits, "repeat view must hit the cache");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The timeline view (paper §IV-C, Fig. 6c): temporal statistics of either
 //! the total traffic/saturation per link class, or normalized mean terminal
 //! metrics; a selected time range feeds
-//! [`DataSet::from_run_range`](crate::dataset::DataSet::from_run_range).
+//! [`DataSetBuilder::range`](crate::dataset::DataSetBuilder::range).
 
 use hrviz_network::{LinkClass, RunData};
 use hrviz_pdes::SimTime;
@@ -103,7 +103,7 @@ impl TimelineView {
     }
 
     /// Select bins `[from, to)`; returns the simulated-time range to pass
-    /// to [`DataSet::from_run_range`](crate::dataset::DataSet::from_run_range).
+    /// to [`DataSetBuilder::range`](crate::dataset::DataSetBuilder::range).
     pub fn select_bins(&mut self, from: usize, to: usize) -> (SimTime, SimTime) {
         assert!(from < to, "empty selection");
         self.selection = Some((from, to));

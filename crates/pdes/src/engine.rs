@@ -25,6 +25,18 @@ pub struct EngineStats {
     pub peak_queue_depth: u64,
 }
 
+impl EngineStats {
+    /// Fold another run's stats into this one: counters add, the end time
+    /// and queue high-water mark take the maximum. Used by batch drivers
+    /// (the sweep engine) to report totals across isolated runs.
+    pub fn accumulate(&mut self, other: &EngineStats) {
+        self.events_processed += other.events_processed;
+        self.events_scheduled += other.events_scheduled;
+        self.end_time = self.end_time.max(other.end_time);
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+    }
+}
+
 /// Outcome of [`Engine::run_until`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunOutcome {

@@ -1,0 +1,240 @@
+//! The parallel sweep executor.
+//!
+//! [`SweepEngine::run`] expands a [`SweepSpec`], splits the grid into
+//! store hits (already simulated — content address present) and misses,
+//! shards the misses across a fixed-width worker pool, persists each new
+//! run, and bumps the store generation once. The returned [`SweepOutcome`]
+//! carries the hit/miss split and aggregate engine counters; its JSON form
+//! is the artifact CI greps for the all-cache-hit assertion.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use hrviz_faults::HrvizError;
+use hrviz_obs::Json;
+use hrviz_pdes::EngineStats;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+use crate::spec::{RunConfig, SweepSpec};
+use crate::store::RunStore;
+
+/// Executes sweeps against one [`RunStore`].
+#[derive(Debug)]
+pub struct SweepEngine {
+    store: RunStore,
+    workers: usize,
+}
+
+impl SweepEngine {
+    /// An engine over `store` using one worker per core.
+    pub fn new(store: RunStore) -> SweepEngine {
+        SweepEngine { store, workers: 0 }
+    }
+
+    /// Use exactly `workers` worker threads (`0` restores the per-core
+    /// default). Worker count never changes results — only wall clock.
+    pub fn with_workers(mut self, workers: usize) -> SweepEngine {
+        self.workers = workers;
+        self
+    }
+
+    /// The engine's store.
+    pub fn store(&self) -> &RunStore {
+        &self.store
+    }
+
+    /// Execute every config of `spec` that the store does not already
+    /// hold, in parallel, and persist the results.
+    pub fn run(&self, spec: &SweepSpec) -> Result<SweepOutcome, HrvizError> {
+        let start = Instant::now();
+        let obs = hrviz_obs::get();
+        let _span = obs.span("sweep/run");
+        let configs = spec.expand()?;
+        let run_ids: Vec<String> = configs.iter().map(RunConfig::run_id).collect();
+        let (hits, misses): (Vec<&RunConfig>, Vec<&RunConfig>) =
+            configs.iter().partition(|c| self.store.contains(&c.run_id()));
+        obs.counter_add("sweep/store_hit", hits.len() as u64);
+        obs.counter_add("sweep/store_miss", misses.len() as u64);
+        obs.log(
+            hrviz_obs::LogLevel::Info,
+            &format!(
+                "sweep {:?}: {} configs, {} cached, {} to run",
+                spec.name,
+                configs.len(),
+                hits.len(),
+                misses.len()
+            ),
+        );
+
+        let mut stats = EngineStats::default();
+        if !misses.is_empty() {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(self.workers)
+                .build()
+                .map_err(|e| HrvizError::config(format!("worker pool: {e}")))?;
+            let results: Vec<Result<_, HrvizError>> =
+                pool.install(|| misses.par_iter().map(|cfg| cfg.execute()).collect());
+            // Persist in deterministic (expansion) order; fail on the
+            // first simulation error without committing a generation bump.
+            for (cfg, result) in misses.iter().zip(results) {
+                let result = result?;
+                stats.accumulate(&result.stats);
+                self.store.save(cfg, &result)?;
+            }
+            self.store.bump_generation()?;
+        }
+
+        Ok(SweepOutcome {
+            name: spec.name.clone(),
+            workers: self.effective_workers(),
+            configs: configs.len(),
+            store_hits: hits.len(),
+            store_misses: misses.len(),
+            events_simulated: stats.events_processed,
+            stats,
+            run_ids,
+            generation: self.store.generation(),
+            wall: start.elapsed(),
+        })
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// What one [`SweepEngine::run`] call did.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Sweep name.
+    pub name: String,
+    /// Worker threads used for the miss set.
+    pub workers: usize,
+    /// Total grid size.
+    pub configs: usize,
+    /// Configs already in the store (no simulation).
+    pub store_hits: usize,
+    /// Configs that had to be simulated.
+    pub store_misses: usize,
+    /// Events processed across all new simulations (0 for an all-hit
+    /// sweep — the warm-cache assertion CI checks).
+    pub events_simulated: u64,
+    /// Folded engine counters for the new simulations.
+    pub stats: EngineStats,
+    /// Run ids of the full grid, in expansion order.
+    pub run_ids: Vec<String>,
+    /// Store generation after the sweep.
+    pub generation: u64,
+    /// Wall-clock time of the whole sweep.
+    pub wall: Duration,
+}
+
+impl SweepOutcome {
+    /// JSON form of the outcome (this is a *report* artifact — unlike the
+    /// store it includes wall-clock — so it lives outside the store root).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("sweep", Json::Str(self.name.clone())),
+            ("workers", Json::U64(self.workers as u64)),
+            ("configs", Json::U64(self.configs as u64)),
+            ("store_hits", Json::U64(self.store_hits as u64)),
+            ("store_misses", Json::U64(self.store_misses as u64)),
+            ("events_simulated", Json::U64(self.events_simulated)),
+            ("end_time_ns", Json::U64(self.stats.end_time.as_nanos())),
+            ("generation", Json::U64(self.generation)),
+            ("wall_s", Json::F64(self.wall.as_secs_f64())),
+            ("runs", Json::Arr(self.run_ids.iter().map(|r| Json::Str(r.clone())).collect())),
+        ])
+    }
+
+    /// Write the report as `sweep_<name>.json` under `dir`.
+    pub fn write(&self, dir: &Path) -> Result<PathBuf, HrvizError> {
+        std::fs::create_dir_all(dir).map_err(|e| HrvizError::io(dir.display().to_string(), e))?;
+        let path = dir.join(format!("sweep_{}.json", self.name));
+        std::fs::write(&path, self.to_json().render() + "\n")
+            .map_err(|e| HrvizError::io(path.display().to_string(), e))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TopologyAxis;
+    use hrviz_network::RoutingAlgorithm;
+    use hrviz_pdes::SimTime;
+    use hrviz_workloads::TrafficPattern;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hrviz-sweep-eng-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn grid() -> SweepSpec {
+        SweepSpec::new("grid", TopologyAxis::Dragonfly { terminals: 72 })
+            .routings([RoutingAlgorithm::Minimal, RoutingAlgorithm::adaptive_default()])
+            .patterns([TrafficPattern::UniformRandom, TrafficPattern::Tornado])
+            .msgs_per_rank(2)
+            .msg_bytes(1024)
+            .period(SimTime::micros(1))
+    }
+
+    #[test]
+    fn second_identical_sweep_is_all_hits_with_zero_events() {
+        let root = tmp("warm");
+        let engine = SweepEngine::new(RunStore::open(&root).unwrap()).with_workers(2);
+        let cold = engine.run(&grid()).unwrap();
+        assert_eq!(cold.configs, 4);
+        assert_eq!(cold.store_misses, 4);
+        assert_eq!(cold.store_hits, 0);
+        assert!(cold.events_simulated > 0);
+        assert_eq!(cold.generation, 1);
+
+        let warm = engine.run(&grid()).unwrap();
+        assert_eq!(warm.store_hits, 4);
+        assert_eq!(warm.store_misses, 0);
+        assert_eq!(warm.events_simulated, 0, "a warm sweep simulates nothing");
+        assert_eq!(warm.generation, 1, "all-hit sweeps do not invalidate caches");
+        assert_eq!(warm.run_ids, cold.run_ids);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn widening_a_sweep_only_simulates_the_new_points() {
+        let root = tmp("widen");
+        let engine = SweepEngine::new(RunStore::open(&root).unwrap()).with_workers(2);
+        let narrow = grid().seeds([42]);
+        engine.run(&narrow).unwrap();
+        let wide = grid().seeds([42, 43]);
+        let out = engine.run(&wide).unwrap();
+        assert_eq!(out.configs, 8);
+        assert_eq!(out.store_hits, 4);
+        assert_eq!(out.store_misses, 4);
+        assert_eq!(out.generation, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn outcome_report_renders_and_writes() {
+        let root = tmp("report");
+        let engine = SweepEngine::new(RunStore::open(&root).unwrap()).with_workers(1);
+        let spec = SweepSpec::new("one", TopologyAxis::FatTree { k: 4 })
+            .msgs_per_rank(1)
+            .msg_bytes(512)
+            .period(SimTime::micros(1));
+        let out = engine.run(&spec).unwrap();
+        let text = out.to_json().render();
+        assert!(text.contains("\"store_misses\":1"), "{text}");
+        let report_dir = root.join("reports");
+        let path = out.write(&report_dir).unwrap();
+        assert!(std::fs::read_to_string(path).unwrap().contains("\"sweep\":\"one\""));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

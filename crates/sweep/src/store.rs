@@ -1,0 +1,409 @@
+//! The content-addressed columnar run store.
+//!
+//! Every executed [`RunConfig`](crate::RunConfig) lands under
+//! `<root>/<run-id>/` where `run-id` is the 16-hex-digit fingerprint of the
+//! config's canonical string. A run directory holds exactly two files:
+//!
+//! * `manifest.json` — flat JSON with the canonical string, counters and
+//!   byte totals. **No wall-clock fields**: serial and parallel sweeps of
+//!   the same grid must produce byte-identical stores.
+//! * `columns.jsonl` — the [`ColumnarDataSet`]: line 1 is a header with
+//!   the job names and time range, then one line per stored column in
+//!   schema order (`{"table":…,"field":…,"values":[…]}`). Floats render
+//!   via Rust's shortest-round-trip `Display` and parse back with
+//!   `str::parse::<f64>`, so the JSONL round-trip is bit-exact.
+//!
+//! The store keeps a `GENERATION` counter at the root, bumped once per
+//! sweep that executed at least one new run. [`RunStore::data_key`] folds
+//! it into the [`DataKey`] used by the analytics-side
+//! [`AggregateCache`](hrviz_core::AggregateCache), so cached aggregates
+//! are invalidated when the store contents move under them.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hrviz_core::{schema_of, ColumnTable, ColumnarDataSet, DataKey, EntityKind, Field};
+use hrviz_faults::json::{self, Value};
+use hrviz_faults::HrvizError;
+use hrviz_obs::Json;
+use hrviz_pdes::SimTime;
+
+use crate::spec::{RunConfig, RunResult};
+
+/// The four persisted tables, in file order.
+const TABLE_ORDER: [EntityKind; 4] =
+    [EntityKind::Router, EntityKind::LocalLink, EntityKind::GlobalLink, EntityKind::Terminal];
+
+/// A directory of content-addressed runs.
+#[derive(Clone, Debug)]
+pub struct RunStore {
+    root: PathBuf,
+}
+
+/// The persisted per-run manifest (everything except the tables).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredManifest {
+    /// Run id (16 hex digits of the config hash).
+    pub run: String,
+    /// The config's canonical string.
+    pub canonical: String,
+    /// Human-readable label.
+    pub label: String,
+    /// RNG seed.
+    pub seed: u64,
+    /// Events the engine processed.
+    pub events_processed: u64,
+    /// Events the engine scheduled (0 for runners that don't report it).
+    pub events_scheduled: u64,
+    /// Simulated end time, nanoseconds.
+    pub end_time_ns: u64,
+    /// Engine queue high-water mark.
+    pub peak_queue_depth: u64,
+    /// Bytes delivered.
+    pub delivered: u64,
+    /// Bytes injected.
+    pub injected: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Packets rerouted.
+    pub rerouted: u64,
+}
+
+/// A run loaded back from the store.
+#[derive(Clone, Debug)]
+pub struct StoredRun {
+    /// The manifest.
+    pub manifest: StoredManifest,
+    /// The columnar tables.
+    pub data: ColumnarDataSet,
+}
+
+impl RunStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<RunStore, HrvizError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| HrvizError::io(root.display().to_string(), e))?;
+        Ok(RunStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn run_dir(&self, run_id: &str) -> PathBuf {
+        self.root.join(run_id)
+    }
+
+    /// The store generation: bumped whenever a sweep adds runs. `0` for a
+    /// fresh store.
+    pub fn generation(&self) -> u64 {
+        fs::read_to_string(self.root.join("GENERATION"))
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Advance the generation counter, returning the new value.
+    pub fn bump_generation(&self) -> Result<u64, HrvizError> {
+        let next = self.generation() + 1;
+        let path = self.root.join("GENERATION");
+        fs::write(&path, format!("{next}\n"))
+            .map_err(|e| HrvizError::io(path.display().to_string(), e))?;
+        Ok(next)
+    }
+
+    /// Whether the store already holds a complete run for `run_id`.
+    pub fn contains(&self, run_id: &str) -> bool {
+        let dir = self.run_dir(run_id);
+        dir.join("manifest.json").is_file() && dir.join("columns.jsonl").is_file()
+    }
+
+    /// The aggregation-cache key for a config against the current store
+    /// contents: config hash + store generation.
+    pub fn data_key(&self, cfg: &RunConfig) -> DataKey {
+        DataKey { run: cfg.hash(), generation: self.generation() }
+    }
+
+    /// Ids of every complete run in the store, sorted.
+    pub fn runs(&self) -> Result<Vec<String>, HrvizError> {
+        let entries = fs::read_dir(&self.root)
+            .map_err(|e| HrvizError::io(self.root.display().to_string(), e))?;
+        let mut out = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| HrvizError::io(self.root.display().to_string(), e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if self.contains(name) {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Persist one executed run. The column file is written before the
+    /// manifest so a partially-written run never passes [`RunStore::contains`].
+    pub fn save(&self, cfg: &RunConfig, result: &RunResult) -> Result<PathBuf, HrvizError> {
+        let dir = self.run_dir(&cfg.run_id());
+        fs::create_dir_all(&dir).map_err(|e| HrvizError::io(dir.display().to_string(), e))?;
+        let columns = columns_jsonl(&ColumnarDataSet::from_dataset(&result.dataset));
+        let col_path = dir.join("columns.jsonl");
+        fs::write(&col_path, columns)
+            .map_err(|e| HrvizError::io(col_path.display().to_string(), e))?;
+        let man_path = dir.join("manifest.json");
+        fs::write(&man_path, manifest_json(cfg, result).render() + "\n")
+            .map_err(|e| HrvizError::io(man_path.display().to_string(), e))?;
+        Ok(dir)
+    }
+
+    /// Load a run back from the store.
+    pub fn load(&self, run_id: &str) -> Result<StoredRun, HrvizError> {
+        let dir = self.run_dir(run_id);
+        let man_path = dir.join("manifest.json");
+        let man_text = fs::read_to_string(&man_path)
+            .map_err(|e| HrvizError::io(man_path.display().to_string(), e))?;
+        let manifest = parse_manifest(&man_text)
+            .map_err(|e| HrvizError::parse(man_path.display().to_string(), e))?;
+        let col_path = dir.join("columns.jsonl");
+        let col_text = fs::read_to_string(&col_path)
+            .map_err(|e| HrvizError::io(col_path.display().to_string(), e))?;
+        let data = parse_columns(&col_text)
+            .map_err(|e| HrvizError::parse(col_path.display().to_string(), e))?;
+        Ok(StoredRun { manifest, data })
+    }
+}
+
+fn manifest_json(cfg: &RunConfig, result: &RunResult) -> Json {
+    Json::obj([
+        ("run", Json::Str(cfg.run_id())),
+        ("canonical", Json::Str(cfg.canonical())),
+        ("label", Json::Str(cfg.label())),
+        ("seed", Json::U64(cfg.seed)),
+        ("events_processed", Json::U64(result.stats.events_processed)),
+        ("events_scheduled", Json::U64(result.stats.events_scheduled)),
+        ("end_time_ns", Json::U64(result.stats.end_time.as_nanos())),
+        ("peak_queue_depth", Json::U64(result.stats.peak_queue_depth)),
+        ("delivered", Json::U64(result.delivered)),
+        ("injected", Json::U64(result.injected)),
+        ("dropped", Json::U64(result.dropped)),
+        ("rerouted", Json::U64(result.rerouted)),
+    ])
+}
+
+fn parse_manifest(text: &str) -> Result<StoredManifest, String> {
+    let v = json::parse(text)?;
+    let s = |key: &str| -> Result<String, String> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("manifest missing string field {key:?}"))
+    };
+    let n = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("manifest missing numeric field {key:?}"))
+    };
+    Ok(StoredManifest {
+        run: s("run")?,
+        canonical: s("canonical")?,
+        label: s("label")?,
+        seed: n("seed")?,
+        events_processed: n("events_processed")?,
+        events_scheduled: n("events_scheduled")?,
+        end_time_ns: n("end_time_ns")?,
+        peak_queue_depth: n("peak_queue_depth")?,
+        delivered: n("delivered")?,
+        injected: n("injected")?,
+        dropped: n("dropped")?,
+        rerouted: n("rerouted")?,
+    })
+}
+
+fn table_of(col: &ColumnarDataSet, kind: EntityKind) -> &ColumnTable {
+    match kind {
+        EntityKind::Router => &col.routers,
+        EntityKind::LocalLink => &col.local_links,
+        EntityKind::GlobalLink => &col.global_links,
+        EntityKind::Terminal => &col.terminals,
+    }
+}
+
+fn columns_jsonl(col: &ColumnarDataSet) -> String {
+    let mut out = String::new();
+    let header = Json::obj([
+        ("jobs", Json::Arr(col.jobs.iter().map(|j| Json::Str(j.clone())).collect())),
+        (
+            "time_range",
+            match col.time_range {
+                None => Json::Null,
+                Some((s, e)) => Json::Arr(vec![Json::U64(s.as_nanos()), Json::U64(e.as_nanos())]),
+            },
+        ),
+    ]);
+    out.push_str(&header.render());
+    out.push('\n');
+    for kind in TABLE_ORDER {
+        for (field, values) in table_of(col, kind).iter() {
+            let line = Json::obj([
+                ("table", Json::Str(kind.name().to_string())),
+                ("field", Json::Str(field.name().to_string())),
+                ("values", Json::Arr(values.iter().map(|&x| Json::F64(x)).collect())),
+            ]);
+            out.push_str(&line.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn parse_columns(text: &str) -> Result<ColumnarDataSet, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = json::parse(lines.next().ok_or("empty column file")?)?;
+    let jobs: Vec<String> = header
+        .get("jobs")
+        .and_then(Value::as_arr)
+        .ok_or("header missing jobs array")?
+        .iter()
+        .map(|j| j.as_str().map(str::to_string).ok_or("non-string job name".to_string()))
+        .collect::<Result<_, _>>()?;
+    let time_range = match header.get("time_range") {
+        None | Some(Value::Null) => None,
+        Some(v) => {
+            let arr = v.as_arr().ok_or("time_range must be null or [start, end]")?;
+            match arr {
+                [s, e] => {
+                    let s = s.as_u64().ok_or("non-integer time_range start")?;
+                    let e = e.as_u64().ok_or("non-integer time_range end")?;
+                    Some((SimTime::nanos(s), SimTime::nanos(e)))
+                }
+                _ => return Err("time_range must have exactly two entries".into()),
+            }
+        }
+    };
+
+    // Collect (field, values) per table in file order, then let the
+    // validated constructors check them against the schema.
+    let mut fields: Vec<Vec<Field>> = vec![Vec::new(); TABLE_ORDER.len()];
+    let mut columns: Vec<Vec<Vec<f64>>> = vec![Vec::new(); TABLE_ORDER.len()];
+    for line in lines {
+        let v = json::parse(line)?;
+        let table = v.get("table").and_then(Value::as_str).ok_or("column missing table")?;
+        let kind = EntityKind::parse(table).ok_or_else(|| format!("unknown table {table:?}"))?;
+        let slot = TABLE_ORDER
+            .iter()
+            .position(|&k| k == kind)
+            .ok_or_else(|| format!("unexpected table {table:?}"))?;
+        let name = v.get("field").and_then(Value::as_str).ok_or("column missing field")?;
+        let field = Field::parse(name).ok_or_else(|| format!("unknown field {name:?}"))?;
+        let values: Vec<f64> = v
+            .get("values")
+            .and_then(Value::as_arr)
+            .ok_or("column missing values")?
+            .iter()
+            .map(|x| x.as_f64().ok_or_else(|| format!("non-numeric value in {name}")))
+            .collect::<Result<_, _>>()?;
+        fields[slot].push(field);
+        columns[slot].push(values);
+    }
+
+    let mut tables = Vec::with_capacity(TABLE_ORDER.len());
+    for (i, kind) in TABLE_ORDER.into_iter().enumerate() {
+        // A present table with zero columns only ever means rows existed
+        // but no stored fields — impossible; empty tables still list every
+        // schema column with zero values. Reconstruct empty tables when
+        // the run had no rows at all.
+        let (f, c) = (std::mem::take(&mut fields[i]), std::mem::take(&mut columns[i]));
+        let table = if f.is_empty() {
+            ColumnTable::new(
+                kind,
+                schema_of(kind),
+                schema_of(kind).iter().map(|_| Vec::new()).collect(),
+            )?
+        } else {
+            ColumnTable::new(kind, f, c)?
+        };
+        tables.push(table);
+    }
+    let [routers, local_links, global_links, terminals]: [ColumnTable; 4] =
+        tables.try_into().expect("four tables");
+    ColumnarDataSet::new(jobs, routers, local_links, global_links, terminals, time_range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SweepSpec, TopologyAxis};
+    use hrviz_pdes::SimTime as T;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hrviz-sweep-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_run() -> (RunConfig, RunResult) {
+        let cfg = SweepSpec::new("t", TopologyAxis::Dragonfly { terminals: 72 })
+            .msgs_per_rank(2)
+            .msg_bytes(1024)
+            .period(T::micros(1))
+            .expand()
+            .unwrap()
+            .remove(0);
+        let result = cfg.execute().unwrap();
+        (cfg, result)
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        let store = RunStore::open(tmp("roundtrip")).unwrap();
+        let (cfg, result) = tiny_run();
+        assert!(!store.contains(&cfg.run_id()));
+        store.save(&cfg, &result).unwrap();
+        assert!(store.contains(&cfg.run_id()));
+        let back = store.load(&cfg.run_id()).unwrap();
+        assert_eq!(back.manifest.run, cfg.run_id());
+        assert_eq!(back.manifest.canonical, cfg.canonical());
+        assert_eq!(back.manifest.events_processed, result.stats.events_processed);
+        assert_eq!(back.manifest.delivered, result.delivered);
+        // The tables survive the JSONL round trip exactly, floats included.
+        let ds = back.data.to_dataset();
+        assert_eq!(ds.terminals, result.dataset.terminals);
+        assert_eq!(ds.routers, result.dataset.routers);
+        assert_eq!(ds.local_links, result.dataset.local_links);
+        assert_eq!(ds.global_links, result.dataset.global_links);
+        assert_eq!(ds.jobs, result.dataset.jobs);
+        assert_eq!(ds.time_range, result.dataset.time_range);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn generation_and_data_keys_track_store_changes() {
+        let store = RunStore::open(tmp("gen")).unwrap();
+        let (cfg, result) = tiny_run();
+        assert_eq!(store.generation(), 0);
+        let k0 = store.data_key(&cfg);
+        assert_eq!(k0.run, cfg.hash());
+        store.save(&cfg, &result).unwrap();
+        assert_eq!(store.bump_generation().unwrap(), 1);
+        let k1 = store.data_key(&cfg);
+        assert_eq!(k1.generation, 1);
+        assert_ne!(k0, k1, "a bumped store invalidates old keys");
+        assert_eq!(store.runs().unwrap(), vec![cfg.run_id()]);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_files_fail_with_parse_errors() {
+        let store = RunStore::open(tmp("corrupt")).unwrap();
+        let (cfg, result) = tiny_run();
+        let dir = store.save(&cfg, &result).unwrap();
+        fs::write(dir.join("manifest.json"), "{\"run\":\"x\"}").unwrap();
+        let e = store.load(&cfg.run_id()).unwrap_err();
+        assert!(e.to_string().contains("missing"), "{e}");
+        fs::write(dir.join("manifest.json"), "not json").unwrap();
+        assert!(store.load(&cfg.run_id()).is_err());
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -80,7 +80,7 @@ fn main() {
         },
     ));
     let run = sim.run();
-    let ds = DataSet::from_run(&run);
+    let ds = DataSet::builder(&run).build();
     let view = build_view(&ds, &spec).unwrap_or_else(|e| {
         eprintln!("script incompatible with dataset: {e}");
         std::process::exit(2);

@@ -78,7 +78,7 @@ fn main() {
     // Render the last configuration grouped by job (arcs weighted by each
     // job's share of global traffic, ribbons = inter-job global links).
     let run = last.expect("ran");
-    let ds = DataSet::from_run(&run);
+    let ds = DataSet::builder(&run).build();
     let spec = ProjectionSpec::new(vec![
         LevelSpec::new(EntityKind::Router)
             .aggregate(&[Field::Workload])

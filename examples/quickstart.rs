@@ -68,7 +68,7 @@ fn main() {
     }
 
     // 4. Explore with a projection script (the paper's Fig. 5 syntax).
-    let ds = DataSet::from_run(&run);
+    let ds = DataSet::builder(&run).build();
     let view_spec = parse_script(
         r#"
         { project : "local_link",

@@ -87,7 +87,7 @@ fn main() {
             .colors(&["white", "steelblue"]),
     ])
     .ribbons(RibbonSpec::new(EntityKind::GlobalLink));
-    let datasets: Vec<DataSet> = runs.iter().map(DataSet::from_run).collect();
+    let datasets: Vec<DataSet> = runs.iter().map(|r| DataSet::builder(r).build()).collect();
     let refs: Vec<&DataSet> = datasets.iter().collect();
     let views = compare_views(&refs, &spec).expect("views build");
     let labeled: Vec<(&_, &str)> = views.iter().zip(strategies.iter().map(|s| s.name())).collect();

@@ -40,7 +40,7 @@ fn simulate(seed: u64) -> RunData {
 fn full_pipeline_produces_plausible_svg() {
     let run = simulate(1);
     assert_eq!(run.total_delivered(), run.total_injected());
-    let ds = DataSet::from_run(&run).without_idle_terminals();
+    let ds = DataSet::builder(&run).drop_idle().build();
     assert_eq!(ds.terminals.len(), 256);
 
     let spec = parse_script(

@@ -50,8 +50,8 @@ fn timeline_selection_rebuilds_restricted_views() {
     let mut tl = TimelineView::traffic(&run).expect("sampled");
     // Select the first burst only.
     let (t0, t1) = tl.select_bins(0, 10);
-    let full = DataSet::from_run(&run);
-    let ranged = DataSet::from_run_range(&run, t0, t1);
+    let full = DataSet::builder(&run).build();
+    let ranged = DataSet::builder(&run).range(t0, t1).build();
     let inj_full: f64 = full.terminals.iter().map(|t| t.data_size).sum();
     let inj_ranged: f64 = ranged.terminals.iter().map(|t| t.data_size).sum();
     assert!(inj_ranged > 0.0);
@@ -70,7 +70,7 @@ fn timeline_selection_rebuilds_restricted_views() {
 #[test]
 fn brushing_narrows_and_view_follows() {
     let run = sampled_run();
-    let ds = DataSet::from_run(&run);
+    let ds = DataSet::builder(&run).build();
     let median = {
         let mut l: Vec<f64> = ds.terminals.iter().map(|t| t.avg_latency).collect();
         l.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -87,7 +87,7 @@ fn brushing_narrows_and_view_follows() {
 #[test]
 fn aggregate_selection_highlights_detail() {
     let run = sampled_run();
-    let ds = DataSet::from_run(&run);
+    let ds = DataSet::builder(&run).build();
     let view = build_view(&ds, &spec()).unwrap();
     let mut detail = DetailView::new(&ds);
     // Select ring 1 item 0 (terminals of router 0).

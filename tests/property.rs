@@ -168,7 +168,7 @@ proptest! {
                 job: 0,
             });
         }
-        let ds = DataSet::from_run(&sim.run());
+        let ds = DataSet::builder(&sim.run()).build();
         let view = build_view(&ds, &spec).expect("valid spec builds");
         for (ring, lv) in view.rings.iter().zip(&spec.levels) {
             let mut covered = 0usize;

@@ -14,10 +14,87 @@ pub mod prelude {
     pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
+std::thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] for the
+    /// duration of a closure on the installing thread.
+    static POOL_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
 /// Number of worker threads to use for `n` items.
 fn threads_for(n: usize) -> usize {
-    let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4);
-    cores.min(n).max(1)
+    let workers = POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+    });
+    workers.min(n).max(1)
+}
+
+/// Builder for a [`ThreadPool`] with an explicit worker count, mirroring
+/// `rayon::ThreadPoolBuilder`.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (one worker per core).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Use exactly `n` worker threads (`0` restores the per-core default).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Build the pool. Infallible in this stand-in; the `Result` mirrors
+    /// the real crate's signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A configured worker-count scope. Unlike real rayon there are no
+/// persistent workers: `install` pins the *number* of scoped threads each
+/// `par_iter` inside the closure spawns, which is what callers use it for
+/// (deterministic sharding width independent of the host's core count).
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPool {
+    /// The worker count `par_iter` calls will use inside [`ThreadPool::install`].
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(4)
+        })
+    }
+
+    /// Run `f` with this pool's worker count in effect on the calling
+    /// thread; restores the previous setting afterwards (panic-safe).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|t| t.replace(self.num_threads)));
+        f()
+    }
 }
 
 /// Run `f` over each chunk on its own scoped thread, returning the outputs
@@ -259,6 +336,25 @@ mod tests {
             })
             .collect();
         assert_eq!(out, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_pool_overrides_worker_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            assert_eq!(crate::threads_for(100), 4);
+            let v: Vec<u32> = (0..8).collect();
+            v.par_iter().map(|_| std::thread::current().id()).collect()
+        });
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), 4, "8 items over 4 workers → 4 distinct threads");
+        // The override is scoped: it does not leak past install().
+        let after = crate::threads_for(100);
+        assert!(after <= std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+        // num_threads(0) restores the default.
+        let dflt = crate::ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        dflt.install(|| assert_eq!(crate::threads_for(1), 1));
     }
 
     #[test]
