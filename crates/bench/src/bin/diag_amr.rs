@@ -18,7 +18,7 @@ fn amr_alone(policy: PlacementPolicy) -> f64 {
         &[PlacementRequest { name: "AMR".into(), ranks: AppKind::AmrBoxlib.ranks(), policy }],
         SEED,
     )
-    .unwrap();
+    .expect("AMR job fits the 5,256-terminal machine");
     let cfg =
         AppConfig::new(AppKind::AmrBoxlib).with_scale(data_scale()).with_duration(app_duration());
     let id = sim.add_job(jobs[0].clone());

@@ -5,6 +5,7 @@
 //! and prints the series the paper reports (see DESIGN.md's
 //! per-experiment index and EXPERIMENTS.md for paper-vs-measured).
 
+#![forbid(unsafe_code)]
 use hrviz_core::{DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec};
 use hrviz_network::{
     DragonflyConfig, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm, RunData, Simulation,
@@ -91,14 +92,14 @@ pub fn obs_init(driver: &str) -> Collector {
         c.set_level(level);
     }
     hrviz_obs::install(c.clone());
-    *OBS_RUN.lock().unwrap() =
+    *OBS_RUN.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
         Some(ObsRun { driver: driver.into(), started: Instant::now(), topology: Vec::new() });
     c
 }
 
 /// Record the network shape for the run manifest (harness-internal).
 fn note_topology(spec: &NetworkSpec) {
-    if let Some(run) = OBS_RUN.lock().unwrap().as_mut() {
+    if let Some(run) = OBS_RUN.lock().unwrap_or_else(std::sync::PoisonError::into_inner).as_mut() {
         let t = spec.topology;
         run.topology = vec![
             ("groups".into(), Json::from(t.groups)),
@@ -116,7 +117,7 @@ fn note_topology(spec: &NetworkSpec) {
 /// [`Expectations::finish`] because drivers exit via `std::process::exit`
 /// (destructors never run).
 fn write_obs_artifacts() {
-    let guard = OBS_RUN.lock().unwrap();
+    let guard = OBS_RUN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let Some(run) = guard.as_ref() else { return };
     let c = hrviz_obs::get();
     if !c.is_enabled() {

@@ -24,6 +24,7 @@
 //! class to a distinct nonzero exit code (usage 2, config 3, io 4,
 //! parse 5, sim 6).
 
+#![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use hrviz_core::{
@@ -119,8 +120,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, HrvizError> {
     let mut positional = Vec::new();
     let mut options = BTreeMap::new();
     let mut i = 1;
-    while i < args.len() {
-        let a = &args[i];
+    while let Some(a) = args.get(i) {
         if let Some(key) = a.strip_prefix("--") {
             let Some(value) = args.get(i + 1) else {
                 return err(format!("--{key} needs a value"));
@@ -653,7 +653,10 @@ fn compare_from_store(cli: &Cli, routings: &[RoutingAlgorithm]) -> Result<RunOut
     let spec = spec_of(cli)?;
     let sweep = sweep_spec_of(cli, "compare", false)?.routings(routings.to_vec());
     let workers = u64_opt(cli, "workers", 0)? as usize;
-    let store_dir = &cli.options["store"];
+    let store_dir = cli
+        .options
+        .get("store")
+        .ok_or_else(|| HrvizError::usage("compare --store needs a directory"))?;
     let engine = SweepEngine::new(RunStore::open(store_dir)?).with_workers(workers);
     let outcome = engine.run(&sweep)?;
     let configs = sweep.expand()?;

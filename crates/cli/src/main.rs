@@ -1,5 +1,6 @@
 //! The `hrviz` binary: see [`hrviz_cli`] for the implementation.
 
+#![forbid(unsafe_code)]
 #![deny(clippy::unwrap_used)]
 
 fn main() {

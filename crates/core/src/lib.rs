@@ -40,6 +40,7 @@
 //! assert_eq!(view.rings.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

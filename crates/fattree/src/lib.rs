@@ -39,6 +39,7 @@
 //! assert_eq!(ds.terminals.len(), 16);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -295,7 +295,9 @@ impl FatTreeRun {
             match cfg.classify(sw) {
                 (Layer::Edge, _, _) => {
                     let h = cfg.half();
-                    let mut tally = std::collections::HashMap::new();
+                    // BTreeMap so a tie for the dominant job resolves to a
+                    // fixed (highest) job id instead of hash order.
+                    let mut tally = std::collections::BTreeMap::new();
                     for p in 0..h {
                         let j = host_job[(sw * h + p) as usize];
                         if j != NO_JOB {

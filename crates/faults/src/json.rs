@@ -102,7 +102,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -112,7 +112,7 @@ impl<'a> Parser<'a> {
     }
 
     fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+        if self.bytes.get(self.pos..).is_some_and(|rest| rest.starts_with(word.as_bytes())) {
             self.pos += word.len();
             Ok(v)
         } else {
@@ -136,7 +136,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -147,7 +147,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             let val = self.value()?;
             fields.push((key, val));
             self.skip_ws();
@@ -160,7 +160,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -179,7 +179,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -195,10 +195,11 @@ impl<'a> Parser<'a> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        if self.pos + 4 > self.bytes.len() {
-                            return Err(self.err("truncated \\u escape"));
-                        }
-                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                        let quad = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .ok_or_else(|| self.err("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(quad)
                             .map_err(|_| self.err("non-utf8 \\u escape"))?;
                         let cp =
                             u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
@@ -219,10 +220,11 @@ impl<'a> Parser<'a> {
                         0xE0..=0xEF => 3,
                         _ => 4,
                     };
-                    if start + len > self.bytes.len() {
-                        return Err(self.err("truncated utf-8 sequence"));
-                    }
-                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                    let seq = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| self.err("truncated utf-8 sequence"))?;
+                    let s = std::str::from_utf8(seq)
                         .map_err(|_| self.err("invalid utf-8 in string"))?;
                     out.push_str(s);
                     self.pos = start + len;
@@ -254,8 +256,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("non-utf8 number"))?;
+        let digits = self.bytes.get(start..self.pos).unwrap_or_default();
+        let raw = std::str::from_utf8(digits).map_err(|_| self.err("non-utf8 number"))?;
         if raw.is_empty() || raw == "-" || raw.parse::<f64>().is_err() {
             return Err(self.err("malformed number"));
         }

@@ -34,6 +34,7 @@
 //! assert_eq!(FaultSchedule::from_json(&sched.to_json()).unwrap(), sched);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 

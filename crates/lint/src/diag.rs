@@ -1,0 +1,52 @@
+//! Human and JSON renderings of a lint run.
+
+use crate::baseline::escape;
+use crate::rules::Finding;
+use std::fmt::Write as _;
+
+/// Render findings the way rustc renders warnings, grandfathered ones
+/// marked. Returns the report plus the count of *active* (fail-the-build)
+/// findings.
+pub fn human(findings: &[Finding]) -> (String, usize) {
+    let mut out = String::new();
+    let mut active = 0usize;
+    for f in findings {
+        let tag = if f.baselined { "grandfathered" } else { "error" };
+        if !f.baselined {
+            active += 1;
+        }
+        let _ = writeln!(out, "{tag}[{}]: {}", f.rule, f.message);
+        let _ = writeln!(out, "  --> {}:{}", f.file, f.line);
+        let _ = writeln!(out, "   |  {}", f.snippet);
+    }
+    let baselined = findings.len() - active;
+    let _ = writeln!(
+        out,
+        "hrviz-lint: {active} finding{} ({baselined} grandfathered in the baseline)",
+        if active == 1 { "" } else { "s" },
+    );
+    (out, active)
+}
+
+/// Machine-readable report for the CI gate.
+pub fn json(findings: &[Finding]) -> String {
+    let active = findings.iter().filter(|f| !f.baselined).count();
+    let mut out = String::from("{\"version\":1,\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"snippet\":\"{}\",\
+             \"message\":\"{}\",\"baselined\":{}}}",
+            if i == 0 { "" } else { "," },
+            escape(f.rule),
+            escape(&f.file),
+            f.line,
+            escape(&f.snippet),
+            escape(&f.message),
+            f.baselined,
+        );
+    }
+    let _ = write!(out, "],\"active\":{active},\"grandfathered\":{}}}", findings.len() - active);
+    out.push('\n');
+    out
+}

@@ -1,0 +1,126 @@
+//! hrviz-lint — workspace static analysis for determinism, panic-freedom
+//! and conservation invariants.
+//!
+//! The paper's comparison views are only meaningful because two runs of
+//! the same configuration are byte-identical; PRs 2–3 made that a tested
+//! contract (fault-schedule replay, parallel-vs-serial sweeps). This
+//! crate keeps the contract *statically*: a zero-dependency lexical
+//! scanner (no rustc plugin, no registry access) walks the workspace's
+//! sources and enforces the rule catalog in [`rules::RULES`].
+//!
+//! ```text
+//! cargo run -p hrviz-lint -- --check              # CI gate (human output)
+//! cargo run -p hrviz-lint -- --check --format json
+//! cargo run -p hrviz-lint -- --list-rules
+//! cargo run -p hrviz-lint -- --update-baseline    # re-grandfather findings
+//! ```
+//!
+//! Findings are suppressed inline with `// lint:allow(rule, reason="…")`
+//! (the reason is mandatory — an allow without one is itself a finding)
+//! or grandfathered in the checked-in `lint-baseline.json`.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod diag;
+pub mod rules;
+pub mod source;
+
+pub use baseline::{Baseline, BaselineEntry};
+pub use rules::{check_file, rule, Finding, RuleInfo, RULES};
+pub use source::SourceFile;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint a single in-memory file. `path` is the workspace-relative path
+/// the scoping rules see (e.g. `crates/pdes/src/engine.rs`).
+pub fn lint_text(path: &str, text: &str) -> Vec<Finding> {
+    check_file(&SourceFile::new(path, text))
+}
+
+/// All files the workspace lint covers: the root `src/` plus every
+/// `crates/*/src` tree. `vendor/` (external stand-ins), `target/` and
+/// the crates' own `tests/`/`benches/` trees are out of scope — test
+/// code is exempt from every rule anyway.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    // A wrong --root must fail loudly: an empty scan would let the CI
+    // gate pass vacuously.
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} is not a workspace root (no Cargo.toml)", root.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> =
+            std::fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    if files.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no Rust sources under {}", root.display()),
+        ));
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`. Findings come back in
+/// (file, line) order with `baselined` unset — apply a [`Baseline`] next.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in workspace_files(root)? {
+        let text = std::fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        findings.extend(lint_text(&rel, &text));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Mark findings the baseline grandfathers. `bad_suppression` findings
+/// can not be baselined: a malformed allow must always fail the gate.
+pub fn apply_baseline(findings: &mut [Finding], baseline: &Baseline) {
+    for f in findings.iter_mut() {
+        f.baselined = f.rule != "bad_suppression" && baseline.covers(f);
+    }
+}
+
+/// Locate the workspace root: walk up from `start` to the first directory
+/// holding both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! The rule catalog and per-file checks.
+//!
+//! Three families, mirroring the contracts earlier PRs established:
+//!
+//! * **determinism** — scoped to the simulation crates (`pdes`,
+//!   `network`, `fattree`, `workloads`, `faults`, `sweep`): byte-identical
+//!   replay is the foundation every comparison view stands on, so nothing
+//!   order-sensitive (hash-map iteration, wall-clock reads, ambient RNG,
+//!   unordered parallel float reductions) may reach simulation state.
+//! * **panic-freedom** — scoped to the PR 2 error boundary (`cli`,
+//!   `faults`, and the `network`/`fattree` config paths): user input must
+//!   surface as `HrvizError`, never as a panic.
+//! * **invariants** — workspace-wide: every `Lp` impl must override
+//!   `audit` (the conservation check the watchdog engine calls) or carry
+//!   an explicit suppression saying why it has nothing to audit.
+
+use crate::source::{find, SourceFile};
+
+/// One rule's identity and documentation.
+pub struct RuleInfo {
+    /// Stable id used in diagnostics, suppressions and the baseline.
+    pub id: &'static str,
+    /// Rule family: `determinism`, `panic` or `invariant`.
+    pub family: &'static str,
+    /// One-line description for `--list-rules` and the README catalog.
+    pub desc: &'static str,
+}
+
+/// The full catalog. `bad_suppression` is a meta-rule: it fires on
+/// malformed suppressions of the others and cannot itself be suppressed.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "hash_collections",
+        family: "determinism",
+        desc: "no HashMap/HashSet in sim-crate non-test code (iteration order is unseeded); \
+               use BTreeMap/BTreeSet or sort before iterating",
+    },
+    RuleInfo {
+        id: "wall_clock",
+        family: "determinism",
+        desc: "no std::time::Instant/SystemTime in sim-crate non-test code; wall-clock reads \
+               make replays diverge (telemetry-only uses need lint:allow with a reason)",
+    },
+    RuleInfo {
+        id: "ambient_rng",
+        family: "determinism",
+        desc: "no thread_rng/OsRng/from_entropy/rand::random in sim-crate non-test code; all \
+               randomness must flow from the run's seed",
+    },
+    RuleInfo {
+        id: "unordered_float_reduction",
+        family: "determinism",
+        desc: "no .sum()/.reduce()/.fold()/.product() on a par_iter chain in sim crates; \
+               float addition is not associative, so reduce sequentially or over sorted parts",
+    },
+    RuleInfo {
+        id: "panic_unwrap",
+        family: "panic",
+        desc: "no unwrap/expect/panic!/unreachable!/todo! in the error-boundary crates \
+               (cli, faults, network/fattree config paths); return HrvizError instead",
+    },
+    RuleInfo {
+        id: "slice_index",
+        family: "panic",
+        desc: "no direct slice/array indexing in the error-boundary crates; use .get() and \
+               surface HrvizError on out-of-range input",
+    },
+    RuleInfo {
+        id: "missing_audit",
+        family: "invariant",
+        desc: "every Lp impl must override audit() (conservation checks the watchdog engine \
+               runs post-drain) or carry lint:allow(missing_audit, reason=…)",
+    },
+    RuleInfo {
+        id: "bad_suppression",
+        family: "meta",
+        desc: "every lint:allow must name a known rule and carry a non-empty reason=\"…\"",
+    },
+];
+
+/// Look a rule up by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Trimmed source line (also the baseline matching key).
+    pub snippet: String,
+    /// Human explanation.
+    pub message: String,
+    /// Set by baseline application: grandfathered, does not fail --check.
+    pub baselined: bool,
+}
+
+/// Crates whose non-test code must be deterministic.
+const SIM_CRATES: &[&str] = &["pdes", "network", "fattree", "workloads", "faults", "sweep"];
+
+/// The crate a workspace-relative path belongs to (`crates/pdes/…` →
+/// `pdes`; the root `src/` is the `hrviz` facade).
+fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or(if path.starts_with("src/") { "hrviz" } else { "" })
+}
+
+fn in_sim_scope(path: &str) -> bool {
+    SIM_CRATES.contains(&crate_of(path))
+}
+
+/// The PR 2 panic-free error boundary: the whole `cli` and `faults`
+/// crates plus the config (user-input) paths of the two topology crates.
+fn in_panic_scope(path: &str) -> bool {
+    matches!(crate_of(path), "cli" | "faults")
+        || path == "crates/network/src/config.rs"
+        || path == "crates/fattree/src/config.rs"
+}
+
+/// Run every rule over one file.
+pub fn check_file(f: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if in_sim_scope(&f.path) {
+        ident_rule(f, "hash_collections", &["HashMap", "HashSet"], &mut out, |w| {
+            format!("{w} in simulation code: iteration order is unseeded and varies per run")
+        });
+        ident_rule(f, "wall_clock", &["Instant", "SystemTime"], &mut out, |w| {
+            format!("std::time::{w} in simulation code: wall-clock reads break replay")
+        });
+        ident_rule(
+            f,
+            "ambient_rng",
+            &["thread_rng", "ThreadRng", "OsRng", "from_entropy", "entropy_rng"],
+            &mut out,
+            |w| format!("{w} in simulation code: randomness must flow from the run seed"),
+        );
+        float_reduction_rule(f, &mut out);
+    }
+    if in_panic_scope(&f.path) {
+        panic_rule(f, &mut out);
+        slice_index_rule(f, &mut out);
+    }
+    missing_audit_rule(f, &mut out);
+    bad_suppression_rule(f, &mut out);
+    out
+}
+
+/// Emit a finding unless the line is test code or carries a suppression.
+fn emit(f: &SourceFile, rule: &'static str, at: usize, message: String, out: &mut Vec<Finding>) {
+    let line = f.line_of(at);
+    if f.is_test_line(line) || f.suppressed(rule, line) {
+        return;
+    }
+    out.push(Finding {
+        rule,
+        file: f.path.clone(),
+        line,
+        snippet: f.line_text(line).to_string(),
+        message,
+        baselined: false,
+    });
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Every word-boundary occurrence of `word` in the masked text.
+fn ident_occurrences(f: &SourceFile, word: &str) -> Vec<usize> {
+    let (hay, pat) = (&f.masked, word.as_bytes());
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(at) = find(hay, pat, from) {
+        from = at + 1;
+        let before_ok = at == 0 || !is_ident(hay[at - 1]);
+        let after_ok = at + pat.len() >= hay.len() || !is_ident(hay[at + pat.len()]);
+        if before_ok && after_ok {
+            hits.push(at);
+        }
+    }
+    hits
+}
+
+fn ident_rule(
+    f: &SourceFile,
+    rule: &'static str,
+    words: &[&str],
+    out: &mut Vec<Finding>,
+    msg: impl Fn(&str) -> String,
+) {
+    for word in words {
+        for at in ident_occurrences(f, word) {
+            emit(f, rule, at, msg(word), out);
+        }
+    }
+}
+
+/// A `par_iter`-family call whose statement also contains a float-style
+/// reduction combinator. The statement is approximated as "up to the next
+/// `;`", which keeps closures from earlier statements out of the window.
+fn float_reduction_rule(f: &SourceFile, out: &mut Vec<Finding>) {
+    const SOURCES: &[&str] =
+        &["par_iter", "par_iter_mut", "into_par_iter", "par_chunks", "par_bridge"];
+    const SINKS: &[&[u8]] = &[b".sum(", b".product(", b".reduce(", b".fold("];
+    for src in SOURCES {
+        for at in ident_occurrences(f, src) {
+            let end = f.masked[at..]
+                .iter()
+                .position(|&b| b == b';')
+                .map(|p| at + p)
+                .unwrap_or(f.masked.len());
+            let span = &f.masked[at..end];
+            if SINKS.iter().any(|sink| find(span, sink, 0).is_some()) {
+                emit(
+                    f,
+                    "unordered_float_reduction",
+                    at,
+                    format!(
+                        "{src} chain ends in a reduction: parallel float reduction order is \
+                         nondeterministic; collect and reduce sequentially"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// `.unwrap()`, `.expect(` and the panicking macros in boundary code.
+fn panic_rule(f: &SourceFile, out: &mut Vec<Finding>) {
+    for pat in [".unwrap()", ".expect("] {
+        let mut from = 0;
+        while let Some(at) = find(&f.masked, pat.as_bytes(), from) {
+            from = at + 1;
+            emit(
+                f,
+                "panic_unwrap",
+                at,
+                format!("`{pat}` in error-boundary code: return an HrvizError instead"),
+                out,
+            );
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        for at in ident_occurrences(f, mac) {
+            if f.masked.get(at + mac.len()) == Some(&b'!') {
+                emit(
+                    f,
+                    "panic_unwrap",
+                    at,
+                    format!("`{mac}!` in error-boundary code: return an HrvizError instead"),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Direct index expressions `expr[…]` in boundary code. An index
+/// expression is a `[` whose previous non-space byte ends an expression
+/// (identifier, `)` or `]`); array literals/types and attributes follow
+/// punctuation instead and never match.
+fn slice_index_rule(f: &SourceFile, out: &mut Vec<Finding>) {
+    // Keywords that may directly precede an array literal or slice type:
+    // `for x in [..]`, `return [..]`, `&'static [..]`, `as [..]`, …
+    const NOT_AN_EXPR: &[&str] = &[
+        "in", "return", "break", "else", "match", "if", "while", "loop", "move", "mut", "ref",
+        "as", "const", "static", "let", "dyn", "where", "yield", "box",
+    ];
+    for (at, &b) in f.masked.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        let mut j = at;
+        while j > 0 && matches!(f.masked[j - 1], b' ' | b'\n' | b'\r' | b'\t') {
+            j -= 1;
+        }
+        let prev = if j > 0 { f.masked[j - 1] } else { b' ' };
+        let indexes = if is_ident(prev) {
+            let mut t = j - 1;
+            while t > 0 && is_ident(f.masked[t - 1]) {
+                t -= 1;
+            }
+            let token = std::str::from_utf8(&f.masked[t..j]).unwrap_or("");
+            let lifetime = t > 0 && f.masked[t - 1] == b'\'';
+            !lifetime && !NOT_AN_EXPR.contains(&token)
+        } else {
+            prev == b')' || prev == b']'
+        };
+        if indexes {
+            emit(
+                f,
+                "slice_index",
+                at,
+                "direct indexing can panic on malformed input: use .get()/.get_mut() and \
+                 surface an HrvizError"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Every non-test `impl Lp<…> for T` block must contain `fn audit`.
+fn missing_audit_rule(f: &SourceFile, out: &mut Vec<Finding>) {
+    for at in ident_occurrences(f, "impl") {
+        let mut i = at + 4;
+        i = skip_ws(&f.masked, i);
+        if f.masked.get(i) == Some(&b'<') {
+            i = skip_angles(&f.masked, i);
+            i = skip_ws(&f.masked, i);
+        }
+        if find(&f.masked, b"Lp", i) != Some(i)
+            || f.masked.get(i + 2).copied().is_some_and(is_ident)
+        {
+            continue;
+        }
+        i += 2;
+        i = skip_ws(&f.masked, i);
+        if f.masked.get(i) == Some(&b'<') {
+            i = skip_angles(&f.masked, i);
+        }
+        i = skip_ws(&f.masked, i);
+        if find(&f.masked, b"for", i) != Some(i) {
+            continue;
+        }
+        // Body: the next brace block.
+        let Some(open) = f.masked[i..].iter().position(|&b| b == b'{').map(|p| i + p) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = f.masked.len();
+        for (j, &b) in f.masked.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if find(&f.masked[open..close], b"fn audit", 0).is_none() {
+            emit(
+                f,
+                "missing_audit",
+                at,
+                "Lp impl without an audit() override: conservation invariants (credits, \
+                 in-flight packets) go unchecked post-drain"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// Suppressions must name a known rule and carry a non-empty reason.
+/// Fires even on test lines: a malformed allow is wrong anywhere.
+fn bad_suppression_rule(f: &SourceFile, out: &mut Vec<Finding>) {
+    for s in &f.suppressions {
+        let known = rule(&s.rule).is_some();
+        let reasoned = s.reason.as_deref().is_some_and(|r| !r.trim().is_empty());
+        if known && reasoned {
+            continue;
+        }
+        let message = if !known {
+            format!("lint:allow names unknown rule `{}`", s.rule)
+        } else {
+            format!("lint:allow({}) is missing its mandatory reason=\"…\"", s.rule)
+        };
+        out.push(Finding {
+            rule: "bad_suppression",
+            file: f.path.clone(),
+            line: s.line,
+            snippet: f.line_text(s.line).to_string(),
+            message,
+            baselined: false,
+        });
+    }
+}
+
+fn skip_ws(hay: &[u8], mut i: usize) -> usize {
+    while hay.get(i).is_some_and(|b| b.is_ascii_whitespace()) {
+        i += 1;
+    }
+    i
+}
+
+/// From a `<`, the offset just past its matching `>`.
+fn skip_angles(hay: &[u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < hay.len() {
+        match hay[i] {
+            b'<' => depth += 1,
+            b'>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}

@@ -1,0 +1,346 @@
+//! Lexical source model the rules run against.
+//!
+//! A [`SourceFile`] carries the raw text plus three derived views:
+//!
+//! * `masked` — the same bytes with every comment, string, char and byte
+//!   literal blanked to spaces (newlines preserved), so rules can match
+//!   identifiers and punctuation without tripping over `"HashMap"` inside
+//!   a doc string. Byte offsets in `masked` are valid in `text`.
+//! * per-line *test* flags — lines inside `#[cfg(test)]` / `#[test]`
+//!   regions (and whole files under `tests/`, `benches/`, `examples/`)
+//!   are exempt from every rule.
+//! * parsed `// lint:allow(rule, reason="…")` suppressions.
+
+/// One inline suppression comment.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// Rule id named inside `lint:allow(…)`.
+    pub rule: String,
+    /// The mandatory justification; `None`/empty is itself a finding.
+    pub reason: Option<String>,
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    /// Whether the comment is alone on its line (then it covers the next
+    /// source line) or trails code (then it covers its own line).
+    pub own_line: bool,
+}
+
+/// A loaded source file plus the derived views rules need.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Raw text.
+    pub text: String,
+    /// `text` with comments/strings/chars blanked to spaces.
+    pub masked: Vec<u8>,
+    /// Byte offset where each line starts.
+    line_starts: Vec<usize>,
+    /// Per-line flag: inside test-only code.
+    test_lines: Vec<bool>,
+    /// Inline `lint:allow` suppressions, in file order.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Build the model for one file. `path` is the workspace-relative
+    /// path used for rule scoping and diagnostics.
+    pub fn new(path: &str, text: &str) -> SourceFile {
+        let (masked, comments) = mask(text.as_bytes());
+        let line_starts = line_starts(text.as_bytes());
+        let n_lines = line_starts.len();
+        let mut f = SourceFile {
+            path: path.replace('\\', "/"),
+            text: text.to_string(),
+            masked,
+            line_starts,
+            test_lines: vec![false; n_lines],
+            suppressions: Vec::new(),
+        };
+        if f.path.contains("/tests/")
+            || f.path.contains("/benches/")
+            || f.path.contains("/examples/")
+        {
+            f.test_lines = vec![true; n_lines];
+        } else {
+            f.mark_test_regions();
+        }
+        f.suppressions = comments
+            .iter()
+            .filter_map(|c| parse_suppression(&f.text, c.start, c.end, f.line_of(c.start)))
+            .collect();
+        f
+    }
+
+    /// 1-based line number of byte offset `at`.
+    pub fn line_of(&self, at: usize) -> usize {
+        match self.line_starts.binary_search(&at) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The trimmed source text of 1-based line `line`.
+    pub fn line_text(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|e| e - 1)
+            .unwrap_or(self.text.len())
+            .min(self.text.len());
+        self.text[start..end.max(start)].trim_end_matches(['\n', '\r']).trim()
+    }
+
+    /// Is 1-based `line` inside test-only code?
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Does a suppression for `rule` cover 1-based `line`? A trailing
+    /// comment covers its own line; a comment alone on a line covers the
+    /// next line (and itself, so `impl` headers can carry one above).
+    pub fn suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressions.iter().any(|s| {
+            s.rule == rule
+                && s.reason.as_deref().is_some_and(|r| !r.trim().is_empty())
+                && (s.line == line || (s.own_line && s.line + 1 == line))
+        })
+    }
+
+    /// Mark the lines of every `#[cfg(test)]` / `#[test]` item as test
+    /// code. The region runs from the attribute to the close of the next
+    /// brace block (or the next `;` for brace-less items like `use`).
+    fn mark_test_regions(&mut self) {
+        let pats: [&[u8]; 2] = [b"#[cfg(test)]", b"#[test]"];
+        for pat in pats {
+            let mut from = 0;
+            while let Some(at) = find(&self.masked, pat, from) {
+                from = at + pat.len();
+                let (start, end) = self.item_span(at + pat.len());
+                let (a, b) = (self.line_of(at), self.line_of(end.max(start)));
+                for l in a..=b {
+                    if let Some(slot) = self.test_lines.get_mut(l - 1) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// From just past an attribute, the byte span of the annotated item:
+    /// up to the matching `}` of its first brace block, or the first `;`
+    /// if one comes before any `{`.
+    fn item_span(&self, mut at: usize) -> (usize, usize) {
+        let start = at;
+        while at < self.masked.len() {
+            match self.masked[at] {
+                b';' => return (start, at),
+                b'{' => {
+                    let mut depth = 0usize;
+                    while at < self.masked.len() {
+                        match self.masked[at] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    return (start, at);
+                                }
+                            }
+                            _ => {}
+                        }
+                        at += 1;
+                    }
+                    return (start, self.masked.len());
+                }
+                _ => at += 1,
+            }
+        }
+        (start, self.masked.len())
+    }
+}
+
+/// Byte span of a line comment in the original text.
+struct Comment {
+    start: usize,
+    end: usize,
+}
+
+/// Blank comments, strings, chars and byte literals to spaces (newlines
+/// kept) and collect the spans of `//` comments for suppression parsing.
+fn mask(bytes: &[u8]) -> (Vec<u8>, Vec<Comment>) {
+    let mut out = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let prev_ident = i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+                comments.push(Comment { start, end: i });
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if !prev_ident => {
+                // Possible raw / byte literal prefix (r", r#", b", br#", b'…).
+                let raw = b == b'r' || bytes.get(i + 1) == Some(&b'r');
+                let mut j = i + if b == b'b' && raw { 2 } else { 1 };
+                let mut hashes = 0usize;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') && (raw || (b == b'b' && hashes == 0)) {
+                    i = blank_string(bytes, &mut out, j, hashes, raw);
+                } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                    i = blank_char(bytes, &mut out, i + 1);
+                } else {
+                    i += 1;
+                }
+            }
+            b'"' => i = blank_string(bytes, &mut out, i, 0, false),
+            b'\'' if !prev_ident => {
+                // Char literal vs lifetime: escaped or `'x'` is a literal.
+                if bytes.get(i + 1) == Some(&b'\\')
+                    || (bytes.get(i + 2) == Some(&b'\'') && bytes.get(i + 1) != Some(&b'\''))
+                {
+                    i = blank_char(bytes, &mut out, i);
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    (out, comments)
+}
+
+/// Blank a string literal starting at the opening quote `at` (raw strings
+/// close with `"` plus `hashes` `#`s; cooked strings honour `\` escapes).
+/// Returns the offset just past the literal.
+fn blank_string(bytes: &[u8], out: &mut [u8], at: usize, hashes: usize, raw: bool) -> usize {
+    let mut i = at;
+    out[i] = b' ';
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if !raw => {
+                out[i] = b' ';
+                if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+            }
+            b'"' => {
+                out[i] = b' ';
+                if bytes[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes {
+                    for k in 0..hashes {
+                        out[i + 1 + k] = b' ';
+                    }
+                    return i + 1 + hashes;
+                }
+                i += 1;
+            }
+            b'\n' => i += 1,
+            _ => {
+                out[i] = b' ';
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Blank a char/byte literal starting at the opening `'`; returns the
+/// offset just past the closing quote.
+fn blank_char(bytes: &[u8], out: &mut [u8], at: usize) -> usize {
+    let mut i = at;
+    out[i] = b' ';
+    i += 1;
+    if bytes.get(i) == Some(&b'\\') {
+        out[i] = b' ';
+        i += 1;
+        // Escape body (covers \u{…} too — blank until the closing quote).
+    }
+    while i < bytes.len() && bytes[i] != b'\'' && bytes[i] != b'\n' {
+        out[i] = b' ';
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        out[i] = b' ';
+        i += 1;
+    }
+    i
+}
+
+fn line_starts(bytes: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' && i + 1 < bytes.len() {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Find `pat` in `hay` at or after `from`.
+pub fn find(hay: &[u8], pat: &[u8], from: usize) -> Option<usize> {
+    if pat.is_empty() || hay.len() < pat.len() {
+        return None;
+    }
+    (from..=hay.len() - pat.len()).find(|&i| &hay[i..i + pat.len()] == pat)
+}
+
+/// Parse `lint:allow(rule)` / `lint:allow(rule, reason="…")` out of the
+/// comment span `[start, end)` of `text`.
+fn parse_suppression(text: &str, start: usize, end: usize, line: usize) -> Option<Suppression> {
+    let comment = &text[start..end];
+    // Doc comments never carry suppressions — they may *mention* the
+    // allow syntax when documenting it.
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return None;
+    }
+    let at = comment.find("lint:allow(")?;
+    let inner = &comment[at + "lint:allow(".len()..];
+    let close = inner.find(')')?;
+    let inner = &inner[..close];
+    let (rule, rest) = match inner.find(',') {
+        Some(c) => (inner[..c].trim(), inner[c + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    let reason = rest.strip_prefix("reason").map(|r| {
+        let r = r.trim_start().strip_prefix('=').unwrap_or(r).trim();
+        r.trim_matches('"').to_string()
+    });
+    let own_line = text[..start]
+        .rfind('\n')
+        .map(|nl| text[nl + 1..start].trim().is_empty())
+        .unwrap_or_else(|| text[..start].trim().is_empty());
+    Some(Suppression { rule: rule.to_string(), reason, line, own_line })
+}

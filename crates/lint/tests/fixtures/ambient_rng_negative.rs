@@ -1,0 +1,15 @@
+// Fixture: seeded RNG plumbing passes — randomness flows from the run seed.
+use rand::{Rng, SeedableRng, StdRng};
+
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ambient_ok_in_tests() {
+        let _ = rand::thread_rng();
+    }
+}

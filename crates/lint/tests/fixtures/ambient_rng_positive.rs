@@ -1,0 +1,9 @@
+// Fixture: ambient (unseeded) randomness in sim-crate code must be flagged.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn os_entropy() -> rand::rngs::OsRng {
+    rand::rngs::OsRng
+}

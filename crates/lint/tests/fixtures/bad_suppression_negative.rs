@@ -1,0 +1,12 @@
+// Fixture: a well-formed allow — known rule, non-empty reason — passes,
+// both alone on a line and trailing code.
+pub fn reasoned(xs: &[u32]) -> usize {
+    // lint:allow(hash_collections, reason="order-insensitive membership probe; never iterated")
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    set.len()
+}
+
+pub fn trailing_ns() -> u128 {
+    let t0 = std::time::Instant::now(); // lint:allow(wall_clock, reason="telemetry-only timestamp")
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,17 @@
+// Fixture: allows without a reason, or naming an unknown rule, must be
+// flagged (even in test code — a malformed allow is wrong anywhere).
+// lint:allow(hash_collections)
+pub fn reasonless(xs: &[u32]) -> usize {
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    set.len()
+}
+
+// lint:allow(hash_collections, reason="")
+pub fn empty_reason() -> u32 {
+    0
+}
+
+// lint:allow(made_up_rule, reason="this rule does not exist")
+pub fn unknown_rule() -> u32 {
+    0
+}

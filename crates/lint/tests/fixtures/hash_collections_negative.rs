@@ -1,0 +1,29 @@
+// Fixture: BTreeMap in live code, HashMap confined to tests or carrying
+// a reasoned suppression, must all pass.
+use std::collections::BTreeMap;
+
+pub fn tally(jobs: &[u32]) -> usize {
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &j in jobs {
+        *counts.entry(j).or_insert(0) += 1;
+    }
+    counts.len()
+}
+
+pub fn probe(xs: &[u32]) -> bool {
+    // lint:allow(hash_collections, reason="order-insensitive membership probe; never iterated")
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    set.contains(&7)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_ok_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

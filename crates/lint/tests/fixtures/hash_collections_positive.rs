@@ -1,0 +1,13 @@
+// Fixture: HashMap/HashSet in non-test sim-crate code must be flagged.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn tally(jobs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &j in jobs {
+        seen.insert(j);
+        *counts.entry(j).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

@@ -1,0 +1,39 @@
+// Fixture: an audit override, a reasoned suppression, and test-only Lp
+// impls must all pass.
+use hrviz_pdes::{Ctx, Lp};
+
+pub struct Counted {
+    credits: i64,
+}
+
+impl Lp<u32> for Counted {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_, u32>, payload: u32) {
+        self.credits += payload as i64;
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        if self.credits == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} credits leaked", self.credits))
+        }
+    }
+}
+
+pub struct Stateless;
+
+// lint:allow(missing_audit, reason="stateless relay: holds no credits or in-flight packets")
+impl Lp<u32> for Stateless {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_, u32>, _payload: u32) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestLp;
+
+    impl Lp<()> for TestLp {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_, ()>, _payload: ()) {}
+    }
+}

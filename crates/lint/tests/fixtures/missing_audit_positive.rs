@@ -1,0 +1,12 @@
+// Fixture: an Lp impl without an audit override must be flagged.
+use hrviz_pdes::{Ctx, Lp};
+
+pub struct Silent {
+    credits: i64,
+}
+
+impl Lp<u32> for Silent {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_, u32>, payload: u32) {
+        self.credits += payload as i64;
+    }
+}

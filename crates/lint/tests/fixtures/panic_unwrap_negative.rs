@@ -1,0 +1,29 @@
+// Fixture: Result plumbing, unwrap_or fallbacks, debug_assert, a method
+// merely *named* expect_byte, and test-only unwraps must all pass.
+pub fn load(path: &str) -> Result<u32, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let n: u32 = text.trim().parse().map_err(|_| "not a number".to_string())?;
+    debug_assert!(n < 1_000_000);
+    Ok(text.len() as u32 + n.checked_sub(1).unwrap_or(0))
+}
+
+struct Reader;
+impl Reader {
+    fn expect_byte(&mut self, _b: u8) -> Result<(), String> {
+        Ok(())
+    }
+    fn go(&mut self) -> Result<(), String> {
+        self.expect_byte(b'{')
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_ok_in_tests() {
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+        let s = "a panic! in a test string";
+        assert!(s.contains("panic!"));
+    }
+}

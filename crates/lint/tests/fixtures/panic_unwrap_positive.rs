@@ -1,0 +1,12 @@
+// Fixture: panicking constructs in error-boundary code must be flagged.
+pub fn load(path: &str) -> String {
+    let text = std::fs::read_to_string(path).unwrap();
+    let n: u32 = text.trim().parse().expect("a number");
+    if n > 100 {
+        panic!("too large");
+    }
+    match n {
+        0 => unreachable!(),
+        _ => text,
+    }
+}

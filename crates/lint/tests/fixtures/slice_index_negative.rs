@@ -1,0 +1,29 @@
+// Fixture: checked access, array literals/types, attributes and slice
+// patterns must all pass.
+pub fn first(args: &[String]) -> Option<&str> {
+    args.first().map(String::as_str)
+}
+
+pub fn tail(bytes: &[u8], n: usize) -> Option<&[u8]> {
+    bytes.get(n..)
+}
+
+#[derive(Clone)]
+pub struct Fixed {
+    pub cells: &'static [u32],
+}
+
+pub fn sum3() -> u32 {
+    let mut total = 0;
+    for v in [1u32, 2, 3] {
+        total += v;
+    }
+    total
+}
+
+pub fn headed(xs: &[u32]) -> u32 {
+    match xs {
+        [head, ..] => *head,
+        [] => 0,
+    }
+}

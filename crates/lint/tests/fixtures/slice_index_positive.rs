@@ -1,0 +1,12 @@
+// Fixture: direct indexing in error-boundary code must be flagged.
+pub fn first(args: &[String]) -> &str {
+    &args[0]
+}
+
+pub fn tail(bytes: &[u8], n: usize) -> &[u8] {
+    &bytes[n..]
+}
+
+pub fn pick(grid: &[Vec<u32>], r: usize, c: usize) -> u32 {
+    grid[r][c]
+}

@@ -1,0 +1,12 @@
+// Fixture: parallel map + ordered collect, and sequential reductions,
+// must all pass.
+use rayon::prelude::*;
+
+pub fn results(xs: &[f64]) -> Vec<f64> {
+    xs.par_iter().map(|x| x * 2.0).collect()
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    let parts: Vec<f64> = xs.par_iter().map(|x| x * 2.0).collect();
+    parts.iter().sum()
+}

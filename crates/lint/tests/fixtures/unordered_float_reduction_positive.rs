@@ -1,0 +1,10 @@
+// Fixture: parallel float reductions in sim-crate code must be flagged.
+use rayon::prelude::*;
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).sum()
+}
+
+pub fn max_latency(xs: &[f64]) -> f64 {
+    xs.par_iter().copied().reduce(|| 0.0, f64::max)
+}

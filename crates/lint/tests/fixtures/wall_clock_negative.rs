@@ -1,0 +1,22 @@
+// Fixture: virtual time, Duration values, a reasoned allow, and test-only
+// Instant uses must all pass.
+use std::time::Duration;
+
+pub fn virtual_tick(now_ns: u64) -> u64 {
+    now_ns + Duration::from_micros(1).as_nanos() as u64
+}
+
+pub fn telemetry_ns() -> u128 {
+    // lint:allow(wall_clock, reason="telemetry only: wall time feeds perf counters, not sim state")
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_ok_in_tests() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads in non-test sim-crate code must be flagged.
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let wall = std::time::SystemTime::now();
+    let _ = wall;
+    t0.elapsed().as_nanos()
+}

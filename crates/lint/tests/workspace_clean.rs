@@ -1,0 +1,46 @@
+//! The live workspace must be lint-clean modulo the committed baseline —
+//! the same gate CI runs, kept inside `cargo test` so it cannot rot.
+
+use hrviz_lint::{apply_baseline, lint_workspace, Baseline};
+use std::path::Path;
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().and_then(Path::parent).expect("workspace root")
+}
+
+#[test]
+fn workspace_is_clean_modulo_baseline() {
+    let root = root();
+    let text = std::fs::read_to_string(root.join("lint-baseline.json")).expect("baseline file");
+    let baseline = Baseline::parse(&text).expect("baseline parses");
+    assert!(
+        baseline.entries.len() <= 10,
+        "the baseline is a grandfather list, not a dumping ground: {} entries",
+        baseline.entries.len()
+    );
+
+    let mut findings = lint_workspace(root).expect("workspace scan");
+    apply_baseline(&mut findings, &baseline);
+
+    let active: Vec<_> = findings.iter().filter(|f| !f.baselined).collect();
+    assert!(
+        active.is_empty(),
+        "workspace has non-grandfathered lint findings:\n{}",
+        active
+            .iter()
+            .map(|f| format!("  [{}] {}:{} {}", f.rule, f.file, f.line, f.snippet))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Every inline suppression carries a reason (a reasonless allow shows
+    // up as a bad_suppression finding, which cannot be baselined).
+    assert!(findings.iter().all(|f| f.rule != "bad_suppression"));
+
+    // And the baseline holds no stale entries for code that is gone.
+    assert!(
+        baseline.stale(&findings).is_empty(),
+        "stale baseline entries: {:?}",
+        baseline.stale(&findings)
+    );
+}

@@ -39,6 +39,7 @@
 //! assert_eq!(run.total_delivered(), 8192);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -29,6 +29,7 @@
 //! [`install`] once near `main`, [`get`] at use sites. The global defaults
 //! to disabled.
 
+#![forbid(unsafe_code)]
 mod collector;
 mod json;
 mod manifest;

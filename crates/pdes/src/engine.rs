@@ -212,6 +212,7 @@ impl<P, L: Lp<P>> Engine<P, L> {
     /// Events with `time >= until` remain queued, so runs can be resumed.
     pub fn run_until(&mut self, until: SimTime) -> RunOutcome {
         self.init();
+        // lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
         let t0 = self.collector.is_enabled().then(std::time::Instant::now);
         let outcome = loop {
             if self.stats.events_processed >= self.budget {
@@ -272,6 +273,7 @@ impl<P, L: Lp<P>> Engine<P, L> {
     /// into a structured [`SimError`] instead of looping forever.
     pub fn try_run_until(&mut self, until: SimTime) -> Result<RunOutcome, SimError> {
         self.init();
+        // lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
         let t0 = self.collector.is_enabled().then(std::time::Instant::now);
         let limit = self.watchdog.max_stalled_events;
         let outcome = loop {

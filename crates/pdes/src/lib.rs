@@ -36,6 +36,7 @@
 //! assert_eq!(eng.lp(LpId(0)).hits + eng.lp(LpId(1)).hits, 5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calendar;

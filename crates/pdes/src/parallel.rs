@@ -276,6 +276,7 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
         self.init();
         let lookahead = self.lookahead;
         let timing = self.collector.is_enabled();
+        // lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
         let t0 = timing.then(std::time::Instant::now);
         let mut peak_queue_depth = 0u64;
         let mut windows = 0u64;
@@ -291,6 +292,7 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
                 .parts
                 .par_iter_mut()
                 .map(|part| {
+                    // lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
                     let w0 = timing.then(std::time::Instant::now);
                     let mut out_buf = Vec::with_capacity(8);
                     let mut outbox = Vec::new();

@@ -16,6 +16,7 @@
 //! `hrviz-core`; re-rendering the updated view models yields the paper's
 //! interactive loop frame by frame.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod charts;

@@ -60,7 +60,7 @@ impl MatrixView {
         };
         let mut keys: Vec<f64> =
             links.iter().flat_map(|l| [key_of(l, by), key_of(l, dst)]).collect();
-        keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        keys.sort_by(f64::total_cmp);
         keys.dedup();
         let index: BTreeMap<u64, usize> =
             keys.iter().enumerate().map(|(i, k)| (k.to_bits(), i)).collect();

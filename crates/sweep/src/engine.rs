@@ -8,6 +8,7 @@
 //! is the artifact CI greps for the all-cache-hit assertion.
 
 use std::path::{Path, PathBuf};
+// lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
 use std::time::{Duration, Instant};
 
 use hrviz_faults::HrvizError;
@@ -47,6 +48,7 @@ impl SweepEngine {
     /// Execute every config of `spec` that the store does not already
     /// hold, in parallel, and persist the results.
     pub fn run(&self, spec: &SweepSpec) -> Result<SweepOutcome, HrvizError> {
+        // lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
         let start = Instant::now();
         let obs = hrviz_obs::get();
         let _span = obs.span("sweep/run");

@@ -40,6 +40,7 @@
 //! assert_eq!(again.events_simulated, 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

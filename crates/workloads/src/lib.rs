@@ -34,6 +34,7 @@
 //! assert_eq!(msgs.len(), 16 * 8);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;

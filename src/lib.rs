@@ -24,6 +24,7 @@
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
+#![forbid(unsafe_code)]
 pub use hrviz_core as core;
 pub use hrviz_fattree as fattree;
 pub use hrviz_network as network;
