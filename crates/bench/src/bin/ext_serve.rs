@@ -1,0 +1,199 @@
+//! Extension: serving the run store (EXPERIMENTS.md `ext_serve`). Sweeps
+//! a 2-run store (72-terminal Dragonfly, minimal vs adaptive), binds
+//! `hrviz-serve` on a loopback port with 4 workers, and measures the
+//! caching ladder from a real TCP client: the cold `POST /views` (disk
+//! load + aggregate + project + render), the warm byte-identical repeat,
+//! the conditional `304`, and a sustained closed-loop burst. Latencies,
+//! the cold/warm speedup, and the sustained request rate land in
+//! `out/BENCH_ext_serve.json`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use hrviz_bench::{out_dir, Expectations};
+use hrviz_network::RoutingAlgorithm;
+use hrviz_obs::{Json, PerfRecord};
+use hrviz_pdes::SimTime;
+use hrviz_serve::{ServeConfig, Server};
+use hrviz_sweep::{RunStore, SweepEngine, SweepSpec, TopologyAxis};
+
+const SCRIPT: &str = r#"{ project: "terminal", aggregate: "router_id",
+                          vmap: { color: "sat_time", size: "traffic" } }"#;
+const WARM_SAMPLES: usize = 30;
+const BURST_CLIENTS: usize = 4;
+const BURST_REQUESTS_PER_CLIENT: usize = 100;
+
+/// Status line, ETag (if any), and body of one round-tripped request.
+struct Reply {
+    status: u16,
+    etag: Option<String>,
+    body: Vec<u8>,
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str, inm: Option<&str>) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut req =
+        format!("POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n", body.len());
+    if let Some(tag) = inm {
+        req.push_str(&format!("If-None-Match: {tag}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read reply");
+    let split = buf.windows(4).position(|w| w == b"\r\n\r\n").expect("complete reply");
+    let head = String::from_utf8_lossy(&buf[..split]).into_owned();
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let etag = head.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.eq_ignore_ascii_case("etag").then(|| v.trim().to_string())
+    });
+    Reply { status, etag, body: buf[split + 4..].to_vec() }
+}
+
+/// Median seconds over `n` round trips of the same request.
+fn median_latency(n: usize, mut one: impl FnMut() -> Reply) -> f64 {
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = one();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    samples[samples.len() / 2]
+}
+
+fn build_store(dir: &Path) -> RunStore {
+    let _ = std::fs::remove_dir_all(dir);
+    let store = RunStore::open(dir).expect("open store");
+    let spec = SweepSpec::new("ext_serve", TopologyAxis::Dragonfly { terminals: 72 })
+        .routings([RoutingAlgorithm::Minimal, RoutingAlgorithm::adaptive_default()])
+        .msgs_per_rank(8)
+        .msg_bytes(4 * 1024)
+        .period(SimTime::micros(2));
+    let engine = SweepEngine::new(store).with_workers(2);
+    engine.run(&spec).expect("sweep the store");
+    RunStore::open(dir).expect("reopen store")
+}
+
+fn main() {
+    hrviz_bench::obs_init("ext_serve");
+    println!("Extension: serving the run store (hrviz-serve, Dragonfly 72t, 2 runs)");
+    let out = out_dir();
+    let t0 = Instant::now();
+
+    let store = build_store(&out.join("store_ext_serve"));
+    let runs = store.runs().expect("list runs");
+    assert_eq!(runs.len(), 2, "two configs, two runs");
+    let sweep_wall = t0.elapsed().as_secs_f64();
+    println!("  store built: {} runs in {sweep_wall:.3}s", runs.len());
+
+    let cfg = ServeConfig { addr: "127.0.0.1:0".into(), workers: 4, ..ServeConfig::default() };
+    let server = Server::bind(cfg, store).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let serve_thread = std::thread::spawn(move || server.serve().expect("serve loop"));
+    let views_path = format!("/views?run={}", runs[0]);
+
+    // Cold: every cache layer misses.
+    let t_cold = Instant::now();
+    let cold = post(addr, &views_path, SCRIPT, None);
+    let cold_s = t_cold.elapsed().as_secs_f64();
+    let tag = cold.etag.clone().unwrap_or_default();
+    println!("  cold  POST /views: {:>8.1} µs  ({} bytes)", cold_s * 1e6, cold.body.len());
+
+    // Warm: the body cache answers.
+    let warm = post(addr, &views_path, SCRIPT, None);
+    let warm_s = median_latency(WARM_SAMPLES, || post(addr, &views_path, SCRIPT, None));
+    println!("  warm  POST /views: {:>8.1} µs  (median of {WARM_SAMPLES})", warm_s * 1e6);
+
+    // Conditional: the client already holds the bytes.
+    let nm = post(addr, &views_path, SCRIPT, Some(&tag));
+    let nm_s = median_latency(WARM_SAMPLES, || post(addr, &views_path, SCRIPT, Some(&tag)));
+    println!("  cond. 304 repeat:  {:>8.1} µs  (median of {WARM_SAMPLES})", nm_s * 1e6);
+
+    // Sustained closed-loop burst: 4 clients × 100 requests.
+    let t_burst = Instant::now();
+    let clients: Vec<_> = (0..BURST_CLIENTS)
+        .map(|_| {
+            let path = views_path.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                let mut identical = true;
+                let mut reference: Option<Vec<u8>> = None;
+                for _ in 0..BURST_REQUESTS_PER_CLIENT {
+                    let reply = post(addr, &path, SCRIPT, None);
+                    ok += usize::from(reply.status == 200);
+                    identical &= reference.get_or_insert_with(|| reply.body.clone()) == &reply.body;
+                }
+                (ok, identical)
+            })
+        })
+        .collect();
+    let results: Vec<(usize, bool)> =
+        clients.into_iter().map(|c| c.join().expect("client thread")).collect();
+    let burst_wall = t_burst.elapsed().as_secs_f64();
+    let burst_total = BURST_CLIENTS * BURST_REQUESTS_PER_CLIENT;
+    let burst_ok: usize = results.iter().map(|(ok, _)| ok).sum();
+    let burst_identical = results.iter().all(|(_, id)| *id);
+    let sustained_rps = burst_total as f64 / burst_wall.max(1e-9);
+    println!(
+        "  sustained burst:   {burst_total} requests, {BURST_CLIENTS} clients, \
+         {sustained_rps:.0} req/s"
+    );
+
+    handle.shutdown();
+    let report = serve_thread.join().expect("serve thread");
+    let speedup = cold_s / warm_s.max(1e-9);
+    println!("  cold/warm speedup {speedup:.1}x   report: {report:?}");
+
+    let mut exp = Expectations::new();
+    exp.check("cold view answers 200 with an ETag", cold.status == 200 && cold.etag.is_some());
+    exp.check(
+        "warm repeat is byte-identical",
+        warm.status == 200 && warm.body == cold.body && warm.etag == cold.etag,
+    );
+    exp.check("warm hit ≥5× faster than the cold build", speedup >= 5.0);
+    exp.check(
+        "conditional repeat answers 304 with no body",
+        nm.status == 304 && nm.body.is_empty(),
+    );
+    exp.check("conditional 304 is no slower than 2× a warm hit", nm_s <= warm_s * 2.0);
+    exp.check(
+        "sustained burst: every response 200 and byte-identical",
+        burst_ok == burst_total && burst_identical,
+    );
+    exp.check("nothing shed at 4 workers", report.shed == 0);
+    let ok = exp.finish("ext_serve");
+
+    let mut perf = PerfRecord::new("ext_serve");
+    perf.wall_time_s = t0.elapsed().as_secs_f64();
+    perf.events_per_sec = sustained_rps; // requests/s: the rate this driver is about
+    perf.extra = vec![
+        ("sweep_wall_s".into(), Json::from(sweep_wall)),
+        ("cold_us".into(), Json::from(cold_s * 1e6)),
+        ("warm_median_us".into(), Json::from(warm_s * 1e6)),
+        ("not_modified_median_us".into(), Json::from(nm_s * 1e6)),
+        ("cold_warm_speedup".into(), Json::from(speedup)),
+        ("sustained_rps".into(), Json::from(sustained_rps)),
+        ("burst_requests".into(), Json::from(burst_total as u64)),
+        ("requests_handled".into(), Json::from(report.requests)),
+        ("requests_shed".into(), Json::from(report.shed)),
+        ("view_bytes".into(), Json::from(cold.body.len() as u64)),
+    ];
+    match perf.write(&out) {
+        Ok(p) => println!("  wrote {}", p.display()),
+        Err(e) => eprintln!("  perf record write failed: {e}"),
+    }
+    std::process::exit(i32::from(!ok));
+}

@@ -38,6 +38,7 @@ use hrviz_network::{
 use hrviz_obs::{Collector, LogLevel};
 use hrviz_pdes::SimTime;
 use hrviz_render::{render_radial, render_radial_row, RadialLayout};
+use hrviz_serve::{install_signal_shutdown, ServeConfig, Server};
 use hrviz_sweep::{
     dragonfly_of, FaultAxis, RunStore, StoredManifest, SweepEngine, SweepSpec, TopologyAxis,
 };
@@ -136,7 +137,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, HrvizError> {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: hrviz <view|trace|compare|sweep|check> [options]
+pub const USAGE: &str = "usage: hrviz <view|trace|compare|sweep|serve|check> [options]
   view    --terminals N --pattern P --routing R [--msgs N] [--bytes N]
           [--period-us N] [--script FILE] [--svg FILE] [--seed N]
   trace   --in FILE --terminals N --routing R [--script FILE] [--svg FILE]
@@ -148,6 +149,10 @@ pub const USAGE: &str = "usage: hrviz <view|trace|compare|sweep|check> [options]
           [--store DIR] [--workers N] [--report DIR] [--name NAME]
           [--msgs N] [--bytes N] [--period-us N]
           (--faults FILE sweeps a faulty axis point next to the healthy one)
+  serve   --store DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
+          [--max-conns N] [--timeout-ms N]
+          (HTTP endpoints: /runs /runs/{id}/columns/{field} /views /compare
+           /healthz /metricsz; SIGINT drains and exits 0)
   check   FILE
 common: --trace-out FILE (write a JSONL telemetry trace)
         --log-level error|warn|info|debug|trace
@@ -211,6 +216,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "report",
             "name",
         ]),
+        "serve" => Some(&["store", "addr", "workers", "queue-depth", "max-conns", "timeout-ms"]),
         "trace" => Some(&["in", "terminals", "routing", "script", "svg", "faults", "hop-limit"]),
         "check" => Some(&[]),
         "help" | "--help" | "-h" => Some(&[]),
@@ -520,7 +526,11 @@ fn run_metrics(out: RunOutput, run: &RunData) -> RunOutput {
 /// Run a parsed command.
 pub fn run(cli: &Cli) -> Result<RunOutput, HrvizError> {
     validate_flags(cli)?;
-    let collector = collector_of(cli)?;
+    let mut collector = collector_of(cli)?;
+    // A server's /metricsz must be live regardless of tracing flags.
+    if cli.command == "serve" && !collector.is_enabled() {
+        collector = Collector::enabled();
+    }
     hrviz_obs::install(collector.clone());
     let result = dispatch(cli);
     collector.flush().map_err(|e| HrvizError::io("trace output", e))?;
@@ -621,6 +631,39 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
                 .metric("store_hits", outcome.store_hits as f64)
                 .metric("store_misses", outcome.store_misses as f64)
                 .metric("events_simulated", outcome.events_simulated as f64))
+        }
+        "serve" => {
+            let Some(store_dir) = cli.options.get("store") else {
+                return err("serve needs --store DIR (a sweep run store)");
+            };
+            let cfg = ServeConfig {
+                addr: cli
+                    .options
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| ServeConfig::default().addr),
+                workers: u64_opt(cli, "workers", ServeConfig::default().workers as u64)? as usize,
+                queue_depth: u64_opt(cli, "queue-depth", ServeConfig::default().queue_depth as u64)?
+                    as usize,
+                max_conns: u64_opt(cli, "max-conns", ServeConfig::default().max_conns as u64)?
+                    as usize,
+                timeout_ms: u64_opt(cli, "timeout-ms", ServeConfig::default().timeout_ms)?,
+            };
+            let store = RunStore::open(store_dir)?;
+            let server = Server::bind(cfg, store)?;
+            let addr = server.local_addr()?;
+            install_signal_shutdown(server.handle())?;
+            // Announce readiness on stderr before blocking: scripts (and
+            // the CI smoke job) wait for this line before issuing requests.
+            eprintln!("hrviz serve: listening on {addr} (store {store_dir}, SIGINT to stop)");
+            let report = server.serve()?;
+            let summary = format!(
+                "serve on {addr}: {} request(s) handled, {} shed\n",
+                report.requests, report.shed
+            );
+            Ok(RunOutput::text(summary)
+                .metric("requests", report.requests as f64)
+                .metric("shed", report.shed as f64))
         }
         "check" => {
             let Some(path) = cli.positional.first() else {

@@ -352,9 +352,9 @@ impl<'a> DataSetBuilder<'a> {
 }
 
 impl DataSet {
-    /// Start building a dataset from a run: the single replacement for the
-    /// old `from_run` / `from_run_range` / `brush_terminals` /
-    /// `without_idle_terminals` constructor sprawl.
+    /// Start building a dataset from a run. The builder's range / brush /
+    /// drop-idle steps are the only extraction path — the old per-variant
+    /// constructors are gone.
     pub fn builder(run: &RunData) -> DataSetBuilder<'_> {
         DataSetBuilder { run, range: None, brush: None, drop_idle: false }
     }
@@ -371,18 +371,6 @@ impl DataSet {
         terminals: Vec<TerminalRow>,
     ) -> DataSet {
         DataSet { jobs, routers, local_links, global_links, terminals, time_range: None }
-    }
-
-    /// Build from a whole run.
-    #[deprecated(note = "use `DataSet::builder(run).build()`")]
-    pub fn from_run(run: &RunData) -> DataSet {
-        Self::extract(run, None)
-    }
-
-    /// Build restricted to `[start, end)`.
-    #[deprecated(note = "use `DataSet::builder(run).range(start, end).build()`")]
-    pub fn from_run_range(run: &RunData, start: SimTime, end: SimTime) -> DataSet {
-        Self::extract(run, Some((start, end)))
     }
 
     fn extract(run: &RunData, range: Option<(SimTime, SimTime)>) -> DataSet {
@@ -565,8 +553,8 @@ impl DataSet {
     }
 
     /// Restrict to terminals satisfying `pred`, keeping links that touch a
-    /// router hosting a selected terminal (shared by the builder and the
-    /// deprecated shims).
+    /// router hosting a selected terminal (backs [`DataSetBuilder::brush`]
+    /// and [`DataSetBuilder::drop_idle`]).
     pub(crate) fn filter_terminals(&self, pred: impl Fn(&TerminalRow) -> bool) -> DataSet {
         let terminals: Vec<TerminalRow> =
             self.terminals.iter().filter(|t| pred(t)).copied().collect();
@@ -587,22 +575,6 @@ impl DataSet {
             terminals,
             time_range: self.time_range,
         }
-    }
-
-    /// Restrict to terminals satisfying `pred` (interactive brushing,
-    /// §IV-C).
-    #[deprecated(note = "use `DataSet::builder(run).brush(pred).build()` or keep the dataset \
-                         and call this through the builder")]
-    pub fn brush_terminals(&self, pred: impl Fn(&TerminalRow) -> bool) -> DataSet {
-        self.filter_terminals(pred)
-    }
-
-    /// Drop idle terminals (the paper filters unused terminals out when a
-    /// job is smaller than the machine, §V-C).
-    #[deprecated(note = "use `DataSet::builder(run).drop_idle().build()`")]
-    pub fn without_idle_terminals(&self) -> DataSet {
-        let proxy = self.jobs.len() as u32;
-        self.filter_terminals(|t| t.job != proxy)
     }
 }
 
@@ -705,24 +677,6 @@ mod tests {
         // Brushing and idle filtering compose in one pass.
         let both = DataSet::builder(&run).brush(|t| t.terminal < 4).drop_idle().build();
         assert_eq!(both.terminals.len(), 4);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_builder() {
-        let run = toy_run(false);
-        let ds = DataSet::from_run(&run);
-        let built = DataSet::builder(&run).build();
-        assert_eq!(ds.terminals, built.terminals);
-        assert_eq!(ds.local_links, built.local_links);
-        assert_eq!(
-            ds.without_idle_terminals().terminals,
-            DataSet::builder(&run).drop_idle().build().terminals
-        );
-        assert_eq!(
-            ds.brush_terminals(|t| t.terminal < 2).terminals,
-            DataSet::builder(&run).brush(|t| t.terminal < 2).build().terminals
-        );
     }
 
     #[test]

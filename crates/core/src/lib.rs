@@ -54,6 +54,7 @@ pub mod projection;
 pub mod script;
 pub mod spec;
 pub mod timeline;
+pub mod viewjson;
 
 pub use aggregate::{
     bin_items, group_rows, AggregateCache, AggregateItem, AggregateTree, DataKey, TreeLevel,
@@ -71,3 +72,4 @@ pub use projection::{
 pub use script::{parse_script, to_script, FIG5A_SCRIPT, FIG5B_SCRIPT};
 pub use spec::{FilterClause, LevelSpec, PlotKind, ProjectionSpec, RibbonSpec, SpecError, VMap};
 pub use timeline::{TimelineSeries, TimelineView};
+pub use viewjson::{view_to_json, views_to_json};

@@ -1,0 +1,162 @@
+//! Projection-view → JSON serialization.
+//!
+//! [`view_to_json`] flattens a resolved [`ProjectionView`] into the
+//! hand-rolled [`Json`] value the serving layer returns for
+//! `POST /views` / `POST /compare`. The encoding is deterministic — object
+//! keys in fixed order, floats via Rust's shortest-round-trip `Display` —
+//! so identical views render to byte-identical bodies, which is what makes
+//! HTTP-level caching by content fingerprint sound.
+
+use crate::projection::{ArcSegment, ProjectionView, RawValues, Ribbon, Ring, VisualItem};
+use hrviz_obs::Json;
+
+fn opt_f64(v: Option<f64>) -> Json {
+    match v {
+        Some(x) => Json::F64(x),
+        None => Json::Null,
+    }
+}
+
+fn key_json(key: &[f64]) -> Json {
+    Json::Arr(key.iter().map(|&k| Json::F64(k)).collect())
+}
+
+fn span_json(span: (f64, f64)) -> Json {
+    Json::Arr(vec![Json::F64(span.0), Json::F64(span.1)])
+}
+
+fn raw_json(raw: &RawValues) -> Json {
+    Json::obj([
+        ("color", opt_f64(raw.color)),
+        ("size", opt_f64(raw.size)),
+        ("x", opt_f64(raw.x)),
+        ("y", opt_f64(raw.y)),
+    ])
+}
+
+fn item_json(it: &VisualItem) -> Json {
+    Json::obj([
+        ("key", key_json(&it.key)),
+        ("rows", Json::Arr(it.rows.iter().map(|&r| Json::U64(r as u64)).collect())),
+        ("span", span_json(it.span)),
+        ("color", opt_f64(it.color)),
+        ("size", opt_f64(it.size)),
+        ("x", opt_f64(it.x)),
+        ("y", opt_f64(it.y)),
+        ("raw", raw_json(&it.raw)),
+        ("fill", Json::Str(it.fill.hex())),
+    ])
+}
+
+fn ring_json(ring: &Ring) -> Json {
+    Json::obj([
+        ("plot", Json::Str(format!("{:?}", ring.plot))),
+        ("entity", Json::Str(ring.entity.name().to_string())),
+        ("items", Json::Arr(ring.items.iter().map(item_json).collect())),
+        ("border", Json::Bool(ring.border)),
+    ])
+}
+
+fn ribbon_json(rb: &Ribbon) -> Json {
+    Json::obj([
+        ("a", Json::U64(rb.a as u64)),
+        ("b", Json::U64(rb.b as u64)),
+        ("size", Json::F64(rb.size)),
+        ("raw_size", Json::F64(rb.raw_size)),
+        ("raw_color", Json::F64(rb.raw_color)),
+        ("color", Json::Str(rb.color.hex())),
+    ])
+}
+
+fn arc_json(arc: &ArcSegment) -> Json {
+    Json::obj([
+        ("key", key_json(&arc.key)),
+        ("span", span_json(arc.span)),
+        ("label", Json::Str(arc.label.clone())),
+    ])
+}
+
+/// Serialize one resolved view.
+pub fn view_to_json(view: &ProjectionView) -> Json {
+    Json::obj([
+        ("rings", Json::Arr(view.rings.iter().map(ring_json).collect())),
+        ("ribbons", Json::Arr(view.ribbons.iter().map(ribbon_json).collect())),
+        ("arcs", Json::Arr(view.arcs.iter().map(arc_json).collect())),
+    ])
+}
+
+/// Serialize a shared-scale comparison: one labeled view per run, in
+/// request order.
+pub fn views_to_json(views: &[(&str, &ProjectionView)]) -> Json {
+    Json::obj([(
+        "views",
+        Json::Arr(
+            views
+                .iter()
+                .map(|(label, view)| {
+                    Json::obj([
+                        ("run", Json::Str((*label).to_string())),
+                        ("view", view_to_json(view)),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DataSet, TerminalRow};
+    use crate::script::parse_script;
+
+    fn tiny_ds() -> DataSet {
+        let mut d = DataSet { jobs: vec!["a".into()], ..DataSet::default() };
+        for i in 0..6u32 {
+            d.terminals.push(TerminalRow {
+                terminal: i,
+                router: i / 2,
+                group: 0,
+                rank: i,
+                job: 0,
+                data_size: f64::from(i) * 64.0,
+                sat: f64::from(i % 3),
+                packets_finished: 1.0,
+                packets_sent: 1.0,
+                ..TerminalRow::default()
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn serialization_is_deterministic_and_complete() {
+        let ds = tiny_ds();
+        let spec = parse_script(
+            r#"{ project: "terminal", aggregate: "router_id",
+                 vmap: { color: "sat_time", size: "traffic" } }"#,
+        )
+        .expect("script parses");
+        let view = crate::projection::build_view(&ds, &spec).expect("view builds");
+        let a = view_to_json(&view).render();
+        let b = view_to_json(&view).render();
+        assert_eq!(a, b, "same view renders byte-identically");
+        for key in ["\"rings\"", "\"ribbons\"", "\"arcs\"", "\"plot\"", "\"fill\"", "\"raw\""] {
+            assert!(a.contains(key), "body missing {key}: {a}");
+        }
+        assert!(a.contains("\"entity\":\"terminal\""), "{a}");
+    }
+
+    #[test]
+    fn comparison_wraps_labeled_views() {
+        let ds = tiny_ds();
+        let spec = parse_script(
+            r#"{ project: "terminal", aggregate: "router_id", vmap: { color: "traffic" } }"#,
+        )
+        .expect("script parses");
+        let view = crate::projection::build_view(&ds, &spec).expect("view builds");
+        let body = views_to_json(&[("aaaa", &view), ("bbbb", &view)]).render();
+        assert!(body.starts_with("{\"views\":["), "{body}");
+        assert!(body.contains("\"run\":\"aaaa\"") && body.contains("\"run\":\"bbbb\""), "{body}");
+    }
+}

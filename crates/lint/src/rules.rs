@@ -7,9 +7,10 @@
 //!   replay is the foundation every comparison view stands on, so nothing
 //!   order-sensitive (hash-map iteration, wall-clock reads, ambient RNG,
 //!   unordered parallel float reductions) may reach simulation state.
-//! * **panic-freedom** — scoped to the PR 2 error boundary (`cli`,
-//!   `faults`, and the `network`/`fattree` config paths): user input must
-//!   surface as `HrvizError`, never as a panic.
+//! * **panic-freedom** — scoped to the error boundary (`cli`, `faults`,
+//!   `serve`, and the `network`/`fattree` config paths): user input —
+//!   including anything a network peer sends — must surface as
+//!   `HrvizError` or an HTTP error response, never as a panic.
 //! * **invariants** — workspace-wide: every `Lp` impl must override
 //!   `audit` (the conservation check the watchdog engine calls) or carry
 //!   an explicit suppression saying why it has nothing to audit.
@@ -57,7 +58,7 @@ pub const RULES: &[RuleInfo] = &[
         id: "panic_unwrap",
         family: "panic",
         desc: "no unwrap/expect/panic!/unreachable!/todo! in the error-boundary crates \
-               (cli, faults, network/fattree config paths); return HrvizError instead",
+               (cli, faults, serve, network/fattree config paths); return HrvizError instead",
     },
     RuleInfo {
         id: "slice_index",
@@ -115,10 +116,11 @@ fn in_sim_scope(path: &str) -> bool {
     SIM_CRATES.contains(&crate_of(path))
 }
 
-/// The PR 2 panic-free error boundary: the whole `cli` and `faults`
-/// crates plus the config (user-input) paths of the two topology crates.
+/// The panic-free error boundary: the whole `cli`, `faults`, and `serve`
+/// crates (the serve request path must never take a worker down) plus the
+/// config (user-input) paths of the two topology crates.
 fn in_panic_scope(path: &str) -> bool {
-    matches!(crate_of(path), "cli" | "faults")
+    matches!(crate_of(path), "cli" | "faults" | "serve")
         || path == "crates/network/src/config.rs"
         || path == "crates/fattree/src/config.rs"
 }

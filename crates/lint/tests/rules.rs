@@ -86,6 +86,19 @@ fn panic_scope_is_boundary_only() {
 }
 
 #[test]
+fn serve_request_path_is_in_the_panic_scope() {
+    // The HTTP request path must answer errors, not unwind under a worker:
+    // both panic-family rules fire for code placed in crates/serve.
+    let serve_path = "crates/serve/src/fixture.rs";
+    assert!(rules_fired(serve_path, "panic_unwrap_positive.rs").contains(&"panic_unwrap"));
+    assert!(rules_fired(serve_path, "slice_index_positive.rs").contains(&"slice_index"));
+    // ...but serve is NOT in the determinism scope: a server may hash and
+    // read the clock (latency histograms, response caches).
+    assert_eq!(rules_fired(serve_path, "hash_collections_positive.rs"), Vec::<&str>::new());
+    assert_eq!(rules_fired(serve_path, "wall_clock_positive.rs"), Vec::<&str>::new());
+}
+
+#[test]
 fn determinism_scope_is_sim_only() {
     // HashMaps are fine outside the sim crates (core's caches use them).
     assert_eq!(

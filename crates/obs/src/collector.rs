@@ -135,6 +135,31 @@ impl Hist {
         }
     }
 
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`) from the bucket counts.
+    ///
+    /// Underflow samples resolve to `min`, overflow samples to `max`, and
+    /// in-range samples to the upper edge of their bucket (clamped to the
+    /// observed `min`/`max`), so the estimate is within one bucket width of
+    /// the true order statistic. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return self.min;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if rank <= seen {
+                let edge = self.lo + self.width * (i as f64 + 1.0);
+                return edge.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("lo", Json::F64(self.lo)),
@@ -490,6 +515,23 @@ mod tests {
         assert_eq!(h.count, 7);
         assert_eq!(h.min, -1.0);
         assert_eq!(h.max, 100.0);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_edges() {
+        let mut h = Hist::new(0.0, 10.0, 10); // [0,100)
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        for v in 0..100 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.quantile(0.0), 10.0, "first bucket upper edge");
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(0.99), 99.0, "clamped to observed max");
+        assert_eq!(h.quantile(1.0), 99.0);
+        h.record(-5.0); // underflow resolves to min
+        assert_eq!(h.quantile(0.0), -5.0);
+        h.record(1e6); // overflow resolves to max
+        assert_eq!(h.quantile(1.0), 1e6);
     }
 
     #[test]

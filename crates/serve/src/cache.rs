@@ -1,0 +1,130 @@
+//! Generation-keyed response caching.
+//!
+//! Every cacheable response is identified by an ETag: the FNV-1a
+//! fingerprint of `endpoint ‖ store generation ‖ script fingerprint ‖
+//! run ids ‖ content kind`. Two consequences:
+//!
+//! * `If-None-Match` is answered `304` from the tag alone — no store
+//!   reads beyond the `GENERATION` file, no aggregation, no body build.
+//! * The body cache is keyed by the same tag, so a warm request (same
+//!   script, same runs, same generation) is a map lookup. A sweep that
+//!   adds runs bumps the generation and every stale tag simply stops
+//!   being requested; FIFO eviction bounds the cache while old entries
+//!   age out.
+//!
+//! Hit/miss/`304` traffic is visible as `serve/cache_hit`,
+//! `serve/cache_miss` and `serve/not_modified` counters.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, PoisonError};
+
+use hrviz_obs::fingerprint64;
+
+/// A cached response body plus its content type.
+#[derive(Clone, Debug)]
+pub struct CachedBody {
+    /// `application/json` or `image/svg+xml`.
+    pub content_type: String,
+    /// The exact bytes served.
+    pub body: Vec<u8>,
+}
+
+struct Inner {
+    map: BTreeMap<String, CachedBody>,
+    order: VecDeque<String>,
+}
+
+/// A bounded FIFO cache of response bodies keyed by ETag.
+pub struct ResponseCache {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+/// Build the quoted ETag for a response identity. The parts are joined
+/// with an unambiguous separator before fingerprinting, so
+/// `["ab", "c"]` and `["a", "bc"]` cannot collide.
+pub fn etag(parts: &[&str]) -> String {
+    let joined = parts.join("\u{1f}");
+    format!("\"{:016x}\"", fingerprint64(&joined))
+}
+
+impl ResponseCache {
+    /// A cache holding at most `cap` bodies.
+    pub fn new(cap: usize) -> ResponseCache {
+        ResponseCache {
+            inner: Mutex::new(Inner { map: BTreeMap::new(), order: VecDeque::new() }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Look up a body, counting the outcome.
+    pub fn get(&self, tag: &str) -> Option<CachedBody> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let hit = inner.map.get(tag).cloned();
+        let obs = hrviz_obs::get();
+        match hit {
+            Some(body) => {
+                obs.counter_add("serve/cache_hit", 1);
+                Some(body)
+            }
+            None => {
+                obs.counter_add("serve/cache_miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Insert a body, evicting the oldest entry beyond capacity.
+    pub fn put(&self, tag: &str, body: CachedBody) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.map.insert(tag.to_string(), body).is_none() {
+            inner.order.push_back(tag.to_string());
+            while inner.order.len() > self.cap {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Bodies currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> CachedBody {
+        CachedBody { content_type: "application/json".into(), body: s.as_bytes().to_vec() }
+    }
+
+    #[test]
+    fn etags_are_quoted_separator_safe_fingerprints() {
+        let a = etag(&["views", "1", "deadbeef"]);
+        assert!(a.starts_with('"') && a.ends_with('"') && a.len() == 18, "{a}");
+        assert_eq!(a, etag(&["views", "1", "deadbeef"]), "deterministic");
+        assert_ne!(a, etag(&["views", "1d", "eadbeef"]), "no concatenation collisions");
+        assert_ne!(a, etag(&["views", "2", "deadbeef"]), "generation changes the tag");
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let cache = ResponseCache::new(2);
+        cache.put("a", body("1"));
+        cache.put("b", body("2"));
+        cache.put("a", body("1")); // re-insert must not double-count
+        cache.put("c", body("3"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_none(), "oldest evicted");
+        assert_eq!(cache.get("b").map(|b| b.body), Some(b"2".to_vec()));
+        assert_eq!(cache.get("c").map(|b| b.body), Some(b"3".to_vec()));
+    }
+}

@@ -1,0 +1,348 @@
+//! Request handlers: the run store + analytics pipeline behind each route.
+//!
+//! The application state owns the [`RunStore`], the shared
+//! [`AggregateCache`] (so concurrent and repeated view builds reuse
+//! grouped aggregates), a bounded dataset cache (parsed columnar tables
+//! keyed by run id + store generation), and the ETag-keyed
+//! [`ResponseCache`]. The caching ladder for `POST /views`:
+//!
+//! 1. `If-None-Match` matches the tag → `304`, nothing else happens.
+//! 2. Body cache hit → the stored bytes, no store read, no aggregation.
+//! 3. Dataset cache hit → parse and aggregate only (aggregation itself
+//!    memoized per [`DataKey`]).
+//! 4. Cold → load from disk, build, populate every layer on the way out.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use hrviz_core::{
+    build_view_cached, compare_views_cached, parse_script, view_to_json, views_to_json,
+    AggregateCache, ColumnarDataSet, DataKey, DataSet, EntityKind, Field, ProjectionSpec,
+};
+use hrviz_obs::{fingerprint64, Json};
+use hrviz_render::{render_radial, render_radial_row, RadialLayout};
+use hrviz_sweep::{RunStore, StoredManifest};
+
+use crate::cache::{etag, CachedBody, ResponseCache};
+use crate::http::{Request, Response};
+use crate::router::{route, Route};
+
+/// Parsed datasets kept hot, keyed by `(run id, generation)`.
+const DATASET_CACHE_CAP: usize = 8;
+/// Response bodies kept hot.
+const RESPONSE_CACHE_CAP: usize = 128;
+
+type DataCacheKey = (String, u64);
+
+struct DataCache {
+    map: BTreeMap<DataCacheKey, Arc<DataSet>>,
+    order: VecDeque<DataCacheKey>,
+}
+
+/// Shared application state: everything a worker needs to answer a
+/// request.
+pub struct App {
+    store: RunStore,
+    agg: AggregateCache,
+    responses: ResponseCache,
+    datasets: Mutex<DataCache>,
+}
+
+impl App {
+    /// State over an opened store.
+    pub fn new(store: RunStore) -> App {
+        hrviz_obs::get().hist_config("serve/latency_us", 0.0, 250.0, 64);
+        App {
+            store,
+            agg: AggregateCache::new(),
+            responses: ResponseCache::new(RESPONSE_CACHE_CAP),
+            datasets: Mutex::new(DataCache { map: BTreeMap::new(), order: VecDeque::new() }),
+        }
+    }
+
+    /// The store being served.
+    pub fn store(&self) -> &RunStore {
+        &self.store
+    }
+
+    /// Handle one parsed request, with request-level telemetry.
+    pub fn handle(&self, req: &Request) -> Response {
+        let obs = hrviz_obs::get();
+        obs.counter_add("serve/requests", 1);
+        let started = Instant::now();
+        let resp = {
+            let _span = obs.span("serve/request");
+            self.dispatch(req)
+        };
+        obs.hist_record("serve/latency_us", started.elapsed().as_secs_f64() * 1e6);
+        if resp.status >= 400 {
+            obs.counter_add("serve/http_errors", 1);
+        }
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match route(req) {
+            Route::Health => self.health(),
+            Route::Metrics => metrics(),
+            Route::Runs => self.runs(req),
+            Route::Columns { run, field } => self.columns(req, &run, &field),
+            Route::Views => self.views(req),
+            Route::Compare => self.compare(req),
+            Route::MethodNotAllowed(allow) => {
+                Response::error(405, &format!("use {allow} on this path")).header("Allow", allow)
+            }
+            Route::NotFound => Response::error(404, "no such endpoint"),
+        }
+    }
+
+    fn health(&self) -> Response {
+        let body = Json::obj([
+            ("status", Json::Str("ok".into())),
+            ("generation", Json::U64(self.store.generation())),
+        ]);
+        Response::json(body.render())
+    }
+
+    /// Serve a cacheable body: answer `304` on a matching `If-None-Match`,
+    /// then the body cache, then `build` (whose product is cached).
+    fn cached(
+        &self,
+        req: &Request,
+        tag: &str,
+        content_type: &str,
+        build: impl FnOnce() -> Result<Vec<u8>, Response>,
+    ) -> Response {
+        if req.header("if-none-match").is_some_and(|inm| inm.split(',').any(|t| t.trim() == tag)) {
+            hrviz_obs::get().counter_add("serve/not_modified", 1);
+            return Response::new(304).header("ETag", tag);
+        }
+        if let Some(hit) = self.responses.get(tag) {
+            return Response::new(200)
+                .header("Content-Type", &hit.content_type)
+                .header("ETag", tag)
+                .with_body(hit.body);
+        }
+        let body = match build() {
+            Ok(body) => body,
+            Err(resp) => return resp,
+        };
+        self.responses
+            .put(tag, CachedBody { content_type: content_type.to_string(), body: body.clone() });
+        Response::new(200).header("Content-Type", content_type).header("ETag", tag).with_body(body)
+    }
+
+    fn runs(&self, req: &Request) -> Response {
+        let generation = self.store.generation().to_string();
+        let tag = etag(&["runs", &generation]);
+        self.cached(req, &tag, "application/json", || {
+            let ids = self.store.runs().map_err(|e| Response::error(500, &e.to_string()))?;
+            let mut entries = Vec::with_capacity(ids.len());
+            for id in &ids {
+                let m = self
+                    .store
+                    .load_manifest(id)
+                    .map_err(|e| Response::error(500, &e.to_string()))?;
+                entries.push(manifest_json(&m));
+            }
+            let body = Json::obj([
+                ("generation", Json::Str(generation.clone())),
+                ("runs", Json::Arr(entries)),
+            ]);
+            Ok(body.render().into_bytes())
+        })
+    }
+
+    fn columns(&self, req: &Request, run: &str, field_name: &str) -> Response {
+        if !self.store.contains(run) {
+            return Response::error(404, &format!("no run {run:?} in the store"));
+        }
+        let field = match Field::parse(field_name) {
+            Some(f) => f,
+            None => return Response::error(404, &format!("unknown field {field_name:?}")),
+        };
+        let table_filter = req.query.get("table").cloned();
+        if let Some(t) = &table_filter {
+            if EntityKind::parse(t).is_none() {
+                return Response::error(400, &format!("unknown table {t:?}"));
+            }
+        }
+        let generation = self.store.generation().to_string();
+        let filter_part = table_filter.clone().unwrap_or_default();
+        let tag = etag(&["columns", &generation, run, field_name, &filter_part]);
+        self.cached(req, &tag, "application/json", || {
+            let stored = self.store.load(run).map_err(|e| Response::error(500, &e.to_string()))?;
+            let tables = columns_json(&stored.data, field, table_filter.as_deref());
+            if tables.is_empty() {
+                return Err(Response::error(
+                    404,
+                    &format!("no table carries field {field_name:?}"),
+                ));
+            }
+            let body = Json::obj([
+                ("run", Json::Str(run.to_string())),
+                ("field", Json::Str(field_name.to_string())),
+                ("tables", Json::Arr(tables)),
+            ]);
+            Ok(body.render().into_bytes())
+        })
+    }
+
+    fn views(&self, req: &Request) -> Response {
+        let run = match req.query.get("run") {
+            Some(r) => r.clone(),
+            None => return Response::error(400, "POST /views needs ?run={id}"),
+        };
+        let script = match std::str::from_utf8(&req.body) {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, "script body must be UTF-8"),
+        };
+        let Some(key) = self.run_key(&run) else {
+            return Response::error(404, &format!("no run {run:?} in the store"));
+        };
+        let svg = req.wants_svg();
+        let kind = if svg { "svg" } else { "json" };
+        let generation = self.store.generation().to_string();
+        let script_fp = format!("{:016x}", fingerprint64(script));
+        let tag = etag(&["views", &generation, &script_fp, &run, kind]);
+        let content_type = if svg { "image/svg+xml" } else { "application/json" };
+        self.cached(req, &tag, content_type, || {
+            let spec = parse_spec(script)?;
+            let ds = self.dataset(&run)?;
+            let view = build_view_cached(&ds, &spec, &self.agg, key)
+                .map_err(|e| Response::error(400, &e.to_string()))?;
+            Ok(if svg {
+                render_radial(&view, &RadialLayout::default(), &run).into_bytes()
+            } else {
+                view_to_json(&view).render().into_bytes()
+            })
+        })
+    }
+
+    fn compare(&self, req: &Request) -> Response {
+        let runs: Vec<String> = match req.query.get("runs") {
+            Some(r) => r.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect(),
+            None => return Response::error(400, "POST /compare needs ?runs={a},{b}"),
+        };
+        if runs.len() < 2 {
+            return Response::error(400, "comparison needs at least two run ids");
+        }
+        let script = match std::str::from_utf8(&req.body) {
+            Ok(s) => s,
+            Err(_) => return Response::error(400, "script body must be UTF-8"),
+        };
+        let mut keys = Vec::with_capacity(runs.len());
+        for run in &runs {
+            match self.run_key(run) {
+                Some(k) => keys.push(k),
+                None => return Response::error(404, &format!("no run {run:?} in the store")),
+            }
+        }
+        let svg = req.wants_svg();
+        let kind = if svg { "svg" } else { "json" };
+        let generation = self.store.generation().to_string();
+        let script_fp = format!("{:016x}", fingerprint64(script));
+        let joined = runs.join(",");
+        let tag = etag(&["compare", &generation, &script_fp, &joined, kind]);
+        let content_type = if svg { "image/svg+xml" } else { "application/json" };
+        self.cached(req, &tag, content_type, || {
+            let spec = parse_spec(script)?;
+            let datasets: Vec<Arc<DataSet>> =
+                runs.iter().map(|r| self.dataset(r)).collect::<Result<_, _>>()?;
+            let pairs: Vec<(&DataSet, DataKey)> =
+                datasets.iter().zip(&keys).map(|(ds, &k)| (ds.as_ref(), k)).collect();
+            let views = compare_views_cached(&pairs, &spec, &self.agg)
+                .map_err(|e| Response::error(400, &e.to_string()))?;
+            Ok(if svg {
+                let labeled: Vec<(&_, &str)> =
+                    views.iter().zip(&runs).map(|(v, r)| (v, r.as_str())).collect();
+                render_radial_row(&labeled, &RadialLayout::default(), "comparison").into_bytes()
+            } else {
+                let labeled: Vec<(&str, &_)> =
+                    runs.iter().zip(&views).map(|(r, v)| (r.as_str(), v)).collect();
+                views_to_json(&labeled).render().into_bytes()
+            })
+        })
+    }
+
+    /// The aggregation-cache key for a stored run, `None` when the run is
+    /// absent (or the id is not the 16-hex-digit form the store emits).
+    fn run_key(&self, run: &str) -> Option<DataKey> {
+        if !self.store.contains(run) {
+            return None;
+        }
+        let hash = u64::from_str_radix(run, 16).ok()?;
+        Some(DataKey { run: hash, generation: self.store.generation() })
+    }
+
+    /// A parsed dataset, through the bounded `(run, generation)` cache.
+    fn dataset(&self, run: &str) -> Result<Arc<DataSet>, Response> {
+        let key = (run.to_string(), self.store.generation());
+        {
+            let cache = self.datasets.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(ds) = cache.map.get(&key) {
+                return Ok(Arc::clone(ds));
+            }
+        }
+        let stored = self.store.load(run).map_err(|e| Response::error(500, &e.to_string()))?;
+        let ds = Arc::new(stored.data.to_dataset());
+        let mut cache = self.datasets.lock().unwrap_or_else(PoisonError::into_inner);
+        if cache.map.insert(key.clone(), Arc::clone(&ds)).is_none() {
+            cache.order.push_back(key);
+            while cache.order.len() > DATASET_CACHE_CAP {
+                if let Some(oldest) = cache.order.pop_front() {
+                    cache.map.remove(&oldest);
+                }
+            }
+        }
+        Ok(ds)
+    }
+}
+
+fn parse_spec(script: &str) -> Result<ProjectionSpec, Response> {
+    parse_script(script).map_err(|e| Response::error(400, &format!("bad script: {e}")))
+}
+
+fn metrics() -> Response {
+    Response::json(hrviz_obs::get().snapshot().to_json().render())
+}
+
+fn manifest_json(m: &StoredManifest) -> Json {
+    Json::obj([
+        ("run", Json::Str(m.run.clone())),
+        ("canonical", Json::Str(m.canonical.clone())),
+        ("label", Json::Str(m.label.clone())),
+        ("seed", Json::U64(m.seed)),
+        ("events_processed", Json::U64(m.events_processed)),
+        ("events_scheduled", Json::U64(m.events_scheduled)),
+        ("end_time_ns", Json::U64(m.end_time_ns)),
+        ("peak_queue_depth", Json::U64(m.peak_queue_depth)),
+        ("delivered", Json::U64(m.delivered)),
+        ("injected", Json::U64(m.injected)),
+        ("dropped", Json::U64(m.dropped)),
+        ("rerouted", Json::U64(m.rerouted)),
+    ])
+}
+
+fn columns_json(data: &ColumnarDataSet, field: Field, only: Option<&str>) -> Vec<Json> {
+    let tables: [(&str, &hrviz_core::ColumnTable); 4] = [
+        (EntityKind::Router.name(), &data.routers),
+        (EntityKind::LocalLink.name(), &data.local_links),
+        (EntityKind::GlobalLink.name(), &data.global_links),
+        (EntityKind::Terminal.name(), &data.terminals),
+    ];
+    tables
+        .iter()
+        .filter(|(name, _)| only.is_none_or(|o| o == *name))
+        .filter_map(|(name, table)| {
+            table.column(field).map(|values| {
+                Json::obj([
+                    ("table", Json::Str((*name).to_string())),
+                    ("values", Json::Arr(values.iter().map(|&v| Json::F64(v)).collect())),
+                ])
+            })
+        })
+        .collect()
+}

@@ -1,0 +1,332 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! Deliberately minimal: the server speaks `Connection: close`, fixed
+//! `Content-Length` bodies, and rejects anything outside the subset it
+//! serves. Every limit is explicit so a hostile peer gets a `400`/`413`
+//! and a closed socket, never unbounded buffering or a hung worker:
+//!
+//! * request line ≤ 8 KB, header line ≤ 8 KB, ≤ 64 headers,
+//! * body ≤ 1 MB via `Content-Length` (`413` beyond),
+//! * `Transfer-Encoding: chunked` refused (`400`),
+//! * `POST` without `Content-Length` refused (`411`).
+//!
+//! Responses never carry a `Date` header: bodies must be byte-identical
+//! across repeats for ETag-based caching to be sound.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+/// Longest accepted request or header line, bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most accepted headers.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted body, bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Query parameters in target order (later keys win).
+    pub query: BTreeMap<String, String>,
+    /// Headers, names lowercased.
+    pub headers: BTreeMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+
+    /// Whether the client asked for SVG over JSON.
+    pub fn wants_svg(&self) -> bool {
+        self.header("accept").is_some_and(|a| a.contains("image/svg"))
+    }
+}
+
+/// Why a request could not be parsed; maps onto a status code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed request → `400`.
+    Bad(String),
+    /// Body over [`MAX_BODY`] → `413`.
+    TooLarge(String),
+    /// `POST` without a `Content-Length` → `411`.
+    LengthRequired,
+    /// Socket error or timeout mid-request — drop the connection.
+    Io(String),
+}
+
+impl ParseError {
+    /// The response this error turns into (`None`: just close).
+    pub fn response(&self) -> Option<Response> {
+        match self {
+            ParseError::Bad(msg) => Some(Response::error(400, msg)),
+            ParseError::TooLarge(msg) => Some(Response::error(413, msg)),
+            ParseError::LengthRequired => {
+                Some(Response::error(411, "POST requires Content-Length"))
+            }
+            ParseError::Io(_) => None,
+        }
+    }
+}
+
+/// Read one line terminated by `\n` (tolerating `\r\n`), bounded by
+/// [`MAX_LINE`]. `Ok(None)` is clean EOF before any byte.
+fn read_line(r: &mut impl Read) -> Result<Option<String>, ParseError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::Bad("truncated line".into()));
+            }
+            Ok(_) => {
+                let b = byte.first().copied().unwrap_or(b'\n');
+                if b == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| ParseError::Bad("non-UTF-8 header bytes".into()))?;
+                    return Ok(Some(text));
+                }
+                line.push(b);
+                if line.len() > MAX_LINE {
+                    return Err(ParseError::Bad("header line too long".into()));
+                }
+            }
+            Err(e) => return Err(ParseError::Io(e.to_string())),
+        }
+    }
+}
+
+fn parse_target(target: &str) -> (String, BTreeMap<String, String>) {
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = BTreeMap::new();
+    for pair in query_str.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some((k, v)) => query.insert(k.to_string(), v.to_string()),
+            None => query.insert(pair.to_string(), String::new()),
+        };
+    }
+    (path.to_string(), query)
+}
+
+/// Parse one request from `r`. `Ok(None)` means the peer closed without
+/// sending anything (an idle keep-probe, not an error).
+pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ParseError> {
+    let line = match read_line(r)? {
+        Some(l) => l,
+        None => return Ok(None),
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::Bad(format!("malformed request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(format!("unsupported protocol {version:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Bad(format!("unsupported request target {target:?}")));
+    }
+    let method = method.to_ascii_uppercase();
+    let (path, query) = parse_target(target);
+
+    let mut headers = BTreeMap::new();
+    loop {
+        let line = read_line(r)?.ok_or_else(|| ParseError::Bad("truncated headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Bad(format!("malformed header {line:?}")))?;
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Bad("too many headers".into()));
+        }
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    if headers.get("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+        return Err(ParseError::Bad("chunked bodies not supported".into()));
+    }
+    let body = match headers.get("content-length") {
+        Some(v) => {
+            let len: usize =
+                v.parse().map_err(|_| ParseError::Bad(format!("invalid Content-Length {v:?}")))?;
+            if len > MAX_BODY {
+                return Err(ParseError::TooLarge(format!(
+                    "body of {len} bytes exceeds {MAX_BODY}"
+                )));
+            }
+            let mut body = vec![0u8; len];
+            r.read_exact(&mut body).map_err(|e| match e.kind() {
+                io::ErrorKind::UnexpectedEof => ParseError::Bad("truncated body".into()),
+                _ => ParseError::Io(e.to_string()),
+            })?;
+            body
+        }
+        None if method == "POST" || method == "PUT" => return Err(ParseError::LengthRequired),
+        None => Vec::new(),
+    };
+
+    Ok(Some(Request { method, path, query, headers, body }))
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers in emission order (`Connection`/`Content-Length` are
+    /// always appended by [`Response::write_to`]).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: u16) -> Response {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// A `200` JSON response.
+    pub fn json(body: String) -> Response {
+        Response::new(200).header("Content-Type", "application/json").with_body(body.into_bytes())
+    }
+
+    /// A `200` SVG response.
+    pub fn svg(body: String) -> Response {
+        Response::new(200).header("Content-Type", "image/svg+xml").with_body(body.into_bytes())
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, msg: &str) -> Response {
+        let body = hrviz_obs::Json::obj([("error", hrviz_obs::Json::Str(msg.to_string()))]);
+        Response::new(status)
+            .header("Content-Type", "application/json")
+            .with_body(body.render().into_bytes())
+    }
+
+    /// Append a header.
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Set the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    /// Serialize to `w`. Every response closes the connection and carries
+    /// an explicit `Content-Length`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, status_text(self.status));
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, ParseError> {
+        read_request(&mut io::Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse(b"GET /runs/ab/columns/traffic?table=terminal HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/runs/ab/columns/traffic");
+        assert_eq!(req.query.get("table").map(String::as_str), Some("terminal"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_exactly() {
+        let req =
+            parse(b"POST /views?run=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap().unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_malformed_and_oversized_inputs() {
+        assert!(matches!(parse(b"GARBAGE\r\n\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(parse(b"GET /x SPDY/3\r\n\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(parse(b"GET http://e/ HTTP/1.1\r\n\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(parse(b"POST /views HTTP/1.1\r\n\r\n"), Err(ParseError::LengthRequired)));
+        let huge = format!("POST /views HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(parse(huge.as_bytes()), Err(ParseError::TooLarge(_))));
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE + 10));
+        assert!(matches!(parse(long_line.as_bytes()), Err(ParseError::Bad(_))));
+        let chunked = b"POST /views HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(parse(chunked), Err(ParseError::Bad(_))));
+    }
+
+    #[test]
+    fn clean_eof_is_not_an_error() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        Response::json("{\"ok\":true}".into())
+            .header("ETag", "\"abc\"")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.contains("ETag: \"abc\"\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

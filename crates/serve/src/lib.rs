@@ -1,0 +1,47 @@
+//! # hrviz-serve — the analytics stack as a long-running service
+//!
+//! Turns a [`RunStore`](hrviz_sweep::RunStore) + projection-view pipeline
+//! into a concurrent HTTP/1.1 server, the serving layer the interactive
+//! workflow of the paper implies: analysts iterate on Fig.-5 scripts
+//! against stored sweep output without re-running the CLI per view.
+//!
+//! * `GET /runs` — manifest listing.
+//! * `GET /runs/{id}/columns/{field}` — raw columnar slices.
+//! * `POST /views?run={id}` — script body → JSON view model, or SVG when
+//!   `Accept: image/svg+xml`.
+//! * `POST /compare?runs={a},{b}` — shared-scale comparison.
+//! * `GET /healthz`, `GET /metricsz` — liveness + hrviz-obs snapshot.
+//!
+//! Responses are deterministic, so they are cacheable by content identity:
+//! `ETag = fnv1a(store generation ‖ script fingerprint ‖ run ids)`, with
+//! `If-None-Match` answered `304` before any store or simulator work.
+//! Warm requests never re-aggregate — the body cache is keyed by the same
+//! fingerprint, and aggregation under it is memoized per store generation
+//! through [`AggregateCache`](hrviz_core::AggregateCache).
+//!
+//! The server core is a bounded worker pool ([`pool`]) with explicit load
+//! shedding: a full queue answers `503` + `Retry-After` instead of growing
+//! memory, a connection cap bounds sockets, per-connection read/write
+//! timeouts bound slow clients, and SIGINT drains in-flight requests
+//! before exit. The request path is panic-free (enforced by hrviz-lint's
+//! panic scope plus `clippy::unwrap_used`); a worker-level unwind guard
+//! converts any residual panic into a `500` and a `serve/panics` counter
+//! rather than a dead worker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod cache;
+pub mod handlers;
+pub mod http;
+pub mod pool;
+pub mod router;
+pub mod server;
+
+pub use cache::ResponseCache;
+pub use handlers::App;
+pub use http::{Request, Response};
+pub use pool::{SubmitError, WorkerPool};
+pub use router::Route;
+pub use server::{install_signal_shutdown, ServeConfig, ServeReport, Server, ServerHandle};

@@ -1,0 +1,207 @@
+//! A bounded worker pool with explicit rejection.
+//!
+//! The pool runs one fixed handler over queued items (for the server: a
+//! per-connection function over accepted sockets). The queue has a hard
+//! capacity and [`WorkerPool::try_submit`] never blocks — it either
+//! enqueues or hands the item straight back with [`SubmitError::Full`],
+//! so the caller still owns the connection and can answer `503` instead
+//! of letting memory grow. Shutdown closes the queue, lets the workers
+//! drain what was already accepted (in-flight requests complete), then
+//! joins them.
+//!
+//! Workers run the handler under an unwind guard: a panicking item is
+//! counted (`serve/panics`) and the worker survives. The request path is
+//! written panic-free — the guard is the belt-and-braces layer, not the
+//! plan.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+struct State<T> {
+    items: VecDeque<T>,
+    open: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+    handler: Box<dyn Fn(T) + Send + Sync + 'static>,
+}
+
+/// Why an item was not accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — shed the request.
+    Full,
+    /// The pool is shutting down.
+    Closed,
+}
+
+/// A fixed-size pool of worker threads running one handler over a
+/// bounded queue of items.
+pub struct WorkerPool<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `workers` threads behind a queue of at most `queue_depth`
+    /// waiting items. Both are clamped to ≥ 1.
+    pub fn new(
+        workers: usize,
+        queue_depth: usize,
+        handler: impl Fn(T) + Send + Sync + 'static,
+    ) -> WorkerPool<T> {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { items: VecDeque::new(), open: true }),
+            ready: Condvar::new(),
+            capacity: queue_depth.max(1),
+            handler: Box::new(handler),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hrviz-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_default();
+        WorkerPool { shared, workers }
+    }
+
+    /// Enqueue `item`, or hand it back without blocking.
+    pub fn try_submit(&self, item: T) -> Result<(), (SubmitError, T)> {
+        let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if !state.open {
+            return Err((SubmitError::Closed, item));
+        }
+        if state.items.len() >= self.shared.capacity {
+            return Err((SubmitError::Full, item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Items currently waiting (not the ones already being handled).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().unwrap_or_else(PoisonError::into_inner).items.len()
+    }
+
+    /// Close the queue, drain accepted items, and join every worker.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            state.open = false;
+        }
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<T: Send + 'static>(shared: &Shared<T>) {
+    loop {
+        let item = {
+            let mut state = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    break item;
+                }
+                if !state.open {
+                    return;
+                }
+                state = shared.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if catch_unwind(AssertUnwindSafe(|| (shared.handler)(item))).is_err() {
+            hrviz_obs::get().counter_add("serve/panics", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    type Task = Box<dyn FnOnce() + Send>;
+
+    fn task_pool(workers: usize, depth: usize) -> WorkerPool<Task> {
+        WorkerPool::new(workers, depth, |task: Task| task())
+    }
+
+    #[test]
+    fn runs_items_and_drains_on_shutdown() {
+        let pool = task_pool(2, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let done = done.clone();
+            pool.try_submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .ok()
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 10, "shutdown drains accepted items");
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_the_item() {
+        let pool = task_pool(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            let _ = running_tx.send(());
+            let _ = release_rx.recv();
+        }))
+        .ok()
+        .unwrap();
+        running_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        // Worker busy: one slot in the queue, then rejection.
+        pool.try_submit(Box::new(|| {})).ok().unwrap();
+        let rejected = pool.try_submit(Box::new(|| {}));
+        let (why, item) = rejected.expect_err("queue full");
+        assert_eq!(why, SubmitError::Full);
+        item(); // the caller got the item back intact
+        assert_eq!(pool.queued(), 1);
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_item_does_not_kill_the_worker() {
+        let pool = task_pool(1, 8);
+        pool.try_submit(Box::new(|| panic!("boom"))).ok().unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = done.clone();
+        pool.try_submit(Box::new(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        }))
+        .ok()
+        .unwrap();
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1, "worker survived the panic");
+    }
+
+    #[test]
+    fn submitting_after_close_reports_closed() {
+        let pool = task_pool(1, 1);
+        {
+            let mut state = pool.shared.state.lock().unwrap();
+            state.open = false;
+        }
+        let (why, _item) = pool.try_submit(Box::new(|| {})).expect_err("closed");
+        assert_eq!(why, SubmitError::Closed);
+        pool.shutdown();
+    }
+}

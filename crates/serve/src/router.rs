@@ -1,0 +1,92 @@
+//! Path → route resolution.
+//!
+//! Kept separate from the handlers so the URL surface is auditable in one
+//! place, and so method mismatches on a known path answer `405` (with an
+//! `Allow` header) instead of a generic `404`.
+
+use crate::http::Request;
+
+/// The server's URL surface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`.
+    Health,
+    /// `GET /metricsz`.
+    Metrics,
+    /// `GET /runs`.
+    Runs,
+    /// `GET /runs/{id}/columns/{field}`.
+    Columns {
+        /// Run id (16 hex digits).
+        run: String,
+        /// Field script name.
+        field: String,
+    },
+    /// `POST /views?run={id}`, script in the body.
+    Views,
+    /// `POST /compare?runs={a},{b}`, script in the body.
+    Compare,
+    /// Known path, wrong method; the payload is the allowed method.
+    MethodNotAllowed(&'static str),
+    /// Nothing under this path.
+    NotFound,
+}
+
+/// Resolve a request to a route.
+pub fn route(req: &Request) -> Route {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let get = req.method == "GET" || req.method == "HEAD";
+    match segments.as_slice() {
+        ["healthz"] if get => Route::Health,
+        ["metricsz"] if get => Route::Metrics,
+        ["runs"] if get => Route::Runs,
+        ["runs", run, "columns", field] if get => {
+            Route::Columns { run: (*run).to_string(), field: (*field).to_string() }
+        }
+        ["views"] if req.method == "POST" => Route::Views,
+        ["compare"] if req.method == "POST" => Route::Compare,
+        ["healthz"] | ["metricsz"] | ["runs"] | ["runs", _, "columns", _] => {
+            Route::MethodNotAllowed("GET")
+        }
+        ["views"] | ["compare"] => Route::MethodNotAllowed("POST"),
+        _ => Route::NotFound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn req(method: &str, path: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: BTreeMap::new(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn resolves_every_endpoint() {
+        assert_eq!(route(&req("GET", "/healthz")), Route::Health);
+        assert_eq!(route(&req("GET", "/metricsz")), Route::Metrics);
+        assert_eq!(route(&req("GET", "/runs")), Route::Runs);
+        assert_eq!(
+            route(&req("GET", "/runs/0011223344556677/columns/traffic")),
+            Route::Columns { run: "0011223344556677".into(), field: "traffic".into() }
+        );
+        assert_eq!(route(&req("POST", "/views")), Route::Views);
+        assert_eq!(route(&req("POST", "/compare")), Route::Compare);
+    }
+
+    #[test]
+    fn wrong_method_is_405_and_unknown_path_404() {
+        assert_eq!(route(&req("POST", "/runs")), Route::MethodNotAllowed("GET"));
+        assert_eq!(route(&req("GET", "/views")), Route::MethodNotAllowed("POST"));
+        assert_eq!(route(&req("DELETE", "/compare")), Route::MethodNotAllowed("POST"));
+        assert_eq!(route(&req("GET", "/nope")), Route::NotFound);
+        assert_eq!(route(&req("GET", "/runs/a/b")), Route::NotFound);
+    }
+}

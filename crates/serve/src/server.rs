@@ -1,0 +1,293 @@
+//! The server core: bind, accept, dispatch to the pool, shed, drain.
+//!
+//! The accept loop runs on the caller's thread with a blocking listener
+//! (no polling, so accepted connections pay no poll latency);
+//! [`ServerHandle::shutdown`] sets the stop flag and then connects to the
+//! listener itself to wake a blocked `accept`. Each accepted connection
+//! is counted against the connection cap and handed to the bounded
+//! [`WorkerPool`]; when either bound is hit the connection is answered
+//! `503` + `Retry-After` inline and closed — overload never queues
+//! unboundedly. On shutdown (signal or handle) the listener stops
+//! accepting, the pool drains every request it already accepted, and
+//! [`Server::serve`] returns a [`ServeReport`].
+
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hrviz_faults::HrvizError;
+use hrviz_sweep::RunStore;
+
+use crate::handlers::App;
+use crate::http::{read_request, Response};
+use crate::pool::WorkerPool;
+
+/// Server tunables, mirroring the CLI flags.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, `HOST:PORT` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted-but-unstarted requests the queue may hold.
+    pub queue_depth: usize,
+    /// Connections admitted at once (queued + in flight).
+    pub max_conns: usize,
+    /// Per-connection read/write timeout, milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:7171".into(),
+            workers: 4,
+            queue_depth: 32,
+            max_conns: 256,
+            timeout_ms: 5000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reject configurations that cannot serve anything.
+    pub fn validate(&self) -> Result<(), HrvizError> {
+        if self.workers == 0 {
+            return Err(HrvizError::config("--workers must be at least 1"));
+        }
+        if self.queue_depth == 0 {
+            return Err(HrvizError::config("--queue-depth must be at least 1"));
+        }
+        if self.max_conns < self.workers {
+            return Err(HrvizError::config("--max-conns must be at least --workers"));
+        }
+        if self.timeout_ms == 0 {
+            return Err(HrvizError::config("--timeout-ms must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// What a serve loop did before it drained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Requests handled (including error responses).
+    pub requests: u64,
+    /// Connections shed with `503`.
+    pub shed: u64,
+}
+
+/// Remote control for a running server (cloneable, signal-safe to use
+/// from a ctrl-c callback).
+#[derive(Clone, Debug)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Ask the serve loop to stop accepting and drain. Connects to the
+    /// listener to wake a blocked `accept` immediately.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Whether shutdown was requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    cfg: ServeConfig,
+    app: Arc<App>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `cfg.addr` over an opened store. Bind failures surface as
+    /// [`HrvizError::Io`] (exit code 4 at the CLI), config mistakes as
+    /// [`HrvizError::Config`].
+    pub fn bind(cfg: ServeConfig, store: RunStore) -> Result<Server, HrvizError> {
+        cfg.validate()?;
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| HrvizError::io(format!("bind {}", cfg.addr), e))?;
+        let addr = listener.local_addr().map_err(|e| HrvizError::io("local_addr", e))?;
+        Ok(Server {
+            listener,
+            addr,
+            cfg,
+            app: Arc::new(App::new(store)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, HrvizError> {
+        Ok(self.addr)
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { stop: Arc::clone(&self.stop), addr: self.addr }
+    }
+
+    /// Accept and serve until shutdown is requested, then drain in-flight
+    /// requests and return the report.
+    pub fn serve(self) -> Result<ServeReport, HrvizError> {
+        let obs = hrviz_obs::get();
+        let live = Arc::new(AtomicUsize::new(0));
+        // Report counters are per-server, not read back from the global
+        // collector — several servers (or tests) in one process must not
+        // see each other's traffic.
+        let requests = Arc::new(AtomicU64::new(0));
+        let shed_count = Arc::new(AtomicU64::new(0));
+        let app = Arc::clone(&self.app);
+        let live_in_pool = Arc::clone(&live);
+        let requests_in_pool = Arc::clone(&requests);
+        let pool = WorkerPool::new(self.cfg.workers, self.cfg.queue_depth, move |stream| {
+            if handle_connection(&app, stream) {
+                requests_in_pool.fetch_add(1, Ordering::SeqCst);
+            }
+            live_in_pool.fetch_sub(1, Ordering::SeqCst);
+        });
+        let timeout = Duration::from_millis(self.cfg.timeout_ms);
+
+        while !self.stop.load(Ordering::SeqCst) {
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    // Transient accept errors (EMFILE under pressure,
+                    // resets): log and keep serving.
+                    obs.counter_add("serve/accept_errors", 1);
+                    obs.log(hrviz_obs::LogLevel::Warn, &format!("accept failed: {e}"));
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue;
+                }
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break; // the shutdown wake-up connection
+            }
+            let _ = stream.set_read_timeout(Some(timeout));
+            let _ = stream.set_write_timeout(Some(timeout));
+
+            if live.load(Ordering::SeqCst) >= self.cfg.max_conns {
+                shed_count.fetch_add(1, Ordering::SeqCst);
+                shed(stream);
+                continue;
+            }
+            live.fetch_add(1, Ordering::SeqCst);
+            if let Err((_why, stream)) = pool.try_submit(stream) {
+                live.fetch_sub(1, Ordering::SeqCst);
+                shed_count.fetch_add(1, Ordering::SeqCst);
+                shed(stream);
+            }
+        }
+
+        // Stop accepting (listener drops with `self`), finish what was
+        // already accepted.
+        pool.shutdown();
+        Ok(ServeReport {
+            requests: requests.load(Ordering::SeqCst),
+            shed: shed_count.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Answer `503 Service Unavailable` + `Retry-After` inline on the accept
+/// thread and close. Never blocks longer than the write timeout already
+/// set on the stream.
+fn shed(stream: TcpStream) {
+    hrviz_obs::get().counter_add("serve/shed", 1);
+    let resp = Response::error(503, "server at capacity, retry shortly").header("Retry-After", "1");
+    respond_and_close(stream, &resp);
+}
+
+/// Write `resp`, send FIN, and drain the unparsed remainder of the
+/// request (bounded) before dropping. Closing with unread bytes in the
+/// receive buffer makes the kernel send RST, which can destroy the
+/// response before the peer reads it — error and shed replies would
+/// vanish exactly when they matter.
+fn respond_and_close(mut stream: TcpStream, resp: &Response) {
+    let _ = resp.write_to(&mut stream);
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 1024];
+    let mut drained = 0usize;
+    while drained < 16 * 1024 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Serve one connection; `true` when a request (or a parse error that got
+/// an error response) was answered, `false` for a silent disconnect.
+fn handle_connection(app: &App, mut stream: TcpStream) -> bool {
+    match read_request(&mut stream) {
+        Ok(Some(req)) => {
+            let resp = app.handle(&req);
+            respond_and_close(stream, &resp);
+            true
+        }
+        Ok(None) => false, // peer connected and closed without a request
+        Err(e) => {
+            hrviz_obs::get().counter_add("serve/http_errors", 1);
+            if let Some(resp) = e.response() {
+                respond_and_close(stream, &resp);
+            }
+            true
+        }
+    }
+}
+
+/// Install a SIGINT/SIGTERM handler that shuts `handle` down; the serve
+/// loop then drains and returns normally, so the process exits 0.
+pub fn install_signal_shutdown(handle: ServerHandle) -> Result<(), HrvizError> {
+    ctrlc::set_handler(move || handle.shutdown())
+        .map_err(|e| HrvizError::config(format!("cannot install signal handler: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_catches_degenerate_settings() {
+        assert!(ServeConfig::default().validate().is_ok());
+        assert!(ServeConfig { workers: 0, ..Default::default() }.validate().is_err());
+        assert!(ServeConfig { queue_depth: 0, ..Default::default() }.validate().is_err());
+        assert!(ServeConfig { timeout_ms: 0, ..Default::default() }.validate().is_err());
+        let few = ServeConfig { workers: 8, max_conns: 4, ..Default::default() };
+        assert!(few.validate().is_err());
+    }
+
+    #[test]
+    fn bind_failures_are_io_errors_not_panics() {
+        let store =
+            RunStore::open(std::env::temp_dir().join("hrviz-serve-bindfail")).expect("store");
+        let cfg = ServeConfig { addr: "256.0.0.1:80".into(), ..Default::default() };
+        let err = Server::bind(cfg, store).err().expect("bad address must fail");
+        assert_eq!(err.exit_code(), 4, "bind failures map to the Io exit code");
+    }
+
+    #[test]
+    fn handle_stops_the_loop() {
+        let store = RunStore::open(std::env::temp_dir().join("hrviz-serve-stop")).expect("store");
+        let cfg = ServeConfig { addr: "127.0.0.1:0".into(), ..Default::default() };
+        let server = Server::bind(cfg, store).expect("bind");
+        let handle = server.handle();
+        assert!(!handle.is_shutdown());
+        handle.shutdown();
+        let report = server.serve().expect("serve returns after shutdown");
+        assert_eq!(report.requests, 0);
+    }
+}

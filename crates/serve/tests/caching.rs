@@ -1,0 +1,90 @@
+//! Warm-path telemetry: this binary owns the global collector (tests in
+//! `loopback.rs` run with it disabled), so it can assert what the cache
+//! ladder actually *does* — a warm hit re-runs no aggregation, and
+//! `If-None-Match` short-circuits before even the body cache.
+//!
+//! Kept to a single `#[test]` so the counter readings are ordered.
+
+mod common;
+
+use hrviz_obs::Collector;
+use hrviz_serve::ServeConfig;
+
+use common::{get, post, start, test_store, SCRIPT};
+
+fn counter(name: &str) -> u64 {
+    hrviz_obs::get().snapshot().counters.get(name).copied().unwrap_or(0)
+}
+
+fn span_count(label: &str) -> u64 {
+    hrviz_obs::get().snapshot().spans.get(label).map(|s| s.count).unwrap_or(0)
+}
+
+#[test]
+fn warm_requests_skip_the_pipeline() {
+    // Build the store BEFORE installing the collector, so simulation
+    // spans don't muddy the request-path readings.
+    let (_, runs) = test_store();
+    hrviz_obs::install(Collector::enabled());
+
+    let server = start(ServeConfig::default());
+    let addr = server.addr;
+    let views_path = format!("/views?run={}", runs[0]);
+    let compare_path = format!("/compare?runs={},{}", runs[0], runs[1]);
+
+    // Cold: misses the body cache and runs the pipeline.
+    let cold = post(addr, &views_path, SCRIPT, &[]);
+    assert_eq!(cold.status, 200, "cold body: {}", cold.text());
+    let tag = cold.header("ETag").expect("cold reply carries an ETag").to_string();
+    assert!(counter("serve/cache_miss") >= 1, "cold request misses");
+    assert_eq!(counter("serve/cache_hit"), 0);
+    let cold_projects = span_count("core/project");
+    assert!(cold_projects >= 1, "cold request projected the dataset");
+
+    // Warm: byte-identical body, a cache hit, and no new projection work.
+    let warm = post(addr, &views_path, SCRIPT, &[]);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, cold.body, "warm body is byte-identical");
+    assert_eq!(warm.header("ETag"), Some(tag.as_str()));
+    assert!(counter("serve/cache_hit") >= 1, "warm request hits the body cache");
+    assert_eq!(
+        span_count("core/project"),
+        cold_projects,
+        "warm request must not re-run the projection pipeline"
+    );
+
+    // Conditional: the client already holds the bytes — 304, empty body,
+    // and still no pipeline work.
+    let not_modified = post(addr, &views_path, SCRIPT, &[("If-None-Match", &tag)]);
+    assert_eq!(not_modified.status, 304);
+    assert!(not_modified.body.is_empty(), "304 carries no body");
+    assert_eq!(not_modified.header("ETag"), Some(tag.as_str()));
+    assert!(counter("serve/not_modified") >= 1);
+    assert_eq!(span_count("core/project"), cold_projects);
+
+    // The same ladder holds for comparisons.
+    let cmp_cold = post(addr, &compare_path, SCRIPT, &[]);
+    assert_eq!(cmp_cold.status, 200, "compare body: {}", cmp_cold.text());
+    let compares = span_count("core/compare");
+    assert!(compares >= 1, "cold comparison ran core/compare");
+    let cmp_warm = post(addr, &compare_path, SCRIPT, &[]);
+    assert_eq!(cmp_warm.status, 200);
+    assert_eq!(cmp_warm.body, cmp_cold.body);
+    assert_eq!(span_count("core/compare"), compares, "warm comparison re-ran nothing");
+
+    // A different script is a different tag: no false sharing.
+    let other_script = r#"{ project: "router", aggregate: "router_rank",
+                            vmap: { color: "total_sat_time", size: "total_traffic" } }"#;
+    let other = post(addr, &views_path, other_script, &[]);
+    assert_eq!(other.status, 200, "other body: {}", other.text());
+    assert_ne!(other.header("ETag"), Some(tag.as_str()), "distinct scripts get distinct tags");
+    assert_ne!(other.body, cold.body);
+
+    // /metricsz exposes the same counters we just exercised.
+    let metrics = get(addr, "/metricsz", &[]);
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.text().contains("serve/cache_hit"), "metrics: {}", metrics.text());
+
+    let report = server.stop();
+    assert!(report.requests >= 7, "all requests counted: {report:?}");
+}

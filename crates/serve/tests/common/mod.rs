@@ -1,0 +1,140 @@
+//! Shared loopback-test plumbing: a tiny two-run store built once per
+//! test process, a server started on port 0, and a raw HTTP client.
+
+#![allow(dead_code)] // each test binary uses a subset of the helpers
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hrviz_network::RoutingAlgorithm;
+use hrviz_pdes::SimTime;
+use hrviz_serve::{ServeConfig, ServeReport, Server, ServerHandle};
+use hrviz_sweep::{RunStore, SweepEngine, SweepSpec, TopologyAxis};
+
+/// The projection script every test posts.
+pub const SCRIPT: &str = r#"{ project: "terminal", aggregate: "router_id", vmap: { color: "sat_time", size: "traffic" } }"#;
+
+/// Build (once per process) a store holding a minimal and an adaptive run
+/// of a 72-terminal Dragonfly, returning its directory and sorted run ids.
+pub fn test_store() -> &'static (PathBuf, Vec<String>) {
+    static STORE: OnceLock<(PathBuf, Vec<String>)> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "hrviz-serve-it-{}-{}",
+            env!("CARGO_CRATE_NAME"),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).expect("open store");
+        let spec = SweepSpec::new("it", TopologyAxis::Dragonfly { terminals: 72 })
+            .routings(vec![RoutingAlgorithm::Minimal, RoutingAlgorithm::adaptive_default()])
+            .msgs_per_rank(2)
+            .msg_bytes(1024)
+            .period(SimTime::micros(1));
+        let engine = SweepEngine::new(store).with_workers(1);
+        engine.run(&spec).expect("sweep the test grid");
+        let runs = engine.store().runs().expect("list runs");
+        assert_eq!(runs.len(), 2, "two configs, two runs");
+        (dir, runs)
+    })
+}
+
+/// A server running on a background thread over the shared test store.
+pub struct TestServer {
+    /// The bound loopback address.
+    pub addr: SocketAddr,
+    handle: ServerHandle,
+    thread: JoinHandle<ServeReport>,
+}
+
+/// Start a server on port 0 with `cfg`'s tuning (its `addr` is replaced).
+pub fn start(mut cfg: ServeConfig) -> TestServer {
+    let (dir, _) = test_store();
+    cfg.addr = "127.0.0.1:0".into();
+    let server = Server::bind(cfg, RunStore::open(dir).expect("reopen store")).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.serve().expect("serve loop"));
+    TestServer { addr, handle, thread }
+}
+
+impl TestServer {
+    /// Request shutdown, wait for the drain, return the report.
+    pub fn stop(self) -> ServeReport {
+        self.handle.shutdown();
+        self.thread.join().expect("serve thread exits cleanly")
+    }
+}
+
+/// A parsed HTTP reply.
+#[derive(Clone, Debug)]
+pub struct Reply {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Send raw bytes, read to EOF, parse the reply.
+pub fn raw(addr: SocketAddr, bytes: &[u8]) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("read timeout");
+    stream.write_all(bytes).expect("send request");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read reply");
+    parse_reply(&buf)
+}
+
+fn parse_reply(buf: &[u8]) -> Reply {
+    let split =
+        buf.windows(4).position(|w| w == b"\r\n\r\n").expect("reply has a header/body separator");
+    let head = String::from_utf8_lossy(&buf[..split]).into_owned();
+    let body = buf[split + 4..].to_vec();
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable status line {status_line:?}"));
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Reply { status, headers, body }
+}
+
+/// `GET path` with optional extra headers.
+pub fn get(addr: SocketAddr, path: &str, extra: &[(&str, &str)]) -> Reply {
+    let mut req = format!("GET {path} HTTP/1.1\r\nHost: test\r\n");
+    for (k, v) in extra {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    raw(addr, req.as_bytes())
+}
+
+/// `POST path` with a body and optional extra headers.
+pub fn post(addr: SocketAddr, path: &str, body: &str, extra: &[(&str, &str)]) -> Reply {
+    let mut req =
+        format!("POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n", body.len());
+    for (k, v) in extra {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    raw(addr, req.as_bytes())
+}

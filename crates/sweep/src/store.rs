@@ -157,14 +157,20 @@ impl RunStore {
         Ok(dir)
     }
 
+    /// Load just a run's manifest — cheap relative to [`RunStore::load`],
+    /// which also parses the columnar tables. Listing endpoints and cache
+    /// keys only need this.
+    pub fn load_manifest(&self, run_id: &str) -> Result<StoredManifest, HrvizError> {
+        let man_path = self.run_dir(run_id).join("manifest.json");
+        let man_text = fs::read_to_string(&man_path)
+            .map_err(|e| HrvizError::io(man_path.display().to_string(), e))?;
+        parse_manifest(&man_text).map_err(|e| HrvizError::parse(man_path.display().to_string(), e))
+    }
+
     /// Load a run back from the store.
     pub fn load(&self, run_id: &str) -> Result<StoredRun, HrvizError> {
         let dir = self.run_dir(run_id);
-        let man_path = dir.join("manifest.json");
-        let man_text = fs::read_to_string(&man_path)
-            .map_err(|e| HrvizError::io(man_path.display().to_string(), e))?;
-        let manifest = parse_manifest(&man_text)
-            .map_err(|e| HrvizError::parse(man_path.display().to_string(), e))?;
+        let manifest = self.load_manifest(run_id)?;
         let col_path = dir.join("columns.jsonl");
         let col_text = fs::read_to_string(&col_path)
             .map_err(|e| HrvizError::io(col_path.display().to_string(), e))?;

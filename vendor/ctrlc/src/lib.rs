@@ -1,0 +1,115 @@
+//! Offline API-compatible stand-in for the subset of `ctrlc` this
+//! workspace uses: [`set_handler`] registers a callback invoked when the
+//! process receives `SIGINT` or `SIGTERM`.
+//!
+//! The signal handler itself only stores into an `AtomicBool`
+//! (async-signal-safe); a dedicated watcher thread polls the flag and runs
+//! the registered callback outside signal context. Like the upstream
+//! crate, the handler stays installed for the life of the process and the
+//! callback may fire more than once.
+
+#![allow(clippy::all)]
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Errors from [`set_handler`] (upstream has a richer enum; everything the
+/// workspace does with it is `Display`).
+pub type Error = io::Error;
+
+type Handler = Box<dyn FnMut() + Send>;
+
+static FLAG: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static HANDLER: Mutex<Option<Handler>> = Mutex::new(None);
+
+#[cfg(unix)]
+mod os {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+    pub const SIG_ERR: usize = usize::MAX;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Async-signal-safe: a relaxed atomic store, nothing else.
+        super::FLAG.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() -> std::io::Result<()> {
+        let h = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY (vendor crate; the workspace proper forbids unsafe):
+        // `signal` is the POSIX libc entry point and `on_signal` has the
+        // required `extern "C" fn(c_int)` ABI.
+        let prev = unsafe { signal(SIGINT, h) };
+        if prev == SIG_ERR {
+            return Err(std::io::Error::last_os_error());
+        }
+        unsafe { signal(SIGTERM, h) };
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod os {
+    /// Non-unix hosts get no signal hook; the watcher thread still runs so
+    /// programmatic shutdown paths behave identically.
+    pub fn install() -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Register `f` to run when the process receives `SIGINT`/`SIGTERM`.
+/// Later calls replace the callback but keep the single OS handler and
+/// watcher thread.
+pub fn set_handler<F: FnMut() + Send + 'static>(f: F) -> Result<(), Error> {
+    *HANDLER.lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(f));
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return Ok(());
+    }
+    os::install()?;
+    std::thread::Builder::new().name("ctrlc-watcher".into()).spawn(|| loop {
+        if FLAG.swap(false, Ordering::SeqCst) {
+            if let Some(h) = HANDLER.lock().unwrap_or_else(|e| e.into_inner()).as_mut() {
+                h();
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    })?;
+    Ok(())
+}
+
+/// Test-only hook: simulate signal delivery by raising the same flag the
+/// OS handler sets.
+pub fn raise_for_test() {
+    FLAG.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn raised_flag_invokes_the_handler() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        set_handler(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        })
+        .expect("install handler");
+        raise_for_test();
+        for _ in 0..200 {
+            if hits.load(Ordering::SeqCst) > 0 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("handler never ran");
+    }
+}
