@@ -1,0 +1,432 @@
+//! The perf-regression gate behind `hrviz bench-gate`.
+//!
+//! Bench drivers leave one `BENCH_<driver>.json` each under `out/`
+//! ([`hrviz_obs::PerfRecord`]). The gate folds those records into
+//! `out/PERF_HISTORY.jsonl` — one line per driver per gate run, with a
+//! monotone `seq` instead of a timestamp so history files stay
+//! byte-deterministic — and compares each tracked metric against the
+//! rolling mean of that driver's last [`GateConfig::window`] history
+//! entries. A metric that moves past [`GateConfig::tolerance`] in its
+//! bad direction is a regression; the CLI turns any regression into
+//! [`HrvizError::Gate`] (exit code 7), distinct from "the tool broke".
+//!
+//! The gate is advisory in CI (`continue-on-error`): its job is to make
+//! a slowdown loud and attributable, not to block merges on machine
+//! noise. The window-mean baseline tolerates one noisy run; a sustained
+//! drop shifts the mean and keeps firing.
+
+use std::fs;
+use std::path::Path;
+
+use hrviz_network::HrvizError;
+use hrviz_obs::Json;
+
+/// Metrics the gate tracks, with the direction of "good":
+/// `true` = higher is better, `false` = lower is better. Counters that
+/// are deterministic per driver (event totals, queue depths) are
+/// recorded in history but never gated — they cannot regress from noise,
+/// only from a code change the functional tests already catch.
+const TRACKED: &[(&str, bool)] =
+    &[("events_per_sec", true), ("req_per_sec", true), ("wall_time_s", false)];
+
+/// Gate tunables, mirroring the CLI flags.
+#[derive(Clone, Copy, Debug)]
+pub struct GateConfig {
+    /// Allowed relative move in the bad direction before a metric counts
+    /// as regressed (0.2 = 20%).
+    pub tolerance: f64,
+    /// History entries per driver folded into the rolling baseline.
+    pub window: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig { tolerance: 0.2, window: 5 }
+    }
+}
+
+impl GateConfig {
+    /// Reject configurations that cannot gate anything.
+    pub fn validate(&self) -> Result<(), HrvizError> {
+        if self.tolerance <= 0.0 || !self.tolerance.is_finite() {
+            return Err(HrvizError::config("--tolerance must be a positive number"));
+        }
+        if self.window == 0 {
+            return Err(HrvizError::config("--window must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// One tracked metric of one driver, judged against its baseline.
+#[derive(Clone, Debug)]
+pub struct MetricVerdict {
+    /// Driver the metric belongs to.
+    pub driver: String,
+    /// Metric name.
+    pub metric: String,
+    /// Value from the current `BENCH_*.json`.
+    pub current: f64,
+    /// Rolling window mean, `None` when the driver has no history yet.
+    pub baseline: Option<f64>,
+    /// Relative move in the bad direction (positive = worse), 0 without
+    /// a baseline.
+    pub regression: f64,
+    /// Whether the move exceeds the tolerance.
+    pub regressed: bool,
+}
+
+/// What one gate run measured and recorded.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Every tracked metric found in the current bench records.
+    pub verdicts: Vec<MetricVerdict>,
+    /// History lines appended this run (one per driver).
+    pub appended: usize,
+}
+
+impl GateReport {
+    /// The metrics that tripped the gate.
+    pub fn regressed(&self) -> Vec<&MetricVerdict> {
+        self.verdicts.iter().filter(|v| v.regressed).collect()
+    }
+
+    /// JSON summary (printed by the CLI and archived by CI).
+    pub fn to_json(&self) -> Json {
+        let verdicts = self
+            .verdicts
+            .iter()
+            .map(|v| {
+                Json::obj([
+                    ("driver", Json::Str(v.driver.clone())),
+                    ("metric", Json::Str(v.metric.clone())),
+                    ("current", Json::F64(v.current)),
+                    ("baseline", v.baseline.map(Json::F64).unwrap_or(Json::Null)),
+                    ("regression", Json::F64(v.regression)),
+                    ("regressed", Json::Bool(v.regressed)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("verdicts", Json::Arr(verdicts)),
+            ("appended", Json::U64(self.appended as u64)),
+            ("regressed", Json::U64(self.regressed().len() as u64)),
+        ])
+    }
+}
+
+/// One parsed history line: `{"seq":N,"driver":...,"metrics":{...}}`.
+struct HistoryEntry {
+    seq: u64,
+    driver: String,
+    metrics: Vec<(String, f64)>,
+}
+
+/// Judge the `BENCH_*.json` records under `dir` against
+/// `dir/PERF_HISTORY.jsonl`, then append them to the history.
+///
+/// The append happens even when a metric regressed: the next run's
+/// baseline must see the slow run, otherwise a persistent regression
+/// would fire once and then hide inside a stale baseline.
+pub fn run_gate(dir: &Path, cfg: &GateConfig) -> Result<GateReport, HrvizError> {
+    cfg.validate()?;
+    let history_path = dir.join("PERF_HISTORY.jsonl");
+    let history = read_history(&history_path)?;
+    let records = read_bench_records(dir)?;
+    if records.is_empty() {
+        return Err(HrvizError::config(format!(
+            "no BENCH_*.json records under {} — run a bench driver first",
+            dir.display()
+        )));
+    }
+
+    let mut report = GateReport::default();
+    for (driver, metrics) in &records {
+        for (metric, current) in metrics {
+            let Some(&(_, higher_is_better)) = TRACKED.iter().find(|(n, _)| n == metric) else {
+                continue;
+            };
+            let baseline = window_mean(&history, driver, metric, cfg.window);
+            let regression = match baseline {
+                // Relative move in the bad direction; a zero baseline
+                // cannot shrink further, so only treat it as a base
+                // when it is meaningful.
+                Some(b) if b.abs() > f64::EPSILON => {
+                    if higher_is_better {
+                        (b - current) / b
+                    } else {
+                        (current - b) / b
+                    }
+                }
+                _ => 0.0,
+            };
+            report.verdicts.push(MetricVerdict {
+                driver: driver.clone(),
+                metric: metric.clone(),
+                current: *current,
+                baseline,
+                regression,
+                regressed: regression > cfg.tolerance,
+            });
+        }
+    }
+
+    append_history(&history_path, &history, &records)?;
+    report.appended = records.len();
+    Ok(report)
+}
+
+/// Parse `PERF_HISTORY.jsonl`, skipping nothing: a malformed line is a
+/// hard error, because silently dropping history quietly weakens every
+/// future baseline.
+fn read_history(path: &Path) -> Result<Vec<HistoryEntry>, HrvizError> {
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text =
+        fs::read_to_string(path).map_err(|e| HrvizError::io(path.display().to_string(), e))?;
+    let mut entries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line)
+            .map_err(|e| HrvizError::parse(format!("{}:{}", path.display(), lineno + 1), e))?;
+        let entry = HistoryEntry {
+            seq: value.get("seq").and_then(Json::as_u64).unwrap_or(0),
+            driver: value
+                .get("driver")
+                .and_then(Json::as_str)
+                .ok_or_else(|| {
+                    HrvizError::parse(
+                        format!("{}:{}", path.display(), lineno + 1),
+                        "history line has no driver",
+                    )
+                })?
+                .to_string(),
+            metrics: numeric_fields(value.get("metrics")),
+        };
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+/// Every numeric field of a JSON object, in file order.
+fn numeric_fields(value: Option<&Json>) -> Vec<(String, f64)> {
+    let Some(Json::Obj(pairs)) = value else { return Vec::new() };
+    pairs.iter().filter_map(|(k, v)| v.as_f64().map(|x| (k.clone(), x))).collect()
+}
+
+/// One bench driver's record: its name plus `(metric, value)` pairs.
+type BenchRecord = (String, Vec<(String, f64)>);
+
+/// Parse every `BENCH_*.json` under `dir`, sorted by file name so runs
+/// and their history lines are deterministically ordered.
+fn read_bench_records(dir: &Path) -> Result<Vec<BenchRecord>, HrvizError> {
+    let mut paths = Vec::new();
+    let listing = match fs::read_dir(dir) {
+        Ok(l) => l,
+        Err(e) => return Err(HrvizError::io(dir.display().to_string(), e)),
+    };
+    for entry in listing {
+        let path = entry.map_err(|e| HrvizError::io(dir.display().to_string(), e))?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            paths.push(path);
+        }
+    }
+    paths.sort();
+
+    let mut records = Vec::new();
+    for path in paths {
+        let text =
+            fs::read_to_string(&path).map_err(|e| HrvizError::io(path.display().to_string(), e))?;
+        let value =
+            Json::parse(&text).map_err(|e| HrvizError::parse(path.display().to_string(), e))?;
+        let driver = value
+            .get("driver")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                HrvizError::parse(path.display().to_string(), "bench record has no driver")
+            })?
+            .to_string();
+        records.push((driver, numeric_fields(Some(&value))));
+    }
+    Ok(records)
+}
+
+/// Mean of the last `window` history values of `metric` for `driver`.
+fn window_mean(history: &[HistoryEntry], driver: &str, metric: &str, window: usize) -> Option<f64> {
+    let values: Vec<f64> = history
+        .iter()
+        .filter(|e| e.driver == driver)
+        .filter_map(|e| e.metrics.iter().find(|(k, _)| k == metric).map(|(_, v)| *v))
+        .collect();
+    let tail = &values[values.len().saturating_sub(window)..];
+    if tail.is_empty() {
+        return None;
+    }
+    Some(tail.iter().sum::<f64>() / tail.len() as f64)
+}
+
+/// Append one history line per record, continuing the `seq` series.
+fn append_history(
+    path: &Path,
+    history: &[HistoryEntry],
+    records: &[(String, Vec<(String, f64)>)],
+) -> Result<(), HrvizError> {
+    let mut seq = history.iter().map(|e| e.seq).max().unwrap_or(0);
+    let mut lines = String::new();
+    for (driver, metrics) in records {
+        seq += 1;
+        let metric_pairs: Vec<(String, Json)> =
+            metrics.iter().map(|(k, v)| (k.clone(), Json::F64(*v))).collect();
+        let line = Json::Obj(vec![
+            ("seq".into(), Json::U64(seq)),
+            ("driver".into(), Json::Str(driver.clone())),
+            ("metrics".into(), Json::Obj(metric_pairs)),
+        ]);
+        lines.push_str(&line.render());
+        lines.push('\n');
+    }
+    let existing = if path.exists() {
+        fs::read_to_string(path).map_err(|e| HrvizError::io(path.display().to_string(), e))?
+    } else {
+        String::new()
+    };
+    fs::write(path, existing + &lines).map_err(|e| HrvizError::io(path.display().to_string(), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hrviz-gate-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("tmp dir");
+        dir
+    }
+
+    fn write_bench(dir: &Path, driver: &str, eps: f64, wall: f64) {
+        let body = Json::obj([
+            ("driver", Json::Str(driver.into())),
+            ("wall_time_s", Json::F64(wall)),
+            ("events_per_sec", Json::F64(eps)),
+            ("peak_queue_depth", Json::U64(9)),
+        ]);
+        fs::write(dir.join(format!("BENCH_{driver}.json")), body.render()).expect("write");
+    }
+
+    #[test]
+    fn first_run_has_no_baseline_and_seeds_history() {
+        let dir = tmp("seed");
+        write_bench(&dir, "fig2", 1000.0, 2.0);
+        let report = run_gate(&dir, &GateConfig::default()).expect("gate");
+        assert!(report.regressed().is_empty(), "nothing to compare against yet");
+        assert!(report.verdicts.iter().all(|v| v.baseline.is_none()));
+        assert_eq!(report.appended, 1);
+        let history = fs::read_to_string(dir.join("PERF_HISTORY.jsonl")).expect("history");
+        assert!(history.contains("\"seq\":1"), "{history}");
+        assert!(history.contains("\"driver\":\"fig2\""), "{history}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stable_metrics_pass_and_history_grows_monotonically() {
+        let dir = tmp("stable");
+        for _ in 0..4 {
+            write_bench(&dir, "fig2", 1000.0, 2.0);
+            let report = run_gate(&dir, &GateConfig::default()).expect("gate");
+            assert!(report.regressed().is_empty());
+        }
+        let history = fs::read_to_string(dir.join("PERF_HISTORY.jsonl")).expect("history");
+        assert_eq!(history.lines().count(), 4);
+        assert!(history.contains("\"seq\":4"), "{history}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_regression_trips_the_gate_in_both_directions() {
+        let dir = tmp("regress");
+        for _ in 0..3 {
+            write_bench(&dir, "fig2", 1000.0, 2.0);
+            run_gate(&dir, &GateConfig::default()).expect("gate");
+        }
+        // Throughput halves and wall time triples: both directions fire.
+        write_bench(&dir, "fig2", 500.0, 6.0);
+        let report = run_gate(&dir, &GateConfig::default()).expect("gate");
+        let tripped: Vec<&str> = report.regressed().iter().map(|v| v.metric.as_str()).collect();
+        assert!(tripped.contains(&"events_per_sec"), "{tripped:?}");
+        assert!(tripped.contains(&"wall_time_s"), "{tripped:?}");
+        let eps = report.verdicts.iter().find(|v| v.metric == "events_per_sec").expect("verdict");
+        assert!((eps.regression - 0.5).abs() < 1e-9, "halved throughput = 50% regression");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_run_still_lands_in_history_so_baselines_track_reality() {
+        let dir = tmp("track");
+        write_bench(&dir, "fig2", 1000.0, 2.0);
+        run_gate(&dir, &GateConfig::default()).expect("gate");
+        write_bench(&dir, "fig2", 400.0, 2.0);
+        let tripped = run_gate(&dir, &GateConfig::default()).expect("gate");
+        assert_eq!(tripped.regressed().len(), 1);
+        let history = fs::read_to_string(dir.join("PERF_HISTORY.jsonl")).expect("history");
+        assert!(history.contains("400"), "the regressed run is part of history: {history}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn window_bounds_the_baseline() {
+        let dir = tmp("window");
+        // Ancient fast runs, then a sustained slower plateau.
+        for eps in [4000.0, 4000.0, 4000.0, 1000.0, 1000.0, 1000.0] {
+            write_bench(&dir, "fig2", eps, 2.0);
+            run_gate(&dir, &GateConfig { tolerance: 1e9, window: 3 }).expect("seed");
+        }
+        // Against a window-3 baseline (all 1000.0) the same value passes;
+        // a full-history mean would still include the 4000s and fire.
+        write_bench(&dir, "fig2", 950.0, 2.0);
+        let report = run_gate(&dir, &GateConfig { tolerance: 0.2, window: 3 }).expect("gate");
+        assert!(report.regressed().is_empty(), "{:?}", report.regressed());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn untracked_and_deterministic_metrics_never_gate() {
+        let dir = tmp("untracked");
+        write_bench(&dir, "fig2", 1000.0, 2.0);
+        run_gate(&dir, &GateConfig::default()).expect("gate");
+        write_bench(&dir, "fig2", 1000.0, 2.0);
+        let report = run_gate(&dir, &GateConfig::default()).expect("gate");
+        assert!(
+            report.verdicts.iter().all(|v| v.metric != "peak_queue_depth"),
+            "queue depth is recorded but never judged"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degenerate_configs_and_missing_records_are_config_errors() {
+        let dir = tmp("cfg");
+        let bad = GateConfig { tolerance: 0.0, window: 5 };
+        assert_eq!(run_gate(&dir, &bad).unwrap_err().exit_code(), 3);
+        let bad = GateConfig { tolerance: 0.2, window: 0 };
+        assert_eq!(run_gate(&dir, &bad).unwrap_err().exit_code(), 3);
+        let err = run_gate(&dir, &GateConfig::default()).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "empty out dir: {err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_history_is_a_parse_error_not_a_silent_reset() {
+        let dir = tmp("corrupt");
+        fs::write(dir.join("PERF_HISTORY.jsonl"), "{not json\n").expect("write");
+        write_bench(&dir, "fig2", 1000.0, 2.0);
+        let err = run_gate(&dir, &GateConfig::default()).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

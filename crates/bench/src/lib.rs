@@ -6,6 +6,8 @@
 //! per-experiment index and EXPERIMENTS.md for paper-vs-measured).
 
 #![forbid(unsafe_code)]
+pub mod gate;
+
 use hrviz_core::{DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec};
 use hrviz_network::{
     DragonflyConfig, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm, RunData, Simulation,
@@ -153,7 +155,9 @@ fn write_obs_artifacts() {
         Ok(p) => println!("  wrote {}", p.display()),
         Err(e) => eprintln!("  perf record write failed: {e}"),
     }
-    let _ = c.flush();
+    // Final snapshot + flush, not just flush: drivers exit via
+    // `std::process::exit`, so this is the sink's last chance.
+    let _ = c.finalize();
 }
 
 /// Run one application alone on a network (paper §V-C setup: adaptive

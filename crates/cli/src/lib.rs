@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+use hrviz_bench::gate::{run_gate, GateConfig};
 use hrviz_core::{
     build_view, compare_views, compare_views_cached, parse_script, AggregateCache, DataKey,
     DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec,
@@ -137,7 +138,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, HrvizError> {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: hrviz <view|trace|compare|sweep|serve|check> [options]
+pub const USAGE: &str = "usage: hrviz <view|trace|compare|sweep|serve|bench-gate|check> [options]
   view    --terminals N --pattern P --routing R [--msgs N] [--bytes N]
           [--period-us N] [--script FILE] [--svg FILE] [--seed N]
   trace   --in FILE --terminals N --routing R [--script FILE] [--svg FILE]
@@ -153,8 +154,13 @@ pub const USAGE: &str = "usage: hrviz <view|trace|compare|sweep|serve|check> [op
           [--max-conns N] [--timeout-ms N]
           (HTTP endpoints: /runs /runs/{id}/columns/{field} /views /compare
            /healthz /metricsz; SIGINT drains and exits 0)
+  bench-gate [--out DIR] [--tolerance F] [--window N]
+          (judge out/BENCH_*.json against out/PERF_HISTORY.jsonl and append;
+           a tracked metric past tolerance vs the rolling baseline exits 7)
   check   FILE
-common: --trace-out FILE (write a JSONL telemetry trace)
+common: --trace-out FILE (write a JSONL telemetry trace; a Chrome
+          trace-event file lands next to it as FILE.chrome.json —
+          $HRVIZ_TRACE=1|PATH does the same without the flag)
         --log-level error|warn|info|debug|trace
 sim:    --faults FILE (fault schedule JSON, applied to every run)
         --hop-limit N (per-packet hop budget before a counted drop, default 16)
@@ -217,6 +223,7 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "name",
         ]),
         "serve" => Some(&["store", "addr", "workers", "queue-depth", "max-conns", "timeout-ms"]),
+        "bench-gate" => Some(&["out", "tolerance", "window"]),
         "trace" => Some(&["in", "terminals", "routing", "script", "svg", "faults", "hop-limit"]),
         "check" => Some(&[]),
         "help" | "--help" | "-h" => Some(&[]),
@@ -244,17 +251,29 @@ fn validate_flags(cli: &Cli) -> Result<(), HrvizError> {
     Ok(())
 }
 
-/// Build the run's collector from `--trace-out` / `--log-level`. Either
-/// flag enables telemetry; with no trace file, events go to an in-memory
-/// sink and logs still reach stderr.
-fn collector_of(cli: &Cli) -> Result<Collector, HrvizError> {
-    let trace_out = cli.options.get("trace-out");
+/// Build the run's collector from `--trace-out` / `--log-level` /
+/// `$HRVIZ_TRACE`. Any of them enables telemetry; with no trace file,
+/// events go to an in-memory sink and logs still reach stderr. Returns
+/// the trace path (when one is being written) so [`run`] can drop the
+/// Chrome trace-event export next to it on exit.
+fn collector_of(cli: &Cli) -> Result<(Collector, Option<PathBuf>), HrvizError> {
+    // The flag wins over the environment, matching the bench harness.
+    let trace_out =
+        cli.options.get("trace-out").cloned().or_else(|| match std::env::var("HRVIZ_TRACE") {
+            Ok(v) if v == "1" => Some("out/trace.jsonl".into()),
+            Ok(v) if !v.is_empty() => Some(v),
+            _ => None,
+        });
     let log_level = cli.options.get("log-level");
-    let c = match trace_out {
-        Some(path) => Collector::with_trace_file(std::path::Path::new(path))
-            .map_err(|e| HrvizError::io(path, e))?,
-        None if log_level.is_some() => Collector::enabled(),
-        None => Collector::disabled(),
+    let (c, trace_path) = match trace_out {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            let c = Collector::with_trace_file(&path)
+                .map_err(|e| HrvizError::io(path.display().to_string(), e))?;
+            (c, Some(path))
+        }
+        None if log_level.is_some() => (Collector::enabled(), None),
+        None => (Collector::disabled(), None),
     };
     if let Some(lv) = log_level {
         let level = LogLevel::parse(lv).ok_or_else(|| {
@@ -264,7 +283,7 @@ fn collector_of(cli: &Cli) -> Result<Collector, HrvizError> {
         })?;
         c.set_level(level);
     }
-    Ok(c)
+    Ok((c, trace_path))
 }
 
 fn routing_of(s: &str) -> Result<RoutingAlgorithm, HrvizError> {
@@ -526,14 +545,26 @@ fn run_metrics(out: RunOutput, run: &RunData) -> RunOutput {
 /// Run a parsed command.
 pub fn run(cli: &Cli) -> Result<RunOutput, HrvizError> {
     validate_flags(cli)?;
-    let mut collector = collector_of(cli)?;
+    let (mut collector, trace_path) = collector_of(cli)?;
     // A server's /metricsz must be live regardless of tracing flags.
     if cli.command == "serve" && !collector.is_enabled() {
         collector = Collector::enabled();
     }
     hrviz_obs::install(collector.clone());
-    let result = dispatch(cli);
-    collector.flush().map_err(|e| HrvizError::io("trace output", e))?;
+    let mut result = dispatch(cli);
+    // Final snapshot + flush even on error paths: a failed run's trace
+    // is exactly the one worth keeping.
+    collector.finalize().map_err(|e| HrvizError::io("trace output", e))?;
+    if let Some(path) = trace_path {
+        let chrome_path = path.with_extension("chrome.json");
+        let wrote = hrviz_obs::chrome::export(&collector, &chrome_path)
+            .map_err(|e| HrvizError::io(chrome_path.display().to_string(), e))?;
+        if wrote {
+            if let Ok(out) = &mut result {
+                out.artifacts.push(chrome_path);
+            }
+        }
+    }
     result
 }
 
@@ -664,6 +695,58 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
             Ok(RunOutput::text(summary)
                 .metric("requests", report.requests as f64)
                 .metric("shed", report.shed as f64))
+        }
+        "bench-gate" => {
+            let out_dir = cli.options.get("out").cloned().unwrap_or_else(|| "out".into());
+            let mut cfg = GateConfig::default();
+            if let Some(t) = cli.options.get("tolerance") {
+                cfg.tolerance =
+                    t.parse().map_err(|_| HrvizError::usage("--tolerance must be a number"))?;
+            }
+            if let Some(w) = cli.options.get("window") {
+                cfg.window =
+                    w.parse().map_err(|_| HrvizError::usage("--window must be a number"))?;
+            }
+            let report = run_gate(std::path::Path::new(&out_dir), &cfg)?;
+            let mut summary = format!(
+                "bench-gate: {} metric(s) judged, {} history line(s) appended\n",
+                report.verdicts.len(),
+                report.appended,
+            );
+            for v in &report.verdicts {
+                summary.push_str(&match v.baseline {
+                    Some(b) => format!(
+                        "  [{}] {}/{}: {:.3} vs baseline {:.3} ({:+.1}%)\n",
+                        if v.regressed { "FAIL" } else { "ok" },
+                        v.driver,
+                        v.metric,
+                        v.current,
+                        b,
+                        -100.0 * v.regression,
+                    ),
+                    None => format!(
+                        "  [new] {}/{}: {:.3} (no history yet)\n",
+                        v.driver, v.metric, v.current
+                    ),
+                });
+            }
+            let regressed = report.regressed();
+            if !regressed.is_empty() {
+                // The per-metric breakdown still reaches the user: Gate
+                // errors carry it on stderr ahead of the exit code.
+                eprint!("{summary}");
+                let names: Vec<String> = regressed
+                    .iter()
+                    .map(|v| {
+                        format!("{}/{} ({:.1}% worse)", v.driver, v.metric, 100.0 * v.regression)
+                    })
+                    .collect();
+                return Err(HrvizError::gate(names.join(", ")));
+            }
+            Ok(RunOutput::text(summary)
+                .metric("judged", report.verdicts.len() as f64)
+                .metric("appended", report.appended as f64)
+                .metric("regressed", 0.0))
         }
         "check" => {
             let Some(path) = cli.positional.first() else {
@@ -958,8 +1041,9 @@ mod tests {
         assert!(e.contains("unknown log level"), "got: {e}");
         // A valid level alone enables an in-memory collector.
         let cli = parse_args(&args(&["check", "--log-level", "debug"])).unwrap();
-        let c = collector_of(&cli).unwrap();
+        let (c, trace_path) = collector_of(&cli).unwrap();
         assert!(c.is_enabled());
+        assert!(trace_path.is_none());
         assert_eq!(c.level(), Some(LogLevel::Debug));
     }
 
@@ -1147,6 +1231,86 @@ mod tests {
             cold.metric_value("minimal/events"),
             "stored manifests replay identical counters"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn write_bench_record(dir: &std::path::Path, eps: f64) {
+        let body = format!(
+            "{{\"driver\":\"cli_gate\",\"wall_time_s\":2.0,\"events_per_sec\":{eps},\
+             \"peak_queue_depth\":9}}"
+        );
+        std::fs::write(dir.join("BENCH_cli_gate.json"), body).unwrap();
+    }
+
+    #[test]
+    fn bench_gate_appends_history_and_exits_7_on_regression() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_gate_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let argv = args(&["bench-gate", "--out", dir.to_str().unwrap()]);
+        let cli = parse_args(&argv).unwrap();
+
+        // Seed a healthy baseline.
+        write_bench_record(&dir, 1000.0);
+        let out = run(&cli).unwrap();
+        assert_eq!(out.metric_value("appended"), Some(1.0));
+        assert!(out.to_string().contains("[new]"), "{out}");
+        write_bench_record(&dir, 1000.0);
+        assert!(run(&cli).unwrap().to_string().contains("[ok]"));
+
+        // Inject a synthetic regression: throughput halves.
+        write_bench_record(&dir, 500.0);
+        let err = run(&cli).unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
+        assert!(err.to_string().contains("events_per_sec"), "{err}");
+
+        // The slow run still landed in history (3 healthy + 1 slow).
+        let history = std::fs::read_to_string(dir.join("PERF_HISTORY.jsonl")).unwrap();
+        assert_eq!(history.lines().count(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_gate_flags_validate() {
+        let cli = parse_args(&args(&["bench-gate", "--tolerance", "soft"])).unwrap();
+        assert_eq!(run(&cli).unwrap_err().exit_code(), 2);
+        let cli = parse_args(&args(&["bench-gate", "--window", "0"])).unwrap();
+        assert_eq!(run(&cli).unwrap_err().exit_code(), 3);
+    }
+
+    #[test]
+    fn trace_out_also_exports_a_chrome_trace() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_chrome_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let svg = dir.join("v.svg");
+        let trace = dir.join("t.jsonl");
+        let cli = parse_args(&args(&[
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--msgs",
+            "2",
+            "--bytes",
+            "2048",
+            "--svg",
+            svg.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        let chrome = dir.join("t.chrome.json");
+        assert!(out.artifacts.contains(&chrome), "{out}");
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        let parsed = hrviz_obs::Json::parse(&text).expect("valid JSON");
+        let events = parsed.get("traceEvents").and_then(hrviz_obs::Json::as_array).unwrap();
+        assert!(!events.is_empty(), "trace carries events");
+        // The final snapshot landed in the JSONL before the flush.
+        let jsonl = std::fs::read_to_string(&trace).unwrap();
+        assert!(jsonl.contains("\"final\":true"), "final snapshot: {jsonl}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

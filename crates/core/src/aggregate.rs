@@ -247,6 +247,7 @@ impl AggregateCache {
         parts: Vec<String>,
         compute: impl FnOnce() -> Vec<AggregateItem>,
     ) -> Arc<Vec<AggregateItem>> {
+        let _span = hrviz_obs::get().span_on_lane("core/agg_cache", "core/agg_cache");
         let op = hrviz_obs::fingerprint64(&parts.join("\u{1f}"));
         if let Some(hit) = self.groups.lock().expect("cache poisoned").get(&(key, op)) {
             self.record(true);
@@ -262,6 +263,7 @@ impl AggregateCache {
 
     /// Memoized [`AggregateTree::build`].
     pub fn tree(&self, key: DataKey, ds: &DataSet, levels: &[TreeLevel]) -> Arc<AggregateTree> {
+        let _span = hrviz_obs::get().span_on_lane("core/agg_cache", "core/agg_cache");
         let mut parts = vec!["tree".to_string()];
         for lv in levels {
             op_fingerprint(&mut parts, lv.entity, &lv.fields);

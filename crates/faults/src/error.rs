@@ -34,6 +34,11 @@ pub enum HrvizError {
     /// The simulation itself failed (watchdog trip, invariant violation).
     /// Exit code 6.
     Sim(SimError),
+    /// A quality gate tripped: the inputs were all valid and every step
+    /// ran, but a tracked metric crossed its threshold (e.g. the
+    /// `bench-gate` perf-regression check). Exit code 7, so CI can treat
+    /// "gate failed" differently from "tool broke".
+    Gate(String),
 }
 
 impl HrvizError {
@@ -57,6 +62,11 @@ impl HrvizError {
         HrvizError::Parse { what: what.into(), detail: detail.into() }
     }
 
+    /// Build a [`HrvizError::Gate`].
+    pub fn gate(msg: impl Into<String>) -> Self {
+        HrvizError::Gate(msg.into())
+    }
+
     /// The process exit code for this error class (always nonzero).
     pub fn exit_code(&self) -> i32 {
         match self {
@@ -65,6 +75,7 @@ impl HrvizError {
             HrvizError::Io { .. } => 4,
             HrvizError::Parse { .. } => 5,
             HrvizError::Sim(_) => 6,
+            HrvizError::Gate(_) => 7,
         }
     }
 }
@@ -77,6 +88,7 @@ impl fmt::Display for HrvizError {
             HrvizError::Io { path, detail } => write!(f, "{path}: {detail}"),
             HrvizError::Parse { what, detail } => write!(f, "{what}: {detail}"),
             HrvizError::Sim(e) => write!(f, "simulation failed: {e}"),
+            HrvizError::Gate(msg) => write!(f, "gate failed: {msg}"),
         }
     }
 }
@@ -102,6 +114,7 @@ mod tests {
             HrvizError::io("a/b", "denied"),
             HrvizError::parse("x.json", "bad"),
             HrvizError::Sim(SimError::VirtualTimeStall { now: SimTime(1), events: 2, limit: 1 }),
+            HrvizError::gate("events_per_sec regressed"),
         ];
         let mut codes: Vec<i32> = errors.iter().map(|e| e.exit_code()).collect();
         assert!(codes.iter().all(|&c| c != 0));

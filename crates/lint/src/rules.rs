@@ -117,12 +117,18 @@ fn in_sim_scope(path: &str) -> bool {
 }
 
 /// The panic-free error boundary: the whole `cli`, `faults`, and `serve`
-/// crates (the serve request path must never take a worker down) plus the
-/// config (user-input) paths of the two topology crates.
+/// crates (the serve request path must never take a worker down), the
+/// config (user-input) paths of the two topology crates, and the obs
+/// exporter/ring-buffer modules invoked from failure handlers.
 fn in_panic_scope(path: &str) -> bool {
     matches!(crate_of(path), "cli" | "faults" | "serve")
         || path == "crates/network/src/config.rs"
         || path == "crates/fattree/src/config.rs"
+        // The observability exporters run inside failure handlers
+        // (watchdog trips, worker panics): they must not panic there.
+        || path == "crates/obs/src/chrome.rs"
+        || path == "crates/obs/src/recorder.rs"
+        || path == "crates/obs/src/prom.rs"
 }
 
 /// Run every rule over one file.

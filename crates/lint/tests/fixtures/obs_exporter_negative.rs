@@ -1,0 +1,8 @@
+// Fixture: the panic-free shape of the same exporter — Option plumbing
+// and checked access pass cleanly inside the panic scope.
+pub fn export_line(records: &[String], out: &mut Vec<u8>) -> Option<()> {
+    let first = records.first()?;
+    let comma = first.find(',')?;
+    out.extend_from_slice(first.get(..comma)?.as_bytes());
+    Some(())
+}

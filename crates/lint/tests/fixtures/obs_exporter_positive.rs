@@ -1,0 +1,8 @@
+// Fixture: exporter/ring-buffer code reached from failure handlers
+// (flight dumps, worker-panic paths) must not itself panic — unwraps
+// and bare indexing here must be flagged.
+pub fn export_line(records: &[String], out: &mut Vec<u8>) {
+    let first = &records[0];
+    let comma = first.find(',').unwrap();
+    out.extend_from_slice(first[..comma].as_bytes());
+}

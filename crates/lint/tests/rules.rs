@@ -99,6 +99,26 @@ fn serve_request_path_is_in_the_panic_scope() {
 }
 
 #[test]
+fn obs_exporter_modules_join_the_panic_scope() {
+    // The exporter and ring-buffer modules run inside failure handlers
+    // (flight dumps on watchdog trips and worker panics): both panic
+    // rules fire for code placed in any of the three allow sites.
+    for site in ["crates/obs/src/chrome.rs", "crates/obs/src/recorder.rs", "crates/obs/src/prom.rs"]
+    {
+        let fired = rules_fired(site, "obs_exporter_positive.rs");
+        assert!(fired.contains(&"panic_unwrap"), "{site}: {fired:?}");
+        assert!(fired.contains(&"slice_index"), "{site}: {fired:?}");
+        assert_eq!(rules_fired(site, "obs_exporter_negative.rs"), Vec::<&str>::new(), "{site}");
+    }
+    // The scope is module-precise, not crate-wide: the same panicking
+    // fixture is clean elsewhere in obs (the collector may assert).
+    assert_eq!(
+        rules_fired("crates/obs/src/collector.rs", "obs_exporter_positive.rs"),
+        Vec::<&str>::new()
+    );
+}
+
+#[test]
 fn determinism_scope_is_sim_only() {
     // HashMaps are fine outside the sim crates (core's caches use them).
     assert_eq!(

@@ -8,12 +8,13 @@
 //! boundaries, never per event).
 
 use crate::json::Json;
+use crate::recorder::{sanitize_reason, Flight, SpanRecord};
 use crate::span::Span;
 use crate::trace::TraceSink;
 use std::collections::BTreeMap;
-use std::io;
-use std::path::Path;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -137,15 +138,27 @@ impl Hist {
 
     /// Approximate `q`-quantile (`0.0 ..= 1.0`) from the bucket counts.
     ///
-    /// Underflow samples resolve to `min`, overflow samples to `max`, and
-    /// in-range samples to the upper edge of their bucket (clamped to the
-    /// observed `min`/`max`), so the estimate is within one bucket width of
-    /// the true order statistic. Returns 0 when empty.
+    /// The estimator is the nearest-rank method over bucket counts: the
+    /// target rank is `ceil(q * count)` (at least 1), located by a
+    /// cumulative walk `underflow → buckets → overflow`. Underflow samples
+    /// resolve to `min`, overflow samples to `max`, and in-range samples
+    /// to the *upper edge* of their bucket clamped to the observed
+    /// `min`/`max`, so the estimate is within one bucket width of (and
+    /// never below) the true order statistic. The extremes are exact:
+    /// `q <= 0` returns `min` and `q >= 1` returns `max` — the running
+    /// min/max track every sample, so no bucket-edge bias applies there.
+    /// Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = self.underflow;
         if rank <= seen {
             return self.min;
@@ -200,10 +213,15 @@ pub(crate) struct Inner {
     pub(crate) state: Mutex<State>,
     pub(crate) sink: Mutex<TraceSink>,
     pub(crate) level: AtomicU8,
+    /// Next span id; ids are telemetry-only and never reach simulation
+    /// state or event order.
+    pub(crate) next_span_id: AtomicU64,
+    pub(crate) flight: Mutex<Flight>,
 }
 
 impl Inner {
-    /// Emit one event line: `{"ts_us":..., "kind":..., <fields>}`.
+    /// Emit one event line: `{"ts_us":..., "kind":..., <fields>}`. The
+    /// line goes to the trace sink and into the flight-recorder ring.
     pub(crate) fn emit(&self, kind: &str, fields: &[(&str, Json)]) {
         let ts_us = self.epoch.elapsed().as_micros() as u64;
         let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 2);
@@ -214,6 +232,24 @@ impl Inner {
         }
         let line = Json::Obj(pairs).render();
         self.sink.lock().expect("sink poisoned").write_line(&line);
+        self.flight.lock().expect("flight poisoned").push_event(line);
+    }
+
+    /// Allocate the next span id (never 0 — 0 means "no parent").
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fold a completed span into the per-label aggregate and the ring.
+    pub(crate) fn record_span(&self, rec: SpanRecord, dur_ns: u64) {
+        {
+            let mut st = self.state.lock().expect("state poisoned");
+            let stat = st.spans.entry(rec.label.clone()).or_default();
+            stat.count += 1;
+            stat.total_ns += dur_ns;
+            stat.max_ns = stat.max_ns.max(dur_ns);
+        }
+        self.flight.lock().expect("flight poisoned").push_span(rec);
     }
 }
 
@@ -293,6 +329,8 @@ impl Collector {
                 state: Mutex::new(State::default()),
                 sink: Mutex::new(sink),
                 level: AtomicU8::new(LogLevel::Info as u8),
+                next_span_id: AtomicU64::new(1),
+                flight: Mutex::new(Flight::new()),
             })),
         }
     }
@@ -400,6 +438,15 @@ impl Collector {
         Span::start(self.inner.clone(), label)
     }
 
+    /// Like [`Collector::span`], but the completed span is placed on the
+    /// named timeline `lane` in the Chrome export instead of its thread's
+    /// lane (causal parentage is unchanged). Used for logical timelines
+    /// that span threads, e.g. the aggregate cache.
+    #[inline]
+    pub fn span_on_lane(&self, lane: &str, label: &str) -> Span {
+        Span::start_with(self.inner.clone(), label, Some(lane))
+    }
+
     /// Set the log threshold (messages above it are dropped).
     pub fn set_level(&self, level: LogLevel) {
         if let Some(inner) = &self.inner {
@@ -458,6 +505,143 @@ impl Collector {
     pub fn flush(&self) -> io::Result<()> {
         let Some(inner) = &self.inner else { return Ok(()) };
         inner.sink.lock().expect("sink poisoned").flush()
+    }
+
+    /// Microseconds since this collector's epoch (`None` when disabled —
+    /// the disabled path never reads the clock).
+    #[inline]
+    pub fn now_us(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// The id of the innermost live span on *this thread* (`None` when
+    /// disabled or outside any span). `POST /views` uses this as the
+    /// request id: the `serve/request` span id that every child span
+    /// records as an ancestor.
+    pub fn current_span_id(&self) -> Option<u64> {
+        self.inner.as_ref()?;
+        crate::span::stack_top()
+    }
+
+    /// Record an already-timed span onto an explicit timeline `lane`
+    /// (engine partitions, sweep runs). Folds into the per-label span
+    /// aggregate, appends a `span` event to the trace stream, and lands
+    /// in the ring behind `/tracez` and the Chrome exporter. `start_us`
+    /// is microseconds since the collector epoch (see
+    /// [`Collector::now_us`]).
+    pub fn record_span(
+        &self,
+        lane: &str,
+        label: &str,
+        start_us: u64,
+        dur_us: u64,
+        args: &[(&str, Json)],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let id = inner.next_span_id();
+        let owned: Vec<(String, Json)> =
+            args.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect();
+        let mut fields: Vec<(&str, Json)> = Vec::with_capacity(args.len() + 5);
+        fields.push(("label", Json::Str(label.into())));
+        fields.push(("id", Json::U64(id)));
+        fields.push(("lane", Json::Str(lane.into())));
+        fields.push(("start_us", Json::U64(start_us)));
+        fields.push(("dur_us", Json::F64(dur_us as f64)));
+        for (k, v) in args {
+            fields.push((k, v.clone()));
+        }
+        inner.emit("span", &fields);
+        inner.record_span(
+            SpanRecord {
+                id,
+                parent: 0,
+                tid: 0,
+                lane: Some(lane.to_string()),
+                label: label.to_string(),
+                start_us,
+                dur_us,
+                args: owned,
+            },
+            dur_us.saturating_mul(1_000),
+        );
+    }
+
+    /// The most recent completed spans, oldest first (bounded ring).
+    pub fn recent_spans(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else { return Vec::new() };
+        inner.flight.lock().expect("flight poisoned").spans.iter().cloned().collect()
+    }
+
+    /// The most recent trace-event lines, oldest first (bounded ring;
+    /// unlike [`Collector::drain_events`] this does not consume them and
+    /// works for any sink).
+    pub fn recent_events(&self) -> Vec<String> {
+        let Some(inner) = &self.inner else { return Vec::new() };
+        inner.flight.lock().expect("flight poisoned").events.iter().cloned().collect()
+    }
+
+    /// Enable flight-recorder dumps into `dir` (replacing any previous
+    /// destination).
+    pub fn set_flight_dir(&self, dir: &Path) {
+        let Some(inner) = &self.inner else { return };
+        inner.flight.lock().expect("flight poisoned").dump_dir = Some(dir.to_path_buf());
+    }
+
+    /// Enable flight-recorder dumps into `dir` only if no destination is
+    /// configured yet (lets an embedding test pick its own directory
+    /// before the server installs the default).
+    pub fn flight_dir_default(&self, dir: &Path) {
+        let Some(inner) = &self.inner else { return };
+        let mut fl = inner.flight.lock().expect("flight poisoned");
+        if fl.dump_dir.is_none() {
+            fl.dump_dir = Some(dir.to_path_buf());
+        }
+    }
+
+    /// Dump the flight-recorder ring to disk: the recent event lines
+    /// followed by a full snapshot line, written to
+    /// `<dir>/flight-<seq>-<reason>.jsonl`. Returns the dump path, or
+    /// `None` when disabled or no dump directory is configured. Called
+    /// when a watchdog trips, a worker panics, or a shed burst occurs.
+    pub fn flight_dump(&self, reason: &str) -> io::Result<Option<PathBuf>> {
+        let Some(inner) = &self.inner else { return Ok(None) };
+        let (dir, seq, lines) = {
+            let mut fl = inner.flight.lock().expect("flight poisoned");
+            let Some(dir) = fl.dump_dir.clone() else { return Ok(None) };
+            fl.dump_seq += 1;
+            (dir, fl.dump_seq, fl.events.iter().cloned().collect::<Vec<String>>())
+        };
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("flight-{seq:04}-{}.jsonl", sanitize_reason(reason)));
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        let header = Json::obj([
+            ("kind", Json::Str("flight_dump".into())),
+            ("reason", Json::Str(reason.into())),
+            ("events", Json::U64(lines.len() as u64)),
+            ("ts_us", Json::U64(inner.epoch.elapsed().as_micros() as u64)),
+        ]);
+        writeln!(out, "{}", header.render())?;
+        for line in &lines {
+            writeln!(out, "{line}")?;
+        }
+        let snap = Json::obj([
+            ("kind", Json::Str("snapshot".into())),
+            ("state", self.snapshot().to_json()),
+        ]);
+        writeln!(out, "{}", snap.render())?;
+        out.flush()?;
+        self.counter_add("obs/flight_dumps", 1);
+        Ok(Some(path))
+    }
+
+    /// Write the final snapshot to the trace stream and flush the sink.
+    /// Shutdown paths (serve drain, CLI exit) call this so a killed
+    /// process never drops buffered JSONL lines or the closing state.
+    pub fn finalize(&self) -> io::Result<()> {
+        let Some(inner) = &self.inner else { return Ok(()) };
+        inner
+            .emit("snapshot", &[("final", Json::Bool(true)), ("state", self.snapshot().to_json())]);
+        self.flush()
     }
 }
 
@@ -524,7 +708,7 @@ mod tests {
         for v in 0..100 {
             h.record(v as f64);
         }
-        assert_eq!(h.quantile(0.0), 10.0, "first bucket upper edge");
+        assert_eq!(h.quantile(0.0), 0.0, "q=0 is the exact observed min");
         assert_eq!(h.quantile(0.5), 50.0);
         assert_eq!(h.quantile(0.99), 99.0, "clamped to observed max");
         assert_eq!(h.quantile(1.0), 99.0);
@@ -532,6 +716,104 @@ mod tests {
         assert_eq!(h.quantile(0.0), -5.0);
         h.record(1e6); // overflow resolves to max
         assert_eq!(h.quantile(1.0), 1e6);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty: every quantile is 0, including the extremes.
+        let empty = Hist::new(0.0, 1.0, 4);
+        assert_eq!(empty.quantile(0.0), 0.0);
+        assert_eq!(empty.quantile(1.0), 0.0);
+
+        // All mass in the overflow bin: every quantile is between min
+        // and max of the overflowed samples, extremes exact.
+        let mut over = Hist::new(0.0, 1.0, 2); // [0,2)
+        for v in [10.0, 20.0, 30.0] {
+            over.record(v);
+        }
+        assert_eq!(over.counts, vec![0, 0]);
+        assert_eq!(over.overflow, 3);
+        assert_eq!(over.quantile(0.0), 10.0);
+        assert_eq!(over.quantile(0.5), 30.0, "cumulative walk lands in overflow -> max");
+        assert_eq!(over.quantile(1.0), 30.0);
+
+        // Extremes are exact even when the interior is bucket-quantized.
+        let mut h = Hist::new(0.0, 50.0, 2);
+        h.record(3.0);
+        h.record(7.0);
+        assert_eq!(h.quantile(0.0), 3.0, "not the 50.0 bucket edge");
+        assert_eq!(h.quantile(1.0), 7.0, "not the bucket edge either");
+        // Out-of-range q clamps to the extremes.
+        assert_eq!(h.quantile(-0.5), 3.0);
+        assert_eq!(h.quantile(1.5), 7.0);
+    }
+
+    #[test]
+    fn explicit_lane_spans_land_in_the_ring_and_stream() {
+        let c = Collector::enabled();
+        c.record_span("pdes/p0", "pdes/window", 100, 50, &[("events", Json::U64(9))]);
+        let recs = c.recent_spans();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].lane.as_deref(), Some("pdes/p0"));
+        assert_eq!(recs[0].start_us, 100);
+        assert_eq!(recs[0].dur_us, 50);
+        assert!(recs[0].id > 0);
+        assert_eq!(c.snapshot().spans["pdes/window"].count, 1);
+        let events = c.drain_events();
+        assert!(events.iter().any(|e| e.contains("\"lane\":\"pdes/p0\"")), "{events:?}");
+    }
+
+    #[test]
+    fn recent_events_do_not_consume() {
+        let c = Collector::enabled();
+        c.event("probe", &[("n", Json::U64(1))]);
+        assert_eq!(c.recent_events().len(), 1);
+        assert_eq!(c.recent_events().len(), 1, "peeking is repeatable");
+        assert_eq!(c.drain_events().len(), 1, "sink still holds the line");
+    }
+
+    #[test]
+    fn flight_dump_writes_ring_and_snapshot() {
+        let dir = std::env::temp_dir().join(format!("hrviz-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let c = Collector::enabled();
+        assert_eq!(c.flight_dump("no dir yet").expect("dump"), None);
+        c.set_flight_dir(&dir);
+        c.counter_add("pdes/watchdog_trips", 1);
+        c.event("watchdog_trip", &[("events", Json::U64(7))]);
+        let path = c.flight_dump("watchdog").expect("dump").expect("dir configured");
+        let text = std::fs::read_to_string(&path).expect("dump file");
+        assert!(path.file_name().is_some_and(|n| n.to_string_lossy().contains("watchdog")));
+        assert!(text.contains("\"kind\":\"flight_dump\""), "{text}");
+        assert!(text.contains("\"kind\":\"watchdog_trip\""), "{text}");
+        assert!(text.lines().last().is_some_and(|l| l.contains("\"kind\":\"snapshot\"")), "{text}");
+        assert_eq!(c.counter("obs/flight_dumps"), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn finalize_emits_final_snapshot_and_flushes() {
+        let c = Collector::enabled();
+        c.counter_add("a", 2);
+        c.finalize().expect("finalize");
+        let events = c.drain_events();
+        let last = events.last().expect("finalize emitted");
+        assert!(last.contains("\"kind\":\"snapshot\""), "{last}");
+        assert!(last.contains("\"final\":true"), "{last}");
+        assert!(last.contains("\"a\":2"), "{last}");
+    }
+
+    #[test]
+    fn disabled_collector_new_surfaces_are_inert() {
+        let c = Collector::disabled();
+        assert_eq!(c.now_us(), None);
+        assert_eq!(c.current_span_id(), None);
+        c.record_span("l", "x", 0, 1, &[]);
+        assert!(c.recent_spans().is_empty());
+        assert!(c.recent_events().is_empty());
+        c.set_flight_dir(Path::new("/nonexistent"));
+        assert_eq!(c.flight_dump("r").expect("noop"), None);
+        c.finalize().expect("noop");
     }
 
     #[test]

@@ -30,15 +30,20 @@
 //! to disabled.
 
 #![forbid(unsafe_code)]
+pub mod chrome;
 mod collector;
 mod json;
 mod manifest;
+pub mod prom;
+pub mod recorder;
 mod span;
 mod trace;
 
 pub use collector::{Collector, Hist, LogLevel, Snapshot, SpanStat};
 pub use json::Json;
 pub use manifest::{fingerprint64, PerfRecord, RunManifest};
+pub use prom::{render_prometheus, PROMETHEUS_CONTENT_TYPE};
+pub use recorder::SpanRecord;
 pub use span::Span;
 pub use trace::TraceSink;
 

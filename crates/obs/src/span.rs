@@ -1,15 +1,60 @@
-//! RAII span timers.
+//! RAII span timers with causal identity.
 //!
 //! A [`Span`] measures the wall time between its creation and its drop,
 //! folds the result into the per-label aggregate, and appends a `span`
 //! event to the trace stream. Labels are hierarchical by convention —
 //! `sim/run`, `sim/router_phase`, `core/aggregate`, `render/radial` — so
 //! downstream tooling can group by prefix.
+//!
+//! Every enabled span also carries a stable id, the id of the enclosing
+//! span on the same thread (via a thread-local span stack), and a small
+//! per-thread id. That is what turns a flat event stream into a causal
+//! tree: a `POST /views` request span becomes the ancestor of the cache,
+//! dataset-build, and projection spans it triggers, and the Chrome
+//! exporter ([`crate::chrome`]) can lay them out per thread. Ids are
+//! telemetry-only — nothing in the simulation reads them — and the
+//! disabled path still never reads the clock or touches the stack.
 
-use crate::collector::{Inner, SpanStat};
+use crate::collector::Inner;
 use crate::json::Json;
+use crate::recorder::{register_thread_name, SpanRecord};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+thread_local! {
+    /// Ids of the live spans opened on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's small id (0 = not yet assigned).
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Next small thread id, process-wide.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// This thread's small id, assigned (and its name registered) on first use.
+pub(crate) fn current_tid() -> u64 {
+    TID.with(|slot| {
+        let cached = slot.get();
+        if cached != 0 {
+            return cached;
+        }
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        register_thread_name(tid, name);
+        slot.set(tid);
+        tid
+    })
+}
+
+/// The innermost live span id on this thread.
+pub(crate) fn stack_top() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
 
 /// A running span; records itself on drop. Spans from a disabled collector
 /// never read the clock.
@@ -21,18 +66,40 @@ pub struct Span {
 struct ActiveSpan {
     inner: Arc<Inner>,
     label: String,
+    lane: Option<String>,
     start: Instant,
+    id: u64,
+    parent: u64,
+    tid: u64,
 }
 
 impl Span {
     pub(crate) fn start(inner: Option<Arc<Inner>>, label: &str) -> Span {
+        Span::start_with(inner, label, None)
+    }
+
+    pub(crate) fn start_with(inner: Option<Arc<Inner>>, label: &str, lane: Option<&str>) -> Span {
         Span {
-            active: inner.map(|inner| ActiveSpan {
-                inner,
-                label: label.to_string(),
-                start: Instant::now(),
+            active: inner.map(|inner| {
+                let id = inner.next_span_id();
+                let parent = stack_top().unwrap_or(0);
+                SPAN_STACK.with(|s| s.borrow_mut().push(id));
+                ActiveSpan {
+                    inner,
+                    label: label.to_string(),
+                    lane: lane.map(str::to_string),
+                    start: Instant::now(),
+                    id,
+                    parent,
+                    tid: current_tid(),
+                }
             }),
         }
+    }
+
+    /// This span's stable id (`None` when the collector is disabled).
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
     }
 
     /// End the span now (equivalent to dropping it).
@@ -43,16 +110,38 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(active) = self.active.take() else { return };
         let dur_ns = active.start.elapsed().as_nanos() as u64;
-        {
-            let mut st = active.inner.state.lock().expect("state poisoned");
-            let stat = st.spans.entry(active.label.clone()).or_insert(SpanStat::default());
-            stat.count += 1;
-            stat.total_ns += dur_ns;
-            stat.max_ns = stat.max_ns.max(dur_ns);
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.remove(pos);
+            }
+        });
+        let start_us =
+            active.start.checked_duration_since(active.inner.epoch).unwrap_or_default().as_micros()
+                as u64;
+        let mut fields: Vec<(&str, Json)> = vec![
+            ("label", Json::Str(active.label.clone())),
+            ("id", Json::U64(active.id)),
+            ("parent", Json::U64(active.parent)),
+            ("tid", Json::U64(active.tid)),
+            ("dur_us", Json::F64(dur_ns as f64 / 1_000.0)),
+        ];
+        if let Some(lane) = &active.lane {
+            fields.push(("lane", Json::Str(lane.clone())));
         }
-        active.inner.emit(
-            "span",
-            &[("label", Json::Str(active.label)), ("dur_us", Json::F64(dur_ns as f64 / 1_000.0))],
+        active.inner.emit("span", &fields);
+        active.inner.record_span(
+            SpanRecord {
+                id: active.id,
+                parent: active.parent,
+                tid: active.tid,
+                lane: active.lane,
+                label: active.label,
+                start_us,
+                dur_us: dur_ns / 1_000,
+                args: Vec::new(),
+            },
+            dur_ns,
         );
     }
 }
@@ -80,5 +169,83 @@ mod tests {
         let s = c.span("e");
         s.end();
         assert_eq!(c.snapshot().spans["e"].count, 1);
+    }
+
+    #[test]
+    fn nested_spans_chain_parents() {
+        let c = Collector::enabled();
+        let outer = c.span("outer");
+        let outer_id = outer.id().expect("enabled span has an id");
+        assert_eq!(c.current_span_id(), Some(outer_id));
+        {
+            let mid = c.span("mid");
+            let mid_id = mid.id().expect("id");
+            assert_eq!(c.current_span_id(), Some(mid_id));
+            drop(c.span("leaf"));
+            drop(mid);
+        }
+        assert_eq!(c.current_span_id(), Some(outer_id), "stack pops back to the outer span");
+        drop(outer);
+        assert_eq!(c.current_span_id(), None);
+
+        let recs = c.recent_spans();
+        assert_eq!(recs.len(), 3, "drop order: leaf, mid, outer");
+        let leaf = &recs[0];
+        let mid = &recs[1];
+        let outer = &recs[2];
+        assert_eq!(outer.label, "outer");
+        assert_eq!(outer.parent, 0, "root span");
+        assert_eq!(mid.parent, outer.id);
+        assert_eq!(leaf.parent, mid.id);
+        assert_eq!(leaf.tid, outer.tid, "same thread, same lane");
+        assert!(leaf.id != mid.id && mid.id != outer.id, "ids are unique");
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_parents() {
+        let c = Collector::enabled();
+        let _root = c.span("root");
+        let c2 = c.clone();
+        std::thread::spawn(move || {
+            let s = c2.span("child-thread");
+            assert_eq!(
+                s.id(),
+                c2.current_span_id(),
+                "fresh thread starts a fresh stack — no cross-thread parent"
+            );
+        })
+        .join()
+        .expect("thread");
+        let recs = c.recent_spans();
+        let child = recs.iter().find(|r| r.label == "child-thread").expect("recorded");
+        assert_eq!(child.parent, 0, "parents never leak across threads");
+    }
+
+    #[test]
+    fn lane_spans_keep_causal_parents() {
+        let c = Collector::enabled();
+        let outer = c.span("serve/request");
+        let outer_id = outer.id().expect("id");
+        drop(c.span_on_lane("core/agg_cache", "core/agg_cache"));
+        drop(outer);
+        let recs = c.recent_spans();
+        let cache = recs.iter().find(|r| r.label == "core/agg_cache").expect("recorded");
+        assert_eq!(cache.lane.as_deref(), Some("core/agg_cache"));
+        assert_eq!(cache.parent, outer_id, "lane placement does not break causality");
+    }
+
+    #[test]
+    fn out_of_order_drops_keep_the_stack_sane() {
+        let c = Collector::enabled();
+        let a = c.span("a");
+        let b = c.span("b");
+        drop(a); // dropped before its child ends
+        let after = c.span("after");
+        let recs = c.recent_spans();
+        let after_rec = recs.iter().find(|r| r.label == "a").expect("a recorded");
+        assert_eq!(after_rec.parent, 0);
+        drop(after);
+        drop(b);
+        assert_eq!(c.current_span_id(), None, "stack fully unwinds");
     }
 }

@@ -256,6 +256,23 @@ impl<P, L: Lp<P>> Engine<P, L> {
                 ("wall_us", Json::F64(secs * 1e6)),
             ],
         );
+        // One timeline lane for the sequential engine: the run segment as
+        // a wall-time span annotated with virtual-time progress and queue
+        // depth, for the Chrome trace export.
+        if let Some(end_us) = c.now_us() {
+            let dur_us = (secs * 1e6) as u64;
+            c.record_span(
+                "pdes/engine",
+                "pdes/engine_run",
+                end_us.saturating_sub(dur_us),
+                dur_us,
+                &[
+                    ("events", Json::U64(processed)),
+                    ("end_vt_ns", Json::U64(self.stats.end_time.as_nanos())),
+                    ("queue_depth", Json::U64(self.queue.len() as u64)),
+                ],
+            );
+        }
     }
 
     /// Run until no events remain (or the budget runs out).
@@ -334,6 +351,9 @@ pub(crate) fn report_watchdog(c: &Collector, e: &SimError) {
         "watchdog_trip",
         &[("trip", Json::Str(e.kind().to_string())), ("detail", Json::Str(e.to_string()))],
     );
+    // A trip is an incident: preserve the events leading up to it. Best
+    // effort — a full disk must not mask the SimError being reported.
+    let _ = c.flight_dump("watchdog");
 }
 
 /// Run [`Lp::audit`] over every LP (in global id order) and fold failures
@@ -460,6 +480,23 @@ mod tests {
         assert!(c.gauge("pdes/peak_queue_depth").unwrap() >= 1.0);
         let events = c.drain_events();
         assert!(events.iter().any(|e| e.contains("\"kind\":\"engine_run\"")));
+    }
+
+    #[test]
+    fn engine_run_records_a_timeline_lane_span() {
+        let c = hrviz_obs::Collector::enabled();
+        let mut eng = ring(4, 7);
+        eng.set_collector(c.clone());
+        eng.run_to_completion();
+        let recs = c.recent_spans();
+        let lane = recs
+            .iter()
+            .find(|r| r.lane.as_deref() == Some("pdes/engine"))
+            .expect("sequential run lands on the pdes/engine lane");
+        assert_eq!(lane.label, "pdes/engine_run");
+        for key in ["events", "end_vt_ns", "queue_depth"] {
+            assert!(lane.args.iter().any(|(k, _)| k == key), "missing arg {key}");
+        }
     }
 
     #[test]

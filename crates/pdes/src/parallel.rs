@@ -276,24 +276,41 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
         self.init();
         let lookahead = self.lookahead;
         let timing = self.collector.is_enabled();
+        // Per-window, per-partition timeline lanes are Debug-level detail:
+        // a long run has thousands of windows, and the default Info level
+        // must not pay the per-window span cost.
+        let lanes =
+            timing && self.collector.level().is_some_and(|l| l >= hrviz_obs::LogLevel::Debug);
+        let col = self.collector.clone();
         // lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
         let t0 = timing.then(std::time::Instant::now);
         let mut peak_queue_depth = 0u64;
         let mut windows = 0u64;
+        // Wall-time lane annotations captured inside a window, recorded
+        // after the barrier in partition order (deterministic emission).
+        struct WindowLane {
+            start_us: u64,
+            events: u64,
+            vt_ns: u64,
+            depth: u64,
+        }
         while let Some(window_start) = self.parts.iter().filter_map(|p| p.min_pending()).min() {
             // Queue depth is sampled at epoch boundaries (the engine never
             // holds a global queue, so this is the natural sampling point).
             let depth: u64 = self.parts.iter().map(|p| p.queue.len() as u64).sum();
             peak_queue_depth = peak_queue_depth.max(depth);
             let window_end = window_start.checked_add(lookahead).unwrap_or(SimTime::MAX);
-            // (outbox, wall ns, per-window watchdog verdict) per partition.
-            type WindowResult<P> = (Vec<Event<P>>, u64, Result<(), SimError>);
+            // (outbox, wall ns, per-window watchdog verdict, lane) per
+            // partition.
+            type WindowResult<P> = (Vec<Event<P>>, u64, Result<(), SimError>, Option<WindowLane>);
             let results: Vec<WindowResult<P>> = self
                 .parts
                 .par_iter_mut()
                 .map(|part| {
                     // lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
                     let w0 = timing.then(std::time::Instant::now);
+                    let start_us = if lanes { col.now_us().unwrap_or(0) } else { 0 };
+                    let events_before = part.events_processed;
                     let mut out_buf = Vec::with_capacity(8);
                     let mut outbox = Vec::new();
                     let res = part.run_window(
@@ -303,23 +320,44 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
                         &mut outbox,
                         stall_cap,
                     );
-                    (outbox, w0.map_or(0, |w| w.elapsed().as_nanos() as u64), res)
+                    let lane = lanes.then(|| WindowLane {
+                        start_us,
+                        events: part.events_processed - events_before,
+                        vt_ns: part.now.as_nanos(),
+                        depth: part.queue.len() as u64,
+                    });
+                    (outbox, w0.map_or(0, |w| w.elapsed().as_nanos() as u64), res, lane)
                 })
                 .collect();
             // First tripped partition (in partition order) wins: the report
             // is deterministic even when several stall simultaneously.
-            if let Some(e) = results.iter().find_map(|(_, _, r)| r.as_ref().err()) {
+            if let Some(e) = results.iter().find_map(|(_, _, r, _)| r.as_ref().err()) {
                 return Err(e.clone());
             }
             if timing {
                 windows += 1;
-                let slowest = results.iter().map(|(_, ns, _)| *ns).max().unwrap_or(0);
-                for (wait, (_, ns, _)) in self.barrier_wait_ns.iter_mut().zip(&results) {
+                let slowest = results.iter().map(|(_, ns, _, _)| *ns).max().unwrap_or(0);
+                for (wait, (_, ns, _, _)) in self.barrier_wait_ns.iter_mut().zip(&results) {
                     *wait += slowest - ns;
+                }
+                for (p, (_, ns, _, lane)) in results.iter().enumerate() {
+                    let Some(lane) = lane else { continue };
+                    col.record_span(
+                        &format!("pdes/p{p}"),
+                        "pdes/window",
+                        lane.start_us,
+                        ns / 1_000,
+                        &[
+                            ("events", Json::U64(lane.events)),
+                            ("vt_ns", Json::U64(lane.vt_ns)),
+                            ("queue_depth", Json::U64(lane.depth)),
+                            ("barrier_wait_ns", Json::U64(slowest - ns)),
+                        ],
+                    );
                 }
             }
             self.now = self.now.max(window_end);
-            self.route(results.into_iter().map(|(outbox, _, _)| outbox).collect());
+            self.route(results.into_iter().map(|(outbox, _, _, _)| outbox).collect());
         }
         let end = self.parts.iter().map(|p| p.now).max().unwrap_or(SimTime::ZERO);
         self.now = end;
@@ -538,6 +576,48 @@ mod tests {
         }
         let events = c.drain_events();
         assert!(events.iter().any(|e| e.contains("\"kind\":\"parallel_run\"")));
+    }
+
+    #[test]
+    fn window_lanes_recorded_at_debug_level_only() {
+        let n = 8;
+        let lps: Vec<HashLp> = (0..n).map(|i| HashLp { state: i as u64, n }).collect();
+
+        // Default (Info) level: no per-window lane spans.
+        let quiet = hrviz_obs::Collector::enabled();
+        let mut par = ParallelEngine::new(lps.clone(), SimTime(10), 4);
+        par.set_collector(quiet.clone());
+        par.schedule(SimTime::ZERO, LpId(0), Msg { hops_left: 8, value: 1 });
+        par.run_to_completion();
+        assert!(
+            quiet.recent_spans().iter().all(|r| r.label != "pdes/window"),
+            "Info level must not pay per-window span costs"
+        );
+
+        // Debug level: one lane per partition, annotated with virtual-time
+        // progress, queue depth, and barrier wait.
+        let c = hrviz_obs::Collector::enabled();
+        c.set_level(hrviz_obs::LogLevel::Debug);
+        let mut par = ParallelEngine::new(lps, SimTime(10), 4);
+        par.set_collector(c.clone());
+        par.schedule(SimTime::ZERO, LpId(0), Msg { hops_left: 8, value: 1 });
+        par.run_to_completion();
+        let recs = c.recent_spans();
+        let windows: Vec<_> = recs.iter().filter(|r| r.label == "pdes/window").collect();
+        assert!(!windows.is_empty(), "Debug level records window lanes");
+        for p in 0..4 {
+            let lane = format!("pdes/p{p}");
+            assert!(
+                windows.iter().any(|r| r.lane.as_deref() == Some(lane.as_str())),
+                "partition {p} has a lane"
+            );
+        }
+        let annotated = windows.iter().all(|r| {
+            ["events", "vt_ns", "queue_depth", "barrier_wait_ns"]
+                .iter()
+                .all(|k| r.args.iter().any(|(key, _)| key == k))
+        });
+        assert!(annotated, "window spans carry vt/queue/barrier annotations");
     }
 
     #[test]

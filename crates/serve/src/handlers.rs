@@ -67,26 +67,54 @@ impl App {
         &self.store
     }
 
-    /// Handle one parsed request, with request-level telemetry.
+    /// Handle one parsed request, with request-level telemetry. The
+    /// `serve/request` span id doubles as the request id: it is echoed
+    /// in the `X-Request-Id` response header and in the one-line
+    /// `access` event, and every span the handler opens (cache,
+    /// dataset build, projection) records it as an ancestor.
     pub fn handle(&self, req: &Request) -> Response {
         let obs = hrviz_obs::get();
         obs.counter_add("serve/requests", 1);
         let started = Instant::now();
-        let resp = {
-            let _span = obs.span("serve/request");
-            self.dispatch(req)
+        let (resp, request_id) = {
+            let span = obs.span("serve/request");
+            let id = span.id();
+            (self.dispatch(req), id)
         };
-        obs.hist_record("serve/latency_us", started.elapsed().as_secs_f64() * 1e6);
+        let latency_us = started.elapsed().as_secs_f64() * 1e6;
+        obs.hist_record("serve/latency_us", latency_us);
         if resp.status >= 400 {
             obs.counter_add("serve/http_errors", 1);
         }
-        resp
+        let cache = resp
+            .headers
+            .iter()
+            .find(|(n, _)| n == "X-Cache")
+            .map(|(_, v)| v.as_str())
+            .unwrap_or("none");
+        obs.event(
+            "access",
+            &[
+                ("request_id", Json::U64(request_id.unwrap_or(0))),
+                ("method", Json::Str(req.method.clone())),
+                ("path", Json::Str(req.path.clone())),
+                ("status", Json::U64(u64::from(resp.status))),
+                ("bytes", Json::U64(resp.body.len() as u64)),
+                ("latency_us", Json::F64(latency_us)),
+                ("cache", Json::Str(cache.to_string())),
+            ],
+        );
+        match request_id {
+            Some(id) => resp.header("X-Request-Id", &format!("{id:016x}")),
+            None => resp,
+        }
     }
 
     fn dispatch(&self, req: &Request) -> Response {
         match route(req) {
             Route::Health => self.health(),
-            Route::Metrics => metrics(),
+            Route::Metrics => metrics(req),
+            Route::Tracez => tracez(),
             Route::Runs => self.runs(req),
             Route::Columns { run, field } => self.columns(req, &run, &field),
             Route::Views => self.views(req),
@@ -107,7 +135,9 @@ impl App {
     }
 
     /// Serve a cacheable body: answer `304` on a matching `If-None-Match`,
-    /// then the body cache, then `build` (whose product is cached).
+    /// then the body cache, then `build` (whose product is cached). The
+    /// `X-Cache` header names which rung answered (`revalidated`, `hit`,
+    /// `miss`); the access log reads it back as the cache disposition.
     fn cached(
         &self,
         req: &Request,
@@ -117,12 +147,13 @@ impl App {
     ) -> Response {
         if req.header("if-none-match").is_some_and(|inm| inm.split(',').any(|t| t.trim() == tag)) {
             hrviz_obs::get().counter_add("serve/not_modified", 1);
-            return Response::new(304).header("ETag", tag);
+            return Response::new(304).header("ETag", tag).header("X-Cache", "revalidated");
         }
         if let Some(hit) = self.responses.get(tag) {
             return Response::new(200)
                 .header("Content-Type", &hit.content_type)
                 .header("ETag", tag)
+                .header("X-Cache", "hit")
                 .with_body(hit.body);
         }
         let body = match build() {
@@ -131,7 +162,11 @@ impl App {
         };
         self.responses
             .put(tag, CachedBody { content_type: content_type.to_string(), body: body.clone() });
-        Response::new(200).header("Content-Type", content_type).header("ETag", tag).with_body(body)
+        Response::new(200)
+            .header("Content-Type", content_type)
+            .header("ETag", tag)
+            .header("X-Cache", "miss")
+            .with_body(body)
     }
 
     fn runs(&self, req: &Request) -> Response {
@@ -305,8 +340,27 @@ fn parse_spec(script: &str) -> Result<ProjectionSpec, Response> {
     parse_script(script).map_err(|e| Response::error(400, &format!("bad script: {e}")))
 }
 
-fn metrics() -> Response {
-    Response::json(hrviz_obs::get().snapshot().to_json().render())
+/// `GET /metricsz`: JSON snapshot by default, Prometheus text exposition
+/// under `Accept: text/plain`.
+fn metrics(req: &Request) -> Response {
+    let snap = hrviz_obs::get().snapshot();
+    if req.header("accept").is_some_and(|a| a.contains("text/plain")) {
+        return Response::new(200)
+            .header("Content-Type", hrviz_obs::PROMETHEUS_CONTENT_TYPE)
+            .with_body(hrviz_obs::render_prometheus(&snap).into_bytes());
+    }
+    Response::json(snap.to_json().render())
+}
+
+/// `GET /tracez`: the most recent spans from the flight-recorder ring,
+/// newest last. Uncacheable by design — it is a live debugging surface.
+fn tracez() -> Response {
+    let recs = hrviz_obs::get().recent_spans();
+    let body = Json::obj([
+        ("count", Json::U64(recs.len() as u64)),
+        ("spans", Json::Arr(recs.iter().map(hrviz_obs::SpanRecord::to_json).collect())),
+    ]);
+    Response::json(body.render()).header("Cache-Control", "no-store")
 }
 
 fn manifest_json(m: &StoredManifest) -> Json {

@@ -121,7 +121,10 @@ fn worker_loop<T: Send + 'static>(shared: &Shared<T>) {
             }
         };
         if catch_unwind(AssertUnwindSafe(|| (shared.handler)(item))).is_err() {
-            hrviz_obs::get().counter_add("serve/panics", 1);
+            let obs = hrviz_obs::get();
+            obs.counter_add("serve/panics", 1);
+            // Best effort: a failed dump must not take the worker down too.
+            let _ = obs.flight_dump("worker_panic");
         }
     }
 }

@@ -13,6 +13,8 @@ pub enum Route {
     Health,
     /// `GET /metricsz`.
     Metrics,
+    /// `GET /tracez`.
+    Tracez,
     /// `GET /runs`.
     Runs,
     /// `GET /runs/{id}/columns/{field}`.
@@ -39,13 +41,14 @@ pub fn route(req: &Request) -> Route {
     match segments.as_slice() {
         ["healthz"] if get => Route::Health,
         ["metricsz"] if get => Route::Metrics,
+        ["tracez"] if get => Route::Tracez,
         ["runs"] if get => Route::Runs,
         ["runs", run, "columns", field] if get => {
             Route::Columns { run: (*run).to_string(), field: (*field).to_string() }
         }
         ["views"] if req.method == "POST" => Route::Views,
         ["compare"] if req.method == "POST" => Route::Compare,
-        ["healthz"] | ["metricsz"] | ["runs"] | ["runs", _, "columns", _] => {
+        ["healthz"] | ["metricsz"] | ["tracez"] | ["runs"] | ["runs", _, "columns", _] => {
             Route::MethodNotAllowed("GET")
         }
         ["views"] | ["compare"] => Route::MethodNotAllowed("POST"),
@@ -72,6 +75,7 @@ mod tests {
     fn resolves_every_endpoint() {
         assert_eq!(route(&req("GET", "/healthz")), Route::Health);
         assert_eq!(route(&req("GET", "/metricsz")), Route::Metrics);
+        assert_eq!(route(&req("GET", "/tracez")), Route::Tracez);
         assert_eq!(route(&req("GET", "/runs")), Route::Runs);
         assert_eq!(
             route(&req("GET", "/runs/0011223344556677/columns/traffic")),
@@ -84,6 +88,7 @@ mod tests {
     #[test]
     fn wrong_method_is_405_and_unknown_path_404() {
         assert_eq!(route(&req("POST", "/runs")), Route::MethodNotAllowed("GET"));
+        assert_eq!(route(&req("POST", "/tracez")), Route::MethodNotAllowed("GET"));
         assert_eq!(route(&req("GET", "/views")), Route::MethodNotAllowed("POST"));
         assert_eq!(route(&req("DELETE", "/compare")), Route::MethodNotAllowed("POST"));
         assert_eq!(route(&req("GET", "/nope")), Route::NotFound);

@@ -142,6 +142,10 @@ impl Server {
     /// requests and return the report.
     pub fn serve(self) -> Result<ServeReport, HrvizError> {
         let obs = hrviz_obs::get();
+        // Flight-recorder dumps (watchdog trips, worker panics, shed
+        // bursts) land next to the store unless the embedder already
+        // chose a directory.
+        obs.flight_dir_default(&self.app.store().root().join("flight"));
         let live = Arc::new(AtomicUsize::new(0));
         // Report counters are per-server, not read back from the global
         // collector — several servers (or tests) in one process must not
@@ -179,25 +183,45 @@ impl Server {
             let _ = stream.set_write_timeout(Some(timeout));
 
             if live.load(Ordering::SeqCst) >= self.cfg.max_conns {
-                shed_count.fetch_add(1, Ordering::SeqCst);
+                let n = shed_count.fetch_add(1, Ordering::SeqCst) + 1;
                 shed(stream);
+                dump_on_shed_burst(n);
                 continue;
             }
             live.fetch_add(1, Ordering::SeqCst);
             if let Err((_why, stream)) = pool.try_submit(stream) {
                 live.fetch_sub(1, Ordering::SeqCst);
-                shed_count.fetch_add(1, Ordering::SeqCst);
+                let n = shed_count.fetch_add(1, Ordering::SeqCst) + 1;
                 shed(stream);
+                dump_on_shed_burst(n);
             }
         }
 
         // Stop accepting (listener drops with `self`), finish what was
-        // already accepted.
+        // already accepted. Drain ends with a final snapshot + sink
+        // flush so a SIGINT-initiated shutdown never loses trace lines.
         pool.shutdown();
+        if let Err(e) = obs.finalize() {
+            obs.log(hrviz_obs::LogLevel::Warn, &format!("trace flush on shutdown failed: {e}"));
+        }
         Ok(ServeReport {
             requests: requests.load(Ordering::SeqCst),
             shed: shed_count.load(Ordering::SeqCst),
         })
+    }
+}
+
+/// Sheds per flight-recorder dump: sustained overload writes one dump
+/// every `SHED_BURST` rejected connections, capturing the ring around
+/// the burst without turning overload into disk pressure.
+const SHED_BURST: u64 = 32;
+
+/// On every `SHED_BURST`-th shed of this server's lifetime, dump the
+/// flight-recorder ring (best effort — overload must not be compounded
+/// by I/O errors).
+fn dump_on_shed_burst(shed_so_far: u64) {
+    if shed_so_far.is_multiple_of(SHED_BURST) {
+        let _ = hrviz_obs::get().flight_dump("shed_burst");
     }
 }
 

@@ -1,0 +1,45 @@
+//! Shutdown-flush regression test (its own binary: it owns the
+//! process-global collector and a file sink).
+//!
+//! A drained server must leave a flushed trace file ending in a final
+//! snapshot — without the embedder ever calling `flush()` itself. This
+//! used to be lossy: buffered JSONL lines and the closing snapshot were
+//! dropped whenever the process exited right after the serve loop.
+
+mod common;
+
+use common::{post, start, test_store, SCRIPT};
+use hrviz_obs::Collector;
+use hrviz_serve::ServeConfig;
+
+#[test]
+fn sigint_style_drain_flushes_the_trace_and_writes_a_final_snapshot() {
+    let dir = std::env::temp_dir().join(format!("hrviz-serve-flush-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace = dir.join("trace.jsonl");
+    let c = Collector::with_trace_file(&trace).expect("file sink");
+    hrviz_obs::install(c);
+
+    let (_, runs) = test_store();
+    let server = start(ServeConfig::default());
+    let reply = post(server.addr, &format!("/views?run={}", runs[0]), SCRIPT, &[]);
+    assert_eq!(reply.status, 200);
+
+    // `stop` is what a SIGINT does: ServerHandle::shutdown + drain. No
+    // explicit flush in sight — the serve loop owns that.
+    let report = server.stop();
+    assert_eq!(report.requests, 1);
+
+    let text = std::fs::read_to_string(&trace).expect("trace file exists");
+    assert!(
+        text.contains("\"kind\":\"snapshot\"") && text.contains("\"final\":true"),
+        "final snapshot line is on disk: {text}"
+    );
+    assert!(text.contains("\"kind\":\"access\""), "request access line is on disk");
+    assert!(
+        text.contains("\"label\":\"serve/request\""),
+        "request span flushed without an explicit flush call"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

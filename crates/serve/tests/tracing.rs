@@ -1,0 +1,145 @@
+//! Loopback tests for the causal-tracing surfaces: the `X-Request-Id`
+//! header, the structured access log, the span tree behind one
+//! `POST /views`, the Chrome trace export, and the `/tracez` +
+//! `/metricsz` endpoints.
+
+mod common;
+
+use std::sync::OnceLock;
+
+use common::{get, post, start, test_store, SCRIPT};
+use hrviz_obs::{Collector, Json};
+use hrviz_serve::ServeConfig;
+
+/// The process-global collector every test in this binary shares,
+/// installed exactly once (tests run concurrently).
+fn obs() -> Collector {
+    static C: OnceLock<Collector> = OnceLock::new();
+    C.get_or_init(|| {
+        let c = Collector::enabled();
+        hrviz_obs::install(c.clone());
+        c
+    })
+    .clone()
+}
+
+#[test]
+fn post_views_request_id_threads_through_log_spans_and_export() {
+    let c = obs();
+    let (_, runs) = test_store();
+    let server = start(ServeConfig::default());
+    let path = format!("/views?run={}", runs[0]);
+
+    let reply = post(server.addr, &path, SCRIPT, &[]);
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("X-Cache"), Some("miss"));
+    let rid_hex = reply.header("X-Request-Id").expect("request id header").to_string();
+    let rid = u64::from_str_radix(&rid_hex, 16).expect("request id is hex");
+    assert!(rid > 0);
+
+    // The access log names the same request id, route, and disposition.
+    let access: Vec<String> = c
+        .recent_events()
+        .into_iter()
+        .filter(|e| {
+            e.contains("\"kind\":\"access\"") && e.contains(&format!("\"request_id\":{rid}"))
+        })
+        .collect();
+    assert_eq!(access.len(), 1, "exactly one access line per request");
+    let line = &access[0];
+    assert!(line.contains("\"method\":\"POST\""), "{line}");
+    assert!(line.contains("\"path\":\"/views\""), "{line}");
+    assert!(line.contains("\"status\":200"), "{line}");
+    assert!(line.contains("\"cache\":\"miss\""), "{line}");
+    assert!(line.contains("\"latency_us\":"), "{line}");
+    assert!(line.contains("\"bytes\":"), "{line}");
+
+    // The span tree: serve/request is the root, and the aggregate-cache
+    // span the build triggered records it as an ancestor.
+    let recs = c.recent_spans();
+    let root = recs
+        .iter()
+        .find(|r| r.label == "serve/request" && r.id == rid)
+        .expect("serve/request span with the advertised id");
+    let cache_span = recs
+        .iter()
+        .find(|r| {
+            r.label == "core/agg_cache" && {
+                // Walk the parent chain up to the root span.
+                let mut cur = r.parent;
+                loop {
+                    if cur == rid {
+                        break true;
+                    }
+                    match recs.iter().find(|p| p.id == cur) {
+                        Some(p) if p.parent != 0 => cur = p.parent,
+                        _ => break cur == rid,
+                    }
+                }
+            }
+        })
+        .expect("an aggregate-cache span descends from the request");
+    assert_eq!(cache_span.lane.as_deref(), Some("core/agg_cache"));
+    assert_eq!(cache_span.tid, root.tid, "built on the same worker thread");
+
+    // Cache disposition ladder: repeat → hit; If-None-Match → revalidated.
+    let reply = post(server.addr, &path, SCRIPT, &[]);
+    assert_eq!(reply.header("X-Cache"), Some("hit"));
+    let tag = reply.header("ETag").expect("etag").to_string();
+    let reply = post(server.addr, &path, SCRIPT, &[("If-None-Match", &tag)]);
+    assert_eq!(reply.status, 304);
+    assert_eq!(reply.header("X-Cache"), Some("revalidated"));
+
+    // The Chrome export parses and carries the serve + core lanes.
+    let dir = std::env::temp_dir().join(format!("hrviz-serve-chrome-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let trace_path = dir.join("serve.chrome.json");
+    assert!(hrviz_obs::chrome::export(&c, &trace_path).expect("export"));
+    let text = std::fs::read_to_string(&trace_path).expect("read export");
+    let parsed = Json::parse(&text).expect("chrome trace is valid JSON");
+    let events = parsed.get("traceEvents").and_then(Json::as_array).expect("traceEvents");
+    assert!(!events.is_empty());
+    assert!(text.contains("\"serve/request\""), "serve lane in export");
+    assert!(text.contains("\"core/agg_cache\""), "aggregate-cache lane in export");
+    assert!(text.contains("hrviz-serve-"), "worker thread lane is named");
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tracez_and_metricsz_expose_the_live_state() {
+    let c = obs();
+    let (_, runs) = test_store();
+    let server = start(ServeConfig::default());
+    post(server.addr, &format!("/views?run={}", runs[0]), SCRIPT, &[]);
+
+    // /metricsz: JSON by default, Prometheus text under Accept.
+    let json = get(server.addr, "/metricsz", &[]);
+    assert_eq!(json.status, 200);
+    assert_eq!(json.header("Content-Type"), Some("application/json"));
+    Json::parse(&json.text()).expect("metrics JSON parses");
+    let prom = get(server.addr, "/metricsz", &[("Accept", "text/plain")]);
+    assert_eq!(prom.status, 200);
+    assert_eq!(prom.header("Content-Type"), Some(hrviz_obs::PROMETHEUS_CONTENT_TYPE));
+    let body = prom.text();
+    assert!(body.contains("# TYPE hrviz_serve_requests_total counter"), "{body}");
+    assert!(body.contains("hrviz_serve_latency_us"), "{body}");
+
+    // /tracez: recent spans, never cached.
+    let tz = get(server.addr, "/tracez", &[]);
+    assert_eq!(tz.status, 200);
+    assert_eq!(tz.header("Cache-Control"), Some("no-store"));
+    let parsed = Json::parse(&tz.text()).expect("tracez JSON parses");
+    let spans = parsed.get("spans").and_then(Json::as_array).expect("spans array");
+    assert!(!spans.is_empty(), "the ring holds the request we just made");
+    assert!(tz.text().contains("serve/request"), "{}", tz.text());
+
+    // A captured ring span exposes ids for offline correlation.
+    let first = &spans[0];
+    assert!(first.get("id").and_then(Json::as_u64).is_some());
+    assert!(first.get("label").and_then(Json::as_str).is_some());
+
+    let _ = c; // keep the shared collector alive explicitly
+    server.stop();
+}

@@ -17,8 +17,12 @@ use hrviz_pdes::EngineStats;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
-use crate::spec::{RunConfig, SweepSpec};
+use crate::spec::{RunConfig, RunResult, SweepSpec};
 use crate::store::RunStore;
+
+/// One parallel run's outcome plus the optional `(start_us, dur_us)`
+/// timing of its Chrome-trace lane.
+type RunOutcome = (Result<RunResult, HrvizError>, Option<(u64, u64)>);
 
 /// Executes sweeps against one [`RunStore`].
 #[derive(Debug)]
@@ -75,12 +79,37 @@ impl SweepEngine {
                 .num_threads(self.workers)
                 .build()
                 .map_err(|e| HrvizError::config(format!("worker pool: {e}")))?;
-            let results: Vec<Result<_, HrvizError>> =
-                pool.install(|| misses.par_iter().map(|cfg| cfg.execute()).collect());
+            let results: Vec<RunOutcome> = pool.install(|| {
+                misses
+                    .par_iter()
+                    .map(|cfg| {
+                        // Per-run lane timing for the Chrome trace export;
+                        // skipped entirely when the collector is disabled.
+                        let lane_start = obs.now_us();
+                        // lint:allow(wall_clock, reason="telemetry only: per-run timeline lanes for the Chrome trace export, never reaches simulation state or event order")
+                        let t0 = lane_start.map(|_| Instant::now());
+                        let result = cfg.execute();
+                        let lane = lane_start.zip(t0.map(|t| t.elapsed().as_micros() as u64));
+                        (result, lane)
+                    })
+                    .collect()
+            });
             // Persist in deterministic (expansion) order; fail on the
             // first simulation error without committing a generation bump.
-            for (cfg, result) in misses.iter().zip(results) {
+            for (cfg, (result, lane)) in misses.iter().zip(results) {
                 let result = result?;
+                if let Some((start_us, dur_us)) = lane {
+                    obs.record_span(
+                        &format!("sweep/{}", cfg.run_id()),
+                        "sweep/exec",
+                        start_us,
+                        dur_us,
+                        &[
+                            ("run_id", Json::Str(cfg.run_id())),
+                            ("events", Json::U64(result.stats.events_processed)),
+                        ],
+                    );
+                }
                 stats.accumulate(&result.stats);
                 self.store.save(cfg, &result)?;
             }

@@ -1,0 +1,60 @@
+//! Timeline lanes for sweep execution: each simulated (store-miss) run
+//! lands on its own `sweep/<run_id>` lane in the span ring, annotated
+//! with the run id and event count, so the Chrome trace export shows a
+//! per-run gantt of the sweep. Warm (all-hit) sweeps record no lanes.
+
+use std::fs;
+use std::path::PathBuf;
+
+use hrviz_network::RoutingAlgorithm;
+use hrviz_pdes::SimTime;
+use hrviz_sweep::{RunStore, SweepEngine, SweepSpec, TopologyAxis};
+use hrviz_workloads::TrafficPattern;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hrviz-sweep-trace-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn each_simulated_run_gets_its_own_lane() {
+    let c = hrviz_obs::Collector::enabled();
+    hrviz_obs::install(c.clone());
+
+    let spec = SweepSpec::new("trace", TopologyAxis::Dragonfly { terminals: 72 })
+        .routings([RoutingAlgorithm::Minimal, RoutingAlgorithm::adaptive_default()])
+        .patterns([TrafficPattern::UniformRandom])
+        .seeds(vec![3])
+        .msgs_per_rank(2)
+        .msg_bytes(1024)
+        .period(SimTime::micros(1));
+
+    let root = tmp("lanes");
+    let engine = SweepEngine::new(RunStore::open(&root).expect("store")).with_workers(2);
+    let cold = engine.run(&spec).expect("cold sweep");
+    assert_eq!(cold.store_misses, 2);
+
+    let recs = c.recent_spans();
+    let execs: Vec<_> = recs.iter().filter(|r| r.label == "sweep/exec").collect();
+    assert_eq!(execs.len(), 2, "one lane span per simulated run");
+    for run_id in &cold.run_ids {
+        let lane = format!("sweep/{run_id}");
+        let rec = execs
+            .iter()
+            .find(|r| r.lane.as_deref() == Some(lane.as_str()))
+            .unwrap_or_else(|| panic!("missing lane {lane}"));
+        assert!(
+            rec.args.iter().any(|(k, v)| k == "run_id" && v.render() == format!("\"{run_id}\"")),
+            "lane span names its run"
+        );
+        assert!(rec.args.iter().any(|(k, _)| k == "events"), "lane span counts events");
+    }
+
+    // A warm sweep simulates nothing and must not add lanes.
+    let warm = engine.run(&spec).expect("warm sweep");
+    assert_eq!(warm.store_misses, 0);
+    let execs_after = c.recent_spans().iter().filter(|r| r.label == "sweep/exec").count();
+    assert_eq!(execs_after, 2, "warm sweep records no execution lanes");
+    let _ = fs::remove_dir_all(&root);
+}
