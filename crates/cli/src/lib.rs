@@ -33,15 +33,16 @@ use hrviz_core::{
     DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec,
 };
 use hrviz_network::{
-    DragonflyConfig, FaultSchedule, HrvizError, JobMeta, LinkClass, NetworkSpec, RoutingAlgorithm,
-    RunData, Simulation, TerminalId,
+    CheckpointOptions, DragonflyConfig, FaultSchedule, HrvizError, JobMeta, LinkClass, NetworkSpec,
+    RoutingAlgorithm, RunData, Simulation, TerminalId,
 };
 use hrviz_obs::{Collector, LogLevel};
 use hrviz_pdes::SimTime;
 use hrviz_render::{render_radial, render_radial_row, RadialLayout};
 use hrviz_serve::{install_signal_shutdown, ServeConfig, Server};
 use hrviz_sweep::{
-    dragonfly_of, FaultAxis, RunStore, StoredManifest, SweepEngine, SweepSpec, TopologyAxis,
+    dragonfly_of, FaultAxis, RunStore, StoredManifest, SweepEngine, SweepOptions, SweepSpec,
+    TopologyAxis,
 };
 use hrviz_workloads::{generate_synthetic, load_trace, SyntheticConfig, TrafficPattern};
 use std::collections::BTreeMap;
@@ -114,6 +115,9 @@ impl fmt::Display for RunOutput {
     }
 }
 
+/// Flags that take no value: presence alone means `true`.
+const BOOL_FLAGS: &[&str] = &["resume"];
+
 /// Parse an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Cli, HrvizError> {
     let Some(command) = args.first() else {
@@ -124,6 +128,11 @@ pub fn parse_args(args: &[String]) -> Result<Cli, HrvizError> {
     let mut i = 1;
     while let Some(a) = args.get(i) {
         if let Some(key) = a.strip_prefix("--") {
+            if BOOL_FLAGS.contains(&key) {
+                options.insert(key.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             let Some(value) = args.get(i + 1) else {
                 return err(format!("--{key} needs a value"));
             };
@@ -138,9 +147,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, HrvizError> {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: hrviz <view|trace|compare|sweep|serve|bench-gate|check> [options]
+pub const USAGE: &str =
+    "usage: hrviz <view|trace|compare|sweep|serve|fsck|bench-gate|check> [options]
   view    --terminals N --pattern P --routing R [--msgs N] [--bytes N]
           [--period-us N] [--script FILE] [--svg FILE] [--seed N]
+          [--checkpoint-every US --store DIR (periodic engine checkpoints
+           into <store>/checkpoints/)] [--restore-from FILE (resume a
+           checkpointed run; bit-identical to straight-through)]
   trace   --in FILE --terminals N --routing R [--script FILE] [--svg FILE]
   compare --terminals N --pattern P --routing R1,R2[,..] [--script FILE] [--svg FILE]
           [--store DIR (reuse/persist runs in a content-addressed store)]
@@ -149,7 +162,11 @@ pub const USAGE: &str = "usage: hrviz <view|trace|compare|sweep|serve|bench-gate
           [--routings R1,R2[,..]] [--patterns P1,P2[,..]] [--seeds S1,S2[,..]]
           [--store DIR] [--workers N] [--report DIR] [--name NAME]
           [--msgs N] [--bytes N] [--period-us N]
+          [--resume (skip completed runs, retry failed/orphaned ones with
+           deterministic seeded backoff — safe after a kill -9)]
           (--faults FILE sweeps a faulty axis point next to the healthy one)
+  fsck    --store DIR (run the store recovery pass and print its JSON
+          report; a dirty store — quarantines, orphans, failures — exits 7)
   serve   --store DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
           [--max-conns N] [--timeout-ms N]
           (HTTP endpoints: /runs /runs/{id}/columns/{field} /views /compare
@@ -188,6 +205,9 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "svg",
             "faults",
             "hop-limit",
+            "checkpoint-every",
+            "restore-from",
+            "store",
         ]),
         "compare" => Some(&[
             "terminals",
@@ -221,7 +241,9 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "workers",
             "report",
             "name",
+            "resume",
         ]),
+        "fsck" => Some(&["store"]),
         "serve" => Some(&["store", "addr", "workers", "queue-depth", "max-conns", "timeout-ms"]),
         "bench-gate" => Some(&["out", "tolerance", "window"]),
         "trace" => Some(&["in", "terminals", "routing", "script", "svg", "faults", "hop-limit"]),
@@ -501,6 +523,16 @@ fn faulted_sim(cli: &Cli, mut spec: NetworkSpec) -> Result<Simulation, HrvizErro
 }
 
 fn simulate(cli: &Cli, routing: RoutingAlgorithm) -> Result<RunData, HrvizError> {
+    Ok(simulate_checkpointed(cli, routing)?.0)
+}
+
+/// Like [`simulate`], honoring `--checkpoint-every` / `--restore-from`:
+/// periodic engine snapshots land in `<store>/checkpoints/` (atomic
+/// temp+rename writes) and the returned paths are reported as artifacts.
+fn simulate_checkpointed(
+    cli: &Cli,
+    routing: RoutingAlgorithm,
+) -> Result<(RunData, Vec<PathBuf>), HrvizError> {
     let cfg = terminals_of(cli)?;
     let pattern = pattern_of(
         cli.options.get("pattern").ok_or_else(|| HrvizError::usage("--pattern is required"))?,
@@ -520,7 +552,39 @@ fn simulate(cli: &Cli, routing: RoutingAlgorithm) -> Result<RunData, HrvizError>
         scfg.stride = s.parse().map_err(|_| HrvizError::usage("--stride must be a number"))?;
     }
     sim.inject_all(generate_synthetic(job, &meta, &scfg));
-    sim.with_collector(hrviz_obs::get()).try_run()
+    let sim = sim.with_collector(hrviz_obs::get());
+
+    let every = match cli.options.get("checkpoint-every") {
+        Some(v) => Some(SimTime::micros(v.parse().map_err(|_| {
+            HrvizError::usage("--checkpoint-every must be a number of microseconds")
+        })?)),
+        None => None,
+    };
+    let restore = match cli.options.get("restore-from") {
+        Some(p) => Some(std::fs::read(p).map_err(|e| HrvizError::io(p.clone(), e))?),
+        None => None,
+    };
+    if every.is_none() && restore.is_none() {
+        return Ok((sim.try_run()?, Vec::new()));
+    }
+    let store_dir = cli.options.get("store").cloned().unwrap_or_else(|| "out/store".to_string());
+    let dir = PathBuf::from(&store_dir).join("checkpoints");
+    std::fs::create_dir_all(&dir).map_err(|e| HrvizError::io(dir.display().to_string(), e))?;
+    let label = format!("{}-{}-{}t-s{seed}", pattern.name(), routing.name(), cfg.num_terminals());
+    let mut written = Vec::new();
+    let run = sim.try_run_checkpointed(
+        CheckpointOptions { restore_from: restore.as_deref(), every },
+        &mut |t, snap| {
+            let path = dir.join(format!("{label}-t{:020}.ckpt", t.as_nanos()));
+            let tmp = dir.join(format!("{label}-t{:020}.ckpt.tmp", t.as_nanos()));
+            std::fs::write(&tmp, snap).map_err(|e| HrvizError::io(tmp.display().to_string(), e))?;
+            std::fs::rename(&tmp, &path)
+                .map_err(|e| HrvizError::io(path.display().to_string(), e))?;
+            written.push(path);
+            Ok(())
+        },
+    )?;
+    Ok((run, written))
 }
 
 fn write_svg(cli: &Cli, default_name: &str, svg: String) -> Result<String, HrvizError> {
@@ -573,13 +637,20 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
         "view" => {
             let routing =
                 routing_of(cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"))?;
-            let run = simulate(cli, routing)?;
+            let (run, checkpoints) = simulate_checkpointed(cli, routing)?;
             let spec = spec_of(cli)?;
             let ds = DataSet::builder(&run).build();
             let view = build_view(&ds, &spec).map_err(|e| HrvizError::config(e.to_string()))?;
             let svg = render_radial(&view, &RadialLayout::default(), "hrviz view");
             let path = write_svg(cli, "view.svg", svg)?;
-            Ok(run_metrics(RunOutput::text(summarize(&run)).artifact(path), &run))
+            let n_ckpts = checkpoints.len();
+            let mut out = RunOutput::text(summarize(&run)).artifact(path);
+            out.artifacts.extend(checkpoints);
+            let mut out = run_metrics(out, &run);
+            if n_ckpts > 0 || cli.options.contains_key("restore-from") {
+                out = out.metric("checkpoints", n_ckpts as f64);
+            }
+            Ok(out)
         }
         "trace" => {
             let input =
@@ -638,13 +709,15 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
         "sweep" => {
             let spec = sweep_spec_of(cli, "cli", true)?;
             let workers = u64_opt(cli, "workers", 0)? as usize;
+            let resume = cli.options.contains_key("resume");
             let store_dir =
                 cli.options.get("store").cloned().unwrap_or_else(|| "out/store".to_string());
             let engine = SweepEngine::new(RunStore::open(&store_dir)?).with_workers(workers);
-            let outcome = engine.run(&spec)?;
+            let opts = if resume { SweepOptions::resume() } else { SweepOptions::default() };
+            let outcome = engine.run_with(&spec, &opts)?;
             let report_dir = cli.options.get("report").cloned().unwrap_or_else(|| "out".into());
             let report = outcome.write(std::path::Path::new(&report_dir))?;
-            let summary = format!(
+            let mut summary = format!(
                 "sweep {}: {} configs, {} cached, {} simulated on {} worker(s)\n\
                  events {}  store generation {}\n",
                 outcome.name,
@@ -655,13 +728,51 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
                 outcome.events_simulated,
                 outcome.generation,
             );
+            if resume {
+                summary.push_str(&format!(
+                    "resume: {} interrupted run(s) retried, {} extra attempt(s)\n",
+                    outcome.resumed_runs, outcome.retries,
+                ));
+            }
             Ok(RunOutput::text(summary)
                 .artifact(report)
                 .artifact(store_dir)
                 .metric("configs", outcome.configs as f64)
                 .metric("store_hits", outcome.store_hits as f64)
                 .metric("store_misses", outcome.store_misses as f64)
+                .metric("resumed_runs", outcome.resumed_runs as f64)
+                .metric("retries", outcome.retries as f64)
                 .metric("events_simulated", outcome.events_simulated as f64))
+        }
+        "fsck" => {
+            let Some(store_dir) = cli.options.get("store") else {
+                return err("fsck needs --store DIR (a sweep run store)");
+            };
+            // Opening the store *is* the recovery pass: torn runs move to
+            // quarantine, stray temp files are reaped, the counter is
+            // validated, and the report lands as <store>/fsck_report.json.
+            let store = RunStore::open(store_dir)?;
+            let Some(report) = store.last_fsck() else {
+                return Err(HrvizError::config("store open did not produce an fsck report"));
+            };
+            let summary = report.to_json().render() + "\n";
+            if !report.is_clean() {
+                eprint!("{summary}");
+                return Err(HrvizError::gate(format!(
+                    "store {store_dir} is dirty: {} quarantined, {} orphaned, {} failed, \
+                     {} queued{} — run `hrviz sweep --resume` to recover",
+                    report.quarantined.len(),
+                    report.running_orphans.len(),
+                    report.failed.len(),
+                    report.queued.len(),
+                    if report.generation_reset { ", generation reset" } else { "" },
+                )));
+            }
+            Ok(RunOutput::text(summary)
+                .metric("scanned", report.scanned as f64)
+                .metric("completed", report.completed as f64)
+                .metric("quarantined", report.quarantined.len() as f64)
+                .metric("tmp_removed", report.tmp_removed as f64))
         }
         "serve" => {
             let Some(store_dir) = cli.options.get("store") else {
@@ -1311,6 +1422,124 @@ mod tests {
         // The final snapshot landed in the JSONL before the flush.
         let jsonl = std::fs::read_to_string(&trace).unwrap();
         assert!(jsonl.contains("\"final\":true"), "final snapshot: {jsonl}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_is_a_bare_flag() {
+        let cli = parse_args(&args(&["sweep", "--resume", "--terminals", "72"])).unwrap();
+        assert_eq!(cli.options.get("resume").map(String::as_str), Some("true"));
+        assert_eq!(cli.options.get("terminals").map(String::as_str), Some("72"));
+    }
+
+    #[test]
+    fn view_checkpoints_then_restores_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("store");
+        let svg = dir.join("v.svg");
+        let base = [
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--routing",
+            "adaptive",
+            "--msgs",
+            "4",
+            "--bytes",
+            "8192",
+            "--svg",
+            svg.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+        ];
+        let mut argv = args(&base);
+        argv.extend(args(&["--checkpoint-every", "3"]));
+        let cli = parse_args(&argv).unwrap();
+        let straight = run(&cli).unwrap();
+        let ckpts: Vec<_> = straight
+            .artifacts
+            .iter()
+            .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+            .collect();
+        assert!(!ckpts.is_empty(), "expected checkpoint artifacts: {straight:?}");
+        assert_eq!(straight.metric_value("checkpoints"), Some(ckpts.len() as f64));
+        assert!(store.join("checkpoints").is_dir());
+
+        // Restore from the first checkpoint: the summary (events, bytes,
+        // per-class traffic) must be indistinguishable.
+        let mut argv = args(&base);
+        argv.extend(args(&["--restore-from", ckpts[0].to_str().unwrap()]));
+        let cli = parse_args(&argv).unwrap();
+        let resumed = run(&cli).unwrap();
+        assert_eq!(resumed.summary, straight.summary, "restored run summary diverged");
+        assert_eq!(resumed.metric_value("events"), straight.metric_value("events"));
+        assert_eq!(
+            resumed.metric_value("delivered_bytes"),
+            straight.metric_value("delivered_bytes")
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_reports_clean_and_dirty_stores() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_fsck_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.join("store");
+        // An empty (freshly created) store is clean.
+        std::fs::create_dir_all(&store).unwrap();
+        let cli = parse_args(&args(&["fsck", "--store", store.to_str().unwrap()])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.to_string().contains("\"clean\":1"), "{out}");
+        assert_eq!(out.metric_value("scanned"), Some(0.0));
+        // A torn run directory makes it dirty (exit 7) and gets quarantined…
+        let torn = store.join("0123456789abcdef");
+        std::fs::create_dir_all(&torn).unwrap();
+        std::fs::write(torn.join("manifest.json"), "{ not json").unwrap();
+        let e = run(&cli).unwrap_err();
+        assert_eq!(e.exit_code(), 7, "{e}");
+        assert!(e.to_string().contains("quarantined"), "{e}");
+        assert!(!torn.exists(), "torn run should have moved to quarantine");
+        // …after which the store is clean again.
+        assert!(run(&cli).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_resume_on_a_clean_store_is_a_no_op() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.join("store");
+        let report = dir.join("reports");
+        let base = [
+            "sweep",
+            "--terminals",
+            "72",
+            "--routings",
+            "minimal",
+            "--patterns",
+            "tornado",
+            "--msgs",
+            "2",
+            "--bytes",
+            "1024",
+            "--store",
+            store.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ];
+        let cli = parse_args(&args(&base)).unwrap();
+        run(&cli).unwrap();
+        let mut argv = args(&base);
+        argv.push("--resume".into());
+        let cli = parse_args(&argv).unwrap();
+        let out = run(&cli).unwrap();
+        assert_eq!(out.metric_value("store_misses"), Some(0.0));
+        assert_eq!(out.metric_value("resumed_runs"), Some(0.0));
+        assert!(out.to_string().contains("resume: 0 interrupted run(s)"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

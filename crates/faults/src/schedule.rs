@@ -8,6 +8,7 @@
 
 use crate::error::HrvizError;
 use crate::json::{self, Value};
+use hrviz_pdes::wire::{SnapshotError, WireReader, WireWriter};
 use hrviz_pdes::SimTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,6 +77,49 @@ impl FaultEvent {
             | FaultEvent::RouterUp { router }
             | FaultEvent::DegradedLink { router, .. } => router,
         }
+    }
+
+    /// Append the event's checkpoint wire form to `w` (see
+    /// [`hrviz_pdes::wire`]).
+    pub fn encode(&self, w: &mut WireWriter) {
+        match *self {
+            FaultEvent::LinkDown { router, port } => {
+                w.put_u8(0);
+                w.put_u32(router);
+                w.put_u32(port);
+            }
+            FaultEvent::LinkUp { router, port } => {
+                w.put_u8(1);
+                w.put_u32(router);
+                w.put_u32(port);
+            }
+            FaultEvent::RouterDown { router } => {
+                w.put_u8(2);
+                w.put_u32(router);
+            }
+            FaultEvent::RouterUp { router } => {
+                w.put_u8(3);
+                w.put_u32(router);
+            }
+            FaultEvent::DegradedLink { router, port, factor } => {
+                w.put_u8(4);
+                w.put_u32(router);
+                w.put_u32(port);
+                w.put_f64(factor);
+            }
+        }
+    }
+
+    /// Inverse of [`FaultEvent::encode`].
+    pub fn decode(r: &mut WireReader<'_>) -> Result<FaultEvent, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => FaultEvent::LinkDown { router: r.u32()?, port: r.u32()? },
+            1 => FaultEvent::LinkUp { router: r.u32()?, port: r.u32()? },
+            2 => FaultEvent::RouterDown { router: r.u32()? },
+            3 => FaultEvent::RouterUp { router: r.u32()? },
+            4 => FaultEvent::DegradedLink { router: r.u32()?, port: r.u32()?, factor: r.f64()? },
+            other => return Err(SnapshotError::Corrupt(format!("bad fault-event tag {other}"))),
+        })
     }
 }
 

@@ -7,6 +7,7 @@
 //! derived behaviour — is deterministic.
 
 use crate::schedule::FaultEvent;
+use hrviz_pdes::wire::{SnapshotError, WireReader, WireWriter};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Current fault state: dead routers, dead directed links, degrade factors.
@@ -67,6 +68,41 @@ impl FaultView {
     /// Whether no fault is currently active.
     pub fn is_clean(&self) -> bool {
         self.dead_routers.is_empty() && self.dead_links.is_empty() && self.degraded.is_empty()
+    }
+
+    /// Append the view's checkpoint wire form to `w`. The `BTree*`
+    /// containers iterate in sorted order, so the bytes are deterministic.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.dead_routers.len() as u64);
+        for r in &self.dead_routers {
+            w.put_u32(*r);
+        }
+        w.put_u64(self.dead_links.len() as u64);
+        for (r, p) in &self.dead_links {
+            w.put_u32(*r);
+            w.put_u32(*p);
+        }
+        w.put_u64(self.degraded.len() as u64);
+        for ((r, p), f) in &self.degraded {
+            w.put_u32(*r);
+            w.put_u32(*p);
+            w.put_f64(*f);
+        }
+    }
+
+    /// Inverse of [`FaultView::encode`].
+    pub fn decode(r: &mut WireReader<'_>) -> Result<FaultView, SnapshotError> {
+        let mut v = FaultView::new();
+        for _ in 0..r.u64()? {
+            v.dead_routers.insert(r.u32()?);
+        }
+        for _ in 0..r.u64()? {
+            v.dead_links.insert((r.u32()?, r.u32()?));
+        }
+        for _ in 0..r.u64()? {
+            v.degraded.insert((r.u32()?, r.u32()?), r.f64()?);
+        }
+        Ok(v)
     }
 }
 

@@ -1,6 +1,8 @@
 //! Event payloads exchanged between terminal and router LPs.
 
 use crate::packet::Packet;
+use crate::snapshot::{decode_credit, decode_packet, encode_credit, encode_packet};
+use hrviz_pdes::wire::{SnapshotError, WirePayload, WireReader, WireWriter};
 use hrviz_pdes::{LpId, SimTime};
 
 /// Where to return the credit once a packet leaves the receiving node, and
@@ -58,4 +60,50 @@ pub enum NetEvent {
     /// A fault-schedule condition change, broadcast to every router at its
     /// trigger time (terminals never receive faults).
     Fault(hrviz_faults::FaultEvent),
+}
+
+impl WirePayload for NetEvent {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            NetEvent::InjectWake => w.put_u8(0),
+            NetEvent::RouterArrive { pkt, from } => {
+                w.put_u8(1);
+                encode_packet(w, pkt);
+                encode_credit(w, from);
+            }
+            NetEvent::TerminalArrive { pkt, from } => {
+                w.put_u8(2);
+                encode_packet(w, pkt);
+                encode_credit(w, from);
+            }
+            NetEvent::Credit { port, vc, bytes } => {
+                w.put_u8(3);
+                w.put_u32(*port as u32);
+                w.put_u8(*vc);
+                w.put_u32(*bytes);
+            }
+            NetEvent::XmitDone { port } => {
+                w.put_u8(4);
+                w.put_u32(*port as u32);
+            }
+            NetEvent::TerminalXmitDone => w.put_u8(5),
+            NetEvent::Fault(fev) => {
+                w.put_u8(6);
+                fev.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => NetEvent::InjectWake,
+            1 => NetEvent::RouterArrive { pkt: decode_packet(r)?, from: decode_credit(r)? },
+            2 => NetEvent::TerminalArrive { pkt: decode_packet(r)?, from: decode_credit(r)? },
+            3 => NetEvent::Credit { port: r.u32()? as u16, vc: r.u8()?, bytes: r.u32()? },
+            4 => NetEvent::XmitDone { port: r.u32()? as u16 },
+            5 => NetEvent::TerminalXmitDone,
+            6 => NetEvent::Fault(hrviz_faults::FaultEvent::decode(r)?),
+            other => return Err(SnapshotError::Corrupt(format!("bad net-event tag {other}"))),
+        })
+    }
 }

@@ -52,6 +52,7 @@ pub mod router;
 pub mod routing;
 pub mod sampling;
 pub mod sim;
+pub(crate) mod snapshot;
 pub mod terminal;
 pub mod topology;
 pub mod traffic;
@@ -63,6 +64,6 @@ pub use packet::{JobId, Packet, RoutePlan, NO_JOB};
 pub use router::DropCounters;
 pub use routing::RoutingAlgorithm;
 pub use sampling::Bins;
-pub use sim::Simulation;
+pub use sim::{CheckpointOptions, CheckpointSink, Simulation};
 pub use topology::{GroupId, RouterId, TerminalId, Topology};
 pub use traffic::{JobMeta, MsgInjection};

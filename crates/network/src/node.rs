@@ -3,6 +3,7 @@
 use crate::events::NetEvent;
 use crate::router::RouterLp;
 use crate::terminal::TerminalLp;
+use hrviz_pdes::wire::{SnapshotError, WireReader, WireWriter};
 use hrviz_pdes::{Ctx, Lp, SimTime};
 
 /// A simulation node: either a terminal or a router. Using an enum (rather
@@ -61,6 +62,30 @@ impl Lp<NetEvent> for NetNode {
         match self {
             NetNode::Terminal(t) => t.audit(),
             NetNode::Router(r) => r.audit(),
+        }
+    }
+
+    fn snapshot(&self, w: &mut WireWriter) -> Result<(), SnapshotError> {
+        match self {
+            NetNode::Terminal(t) => {
+                w.put_u8(0);
+                t.snapshot(w)
+            }
+            NetNode::Router(r) => {
+                w.put_u8(1);
+                r.snapshot(w)
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), SnapshotError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, NetNode::Terminal(t)) => t.restore(r),
+            (1, NetNode::Router(rt)) => rt.restore(r),
+            (tag, _) => Err(SnapshotError::Corrupt(format!(
+                "node kind mismatch: snapshot tag {tag} does not match model node"
+            ))),
         }
     }
 }

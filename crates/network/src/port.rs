@@ -11,6 +11,11 @@ use crate::config::{LinkClass, LinkClassParams, SamplingConfig};
 use crate::events::CreditReturn;
 use crate::packet::Packet;
 use crate::sampling::Bins;
+use crate::snapshot::{
+    decode_credit, decode_opt_bins, decode_opt_time, decode_packet, encode_credit, encode_opt_bins,
+    encode_opt_time, encode_packet,
+};
+use hrviz_pdes::wire::{SnapshotError, WireReader, WireWriter};
 use hrviz_pdes::{LpId, SimTime};
 use std::collections::VecDeque;
 
@@ -267,6 +272,77 @@ impl OutPort {
     /// Start the next granted packet, if any.
     pub fn after_xmit(&mut self, now: SimTime) -> PortAction {
         self.try_start(now)
+    }
+
+    /// Serialize the port's dynamic state (credits, parked and granted
+    /// packets, serializer occupancy, statistics) for an engine checkpoint.
+    pub fn snapshot(&self, w: &mut WireWriter) -> Result<(), SnapshotError> {
+        w.put_u64(self.vcs.len() as u64);
+        for v in &self.vcs {
+            w.put_i64(v.credits);
+            w.put_i64(v.min_credits);
+            w.put_u64(v.pending.len() as u64);
+            for (pkt, from) in &v.pending {
+                encode_packet(w, pkt);
+                encode_credit(w, from);
+            }
+        }
+        w.put_u64(self.xmit_q.len() as u64);
+        for (pkt, vc, from) in &self.xmit_q {
+            encode_packet(w, pkt);
+            w.put_u8(*vc);
+            encode_credit(w, from);
+        }
+        w.put_bool(self.busy);
+        w.put_u64(self.queued_bytes);
+        w.put_u64(self.traffic);
+        w.put_u64(self.sat_ns);
+        w.put_u64(self.stalls);
+        w.put_f64(self.degrade);
+        encode_opt_time(w, &self.sat_since);
+        encode_opt_bins(w, &self.traffic_bins);
+        encode_opt_bins(w, &self.sat_bins);
+        Ok(())
+    }
+
+    /// Inverse of [`OutPort::snapshot`].
+    pub fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), SnapshotError> {
+        let n_vcs = r.u64()? as usize;
+        if n_vcs != self.vcs.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{:?} port {}: snapshot has {n_vcs} VCs, model has {}",
+                self.class,
+                self.class_idx,
+                self.vcs.len()
+            )));
+        }
+        for v in &mut self.vcs {
+            v.credits = r.i64()?;
+            v.min_credits = r.i64()?;
+            let n = r.u64()? as usize;
+            v.pending.clear();
+            for _ in 0..n {
+                v.pending.push_back((decode_packet(r)?, decode_credit(r)?));
+            }
+        }
+        let n = r.u64()? as usize;
+        self.xmit_q.clear();
+        for _ in 0..n {
+            let pkt = decode_packet(r)?;
+            let vc = r.u8()?;
+            let from = decode_credit(r)?;
+            self.xmit_q.push_back((pkt, vc, from));
+        }
+        self.busy = r.bool()?;
+        self.queued_bytes = r.u64()?;
+        self.traffic = r.u64()?;
+        self.sat_ns = r.u64()?;
+        self.stalls = r.u64()?;
+        self.degrade = r.f64()?;
+        self.sat_since = decode_opt_time(r)?;
+        decode_opt_bins(r, &mut self.traffic_bins)?;
+        decode_opt_bins(r, &mut self.sat_bins)?;
+        Ok(())
     }
 
     /// Credit arrived from downstream: release bytes on `vc` and un-park as

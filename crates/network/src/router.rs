@@ -15,6 +15,7 @@ use crate::routing::{
 };
 use crate::topology::{GroupId, RouterId, Topology};
 use hrviz_faults::{FaultEvent, FaultView};
+use hrviz_pdes::wire::{SnapshotError, WireReader, WireWriter};
 use hrviz_pdes::{Ctx, LpId, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -467,6 +468,52 @@ impl RouterLp {
         for p in &mut self.ports {
             p.finish(now);
         }
+    }
+
+    /// Serialize the router's dynamic state — every out port, the RNG
+    /// stream position, the fault view, and drop/reroute counters — for an
+    /// engine checkpoint. Topology wiring is static and excluded.
+    pub fn snapshot(&self, w: &mut WireWriter) -> Result<(), SnapshotError> {
+        w.put_u64(self.ports.len() as u64);
+        for p in &self.ports {
+            p.snapshot(w)?;
+        }
+        for s in self.rng.state() {
+            w.put_u64(s);
+        }
+        self.faults.encode(w);
+        w.put_u64(self.drops.router_down);
+        w.put_u64(self.drops.no_route);
+        w.put_u64(self.drops.ttl);
+        w.put_u64(self.drops.bytes);
+        w.put_u64(self.reroutes);
+        Ok(())
+    }
+
+    /// Inverse of [`RouterLp::snapshot`].
+    pub fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), SnapshotError> {
+        let n_ports = r.u64()? as usize;
+        if n_ports != self.ports.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "router {}: snapshot has {n_ports} ports, model has {}",
+                self.id.0,
+                self.ports.len()
+            )));
+        }
+        for p in &mut self.ports {
+            p.restore(r)?;
+        }
+        let state = [r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        self.rng = StdRng::from_state(state);
+        self.faults = FaultView::decode(r)?;
+        self.drops = DropCounters {
+            router_down: r.u64()?,
+            no_route: r.u64()?,
+            ttl: r.u64()?,
+            bytes: r.u64()?,
+        };
+        self.reroutes = r.u64()?;
+        Ok(())
     }
 }
 

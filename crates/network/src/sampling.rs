@@ -81,6 +81,20 @@ impl Bins {
         &self.values
     }
 
+    /// Replace the accumulated values (checkpoint restore). Width and bin
+    /// cap stay as configured; values beyond `max_bins` fold into the final
+    /// bin, preserving the clamp invariant.
+    pub fn set_values(&mut self, values: Vec<u64>) {
+        if values.len() <= self.max_bins {
+            self.values = values;
+        } else {
+            let mut v = values;
+            let overflow: u64 = v.drain(self.max_bins..).sum();
+            v[self.max_bins - 1] += overflow;
+            self.values = v;
+        }
+    }
+
     /// Sum over bins whose *start* lies in `[range_start, range_end)`.
     /// This is the granularity at which the timeline view selects data.
     pub fn sum_range(&self, range_start: SimTime, range_end: SimTime) -> u64 {

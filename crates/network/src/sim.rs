@@ -16,8 +16,36 @@ use crate::topology::{RouterId, TerminalId, Topology};
 use crate::traffic::{JobMeta, MsgInjection};
 use hrviz_faults::{FaultSchedule, HrvizError};
 use hrviz_obs::{Collector, Json};
-use hrviz_pdes::{Engine, LpId, ParallelEngine, SimTime, WatchdogConfig};
+use hrviz_pdes::wire::SnapshotError;
+use hrviz_pdes::{Engine, LpId, ParallelEngine, RunOutcome, SimTime, WatchdogConfig};
 use std::sync::Arc;
+
+/// Receives each checkpoint a [`Simulation::try_run_checkpointed`] run
+/// takes: the (absolute) virtual-time boundary and the snapshot bytes.
+pub type CheckpointSink<'a> = &'a mut dyn FnMut(SimTime, &[u8]) -> Result<(), HrvizError>;
+
+/// Checkpoint/restore options for [`Simulation::try_run_checkpointed`].
+#[derive(Default)]
+pub struct CheckpointOptions<'a> {
+    /// Restore engine state from this snapshot (bytes produced by an
+    /// earlier checkpoint of an identically configured simulation) before
+    /// running. The simulation must be rebuilt with the same spec,
+    /// injections, jobs, and fault schedule — only dynamic state rides in
+    /// the snapshot.
+    pub restore_from: Option<&'a [u8]>,
+    /// Snapshot every this much virtual time. Boundaries are absolute
+    /// multiples of the interval, so an interrupted-then-restored run
+    /// checkpoints at the same virtual times — with byte-identical
+    /// snapshots — as a straight-through run.
+    pub every: Option<SimTime>,
+}
+
+fn snapshot_to_hrviz(e: SnapshotError) -> HrvizError {
+    match e {
+        SnapshotError::Unsupported(what) => HrvizError::config(what),
+        SnapshotError::Corrupt(detail) => HrvizError::parse("engine checkpoint", detail),
+    }
+}
 
 /// A configured, not-yet-run simulation.
 pub struct Simulation {
@@ -206,7 +234,29 @@ impl Simulation {
         self.run_inner(true)
     }
 
-    fn run_inner(mut self, checked: bool) -> Result<RunData, HrvizError> {
+    /// Run on the sequential engine with checkpoint/restore support:
+    /// restore from a prior snapshot, periodically snapshot into `sink`, or
+    /// both (resuming a run keeps checkpointing at the same absolute
+    /// boundaries). Checkpoint-restart is bit-identical to a
+    /// straight-through run — same [`RunData`], same later checkpoints.
+    pub fn try_run_checkpointed(
+        self,
+        opts: CheckpointOptions<'_>,
+        sink: CheckpointSink<'_>,
+    ) -> Result<RunData, HrvizError> {
+        self.run_core(true, opts, Some(sink))
+    }
+
+    fn run_inner(self, checked: bool) -> Result<RunData, HrvizError> {
+        self.run_core(checked, CheckpointOptions::default(), None)
+    }
+
+    fn run_core(
+        mut self,
+        checked: bool,
+        opts: CheckpointOptions<'_>,
+        mut sink: Option<CheckpointSink<'_>>,
+    ) -> Result<RunData, HrvizError> {
         let collector = self.collector.clone();
         let span = collector.span("sim/run");
         let nodes = self.build_nodes();
@@ -216,7 +266,46 @@ impl Simulation {
         if let Some(w) = self.watchdog {
             engine.set_watchdog(w);
         }
-        self.broadcast_faults(|t, lp, ev| engine.schedule(t, lp, ev));
+        match opts.restore_from {
+            Some(bytes) => {
+                // The snapshot carries the full pending-event set (fault
+                // broadcasts included), so nothing is re-scheduled here.
+                engine.restore(bytes).map_err(snapshot_to_hrviz)?;
+                collector.counter_add("sim/checkpoint_restores", 1);
+            }
+            None => self.broadcast_faults(|t, lp, ev| engine.schedule(t, lp, ev)),
+        }
+        if let Some(every) = opts.every {
+            let every = every.as_nanos();
+            if every == 0 {
+                return Err(HrvizError::config("checkpoint interval must be positive"));
+            }
+            // Boundaries are absolute multiples of the interval (tracked as
+            // the multiple index so quiet stretches skip ahead but the grid
+            // itself never shifts — interrupted and straight-through runs
+            // share it).
+            let mut next = engine.now().as_nanos() / every + 1;
+            loop {
+                let bound = next.saturating_mul(every);
+                if SimTime(bound) >= self.horizon {
+                    break;
+                }
+                let outcome = if checked {
+                    engine.try_run_until(SimTime(bound))?
+                } else {
+                    engine.run_until(SimTime(bound))
+                };
+                if outcome != RunOutcome::TimeBound {
+                    break; // drained or budget-exhausted: no boundary reached
+                }
+                let snap = engine.snapshot().map_err(snapshot_to_hrviz)?;
+                collector.counter_add("sim/checkpoints", 1);
+                if let Some(sink) = sink.as_mut() {
+                    sink(SimTime(bound), &snap)?;
+                }
+                next = (engine.now().as_nanos() / every + 1).max(next + 1);
+            }
+        }
         if self.horizon == SimTime::MAX {
             if checked {
                 engine.try_run_to_completion()?;
@@ -734,6 +823,126 @@ mod tests {
     fn injection_bounds_checked() {
         let mut sim = Simulation::new(small_spec());
         sim.inject(msg(0, 0, 10_000, 100));
+    }
+
+    /// A workload exercising every snapshot codec: adaptive routing (RNG
+    /// state), faults (fault views + pending fault events), and sampling
+    /// (every optional bin set).
+    fn checkpointable_sim() -> Simulation {
+        use hrviz_faults::FaultEvent;
+        let spec = small_spec()
+            .with_routing(RoutingAlgorithm::adaptive_default())
+            .with_sampling(SimTime::micros(1), 64);
+        let mut faults = FaultSchedule::new(3);
+        faults.push(SimTime::micros(2), FaultEvent::RouterDown { router: 17 });
+        faults.push(SimTime::micros(6), FaultEvent::RouterUp { router: 17 });
+        faults
+            .push(SimTime::micros(1), FaultEvent::DegradedLink { router: 5, port: 3, factor: 0.5 });
+        let mut sim = Simulation::new(spec).with_faults(faults);
+        let job = sim
+            .add_job(JobMeta { name: "ckpt".into(), terminals: (0..8).map(TerminalId).collect() });
+        for src in 0..72u32 {
+            for k in 0..4u64 {
+                let mut m = msg(k * 700, src, (src + 29) % 72, 8192);
+                if src < 8 {
+                    m.job = job;
+                }
+                sim.inject(m);
+            }
+        }
+        sim
+    }
+
+    #[test]
+    fn checkpoint_restart_is_bit_identical() {
+        let every = SimTime::micros(3);
+        let mut straight = Vec::new();
+        let full = checkpointable_sim()
+            .try_run_checkpointed(
+                CheckpointOptions { restore_from: None, every: Some(every) },
+                &mut |t, bytes| {
+                    straight.push((t, bytes.to_vec()));
+                    Ok(())
+                },
+            )
+            .expect("straight-through run");
+        assert!(straight.len() >= 2, "want ≥2 checkpoints, got {}", straight.len());
+
+        // "Crash" right after the first checkpoint: rebuild the simulation
+        // from the same spec and resume from that snapshot.
+        let (t0, snap0) = straight[0].clone();
+        let mut resumed_cp = Vec::new();
+        let resumed = checkpointable_sim()
+            .try_run_checkpointed(
+                CheckpointOptions { restore_from: Some(&snap0), every: Some(every) },
+                &mut |t, bytes| {
+                    resumed_cp.push((t, bytes.to_vec()));
+                    Ok(())
+                },
+            )
+            .expect("resumed run");
+
+        // The resumed run revisits the same absolute boundaries — including
+        // re-emitting t0 itself — with byte-identical snapshots.
+        assert_eq!(resumed_cp.len(), straight.len());
+        for ((ta, a), (tb, b)) in straight.iter().zip(&resumed_cp) {
+            assert_eq!(ta, tb, "checkpoint boundaries diverged");
+            assert!(a == b, "checkpoint bytes at {ta:?} diverged");
+        }
+        assert_eq!(resumed_cp[0].0, t0);
+
+        // And the final results are indistinguishable, down to every
+        // per-terminal/per-link record, bin, and engine stat.
+        assert_eq!(full.events_processed, resumed.events_processed);
+        assert_eq!(full.end_time, resumed.end_time);
+        let full_dbg = format!("{full:?}");
+        let resumed_dbg = format!("{resumed:?}");
+        assert!(full_dbg == resumed_dbg, "RunData diverged after checkpoint-restart");
+    }
+
+    #[test]
+    fn restore_without_further_checkpointing_matches() {
+        let mut cps = Vec::new();
+        let full = checkpointable_sim()
+            .try_run_checkpointed(
+                CheckpointOptions { restore_from: None, every: Some(SimTime::micros(4)) },
+                &mut |t, bytes| {
+                    cps.push((t, bytes.to_vec()));
+                    Ok(())
+                },
+            )
+            .expect("straight-through run");
+        let (_, last) = cps.last().expect("at least one checkpoint").clone();
+        let resumed = checkpointable_sim()
+            .try_run_checkpointed(
+                CheckpointOptions { restore_from: Some(&last), every: None },
+                &mut |_, _| Ok(()),
+            )
+            .expect("resumed run");
+        assert!(
+            format!("{full:?}") == format!("{resumed:?}"),
+            "RunData diverged resuming from the last checkpoint"
+        );
+    }
+
+    #[test]
+    fn checkpoint_rejects_bad_inputs() {
+        let err = checkpointable_sim()
+            .try_run_checkpointed(
+                CheckpointOptions { restore_from: None, every: Some(SimTime::ZERO) },
+                &mut |_, _| Ok(()),
+            )
+            .expect_err("zero interval must be rejected");
+        assert!(err.to_string().contains("positive"), "got {err}");
+
+        let garbage = vec![0u8; 64];
+        let err = checkpointable_sim()
+            .try_run_checkpointed(
+                CheckpointOptions { restore_from: Some(&garbage), every: None },
+                &mut |_, _| Ok(()),
+            )
+            .expect_err("garbage snapshot must be rejected");
+        assert!(err.to_string().contains("checkpoint"), "got {err}");
     }
 
     #[test]

@@ -10,8 +10,13 @@ use crate::config::{LinkClassParams, SamplingConfig};
 use crate::events::{CreditReturn, NetEvent};
 use crate::packet::{JobId, Packet, RoutePlan, NO_JOB};
 use crate::sampling::Bins;
+use crate::snapshot::{
+    decode_opt_bins, decode_opt_time, decode_packet, encode_opt_bins, encode_opt_time,
+    encode_packet,
+};
 use crate::topology::TerminalId;
 use crate::traffic::MsgInjection;
+use hrviz_pdes::wire::{SnapshotError, WireReader, WireWriter};
 use hrviz_pdes::{Ctx, LpId, SimTime};
 use std::collections::VecDeque;
 
@@ -288,6 +293,81 @@ impl TerminalLp {
         if let Some(first) = self.schedule.first() {
             ctx.send_self(first.time, NetEvent::InjectWake);
         }
+    }
+
+    /// Serialize this terminal's dynamic state for an engine checkpoint.
+    /// Static configuration (link params, schedule, job stamp) is excluded:
+    /// restore runs on a terminal freshly rebuilt from the same spec.
+    pub fn snapshot(&self, w: &mut WireWriter) -> Result<(), SnapshotError> {
+        w.put_i64(self.credits);
+        w.put_u64(self.queue.len() as u64);
+        for p in &self.queue {
+            encode_packet(w, p);
+        }
+        match &self.in_flight {
+            None => w.put_bool(false),
+            Some(p) => {
+                w.put_bool(true);
+                encode_packet(w, p);
+            }
+        }
+        encode_opt_time(w, &self.blocked_since);
+        w.put_u64(self.cursor as u64);
+        w.put_u64(self.next_pkt);
+        let s = &self.stats;
+        w.put_u64(s.injected_bytes);
+        w.put_u64(s.packets_sent);
+        w.put_u64(s.busy_ns);
+        w.put_u64(s.sat_ns);
+        w.put_u64(s.recv_bytes);
+        w.put_u64(s.packets_finished);
+        w.put_u64(s.latency_sum_ns);
+        w.put_u64(s.hops_sum);
+        w.put_u64(s.last_arrival.as_nanos());
+        encode_opt_bins(w, &s.traffic_bins);
+        encode_opt_bins(w, &s.sat_bins);
+        encode_opt_bins(w, &s.latency_bins);
+        encode_opt_bins(w, &s.count_bins);
+        encode_opt_bins(w, &s.hops_bins);
+        Ok(())
+    }
+
+    /// Inverse of [`TerminalLp::snapshot`].
+    pub fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), SnapshotError> {
+        self.credits = r.i64()?;
+        let n = r.u64()? as usize;
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push_back(decode_packet(r)?);
+        }
+        self.in_flight = if r.bool()? { Some(decode_packet(r)?) } else { None };
+        self.blocked_since = decode_opt_time(r)?;
+        let cursor = r.u64()? as usize;
+        if cursor > self.schedule.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "terminal {}: snapshot cursor {cursor} exceeds schedule length {}",
+                self.id.0,
+                self.schedule.len()
+            )));
+        }
+        self.cursor = cursor;
+        self.next_pkt = r.u64()?;
+        let s = &mut self.stats;
+        s.injected_bytes = r.u64()?;
+        s.packets_sent = r.u64()?;
+        s.busy_ns = r.u64()?;
+        s.sat_ns = r.u64()?;
+        s.recv_bytes = r.u64()?;
+        s.packets_finished = r.u64()?;
+        s.latency_sum_ns = r.u64()?;
+        s.hops_sum = r.u64()?;
+        s.last_arrival = SimTime(r.u64()?);
+        decode_opt_bins(r, &mut s.traffic_bins)?;
+        decode_opt_bins(r, &mut s.sat_bins)?;
+        decode_opt_bins(r, &mut s.latency_bins)?;
+        decode_opt_bins(r, &mut s.count_bins)?;
+        decode_opt_bins(r, &mut s.hops_bins)?;
+        Ok(())
     }
 
     /// Close any open saturation interval.

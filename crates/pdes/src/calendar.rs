@@ -48,6 +48,13 @@ impl<P> HeapQueue<P> {
     pub fn with_capacity(cap: usize) -> Self {
         HeapQueue { heap: BinaryHeap::with_capacity(cap) }
     }
+
+    /// Iterate over pending events in **arbitrary** (heap-internal) order.
+    /// Snapshot code sorts by [`EventKey`] afterwards to get a
+    /// deterministic serialization.
+    pub fn iter(&self) -> impl Iterator<Item = &Event<P>> {
+        self.heap.iter().map(|Reverse(ev)| ev)
+    }
 }
 
 impl<P> Default for HeapQueue<P> {

@@ -10,7 +10,14 @@ use crate::error::{SimError, WatchdogConfig};
 use crate::event::{Event, EventKey, LpId, EXTERNAL_SRC};
 use crate::lp::{Ctx, Lp};
 use crate::time::SimTime;
+use crate::wire::{SnapshotError, WirePayload, WireReader, WireWriter};
 use hrviz_obs::{Collector, Json};
+
+/// Magic prefix of an engine snapshot (`"hrvZ"`), followed by a format
+/// version. Restore rejects anything else as corrupt.
+const SNAPSHOT_MAGIC: u32 = 0x6872_765a;
+/// Current snapshot format version.
+const SNAPSHOT_VERSION: u32 = 1;
 
 /// Aggregate statistics for a completed (or paused) run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -341,6 +348,127 @@ impl<P, L: Lp<P>> Engine<P, L> {
     pub fn pending(&self) -> usize {
         self.queue.len()
     }
+
+    /// Serialize the engine's full dynamic state — virtual clock, stats,
+    /// per-LP sequence counters, the pending-event set (sorted by
+    /// [`EventKey`], so the bytes are deterministic regardless of heap
+    /// layout), and each LP's [`Lp::snapshot`] blob.
+    ///
+    /// The snapshot deliberately excludes static configuration (lookahead,
+    /// budget, watchdog, collector): [`Engine::restore`] is called on a
+    /// freshly constructed engine that already carries those, which keeps
+    /// snapshots small and lets a restore re-attach a live collector.
+    pub fn snapshot(&self) -> Result<Vec<u8>, SnapshotError>
+    where
+        P: WirePayload,
+    {
+        let mut w = WireWriter::new();
+        w.put_u32(SNAPSHOT_MAGIC);
+        w.put_u32(SNAPSHOT_VERSION);
+        w.put_u64(self.now.as_nanos());
+        w.put_u64(self.ext_seq);
+        w.put_u64(self.stalled_events);
+        w.put_bool(self.initialized);
+        w.put_u64(self.stats.events_processed);
+        w.put_u64(self.stats.events_scheduled);
+        w.put_u64(self.stats.end_time.as_nanos());
+        w.put_u64(self.stats.peak_queue_depth);
+        w.put_u64(self.seqs.len() as u64);
+        for s in &self.seqs {
+            w.put_u64(*s);
+        }
+        let mut events: Vec<&Event<P>> = self.queue.iter().collect();
+        events.sort_by_key(|ev| ev.key);
+        w.put_u64(events.len() as u64);
+        for ev in events {
+            w.put_u64(ev.key.time.as_nanos());
+            w.put_u32(ev.key.dst.0);
+            w.put_u32(ev.key.src.0);
+            w.put_u64(ev.key.seq);
+            ev.payload.encode(&mut w);
+        }
+        w.put_u64(self.lps.len() as u64);
+        for lp in &self.lps {
+            let mut sub = WireWriter::new();
+            lp.snapshot(&mut sub)?;
+            w.put_bytes(&sub.into_bytes());
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Restore state captured by [`Engine::snapshot`] into this engine.
+    ///
+    /// `self` must be freshly constructed from the *same* model
+    /// configuration that produced the snapshot (same LPs in the same
+    /// order); only dynamic state is patched, via each LP's
+    /// [`Lp::restore`]. After a successful restore the engine continues
+    /// exactly where the snapshot was taken: a resumed run is
+    /// bit-identical to one that never paused.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError>
+    where
+        P: WirePayload,
+    {
+        let mut r = WireReader::new(bytes);
+        if r.u32()? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::Corrupt("bad snapshot magic".into()));
+        }
+        let version = r.u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot version {version} (engine supports {SNAPSHOT_VERSION})"
+            )));
+        }
+        self.now = SimTime(r.u64()?);
+        self.ext_seq = r.u64()?;
+        self.stalled_events = r.u64()?;
+        self.initialized = r.bool()?;
+        self.stats = EngineStats {
+            events_processed: r.u64()?,
+            events_scheduled: r.u64()?,
+            end_time: SimTime(r.u64()?),
+            peak_queue_depth: r.u64()?,
+        };
+        // Resumed segments report telemetry deltas from the restore point.
+        self.reported = self.stats;
+        let n_seqs = r.u64()? as usize;
+        if n_seqs != self.lps.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {n_seqs} LPs, engine has {}",
+                self.lps.len()
+            )));
+        }
+        self.seqs.clear();
+        for _ in 0..n_seqs {
+            self.seqs.push(r.u64()?);
+        }
+        let n_events = r.u64()? as usize;
+        let mut queue = HeapQueue::with_capacity(n_events);
+        for _ in 0..n_events {
+            let key = EventKey {
+                time: SimTime(r.u64()?),
+                dst: LpId(r.u32()?),
+                src: LpId(r.u32()?),
+                seq: r.u64()?,
+            };
+            let payload = P::decode(&mut r)?;
+            queue.push(Event { key, payload });
+        }
+        self.queue = queue;
+        let n_lps = r.u64()? as usize;
+        if n_lps != self.lps.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {n_lps} LP blobs, engine has {}",
+                self.lps.len()
+            )));
+        }
+        for lp in &mut self.lps {
+            let blob = r.bytes()?;
+            let mut sub = WireReader::new(blob);
+            lp.restore(&mut sub)?;
+            sub.finish()?;
+        }
+        r.finish()
+    }
 }
 
 /// Emit the watchdog-trip diagnostics shared by both engines: a counter and
@@ -404,6 +532,25 @@ mod tests {
                 let next = LpId((ctx.me().0 + 1) % self.n);
                 ctx.send(next, SimTime(10), Token { hops_left: t.hops_left - 1 });
             }
+        }
+
+        fn snapshot(&self, w: &mut WireWriter) -> Result<(), SnapshotError> {
+            w.put_u32(self.visits);
+            Ok(())
+        }
+
+        fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), SnapshotError> {
+            self.visits = r.u32()?;
+            Ok(())
+        }
+    }
+
+    impl WirePayload for Token {
+        fn encode(&self, w: &mut WireWriter) {
+            w.put_u32(self.hops_left);
+        }
+        fn decode(r: &mut WireReader<'_>) -> Result<Self, SnapshotError> {
+            Ok(Token { hops_left: r.u32()? })
         }
     }
 
@@ -566,6 +713,80 @@ mod tests {
         assert_eq!(b.try_run_to_completion(), Ok(RunOutcome::Drained));
         assert_eq!(a.stats().events_processed, b.stats().events_processed);
         assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn checkpoint_restart_matches_straight_through() {
+        // Straight-through reference run.
+        let mut straight = ring(4, 7);
+        straight.run_to_completion();
+
+        // Pause mid-run, snapshot, restore into a *fresh* engine built
+        // from the same model configuration, and finish there.
+        let mut first = ring(4, 7);
+        assert_eq!(first.run_until(SimTime(35)), RunOutcome::TimeBound);
+        let snap = first.snapshot().unwrap();
+        let mut resumed = ring(4, 7);
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.now(), first.now());
+        assert_eq!(resumed.pending(), first.pending());
+        resumed.run_to_completion();
+
+        assert_eq!(resumed.now(), straight.now());
+        assert_eq!(resumed.stats(), straight.stats());
+        let a: Vec<u32> = resumed.lps().map(|l| l.visits).collect();
+        let b: Vec<u32> = straight.lps().map(|l| l.visits).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_deterministic() {
+        let snap = |bound: u64| {
+            let mut eng = ring(5, 20);
+            eng.run_until(SimTime(bound));
+            eng.snapshot().unwrap()
+        };
+        assert_eq!(snap(55), snap(55));
+        // A restored engine snapshots to the same bytes as the original.
+        let mut eng = ring(5, 20);
+        eng.run_until(SimTime(55));
+        let first = eng.snapshot().unwrap();
+        let mut resumed = ring(5, 20);
+        resumed.restore(&first).unwrap();
+        assert_eq!(resumed.snapshot().unwrap(), first);
+    }
+
+    #[test]
+    fn restore_rejects_damaged_snapshots() {
+        let mut eng = ring(3, 5);
+        eng.run_until(SimTime(25));
+        let snap = eng.snapshot().unwrap();
+
+        let mut truncated = ring(3, 5);
+        assert!(matches!(
+            truncated.restore(&snap[..snap.len() - 3]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        let mut bad_magic = ring(3, 5);
+        let mut garbled = snap.clone();
+        garbled[0] ^= 0xff;
+        assert!(matches!(bad_magic.restore(&garbled), Err(SnapshotError::Corrupt(_))));
+
+        // Wrong LP count: model mismatch must be caught, not misapplied.
+        let mut wrong_shape = ring(4, 5);
+        assert!(matches!(wrong_shape.restore(&snap), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn snapshot_without_lp_support_is_unsupported() {
+        struct Opaque;
+        impl Lp<u32> for Opaque {
+            fn on_event(&mut self, _: &mut Ctx<'_, u32>, _: u32) {}
+        }
+        let mut eng = Engine::new(vec![Opaque], SimTime(1));
+        eng.schedule(SimTime::ZERO, LpId(0), 1);
+        assert!(matches!(eng.snapshot(), Err(SnapshotError::Unsupported(_))));
     }
 
     #[test]

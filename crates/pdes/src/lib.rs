@@ -46,6 +46,7 @@ pub mod event;
 pub mod lp;
 pub mod parallel;
 pub mod time;
+pub mod wire;
 
 pub use calendar::{CalendarQueue, EventQueue, HeapQueue};
 pub use engine::{Engine, EngineStats, RunOutcome};
@@ -54,3 +55,4 @@ pub use event::{Event, EventKey, LpId, EXTERNAL_SRC};
 pub use lp::{Ctx, Lp};
 pub use parallel::ParallelEngine;
 pub use time::SimTime;
+pub use wire::{SnapshotError, WirePayload, WireReader, WireWriter};

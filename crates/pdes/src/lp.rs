@@ -8,6 +8,7 @@
 
 use crate::event::{Event, EventKey, LpId};
 use crate::time::SimTime;
+use crate::wire::{SnapshotError, WireReader, WireWriter};
 
 /// A logical process.
 ///
@@ -37,6 +38,24 @@ pub trait Lp<P>: Send {
     /// were never returned). The default implementation always passes.
     fn audit(&self) -> Result<(), String> {
         Ok(())
+    }
+
+    /// Serialize this LP's dynamic state for an engine checkpoint
+    /// ([`Engine::snapshot`](crate::Engine::snapshot)). Implementations
+    /// must write a byte-deterministic form (see [`crate::wire`]) that
+    /// [`Lp::restore`] inverts exactly. The default refuses, so models opt
+    /// into checkpointing explicitly.
+    fn snapshot(&self, w: &mut WireWriter) -> Result<(), SnapshotError> {
+        let _ = w;
+        Err(SnapshotError::Unsupported("LP type does not implement snapshot".into()))
+    }
+
+    /// Restore this LP's dynamic state from bytes written by
+    /// [`Lp::snapshot`]. Called on a freshly constructed LP (identical
+    /// static configuration), so only mutable run state needs patching.
+    fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), SnapshotError> {
+        let _ = r;
+        Err(SnapshotError::Unsupported("LP type does not implement restore".into()))
     }
 }
 

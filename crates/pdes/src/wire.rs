@@ -1,0 +1,303 @@
+//! Binary snapshot codec for engine checkpoints.
+//!
+//! Checkpoints must be byte-deterministic: serializing the same engine
+//! state twice — or serializing a restored engine at the same virtual time
+//! as a straight-through run — must yield identical bytes. The codec is
+//! therefore deliberately primitive: fixed-width little-endian integers,
+//! `f64` as raw IEEE-754 bits (no text round-trip), length-prefixed byte
+//! strings, and no maps or optional fields whose iteration order could
+//! vary. Versioning is a single magic/version header checked on restore.
+
+use std::fmt;
+
+/// Why a snapshot or restore could not be performed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The model (an LP or payload type) does not support checkpointing.
+    Unsupported(String),
+    /// The snapshot bytes are damaged, truncated, or from an incompatible
+    /// version.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Unsupported(what) => write!(f, "snapshot unsupported: {what}"),
+            SnapshotError::Corrupt(what) => write!(f, "snapshot corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Append-only snapshot byte writer.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`, little-endian.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `f64` as its raw IEEE-754 bit pattern (exact round-trip,
+    /// no formatting involved).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Write a boolean as a single 0/1 byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// Cursor-style reader over snapshot bytes; every accessor validates
+/// bounds and returns [`SnapshotError::Corrupt`] on truncation.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from `buf`, starting at the beginning.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Corrupt(format!(
+                "truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(i64::from_le_bytes(a))
+    }
+
+    /// Read an `f64` stored as raw bits.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a 0/1 boolean byte.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Corrupt(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        let b = self.bytes()?;
+        std::str::from_utf8(b).map_err(|e| SnapshotError::Corrupt(format!("invalid utf-8: {e}")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+
+    /// Assert that every byte was consumed — catches blobs with trailing
+    /// garbage (usually a writer/reader schema mismatch).
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Event payloads that can cross a checkpoint boundary.
+///
+/// Implemented by the model's payload type so [`crate::Engine::snapshot`]
+/// can serialize the pending-event set. `decode` must be the exact inverse
+/// of `encode`.
+pub trait WirePayload: Sized {
+    /// Append this payload's wire form to `w`.
+    fn encode(&self, w: &mut WireWriter);
+    /// Decode one payload from `r` (inverse of [`WirePayload::encode`]).
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SnapshotError>;
+}
+
+impl WirePayload for () {
+    fn encode(&self, _w: &mut WireWriter) {}
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(())
+    }
+}
+
+impl WirePayload for u32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SnapshotError> {
+        r.u32()
+    }
+}
+
+impl WirePayload for u64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, SnapshotError> {
+        r.u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(3.5e-9);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_str("hrviz");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.f64().unwrap(), 3.5e-9);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "hrviz");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f64_round_trip_is_bit_exact() {
+        for v in [0.0, -0.0, f64::INFINITY, f64::MIN_POSITIVE, 1.0 / 3.0, f64::NAN] {
+            let mut w = WireWriter::new();
+            w.put_f64(v);
+            let bytes = w.into_bytes();
+            let back = WireReader::new(&bytes).f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_corrupt() {
+        let mut w = WireWriter::new();
+        w.put_u64(9);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes[..4]);
+        assert!(matches!(r.u64(), Err(SnapshotError::Corrupt(_))));
+        let mut r2 = WireReader::new(&bytes);
+        r2.u32().unwrap();
+        assert!(matches!(r2.finish(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn invalid_bool_and_utf8_are_corrupt() {
+        let mut r = WireReader::new(&[2]);
+        assert!(matches!(r.bool(), Err(SnapshotError::Corrupt(_))));
+        let mut w = WireWriter::new();
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r2 = WireReader::new(&bytes);
+        assert!(matches!(r2.str(), Err(SnapshotError::Corrupt(_))));
+    }
+}

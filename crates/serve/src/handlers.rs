@@ -21,9 +21,10 @@ use hrviz_core::{
     build_view_cached, compare_views_cached, parse_script, view_to_json, views_to_json,
     AggregateCache, ColumnarDataSet, DataKey, DataSet, EntityKind, Field, ProjectionSpec,
 };
+use hrviz_faults::HrvizError;
 use hrviz_obs::{fingerprint64, Json};
 use hrviz_render::{render_radial, render_radial_row, RadialLayout};
-use hrviz_sweep::{RunStore, StoredManifest};
+use hrviz_sweep::{RunStore, StoredManifest, StoredRun};
 
 use crate::cache::{etag, CachedBody, ResponseCache};
 use crate::http::{Request, Response};
@@ -208,7 +209,7 @@ impl App {
         let filter_part = table_filter.clone().unwrap_or_default();
         let tag = etag(&["columns", &generation, run, field_name, &filter_part]);
         self.cached(req, &tag, "application/json", || {
-            let stored = self.store.load(run).map_err(|e| Response::error(500, &e.to_string()))?;
+            let stored = self.load_run(run)?;
             let tables = columns_json(&stored.data, field, table_filter.as_deref());
             if tables.is_empty() {
                 return Err(Response::error(
@@ -302,6 +303,21 @@ impl App {
         })
     }
 
+    /// Load a run, degrading on-disk damage to a structured error instead
+    /// of a 500: a run whose manifest is fine but whose column file is
+    /// missing, torn, or checksum-failed answers `410 Gone` (it existed;
+    /// the store's next fsck pass will quarantine it) and bumps the
+    /// `serve/corrupt_run` counter.
+    fn load_run(&self, run: &str) -> Result<StoredRun, Response> {
+        self.store.load(run).map_err(|e| match e {
+            HrvizError::Parse { .. } | HrvizError::Io { .. } => {
+                hrviz_obs::get().counter_add("serve/corrupt_run", 1);
+                Response::error(410, &format!("run {run:?} is corrupt on disk ({e}); re-open the store or rerun fsck to quarantine it"))
+            }
+            other => Response::error(500, &other.to_string()),
+        })
+    }
+
     /// The aggregation-cache key for a stored run, `None` when the run is
     /// absent (or the id is not the 16-hex-digit form the store emits).
     fn run_key(&self, run: &str) -> Option<DataKey> {
@@ -321,7 +337,7 @@ impl App {
                 return Ok(Arc::clone(ds));
             }
         }
-        let stored = self.store.load(run).map_err(|e| Response::error(500, &e.to_string()))?;
+        let stored = self.load_run(run)?;
         let ds = Arc::new(stored.data.to_dataset());
         let mut cache = self.datasets.lock().unwrap_or_else(PoisonError::into_inner);
         if cache.map.insert(key.clone(), Arc::clone(&ds)).is_none() {

@@ -1,0 +1,73 @@
+//! Loopback tests for graceful degradation on damaged stores: a run whose
+//! column file is corrupt (valid manifest, bad checksum) answers a
+//! structured `410 Gone` — never a 500 — and bumps `serve/corrupt_run`;
+//! a run whose column file is gone entirely answers `404`.
+
+mod common;
+
+use std::sync::OnceLock;
+
+use common::{get, post, start, test_store, SCRIPT};
+use hrviz_obs::Collector;
+use hrviz_serve::ServeConfig;
+
+/// The process-global collector, installed exactly once.
+fn obs() -> Collector {
+    static C: OnceLock<Collector> = OnceLock::new();
+    C.get_or_init(|| {
+        let c = Collector::enabled();
+        hrviz_obs::install(c.clone());
+        c
+    })
+    .clone()
+}
+
+#[test]
+fn corrupt_columns_answer_410_with_a_counter_and_missing_columns_404() {
+    let c = obs();
+    let (dir, runs) = test_store();
+    let server = start(ServeConfig::default());
+
+    // Sanity: the healthy run serves its columns.
+    let reply = get(server.addr, &format!("/runs/{}/columns/traffic", runs[1]), &[]);
+    assert_eq!(reply.status, 200);
+
+    // Damage run 0's column file behind the server's back: the manifest
+    // stays valid, so the run still looks present — only the load fails.
+    let columns = dir.join(&runs[0]).join("columns.jsonl");
+    let mut text = std::fs::read_to_string(&columns).expect("read columns");
+    text.push_str("{\"tamper\":1}\n");
+    std::fs::write(&columns, text).expect("tamper with columns");
+
+    let before = c.counter("serve/corrupt_run");
+    let reply = get(server.addr, &format!("/runs/{}/columns/traffic", runs[0]), &[]);
+    assert_eq!(reply.status, 410, "corrupt run must be Gone, not a 500: {}", reply.text());
+    let body = reply.text();
+    assert!(body.contains("\"error\""), "structured JSON error: {body}");
+    assert!(body.contains("corrupt"), "names the damage: {body}");
+    assert!(body.contains(&runs[0]), "names the run: {body}");
+
+    // The view-building path degrades the same way.
+    let reply = post(server.addr, &format!("/views?run={}", runs[0]), SCRIPT, &[]);
+    assert_eq!(reply.status, 410, "views over a corrupt run: {}", reply.text());
+
+    assert!(
+        c.counter("serve/corrupt_run") >= before + 2,
+        "each corrupt load is counted (got {} -> {})",
+        before,
+        c.counter("serve/corrupt_run")
+    );
+    // The counter is on the public /metricsz surface.
+    let reply = get(server.addr, "/metricsz", &[]);
+    assert_eq!(reply.status, 200);
+    assert!(reply.text().contains("serve/corrupt_run"), "{}", reply.text());
+
+    // A missing column file is a plain 404: the run no longer qualifies
+    // as present at all. (A fresh field name sidesteps the body cache.)
+    std::fs::remove_file(dir.join(&runs[1]).join("columns.jsonl")).expect("remove columns");
+    let reply = get(server.addr, &format!("/runs/{}/columns/sat_time", runs[1]), &[]);
+    assert_eq!(reply.status, 404, "missing columns: {}", reply.text());
+    assert!(reply.text().contains("\"error\""), "{}", reply.text());
+
+    server.stop();
+}

@@ -1,13 +1,24 @@
-//! The parallel sweep executor.
+//! The parallel, resumable sweep executor.
 //!
 //! [`SweepEngine::run`] expands a [`SweepSpec`], splits the grid into
-//! store hits (already simulated — content address present) and misses,
-//! shards the misses across a fixed-width worker pool, persists each new
-//! run, and bumps the store generation once. The returned [`SweepOutcome`]
-//! carries the hit/miss split and aggregate engine counters; its JSON form
-//! is the artifact CI greps for the all-cache-hit assertion.
+//! store hits (already `completed` — content address present) and misses,
+//! shards the misses across a fixed-width worker pool, and persists each
+//! run *as it finishes*: `running` manifest → simulate → atomic
+//! `completed` save (or `failed` manifest). Progress also lands in a
+//! [`SweepJournal`] under `<store>/sweeps/`, so a `kill -9` mid-grid loses
+//! at most the in-flight runs. [`SweepEngine::run_with`] +
+//! [`SweepOptions::resume`] retries `failed` and orphaned `running` runs
+//! with bounded, deterministically-seeded exponential backoff; completed
+//! runs are never re-simulated, and the resumed store's run directories
+//! and `GENERATION` are byte-identical to an uninterrupted sweep's.
+//!
+//! The returned [`SweepOutcome`] carries the hit/miss split and aggregate
+//! engine counters; its JSON form is the artifact CI greps for the
+//! all-cache-hit and crash-resume assertions.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 // lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
 use std::time::{Duration, Instant};
 
@@ -17,12 +28,57 @@ use hrviz_pdes::EngineStats;
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
+use crate::journal::SweepJournal;
 use crate::spec::{RunConfig, RunResult, SweepSpec};
-use crate::store::RunStore;
+use crate::store::{Provenance, RunHealth, RunState, RunStore};
 
 /// One parallel run's outcome plus the optional `(start_us, dur_us)`
-/// timing of its Chrome-trace lane.
-type RunOutcome = (Result<RunResult, HrvizError>, Option<(u64, u64)>);
+/// timing of its Chrome-trace lane and the retries it consumed.
+type RunOutcome = (Result<RunResult, HrvizError>, Option<(u64, u64)>, u64);
+
+/// How a sweep handles prior state and failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Retry `failed` / orphaned-`running` runs instead of treating their
+    /// manifests as overwritable scratch.
+    pub resume: bool,
+    /// Attempts per run within this process (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff delay in milliseconds (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub backoff_max_ms: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions { resume: false, max_attempts: 1, backoff_base_ms: 25, backoff_max_ms: 1000 }
+    }
+}
+
+impl SweepOptions {
+    /// The `hrviz sweep --resume` configuration: retry interrupted or
+    /// failed runs up to 3 times with bounded exponential backoff.
+    pub fn resume() -> SweepOptions {
+        SweepOptions { resume: true, max_attempts: 3, ..SweepOptions::default() }
+    }
+}
+
+/// Deterministic bounded exponential backoff before attempt number
+/// `attempt` (1-based, counted across crashes via the journal): no delay
+/// for a first attempt, then `base·2^(n-1)` plus a seeded jitter, capped.
+/// Seeded from the run id so the schedule is reproducible — the lint
+/// determinism rules allow sleeping, just never *reading* clocks.
+fn backoff_ms(opts: &SweepOptions, run_id: &str, attempt: u64) -> u64 {
+    if attempt <= 1 {
+        return 0;
+    }
+    let exp = (attempt - 2).min(16) as u32;
+    let base = opts.backoff_base_ms.saturating_mul(1u64 << exp);
+    let jitter =
+        hrviz_obs::fingerprint64(&format!("{run_id}:{attempt}")) % opts.backoff_base_ms.max(1);
+    base.saturating_add(jitter).min(opts.backoff_max_ms)
+}
 
 /// Executes sweeps against one [`RunStore`].
 #[derive(Debug)]
@@ -49,85 +105,223 @@ impl SweepEngine {
         &self.store
     }
 
-    /// Execute every config of `spec` that the store does not already
-    /// hold, in parallel, and persist the results.
+    /// [`SweepEngine::run_with`] under default options (no resume).
     pub fn run(&self, spec: &SweepSpec) -> Result<SweepOutcome, HrvizError> {
+        self.run_with(spec, &SweepOptions::default())
+    }
+
+    /// Execute every config of `spec` that the store does not already hold
+    /// as `completed`, in parallel, persisting each run as it finishes.
+    pub fn run_with(
+        &self,
+        spec: &SweepSpec,
+        opts: &SweepOptions,
+    ) -> Result<SweepOutcome, HrvizError> {
         // lint:allow(wall_clock, reason="telemetry only: wall time feeds obs perf reporting and never reaches simulation state or event order")
         let start = Instant::now();
         let obs = hrviz_obs::get();
         let _span = obs.span("sweep/run");
         let configs = spec.expand()?;
         let run_ids: Vec<String> = configs.iter().map(RunConfig::run_id).collect();
-        let (hits, misses): (Vec<&RunConfig>, Vec<&RunConfig>) =
-            configs.iter().partition(|c| self.store.contains(&c.run_id()));
+        let sweep_id = format!(
+            "{:016x}",
+            hrviz_obs::fingerprint64(&format!("{}|{}", spec.name, run_ids.join(",")))
+        );
+        let prov = Provenance { sweep_id: sweep_id.clone() };
+
+        // Classify the grid against the store's lifecycle states.
+        let mut hits: Vec<&RunConfig> = Vec::new();
+        let mut misses: Vec<&RunConfig> = Vec::new();
+        let mut resumed_runs = 0usize;
+        for cfg in &configs {
+            match self.store.health(&cfg.run_id()) {
+                RunHealth::Complete => hits.push(cfg),
+                RunHealth::Pending(_) => {
+                    if opts.resume {
+                        resumed_runs += 1;
+                    }
+                    misses.push(cfg);
+                }
+                RunHealth::Missing | RunHealth::Corrupt(_) => misses.push(cfg),
+            }
+        }
+
+        // Seed (or merge) the journal: completed hits stay completed with
+        // their recorded attempts; misses queue up.
+        let mut journal = SweepJournal::load(&self.store, &sweep_id)
+            .unwrap_or_else(|| SweepJournal::new(sweep_id.clone(), spec.name.clone()));
+        for cfg in &hits {
+            journal.record(&cfg.run_id(), RunState::Completed, false);
+        }
+        for cfg in &misses {
+            journal.record(&cfg.run_id(), RunState::Queued, false);
+        }
+        if misses.is_empty() {
+            // Every run is already complete. If a crashed predecessor
+            // journaled a bump intent but died before `GENERATION` hit
+            // disk, finish that bump now so a resumed store converges
+            // byte-for-byte with an uninterrupted one.
+            if journal.pending_generation > self.store.generation() {
+                self.store.set_generation(journal.pending_generation)?;
+                obs.counter_add("sweep/generation_recovered", 1);
+            }
+            journal.pending_generation = 0;
+        } else {
+            journal.pending_generation = self.store.generation() + 1;
+        }
+        journal.persist(&self.store)?;
+
         obs.counter_add("sweep/store_hit", hits.len() as u64);
         obs.counter_add("sweep/store_miss", misses.len() as u64);
+        if resumed_runs > 0 {
+            obs.counter_add("sweep/resumed_runs", resumed_runs as u64);
+        }
         obs.log(
             hrviz_obs::LogLevel::Info,
             &format!(
-                "sweep {:?}: {} configs, {} cached, {} to run",
+                "sweep {:?} ({sweep_id}): {} configs, {} cached, {} to run{}",
                 spec.name,
                 configs.len(),
                 hits.len(),
-                misses.len()
+                misses.len(),
+                if opts.resume { format!(", {resumed_runs} resumed") } else { String::new() },
             ),
         );
 
         let mut stats = EngineStats::default();
+        let retries = AtomicU64::new(0);
         if !misses.is_empty() {
+            let work: Vec<(&RunConfig, u64)> =
+                misses.iter().map(|c| (*c, journal.attempts(&c.run_id()))).collect();
+            let journal = Mutex::new(journal);
+            let record = |run: &str, state: RunState, new_attempt: bool| {
+                let mut j = journal.lock().unwrap_or_else(|p| p.into_inner());
+                j.record(run, state, new_attempt);
+                j.persist(&self.store)
+            };
             let pool = ThreadPoolBuilder::new()
                 .num_threads(self.workers)
                 .build()
                 .map_err(|e| HrvizError::config(format!("worker pool: {e}")))?;
             let results: Vec<RunOutcome> = pool.install(|| {
-                misses
-                    .par_iter()
-                    .map(|cfg| {
+                work.par_iter()
+                    .map(|&(cfg, prior_attempts)| {
                         // Per-run lane timing for the Chrome trace export;
                         // skipped entirely when the collector is disabled.
                         let lane_start = obs.now_us();
                         // lint:allow(wall_clock, reason="telemetry only: per-run timeline lanes for the Chrome trace export, never reaches simulation state or event order")
                         let t0 = lane_start.map(|_| Instant::now());
-                        let result = cfg.execute();
+                        let (result, used) =
+                            self.attempt_run(cfg, &prov, opts, prior_attempts, &record);
                         let lane = lane_start.zip(t0.map(|t| t.elapsed().as_micros() as u64));
-                        (result, lane)
+                        retries.fetch_add(used, Ordering::Relaxed);
+                        (result, lane, used)
                     })
                     .collect()
             });
-            // Persist in deterministic (expansion) order; fail on the
-            // first simulation error without committing a generation bump.
-            for (cfg, (result, lane)) in misses.iter().zip(results) {
-                let result = result?;
-                if let Some((start_us, dur_us)) = lane {
-                    obs.record_span(
-                        &format!("sweep/{}", cfg.run_id()),
-                        "sweep/exec",
-                        start_us,
-                        dur_us,
-                        &[
-                            ("run_id", Json::Str(cfg.run_id())),
-                            ("events", Json::U64(result.stats.events_processed)),
-                        ],
-                    );
+            // Fold telemetry in deterministic (expansion) order, then fail
+            // on the first error — completed runs are already persisted
+            // (that is the point of resumability) but the generation bump
+            // below is withheld so caches only advance on full success.
+            let mut first_err = None;
+            for (cfg, (result, lane, _)) in misses.iter().zip(results) {
+                match result {
+                    Ok(result) => {
+                        if let Some((start_us, dur_us)) = lane {
+                            obs.record_span(
+                                &format!("sweep/{}", cfg.run_id()),
+                                "sweep/exec",
+                                start_us,
+                                dur_us,
+                                &[
+                                    ("run_id", Json::Str(cfg.run_id())),
+                                    ("events", Json::U64(result.stats.events_processed)),
+                                ],
+                            );
+                        }
+                        stats.accumulate(&result.stats);
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
                 }
-                stats.accumulate(&result.stats);
-                self.store.save(cfg, &result)?;
+            }
+            if let Some(e) = first_err {
+                return Err(e);
             }
             self.store.bump_generation()?;
+            // The bump landed: retire the journaled intent so a later
+            // all-hit pass doesn't re-apply it.
+            let mut j = journal.lock().unwrap_or_else(|p| p.into_inner());
+            j.pending_generation = 0;
+            j.persist(&self.store)?;
+        }
+        let retries = retries.into_inner();
+        if retries > 0 {
+            obs.counter_add("sweep/retries", retries);
         }
 
         Ok(SweepOutcome {
             name: spec.name.clone(),
+            sweep_id,
             workers: self.effective_workers(),
             configs: configs.len(),
             store_hits: hits.len(),
             store_misses: misses.len(),
+            resumed_runs,
+            retries,
             events_simulated: stats.events_processed,
             stats,
             run_ids,
             generation: self.store.generation(),
             wall: start.elapsed(),
         })
+    }
+
+    /// Simulate one config with bounded retries, persisting lifecycle
+    /// transitions as they happen. Returns the result and how many retry
+    /// attempts (beyond the first) were consumed.
+    fn attempt_run(
+        &self,
+        cfg: &RunConfig,
+        prov: &Provenance,
+        opts: &SweepOptions,
+        prior_attempts: u64,
+        record: &(dyn Fn(&str, RunState, bool) -> Result<(), HrvizError> + Sync),
+    ) -> (Result<RunResult, HrvizError>, u64) {
+        let run_id = cfg.run_id();
+        let mut last_err = None;
+        let mut used = 0u64;
+        for attempt in 1..=opts.max_attempts.max(1) {
+            let total_attempt = prior_attempts + attempt as u64;
+            if attempt > 1 {
+                used += 1;
+            }
+            let delay = backoff_ms(opts, &run_id, total_attempt);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            let step = record(&run_id, RunState::Running, true)
+                .and_then(|()| self.store.mark_running(cfg, prov))
+                .and_then(|()| cfg.execute())
+                .and_then(|result| {
+                    self.store.save_with(cfg, &result, prov)?;
+                    record(&run_id, RunState::Completed, false)?;
+                    Ok(result)
+                });
+            match step {
+                Ok(result) => return (Ok(result), used),
+                Err(e) => {
+                    let _ = self.store.mark_failed(cfg, prov, &e.to_string());
+                    let _ = record(&run_id, RunState::Failed, false);
+                    last_err = Some(e);
+                }
+            }
+        }
+        let err = last_err.unwrap_or_else(|| HrvizError::config("no attempts made"));
+        (Err(err), used)
     }
 
     fn effective_workers(&self) -> usize {
@@ -144,6 +338,8 @@ impl SweepEngine {
 pub struct SweepOutcome {
     /// Sweep name.
     pub name: String,
+    /// Deterministic sweep id (journal key, manifest provenance).
+    pub sweep_id: String,
     /// Worker threads used for the miss set.
     pub workers: usize,
     /// Total grid size.
@@ -152,6 +348,10 @@ pub struct SweepOutcome {
     pub store_hits: usize,
     /// Configs that had to be simulated.
     pub store_misses: usize,
+    /// Misses that were retries of failed/orphaned runs (resume mode).
+    pub resumed_runs: usize,
+    /// In-process retry attempts consumed beyond each run's first.
+    pub retries: u64,
     /// Events processed across all new simulations (0 for an all-hit
     /// sweep — the warm-cache assertion CI checks).
     pub events_simulated: u64,
@@ -171,10 +371,13 @@ impl SweepOutcome {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("sweep", Json::Str(self.name.clone())),
+            ("sweep_id", Json::Str(self.sweep_id.clone())),
             ("workers", Json::U64(self.workers as u64)),
             ("configs", Json::U64(self.configs as u64)),
             ("store_hits", Json::U64(self.store_hits as u64)),
             ("store_misses", Json::U64(self.store_misses as u64)),
+            ("resumed_runs", Json::U64(self.resumed_runs as u64)),
+            ("retries", Json::U64(self.retries)),
             ("events_simulated", Json::U64(self.events_simulated)),
             ("end_time_ns", Json::U64(self.stats.end_time.as_nanos())),
             ("generation", Json::U64(self.generation)),
@@ -197,6 +400,7 @@ impl SweepOutcome {
 mod tests {
     use super::*;
     use crate::spec::TopologyAxis;
+    use crate::store::{CrashMode, CrashPlan};
     use hrviz_network::RoutingAlgorithm;
     use hrviz_pdes::SimTime;
     use hrviz_workloads::TrafficPattern;
@@ -227,6 +431,7 @@ mod tests {
         assert_eq!(cold.store_hits, 0);
         assert!(cold.events_simulated > 0);
         assert_eq!(cold.generation, 1);
+        assert_eq!(cold.retries, 0);
 
         let warm = engine.run(&grid()).unwrap();
         assert_eq!(warm.store_hits, 4);
@@ -234,6 +439,7 @@ mod tests {
         assert_eq!(warm.events_simulated, 0, "a warm sweep simulates nothing");
         assert_eq!(warm.generation, 1, "all-hit sweeps do not invalidate caches");
         assert_eq!(warm.run_ids, cold.run_ids);
+        assert_eq!(warm.sweep_id, cold.sweep_id);
         let _ = std::fs::remove_dir_all(&root);
     }
 
@@ -263,9 +469,123 @@ mod tests {
         let out = engine.run(&spec).unwrap();
         let text = out.to_json().render();
         assert!(text.contains("\"store_misses\":1"), "{text}");
+        assert!(text.contains("\"retries\":0"), "{text}");
         let report_dir = root.join("reports");
         let path = out.write(&report_dir).unwrap();
         assert!(std::fs::read_to_string(path).unwrap().contains("\"sweep\":\"one\""));
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sweep_writes_journal_and_provenance() {
+        let root = tmp("journal");
+        let engine = SweepEngine::new(RunStore::open(&root).unwrap()).with_workers(1);
+        let out = engine.run(&grid().seeds([42])).unwrap();
+        let journal = SweepJournal::load(engine.store(), &out.sweep_id).unwrap();
+        assert_eq!(journal.entries.len(), out.configs);
+        assert!(journal.entries.values().all(|e| e.state == RunState::Completed));
+        assert!(journal.entries.values().all(|e| e.attempts == 1));
+        for run in &out.run_ids {
+            let m = engine.store().load_manifest(run).unwrap();
+            assert_eq!(m.created_by_sweep_id, out.sweep_id);
+            assert_eq!(m.state, RunState::Completed);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn killed_sweep_resumes_byte_identically() {
+        // Reference: an uninterrupted sweep.
+        let clean_root = tmp("resume-clean");
+        let clean = SweepEngine::new(RunStore::open(&clean_root).unwrap()).with_workers(1);
+        clean.run(&grid()).unwrap();
+
+        // Victim: die at the 5th budgeted store write (mid-grid), then
+        // reopen (fsck) and resume.
+        let root = tmp("resume-crash");
+        let store = RunStore::open(&root)
+            .unwrap()
+            .with_crash_plan(CrashPlan::after_ops(5, CrashMode::TornTmp));
+        let crashed = SweepEngine::new(store).with_workers(1).run(&grid());
+        assert!(crashed.is_err(), "the injected crash must surface");
+
+        let reopened = RunStore::open(&root).unwrap();
+        let engine = SweepEngine::new(reopened).with_workers(1);
+        let resumed = engine.run_with(&grid(), &SweepOptions::resume()).unwrap();
+        assert!(resumed.store_hits > 0, "completed prefix must be reused");
+        assert!(resumed.store_misses > 0, "interrupted tail must re-run");
+        assert_eq!(resumed.store_hits + resumed.store_misses, 4);
+
+        // Byte-identity over run directories + GENERATION.
+        let runs_a = RunStore::open(&clean_root).unwrap().runs().unwrap();
+        let runs_b = engine.store().runs().unwrap();
+        assert_eq!(runs_a, runs_b);
+        for run in &runs_a {
+            for file in ["manifest.json", "columns.jsonl"] {
+                let a = std::fs::read(clean_root.join(run).join(file)).unwrap();
+                let b = std::fs::read(root.join(run).join(file)).unwrap();
+                assert_eq!(a, b, "{run}/{file} diverged after resume");
+            }
+        }
+        assert_eq!(
+            std::fs::read(clean_root.join("GENERATION")).unwrap(),
+            std::fs::read(root.join("GENERATION")).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&clean_root);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crash_on_the_generation_bump_converges_on_resume() {
+        // Reference sweep, instrumented to measure its total write budget.
+        let clean_root = tmp("genbump-clean");
+        let probe = CrashPlan::after_ops(u64::MAX, CrashMode::BeforeWrite);
+        let store = RunStore::open(&clean_root).unwrap().with_crash_plan(probe.clone());
+        SweepEngine::new(store).with_workers(1).run(&grid()).unwrap();
+        assert!(!probe.triggered());
+        // The last two budgeted writes are the GENERATION bump and the
+        // journal's intent-clear — aim the crash at the bump itself, the
+        // one boundary where every run is complete but caches are stale.
+        let bump_op = probe.ops_seen() - 2;
+
+        for mode in [CrashMode::BeforeWrite, CrashMode::TornTmp, CrashMode::BeforeRename] {
+            let root = tmp(&format!("genbump-{mode:?}"));
+            let plan = CrashPlan::after_ops(bump_op, mode);
+            let store = RunStore::open(&root).unwrap().with_crash_plan(plan.clone());
+            let crashed = SweepEngine::new(store).with_workers(1).run(&grid());
+            assert!(crashed.is_err(), "{mode:?}: the injected crash must surface");
+            assert!(plan.triggered(), "{mode:?}: crash must land on the bump");
+            let reopened = RunStore::open(&root).unwrap();
+            assert_eq!(reopened.generation(), 0, "{mode:?}: the bump must not have landed");
+
+            let resumed = SweepEngine::new(reopened)
+                .with_workers(1)
+                .run_with(&grid(), &SweepOptions::resume())
+                .unwrap();
+            assert_eq!(resumed.store_hits, 4, "{mode:?}: nothing re-simulates");
+            assert_eq!(resumed.store_misses, 0, "{mode:?}");
+            assert_eq!(
+                std::fs::read(clean_root.join("GENERATION")).unwrap(),
+                std::fs::read(root.join("GENERATION")).unwrap(),
+                "{mode:?}: resume must finish the journaled bump intent"
+            );
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        let _ = std::fs::remove_dir_all(&clean_root);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let opts = SweepOptions::resume();
+        assert_eq!(backoff_ms(&opts, "a", 1), 0, "first attempts start immediately");
+        let d2 = backoff_ms(&opts, "a", 2);
+        let d3 = backoff_ms(&opts, "a", 3);
+        assert!(d2 >= opts.backoff_base_ms && d2 < 2 * opts.backoff_base_ms);
+        assert!(d3 > d2, "backoff must grow");
+        assert_eq!(d2, backoff_ms(&opts, "a", 2), "same inputs, same delay");
+        assert_ne!(backoff_ms(&opts, "a", 2), backoff_ms(&opts, "b", 2), "jitter is per-run");
+        for attempt in 1..100 {
+            assert!(backoff_ms(&opts, "a", attempt) <= opts.backoff_max_ms);
+        }
     }
 }

@@ -44,12 +44,19 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod journal;
 pub mod spec;
 pub mod store;
 
-pub use engine::{SweepEngine, SweepOutcome};
+pub use engine::{SweepEngine, SweepOptions, SweepOutcome};
+pub use journal::{JournalEntry, SweepJournal};
 pub use spec::{
     dragonfly_of, routing_name, FaultAxis, PlacementAxis, RunConfig, RunResult, SweepSpec,
     TopologyAxis,
 };
-pub use store::{RunStore, StoredManifest, StoredRun};
+pub use store::{
+    code_fingerprint, FsckReport, Provenance, RunHealth, RunState, RunStore, StoredManifest,
+    StoredRun,
+};
+#[doc(hidden)]
+pub use store::{CrashMode, CrashPlan};

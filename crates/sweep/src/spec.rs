@@ -304,6 +304,16 @@ impl RunConfig {
         format!("{:016x}", self.hash())
     }
 
+    /// Provenance fingerprint of the fault schedule contents (`"0"` for a
+    /// healthy run) — the same fingerprint [`FaultAxis`] folds into the
+    /// canonical string.
+    pub fn fault_hash(&self) -> String {
+        match &self.fault.schedule {
+            None => "0".to_string(),
+            Some(s) => format!("{:016x}", hrviz_obs::fingerprint64(&s.to_json())),
+        }
+    }
+
     /// Short human-readable label for reports and progress lines.
     pub fn label(&self) -> String {
         format!(

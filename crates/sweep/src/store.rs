@@ -2,16 +2,31 @@
 //!
 //! Every executed [`RunConfig`](crate::RunConfig) lands under
 //! `<root>/<run-id>/` where `run-id` is the 16-hex-digit fingerprint of the
-//! config's canonical string. A run directory holds exactly two files:
+//! config's canonical string. A run directory holds up to two files:
 //!
-//! * `manifest.json` — flat JSON with the canonical string, counters and
-//!   byte totals. **No wall-clock fields**: serial and parallel sweeps of
-//!   the same grid must produce byte-identical stores.
+//! * `manifest.json` — flat JSON with the canonical string, counters, byte
+//!   totals, the run's lifecycle [`RunState`], provenance (code
+//!   fingerprint, fault-schedule hash, creating sweep id) and two FNV-1a
+//!   checksums (one over the manifest body, one over the column file).
+//!   **No wall-clock fields**: serial and parallel sweeps of the same grid
+//!   must produce byte-identical stores.
 //! * `columns.jsonl` — the [`ColumnarDataSet`]: line 1 is a header with
 //!   the job names and time range, then one line per stored column in
 //!   schema order (`{"table":…,"field":…,"values":[…]}`). Floats render
 //!   via Rust's shortest-round-trip `Display` and parse back with
 //!   `str::parse::<f64>`, so the JSONL round-trip is bit-exact.
+//!
+//! ## Crash safety
+//!
+//! Every file the store writes — manifests, column files, the root
+//! `GENERATION` counter, fsck reports — goes through one atomic path:
+//! write `<file>.tmp`, `fsync`, `rename`, best-effort directory `fsync`.
+//! A `kill -9` therefore leaves either the old bytes or the new bytes,
+//! never a torn file (at worst a stray `.tmp`, which [`RunStore::fsck`]
+//! reaps). [`RunStore::open`] runs the recovery pass: torn or
+//! checksum-failed runs move to `<store>/quarantine/`, orphaned
+//! `running`/`failed` runs are reported for `--resume` to retry, and the
+//! structured [`FsckReport`] is persisted as `<store>/fsck_report.json`.
 //!
 //! The store keeps a `GENERATION` counter at the root, bumped once per
 //! sweep that executed at least one new run. [`RunStore::data_key`] folds
@@ -20,7 +35,10 @@
 //! are invalidated when the store contents move under them.
 
 use std::fs;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use hrviz_core::{schema_of, ColumnTable, ColumnarDataSet, DataKey, EntityKind, Field};
 use hrviz_faults::json::{self, Value};
@@ -34,10 +52,81 @@ use crate::spec::{RunConfig, RunResult};
 const TABLE_ORDER: [EntityKind; 4] =
     [EntityKind::Router, EntityKind::LocalLink, EntityKind::GlobalLink, EntityKind::Terminal];
 
+/// Manifest format version, folded into [`code_fingerprint`].
+const MANIFEST_VERSION: u32 = 2;
+
+/// The writer identity recorded in every manifest: crate version plus
+/// manifest format version. Deterministic for a given binary, so resumed
+/// sweeps write bytes identical to uninterrupted ones.
+pub fn code_fingerprint() -> String {
+    format!("hrviz-sweep@{}+manifest-v{MANIFEST_VERSION}", env!("CARGO_PKG_VERSION"))
+}
+
+/// Lifecycle state of a stored run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunState {
+    /// Claimed by a sweep journal but not yet started.
+    Queued,
+    /// A worker is (or was, if the process died) simulating it.
+    Running,
+    /// Fully persisted: manifest + column file, checksums valid.
+    Completed,
+    /// The simulation or persist step failed; the manifest carries the error.
+    Failed,
+}
+
+impl RunState {
+    /// Stable lowercase name used in manifests and journals.
+    pub fn name(self) -> &'static str {
+        match self {
+            RunState::Queued => "queued",
+            RunState::Running => "running",
+            RunState::Completed => "completed",
+            RunState::Failed => "failed",
+        }
+    }
+
+    /// Inverse of [`RunState::name`].
+    pub fn parse(s: &str) -> Option<RunState> {
+        match s {
+            "queued" => Some(RunState::Queued),
+            "running" => Some(RunState::Running),
+            "completed" => Some(RunState::Completed),
+            "failed" => Some(RunState::Failed),
+            _ => None,
+        }
+    }
+}
+
+/// Provenance recorded into every manifest the store writes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Provenance {
+    /// Deterministic id of the sweep that created the run (empty for
+    /// direct [`RunStore::save`] calls outside a sweep).
+    pub sweep_id: String,
+}
+
+/// Health of one run id, as cheap to compute as possible (reads the
+/// manifest but never the column file).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunHealth {
+    /// No run directory exists.
+    Missing,
+    /// A lifecycle manifest exists but the run has no servable data
+    /// (queued / running / failed) — retryable by `sweep --resume`.
+    Pending(RunState),
+    /// The directory exists but its contents are torn or fail validation.
+    Corrupt(String),
+    /// Manifest state `completed` with the column file present.
+    Complete,
+}
+
 /// A directory of content-addressed runs.
 #[derive(Clone, Debug)]
 pub struct RunStore {
     root: PathBuf,
+    crash: Option<Arc<CrashPlan>>,
+    last_fsck: Option<Arc<FsckReport>>,
 }
 
 /// The persisted per-run manifest (everything except the tables).
@@ -51,6 +140,16 @@ pub struct StoredManifest {
     pub label: String,
     /// RNG seed.
     pub seed: u64,
+    /// Lifecycle state.
+    pub state: RunState,
+    /// Writer identity ([`code_fingerprint`]).
+    pub code_fingerprint: String,
+    /// Fingerprint of the fault schedule contents (`"0"` for healthy runs).
+    pub fault_hash: String,
+    /// Id of the sweep that created the run (empty outside sweeps).
+    pub created_by_sweep_id: String,
+    /// Failure description (empty unless `state` is `failed`).
+    pub error: String,
     /// Events the engine processed.
     pub events_processed: u64,
     /// Events the engine scheduled (0 for runners that don't report it).
@@ -67,6 +166,8 @@ pub struct StoredManifest {
     pub dropped: u64,
     /// Packets rerouted.
     pub rerouted: u64,
+    /// FNV-1a of `columns.jsonl` (empty until `completed`).
+    pub columns_checksum: String,
 }
 
 /// A run loaded back from the store.
@@ -78,12 +179,181 @@ pub struct StoredRun {
     pub data: ColumnarDataSet,
 }
 
+/// Structured result of a [`RunStore::fsck`] recovery pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FsckReport {
+    /// Run directories examined.
+    pub scanned: usize,
+    /// Runs with a valid completed manifest and matching column checksum.
+    pub completed: usize,
+    /// Runs still marked `queued` (claimed but never started).
+    pub queued: Vec<String>,
+    /// Runs marked `running` with no live worker — a crashed sweep's
+    /// in-flight tail, retried by `sweep --resume`.
+    pub running_orphans: Vec<String>,
+    /// Runs marked `failed`, retried by `sweep --resume`.
+    pub failed: Vec<String>,
+    /// `(run, reason)` for every directory moved to `<store>/quarantine/`.
+    pub quarantined: Vec<(String, String)>,
+    /// Stray `.tmp` files removed.
+    pub tmp_removed: usize,
+    /// The generation counter observed (after any reset).
+    pub generation: u64,
+    /// Whether an unparseable `GENERATION` file had to be reset to 0.
+    pub generation_reset: bool,
+}
+
+impl FsckReport {
+    /// A store with nothing to recover: no quarantines, no orphans, no
+    /// failed runs, and an intact generation counter.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+            && self.running_orphans.is_empty()
+            && self.failed.is_empty()
+            && self.queued.is_empty()
+            && !self.generation_reset
+    }
+
+    /// JSON form (persisted as `<store>/fsck_report.json`; deterministic —
+    /// no wall-clock fields).
+    pub fn to_json(&self) -> Json {
+        let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::obj([
+            ("clean", Json::U64(self.is_clean() as u64)),
+            ("scanned", Json::U64(self.scanned as u64)),
+            ("completed", Json::U64(self.completed as u64)),
+            ("queued", strs(&self.queued)),
+            ("running_orphans", strs(&self.running_orphans)),
+            ("failed", strs(&self.failed)),
+            (
+                "quarantined",
+                Json::Arr(
+                    self.quarantined
+                        .iter()
+                        .map(|(run, reason)| {
+                            Json::obj([
+                                ("run", Json::Str(run.clone())),
+                                ("reason", Json::Str(reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("tmp_removed", Json::U64(self.tmp_removed as u64)),
+            ("generation", Json::U64(self.generation)),
+            ("generation_reset", Json::U64(self.generation_reset as u64)),
+        ])
+    }
+}
+
+/// Where a [`CrashPlan`] simulates the `kill -9` relative to the write op
+/// it triggers on.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Die before anything touches disk.
+    BeforeWrite,
+    /// Die mid-write: a torn `.tmp` file is left behind.
+    TornTmp,
+    /// Die after the `.tmp` is fully written but before the rename.
+    BeforeRename,
+}
+
+/// Test-only fail-point: counts budgeted store writes (manifests, column
+/// files, generation bumps, journals) and simulates a process death at the
+/// chosen boundary. After triggering, every further budgeted write fails —
+/// the "process" is dead.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct CrashPlan {
+    countdown: AtomicU64,
+    seen: AtomicU64,
+    mode: CrashMode,
+    dead: AtomicBool,
+}
+
+impl CrashPlan {
+    /// Crash at the `ops`-th budgeted write (0 = the very first).
+    pub fn after_ops(ops: u64, mode: CrashMode) -> Arc<CrashPlan> {
+        Arc::new(CrashPlan {
+            countdown: AtomicU64::new(ops),
+            seen: AtomicU64::new(0),
+            mode,
+            dead: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether the simulated crash has happened.
+    pub fn triggered(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    /// Budgeted writes attempted so far (including the fatal one). A plan
+    /// with an unreachable `ops` measures a save path's total write budget.
+    pub fn ops_seen(&self) -> u64 {
+        self.seen.load(Ordering::SeqCst)
+    }
+}
+
+/// `<file>` → `<file>.tmp` in the same directory (same filesystem, so the
+/// rename is atomic).
+fn tmp_path_of(path: &Path) -> Result<PathBuf, HrvizError> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| HrvizError::config(format!("unwritable path {}", path.display())))?;
+    Ok(path.with_file_name(format!("{name}.tmp")))
+}
+
+/// Write `bytes` to `path` atomically: temp file + fsync + rename +
+/// best-effort parent-directory fsync. Readers never observe a torn file.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), HrvizError> {
+    let tmp = tmp_path_of(path)?;
+    let io_err = |e: std::io::Error| HrvizError::io(path.display().to_string(), e);
+    {
+        let mut f = fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    fs::rename(&tmp, path).map_err(io_err)?;
+    // Make the rename itself durable. Directory fsync is best-effort: not
+    // every platform lets us open a directory read-only for syncing.
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Whether `name` looks like a run directory (16 lowercase hex digits).
+fn is_run_id(name: &str) -> bool {
+    name.len() == 16 && name.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
 impl RunStore {
-    /// Open (creating if needed) a store rooted at `root`.
+    /// Open (creating if needed) a store rooted at `root`, running the
+    /// [`RunStore::fsck`] recovery pass. The pass's report is retained on
+    /// the handle ([`RunStore::last_fsck`]).
     pub fn open(root: impl Into<PathBuf>) -> Result<RunStore, HrvizError> {
         let root = root.into();
         fs::create_dir_all(&root).map_err(|e| HrvizError::io(root.display().to_string(), e))?;
-        Ok(RunStore { root })
+        let mut store = RunStore { root, crash: None, last_fsck: None };
+        let report = store.fsck()?;
+        store.last_fsck = Some(Arc::new(report));
+        Ok(store)
+    }
+
+    /// Attach a crash-injection plan (test support; see [`CrashPlan`]).
+    #[doc(hidden)]
+    pub fn with_crash_plan(mut self, plan: Arc<CrashPlan>) -> RunStore {
+        self.crash = Some(plan);
+        self
+    }
+
+    /// The report of the fsck pass run when this handle was opened.
+    pub fn last_fsck(&self) -> Option<&FsckReport> {
+        self.last_fsck.as_deref()
     }
 
     /// The store's root directory.
@@ -91,8 +361,72 @@ impl RunStore {
         &self.root
     }
 
+    /// Where sweep journals live.
+    pub fn sweeps_dir(&self) -> PathBuf {
+        self.root.join("sweeps")
+    }
+
+    /// Where engine checkpoints live.
+    pub fn checkpoints_dir(&self) -> PathBuf {
+        self.root.join("checkpoints")
+    }
+
+    /// Where quarantined runs land.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
     fn run_dir(&self, run_id: &str) -> PathBuf {
         self.root.join(run_id)
+    }
+
+    /// One budgeted (crash-injectable) or unbudgeted atomic write.
+    /// Recovery-side writes (fsck reports, generation resets) are
+    /// unbudgeted: the fail-point models death of the *save* path.
+    pub(crate) fn write_atomic(
+        &self,
+        path: &Path,
+        bytes: &[u8],
+        budgeted: bool,
+    ) -> Result<(), HrvizError> {
+        if budgeted {
+            self.crash_gate(path, bytes)?;
+        }
+        atomic_write(path, bytes)
+    }
+
+    /// Simulate the configured crash, if this op is the chosen boundary.
+    fn crash_gate(&self, path: &Path, bytes: &[u8]) -> Result<(), HrvizError> {
+        let Some(plan) = &self.crash else { return Ok(()) };
+        let died = |msg: &str| {
+            HrvizError::io(path.display().to_string(), std::io::Error::other(msg.to_string()))
+        };
+        if plan.dead.load(Ordering::SeqCst) {
+            return Err(died("simulated crash: process already dead"));
+        }
+        plan.seen.fetch_add(1, Ordering::SeqCst);
+        let survived = plan
+            .countdown
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        if survived {
+            return Ok(());
+        }
+        plan.dead.store(true, Ordering::SeqCst);
+        match plan.mode {
+            CrashMode::BeforeWrite => {}
+            CrashMode::TornTmp => {
+                if let Ok(tmp) = tmp_path_of(path) {
+                    let _ = fs::write(tmp, &bytes[..bytes.len() / 2]);
+                }
+            }
+            CrashMode::BeforeRename => {
+                if let Ok(tmp) = tmp_path_of(path) {
+                    let _ = fs::write(tmp, bytes);
+                }
+            }
+        }
+        Err(died("simulated crash during store write"))
     }
 
     /// The store generation: bumped whenever a sweep adds runs. `0` for a
@@ -104,19 +438,56 @@ impl RunStore {
             .unwrap_or(0)
     }
 
-    /// Advance the generation counter, returning the new value.
+    /// Advance the generation counter atomically, returning the new value.
+    /// A crash mid-bump leaves the old counter, never a torn one.
     pub fn bump_generation(&self) -> Result<u64, HrvizError> {
         let next = self.generation() + 1;
-        let path = self.root.join("GENERATION");
-        fs::write(&path, format!("{next}\n"))
-            .map_err(|e| HrvizError::io(path.display().to_string(), e))?;
+        self.set_generation(next)?;
         Ok(next)
+    }
+
+    /// Write an explicit generation value (budgeted, atomic). Used by sweep
+    /// resume to finish a bump whose intent was journaled before a crash
+    /// landed exactly on the `GENERATION` write.
+    pub fn set_generation(&self, value: u64) -> Result<(), HrvizError> {
+        let path = self.root.join("GENERATION");
+        self.write_atomic(&path, format!("{value}\n").as_bytes(), true)
+    }
+
+    /// Classify one run id. Reads (and validates) the manifest but not the
+    /// column file — the full checksum pass is [`RunStore::fsck`]'s job.
+    pub fn health(&self, run_id: &str) -> RunHealth {
+        let dir = self.run_dir(run_id);
+        if !dir.is_dir() {
+            return RunHealth::Missing;
+        }
+        let man_path = dir.join("manifest.json");
+        let text = match fs::read_to_string(&man_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return RunHealth::Corrupt("manifest.json missing".into());
+            }
+            Err(e) => return RunHealth::Corrupt(format!("manifest unreadable: {e}")),
+        };
+        let manifest = match parse_manifest(&text) {
+            Ok(m) => m,
+            Err(e) => return RunHealth::Corrupt(format!("manifest invalid: {e}")),
+        };
+        match manifest.state {
+            RunState::Completed => {
+                if dir.join("columns.jsonl").is_file() {
+                    RunHealth::Complete
+                } else {
+                    RunHealth::Corrupt("columns.jsonl missing for a completed run".into())
+                }
+            }
+            state => RunHealth::Pending(state),
+        }
     }
 
     /// Whether the store already holds a complete run for `run_id`.
     pub fn contains(&self, run_id: &str) -> bool {
-        let dir = self.run_dir(run_id);
-        dir.join("manifest.json").is_file() && dir.join("columns.jsonl").is_file()
+        matches!(self.health(run_id), RunHealth::Complete)
     }
 
     /// The aggregation-cache key for a config against the current store
@@ -133,7 +504,7 @@ impl RunStore {
         for entry in entries {
             let entry = entry.map_err(|e| HrvizError::io(self.root.display().to_string(), e))?;
             if let Some(name) = entry.file_name().to_str() {
-                if self.contains(name) {
+                if is_run_id(name) && self.contains(name) {
                     out.push(name.to_string());
                 }
             }
@@ -142,19 +513,57 @@ impl RunStore {
         Ok(out)
     }
 
-    /// Persist one executed run. The column file is written before the
-    /// manifest so a partially-written run never passes [`RunStore::contains`].
+    /// Persist one executed run (no sweep provenance).
     pub fn save(&self, cfg: &RunConfig, result: &RunResult) -> Result<PathBuf, HrvizError> {
+        self.save_with(cfg, result, &Provenance::default())
+    }
+
+    /// Persist one executed run with provenance. The column file is
+    /// written (atomically) before the `completed` manifest, so a crash at
+    /// any boundary never yields a run that passes [`RunStore::contains`].
+    pub fn save_with(
+        &self,
+        cfg: &RunConfig,
+        result: &RunResult,
+        prov: &Provenance,
+    ) -> Result<PathBuf, HrvizError> {
         let dir = self.run_dir(&cfg.run_id());
         fs::create_dir_all(&dir).map_err(|e| HrvizError::io(dir.display().to_string(), e))?;
         let columns = columns_jsonl(&ColumnarDataSet::from_dataset(&result.dataset));
-        let col_path = dir.join("columns.jsonl");
-        fs::write(&col_path, columns)
-            .map_err(|e| HrvizError::io(col_path.display().to_string(), e))?;
-        let man_path = dir.join("manifest.json");
-        fs::write(&man_path, manifest_json(cfg, result).render() + "\n")
-            .map_err(|e| HrvizError::io(man_path.display().to_string(), e))?;
+        self.write_atomic(&dir.join("columns.jsonl"), columns.as_bytes(), true)?;
+        let manifest = completed_manifest(cfg, result, prov, checksum_of(&columns));
+        self.write_atomic(&dir.join("manifest.json"), manifest_text(&manifest).as_bytes(), true)?;
         Ok(dir)
+    }
+
+    /// Record that a worker is about to simulate `cfg` (state `running`).
+    /// A crash between here and [`RunStore::save_with`] leaves an orphaned
+    /// `running` manifest that fsck reports and `--resume` retries.
+    pub fn mark_running(&self, cfg: &RunConfig, prov: &Provenance) -> Result<(), HrvizError> {
+        self.write_lifecycle(cfg, prov, RunState::Running, "")
+    }
+
+    /// Record that simulating `cfg` failed, with the error text.
+    pub fn mark_failed(
+        &self,
+        cfg: &RunConfig,
+        prov: &Provenance,
+        error: &str,
+    ) -> Result<(), HrvizError> {
+        self.write_lifecycle(cfg, prov, RunState::Failed, error)
+    }
+
+    fn write_lifecycle(
+        &self,
+        cfg: &RunConfig,
+        prov: &Provenance,
+        state: RunState,
+        error: &str,
+    ) -> Result<(), HrvizError> {
+        let dir = self.run_dir(&cfg.run_id());
+        fs::create_dir_all(&dir).map_err(|e| HrvizError::io(dir.display().to_string(), e))?;
+        let manifest = lifecycle_manifest(cfg, prov, state, error);
+        self.write_atomic(&dir.join("manifest.json"), manifest_text(&manifest).as_bytes(), true)
     }
 
     /// Load just a run's manifest — cheap relative to [`RunStore::load`],
@@ -167,34 +576,252 @@ impl RunStore {
         parse_manifest(&man_text).map_err(|e| HrvizError::parse(man_path.display().to_string(), e))
     }
 
-    /// Load a run back from the store.
+    /// Load a run back from the store, verifying the column checksum.
     pub fn load(&self, run_id: &str) -> Result<StoredRun, HrvizError> {
         let dir = self.run_dir(run_id);
         let manifest = self.load_manifest(run_id)?;
         let col_path = dir.join("columns.jsonl");
+        if manifest.state != RunState::Completed {
+            return Err(HrvizError::parse(
+                col_path.display().to_string(),
+                format!("run is {}, not completed", manifest.state.name()),
+            ));
+        }
         let col_text = fs::read_to_string(&col_path)
             .map_err(|e| HrvizError::io(col_path.display().to_string(), e))?;
+        let got = checksum_of(&col_text);
+        if got != manifest.columns_checksum {
+            return Err(HrvizError::parse(
+                col_path.display().to_string(),
+                format!(
+                    "columns checksum mismatch: manifest says {}, file is {got}",
+                    manifest.columns_checksum
+                ),
+            ));
+        }
         let data = parse_columns(&col_text)
             .map_err(|e| HrvizError::parse(col_path.display().to_string(), e))?;
         Ok(StoredRun { manifest, data })
     }
+
+    /// Recovery pass: reap stray `.tmp` files, verify every run's manifest
+    /// and column checksum, quarantine torn/corrupt runs under
+    /// `<store>/quarantine/`, report (but keep) orphaned
+    /// `queued`/`running`/`failed` runs for `--resume`, and repair an
+    /// unparseable `GENERATION` counter. The structured report is also
+    /// persisted as `<store>/fsck_report.json`.
+    pub fn fsck(&self) -> Result<FsckReport, HrvizError> {
+        let mut report =
+            FsckReport { tmp_removed: self.reap_tmp(&self.root)?, ..FsckReport::default() };
+        for aux in [self.sweeps_dir(), self.checkpoints_dir()] {
+            if aux.is_dir() {
+                report.tmp_removed += self.reap_tmp(&aux)?;
+            }
+        }
+        let mut names: Vec<String> = Vec::new();
+        let entries = fs::read_dir(&self.root)
+            .map_err(|e| HrvizError::io(self.root.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| HrvizError::io(self.root.display().to_string(), e))?;
+            if let Some(name) = entry.file_name().to_str() {
+                if is_run_id(name) && entry.path().is_dir() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        for run in names {
+            let dir = self.run_dir(&run);
+            report.tmp_removed += self.reap_tmp(&dir)?;
+            report.scanned += 1;
+            match self.health(&run) {
+                RunHealth::Missing => {}
+                RunHealth::Complete => match self.verify_columns(&run) {
+                    Ok(()) => report.completed += 1,
+                    Err(reason) => self.quarantine(&run, reason, &mut report)?,
+                },
+                RunHealth::Pending(RunState::Queued) => report.queued.push(run),
+                RunHealth::Pending(RunState::Running) => report.running_orphans.push(run),
+                RunHealth::Pending(RunState::Failed) => report.failed.push(run),
+                RunHealth::Pending(RunState::Completed) => {}
+                RunHealth::Corrupt(reason) => self.quarantine(&run, reason, &mut report)?,
+            }
+        }
+        let gen_path = self.root.join("GENERATION");
+        match fs::read_to_string(&gen_path) {
+            Ok(text) => match text.trim().parse::<u64>() {
+                Ok(g) => report.generation = g,
+                Err(_) => {
+                    self.write_atomic(&gen_path, b"0\n", false)?;
+                    report.generation = 0;
+                    report.generation_reset = true;
+                }
+            },
+            Err(_) => report.generation = 0,
+        }
+        self.write_atomic(
+            &self.root.join("fsck_report.json"),
+            (report.to_json().render() + "\n").as_bytes(),
+            false,
+        )?;
+        let obs = hrviz_obs::get();
+        obs.counter_add("store/fsck_runs", 1);
+        obs.counter_add("store/quarantined", report.quarantined.len() as u64);
+        obs.counter_add("store/fsck_orphans", report.running_orphans.len() as u64);
+        obs.counter_add("store/fsck_tmp_removed", report.tmp_removed as u64);
+        Ok(report)
+    }
+
+    /// Full column verification for a `Complete` run (fsck only).
+    fn verify_columns(&self, run_id: &str) -> Result<(), String> {
+        let manifest = self.load_manifest(run_id).map_err(|e| format!("manifest: {e}"))?;
+        let col_path = self.run_dir(run_id).join("columns.jsonl");
+        let col_text =
+            fs::read_to_string(&col_path).map_err(|e| format!("columns unreadable: {e}"))?;
+        let got = checksum_of(&col_text);
+        if got != manifest.columns_checksum {
+            return Err(format!(
+                "columns checksum mismatch: manifest says {}, file is {got}",
+                manifest.columns_checksum
+            ));
+        }
+        Ok(())
+    }
+
+    /// Move a run directory to `<store>/quarantine/<run>` and record why.
+    fn quarantine(
+        &self,
+        run: &str,
+        reason: String,
+        report: &mut FsckReport,
+    ) -> Result<(), HrvizError> {
+        let qdir = self.quarantine_dir();
+        fs::create_dir_all(&qdir).map_err(|e| HrvizError::io(qdir.display().to_string(), e))?;
+        let dest = qdir.join(run);
+        if dest.exists() {
+            fs::remove_dir_all(&dest).map_err(|e| HrvizError::io(dest.display().to_string(), e))?;
+        }
+        let src = self.run_dir(run);
+        fs::rename(&src, &dest).map_err(|e| HrvizError::io(src.display().to_string(), e))?;
+        report.quarantined.push((run.to_string(), reason));
+        Ok(())
+    }
+
+    /// Remove `*.tmp` files directly under `dir`, returning how many.
+    fn reap_tmp(&self, dir: &Path) -> Result<usize, HrvizError> {
+        let mut removed = 0;
+        let entries =
+            fs::read_dir(dir).map_err(|e| HrvizError::io(dir.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| HrvizError::io(dir.display().to_string(), e))?;
+            let path = entry.path();
+            let is_tmp =
+                path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(".tmp"));
+            if is_tmp && path.is_file() {
+                fs::remove_file(&path)
+                    .map_err(|e| HrvizError::io(path.display().to_string(), e))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
 }
 
-fn manifest_json(cfg: &RunConfig, result: &RunResult) -> Json {
+/// 16-hex FNV-1a of file contents.
+fn checksum_of(text: &str) -> String {
+    format!("{:016x}", hrviz_obs::fingerprint64(text))
+}
+
+fn completed_manifest(
+    cfg: &RunConfig,
+    result: &RunResult,
+    prov: &Provenance,
+    columns_checksum: String,
+) -> StoredManifest {
+    StoredManifest {
+        run: cfg.run_id(),
+        canonical: cfg.canonical(),
+        label: cfg.label(),
+        seed: cfg.seed,
+        state: RunState::Completed,
+        code_fingerprint: code_fingerprint(),
+        fault_hash: cfg.fault_hash(),
+        created_by_sweep_id: prov.sweep_id.clone(),
+        error: String::new(),
+        events_processed: result.stats.events_processed,
+        events_scheduled: result.stats.events_scheduled,
+        end_time_ns: result.stats.end_time.as_nanos(),
+        peak_queue_depth: result.stats.peak_queue_depth,
+        delivered: result.delivered,
+        injected: result.injected,
+        dropped: result.dropped,
+        rerouted: result.rerouted,
+        columns_checksum,
+    }
+}
+
+fn lifecycle_manifest(
+    cfg: &RunConfig,
+    prov: &Provenance,
+    state: RunState,
+    error: &str,
+) -> StoredManifest {
+    StoredManifest {
+        run: cfg.run_id(),
+        canonical: cfg.canonical(),
+        label: cfg.label(),
+        seed: cfg.seed,
+        state,
+        code_fingerprint: code_fingerprint(),
+        fault_hash: cfg.fault_hash(),
+        created_by_sweep_id: prov.sweep_id.clone(),
+        error: error.to_string(),
+        events_processed: 0,
+        events_scheduled: 0,
+        end_time_ns: 0,
+        peak_queue_depth: 0,
+        delivered: 0,
+        injected: 0,
+        dropped: 0,
+        rerouted: 0,
+        columns_checksum: String::new(),
+    }
+}
+
+/// Render a manifest with the given value in the `checksum` slot. The
+/// body checksum is FNV-1a over this rendering with an empty slot, so
+/// parse → re-render → compare detects any torn or edited manifest.
+fn render_manifest(m: &StoredManifest, checksum: &str) -> String {
     Json::obj([
-        ("run", Json::Str(cfg.run_id())),
-        ("canonical", Json::Str(cfg.canonical())),
-        ("label", Json::Str(cfg.label())),
-        ("seed", Json::U64(cfg.seed)),
-        ("events_processed", Json::U64(result.stats.events_processed)),
-        ("events_scheduled", Json::U64(result.stats.events_scheduled)),
-        ("end_time_ns", Json::U64(result.stats.end_time.as_nanos())),
-        ("peak_queue_depth", Json::U64(result.stats.peak_queue_depth)),
-        ("delivered", Json::U64(result.delivered)),
-        ("injected", Json::U64(result.injected)),
-        ("dropped", Json::U64(result.dropped)),
-        ("rerouted", Json::U64(result.rerouted)),
+        ("run", Json::Str(m.run.clone())),
+        ("canonical", Json::Str(m.canonical.clone())),
+        ("label", Json::Str(m.label.clone())),
+        ("seed", Json::U64(m.seed)),
+        ("state", Json::Str(m.state.name().to_string())),
+        ("code_fingerprint", Json::Str(m.code_fingerprint.clone())),
+        ("fault_hash", Json::Str(m.fault_hash.clone())),
+        ("created_by_sweep_id", Json::Str(m.created_by_sweep_id.clone())),
+        ("error", Json::Str(m.error.clone())),
+        ("events_processed", Json::U64(m.events_processed)),
+        ("events_scheduled", Json::U64(m.events_scheduled)),
+        ("end_time_ns", Json::U64(m.end_time_ns)),
+        ("peak_queue_depth", Json::U64(m.peak_queue_depth)),
+        ("delivered", Json::U64(m.delivered)),
+        ("injected", Json::U64(m.injected)),
+        ("dropped", Json::U64(m.dropped)),
+        ("rerouted", Json::U64(m.rerouted)),
+        ("columns_checksum", Json::Str(m.columns_checksum.clone())),
+        ("checksum", Json::Str(checksum.to_string())),
     ])
+    .render()
+        + "\n"
+}
+
+/// The exact file bytes for a manifest: body rendered with its own
+/// checksum filled in.
+fn manifest_text(m: &StoredManifest) -> String {
+    let body = render_manifest(m, "");
+    render_manifest(m, &checksum_of(&body))
 }
 
 fn parse_manifest(text: &str) -> Result<StoredManifest, String> {
@@ -210,11 +837,19 @@ fn parse_manifest(text: &str) -> Result<StoredManifest, String> {
             .and_then(Value::as_u64)
             .ok_or_else(|| format!("manifest missing numeric field {key:?}"))
     };
-    Ok(StoredManifest {
+    let state_name = s("state")?;
+    let state =
+        RunState::parse(&state_name).ok_or_else(|| format!("unknown run state {state_name:?}"))?;
+    let m = StoredManifest {
         run: s("run")?,
         canonical: s("canonical")?,
         label: s("label")?,
         seed: n("seed")?,
+        state,
+        code_fingerprint: s("code_fingerprint")?,
+        fault_hash: s("fault_hash")?,
+        created_by_sweep_id: s("created_by_sweep_id")?,
+        error: s("error")?,
         events_processed: n("events_processed")?,
         events_scheduled: n("events_scheduled")?,
         end_time_ns: n("end_time_ns")?,
@@ -223,7 +858,14 @@ fn parse_manifest(text: &str) -> Result<StoredManifest, String> {
         injected: n("injected")?,
         dropped: n("dropped")?,
         rerouted: n("rerouted")?,
-    })
+        columns_checksum: s("columns_checksum")?,
+    };
+    let claimed = s("checksum")?;
+    let expected = checksum_of(&render_manifest(&m, ""));
+    if claimed != expected {
+        return Err(format!("manifest checksum mismatch: stored {claimed}, computed {expected}"));
+    }
+    Ok(m)
 }
 
 fn table_of(col: &ColumnarDataSet, kind: EntityKind) -> &ColumnTable {
@@ -373,6 +1015,9 @@ mod tests {
         assert_eq!(back.manifest.canonical, cfg.canonical());
         assert_eq!(back.manifest.events_processed, result.stats.events_processed);
         assert_eq!(back.manifest.delivered, result.delivered);
+        assert_eq!(back.manifest.state, RunState::Completed);
+        assert_eq!(back.manifest.code_fingerprint, code_fingerprint());
+        assert_eq!(back.manifest.fault_hash, "0");
         // The tables survive the JSONL round trip exactly, floats included.
         let ds = back.data.to_dataset();
         assert_eq!(ds.terminals, result.dataset.terminals);
@@ -411,5 +1056,154 @@ mod tests {
         fs::write(dir.join("manifest.json"), "not json").unwrap();
         assert!(store.load(&cfg.run_id()).is_err());
         let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn generation_bump_survives_a_crash_at_every_boundary() {
+        // Satellite regression: the GENERATION bump must be atomic. A
+        // simulated death before, during, or after the temp write leaves
+        // the old counter readable and at worst a stray .tmp for fsck.
+        for mode in [CrashMode::BeforeWrite, CrashMode::TornTmp, CrashMode::BeforeRename] {
+            let root = tmp("genatomic");
+            let store = RunStore::open(&root).unwrap();
+            store.bump_generation().unwrap();
+            assert_eq!(store.generation(), 1);
+            let crashing = store.clone().with_crash_plan(CrashPlan::after_ops(0, mode));
+            assert!(crashing.bump_generation().is_err(), "{mode:?} must error");
+            assert_eq!(store.generation(), 1, "{mode:?} must not tear the counter");
+            let reopened = RunStore::open(&root).unwrap();
+            let report = reopened.last_fsck().unwrap();
+            assert_eq!(report.generation, 1);
+            assert!(report.quarantined.is_empty());
+            assert_eq!(reopened.generation(), 1);
+            assert!(
+                !root.join("GENERATION.tmp").exists(),
+                "{mode:?}: fsck must reap the stray tmp"
+            );
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn lifecycle_states_gate_contains_and_runs() {
+        let store = RunStore::open(tmp("lifecycle")).unwrap();
+        let (cfg, result) = tiny_run();
+        let prov = Provenance { sweep_id: "abc123".into() };
+        store.mark_running(&cfg, &prov).unwrap();
+        assert_eq!(store.health(&cfg.run_id()), RunHealth::Pending(RunState::Running));
+        assert!(!store.contains(&cfg.run_id()));
+        assert!(store.runs().unwrap().is_empty());
+        let m = store.load_manifest(&cfg.run_id()).unwrap();
+        assert_eq!(m.state, RunState::Running);
+        assert_eq!(m.created_by_sweep_id, "abc123");
+        assert!(store.load(&cfg.run_id()).is_err(), "running runs are not loadable");
+
+        store.mark_failed(&cfg, &prov, "boom").unwrap();
+        let m = store.load_manifest(&cfg.run_id()).unwrap();
+        assert_eq!(m.state, RunState::Failed);
+        assert_eq!(m.error, "boom");
+
+        store.save_with(&cfg, &result, &prov).unwrap();
+        assert_eq!(store.health(&cfg.run_id()), RunHealth::Complete);
+        let m = store.load_manifest(&cfg.run_id()).unwrap();
+        assert_eq!(m.state, RunState::Completed);
+        assert_eq!(m.created_by_sweep_id, "abc123");
+        assert!(m.error.is_empty());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn checksums_catch_silent_corruption_and_fsck_quarantines() {
+        let root = tmp("checksum");
+        let store = RunStore::open(&root).unwrap();
+        let (cfg, result) = tiny_run();
+        let dir = store.save(&cfg, &result).unwrap();
+        // Corrupt the column file without breaking its JSON.
+        let mut columns = fs::read_to_string(dir.join("columns.jsonl")).unwrap();
+        columns.push('\n');
+        fs::write(dir.join("columns.jsonl"), &columns).unwrap();
+        let e = store.load(&cfg.run_id()).unwrap_err();
+        assert!(e.to_string().contains("checksum mismatch"), "{e}");
+        // health() alone still says Complete (it never reads columns) but
+        // reopening the store quarantines the run.
+        assert!(store.contains(&cfg.run_id()));
+        let reopened = RunStore::open(&root).unwrap();
+        let report = reopened.last_fsck().unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(report.quarantined[0].1.contains("checksum mismatch"));
+        assert!(!reopened.contains(&cfg.run_id()));
+        assert!(reopened.quarantine_dir().join(cfg.run_id()).is_dir());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fsck_quarantines_torn_manifests_and_keeps_orphans() {
+        let root = tmp("fsckpass");
+        let store = RunStore::open(&root).unwrap();
+        let (cfg, _) = tiny_run();
+        // A torn manifest (truncated JSON) in a plausible run dir.
+        let torn = root.join("00000000deadbeef");
+        fs::create_dir_all(&torn).unwrap();
+        fs::write(torn.join("manifest.json"), "{\"run\":\"0000").unwrap();
+        // An orphaned running run (crashed worker).
+        store.mark_running(&cfg, &Provenance::default()).unwrap();
+        let report = store.fsck().unwrap();
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].0, "00000000deadbeef");
+        assert_eq!(report.running_orphans, vec![cfg.run_id()]);
+        assert!(!report.is_clean());
+        assert!(!torn.exists(), "torn run must move to quarantine");
+        assert!(
+            root.join(cfg.run_id()).is_dir(),
+            "orphaned running runs stay in place for --resume"
+        );
+        // The report is persisted, deterministic, and parseable.
+        let text = fs::read_to_string(root.join("fsck_report.json")).unwrap();
+        assert!(text.contains("\"running_orphans\":[\"") && text.contains("\"clean\":0"), "{text}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crash_mid_save_never_yields_a_servable_run() {
+        // Kill the save path at each successive write boundary; whatever is
+        // left must either fail contains() or be quarantined by fsck —
+        // never served as a complete run with wrong bytes.
+        for ops in 0..2u64 {
+            for mode in [CrashMode::BeforeWrite, CrashMode::TornTmp, CrashMode::BeforeRename] {
+                let root = tmp("crashsave");
+                let (cfg, result) = tiny_run();
+                let store =
+                    RunStore::open(&root).unwrap().with_crash_plan(CrashPlan::after_ops(ops, mode));
+                assert!(store.save(&cfg, &result).is_err(), "ops={ops} {mode:?}");
+                let reopened = RunStore::open(&root).unwrap();
+                let report = reopened.last_fsck().unwrap().clone();
+                if reopened.contains(&cfg.run_id()) {
+                    // Only a fully-written run may survive the pass.
+                    reopened.load(&cfg.run_id()).unwrap();
+                } else {
+                    assert!(report.completed == 0);
+                }
+                // Whatever happened, a fresh save then converges.
+                reopened.save(&cfg, &result).unwrap();
+                assert!(reopened.contains(&cfg.run_id()));
+                reopened.load(&cfg.run_id()).unwrap();
+                let _ = fs::remove_dir_all(&root);
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_text_checksum_is_self_consistent() {
+        let (cfg, result) = tiny_run();
+        let m = completed_manifest(&cfg, &result, &Provenance::default(), "x".into());
+        let text = manifest_text(&m);
+        let back = parse_manifest(&text).unwrap();
+        assert_eq!(back, m);
+        // Any byte flip breaks the checksum.
+        let tampered = text.replace("\"seed\":42", "\"seed\":43");
+        assert_ne!(tampered, text);
+        let e = parse_manifest(&tampered).unwrap_err();
+        assert!(e.contains("checksum mismatch"), "{e}");
     }
 }

@@ -1,0 +1,169 @@
+//! Crash-recovery convergence (the ISSUE's proptest satellite): kill the
+//! save path at an *arbitrary* budgeted write boundary — any manifest,
+//! column file, journal, or `GENERATION` write, in any of the three death
+//! modes — and assert that reopening the store (fsck) plus one
+//! `--resume` sweep always converges to byte-identical run directories
+//! and `GENERATION` as an uninterrupted sweep.
+//!
+//! Journals (`sweeps/`), fsck reports, and quarantined wreckage are
+//! *expected* to differ — attempt counters and recovery artifacts record
+//! history, not results — so the compared image is scoped to run
+//! directories plus `GENERATION`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use hrviz_network::RoutingAlgorithm;
+use hrviz_pdes::SimTime;
+use hrviz_sweep::{
+    CrashMode, CrashPlan, RunStore, SweepEngine, SweepOptions, SweepSpec, TopologyAxis,
+};
+use hrviz_workloads::TrafficPattern;
+use proptest::prelude::*;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hrviz-sweep-crash-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn grid() -> SweepSpec {
+    SweepSpec::new("crashgrid", TopologyAxis::Dragonfly { terminals: 72 })
+        .routings([RoutingAlgorithm::Minimal, RoutingAlgorithm::adaptive_default()])
+        .patterns([TrafficPattern::UniformRandom, TrafficPattern::Tornado])
+        .msgs_per_rank(2)
+        .msg_bytes(1024)
+        .period(SimTime::micros(1))
+}
+
+/// The store image that crash recovery must reproduce exactly: every file
+/// under a run directory (16-hex names) plus the `GENERATION` counter.
+/// Excludes `sweeps/`, `fsck_report.json`, `quarantine/`, `checkpoints/`.
+fn store_image(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(dir: &Path, root: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(dir).expect("read_dir") {
+            let path = entry.expect("entry").path();
+            if path.is_dir() {
+                walk(&path, root, out);
+            } else {
+                let rel = path.strip_prefix(root).expect("prefix").display().to_string();
+                out.insert(rel, fs::read(&path).expect("read"));
+            }
+        }
+    }
+    let mut all = BTreeMap::new();
+    walk(root, root, &mut all);
+    all.into_iter()
+        .filter(|(rel, _)| {
+            rel == "GENERATION"
+                || rel
+                    .split('/')
+                    .next()
+                    .is_some_and(|d| d.len() == 16 && d.chars().all(|c| c.is_ascii_hexdigit()))
+        })
+        .collect()
+}
+
+/// Run dirs + GENERATION of one uninterrupted sweep (computed once).
+fn reference() -> &'static BTreeMap<String, Vec<u8>> {
+    static REF: OnceLock<BTreeMap<String, Vec<u8>>> = OnceLock::new();
+    REF.get_or_init(|| {
+        let root = tmp("clean-ref");
+        SweepEngine::new(RunStore::open(&root).expect("open"))
+            .with_workers(1)
+            .run(&grid())
+            .expect("clean sweep");
+        let image = store_image(&root);
+        let _ = fs::remove_dir_all(&root);
+        image
+    })
+}
+
+/// Total budgeted writes one clean sweep performs (measured once, with a
+/// fail-point that never fires). Every crash boundary lies below this.
+fn write_budget() -> u64 {
+    static BUDGET: OnceLock<u64> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let root = tmp("budget-probe");
+        let probe = CrashPlan::after_ops(u64::MAX, CrashMode::BeforeWrite);
+        let store = RunStore::open(&root).expect("open").with_crash_plan(probe.clone());
+        SweepEngine::new(store).with_workers(1).run(&grid()).expect("probe sweep");
+        let _ = fs::remove_dir_all(&root);
+        probe.ops_seen()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    /// Death at any write boundary, in any mode, converges after resume.
+    #[test]
+    fn any_crash_boundary_converges_after_fsck_and_resume(
+        raw in 0u64..(1u64 << 40),
+        mode_pick in 0u8..3,
+    ) {
+        let total = write_budget();
+        let ops = raw % total;
+        let mode = match mode_pick {
+            0 => CrashMode::BeforeWrite,
+            1 => CrashMode::TornTmp,
+            _ => CrashMode::BeforeRename,
+        };
+
+        let root = tmp(&format!("boundary-{ops}-{mode_pick}"));
+        let plan = CrashPlan::after_ops(ops, mode);
+        let store = RunStore::open(&root).expect("open").with_crash_plan(plan.clone());
+        let crashed = SweepEngine::new(store).with_workers(1).run(&grid());
+        prop_assert!(crashed.is_err(), "ops={} {:?}: injected crash must surface", ops, mode);
+        prop_assert!(plan.triggered(), "ops={} {:?}: fail-point must fire", ops, mode);
+
+        // Reopen: fsck reaps torn tmp files and quarantines torn runs.
+        let reopened = RunStore::open(&root).expect("fsck must open a crashed store");
+        let resumed = SweepEngine::new(reopened)
+            .with_workers(1)
+            .run_with(&grid(), &SweepOptions::resume());
+        prop_assert!(
+            resumed.is_ok(),
+            "ops={} {:?}: resume failed: {:?}", ops, mode, resumed.err()
+        );
+
+        let got = store_image(&root);
+        let want = reference();
+        prop_assert_eq!(
+            got.keys().collect::<Vec<_>>(),
+            want.keys().collect::<Vec<_>>(),
+            "ops={} {:?}: file set diverged", ops, mode
+        );
+        for (rel, bytes) in &got {
+            prop_assert!(
+                want.get(rel) == Some(bytes),
+                "ops={} {:?}: {} diverged from the uninterrupted sweep", ops, mode, rel
+            );
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+}
+
+/// The one boundary the journaled-intent protocol exists for, pinned
+/// deterministically rather than left to the strategy: death exactly on
+/// the end-of-sweep `GENERATION` write (second-to-last budgeted op).
+#[test]
+fn crash_exactly_on_the_generation_write_converges() {
+    let bump_op = write_budget() - 2;
+    let root = tmp("pinned-bump");
+    let plan = CrashPlan::after_ops(bump_op, CrashMode::BeforeRename);
+    let store = RunStore::open(&root).expect("open").with_crash_plan(plan.clone());
+    assert!(SweepEngine::new(store).with_workers(1).run(&grid()).is_err());
+    assert!(plan.triggered());
+
+    let reopened = RunStore::open(&root).expect("fsck");
+    let out = SweepEngine::new(reopened)
+        .with_workers(1)
+        .run_with(&grid(), &SweepOptions::resume())
+        .expect("resume");
+    assert_eq!(out.store_hits, 4, "all runs were already complete");
+    assert_eq!(out.store_misses, 0, "nothing re-simulates");
+    assert_eq!(store_image(&root), *reference());
+    let _ = fs::remove_dir_all(&root);
+}

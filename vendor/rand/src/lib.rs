@@ -125,6 +125,19 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw generator state, for checkpoint/restore.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from state captured by [`StdRng::state`];
+        /// the restored generator continues the exact same stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             // SplitMix64 expansion, as upstream rand does for small seeds.
