@@ -30,7 +30,8 @@
 use hrviz_bench::gate::{run_gate, GateConfig};
 use hrviz_core::{
     build_view, compare_views, compare_views_cached, parse_script, AggregateCache, DataKey,
-    DataSet, EntityKind, Field, LevelSpec, ProjectionSpec, RibbonSpec,
+    DataSet, EntityKind, Field, LevelSpec, ProjectionGraph, ProjectionSpec, ProjectionView,
+    RibbonSpec, ViewRequest,
 };
 use hrviz_network::{
     CheckpointOptions, DragonflyConfig, FaultSchedule, HrvizError, JobMeta, LinkClass, NetworkSpec,
@@ -151,24 +152,29 @@ pub const USAGE: &str =
     "usage: hrviz <view|trace|compare|sweep|serve|fsck|bench-gate|check> [options]
   view    --terminals N --pattern P --routing R [--msgs N] [--bytes N]
           [--period-us N] [--script FILE] [--svg FILE] [--seed N]
+          [--lod 0..2] [--max-depth N] [--max-items N] [--page-size N]
+          (the projection graph lands next to the SVG as FILE.graph.json)
           [--checkpoint-every US --store DIR (periodic engine checkpoints
            into <store>/checkpoints/)] [--restore-from FILE (resume a
            checkpointed run; bit-identical to straight-through)]
   trace   --in FILE --terminals N --routing R [--script FILE] [--svg FILE]
   compare --terminals N --pattern P --routing R1,R2[,..] [--script FILE] [--svg FILE]
+          [--lod 0..2] [--max-depth N] [--max-items N] [--page-size N]
           [--store DIR (reuse/persist runs in a content-addressed store)]
           [--workers N]
   sweep   --terminals N | --fattree K
           [--routings R1,R2[,..]] [--patterns P1,P2[,..]] [--seeds S1,S2[,..]]
           [--store DIR] [--workers N] [--report DIR] [--name NAME]
           [--msgs N] [--bytes N] [--period-us N]
+          [--shards N (spread the store over N consistent-hashed shard
+           directories with independent generation counters)]
           [--resume (skip completed runs, retry failed/orphaned ones with
            deterministic seeded backoff — safe after a kill -9)]
           (--faults FILE sweeps a faulty axis point next to the healthy one)
   fsck    --store DIR (run the store recovery pass and print its JSON
           report; a dirty store — quarantines, orphans, failures — exits 7)
   serve   --store DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
-          [--max-conns N] [--timeout-ms N]
+          [--max-conns N] [--timeout-ms N] [--keepalive-requests N]
           (HTTP endpoints: /runs /runs/{id}/columns/{field} /views /compare
            /healthz /metricsz; SIGINT drains and exits 0)
   bench-gate [--out DIR] [--tolerance F] [--window N]
@@ -208,6 +214,10 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "checkpoint-every",
             "restore-from",
             "store",
+            "lod",
+            "max-depth",
+            "max-items",
+            "page-size",
         ]),
         "compare" => Some(&[
             "terminals",
@@ -224,6 +234,10 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "hop-limit",
             "store",
             "workers",
+            "lod",
+            "max-depth",
+            "max-items",
+            "page-size",
         ]),
         "sweep" => Some(&[
             "terminals",
@@ -242,9 +256,18 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "report",
             "name",
             "resume",
+            "shards",
         ]),
         "fsck" => Some(&["store"]),
-        "serve" => Some(&["store", "addr", "workers", "queue-depth", "max-conns", "timeout-ms"]),
+        "serve" => Some(&[
+            "store",
+            "addr",
+            "workers",
+            "queue-depth",
+            "max-conns",
+            "timeout-ms",
+            "keepalive-requests",
+        ]),
         "bench-gate" => Some(&["out", "tolerance", "window"]),
         "trace" => Some(&["in", "terminals", "routing", "script", "svg", "faults", "hop-limit"]),
         "check" => Some(&[]),
@@ -478,6 +501,62 @@ fn spec_of(cli: &Cli) -> Result<ProjectionSpec, HrvizError> {
     }
 }
 
+/// Map CLI flags to request-parameter keys (`--max-depth` → `max_depth`).
+const REQUEST_FLAGS: &[(&str, &str)] = &[
+    ("lod", "lod"),
+    ("max-depth", "max_depth"),
+    ("max-items", "max_items"),
+    ("page-size", "page_size"),
+];
+
+/// Parse the view/compare request through the same typed path serve uses
+/// ([`ViewRequest::parse`]): one code path decides what a valid `--lod`,
+/// `--max-depth` or `--page-size` is on both surfaces.
+fn view_request_of(cli: &Cli, compare: bool) -> Result<ViewRequest, HrvizError> {
+    let (script, origin) = match cli.options.get("script") {
+        Some(path) => (
+            std::fs::read_to_string(path).map_err(|e| HrvizError::io(path.clone(), e))?,
+            path.clone(),
+        ),
+        None => (DEFAULT_SCRIPT.to_string(), "default script".to_string()),
+    };
+    let mut params = BTreeMap::new();
+    for (flag, key) in REQUEST_FLAGS {
+        if let Some(v) = cli.options.get(*flag) {
+            params.insert((*key).to_string(), v.clone());
+        }
+    }
+    ViewRequest::parse(&params, &script, compare, false).map_err(|e| {
+        if e.code == "bad_script" {
+            HrvizError::parse(origin.clone(), e.message.clone())
+        } else {
+            HrvizError::usage(format!("--{}: {}", e.field.replace('_', "-"), e.message))
+        }
+    })
+}
+
+/// Build the projection graph for a simulation-backed view/compare and
+/// write its envelope (the same schema-2 page serve answers) next to the
+/// SVG as `<svg>.graph.json`. With `--page-size 0` (the default) the
+/// envelope holds every node; otherwise the first page.
+fn write_graph(
+    svg_path: &str,
+    vreq: &ViewRequest,
+    single: Option<&ProjectionView>,
+    labeled: &[(&str, &ProjectionView)],
+) -> Result<(PathBuf, usize), HrvizError> {
+    let source_hash =
+        hrviz_obs::fingerprint64(&format!("|{:016x}", hrviz_obs::fingerprint64(&vreq.script)));
+    let graph = match single {
+        Some(view) => ProjectionGraph::build(view, &vreq.policy, source_hash),
+        None => ProjectionGraph::build_compare(labeled, &vreq.policy, source_hash),
+    };
+    let body = graph.page_to_json(0, vreq.page_size, None).render();
+    let path = std::path::Path::new(svg_path).with_extension("graph.json");
+    std::fs::write(&path, body).map_err(|e| HrvizError::io(path.display().to_string(), e))?;
+    Ok((path, graph.len()))
+}
+
 fn summarize(run: &RunData) -> String {
     let pkts: u64 = run.terminals.iter().map(|t| t.packets_finished).sum();
     let lat =
@@ -638,14 +717,17 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
             let routing =
                 routing_of(cli.options.get("routing").map(String::as_str).unwrap_or("adaptive"))?;
             let (run, checkpoints) = simulate_checkpointed(cli, routing)?;
-            let spec = spec_of(cli)?;
+            let vreq = view_request_of(cli, false)?;
             let ds = DataSet::builder(&run).build();
-            let view = build_view(&ds, &spec).map_err(|e| HrvizError::config(e.to_string()))?;
+            let view =
+                build_view(&ds, &vreq.spec).map_err(|e| HrvizError::config(e.to_string()))?;
             let svg = render_radial(&view, &RadialLayout::default(), "hrviz view");
             let path = write_svg(cli, "view.svg", svg)?;
+            let (graph_path, graph_nodes) = write_graph(&path, &vreq, Some(&view), &[])?;
             let n_ckpts = checkpoints.len();
-            let mut out = RunOutput::text(summarize(&run)).artifact(path);
+            let mut out = RunOutput::text(summarize(&run)).artifact(path).artifact(graph_path);
             out.artifacts.extend(checkpoints);
+            let out = out.metric("graph_nodes", graph_nodes as f64);
             let mut out = run_metrics(out, &run);
             if n_ckpts > 0 || cli.options.contains_key("restore-from") {
                 out = out.metric("checkpoints", n_ckpts as f64);
@@ -685,22 +767,28 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
             if cli.options.contains_key("store") {
                 return compare_from_store(cli, &routings);
             }
-            let spec = spec_of(cli)?;
+            let vreq = view_request_of(cli, true)?;
             let runs: Vec<RunData> =
                 routings.iter().map(|&r| simulate(cli, r)).collect::<Result<_, _>>()?;
             let datasets: Vec<DataSet> = runs.iter().map(|r| DataSet::builder(r).build()).collect();
             let refs: Vec<&DataSet> = datasets.iter().collect();
             let views =
-                compare_views(&refs, &spec).map_err(|e| HrvizError::config(e.to_string()))?;
+                compare_views(&refs, &vreq.spec).map_err(|e| HrvizError::config(e.to_string()))?;
             let labeled: Vec<(&_, &str)> =
                 views.iter().zip(routings.iter().map(|r| r.name())).collect();
             let svg = render_radial_row(&labeled, &RadialLayout::default(), "hrviz compare");
             let path = write_svg(cli, "compare.svg", svg)?;
+            let named: Vec<(&str, &ProjectionView)> =
+                routings.iter().map(|r| r.name()).zip(views.iter()).collect();
+            let (graph_path, graph_nodes) = write_graph(&path, &vreq, None, &named)?;
             let mut out = String::new();
             for (r, run) in routings.iter().zip(&runs) {
                 out.push_str(&format!("--- {} ---\n{}", r.name(), summarize(run)));
             }
-            let mut typed = RunOutput::text(out).artifact(path);
+            let mut typed = RunOutput::text(out)
+                .artifact(path)
+                .artifact(graph_path)
+                .metric("graph_nodes", graph_nodes as f64);
             for (r, run) in routings.iter().zip(&runs) {
                 typed = typed.metric(format!("{}/events", r.name()), run.events_processed as f64);
             }
@@ -712,7 +800,15 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
             let resume = cli.options.contains_key("resume");
             let store_dir =
                 cli.options.get("store").cloned().unwrap_or_else(|| "out/store".to_string());
-            let engine = SweepEngine::new(RunStore::open(&store_dir)?).with_workers(workers);
+            let store = match cli.options.get("shards") {
+                Some(n) => {
+                    let shards: u32 =
+                        n.parse().map_err(|_| HrvizError::usage("--shards must be a number"))?;
+                    RunStore::open_sharded(&store_dir, shards)?
+                }
+                None => RunStore::open(&store_dir)?,
+            };
+            let engine = SweepEngine::new(store).with_workers(workers);
             let opts = if resume { SweepOptions::resume() } else { SweepOptions::default() };
             let outcome = engine.run_with(&spec, &opts)?;
             let report_dir = cli.options.get("report").cloned().unwrap_or_else(|| "out".into());
@@ -790,6 +886,11 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
                 max_conns: u64_opt(cli, "max-conns", ServeConfig::default().max_conns as u64)?
                     as usize,
                 timeout_ms: u64_opt(cli, "timeout-ms", ServeConfig::default().timeout_ms)?,
+                keepalive_requests: u64_opt(
+                    cli,
+                    "keepalive-requests",
+                    ServeConfig::default().keepalive_requests as u64,
+                )? as usize,
             };
             let store = RunStore::open(store_dir)?;
             let server = Server::bind(cfg, store)?;
@@ -887,7 +988,7 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
 /// content-addressed store (simulating only what is missing), then build
 /// the comparison views through the aggregation cache.
 fn compare_from_store(cli: &Cli, routings: &[RoutingAlgorithm]) -> Result<RunOutput, HrvizError> {
-    let spec = spec_of(cli)?;
+    let vreq = view_request_of(cli, true)?;
     let sweep = sweep_spec_of(cli, "compare", false)?.routings(routings.to_vec());
     let workers = u64_opt(cli, "workers", 0)? as usize;
     let store_dir = cli
@@ -904,12 +1005,14 @@ fn compare_from_store(cli: &Cli, routings: &[RoutingAlgorithm]) -> Result<RunOut
     }
     let cache = AggregateCache::new();
     let pairs: Vec<(&DataSet, DataKey)> = loaded.iter().map(|(d, k, _)| (d, *k)).collect();
-    let views = compare_views_cached(&pairs, &spec, &cache)
+    let views = compare_views_cached(&pairs, &vreq.spec, &cache)
         .map_err(|e| HrvizError::config(e.to_string()))?;
     let labels: Vec<&str> = routings.iter().map(|r| r.name()).collect();
     let labeled: Vec<(&_, &str)> = views.iter().zip(labels.iter().copied()).collect();
     let svg = render_radial_row(&labeled, &RadialLayout::default(), "hrviz compare");
     let path = write_svg(cli, "compare.svg", svg)?;
+    let named: Vec<(&str, &ProjectionView)> = labels.iter().copied().zip(views.iter()).collect();
+    let (graph_path, graph_nodes) = write_graph(&path, &vreq, None, &named)?;
     let mut out = String::new();
     for (label, (_, _, manifest)) in labels.iter().zip(&loaded) {
         out.push_str(&format!("--- {label} ---\n{}", summarize_manifest(manifest)));
@@ -923,6 +1026,8 @@ fn compare_from_store(cli: &Cli, routings: &[RoutingAlgorithm]) -> Result<RunOut
     ));
     let mut typed = RunOutput::text(out)
         .artifact(path)
+        .artifact(graph_path)
+        .metric("graph_nodes", graph_nodes as f64)
         .metric("store_hits", outcome.store_hits as f64)
         .metric("store_misses", outcome.store_misses as f64)
         .metric("agg_cache_hits", cache.hits() as f64)
@@ -1003,11 +1108,75 @@ mod tests {
         .unwrap();
         let out = run(&cli).unwrap();
         assert!(out.to_string().contains("delivered"));
-        assert_eq!(out.artifacts, vec![svg.clone()]);
+        let graph = svg.with_extension("graph.json");
+        assert_eq!(out.artifacts, vec![svg.clone(), graph.clone()]);
         assert!(out.metric_value("events").unwrap() > 0.0);
         assert!(svg.exists());
         assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+        // The graph envelope rides along: schema 2, every node, no cursor.
+        let body = std::fs::read_to_string(&graph).unwrap();
+        assert!(body.contains("\"schema_version\":2"), "{body}");
+        assert!(body.contains("\"next_cursor\":null"), "{body}");
+        assert!(out.metric_value("graph_nodes").unwrap() > 1.0);
         std::fs::remove_file(&svg).ok();
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn view_policy_flags_share_serves_validation() {
+        // Bad values answer the same codes the server's 400s carry.
+        let cli =
+            parse_args(&args(&["view", "--terminals", "72", "--pattern", "tornado", "--lod", "9"]))
+                .unwrap();
+        let e = run(&cli).unwrap_err();
+        assert_eq!(e.exit_code(), 2, "{e}");
+        assert!(e.to_string().contains("--lod"), "{e}");
+
+        let cli = parse_args(&args(&[
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--page-size",
+            "soft",
+        ]))
+        .unwrap();
+        let e = run(&cli).unwrap_err().to_string();
+        assert!(e.contains("--page-size"), "{e}");
+
+        // Good values land in the written envelope: a paged graph with a
+        // depth-limited policy.
+        let dir = std::env::temp_dir().join("hrviz_cli_policy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let svg = dir.join("p.svg");
+        let cli = parse_args(&args(&[
+            "view",
+            "--terminals",
+            "72",
+            "--pattern",
+            "tornado",
+            "--msgs",
+            "2",
+            "--bytes",
+            "1024",
+            "--lod",
+            "1",
+            "--max-depth",
+            "2",
+            "--page-size",
+            "5",
+            "--svg",
+            svg.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        let graph = svg.with_extension("graph.json");
+        let body = std::fs::read_to_string(&graph).unwrap();
+        assert!(body.contains("\"count\":5"), "first page only: {body}");
+        assert!(out.metric_value("graph_nodes").unwrap() > 5.0, "{out}");
+        std::fs::remove_file(&svg).ok();
+        std::fs::remove_file(&graph).ok();
     }
 
     #[test]
@@ -1505,6 +1674,42 @@ mod tests {
         assert!(!torn.exists(), "torn run should have moved to quarantine");
         // …after which the store is clean again.
         assert!(run(&cli).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_shards_flag_spreads_the_store() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_shards_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.join("store");
+        let report = dir.join("reports");
+        let argv = args(&[
+            "sweep",
+            "--terminals",
+            "72",
+            "--routings",
+            "minimal,adaptive",
+            "--patterns",
+            "tornado",
+            "--msgs",
+            "2",
+            "--bytes",
+            "1024",
+            "--shards",
+            "4",
+            "--store",
+            store.to_str().unwrap(),
+            "--report",
+            report.to_str().unwrap(),
+        ]);
+        let cli = parse_args(&argv).unwrap();
+        let cold = run(&cli).unwrap();
+        assert_eq!(cold.metric_value("store_misses"), Some(2.0));
+        assert!(store.join("shards").is_dir(), "sharded layout on disk");
+        // Re-opening with the same flag finds every run: all hits.
+        let warm = run(&cli).unwrap();
+        assert_eq!(warm.metric_value("store_hits"), Some(2.0));
+        assert_eq!(warm.metric_value("store_misses"), Some(0.0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -50,7 +50,9 @@ pub mod compare;
 pub mod dataset;
 pub mod detail;
 pub mod entity;
+pub mod graph;
 pub mod projection;
+pub mod request;
 pub mod script;
 pub mod spec;
 pub mod timeline;
@@ -65,10 +67,15 @@ pub use compare::{compare_views, compare_views_cached, shared_scales, shared_sca
 pub use dataset::{DataSet, DataSetBuilder, LinkRow, RouterRow, TerminalRow};
 pub use detail::{brush_axis, DetailView, LinkScatter, ParallelCoords, PCP_AXES};
 pub use entity::{AggRule, EntityKind, Field};
+pub use graph::{
+    hex16, legacy_envelope, legacy_view_json, Cursor, CursorError, GraphNode, ProjectionGraph,
+    RenderPolicy, LEGACY_SCHEMA_VERSION, SCHEMA_VERSION, SECTION_NAMES,
+};
 pub use projection::{
     build_view, build_view_cached, build_view_scaled, build_view_scaled_cached, compute_scales,
     compute_scales_cached, ArcSegment, ProjectionView, Ribbon, Ring, ScaleSet, VisualItem,
 };
+pub use request::{RequestError, ViewRequest, MAX_PAGE_SIZE};
 pub use script::{parse_script, to_script, FIG5A_SCRIPT, FIG5B_SCRIPT};
 pub use spec::{FilterClause, LevelSpec, PlotKind, ProjectionSpec, RibbonSpec, SpecError, VMap};
 pub use timeline::{TimelineSeries, TimelineView};

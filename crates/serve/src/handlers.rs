@@ -18,8 +18,9 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use hrviz_core::{
-    build_view_cached, compare_views_cached, parse_script, view_to_json, views_to_json,
-    AggregateCache, ColumnarDataSet, DataKey, DataSet, EntityKind, Field, ProjectionSpec,
+    build_view_cached, compare_views_cached, legacy_envelope, legacy_view_json, views_to_json,
+    AggregateCache, ColumnarDataSet, Cursor, CursorError, DataKey, DataSet, EntityKind, Field,
+    ProjectionGraph, ProjectionView, RequestError, ViewRequest, LEGACY_SCHEMA_VERSION,
 };
 use hrviz_faults::HrvizError;
 use hrviz_obs::{fingerprint64, Json};
@@ -29,17 +30,57 @@ use hrviz_sweep::{RunStore, StoredManifest, StoredRun};
 use crate::cache::{etag, CachedBody, ResponseCache};
 use crate::http::{Request, Response};
 use crate::router::{route, Route};
+use crate::singleflight::{Role, SingleFlight};
 
 /// Parsed datasets kept hot, keyed by `(run id, generation)`.
 const DATASET_CACHE_CAP: usize = 8;
 /// Response bodies kept hot.
 const RESPONSE_CACHE_CAP: usize = 128;
+/// Built projection graphs kept hot (a graph serves every page of a
+/// paged walk, so its lifetime spans many requests).
+const GRAPH_CACHE_CAP: usize = 8;
 
 type DataCacheKey = (String, u64);
 
 struct DataCache {
     map: BTreeMap<DataCacheKey, Arc<DataSet>>,
     order: VecDeque<DataCacheKey>,
+}
+
+/// Graphs keyed by `(source/policy fingerprint, generation)`.
+type GraphCacheKey = (u64, u64);
+
+struct GraphCache {
+    map: BTreeMap<GraphCacheKey, Arc<ProjectionGraph>>,
+    order: VecDeque<GraphCacheKey>,
+}
+
+/// A validated snapshot of one shard's `GENERATION` file: the counter
+/// value plus the file identity it was read from. `GENERATION` is only
+/// ever replaced whole (temp + rename), so a matching identity proves
+/// the cached value is current without opening the file.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum GenFileId {
+    Missing,
+    #[cfg(unix)]
+    File(u64, u64, Option<std::time::SystemTime>), // ino, len, mtime
+    #[cfg(not(unix))]
+    File(u64, Option<std::time::SystemTime>), // len, mtime
+}
+
+impl GenFileId {
+    fn stat(path: &std::path::Path) -> GenFileId {
+        match std::fs::metadata(path) {
+            #[cfg(unix)]
+            Ok(md) => {
+                use std::os::unix::fs::MetadataExt;
+                GenFileId::File(md.ino(), md.len(), md.modified().ok())
+            }
+            #[cfg(not(unix))]
+            Ok(md) => GenFileId::File(md.len(), md.modified().ok()),
+            Err(_) => GenFileId::Missing,
+        }
+    }
 }
 
 /// Shared application state: everything a worker needs to answer a
@@ -49,6 +90,9 @@ pub struct App {
     agg: AggregateCache,
     responses: ResponseCache,
     datasets: Mutex<DataCache>,
+    graphs: Mutex<GraphCache>,
+    flights: SingleFlight<CachedBody>,
+    generations: Mutex<Vec<(GenFileId, u64)>>,
 }
 
 impl App {
@@ -60,12 +104,35 @@ impl App {
             agg: AggregateCache::new(),
             responses: ResponseCache::new(RESPONSE_CACHE_CAP),
             datasets: Mutex::new(DataCache { map: BTreeMap::new(), order: VecDeque::new() }),
+            graphs: Mutex::new(GraphCache { map: BTreeMap::new(), order: VecDeque::new() }),
+            flights: SingleFlight::new(),
+            generations: Mutex::new(Vec::new()),
         }
     }
 
     /// The store being served.
     pub fn store(&self) -> &RunStore {
         &self.store
+    }
+
+    /// The store generation, through a stat-validated per-shard cache:
+    /// one `metadata` call per shard instead of an open/read/parse of
+    /// every `GENERATION` file on every request. A bump rewrites the
+    /// file via temp + rename (new inode, new mtime), which invalidates
+    /// the cached value immediately — the paging 409 contract holds.
+    fn generation(&self) -> u64 {
+        let mut cache = self.generations.lock().unwrap_or_else(PoisonError::into_inner);
+        let shards = self.store.shard_count();
+        cache.resize(shards as usize, (GenFileId::Missing, 0));
+        let mut total = 0u64;
+        for (shard, slot) in (0..shards).zip(cache.iter_mut()) {
+            let id = GenFileId::stat(&self.store.shard_root(shard).join("GENERATION"));
+            if id != slot.0 {
+                *slot = (id, self.store.shard_generation(shard));
+            }
+            total += slot.1;
+        }
+        total
     }
 
     /// Handle one parsed request, with request-level telemetry. The
@@ -87,24 +154,28 @@ impl App {
         if resp.status >= 400 {
             obs.counter_add("serve/http_errors", 1);
         }
-        let cache = resp
-            .headers
-            .iter()
-            .find(|(n, _)| n == "X-Cache")
-            .map(|(_, v)| v.as_str())
-            .unwrap_or("none");
-        obs.event(
-            "access",
-            &[
-                ("request_id", Json::U64(request_id.unwrap_or(0))),
-                ("method", Json::Str(req.method.clone())),
-                ("path", Json::Str(req.path.clone())),
-                ("status", Json::U64(u64::from(resp.status))),
-                ("bytes", Json::U64(resp.body.len() as u64)),
-                ("latency_us", Json::F64(latency_us)),
-                ("cache", Json::Str(cache.to_string())),
-            ],
-        );
+        // The access event's arguments allocate; skip the whole block
+        // when no collector is installed (the warm path cares).
+        if obs.is_enabled() {
+            let cache = resp
+                .headers
+                .iter()
+                .find(|(n, _)| n == "X-Cache")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("none");
+            obs.event(
+                "access",
+                &[
+                    ("request_id", Json::U64(request_id.unwrap_or(0))),
+                    ("method", Json::Str(req.method.clone())),
+                    ("path", Json::Str(req.path.clone())),
+                    ("status", Json::U64(u64::from(resp.status))),
+                    ("bytes", Json::U64(resp.body.len() as u64)),
+                    ("latency_us", Json::F64(latency_us)),
+                    ("cache", Json::Str(cache.to_string())),
+                ],
+            );
+        }
         match request_id {
             Some(id) => resp.header("X-Request-Id", &format!("{id:016x}")),
             None => resp,
@@ -130,15 +201,18 @@ impl App {
     fn health(&self) -> Response {
         let body = Json::obj([
             ("status", Json::Str("ok".into())),
-            ("generation", Json::U64(self.store.generation())),
+            ("generation", Json::U64(self.generation())),
         ]);
         Response::json(body.render())
     }
 
     /// Serve a cacheable body: answer `304` on a matching `If-None-Match`,
-    /// then the body cache, then `build` (whose product is cached). The
-    /// `X-Cache` header names which rung answered (`revalidated`, `hit`,
-    /// `miss`); the access log reads it back as the cache disposition.
+    /// then the body cache, then `build` (whose product is cached). Cold
+    /// fills are single-flighted: concurrent identical requests elect one
+    /// leader to run `build` while the rest park and share its result.
+    /// The `X-Cache` header names which rung answered (`revalidated`,
+    /// `hit`, `coalesced`, `miss`); the access log reads it back as the
+    /// cache disposition.
     fn cached(
         &self,
         req: &Request,
@@ -157,21 +231,49 @@ impl App {
                 .header("X-Cache", "hit")
                 .with_body(hit.body);
         }
-        let body = match build() {
-            Ok(body) => body,
-            Err(resp) => return resp,
+        let ok = |disposition: &str, content_type: &str, body: Vec<u8>| {
+            Response::new(200)
+                .header("Content-Type", content_type)
+                .header("ETag", tag)
+                .header("X-Cache", disposition)
+                .with_body(body)
         };
-        self.responses
-            .put(tag, CachedBody { content_type: content_type.to_string(), body: body.clone() });
-        Response::new(200)
-            .header("Content-Type", content_type)
-            .header("ETag", tag)
-            .header("X-Cache", "miss")
-            .with_body(body)
+        match self.flights.join(tag) {
+            Role::Shared(hit) => {
+                hrviz_obs::get().counter_add("serve/coalesced", 1);
+                ok("coalesced", &hit.content_type, hit.body)
+            }
+            Role::Leader(guard) => {
+                let body = match build() {
+                    Ok(body) => body,
+                    Err(resp) => {
+                        guard.complete(None);
+                        return resp;
+                    }
+                };
+                let cached =
+                    CachedBody { content_type: content_type.to_string(), body: body.clone() };
+                self.responses.put(tag, cached.clone());
+                guard.complete(Some(cached));
+                ok("miss", content_type, body)
+            }
+            // The leader's build failed; its error was request-specific,
+            // so compute (and likely fail) independently.
+            Role::LeaderFailed => match build() {
+                Ok(body) => {
+                    self.responses.put(
+                        tag,
+                        CachedBody { content_type: content_type.to_string(), body: body.clone() },
+                    );
+                    ok("miss", content_type, body)
+                }
+                Err(resp) => resp,
+            },
+        }
     }
 
     fn runs(&self, req: &Request) -> Response {
-        let generation = self.store.generation().to_string();
+        let generation = self.generation().to_string();
         let tag = etag(&["runs", &generation]);
         self.cached(req, &tag, "application/json", || {
             let ids = self.store.runs().map_err(|e| Response::error(500, &e.to_string()))?;
@@ -205,7 +307,7 @@ impl App {
                 return Response::error(400, &format!("unknown table {t:?}"));
             }
         }
-        let generation = self.store.generation().to_string();
+        let generation = self.generation().to_string();
         let filter_part = table_filter.clone().unwrap_or_default();
         let tag = etag(&["columns", &generation, run, field_name, &filter_part]);
         self.cached(req, &tag, "application/json", || {
@@ -227,80 +329,234 @@ impl App {
     }
 
     fn views(&self, req: &Request) -> Response {
-        let run = match req.query.get("run") {
-            Some(r) => r.clone(),
-            None => return Response::error(400, "POST /views needs ?run={id}"),
-        };
         let script = match std::str::from_utf8(&req.body) {
             Ok(s) => s,
-            Err(_) => return Response::error(400, "script body must be UTF-8"),
+            Err(_) => {
+                return structured_error(400, "script", "bad_script", "script body must be UTF-8")
+            }
         };
-        let Some(key) = self.run_key(&run) else {
-            return Response::error(404, &format!("no run {run:?} in the store"));
+        let vreq = match ViewRequest::parse(&req.query, script, false, true) {
+            Ok(v) => v,
+            Err(e) => return request_error(&e),
         };
-        let svg = req.wants_svg();
-        let kind = if svg { "svg" } else { "json" };
-        let generation = self.store.generation().to_string();
+        // `parse` guarantees a run id when `require_runs` is set.
+        let Some(run) = vreq.runs.first().cloned() else {
+            return structured_error(400, "run", "missing_run", "pass ?run=<id>");
+        };
+        let generation = self.generation();
         let script_fp = format!("{:016x}", fingerprint64(script));
-        let tag = etag(&["views", &generation, &script_fp, &run, kind]);
-        let content_type = if svg { "image/svg+xml" } else { "application/json" };
-        self.cached(req, &tag, content_type, || {
-            let spec = parse_spec(script)?;
-            let ds = self.dataset(&run)?;
-            let view = build_view_cached(&ds, &spec, &self.agg, key)
-                .map_err(|e| Response::error(400, &e.to_string()))?;
-            Ok(if svg {
-                render_radial(&view, &RadialLayout::default(), &run).into_bytes()
-            } else {
-                view_to_json(&view).render().into_bytes()
-            })
-        })
+        // Run existence is checked inside the build closure: warm
+        // replies (304 / body-cache hits) skip the manifest read, and a
+        // cold request for an absent run still answers 404.
+        if req.wants_svg() {
+            // The SVG rendering has no wire schema; it stays monolithic.
+            let tag = etag(&["views", &generation.to_string(), &script_fp, &run, "svg"]);
+            return self.cached(req, &tag, "image/svg+xml", || {
+                let view = self.build_view(&run, &vreq)?;
+                Ok(render_radial(&view, &RadialLayout::default(), &run).into_bytes())
+            });
+        }
+        let source_hash = source_hash(std::slice::from_ref(&run), &script_fp);
+        if vreq.schema == LEGACY_SCHEMA_VERSION {
+            let tag = etag(&["views", &generation.to_string(), &script_fp, &run, "legacy"]);
+            return self
+                .cached(req, &tag, "application/json", || {
+                    let view = self.build_view(&run, &vreq)?;
+                    Ok(legacy_view_json(&view, source_hash).render().into_bytes())
+                })
+                .header("Deprecation", "version=\"1\"");
+        }
+        self.graph_page(req, &vreq, std::slice::from_ref(&run), source_hash, &script_fp, generation)
     }
 
     fn compare(&self, req: &Request) -> Response {
-        let runs: Vec<String> = match req.query.get("runs") {
-            Some(r) => r.split(',').filter(|s| !s.is_empty()).map(str::to_string).collect(),
-            None => return Response::error(400, "POST /compare needs ?runs={a},{b}"),
-        };
-        if runs.len() < 2 {
-            return Response::error(400, "comparison needs at least two run ids");
-        }
         let script = match std::str::from_utf8(&req.body) {
             Ok(s) => s,
-            Err(_) => return Response::error(400, "script body must be UTF-8"),
+            Err(_) => {
+                return structured_error(400, "script", "bad_script", "script body must be UTF-8")
+            }
         };
-        let mut keys = Vec::with_capacity(runs.len());
-        for run in &runs {
-            match self.run_key(run) {
-                Some(k) => keys.push(k),
-                None => return Response::error(404, &format!("no run {run:?} in the store")),
+        let vreq = match ViewRequest::parse(&req.query, script, true, true) {
+            Ok(v) => v,
+            Err(e) => return request_error(&e),
+        };
+        let generation = self.generation();
+        let script_fp = format!("{:016x}", fingerprint64(script));
+        let joined = vreq.runs.join(",");
+        if req.wants_svg() {
+            let tag = etag(&["compare", &generation.to_string(), &script_fp, &joined, "svg"]);
+            return self.cached(req, &tag, "image/svg+xml", || {
+                let views = self.build_compare_views(&vreq.runs, &vreq)?;
+                let labeled: Vec<(&_, &str)> =
+                    views.iter().zip(&vreq.runs).map(|(v, r)| (v, r.as_str())).collect();
+                Ok(render_radial_row(&labeled, &RadialLayout::default(), "comparison").into_bytes())
+            });
+        }
+        let source_hash = source_hash(&vreq.runs, &script_fp);
+        if vreq.schema == LEGACY_SCHEMA_VERSION {
+            let tag = etag(&["compare", &generation.to_string(), &script_fp, &joined, "legacy"]);
+            return self
+                .cached(req, &tag, "application/json", || {
+                    let views = self.build_compare_views(&vreq.runs, &vreq)?;
+                    let labeled: Vec<(&str, &_)> =
+                        vreq.runs.iter().zip(&views).map(|(r, v)| (r.as_str(), v)).collect();
+                    Ok(legacy_envelope(views_to_json(&labeled), source_hash).render().into_bytes())
+                })
+                .header("Deprecation", "version=\"1\"");
+        }
+        self.graph_page(req, &vreq, &vreq.runs, source_hash, &script_fp, generation)
+    }
+
+    /// Serve one page of a projection graph (schema 2): validate the
+    /// cursor against the expected graph fingerprint and the current
+    /// store generation, then answer through the cache ladder. The graph
+    /// build itself runs inside the single-flighted `cached` closure, so
+    /// a concurrent cold burst projects exactly once.
+    fn graph_page(
+        &self,
+        req: &Request,
+        vreq: &ViewRequest,
+        runs: &[String],
+        source_hash: u64,
+        script_fp: &str,
+        generation: u64,
+    ) -> Response {
+        let compare = runs.len() > 1;
+        let expected = ProjectionGraph::expected_fingerprint(source_hash, &vreq.policy, compare);
+        let offset = match &vreq.cursor {
+            None => 0usize,
+            Some(token) => match Cursor::decode(token) {
+                Err(CursorError::Malformed) => {
+                    return structured_error(
+                        400,
+                        "cursor",
+                        "malformed_cursor",
+                        "cursor token is malformed",
+                    );
+                }
+                Err(CursorError::BadSignature) => {
+                    return structured_error(
+                        400,
+                        "cursor",
+                        "bad_cursor_signature",
+                        "cursor signature does not match its payload",
+                    );
+                }
+                Ok(c) => {
+                    if c.graph != expected {
+                        return structured_error(
+                            400,
+                            "cursor",
+                            "wrong_graph",
+                            "cursor belongs to a different view, policy, or run set",
+                        );
+                    }
+                    if c.generation != generation {
+                        return structured_error(
+                            409,
+                            "cursor",
+                            "stale_generation",
+                            &format!(
+                                "cursor was minted at store generation {}, the store is now at {generation}; restart the walk",
+                                c.generation
+                            ),
+                        );
+                    }
+                    c.offset as usize
+                }
+            },
+        };
+        let limit = vreq.page_size;
+        let joined: Vec<&str> = runs.iter().map(String::as_str).collect();
+        let tag = etag(&[
+            "graph",
+            &generation.to_string(),
+            script_fp,
+            &joined.join(","),
+            &vreq.policy.canonical(),
+            &offset.to_string(),
+            &limit.to_string(),
+        ]);
+        self.cached(req, &tag, "application/json", || {
+            let graph = self.graph(vreq, runs, source_hash, generation)?;
+            let count = graph.page(offset, limit).len();
+            let next = if limit > 0 && offset + count < graph.len() {
+                Some(
+                    Cursor {
+                        graph: graph.fingerprint(),
+                        generation,
+                        offset: (offset + count) as u64,
+                    }
+                    .encode(),
+                )
+            } else {
+                None
+            };
+            Ok(graph.page_to_json(offset, limit, next.as_deref()).render().into_bytes())
+        })
+    }
+
+    /// The projection graph for a request, through the bounded
+    /// `(source/policy, generation)` cache.
+    fn graph(
+        &self,
+        vreq: &ViewRequest,
+        runs: &[String],
+        source_hash: u64,
+        generation: u64,
+    ) -> Result<Arc<ProjectionGraph>, Response> {
+        let key =
+            (fingerprint64(&format!("{source_hash:016x}|{}", vreq.policy.canonical())), generation);
+        {
+            let cache = self.graphs.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(g) = cache.map.get(&key) {
+                return Ok(Arc::clone(g));
             }
         }
-        let svg = req.wants_svg();
-        let kind = if svg { "svg" } else { "json" };
-        let generation = self.store.generation().to_string();
-        let script_fp = format!("{:016x}", fingerprint64(script));
-        let joined = runs.join(",");
-        let tag = etag(&["compare", &generation, &script_fp, &joined, kind]);
-        let content_type = if svg { "image/svg+xml" } else { "application/json" };
-        self.cached(req, &tag, content_type, || {
-            let spec = parse_spec(script)?;
-            let datasets: Vec<Arc<DataSet>> =
-                runs.iter().map(|r| self.dataset(r)).collect::<Result<_, _>>()?;
-            let pairs: Vec<(&DataSet, DataKey)> =
-                datasets.iter().zip(&keys).map(|(ds, &k)| (ds.as_ref(), k)).collect();
-            let views = compare_views_cached(&pairs, &spec, &self.agg)
-                .map_err(|e| Response::error(400, &e.to_string()))?;
-            Ok(if svg {
-                let labeled: Vec<(&_, &str)> =
-                    views.iter().zip(&runs).map(|(v, r)| (v, r.as_str())).collect();
-                render_radial_row(&labeled, &RadialLayout::default(), "comparison").into_bytes()
-            } else {
-                let labeled: Vec<(&str, &_)> =
-                    runs.iter().zip(&views).map(|(r, v)| (r.as_str(), v)).collect();
-                views_to_json(&labeled).render().into_bytes()
-            })
-        })
+        let graph = if let [run] = runs {
+            let view = self.build_view(run, vreq)?;
+            ProjectionGraph::build(&view, &vreq.policy, source_hash)
+        } else {
+            let views = self.build_compare_views(runs, vreq)?;
+            let labeled: Vec<(&str, &ProjectionView)> =
+                runs.iter().zip(&views).map(|(r, v)| (r.as_str(), v)).collect();
+            ProjectionGraph::build_compare(&labeled, &vreq.policy, source_hash)
+        };
+        let graph = Arc::new(graph);
+        let mut cache = self.graphs.lock().unwrap_or_else(PoisonError::into_inner);
+        if cache.map.insert(key, Arc::clone(&graph)).is_none() {
+            cache.order.push_back(key);
+            while cache.order.len() > GRAPH_CACHE_CAP {
+                if let Some(oldest) = cache.order.pop_front() {
+                    cache.map.remove(&oldest);
+                }
+            }
+        }
+        Ok(graph)
+    }
+
+    /// Build (or fetch from the aggregation caches) one run's view.
+    fn build_view(&self, run: &str, vreq: &ViewRequest) -> Result<ProjectionView, Response> {
+        let key = self.run_key_or_404(run)?;
+        let ds = self.dataset(run)?;
+        build_view_cached(&ds, &vreq.spec, &self.agg, key)
+            .map_err(|e| Response::error(400, &e.to_string()))
+    }
+
+    /// Build every run's view under shared comparison scales.
+    fn build_compare_views(
+        &self,
+        runs: &[String],
+        vreq: &ViewRequest,
+    ) -> Result<Vec<ProjectionView>, Response> {
+        let keys: Vec<DataKey> =
+            runs.iter().map(|r| self.run_key_or_404(r)).collect::<Result<_, _>>()?;
+        let datasets: Vec<Arc<DataSet>> =
+            runs.iter().map(|r| self.dataset(r)).collect::<Result<_, _>>()?;
+        let pairs: Vec<(&DataSet, DataKey)> =
+            datasets.iter().zip(keys).map(|(ds, k)| (ds.as_ref(), k)).collect();
+        compare_views_cached(&pairs, &vreq.spec, &self.agg)
+            .map_err(|e| Response::error(400, &e.to_string()))
     }
 
     /// Load a run, degrading on-disk damage to a structured error instead
@@ -318,19 +574,21 @@ impl App {
         })
     }
 
-    /// The aggregation-cache key for a stored run, `None` when the run is
-    /// absent (or the id is not the 16-hex-digit form the store emits).
-    fn run_key(&self, run: &str) -> Option<DataKey> {
-        if !self.store.contains(run) {
-            return None;
+    /// The aggregation-cache key for a stored run, a `404` when the run
+    /// is absent (or the id is not the 16-hex-digit form the store
+    /// emits). Only called on cold builds — warm replies never touch the
+    /// manifest.
+    fn run_key_or_404(&self, run: &str) -> Result<DataKey, Response> {
+        let hash = u64::from_str_radix(run, 16).ok().filter(|_| self.store.contains(run));
+        match hash {
+            Some(hash) => Ok(DataKey { run: hash, generation: self.generation() }),
+            None => Err(Response::error(404, &format!("no run {run:?} in the store"))),
         }
-        let hash = u64::from_str_radix(run, 16).ok()?;
-        Some(DataKey { run: hash, generation: self.store.generation() })
     }
 
     /// A parsed dataset, through the bounded `(run, generation)` cache.
     fn dataset(&self, run: &str) -> Result<Arc<DataSet>, Response> {
-        let key = (run.to_string(), self.store.generation());
+        let key = (run.to_string(), self.generation());
         {
             let cache = self.datasets.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(ds) = cache.map.get(&key) {
@@ -352,8 +610,30 @@ impl App {
     }
 }
 
-fn parse_spec(script: &str) -> Result<ProjectionSpec, Response> {
-    parse_script(script).map_err(|e| Response::error(400, &format!("bad script: {e}")))
+/// Content-addressed source fingerprint: run ids + script. Independent
+/// of shard layout and store generation, so graph node ids (and the node
+/// content of every page) are identical across shard counts and across
+/// serial/parallel sweeps over the same configurations.
+fn source_hash(runs: &[String], script_fp: &str) -> u64 {
+    fingerprint64(&format!("{}|{script_fp}", runs.join(",")))
+}
+
+/// A structured error body: `{"error", "field", "code"}` — machine-
+/// readable (`code` is stable) and human-readable (`error`) at once.
+fn structured_error(status: u16, field: &str, code: &str, message: &str) -> Response {
+    let body = Json::obj([
+        ("error", Json::Str(message.to_string())),
+        ("field", Json::Str(field.to_string())),
+        ("code", Json::Str(code.to_string())),
+    ]);
+    Response::new(status)
+        .header("Content-Type", "application/json")
+        .with_body(body.render().into_bytes())
+}
+
+/// Render a [`RequestError`] from the shared parsing path as a 400.
+fn request_error(e: &RequestError) -> Response {
+    structured_error(400, e.field, e.code, &e.message)
 }
 
 /// `GET /metricsz`: JSON snapshot by default, Prometheus text exposition

@@ -1,9 +1,10 @@
 //! Hand-rolled HTTP/1.1 request parsing and response writing.
 //!
-//! Deliberately minimal: the server speaks `Connection: close`, fixed
-//! `Content-Length` bodies, and rejects anything outside the subset it
-//! serves. Every limit is explicit so a hostile peer gets a `400`/`413`
-//! and a closed socket, never unbounded buffering or a hung worker:
+//! Deliberately minimal: fixed `Content-Length` bodies, HTTP/1.1
+//! keep-alive (`Connection: close` honored; HTTP/1.0 defaults to close),
+//! and a hard rejection of anything outside the subset it serves. Every
+//! limit is explicit so a hostile peer gets a `400`/`413` and a closed
+//! socket, never unbounded buffering or a hung worker:
 //!
 //! * request line ≤ 8 KB, header line ≤ 8 KB, ≤ 64 headers,
 //! * body ≤ 1 MB via `Content-Length` (`413` beyond),
@@ -36,6 +37,10 @@ pub struct Request {
     pub headers: BTreeMap<String, String>,
     /// Raw body bytes.
     pub body: Vec<u8>,
+    /// Whether the connection may serve another request after this one
+    /// (HTTP/1.1 default unless `Connection: close`; HTTP/1.0 only with
+    /// an explicit `Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -184,7 +189,14 @@ pub fn read_request(r: &mut impl Read) -> Result<Option<Request>, ParseError> {
         None => Vec::new(),
     };
 
-    Ok(Some(Request { method, path, query, headers, body }))
+    let connection = headers.get("connection").map(String::as_str).unwrap_or("");
+    let keep_alive = if version == "HTTP/1.0" {
+        connection.eq_ignore_ascii_case("keep-alive")
+    } else {
+        !connection.eq_ignore_ascii_case("close")
+    };
+
+    Ok(Some(Request { method, path, query, headers, body, keep_alive }))
 }
 
 /// A response ready to serialize.
@@ -235,9 +247,10 @@ impl Response {
         self
     }
 
-    /// Serialize to `w`. Every response closes the connection and carries
-    /// an explicit `Content-Length`.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+    /// Serialize to `w` with an explicit `Content-Length` and a
+    /// `Connection` header announcing whether the server will close the
+    /// connection (`close`) or serve another request (`keep-alive`).
+    pub fn write_to(&self, w: &mut impl Write, close: bool) -> io::Result<()> {
         let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, status_text(self.status));
         for (name, value) in &self.headers {
             head.push_str(name);
@@ -246,7 +259,11 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
-        head.push_str("Connection: close\r\n\r\n");
+        head.push_str(if close {
+            "Connection: close\r\n\r\n"
+        } else {
+            "Connection: keep-alive\r\n\r\n"
+        });
         w.write_all(head.as_bytes())?;
         w.write_all(&self.body)?;
         w.flush()
@@ -261,6 +278,8 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
         411 => "Length Required",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
@@ -316,11 +335,11 @@ mod tests {
     }
 
     #[test]
-    fn responses_carry_length_and_close() {
+    fn responses_carry_length_and_the_connection_disposition() {
         let mut out = Vec::new();
         Response::json("{\"ok\":true}".into())
             .header("ETag", "\"abc\"")
-            .write_to(&mut out)
+            .write_to(&mut out, true)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
@@ -328,5 +347,19 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"), "{text}");
         assert!(text.contains("ETag: \"abc\"\r\n"), "{text}");
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+
+        let mut out = Vec::new();
+        Response::json("{}".into()).write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let k = |bytes: &[u8]| parse(bytes).unwrap().unwrap().keep_alive;
+        assert!(k(b"GET / HTTP/1.1\r\n\r\n"), "1.1 defaults to keep-alive");
+        assert!(!k(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!k(b"GET / HTTP/1.0\r\n\r\n"), "1.0 defaults to close");
+        assert!(k(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"));
     }
 }

@@ -7,23 +7,39 @@
 //!
 //! * `GET /runs` — manifest listing.
 //! * `GET /runs/{id}/columns/{field}` — raw columnar slices.
-//! * `POST /views?run={id}` — script body → JSON view model, or SVG when
+//! * `POST /views?run={id}` — script body → paged projection-graph
+//!   envelope (schema 2), the legacy monolithic payload via `?schema=1`
+//!   (answered with a `Deprecation` header), or SVG when
 //!   `Accept: image/svg+xml`.
-//! * `POST /compare?runs={a},{b}` — shared-scale comparison.
+//! * `POST /compare?runs={a},{b}` — shared-scale comparison, same
+//!   schema/paging contract.
 //! * `GET /healthz`, `GET /metricsz` — liveness + hrviz-obs snapshot.
 //!
+//! View and compare requests parse through one typed path
+//! ([`hrviz_core::ViewRequest`] + [`hrviz_core::RenderPolicy`]), shared
+//! with the CLI; malformed parameters answer structured 400s naming the
+//! field and a stable machine code. Paging uses signed opaque cursors
+//! bound to the graph fingerprint and store generation — a mid-walk
+//! generation bump answers a structured `409` rather than silently mixing
+//! generations.
+//!
 //! Responses are deterministic, so they are cacheable by content identity:
-//! `ETag = fnv1a(store generation ‖ script fingerprint ‖ run ids)`, with
-//! `If-None-Match` answered `304` before any store or simulator work.
-//! Warm requests never re-aggregate — the body cache is keyed by the same
-//! fingerprint, and aggregation under it is memoized per store generation
-//! through [`AggregateCache`](hrviz_core::AggregateCache).
+//! `ETag = fnv1a(store generation ‖ script fingerprint ‖ run ids ‖ policy
+//! ‖ page)`, with `If-None-Match` answered `304` before any store or
+//! simulator work. Warm requests never re-aggregate — the body cache is
+//! keyed by the same fingerprint, aggregation under it is memoized per
+//! store generation through [`AggregateCache`](hrviz_core::AggregateCache),
+//! and cold fills are single-flighted ([`singleflight`]): concurrent
+//! identical requests elect one leader to build while the rest share its
+//! result.
 //!
 //! The server core is a bounded worker pool ([`pool`]) with explicit load
 //! shedding: a full queue answers `503` + `Retry-After` instead of growing
 //! memory, a connection cap bounds sockets, per-connection read/write
 //! timeouts bound slow clients, and SIGINT drains in-flight requests
-//! before exit. The request path is panic-free (enforced by hrviz-lint's
+//! before exit. Connections are keep-alive by default (HTTP/1.1), with a
+//! per-connection request cap and the read timeout doubling as the idle
+//! timeout. The request path is panic-free (enforced by hrviz-lint's
 //! panic scope plus `clippy::unwrap_used`); a worker-level unwind guard
 //! converts any residual panic into a `500` and a `serve/panics` counter
 //! rather than a dead worker.
@@ -38,6 +54,7 @@ pub mod http;
 pub mod pool;
 pub mod router;
 pub mod server;
+pub mod singleflight;
 
 pub use cache::ResponseCache;
 pub use handlers::App;

@@ -68,6 +68,7 @@ mod tests {
             query: BTreeMap::new(),
             headers: BTreeMap::new(),
             body: Vec::new(),
+            keep_alive: true,
         }
     }
 

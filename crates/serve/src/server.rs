@@ -11,7 +11,7 @@
 //! accepting, the pool drains every request it already accepted, and
 //! [`Server::serve`] returns a [`ServeReport`].
 
-use std::io::{ErrorKind, Read};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -35,8 +35,12 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Connections admitted at once (queued + in flight).
     pub max_conns: usize,
-    /// Per-connection read/write timeout, milliseconds.
+    /// Per-connection read/write timeout, milliseconds. Also bounds how
+    /// long an idle keep-alive connection may sit between requests.
     pub timeout_ms: u64,
+    /// Requests served per connection before the server closes it
+    /// (keep-alive cap; 1 restores one-request-per-connection).
+    pub keepalive_requests: usize,
 }
 
 impl Default for ServeConfig {
@@ -47,6 +51,7 @@ impl Default for ServeConfig {
             queue_depth: 32,
             max_conns: 256,
             timeout_ms: 5000,
+            keepalive_requests: 1000,
         }
     }
 }
@@ -65,6 +70,9 @@ impl ServeConfig {
         }
         if self.timeout_ms == 0 {
             return Err(HrvizError::config("--timeout-ms must be at least 1"));
+        }
+        if self.keepalive_requests == 0 {
+            return Err(HrvizError::config("--keepalive-requests must be at least 1"));
         }
         Ok(())
     }
@@ -155,9 +163,12 @@ impl Server {
         let app = Arc::clone(&self.app);
         let live_in_pool = Arc::clone(&live);
         let requests_in_pool = Arc::clone(&requests);
+        let stop_in_pool = Arc::clone(&self.stop);
+        let keepalive_requests = self.cfg.keepalive_requests;
         let pool = WorkerPool::new(self.cfg.workers, self.cfg.queue_depth, move |stream| {
-            if handle_connection(&app, stream) {
-                requests_in_pool.fetch_add(1, Ordering::SeqCst);
+            let served = handle_connection(&app, stream, keepalive_requests, &stop_in_pool);
+            if served > 0 {
+                requests_in_pool.fetch_add(served, Ordering::SeqCst);
             }
             live_in_pool.fetch_sub(1, Ordering::SeqCst);
         });
@@ -240,7 +251,13 @@ fn shed(stream: TcpStream) {
 /// response before the peer reads it — error and shed replies would
 /// vanish exactly when they matter.
 fn respond_and_close(mut stream: TcpStream, resp: &Response) {
-    let _ = resp.write_to(&mut stream);
+    let _ = resp.write_to(&mut stream, true);
+    graceful_close(stream);
+}
+
+/// FIN, then drain whatever the peer already sent (bounded) so the close
+/// never turns into an RST that destroys the in-flight response.
+fn graceful_close(mut stream: TcpStream) {
     let _ = stream.shutdown(Shutdown::Write);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let mut sink = [0u8; 1024];
@@ -253,24 +270,68 @@ fn respond_and_close(mut stream: TcpStream, resp: &Response) {
     }
 }
 
-/// Serve one connection; `true` when a request (or a parse error that got
-/// an error response) was answered, `false` for a silent disconnect.
-fn handle_connection(app: &App, mut stream: TcpStream) -> bool {
-    match read_request(&mut stream) {
-        Ok(Some(req)) => {
-            let resp = app.handle(&req);
-            respond_and_close(stream, &resp);
-            true
-        }
-        Ok(None) => false, // peer connected and closed without a request
-        Err(e) => {
-            hrviz_obs::get().counter_add("serve/http_errors", 1);
-            if let Some(resp) = e.response() {
-                respond_and_close(stream, &resp);
+/// Responses buffered per connection before forcing a socket write, even
+/// with further pipelined requests pending.
+const WRITE_BATCH: usize = 64 * 1024;
+
+/// Serve one connection until the peer closes, asks for `Connection:
+/// close`, hits the per-connection request cap, idles past the read
+/// timeout, or the server begins shutdown. Returns the number of
+/// requests answered (including error responses).
+///
+/// Responses are serialized into a per-connection buffer and written to
+/// the socket only when the read side has no pipelined bytes pending (or
+/// the buffer passes [`WRITE_BATCH`]) — a pipelining client gets its
+/// whole burst in one write instead of one syscall per response.
+fn handle_connection(app: &App, stream: TcpStream, max_requests: usize, stop: &AtomicBool) -> u64 {
+    // Small responses must not wait on Nagle for the next batch.
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return 0;
+    };
+    let mut reader = std::io::BufReader::with_capacity(16 * 1024, read_half);
+    let mut out: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut served = 0u64;
+    let max_requests = max_requests.max(1);
+    for n in 1..=max_requests {
+        match read_request(&mut reader) {
+            Ok(Some(req)) => {
+                let close = !req.keep_alive || n == max_requests || stop.load(Ordering::SeqCst);
+                let resp = app.handle(&req);
+                let _ = resp.write_to(&mut out, close); // Vec writes are infallible
+                served += 1;
+                let flush = close || out.len() >= WRITE_BATCH || reader.buffer().is_empty();
+                if flush {
+                    if (&stream).write_all(&out).is_err() {
+                        return served;
+                    }
+                    out.clear();
+                }
+                if close {
+                    graceful_close(stream);
+                    return served;
+                }
             }
-            true
+            // Peer closed (or idled past the read timeout) between
+            // requests — a normal keep-alive end, not an error.
+            Ok(None) => break,
+            Err(e) => {
+                if let Some(resp) = e.response() {
+                    hrviz_obs::get().counter_add("serve/http_errors", 1);
+                    let _ = resp.write_to(&mut out, true);
+                    served += 1;
+                    let _ = (&stream).write_all(&out);
+                    graceful_close(stream);
+                    return served;
+                }
+                break; // socket error / timeout mid-request: just close
+            }
         }
     }
+    if !out.is_empty() {
+        let _ = (&stream).write_all(&out);
+    }
+    served
 }
 
 /// Install a SIGINT/SIGTERM handler that shuts `handle` down; the serve

@@ -1,0 +1,214 @@
+//! Single-flight coalescing for cold cache fills.
+//!
+//! When many identical requests arrive while the response cache is cold
+//! (the thundering-herd shape: a dashboard with N panels all asking for
+//! the same view the moment a sweep finishes), only the first should pay
+//! the projection cost. The rest park on a per-key [`Condvar`] and reuse
+//! the leader's result.
+//!
+//! The map holds one [`Flight`] per in-progress key; the leader removes
+//! it again when publishing, so entries live exactly as long as the
+//! computation. A leader that unwinds without publishing (build panic)
+//! still clears the entry via [`LeaderGuard`]'s `Drop` and wakes the
+//! followers — they observe "leader failed" and recompute rather than
+//! hanging, so one poisoned build can never wedge every future request
+//! for that key.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-progress computation.
+struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    done: Condvar,
+}
+
+enum FlightState<T> {
+    Running,
+    /// Leader finished; `None` means it failed (or panicked) and
+    /// followers must compute for themselves.
+    Done(Option<T>),
+}
+
+struct Inner<T> {
+    flights: Mutex<BTreeMap<String, Arc<Flight<T>>>>,
+}
+
+impl<T> Inner<T> {
+    /// Remove the flight for `key`, publish `result`, wake followers.
+    fn publish(&self, key: &str, result: Option<T>) {
+        let flight = {
+            let mut flights = self.flights.lock().unwrap_or_else(|p| p.into_inner());
+            flights.remove(key)
+        };
+        if let Some(flight) = flight {
+            let mut state = flight.state.lock().unwrap_or_else(|p| p.into_inner());
+            *state = FlightState::Done(result);
+            flight.done.notify_all();
+        }
+    }
+}
+
+/// A keyed single-flight group. `T` is the (cheaply cloneable) result.
+pub struct SingleFlight<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// What [`SingleFlight::join`] decided for this caller.
+pub enum Role<T> {
+    /// No flight was in progress: this caller leads and must publish via
+    /// [`LeaderGuard::complete`]. Dropping the guard without completing
+    /// publishes "failed" (panic safety).
+    Leader(LeaderGuard<T>),
+    /// Another caller was already computing this key and finished; here
+    /// is its result.
+    Shared(T),
+    /// The leader failed (or panicked); compute independently.
+    LeaderFailed,
+}
+
+/// The leader's obligation to publish, enforced against panics: dropping
+/// it without [`LeaderGuard::complete`] publishes "failed" and wakes the
+/// followers.
+pub struct LeaderGuard<T> {
+    inner: Arc<Inner<T>>,
+    key: String,
+    armed: bool,
+}
+
+impl<T: Clone> Default for SingleFlight<T> {
+    fn default() -> SingleFlight<T> {
+        SingleFlight::new()
+    }
+}
+
+impl<T: Clone> SingleFlight<T> {
+    /// An empty group.
+    pub fn new() -> SingleFlight<T> {
+        SingleFlight { inner: Arc::new(Inner { flights: Mutex::new(BTreeMap::new()) }) }
+    }
+
+    /// Join the flight for `key`: become the leader, or block until the
+    /// current leader publishes and share its result.
+    pub fn join(&self, key: &str) -> Role<T> {
+        let flight = {
+            let mut flights = self.inner.flights.lock().unwrap_or_else(|p| p.into_inner());
+            match flights.get(key) {
+                Some(f) => Arc::clone(f),
+                None => {
+                    let f = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running),
+                        done: Condvar::new(),
+                    });
+                    flights.insert(key.to_string(), f);
+                    return Role::Leader(LeaderGuard {
+                        inner: Arc::clone(&self.inner),
+                        key: key.to_string(),
+                        armed: true,
+                    });
+                }
+            }
+        };
+        let mut state = flight.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match &*state {
+                FlightState::Running => {
+                    state = flight.done.wait(state).unwrap_or_else(|p| p.into_inner());
+                }
+                FlightState::Done(Some(value)) => return Role::Shared(value.clone()),
+                FlightState::Done(None) => return Role::LeaderFailed,
+            }
+        }
+    }
+}
+
+impl<T> LeaderGuard<T> {
+    /// Publish the leader's result (`None` on failure) and wake every
+    /// follower. Consumes the guard so it cannot double-publish.
+    pub fn complete(mut self, result: Option<T>) {
+        self.armed = false;
+        self.inner.publish(&self.key, result);
+    }
+}
+
+impl<T> Drop for LeaderGuard<T> {
+    fn drop(&mut self) {
+        if self.armed {
+            // The leader unwound without publishing (build panicked):
+            // release the followers to recompute.
+            self.inner.publish(&self.key, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn followers_share_the_leaders_result() {
+        let group = Arc::new(SingleFlight::<u64>::new());
+        let computed = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let group = Arc::clone(&group);
+            let computed = Arc::clone(&computed);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                match group.join("k") {
+                    Role::Leader(guard) => {
+                        computed.fetch_add(1, Ordering::SeqCst);
+                        // Give followers time to park on the condvar.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        guard.complete(Some(42));
+                        42
+                    }
+                    Role::Shared(v) => v,
+                    Role::LeaderFailed => panic!("leader must not fail here"),
+                }
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().expect("no panics"), 42);
+        }
+        assert_eq!(computed.load(Ordering::SeqCst), 1, "exactly one computation");
+    }
+
+    #[test]
+    fn leader_failure_releases_followers_to_recompute() {
+        let group = Arc::new(SingleFlight::<u64>::new());
+        let Role::Leader(guard) = group.join("k") else { panic!("first joiner leads") };
+        let follower = {
+            let group = Arc::clone(&group);
+            std::thread::spawn(move || matches!(group.join("k"), Role::LeaderFailed))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        guard.complete(None);
+        assert!(follower.join().expect("no panic"), "follower sees the failure");
+        // The key is free again: the next joiner leads.
+        assert!(matches!(group.join("k"), Role::Leader(_)));
+    }
+
+    #[test]
+    fn dropping_the_guard_without_completing_frees_the_key() {
+        let group = SingleFlight::<u64>::new();
+        {
+            let Role::Leader(_guard) = group.join("k") else { panic!() };
+            // _guard dropped here without complete(): simulated panic.
+        }
+        assert!(matches!(group.join("k"), Role::Leader(_)), "key released on drop");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_serialize() {
+        let group = SingleFlight::<u64>::new();
+        let Role::Leader(a) = group.join("a") else { panic!() };
+        let Role::Leader(b) = group.join("b") else { panic!() };
+        a.complete(Some(1));
+        b.complete(Some(2));
+        assert!(matches!(group.join("a"), Role::Leader(_)));
+    }
+}

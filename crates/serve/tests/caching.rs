@@ -80,6 +80,29 @@ fn warm_requests_skip_the_pipeline() {
     assert_ne!(other.header("ETag"), Some(tag.as_str()), "distinct scripts get distinct tags");
     assert_ne!(other.body, cold.body);
 
+    // Single-flight: a concurrent cold burst for a brand-new script runs
+    // the projection pipeline exactly once — one leader builds, the rest
+    // coalesce onto its flight or hit the body cache it fills.
+    let burst_script = r#"{ project: "terminal", aggregate: "group_id",
+                            vmap: { color: "traffic", size: "sat_time" } }"#;
+    let pre_burst = span_count("core/project");
+    let burst: Vec<_> = (0..8)
+        .map(|_| {
+            let path = views_path.clone();
+            std::thread::spawn(move || post(addr, &path, burst_script, &[]))
+        })
+        .collect();
+    let replies: Vec<_> = burst.into_iter().map(|t| t.join().expect("burst client")).collect();
+    for reply in &replies {
+        assert_eq!(reply.status, 200, "burst body: {}", reply.text());
+        assert_eq!(reply.body, replies[0].body, "burst replies are byte-identical");
+    }
+    assert_eq!(
+        span_count("core/project"),
+        pre_burst + 1,
+        "a concurrent cold burst single-flights into exactly one projection"
+    );
+
     // /metricsz exposes the same counters we just exercised.
     let metrics = get(addr, "/metricsz", &[]);
     assert_eq!(metrics.status, 200);

@@ -52,8 +52,13 @@ pub struct TestServer {
 }
 
 /// Start a server on port 0 with `cfg`'s tuning (its `addr` is replaced).
-pub fn start(mut cfg: ServeConfig) -> TestServer {
+pub fn start(cfg: ServeConfig) -> TestServer {
     let (dir, _) = test_store();
+    start_with_store(cfg, dir)
+}
+
+/// Start a server on port 0 over an arbitrary store directory.
+pub fn start_with_store(mut cfg: ServeConfig, dir: &std::path::Path) -> TestServer {
     cfg.addr = "127.0.0.1:0".into();
     let server = Server::bind(cfg, RunStore::open(dir).expect("reopen store")).expect("bind");
     let addr = server.local_addr().expect("local addr");
@@ -98,7 +103,8 @@ pub fn raw(addr: SocketAddr, bytes: &[u8]) -> Reply {
     parse_reply(&buf)
 }
 
-fn parse_reply(buf: &[u8]) -> Reply {
+/// Parse a raw HTTP reply (status line, headers, body).
+pub fn parse_reply(buf: &[u8]) -> Reply {
     let split =
         buf.windows(4).position(|w| w == b"\r\n\r\n").expect("reply has a header/body separator");
     let head = String::from_utf8_lossy(&buf[..split]).into_owned();
@@ -117,9 +123,10 @@ fn parse_reply(buf: &[u8]) -> Reply {
     Reply { status, headers, body }
 }
 
-/// `GET path` with optional extra headers.
+/// `GET path` with optional extra headers. Sends `Connection: close`
+/// (the server is keep-alive by default and [`raw`] reads to EOF).
 pub fn get(addr: SocketAddr, path: &str, extra: &[(&str, &str)]) -> Reply {
-    let mut req = format!("GET {path} HTTP/1.1\r\nHost: test\r\n");
+    let mut req = format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
     for (k, v) in extra {
         req.push_str(&format!("{k}: {v}\r\n"));
     }
@@ -127,10 +134,13 @@ pub fn get(addr: SocketAddr, path: &str, extra: &[(&str, &str)]) -> Reply {
     raw(addr, req.as_bytes())
 }
 
-/// `POST path` with a body and optional extra headers.
+/// `POST path` with a body and optional extra headers. Sends
+/// `Connection: close` like [`get`].
 pub fn post(addr: SocketAddr, path: &str, body: &str, extra: &[(&str, &str)]) -> Reply {
-    let mut req =
-        format!("POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n", body.len());
+    let mut req = format!(
+        "POST {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n",
+        body.len()
+    );
     for (k, v) in extra {
         req.push_str(&format!("{k}: {v}\r\n"));
     }

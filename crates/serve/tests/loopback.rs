@@ -42,10 +42,25 @@ fn endpoints_end_to_end() {
     assert_eq!(get(addr, "/runs/ffffffffffffffff/columns/traffic", &[]).status, 404);
     assert_eq!(get(addr, &format!("/runs/{}/columns/not_a_field", runs[0]), &[]).status, 404);
 
+    // Default wire schema: the paged projection-graph envelope.
     let view = post(addr, &format!("/views?run={}", runs[0]), SCRIPT, &[]);
     assert_eq!(view.status, 200, "view body: {}", view.text());
     assert!(view.header("ETag").is_some(), "views reply carries an ETag");
-    assert!(view.text().contains("\"rings\""), "view body: {}", view.text());
+    assert!(view.text().contains("\"schema_version\":2"), "view body: {}", view.text());
+    assert!(view.text().contains("\"nodes\""), "view body: {}", view.text());
+    assert!(view.header("Deprecation").is_none(), "schema 2 is not deprecated");
+
+    // The legacy monolithic payload stays reachable, flagged deprecated.
+    let legacy = post(addr, &format!("/views?run={}&schema=1", runs[0]), SCRIPT, &[]);
+    assert_eq!(legacy.status, 200, "legacy body: {}", legacy.text());
+    assert!(legacy.text().contains("\"schema_version\":1"), "legacy body: {}", legacy.text());
+    assert!(legacy.text().contains("\"rings\""), "legacy body: {}", legacy.text());
+    assert!(legacy.header("Deprecation").is_some(), "schema 1 answers with Deprecation");
+
+    // Unknown schemas are a structured 400.
+    let bad_schema = post(addr, &format!("/views?run={}&schema=9", runs[0]), SCRIPT, &[]);
+    assert_eq!(bad_schema.status, 400);
+    assert!(bad_schema.text().contains("unknown_schema"), "body: {}", bad_schema.text());
 
     let svg =
         post(addr, &format!("/views?run={}", runs[0]), SCRIPT, &[("Accept", "image/svg+xml")]);
@@ -55,7 +70,14 @@ fn endpoints_end_to_end() {
 
     let cmp = post(addr, &format!("/compare?runs={},{}", runs[0], runs[1]), SCRIPT, &[]);
     assert_eq!(cmp.status, 200, "compare body: {}", cmp.text());
-    assert!(cmp.text().contains("\"views\""), "compare body: {}", cmp.text());
+    assert!(cmp.text().contains("\"schema_version\":2"), "compare body: {}", cmp.text());
+    assert!(cmp.text().contains("\"compare\""), "compare body: {}", cmp.text());
+
+    let cmp_legacy =
+        post(addr, &format!("/compare?runs={},{}&schema=1", runs[0], runs[1]), SCRIPT, &[]);
+    assert_eq!(cmp_legacy.status, 200, "legacy compare body: {}", cmp_legacy.text());
+    assert!(cmp_legacy.text().contains("\"views\""), "legacy compare: {}", cmp_legacy.text());
+    assert!(cmp_legacy.header("Deprecation").is_some());
 
     let bad_script = post(addr, &format!("/views?run={}", runs[0]), "{ nonsense", &[]);
     assert_eq!(bad_script.status, 400);
@@ -95,6 +117,69 @@ fn concurrent_identical_views_are_byte_identical() {
         assert_eq!(reply.header("ETag"), first.header("ETag"));
     }
     server.stop();
+}
+
+#[test]
+fn keep_alive_reuses_one_socket_for_sequential_requests() {
+    let server = start(ServeConfig::default());
+    let addr = server.addr;
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+
+    // Two requests, one socket. Each reply must announce keep-alive and
+    // be fully framed by Content-Length.
+    for _ in 0..2 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send on the reused socket");
+        let reply = read_framed_reply(&mut stream);
+        assert_eq!(reply.status, 200, "body: {}", reply.text());
+        assert_eq!(reply.header("Connection"), Some("keep-alive"));
+        assert!(reply.text().contains("\"status\":\"ok\""));
+    }
+
+    // An explicit Connection: close is honored: reply says close, then EOF.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send final request");
+    let last = read_framed_reply(&mut stream);
+    assert_eq!(last.status, 200);
+    assert_eq!(last.header("Connection"), Some("close"));
+    let mut probe = [0u8; 1];
+    use std::io::Read;
+    assert_eq!(stream.read(&mut probe).unwrap_or(0), 0, "server closed after close");
+
+    let report = server.stop();
+    assert_eq!(report.requests, 3, "three requests over one connection: {report:?}");
+}
+
+/// Read exactly one `Content-Length`-framed reply without consuming
+/// bytes of the next one (1-byte reads through the header, then the
+/// exact body length).
+fn read_framed_reply(stream: &mut TcpStream) -> common::Reply {
+    use std::io::Read;
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read header byte");
+        assert!(n > 0, "EOF inside reply headers");
+        head.push(byte[0]);
+        assert!(head.len() < 64 * 1024, "runaway header");
+    }
+    let text = String::from_utf8_lossy(&head).into_owned();
+    let length: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("framed reply")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("read body");
+    let mut framed = head;
+    framed.extend_from_slice(&body);
+    common::parse_reply(&framed)
 }
 
 #[test]

@@ -1,0 +1,170 @@
+//! Paging determinism over a Fat-Tree view: a page-by-page walk with
+//! stable node ids and no duplicates or gaps, cursor invalidation on a
+//! mid-walk generation bump (structured 409, never silently mixed
+//! generations), and structured 400s for damaged cursors.
+
+mod common;
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use hrviz_obs::Json;
+use hrviz_pdes::SimTime;
+use hrviz_serve::ServeConfig;
+use hrviz_sweep::{RunStore, SweepEngine, SweepSpec, TopologyAxis};
+
+use common::{post, start_with_store, Reply, SCRIPT};
+
+/// Build (once per process) a store holding one Fat-Tree (k=8) run —
+/// a view big enough that a small page size takes many pages to walk.
+fn fat_tree_store() -> &'static (PathBuf, String) {
+    static STORE: OnceLock<(PathBuf, String)> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("hrviz-serve-paging-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).expect("open store");
+        let spec = SweepSpec::new("page", TopologyAxis::FatTree { k: 8 })
+            .msgs_per_rank(2)
+            .msg_bytes(1024)
+            .period(SimTime::micros(1));
+        let engine = SweepEngine::new(store).with_workers(1);
+        engine.run(&spec).expect("sweep the fat tree");
+        let runs = engine.store().runs().expect("list runs");
+        assert_eq!(runs.len(), 1, "one config, one run");
+        (dir, runs[0].clone())
+    })
+}
+
+fn body_json(reply: &Reply) -> Json {
+    Json::parse(&reply.text()).unwrap_or_else(|e| panic!("bad JSON ({e}): {}", reply.text()))
+}
+
+/// Node ids (in order) from one envelope page.
+fn page_ids(envelope: &Json) -> Vec<String> {
+    envelope
+        .get("nodes")
+        .and_then(Json::as_array)
+        .expect("envelope has a nodes array")
+        .iter()
+        .map(|n| n.get("id").and_then(Json::as_str).expect("node has an id").to_string())
+        .collect()
+}
+
+#[test]
+fn paged_walk_is_complete_stable_and_generation_checked() {
+    let (dir, run) = fat_tree_store();
+    let server = start_with_store(ServeConfig::default(), dir);
+    let addr = server.addr;
+
+    // Baseline: the whole graph in one unpaged response.
+    let full = post(addr, &format!("/views?run={run}"), SCRIPT, &[]);
+    assert_eq!(full.status, 200, "unpaged body: {}", full.text());
+    let full_env = body_json(&full);
+    let total = full_env.get("total_nodes").and_then(Json::as_u64).expect("total_nodes") as usize;
+    let full_ids = page_ids(&full_env);
+    assert_eq!(full_ids.len(), total, "unpaged response carries every node");
+    assert!(total > 20, "the Fat-Tree view is big enough to need many pages: {total}");
+    assert!(full_env.get("next_cursor").expect("field present").as_str().is_none());
+
+    // Walk page by page: every page but the last is exactly page_size
+    // nodes, ids concatenate to the unpaged sequence (no dups, no gaps),
+    // and offsets advance monotonically.
+    let page_size = 7;
+    let mut walked: Vec<String> = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut cursor: Option<String> = None;
+    let mut mid_walk_cursor = None;
+    loop {
+        let path = match &cursor {
+            None => format!("/views?run={run}&page_size={page_size}"),
+            Some(c) => format!("/views?run={run}&page_size={page_size}&cursor={c}"),
+        };
+        let page = post(addr, &path, SCRIPT, &[]);
+        assert_eq!(page.status, 200, "page body: {}", page.text());
+        let env = body_json(&page);
+        assert_eq!(env.get("schema_version").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            env.get("total_nodes").and_then(Json::as_u64),
+            Some(total as u64),
+            "every page agrees on the graph size"
+        );
+        let offset = env
+            .get("page")
+            .and_then(|p| p.get("offset"))
+            .and_then(Json::as_u64)
+            .expect("page offset") as usize;
+        assert_eq!(offset, walked.len(), "pages advance without gaps or overlap");
+        let ids = page_ids(&env);
+        for id in &ids {
+            assert!(seen.insert(id.clone()), "duplicate node id across pages: {id}");
+        }
+        walked.extend(ids);
+        match env.get("next_cursor").expect("field present").as_str() {
+            Some(tok) => {
+                assert!(walked.len() < total, "a non-final page carries a cursor");
+                assert_eq!(
+                    env.get("page").and_then(|p| p.get("count")).and_then(Json::as_u64),
+                    Some(page_size as u64),
+                    "full pages before the last"
+                );
+                if mid_walk_cursor.is_none() {
+                    mid_walk_cursor = Some(tok.to_string());
+                }
+                cursor = Some(tok.to_string());
+            }
+            None => break,
+        }
+    }
+    assert_eq!(walked, full_ids, "the paged walk reproduces the unpaged node sequence");
+
+    // Damaged cursors answer structured 400s, before any build work.
+    let stale = mid_walk_cursor.expect("the walk took more than one page");
+    let garbled = post(
+        addr,
+        &format!("/views?run={run}&page_size={page_size}&cursor=not-a-cursor"),
+        SCRIPT,
+        &[],
+    );
+    assert_eq!(garbled.status, 400, "garbled cursor: {}", garbled.text());
+    assert!(garbled.text().contains("malformed_cursor"), "body: {}", garbled.text());
+
+    let mut tampered = stale.clone();
+    // Flip a digit inside the signed payload; the signature no longer
+    // matches.
+    let flip = tampered.pop().expect("token is non-empty");
+    tampered.push(if flip == '0' { '1' } else { '0' });
+    let forged = post(
+        addr,
+        &format!("/views?run={run}&page_size={page_size}&cursor={tampered}"),
+        SCRIPT,
+        &[],
+    );
+    assert_eq!(forged.status, 400, "tampered cursor: {}", forged.text());
+    assert!(forged.text().contains("bad_cursor_signature"), "body: {}", forged.text());
+
+    // A cursor minted for a different policy (different graph) is refused.
+    let cross = post(
+        addr,
+        &format!("/views?run={run}&page_size={page_size}&max_depth=2&cursor={stale}"),
+        SCRIPT,
+        &[],
+    );
+    assert_eq!(cross.status, 400, "cross-graph cursor: {}", cross.text());
+    assert!(cross.text().contains("wrong_graph"), "body: {}", cross.text());
+
+    // Mid-walk generation bump: the held cursor answers a structured 409
+    // — the server never silently mixes generations.
+    RunStore::open(dir).expect("reopen store").bump_generation().expect("bump generation");
+    let bumped =
+        post(addr, &format!("/views?run={run}&page_size={page_size}&cursor={stale}"), SCRIPT, &[]);
+    assert_eq!(bumped.status, 409, "stale cursor: {}", bumped.text());
+    assert!(bumped.text().contains("stale_generation"), "body: {}", bumped.text());
+
+    // A fresh walk (no cursor) works at the new generation.
+    let fresh = post(addr, &format!("/views?run={run}&page_size={page_size}"), SCRIPT, &[]);
+    assert_eq!(fresh.status, 200, "fresh page after bump: {}", fresh.text());
+    assert_eq!(page_ids(&body_json(&fresh)), full_ids[..page_size], "node ids are stable");
+
+    server.stop();
+}
