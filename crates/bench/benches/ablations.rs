@@ -93,7 +93,7 @@ fn bench_ugal_threshold(c: &mut Criterion) {
 }
 
 fn bench_maxbins(c: &mut Criterion) {
-    let spec = NetworkSpec::new(DragonflyConfig::paper_scale(2_550))
+    let spec = NetworkSpec::new(DragonflyConfig::try_paper_scale(2_550).expect("paper scale"))
         .with_routing(RoutingAlgorithm::adaptive_default());
     let mut sim = Simulation::new(spec);
     for src in 0..2_550u32 {

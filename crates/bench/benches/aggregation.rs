@@ -14,7 +14,7 @@ use hrviz_network::{
 use hrviz_pdes::SimTime;
 
 fn sample_run() -> RunData {
-    let spec = NetworkSpec::new(DragonflyConfig::paper_scale(2_550))
+    let spec = NetworkSpec::new(DragonflyConfig::try_paper_scale(2_550).expect("paper scale"))
         .with_routing(RoutingAlgorithm::adaptive_default());
     let mut sim = Simulation::new(spec);
     for src in 0..2_550u32 {

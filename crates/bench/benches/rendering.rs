@@ -12,7 +12,7 @@ use hrviz_pdes::SimTime;
 use hrviz_render::{render_link_scatter, render_parallel_coords, render_radial, RadialLayout};
 
 fn dataset() -> DataSet {
-    let spec = NetworkSpec::new(DragonflyConfig::paper_scale(2_550))
+    let spec = NetworkSpec::new(DragonflyConfig::try_paper_scale(2_550).expect("paper scale"))
         .with_routing(RoutingAlgorithm::adaptive_default());
     let mut sim = Simulation::new(spec);
     for src in 0..2_550u32 {

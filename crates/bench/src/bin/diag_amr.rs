@@ -8,7 +8,7 @@ use hrviz_workloads::{
 };
 
 fn amr_alone(policy: PlacementPolicy) -> f64 {
-    let spec = NetworkSpec::new(DragonflyConfig::paper_scale(5_256))
+    let spec = NetworkSpec::new(DragonflyConfig::try_paper_scale(5_256).expect("paper scale"))
         .with_routing(RoutingAlgorithm::adaptive_default())
         .with_seed(SEED);
     let mut sim = Simulation::new(spec);

@@ -14,7 +14,7 @@ use hrviz_pdes::SimTime;
 use hrviz_render::{render_radial_row, RadialLayout};
 
 fn run(routing: UpRouting) -> FatTreeRun {
-    let cfg = FatTreeConfig::new(8); // 128 hosts, 80 switches
+    let cfg = FatTreeConfig::try_new(8).expect("valid k"); // 128 hosts, 80 switches
     let mut sim = FatTreeSim::new(cfg, routing);
     let all: Vec<TerminalId> = (0..cfg.num_hosts()).map(TerminalId).collect();
     sim.add_job(JobMeta { name: "stripe".into(), terminals: all });

@@ -75,7 +75,7 @@ fn main() {
     let replay = dragonfly(RoutingAlgorithm::adaptive_default(), faults.clone());
 
     // Fat Tree under a dead edge switch: completes with counted drops.
-    let ft_cfg = FatTreeConfig::new(4);
+    let ft_cfg = FatTreeConfig::try_new(4).expect("valid k");
     let mut ft_faults = FaultSchedule::new(0xF7);
     ft_faults.push(SimTime::ZERO, FaultEvent::RouterDown { router: ft_cfg.edge_id(0, 0) });
     let mut ft = FatTreeSim::new(ft_cfg, UpRouting::Adaptive).with_faults(ft_faults);

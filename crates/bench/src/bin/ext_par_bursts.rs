@@ -17,8 +17,9 @@ use hrviz_pdes::SimTime;
 
 fn burst(routing: RoutingAlgorithm) -> RunData {
     let n = 2_550u32;
-    let spec =
-        NetworkSpec::new(DragonflyConfig::paper_scale(n)).with_routing(routing).with_seed(SEED);
+    let spec = NetworkSpec::new(DragonflyConfig::try_paper_scale(n).expect("paper scale"))
+        .with_routing(routing)
+        .with_seed(SEED);
     let mut sim = Simulation::new(spec);
     // A sudden group-tornado burst: everyone fires 64 KB at t≈0 toward the
     // same relative group offset, so every minimal route shares one global

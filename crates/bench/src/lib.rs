@@ -119,8 +119,13 @@ fn note_topology(spec: &NetworkSpec) {
 /// [`Expectations::finish`] because drivers exit via `std::process::exit`
 /// (destructors never run).
 fn write_obs_artifacts() {
-    let guard = OBS_RUN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    let Some(run) = guard.as_ref() else { return };
+    // Clone the run record out of the guard before any file I/O: the
+    // manifest/perf writes must not happen with OBS_RUN held.
+    let run = {
+        let guard = OBS_RUN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let Some(run) = guard.as_ref() else { return };
+        ObsRun { driver: run.driver.clone(), started: run.started, topology: run.topology.clone() }
+    };
     let c = hrviz_obs::get();
     if !c.is_enabled() {
         return;
@@ -169,9 +174,10 @@ pub fn run_app(
     placement: PlacementPolicy,
     sampling: Option<(SimTime, usize)>,
 ) -> RunData {
-    let mut spec = NetworkSpec::new(DragonflyConfig::paper_scale(terminals))
-        .with_routing(routing)
-        .with_seed(SEED);
+    let mut spec =
+        NetworkSpec::new(DragonflyConfig::try_paper_scale(terminals).expect("paper scale"))
+            .with_routing(routing)
+            .with_seed(SEED);
     if let Some((w, n)) = sampling {
         spec = spec.with_sampling(w, n);
     }
@@ -196,7 +202,7 @@ pub fn run_synthetic(
     pattern: SyntheticConfig,
     routing: RoutingAlgorithm,
 ) -> RunData {
-    let spec = NetworkSpec::new(DragonflyConfig::paper_scale(terminals))
+    let spec = NetworkSpec::new(DragonflyConfig::try_paper_scale(terminals).expect("paper scale"))
         .with_routing(routing)
         .with_seed(SEED);
     note_topology(&spec);
@@ -215,8 +221,9 @@ pub fn run_three_jobs(
     routing: RoutingAlgorithm,
     sampling: Option<(SimTime, usize)>,
 ) -> RunData {
-    let mut spec =
-        NetworkSpec::new(DragonflyConfig::paper_scale(5_256)).with_routing(routing).with_seed(SEED);
+    let mut spec = NetworkSpec::new(DragonflyConfig::try_paper_scale(5_256).expect("paper scale"))
+        .with_routing(routing)
+        .with_seed(SEED);
     if let Some((w, n)) = sampling {
         spec = spec.with_sampling(w, n);
     }

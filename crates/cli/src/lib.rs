@@ -362,7 +362,7 @@ fn terminals_of(cli: &Cli) -> Result<DragonflyConfig, HrvizError> {
         .parse()
         .map_err(|_| HrvizError::usage("--terminals must be a number"))?;
     match n {
-        2_550 | 5_256 | 9_702 => Ok(DragonflyConfig::paper_scale(n)),
+        2_550 | 5_256 | 9_702 => DragonflyConfig::try_paper_scale(n),
         _ => {
             // Find the canonical h whose terminal count matches, else error.
             for h in 1..=16 {

@@ -48,15 +48,7 @@ pub enum Layer {
 }
 
 impl FatTreeConfig {
-    /// New k-ary Fat-Tree (k must be even and ≥ 2).
-    pub fn new(k: u32) -> FatTreeConfig {
-        match Self::try_new(k) {
-            Ok(cfg) => cfg,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible constructor: rejects an odd or too-small radix with a
+    /// New k-ary Fat-Tree: rejects an odd or too-small radix with a
     /// descriptive error instead of panicking (CLI / config-file boundary).
     pub fn try_new(k: u32) -> Result<FatTreeConfig, hrviz_faults::HrvizError> {
         if k < 2 || !k.is_multiple_of(2) {
@@ -212,7 +204,7 @@ mod tests {
 
     #[test]
     fn k4_counts() {
-        let c = FatTreeConfig::new(4);
+        let c = FatTreeConfig::try_new(4).expect("valid k");
         assert_eq!(c.num_hosts(), 16);
         assert_eq!(c.num_edges(), 8);
         assert_eq!(c.num_aggs(), 8);
@@ -223,7 +215,7 @@ mod tests {
 
     #[test]
     fn id_spaces_partition() {
-        let c = FatTreeConfig::new(6);
+        let c = FatTreeConfig::try_new(6).expect("valid k");
         let mut seen = std::collections::HashSet::new();
         for pod in 0..c.pods() {
             for i in 0..c.half() {
@@ -240,7 +232,7 @@ mod tests {
 
     #[test]
     fn classify_inverts_constructors() {
-        let c = FatTreeConfig::new(8);
+        let c = FatTreeConfig::try_new(8).expect("valid k");
         assert_eq!(c.classify(c.edge_id(3, 2)), (Layer::Edge, 3, 2));
         assert_eq!(c.classify(c.agg_id(5, 1)), (Layer::Aggregation, 5, 1));
         assert_eq!(c.classify(c.core_id(9)), (Layer::Core, 0, 9));
@@ -248,7 +240,7 @@ mod tests {
 
     #[test]
     fn host_mapping() {
-        let c = FatTreeConfig::new(4);
+        let c = FatTreeConfig::try_new(4).expect("valid k");
         assert_eq!(c.edge_of_host(0), 0);
         assert_eq!(c.edge_of_host(3), 1);
         assert_eq!(c.host_port(3), 1);
@@ -257,15 +249,15 @@ mod tests {
 
     #[test]
     fn analytics_coords_are_group_rank_like() {
-        let c = FatTreeConfig::new(4);
+        let c = FatTreeConfig::try_new(4).expect("valid k");
         assert_eq!(c.analytics_coords(c.edge_id(2, 1)), (2, 1));
         assert_eq!(c.analytics_coords(c.agg_id(2, 1)), (2, 3)); // k/2 + 1
         assert_eq!(c.analytics_coords(c.core_id(2)), (4, 2)); // pseudo-group
     }
 
     #[test]
-    #[should_panic(expected = "even")]
     fn odd_k_rejected() {
-        FatTreeConfig::new(5);
+        let e = FatTreeConfig::try_new(5).unwrap_err();
+        assert!(e.to_string().contains("even"), "{e}");
     }
 }

@@ -25,7 +25,7 @@
 //! use hrviz_network::{MsgInjection, TerminalId};
 //! use hrviz_pdes::SimTime;
 //!
-//! let mut sim = FatTreeSim::new(FatTreeConfig::new(4), UpRouting::Adaptive);
+//! let mut sim = FatTreeSim::new(FatTreeConfig::try_new(4).expect("valid k"), UpRouting::Adaptive);
 //! sim.inject(MsgInjection {
 //!     time: SimTime::ZERO,
 //!     src: TerminalId(0),

@@ -21,6 +21,7 @@ enum FtNode {
     Switch(SwitchLp),
 }
 
+// lint:allow(missing_state_saving, reason="fat-tree runs are one-shot batch sims with no checkpoint path; only the Dragonfly sweep engine snapshots LPs")
 impl Lp<NetEvent> for FtNode {
     fn on_init(&mut self, ctx: &mut Ctx<'_, NetEvent>) {
         if let FtNode::Host(h) = self {
@@ -404,7 +405,7 @@ mod tests {
 
     #[test]
     fn single_message_crosses_the_tree() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let mut sim = FatTreeSim::new(cfg, UpRouting::Ecmp);
         sim.inject(msg(0, 0, 15, 10_000)); // pod 0 → pod 3: full up/down
         let run = sim.run();
@@ -417,7 +418,7 @@ mod tests {
 
     #[test]
     fn same_edge_stays_local() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let mut sim = FatTreeSim::new(cfg, UpRouting::Ecmp);
         sim.inject(msg(0, 0, 1, 4096)); // same edge switch
         let run = sim.run();
@@ -431,7 +432,7 @@ mod tests {
     #[test]
     fn conservation_under_random_traffic_both_routings() {
         for routing in [UpRouting::Ecmp, UpRouting::Adaptive] {
-            let cfg = FatTreeConfig::new(4);
+            let cfg = FatTreeConfig::try_new(4).expect("valid k");
             let mut sim = FatTreeSim::new(cfg, routing);
             let mut rng = rand::rngs::StdRng::seed_from_u64(3);
             let n = cfg.num_hosts();
@@ -453,7 +454,7 @@ mod tests {
         // All hosts of pod 0 send to pod 1 continuously: ECMP hashing
         // collides on up-links, adaptive levels them.
         let run_with = |routing| {
-            let cfg = FatTreeConfig::new(4);
+            let cfg = FatTreeConfig::try_new(4).expect("valid k");
             let mut sim = FatTreeSim::new(cfg, routing);
             for src in 0..4u32 {
                 for k in 0..40u64 {
@@ -478,7 +479,7 @@ mod tests {
         // Kill one agg → core up-link in every pod's first aggregation:
         // all cross-pod traffic through those aggs must shift to the
         // sibling core, and nothing may be dropped.
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let h = cfg.half();
         let mut faults = FaultSchedule::new(1);
         for pod in 0..cfg.pods() {
@@ -504,7 +505,7 @@ mod tests {
 
     #[test]
     fn dead_edge_switch_drops_with_counted_drops() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let mut faults = FaultSchedule::new(2);
         faults.push(SimTime::ZERO, FaultEvent::RouterDown { router: cfg.edge_id(0, 0) });
         let mut sim = FatTreeSim::new(cfg, UpRouting::Adaptive).with_faults(faults);
@@ -522,7 +523,7 @@ mod tests {
 
     #[test]
     fn fat_tree_fault_replay_is_deterministic() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let run_once = || {
             let faults = FaultSchedule::generate(11, cfg.num_switches(), cfg.k, 8, 20_000);
             let mut sim = FatTreeSim::new(cfg, UpRouting::Adaptive).with_faults(faults);
@@ -547,7 +548,7 @@ mod tests {
 
     #[test]
     fn dataset_feeds_the_same_analytics_stack() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let mut sim = FatTreeSim::new(cfg, UpRouting::Adaptive);
         let all: Vec<TerminalId> = (0..cfg.num_hosts()).map(TerminalId).collect();
         sim.add_job(JobMeta { name: "ft".into(), terminals: all });
@@ -588,7 +589,7 @@ mod tests {
 
     #[test]
     fn pods_as_groups_roll_up_correctly() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let mut sim = FatTreeSim::new(cfg, UpRouting::Ecmp);
         sim.inject(msg(0, 0, 15, 64 * 1024));
         let ds = sim.run().to_dataset();

@@ -385,7 +385,7 @@ mod tests {
 
     #[test]
     fn edge_ejects_attached_host() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let s = switch(cfg, cfg.edge_id(0, 0)); // hosts 0, 1
         assert_eq!(s.route(&pkt(5, 1)), 1);
         // Remote host goes up.
@@ -395,7 +395,7 @@ mod tests {
 
     #[test]
     fn agg_descends_within_pod_and_climbs_otherwise() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let s = switch(cfg, cfg.agg_id(1, 0)); // pod 1
                                                // Host 5 lives in pod 1 (edge 2): descend via down port 0 (edge 2 % 2).
         assert_eq!(s.route(&pkt(0, 5)), 0);
@@ -405,7 +405,7 @@ mod tests {
 
     #[test]
     fn core_picks_destination_pod() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let s = switch(cfg, cfg.core_id(0));
         assert_eq!(s.route(&pkt(0, 13)), 3); // pod 3
         assert_eq!(s.route(&pkt(0, 2)), 0); // pod 0
@@ -413,7 +413,7 @@ mod tests {
 
     #[test]
     fn wiring_is_consistent_both_ways() {
-        let cfg = FatTreeConfig::new(6);
+        let cfg = FatTreeConfig::try_new(6).expect("valid k");
         // For every switch port, the peer's port at peer_port points back.
         let links = FtLinks::default();
         let all: Vec<SwitchLp> = (0..cfg.num_switches())
@@ -434,7 +434,7 @@ mod tests {
 
     #[test]
     fn ecmp_is_deterministic_adaptive_prefers_idle() {
-        let cfg = FatTreeConfig::new(4);
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
         let s = switch(cfg, cfg.edge_id(0, 0));
         assert_eq!(s.route(&pkt(0, 15)), s.route(&pkt(0, 15)));
         let s2 = SwitchLp::new(

@@ -1,7 +1,9 @@
-//! Human and JSON renderings of a lint run.
+//! Human and JSON renderings of a lint run (SARIF lives in
+//! [`crate::sarif`]).
 
 use crate::baseline::escape;
 use crate::rules::Finding;
+use crate::LintStats;
 use std::fmt::Write as _;
 
 /// Render findings the way rustc renders warnings, grandfathered ones
@@ -28,8 +30,10 @@ pub fn human(findings: &[Finding]) -> (String, usize) {
     (out, active)
 }
 
-/// Machine-readable report for the CI gate.
-pub fn json(findings: &[Finding]) -> String {
+/// Machine-readable report for the CI gate. `stats` feeds the CI
+/// warm-cache assertion (a second run over unchanged sources must report
+/// `"parsed":0`).
+pub fn json(findings: &[Finding], stats: LintStats) -> String {
     let active = findings.iter().filter(|f| !f.baselined).count();
     let mut out = String::from("{\"version\":1,\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
@@ -46,7 +50,15 @@ pub fn json(findings: &[Finding]) -> String {
             f.baselined,
         );
     }
-    let _ = write!(out, "],\"active\":{active},\"grandfathered\":{}}}", findings.len() - active);
+    let _ = write!(
+        out,
+        "],\"active\":{active},\"grandfathered\":{},\"stats\":{{\"files\":{},\
+         \"parsed\":{},\"cache_hits\":{}}}}}",
+        findings.len() - active,
+        stats.files,
+        stats.parsed,
+        stats.cache_hits,
+    );
     out.push('\n');
     out
 }

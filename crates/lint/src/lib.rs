@@ -1,42 +1,89 @@
-//! hrviz-lint — workspace static analysis for determinism, panic-freedom
-//! and conservation invariants.
+//! hrviz-lint — syntax-aware multi-pass workspace static analysis.
 //!
 //! The paper's comparison views are only meaningful because two runs of
 //! the same configuration are byte-identical; PRs 2–3 made that a tested
 //! contract (fault-schedule replay, parallel-vs-serial sweeps). This
-//! crate keeps the contract *statically*: a zero-dependency lexical
-//! scanner (no rustc plugin, no registry access) walks the workspace's
-//! sources and enforces the rule catalog in [`rules::RULES`].
+//! crate keeps the contract *statically* — and, since PR 9, keeps three
+//! more: the workspace's lock acquisition order is acyclic and no guard
+//! outlives a blocking call, every event-handling `Lp` participates in
+//! state saving, and the telemetry namespace cannot drift (write sites ↔
+//! `hrviz_obs::METRICS` ↔ DESIGN.md).
+//!
+//! The analysis is a hand-rolled token-tree pass (no rustc plugin, no
+//! registry access): [`source::SourceFile`] masks comments/strings,
+//! [`tokens::TokenFile`] lexes the masked bytes and matches delimiters,
+//! and the per-file passes in [`rules`], [`locks`] and [`counters`]
+//! produce [`facts::FileFacts`] — the unit of the incremental cache.
+//! Global passes (lock-graph cycles, counter drift) always re-run over
+//! the collected facts, so cross-file rules stay correct even when every
+//! per-file result came from the cache.
 //!
 //! ```text
 //! cargo run -p hrviz-lint -- --check              # CI gate (human output)
 //! cargo run -p hrviz-lint -- --check --format json
+//! cargo run -p hrviz-lint -- --format sarif       # CI artifact
 //! cargo run -p hrviz-lint -- --list-rules
-//! cargo run -p hrviz-lint -- --update-baseline    # re-grandfather findings
+//! cargo run -p hrviz-lint -- --fix-baseline       # drop stale entries
 //! ```
 //!
 //! Findings are suppressed inline with `// lint:allow(rule, reason="…")`
-//! (the reason is mandatory — an allow without one is itself a finding)
-//! or grandfathered in the checked-in `lint-baseline.json`.
+//! (the reason is mandatory — an allow without one is itself a finding).
+//! The checked-in `lint-baseline.json` must be empty: every surviving
+//! entry is a `baseline_debt` finding and every entry whose code is gone
+//! is a `stale_baseline` finding, and neither can be suppressed.
 
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod cache;
+pub mod counters;
 pub mod diag;
+pub mod facts;
+pub mod locks;
 pub mod rules;
+pub mod sarif;
 pub mod source;
+pub mod tokens;
 
 pub use baseline::{Baseline, BaselineEntry};
+pub use cache::Cache;
+pub use facts::{FileFacts, LockEdge, MetricWrite};
 pub use rules::{check_file, rule, Finding, RuleInfo, RULES};
 pub use source::SourceFile;
+pub use tokens::TokenFile;
 
+use hrviz_obs::Collector;
+use rayon::IntoParallelRefIterator as _;
 use std::io;
 use std::path::{Path, PathBuf};
 
+/// Everything one file contributes: the path-scoped rules, the lock
+/// pass and the counter pass, all over one shared token tree.
+pub fn analyze_file(src: &SourceFile) -> FileFacts {
+    let tf = TokenFile::new(src);
+    let mut findings = rules::check_file(src, &tf);
+    let edges = locks::analyze(src, &tf, &mut findings);
+    let writes = counters::collect_writes(src, &tf, &mut findings);
+    FileFacts { findings, edges, writes }
+}
+
 /// Lint a single in-memory file. `path` is the workspace-relative path
-/// the scoping rules see (e.g. `crates/pdes/src/engine.rs`).
+/// the scoping rules see (e.g. `crates/pdes/src/engine.rs`). Includes
+/// the intra-file lock-cycle pass; the cross-file passes (global lock
+/// graph, counter drift) only run in [`lint_workspace_with`].
 pub fn lint_text(path: &str, text: &str) -> Vec<Finding> {
-    check_file(&SourceFile::new(path, text))
+    let src = SourceFile::new(path, text);
+    let facts = analyze_file(&src);
+    let mut findings = facts.findings;
+    findings.extend(locks::cycle_findings(&facts.edges));
+    sort_findings(&mut findings);
+    findings
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
 }
 
 /// All files the workspace lint covers: the root `src/` plus every
@@ -90,24 +137,165 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint the whole workspace rooted at `root`. Findings come back in
-/// (file, line) order with `baselined` unset — apply a [`Baseline`] next.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for path in workspace_files(root)? {
-        let text = std::fs::read_to_string(&path)?;
-        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
-        findings.extend(lint_text(&rel, &text));
-    }
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(findings)
+/// What the driver did, for the CI warm-cache assertion and the report
+/// footer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintStats {
+    /// Files in the scan set.
+    pub files: usize,
+    /// Files lexed + parsed this run (cache misses).
+    pub parsed: usize,
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
 }
 
-/// Mark findings the baseline grandfathers. `bad_suppression` findings
-/// can not be baselined: a malformed allow must always fail the gate.
+/// A full workspace run: findings in (file, line) order plus stats.
+pub struct LintRun {
+    pub findings: Vec<Finding>,
+    pub stats: LintStats,
+}
+
+/// Lint the whole workspace rooted at `root`.
+///
+/// Per-file analysis runs on the rayon pool; with `cache_path` set,
+/// files whose FNV-1a content hash is unchanged skip parsing and feed
+/// their cached [`FileFacts`] to the global passes. `obs` receives the
+/// `lint/files_parsed` and `lint/cache_hits` counters (pass
+/// [`Collector::disabled`] to record nothing).
+///
+/// Findings come back with `baselined` unset — apply a [`Baseline`]
+/// next.
+pub fn lint_workspace_with(
+    root: &Path,
+    cache_path: Option<&Path>,
+    obs: &Collector,
+) -> io::Result<LintRun> {
+    let paths = workspace_files(root)?;
+    let mut loaded: Vec<(String, String, u64)> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let hash = cache::fnv1a(text.as_bytes());
+        loaded.push((rel, text, hash));
+    }
+
+    let mut store = match cache_path {
+        Some(p) => Cache::load(p),
+        None => Cache::default(),
+    };
+    let mut facts: Vec<Option<FileFacts>> = Vec::with_capacity(loaded.len());
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, (rel, _, hash)) in loaded.iter().enumerate() {
+        match store.lookup(rel, *hash) {
+            Some(hit) => facts.push(Some(hit.clone())),
+            None => {
+                facts.push(None);
+                misses.push(i);
+            }
+        }
+    }
+    let computed: Vec<FileFacts> = misses
+        .par_iter()
+        .map(|&i| {
+            let (rel, text, _) = &loaded[i];
+            analyze_file(&SourceFile::new(rel, text))
+        })
+        .collect();
+    for (&i, fresh) in misses.iter().zip(computed) {
+        let (rel, _, hash) = &loaded[i];
+        store.insert(rel.clone(), *hash, fresh.clone());
+        facts[i] = Some(fresh);
+    }
+    let stats = LintStats {
+        files: loaded.len(),
+        parsed: misses.len(),
+        cache_hits: loaded.len() - misses.len(),
+    };
+    obs.counter_add("lint/files_parsed", stats.parsed as u64);
+    obs.counter_add("lint/cache_hits", stats.cache_hits as u64);
+    if let Some(p) = cache_path {
+        let live: Vec<&str> = loaded.iter().map(|(rel, _, _)| rel.as_str()).collect();
+        store.retain_files(&|rel| live.contains(&rel));
+        // A cache that fails to write is a slower next run, not an error.
+        let _ = store.save(p);
+    }
+
+    // Global passes over the collected facts.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut writes: Vec<MetricWrite> = Vec::new();
+    for f in facts.into_iter().flatten() {
+        findings.extend(f.findings);
+        edges.extend(f.edges);
+        writes.extend(f.writes);
+    }
+    findings.extend(locks::cycle_findings(&edges));
+    let manifest: Vec<(&str, &str)> =
+        hrviz_obs::METRICS.iter().map(|m| (m.name, m.kind.as_str())).collect();
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    let design_rows = counters::parse_design_rows(&design);
+    let manifest_src = loaded
+        .iter()
+        .find(|(rel, _, _)| rel == "crates/obs/src/metrics.rs")
+        .map(|(rel, text, _)| SourceFile::new(rel, text));
+    findings.extend(counters::drift_findings(
+        &writes,
+        &manifest,
+        &design_rows,
+        manifest_src.as_ref(),
+    ));
+
+    sort_findings(&mut findings);
+    Ok(LintRun { findings, stats })
+}
+
+/// [`lint_workspace_with`] with no cache and no telemetry — the simple
+/// entry point tests use.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    lint_workspace_with(root, None, &Collector::disabled()).map(|r| r.findings)
+}
+
+/// The baseline meta-findings: every surviving entry is `baseline_debt`
+/// (the baseline must drain to empty — fix the code or move to an inline
+/// reasoned allow) and every entry matching nothing is `stale_baseline`
+/// (its code is gone; run `--fix-baseline`). Neither can be suppressed
+/// or baselined.
+pub fn baseline_findings(baseline: &Baseline, findings: &[Finding]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for e in &baseline.entries {
+        let covers =
+            findings.iter().any(|f| e.rule == f.rule && e.file == f.file && e.snippet == f.snippet);
+        out.push(Finding {
+            rule: if covers { "baseline_debt" } else { "stale_baseline" },
+            file: e.file.clone(),
+            line: 1,
+            snippet: e.snippet.clone(),
+            message: if covers {
+                format!(
+                    "baseline entry grandfathers a live `{}` finding: fix it or carry an \
+                     inline lint:allow({}, reason=\"…\") at the site",
+                    e.rule, e.rule
+                )
+            } else {
+                format!(
+                    "stale baseline entry (`{}`): the code it covered is gone; \
+                     run --fix-baseline",
+                    e.rule
+                )
+            },
+            baselined: false,
+        });
+    }
+    out
+}
+
+/// Mark findings the baseline grandfathers. Meta-family findings
+/// (`bad_suppression`, `stale_baseline`, `baseline_debt`) can not be
+/// baselined: the escape hatches must always fail the gate.
 pub fn apply_baseline(findings: &mut [Finding], baseline: &Baseline) {
     for f in findings.iter_mut() {
-        f.baselined = f.rule != "bad_suppression" && baseline.covers(f);
+        let meta = rule(f.rule).is_some_and(|r| r.family == "meta");
+        f.baselined = !meta && baseline.covers(f);
     }
 }
 

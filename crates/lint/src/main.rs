@@ -2,7 +2,10 @@
 
 #![forbid(unsafe_code)]
 
-use hrviz_lint::{apply_baseline, diag, lint_workspace, Baseline, RULES};
+use hrviz_lint::{
+    apply_baseline, baseline_findings, diag, lint_workspace_with, sarif, Baseline, RULES,
+};
+use hrviz_obs::Collector;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,49 +17,66 @@ fn out(s: &str) {
 }
 
 const USAGE: &str = "\
-hrviz-lint: workspace static analysis (determinism / panic-freedom / invariants)
+hrviz-lint: workspace static analysis (determinism / panic-freedom / concurrency /
+telemetry / invariants)
 
 USAGE:
     cargo run -p hrviz-lint -- [OPTIONS]
 
 OPTIONS:
     --check              exit 1 if any non-grandfathered finding remains
-    --format <human|json>  report format (default human)
+    --format <human|json|sarif>  report format (default human)
     --root <DIR>         workspace root (default: nearest ancestor with crates/)
     --baseline <FILE>    grandfather list (default <root>/lint-baseline.json)
-    --update-baseline    rewrite the baseline to the current findings
+    --fix-baseline       rewrite the baseline to the current findings
+                         (drops stale entries; --update-baseline is an alias)
+    --cache <FILE>       incremental cache (default <root>/target/hrviz-lint-cache.json)
+    --no-cache           analyze every file from scratch
     --list-rules         print the rule catalog and exit
     --help               this text
 ";
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Opts {
     check: bool,
-    json: bool,
+    format: Format,
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
-    update_baseline: bool,
+    cache: Option<PathBuf>,
+    no_cache: bool,
+    fix_baseline: bool,
     list_rules: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
         check: false,
-        json: false,
+        format: Format::Human,
         root: None,
         baseline: None,
-        update_baseline: false,
+        cache: None,
+        no_cache: false,
+        fix_baseline: false,
         list_rules: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--check" => o.check = true,
-            "--update-baseline" => o.update_baseline = true,
+            "--fix-baseline" | "--update-baseline" => o.fix_baseline = true,
+            "--no-cache" => o.no_cache = true,
             "--list-rules" => o.list_rules = true,
             "--format" => match it.next().map(String::as_str) {
-                Some("json") => o.json = true,
-                Some("human") => o.json = false,
-                other => return Err(format!("--format expects human|json, got {other:?}")),
+                Some("json") => o.format = Format::Json,
+                Some("human") => o.format = Format::Human,
+                Some("sarif") => o.format = Format::Sarif,
+                other => return Err(format!("--format expects human|json|sarif, got {other:?}")),
             },
             "--root" => match it.next() {
                 Some(p) => o.root = Some(PathBuf::from(p)),
@@ -65,6 +85,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--baseline" => match it.next() {
                 Some(p) => o.baseline = Some(PathBuf::from(p)),
                 None => return Err("--baseline expects a file".into()),
+            },
+            "--cache" => match it.next() {
+                Some(p) => o.cache = Some(PathBuf::from(p)),
+                None => return Err("--cache expects a file".into()),
             },
             "--help" | "-h" => {
                 out(USAGE);
@@ -99,17 +123,29 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let baseline_path = opts.baseline.clone().unwrap_or_else(|| root.join("lint-baseline.json"));
+    let cache_path = if opts.no_cache {
+        None
+    } else {
+        Some(opts.cache.clone().unwrap_or_else(|| root.join("target/hrviz-lint-cache.json")))
+    };
 
-    let mut findings = match lint_workspace(&root) {
-        Ok(f) => f,
+    let obs = Collector::enabled();
+    let run = match lint_workspace_with(&root, cache_path.as_deref(), &obs) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("hrviz-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+    let mut findings = run.findings;
 
-    if opts.update_baseline {
-        let text = Baseline::render(&findings);
+    if opts.fix_baseline {
+        let keep: Vec<_> = findings
+            .iter()
+            .filter(|f| hrviz_lint::rule(f.rule).is_some_and(|r| r.family != "meta"))
+            .cloned()
+            .collect();
+        let text = Baseline::render(&keep);
         if let Err(e) = std::fs::write(&baseline_path, &text) {
             eprintln!("hrviz-lint: write {}: {e}", baseline_path.display());
             return ExitCode::from(2);
@@ -117,7 +153,7 @@ fn main() -> ExitCode {
         out(&format!(
             "hrviz-lint: wrote {} ({} grandfathered findings)\n",
             baseline_path.display(),
-            findings.len()
+            keep.len()
         ));
         return ExitCode::SUCCESS;
     }
@@ -132,22 +168,24 @@ fn main() -> ExitCode {
         },
         Err(_) => Baseline::default(),
     };
+    // A non-empty baseline is itself debt, and stale entries are hard
+    // errors: both arrive as unbaselineable meta findings.
+    let meta = baseline_findings(&baseline, &findings);
+    findings.extend(meta);
     apply_baseline(&mut findings, &baseline);
 
-    let active = if opts.json {
-        out(&diag::json(&findings));
-        findings.iter().filter(|f| !f.baselined).count()
-    } else {
-        let (report, active) = diag::human(&findings);
-        out(&report);
-        active
-    };
-    for stale in baseline.stale(&findings) {
-        eprintln!(
-            "hrviz-lint: stale baseline entry ({} in {}): the code it covered is gone; \
-             run --update-baseline",
-            stale.rule, stale.file
-        );
+    let active = findings.iter().filter(|f| !f.baselined).count();
+    match opts.format {
+        Format::Json => out(&diag::json(&findings, run.stats)),
+        Format::Sarif => out(&sarif::render(&findings)),
+        Format::Human => {
+            let (report, _) = diag::human(&findings);
+            out(&report);
+            out(&format!(
+                "hrviz-lint: {} files ({} parsed, {} from cache)\n",
+                run.stats.files, run.stats.parsed, run.stats.cache_hits
+            ));
+        }
     }
 
     if opts.check && active > 0 {

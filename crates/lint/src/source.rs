@@ -98,13 +98,24 @@ impl SourceFile {
 
     /// Does a suppression for `rule` cover 1-based `line`? A trailing
     /// comment covers its own line; a comment alone on a line covers the
-    /// next line (and itself, so `impl` headers can carry one above).
+    /// next *code* line — consecutive own-line allows stack, so one item
+    /// can carry several (e.g. `missing_audit` over `missing_state_saving`
+    /// over an `impl Lp` header).
     pub fn suppressed(&self, rule: &str, line: usize) -> bool {
         self.suppressions.iter().any(|s| {
             s.rule == rule
                 && s.reason.as_deref().is_some_and(|r| !r.trim().is_empty())
-                && (s.line == line || (s.own_line && s.line + 1 == line))
+                && (s.line == line
+                    || (s.own_line
+                        && s.line < line
+                        && (s.line + 1..line).all(|l| self.own_line_suppression_at(l))))
         })
+    }
+
+    /// Is 1-based `line` an own-line suppression comment (part of an
+    /// allow stack)?
+    fn own_line_suppression_at(&self, line: usize) -> bool {
+        self.suppressions.iter().any(|s| s.own_line && s.line == line)
     }
 
     /// Mark the lines of every `#[cfg(test)]` / `#[test]` item as test

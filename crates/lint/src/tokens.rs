@@ -1,0 +1,464 @@
+//! Token-tree model the syntax-aware passes run against.
+//!
+//! A [`TokenFile`] is built over the *masked* bytes of a
+//! [`crate::source::SourceFile`] (comments/strings/chars already blanked,
+//! byte offsets preserved), so the lexer never sees literal contents but
+//! every token's span is valid in the original text. On top of the flat
+//! token list it derives:
+//!
+//! * `match_of` — for every `(`/`[`/`{` token the index of its matching
+//!   close (and vice versa), from a single stack pass;
+//! * `enclosing_brace` — for every token, the innermost `{` containing it
+//!   (how lock scopes find "end of enclosing block");
+//! * [`FnItem`]s — every `fn`, with its body token range and a qualified
+//!   name (`Type::method` when it sits inside an `impl Type` block);
+//! * [`ImplItem`]s — every `impl`, with the trait path (if any), the
+//!   implementing type's last segment, and the body token range.
+//!
+//! This stays a *token* model, not an AST: it is exactly enough structure
+//! for scope-accurate lock analysis and item-contract checks while
+//! remaining a few hundred lines of dependency-free code that parses the
+//! whole workspace in milliseconds.
+
+use crate::source::SourceFile;
+
+/// Token classes the passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (possibly with a type suffix: `3usize`).
+    Num,
+    /// `'a` in `&'a` position (kept distinct so it never looks like code).
+    Lifetime,
+    /// Single punctuation byte.
+    Punct(u8),
+    /// Opening delimiter: `(`, `[` or `{`.
+    Open(u8),
+    /// Closing delimiter: `)`, `]` or `}`.
+    Close(u8),
+}
+
+/// One token with its byte span in the original text.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+/// A function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare name (`handle`).
+    pub name: String,
+    /// `Type::name` inside an impl block, else the bare name.
+    pub qualified: String,
+    /// Token index of the `fn` keyword.
+    pub kw: usize,
+    /// Token indices of the body `{` / `}` (absent for trait signatures).
+    pub body: Option<(usize, usize)>,
+}
+
+/// An `impl` block.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// Trait path segments for `impl Trait for Type` (empty for inherent).
+    pub trait_path: Vec<String>,
+    /// Last segment of the implementing type (`NetNode`).
+    pub type_name: String,
+    /// Token index of the `impl` keyword.
+    pub kw: usize,
+    /// Token indices of the body `{` / `}`.
+    pub body: (usize, usize),
+}
+
+/// The tokenized file.
+pub struct TokenFile {
+    pub toks: Vec<Tok>,
+    /// For delimiter tokens, the index of the matching delimiter;
+    /// `usize::MAX` for everything else (and unbalanced delimiters).
+    pub match_of: Vec<usize>,
+    /// For every token, the index of the innermost enclosing `{` token
+    /// (`usize::MAX` at top level).
+    pub enclosing_brace: Vec<usize>,
+    pub fns: Vec<FnItem>,
+    pub impls: Vec<ImplItem>,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl TokenFile {
+    /// Tokenize `src.masked` and derive the structural views.
+    pub fn new(src: &SourceFile) -> TokenFile {
+        let toks = lex(&src.masked);
+        let (match_of, enclosing_brace) = match_delims(&toks);
+        let mut tf =
+            TokenFile { toks, match_of, enclosing_brace, fns: Vec::new(), impls: Vec::new() };
+        tf.impls = tf.find_impls(src);
+        tf.fns = tf.find_fns(src);
+        tf
+    }
+
+    /// The text of token `i` (idents/numbers survive masking; delimiter
+    /// and punct text is reconstructed from the kind).
+    pub fn text<'a>(&self, src: &'a SourceFile, i: usize) -> &'a str {
+        let t = &self.toks[i];
+        src.text.get(t.start..t.end).unwrap_or("")
+    }
+
+    /// Is token `i` the identifier `word`?
+    pub fn is_ident(&self, src: &SourceFile, i: usize, word: &str) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == TokKind::Ident) && self.text(src, i) == word
+    }
+
+    /// Is token `i` the punctuation byte `p` (and, for `.`, not half of a
+    /// `..` range)?
+    pub fn is_punct(&self, i: usize, p: u8) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == TokKind::Punct(p))
+    }
+
+    /// A lone `.` — method-call dot, not part of a `..` / `..=` range.
+    pub fn is_method_dot(&self, i: usize) -> bool {
+        self.is_punct(i, b'.')
+            && !(i > 0 && self.is_punct(i - 1, b'.'))
+            && !self.is_punct(i + 1, b'.')
+    }
+
+    /// For an `Open` token, the token index just past its `Close` (or
+    /// `toks.len()` if unbalanced).
+    pub fn after_group(&self, open: usize) -> usize {
+        match self.match_of.get(open) {
+            Some(&m) if m != usize::MAX => m + 1,
+            _ => self.toks.len(),
+        }
+    }
+
+    /// Every `impl` block with its trait/type naming.
+    fn find_impls(&self, src: &SourceFile) -> Vec<ImplItem> {
+        let mut out = Vec::new();
+        for kw in 0..self.toks.len() {
+            if !self.is_ident(src, kw, "impl") {
+                continue;
+            }
+            let mut i = kw + 1;
+            i = self.skip_generics(i);
+            let Some((first_path, after_first)) = self.read_type_path(src, i) else { continue };
+            i = after_first;
+            let (trait_path, type_name) = if self.is_ident(src, i, "for") {
+                let Some((ty, after_ty)) = self.read_type_path(src, i + 1) else { continue };
+                i = after_ty;
+                (first_path, ty.last().cloned().unwrap_or_default())
+            } else {
+                (Vec::new(), first_path.last().cloned().unwrap_or_default())
+            };
+            // Skip a where clause: everything up to the body `{`.
+            while i < self.toks.len() && !matches!(self.toks[i].kind, TokKind::Open(b'{')) {
+                i += 1;
+            }
+            if i >= self.toks.len() {
+                continue;
+            }
+            let close = self.match_of[i];
+            if close == usize::MAX {
+                continue;
+            }
+            out.push(ImplItem { trait_path, type_name, kw, body: (i, close) });
+        }
+        out
+    }
+
+    /// Every `fn`, qualified by its enclosing impl (if any).
+    fn find_fns(&self, src: &SourceFile) -> Vec<FnItem> {
+        let mut out = Vec::new();
+        for kw in 0..self.toks.len() {
+            if !self.is_ident(src, kw, "fn") {
+                continue;
+            }
+            let Some(name_tok) = self.toks.get(kw + 1) else { continue };
+            if name_tok.kind != TokKind::Ident {
+                continue; // `fn(` pointer type
+            }
+            let name = self.text(src, kw + 1).to_string();
+            // Walk the signature: jump over `(..)` / `[..]` groups, stop at
+            // the body `{` or a trailing `;` (trait method signature).
+            let mut i = kw + 2;
+            let mut body = None;
+            while i < self.toks.len() {
+                match self.toks[i].kind {
+                    TokKind::Open(b'{') => {
+                        let close = self.match_of[i];
+                        if close != usize::MAX {
+                            body = Some((i, close));
+                        }
+                        break;
+                    }
+                    TokKind::Open(_) => i = self.after_group(i),
+                    TokKind::Punct(b';') | TokKind::Close(_) => break,
+                    _ => i += 1,
+                }
+            }
+            let qualified = match self.impls.iter().find(|im| im.body.0 < kw && kw < im.body.1) {
+                Some(im) if !im.type_name.is_empty() => format!("{}::{name}", im.type_name),
+                _ => name.clone(),
+            };
+            out.push(FnItem { name, qualified, kw, body });
+        }
+        out
+    }
+
+    /// From token `i`, read `Seg::Seg<..>::Seg` returning the segment
+    /// names and the index just past the path.
+    fn read_type_path(&self, src: &SourceFile, mut i: usize) -> Option<(Vec<String>, usize)> {
+        // `impl &mut Type` / `impl &Type` headers: skip the sigils.
+        while self.is_punct(i, b'&') || self.is_ident(src, i, "mut") || self.is_ident(src, i, "dyn")
+        {
+            i += 1;
+        }
+        let mut segs = Vec::new();
+        loop {
+            match self.toks.get(i) {
+                Some(t) if t.kind == TokKind::Ident => {
+                    segs.push(self.text(src, i).to_string());
+                    i += 1;
+                }
+                _ => break,
+            }
+            i = self.skip_generics(i);
+            if self.is_punct(i, b':') && self.is_punct(i + 1, b':') {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        if segs.is_empty() {
+            None
+        } else {
+            Some((segs, i))
+        }
+    }
+
+    /// From token `i`, skip a balanced `<..>` group if one starts there.
+    /// `(`/`[` groups inside jump via `match_of`, so `->` inside a
+    /// parenthesized fn type cannot unbalance the count.
+    fn skip_generics(&self, mut i: usize) -> usize {
+        if !self.is_punct(i, b'<') {
+            return i;
+        }
+        let mut depth = 0usize;
+        while i < self.toks.len() {
+            match self.toks[i].kind {
+                TokKind::Punct(b'<') => {
+                    depth += 1;
+                    i += 1;
+                }
+                TokKind::Punct(b'>') => {
+                    depth -= 1;
+                    i += 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                TokKind::Open(_) => i = self.after_group(i),
+                _ => i += 1,
+            }
+        }
+        i
+    }
+}
+
+/// Flat lex of the masked bytes. Strings/comments are already spaces, so
+/// the only classes left are idents, numbers, lifetimes, delimiters and
+/// single punctuation bytes.
+fn lex(masked: &[u8]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < masked.len() {
+        let b = masked[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_digit() {
+            let start = i;
+            while i < masked.len() && (is_ident_byte(masked[i]) || masked[i] == b'.') {
+                // `0..n`: the range dots are not part of the number.
+                if masked[i] == b'.' && masked.get(i + 1) == Some(&b'.') {
+                    break;
+                }
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Num, start, end: i });
+        } else if is_ident_byte(b) {
+            let start = i;
+            while i < masked.len() && is_ident_byte(masked[i]) {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, start, end: i });
+        } else if b == b'\'' && masked.get(i + 1).copied().is_some_and(is_ident_byte) {
+            let start = i;
+            i += 1;
+            while i < masked.len() && is_ident_byte(masked[i]) {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Lifetime, start, end: i });
+        } else {
+            let kind = match b {
+                b'(' | b'[' | b'{' => TokKind::Open(b),
+                b')' | b']' | b'}' => TokKind::Close(b),
+                _ => TokKind::Punct(b),
+            };
+            toks.push(Tok { kind, start: i, end: i + 1 });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// One stack pass: matching-delimiter map + innermost-enclosing-brace map.
+fn match_delims(toks: &[Tok]) -> (Vec<usize>, Vec<usize>) {
+    let mut match_of = vec![usize::MAX; toks.len()];
+    let mut enclosing = vec![usize::MAX; toks.len()];
+    let mut stack: Vec<(usize, u8)> = Vec::new();
+    let mut brace_stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        enclosing[i] = brace_stack.last().copied().unwrap_or(usize::MAX);
+        match t.kind {
+            TokKind::Open(b) => {
+                stack.push((i, b));
+                if b == b'{' {
+                    brace_stack.push(i);
+                }
+            }
+            TokKind::Close(b) => {
+                let open = closes(b);
+                // Pop unbalanced entries (defensive: masked text is real
+                // rust, but the linter must never panic on torn input).
+                while let Some(&(_, ob)) = stack.last() {
+                    if ob == open {
+                        break;
+                    }
+                    stack.pop();
+                }
+                if let Some((oi, ob)) = stack.pop() {
+                    match_of[oi] = i;
+                    match_of[i] = oi;
+                    if ob == b'{' {
+                        brace_stack.pop();
+                        // The close itself belongs to the outer scope.
+                        enclosing[i] = brace_stack.last().copied().unwrap_or(usize::MAX);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (match_of, enclosing)
+}
+
+fn closes(b: u8) -> u8 {
+    match b {
+        b')' => b'(',
+        b']' => b'[',
+        _ => b'{',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tf(text: &str) -> (SourceFile, TokenFile) {
+        let src = SourceFile::new("crates/x/src/lib.rs", text);
+        let t = TokenFile::new(&src);
+        (src, t)
+    }
+
+    #[test]
+    fn nesting_matches_across_mixed_delimiters() {
+        let (_, t) = tf("fn f(a: [u8; 4]) { if x { y(z[0]) } }");
+        for (i, tok) in t.toks.iter().enumerate() {
+            if matches!(tok.kind, TokKind::Open(_)) {
+                let m = t.match_of[i];
+                assert_ne!(m, usize::MAX, "open at {i} unmatched");
+                assert_eq!(t.match_of[m], i, "close does not point back");
+            }
+        }
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_tokens() {
+        // Masking parity with the lexical scanner: a brace inside a string
+        // or comment must not open a scope.
+        let (_, t) = tf("fn f() { let s = \"{ not a scope (\"; /* } */ }");
+        let opens: Vec<usize> = t
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, tok)| matches!(tok.kind, TokKind::Open(b'{')))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(opens.len(), 1, "only the fn body opens a brace scope");
+        assert_ne!(t.match_of[opens[0]], usize::MAX);
+        assert_eq!(t.fns.len(), 1);
+        assert!(t.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn fn_extraction_qualifies_by_impl_type() {
+        let (_, t) = tf("impl<P: Proto> Lp<P> for NetNode<P> {\n  fn on_event(&mut self) {}\n}\n\
+                         impl NetNode<u8> { fn helper() {} }\nfn free() {}");
+        let names: Vec<&str> = t.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(names, ["NetNode::on_event", "NetNode::helper", "free"]);
+        assert_eq!(t.impls.len(), 2);
+        assert_eq!(t.impls[0].trait_path, vec!["Lp".to_string()]);
+        assert_eq!(t.impls[0].type_name, "NetNode");
+        assert!(t.impls[1].trait_path.is_empty());
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let (_, t) = tf("trait T { fn required(&self); fn provided(&self) { } }");
+        assert_eq!(t.fns.len(), 2);
+        assert!(t.fns[0].body.is_none());
+        assert!(t.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn enclosing_brace_tracks_innermost_block() {
+        let (src, t) = tf("fn f() { let a = 1; { let b = 2; } let c = 3; }");
+        let idx_of = |word: &str| {
+            (0..t.toks.len()).find(|&i| t.is_ident(&src, i, word)).expect("token present")
+        };
+        let outer = t.enclosing_brace[idx_of("a")];
+        let inner = t.enclosing_brace[idx_of("b")];
+        assert_ne!(outer, inner);
+        assert_eq!(t.enclosing_brace[idx_of("c")], outer);
+        assert_eq!(t.enclosing_brace[inner], outer, "inner block nests in the fn body");
+    }
+
+    #[test]
+    fn method_dot_excludes_ranges() {
+        let (_, t) = tf("fn f() { a.lock(); for i in 0..n.len() {} }");
+        let dots: Vec<usize> = (0..t.toks.len()).filter(|&i| t.is_punct(i, b'.')).collect();
+        let method_dots: Vec<usize> =
+            dots.iter().copied().filter(|&i| t.is_method_dot(i)).collect();
+        // `a.lock` and `n.len` are method dots; the two range dots are not.
+        assert_eq!(dots.len(), 4);
+        assert_eq!(method_dots.len(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let (_, t) = tf("fn f() { for i in 0..10 {} }");
+        let nums: Vec<TokKind> =
+            t.toks.iter().filter(|t| matches!(t.kind, TokKind::Num)).map(|t| t.kind).collect();
+        assert_eq!(nums.len(), 2, "0 and 10 lex separately around the range");
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        let (_, t) = tf("fn f( { ) } ] }");
+        assert!(!t.toks.is_empty());
+    }
+}

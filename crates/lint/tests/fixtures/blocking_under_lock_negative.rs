@@ -1,0 +1,17 @@
+// Fixture: clone the state out under the guard, write after it drops.
+use std::path::Path;
+use std::sync::Mutex;
+
+pub struct Journal {
+    state: Mutex<Vec<u8>>,
+}
+
+impl Journal {
+    pub fn persist(&self, path: &Path) -> std::io::Result<()> {
+        let bytes = {
+            let g = self.state.lock().unwrap();
+            g.clone()
+        };
+        std::fs::write(path, &bytes)
+    }
+}

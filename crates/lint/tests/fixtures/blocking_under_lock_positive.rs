@@ -1,0 +1,15 @@
+// Fixture: file I/O while a guard is live stalls every other thread
+// waiting on the lock.
+use std::path::Path;
+use std::sync::Mutex;
+
+pub struct Journal {
+    state: Mutex<Vec<u8>>,
+}
+
+impl Journal {
+    pub fn persist(&self, path: &Path) -> std::io::Result<()> {
+        let g = self.state.lock().unwrap();
+        std::fs::write(path, &g[..])
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: literal metric names are visible to the manifest audit.
+use hrviz_obs::Collector;
+
+pub fn record(c: &Collector) {
+    c.counter_add("serve/requests", 1);
+    c.hist_record("serve/latency_us", 3.5);
+}

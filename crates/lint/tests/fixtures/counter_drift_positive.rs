@@ -1,0 +1,7 @@
+// Fixture: a metric name the audit cannot see statically must be
+// flagged at the write site.
+use hrviz_obs::Collector;
+
+pub fn record(c: &Collector, name: &str) {
+    c.counter_add(name, 1);
+}

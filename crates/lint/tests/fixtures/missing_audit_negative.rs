@@ -1,6 +1,6 @@
-// Fixture: an audit override, a reasoned suppression, and test-only Lp
-// impls must all pass.
-use hrviz_pdes::{Ctx, Lp};
+// Fixture: an audit + snapshot/restore override, stacked reasoned
+// suppressions, and test-only Lp impls must all pass.
+use hrviz_pdes::{Ctx, Lp, SnapshotError, WireReader, WireWriter};
 
 pub struct Counted {
     credits: i64,
@@ -18,11 +18,22 @@ impl Lp<u32> for Counted {
             Err(format!("{} credits leaked", self.credits))
         }
     }
+
+    fn snapshot(&self, w: &mut WireWriter) -> Result<(), SnapshotError> {
+        w.write_i64(self.credits);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), SnapshotError> {
+        self.credits = r.read_i64()?;
+        Ok(())
+    }
 }
 
 pub struct Stateless;
 
 // lint:allow(missing_audit, reason="stateless relay: holds no credits or in-flight packets")
+// lint:allow(missing_state_saving, reason="stateless relay: nothing to snapshot, restore is a no-op")
 impl Lp<u32> for Stateless {
     fn on_event(&mut self, _ctx: &mut Ctx<'_, u32>, _payload: u32) {}
 }

@@ -1,0 +1,26 @@
+// Fixture: snapshot/restore overrides satisfy the state-saving contract.
+use hrviz_pdes::{Ctx, Lp, SnapshotError, WireReader, WireWriter};
+
+pub struct Saved {
+    credits: i64,
+}
+
+impl Lp<u32> for Saved {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_, u32>, payload: u32) {
+        self.credits += payload as i64;
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn snapshot(&self, w: &mut WireWriter) -> Result<(), SnapshotError> {
+        w.write_i64(self.credits);
+        Ok(())
+    }
+
+    fn restore(&mut self, r: &mut WireReader<'_>) -> Result<(), SnapshotError> {
+        self.credits = r.read_i64()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: an Lp impl that handles events without snapshot/restore
+// overrides must be flagged (audit alone is not enough).
+use hrviz_pdes::{Ctx, Lp};
+
+pub struct Forgetful {
+    credits: i64,
+}
+
+impl Lp<u32> for Forgetful {
+    fn on_event(&mut self, _ctx: &mut Ctx<'_, u32>, payload: u32) {
+        self.credits += payload as i64;
+    }
+
+    fn audit(&self) -> Result<(), String> {
+        Ok(())
+    }
+}

@@ -1,0 +1,43 @@
+// Fixture: the syntax-aware indexing rule accepts accesses the function
+// proves in bounds — len guards, early exits, len-bounded loops, len
+// aliases and const-sized arrays.
+pub fn guarded(xs: &[u32], i: usize) -> u32 {
+    if i < xs.len() {
+        xs[i]
+    } else {
+        0
+    }
+}
+
+pub fn early_exit(xs: &[u32], i: usize) -> u32 {
+    if i >= xs.len() {
+        return 0;
+    }
+    xs[i]
+}
+
+pub fn looped(xs: &[u32]) -> u32 {
+    let mut total = 0;
+    for i in 0..xs.len() {
+        total += xs[i];
+    }
+    total
+}
+
+pub fn aliased(xs: &[u32], j: usize) -> u32 {
+    let n = xs.len();
+    if j < n {
+        xs[j]
+    } else {
+        0
+    }
+}
+
+pub fn fixed() -> u32 {
+    let a: [u32; 4] = [1, 2, 3, 4];
+    a[2]
+}
+
+pub fn full_range(xs: &[u32]) -> &[u32] {
+    &xs[..]
+}

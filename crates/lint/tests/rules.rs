@@ -58,6 +58,44 @@ fn slice_index_rule() {
 }
 
 #[test]
+fn slice_index_rule_accepts_proven_bounds() {
+    // The syntax-aware upgrade: len guards, early exits, len-bounded
+    // loops, len aliases and const-sized arrays all pass.
+    assert_eq!(rules_fired(BOUNDARY_PATH, "slice_index_guarded_negative.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn missing_state_saving_rule() {
+    let any_path = "crates/network/src/fixture.rs";
+    let fired = rules_fired(any_path, "missing_state_saving_positive.rs");
+    assert_eq!(fired, vec!["missing_state_saving"], "audit is overridden, state saving is not");
+    assert_eq!(rules_fired(any_path, "missing_state_saving_negative.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn lock_order_cycle_rule() {
+    let any_path = "crates/core/src/fixture.rs";
+    assert!(rules_fired(any_path, "lock_cycle_positive.rs").contains(&"lock_order_cycle"));
+    assert_eq!(rules_fired(any_path, "lock_cycle_negative.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn blocking_under_lock_rule() {
+    let any_path = "crates/core/src/fixture.rs";
+    assert!(
+        rules_fired(any_path, "blocking_under_lock_positive.rs").contains(&"blocking_under_lock")
+    );
+    assert_eq!(rules_fired(any_path, "blocking_under_lock_negative.rs"), Vec::<&str>::new());
+}
+
+#[test]
+fn counter_drift_rule_flags_non_literal_names() {
+    let any_path = "crates/core/src/fixture.rs";
+    assert_eq!(rules_fired(any_path, "counter_drift_positive.rs"), vec!["counter_drift"]);
+    assert_eq!(rules_fired(any_path, "counter_drift_negative.rs"), Vec::<&str>::new());
+}
+
+#[test]
 fn missing_audit_rule() {
     // The invariant family is workspace-wide, not sim-scoped: use a path
     // outside the determinism scope to prove that.
@@ -78,11 +116,17 @@ fn bad_suppression_rule() {
 #[test]
 fn panic_scope_is_boundary_only() {
     // The same panicking fixture is clean when it lives in a crate outside
-    // the error boundary (e.g. render) — scoping, not a global ban.
+    // the panic-free scope (e.g. core) — scoping, not a global ban.
     assert_eq!(
-        rules_fired("crates/render/src/fixture.rs", "panic_unwrap_positive.rs"),
+        rules_fired("crates/core/src/fixture.rs", "panic_unwrap_positive.rs"),
         Vec::<&str>::new()
     );
+    // The engine and render hot paths joined the scope in PR 9: a panic
+    // there takes a whole sweep or request down.
+    for hot in ["crates/pdes/src/fixture.rs", "crates/render/src/fixture.rs"] {
+        assert!(rules_fired(hot, "panic_unwrap_positive.rs").contains(&"panic_unwrap"), "{hot}");
+        assert!(rules_fired(hot, "slice_index_positive.rs").contains(&"slice_index"), "{hot}");
+    }
 }
 
 #[test]

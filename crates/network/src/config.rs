@@ -38,16 +38,7 @@ impl DragonflyConfig {
     }
 
     /// The three network scales used in the paper's evaluation (§V):
-    /// 2,550 / 5,256 / 9,702 terminals. Panics for other sizes; callers
-    /// handling user input should prefer [`DragonflyConfig::try_paper_scale`].
-    pub fn paper_scale(terminals: u32) -> Self {
-        match Self::try_paper_scale(terminals) {
-            Ok(cfg) => cfg,
-            Err(_) => panic!("no paper configuration with {terminals} terminals"),
-        }
-    }
-
-    /// Checked variant of [`DragonflyConfig::paper_scale`].
+    /// 2,550 / 5,256 / 9,702 terminals. Other sizes are a config error.
     pub fn try_paper_scale(terminals: u32) -> Result<Self, HrvizError> {
         let cfg = match terminals {
             2_550 => DragonflyConfig {
@@ -356,19 +347,13 @@ mod tests {
     #[test]
     fn paper_scales_match_terminal_counts() {
         for (n, g) in [(2_550u32, 51u32), (5_256, 73), (9_702, 99)] {
-            let c = DragonflyConfig::paper_scale(n);
+            let c = DragonflyConfig::try_paper_scale(n).expect("a paper scale");
             assert_eq!(c.num_terminals(), n);
             assert_eq!(c.groups, g);
             assert!(c.is_balanced());
             assert_eq!(c.routers_per_group, 2 * c.global_ports);
             assert_eq!(c.terminals_per_router, c.global_ports);
         }
-    }
-
-    #[test]
-    #[should_panic(expected = "no paper configuration")]
-    fn unknown_scale_panics() {
-        DragonflyConfig::paper_scale(1234);
     }
 
     #[test]

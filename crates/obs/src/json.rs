@@ -84,6 +84,14 @@ impl Json {
         }
     }
 
+    /// Boolean value (`None` for other variants).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String value (`None` for other variants).
     pub fn as_str(&self) -> Option<&str> {
         match self {

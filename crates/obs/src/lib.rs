@@ -34,6 +34,7 @@ pub mod chrome;
 mod collector;
 mod json;
 mod manifest;
+pub mod metrics;
 pub mod prom;
 pub mod recorder;
 mod span;
@@ -42,6 +43,7 @@ mod trace;
 pub use collector::{Collector, Hist, LogLevel, Snapshot, SpanStat};
 pub use json::Json;
 pub use manifest::{fingerprint64, PerfRecord, RunManifest};
+pub use metrics::{metric, MetricDef, MetricKind, METRICS};
 pub use prom::{render_prometheus, PROMETHEUS_CONTENT_TYPE};
 pub use recorder::SpanRecord;
 pub use span::Span;

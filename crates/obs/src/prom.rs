@@ -14,23 +14,29 @@
 use std::fmt::Write as _;
 
 use crate::collector::Snapshot;
+use crate::metrics::metric;
 
 /// The content type to serve alongside [`render_prometheus`] output.
 pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
 
-/// Render `snap` in Prometheus text exposition format.
+/// Render `snap` in Prometheus text exposition format. Names registered
+/// in the [`crate::metrics::METRICS`] manifest carry their `# HELP` line,
+/// so the exposition documents itself.
 pub fn render_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (name, &v) in &snap.counters {
         let m = metric_name(name, "_total");
+        help_line(&mut out, name, &m);
         let _ = writeln!(out, "# TYPE {m} counter\n{m} {v}");
     }
     for (name, &v) in &snap.gauges {
         let m = metric_name(name, "");
+        help_line(&mut out, name, &m);
         let _ = writeln!(out, "# TYPE {m} gauge\n{m} {}", num(v));
     }
     for (name, h) in &snap.hists {
         let m = metric_name(name, "");
+        help_line(&mut out, name, &m);
         let _ = writeln!(out, "# TYPE {m} summary");
         for q in [0.5, 0.9, 0.99] {
             let _ = writeln!(out, "{m}{{quantile=\"{q}\"}} {}", num(h.quantile(q)));
@@ -44,6 +50,13 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
         let _ = writeln!(out, "# TYPE {m}_max gauge\n{m}_max {}", s.max_ns);
     }
     out
+}
+
+/// `# HELP` line for manifest-registered names (ad-hoc names render bare).
+fn help_line(out: &mut String, name: &str, mangled: &str) {
+    if let Some(def) = metric(name) {
+        let _ = writeln!(out, "# HELP {mangled} {}", def.help);
+    }
 }
 
 /// `serve/latency_us` → `hrviz_serve_latency_us<suffix>`.
@@ -91,6 +104,10 @@ mod tests {
         drop(c.span("serve/request"));
         let text = render_prometheus(&c.snapshot());
         assert!(text.contains("# TYPE hrviz_serve_requests_total counter"), "{text}");
+        assert!(
+            text.contains("# HELP hrviz_serve_requests_total HTTP requests accepted"),
+            "{text}"
+        );
         assert!(text.contains("hrviz_serve_requests_total 3"), "{text}");
         assert!(text.contains("hrviz_pdes_events_per_sec 1500000"), "{text}");
         assert!(text.contains("hrviz_serve_latency_us{quantile=\"0.99\"}"), "{text}");

@@ -128,11 +128,11 @@ impl<P> CalendarQueue<P> {
         let mut times: Vec<u64> =
             self.buckets.iter().flat_map(|b| b.iter().map(|e| e.key.time.0)).collect();
         times.sort_unstable();
-        let width = if times.len() >= 2 {
-            let span = times[times.len() - 1] - times[0];
-            (span / times.len() as u64).max(1)
-        } else {
-            self.bucket_width
+        let width = match (times.first(), times.last()) {
+            (Some(&first), Some(&last)) if times.len() >= 2 => {
+                ((last - first) / times.len() as u64).max(1)
+            }
+            _ => self.bucket_width,
         };
         let old: Vec<Event<P>> = std::mem::take(&mut self.buckets).into_iter().flatten().collect();
         self.buckets = (0..new_count).map(|_| Vec::new()).collect();
@@ -153,6 +153,7 @@ impl<P> CalendarQueue<P> {
         let idx = self.bucket_of(ev.key.time);
         // Keep each bucket sorted descending so the minimum is at the back
         // (cheap pop). Buckets are short by construction.
+        // lint:allow(slice_index, reason="bucket_of reduces modulo buckets.len(), so the index is always in range")
         let bucket = &mut self.buckets[idx];
         let pos = bucket.binary_search_by(|probe| ev.key.cmp(&probe.key)).unwrap_or_else(|p| p);
         bucket.insert(pos, ev);
@@ -170,6 +171,7 @@ impl<P> CalendarQueue<P> {
             .filter_map(|(i, b)| b.last().map(|e| (i, e.key)))
             .min_by_key(|&(_, k)| k)
             .map(|(i, _)| i)?;
+        // lint:allow(slice_index, reason="idx came from enumerate() over this same buckets vec")
         let ev = self.buckets[idx].pop()?;
         self.len -= 1;
         if self.len < self.shrink_at {
@@ -212,10 +214,11 @@ impl<P> EventQueue<P> for CalendarQueue<P> {
                     return self.pop_min_scan();
                 }
                 let end = end as u64;
+                // lint:allow(slice_index, reason="self.current is maintained modulo buckets.len() by push/resize/rotate")
                 let bucket = &mut self.buckets[self.current];
-                if let Some(last) = bucket.last() {
-                    if last.key.time.0 < end {
-                        let ev = bucket.pop().expect("non-empty");
+                let due = bucket.last().is_some_and(|last| last.key.time.0 < end);
+                if due {
+                    if let Some(ev) = bucket.pop() {
                         self.len -= 1;
                         if self.len < self.shrink_at {
                             let n = self.buckets.len() / 2;

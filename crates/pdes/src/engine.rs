@@ -130,11 +130,13 @@ impl<P, L: Lp<P>> Engine<P, L> {
 
     /// Immutable access to an LP (e.g. to read out final metrics).
     pub fn lp(&self, id: LpId) -> &L {
+        // lint:allow(slice_index, reason="LpId values are minted by add_lp; a stale id is a model bug the panic surfaces")
         &self.lps[id.index()]
     }
 
     /// Mutable access to an LP.
     pub fn lp_mut(&mut self, id: LpId) -> &mut L {
+        // lint:allow(slice_index, reason="LpId values are minted by add_lp; a stale id is a model bug the panic surfaces")
         &mut self.lps[id.index()]
     }
 
@@ -176,8 +178,9 @@ impl<P, L: Lp<P>> Engine<P, L> {
         self.initialized = true;
         for i in 0..self.lps.len() {
             let id = LpId(i as u32);
-            let mut ctx =
-                Ctx::new(SimTime::ZERO, id, &mut self.seqs[i], &mut self.out_buf, self.lookahead);
+            // lint:allow(slice_index, reason="seqs is built in lockstep with lps by add_lp")
+            let seq = &mut self.seqs[i];
+            let mut ctx = Ctx::new(SimTime::ZERO, id, seq, &mut self.out_buf, self.lookahead);
             self.lps[i].on_init(&mut ctx);
             self.stats.events_scheduled += self.out_buf.len() as u64;
             for ev in self.out_buf.drain(..) {
@@ -198,8 +201,10 @@ impl<P, L: Lp<P>> Engine<P, L> {
         }
         self.now = ev.key.time;
         let idx = ev.key.dst.index();
-        let mut ctx =
-            Ctx::new(self.now, ev.key.dst, &mut self.seqs[idx], &mut self.out_buf, self.lookahead);
+        // lint:allow(slice_index, reason="event destinations are LpIds minted by add_lp; seqs/lps are lockstep arrays")
+        let seq = &mut self.seqs[idx];
+        let mut ctx = Ctx::new(self.now, ev.key.dst, seq, &mut self.out_buf, self.lookahead);
+        // lint:allow(slice_index, reason="event destinations are LpIds minted by add_lp")
         self.lps[idx].on_event(&mut ctx, ev.payload);
         self.stats.events_processed += 1;
         self.stats.events_scheduled += self.out_buf.len() as u64;

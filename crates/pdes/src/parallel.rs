@@ -61,11 +61,8 @@ impl<P, L: Lp<P>> Partition<P, L> {
         stall_cap: u64,
     ) -> Result<(), SimError> {
         let mut stalled = 0u64;
-        while let Some(key) = self.queue.peek_key() {
-            if key.time >= end {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked");
+        while self.queue.peek_key().is_some_and(|k| k.time < end) {
+            let Some(ev) = self.queue.pop() else { break };
             if ev.key.time > self.now {
                 stalled = 0;
             } else {
@@ -80,7 +77,9 @@ impl<P, L: Lp<P>> Partition<P, L> {
             }
             self.now = ev.key.time;
             let idx = self.local(ev.key.dst);
+            // lint:allow(slice_index, reason="idx = local(dst) for an owned dst; seqs/lps are lockstep arrays")
             let mut ctx = Ctx::new(self.now, ev.key.dst, &mut self.seqs[idx], out_buf, lookahead);
+            // lint:allow(slice_index, reason="idx = local(dst) for an owned dst")
             self.lps[idx].on_event(&mut ctx, ev.payload);
             self.events_processed += 1;
             self.events_scheduled += out_buf.len() as u64;
@@ -200,6 +199,7 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
         self.ext_seq += 1;
         self.scheduled += 1;
         let p = self.part_of(dst);
+        // lint:allow(slice_index, reason="part_of binary-searches the partition base table, so p < parts.len()")
         self.parts[p].queue.push(Event { key, payload });
     }
 
@@ -219,8 +219,9 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
                 let mut outbox = Vec::new();
                 for i in 0..part.lps.len() {
                     let id = LpId(part.base + i as u32);
-                    let mut ctx =
-                        Ctx::new(SimTime::ZERO, id, &mut part.seqs[i], &mut out_buf, lookahead);
+                    // lint:allow(slice_index, reason="seqs is built in lockstep with lps by add_lp")
+                    let seq = &mut part.seqs[i];
+                    let mut ctx = Ctx::new(SimTime::ZERO, id, seq, &mut out_buf, lookahead);
                     part.lps[i].on_init(&mut ctx);
                     part.events_scheduled += out_buf.len() as u64;
                     for ev in out_buf.drain(..) {
@@ -241,6 +242,7 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
         for outbox in outboxes {
             for ev in outbox {
                 let p = self.part_of(ev.key.dst);
+                // lint:allow(slice_index, reason="part_of binary-searches the partition base table, so p < parts.len()")
                 self.parts[p].queue.push(ev);
             }
         }
@@ -251,6 +253,7 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
         match self.run_core(u64::MAX) {
             Ok(stats) => stats,
             // The stall cap is u64::MAX: the watchdog cannot trip.
+            // lint:allow(panic_unwrap, reason="run_core only errs on a stall, and the cap is u64::MAX; unreachable! documents the invariant")
             Err(e) => unreachable!("uncapped run reported a stall: {e}"),
         }
     }
@@ -386,9 +389,10 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
         c.counter_add("pdes/events_scheduled", stats.events_scheduled);
         c.counter_add("pdes/windows", windows);
         c.gauge_max("pdes/peak_queue_depth", stats.peak_queue_depth as f64);
-        for (p, &wait) in self.barrier_wait_ns.iter().enumerate() {
-            c.counter_add(&format!("pdes/barrier_wait_ns/p{p}"), wait);
-        }
+        // The per-partition breakdown rides on the `parallel_run` trace
+        // event below; the counter carries the statically named sum so the
+        // manifest audit can see it.
+        c.counter_add("pdes/barrier_wait_ns", self.barrier_wait_ns.iter().sum());
         let secs = wall.as_secs_f64();
         let rate = if secs > 0.0 { stats.events_processed as f64 / secs } else { 0.0 };
         if rate > 0.0 {
@@ -414,6 +418,7 @@ impl<P: Send, L: Lp<P>> ParallelEngine<P, L> {
     /// Immutable access to an LP by global id.
     pub fn lp(&self, id: LpId) -> &L {
         let p = self.part_of(id);
+        // lint:allow(slice_index, reason="part_of bounds p; local(id) is in range for ids minted by add_lp, and a stale id is a model bug the panic surfaces")
         &self.parts[p].lps[self.parts[p].local(id)]
     }
 
@@ -571,9 +576,9 @@ mod tests {
         // model is unbalanced enough that not all partitions tie).
         let waits = par.barrier_wait_ns();
         assert!(waits.iter().any(|&w| w > 0), "waits: {waits:?}");
-        for (p, &w) in waits.iter().enumerate() {
-            assert_eq!(c.counter(&format!("pdes/barrier_wait_ns/p{p}")), w);
-        }
+        // The counter carries the sum under the manifest name; the trace
+        // event carries the per-partition breakdown.
+        assert_eq!(c.counter("pdes/barrier_wait_ns"), waits.iter().sum::<u64>());
         let events = c.drain_events();
         assert!(events.iter().any(|e| e.contains("\"kind\":\"parallel_run\"")));
     }

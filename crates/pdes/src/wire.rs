@@ -127,6 +127,7 @@ impl<'a> WireReader<'a> {
                 self.remaining()
             )));
         }
+        // lint:allow(slice_index, reason="the remaining() check above guarantees pos + n <= buf.len()")
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)

@@ -28,12 +28,21 @@ pub struct MatrixView {
 impl MatrixView {
     /// Aggregate `metric` over links of `entity`, grouped by the
     /// (`by`, `by`'s destination counterpart) pair.
-    pub fn build(ds: &DataSet, entity: EntityKind, by: Field, metric: Field) -> MatrixView {
-        assert!(
-            matches!(entity, EntityKind::LocalLink | EntityKind::GlobalLink),
-            "matrix views aggregate links, got {entity}"
-        );
-        let dst = by.dst_counterpart().expect("attribute with a destination counterpart");
+    ///
+    /// Returns `None` when the field combination cannot form a matrix:
+    /// `entity` is not a link kind, `by` is not a source-side key
+    /// attribute, or `metric` is not a link metric.
+    pub fn build(ds: &DataSet, entity: EntityKind, by: Field, metric: Field) -> Option<MatrixView> {
+        if !matches!(entity, EntityKind::LocalLink | EntityKind::GlobalLink) {
+            return None;
+        }
+        if !matches!(by, Field::GroupId | Field::RouterId | Field::RouterRank | Field::Workload) {
+            return None;
+        }
+        if !matches!(metric, Field::Traffic | Field::SatTime) {
+            return None;
+        }
+        let dst = by.dst_counterpart()?;
         let links: &[LinkRow] = match entity {
             EntityKind::LocalLink => &ds.local_links,
             _ => &ds.global_links,
@@ -47,15 +56,16 @@ impl MatrixView {
                 Field::DstGroupId => l.dst_group as f64,
                 Field::DstRouterId => l.dst_router as f64,
                 Field::DstRouterRank => l.dst_rank as f64,
-                Field::DstWorkload => l.dst_job as f64,
-                other => panic!("unsupported matrix key {other}"),
+                // Unreachable: `by` is validated above and `dst` is its
+                // counterpart, so both are always key attributes.
+                _ => l.dst_job as f64,
             }
         };
         let val_of = |l: &LinkRow| -> f64 {
             match metric {
                 Field::Traffic => l.traffic,
-                Field::SatTime => l.sat,
-                other => panic!("unsupported matrix metric {other}"),
+                // Validated above: metric is Traffic or SatTime.
+                _ => l.sat,
             }
         };
         let mut keys: Vec<f64> =
@@ -67,11 +77,17 @@ impl MatrixView {
         let n = keys.len();
         let mut cells = vec![0.0; n * n];
         for l in links {
-            let r = index[&key_of(l, by).to_bits()];
-            let c = index[&key_of(l, dst).to_bits()];
-            cells[r * n + c] += val_of(l);
+            let r = index.get(&key_of(l, by).to_bits()).copied();
+            let c = index.get(&key_of(l, dst).to_bits()).copied();
+            // Both lookups always hit: `index` was built from these very
+            // links. The guarded form keeps the hot loop panic-free.
+            if let (Some(r), Some(c)) = (r, c) {
+                if let Some(cell) = cells.get_mut(r * n + c) {
+                    *cell += val_of(l);
+                }
+            }
         }
-        MatrixView { keys, cells, metric, by }
+        Some(MatrixView { keys, cells, metric, by })
     }
 
     /// Number of rows/columns.
@@ -79,9 +95,9 @@ impl MatrixView {
         self.keys.len()
     }
 
-    /// Cell value.
+    /// Cell value (0.0 when out of range).
     pub fn cell(&self, row: usize, col: usize) -> f64 {
-        self.cells[row * self.size() + col]
+        self.cells.get(row * self.size() + col).copied().unwrap_or(0.0)
     }
 
     /// Maximum cell value.
@@ -166,7 +182,8 @@ mod tests {
 
     #[test]
     fn matrix_aggregates_directed_pairs() {
-        let m = MatrixView::build(&ds(), EntityKind::LocalLink, Field::RouterRank, Field::Traffic);
+        let m = MatrixView::build(&ds(), EntityKind::LocalLink, Field::RouterRank, Field::Traffic)
+            .expect("link matrix");
         assert_eq!(m.size(), 3);
         assert_eq!(m.cell(0, 1), 100.0);
         assert_eq!(m.cell(1, 0), 50.0);
@@ -179,15 +196,18 @@ mod tests {
     fn separate_matrices_needed_per_metric() {
         // The §IV-B1 argument: traffic and saturation need two matrices,
         // while one ribbon carries both.
-        let t = MatrixView::build(&ds(), EntityKind::LocalLink, Field::RouterRank, Field::Traffic);
-        let s = MatrixView::build(&ds(), EntityKind::LocalLink, Field::RouterRank, Field::SatTime);
+        let t = MatrixView::build(&ds(), EntityKind::LocalLink, Field::RouterRank, Field::Traffic)
+            .expect("traffic matrix");
+        let s = MatrixView::build(&ds(), EntityKind::LocalLink, Field::RouterRank, Field::SatTime)
+            .expect("saturation matrix");
         assert_eq!(t.cell(0, 1), 100.0);
         assert_eq!(s.cell(0, 1), 5.0);
     }
 
     #[test]
     fn svg_renders_all_cells() {
-        let m = MatrixView::build(&ds(), EntityKind::LocalLink, Field::RouterRank, Field::Traffic);
+        let m = MatrixView::build(&ds(), EntityKind::LocalLink, Field::RouterRank, Field::Traffic)
+            .expect("link matrix");
         let svg = render_matrix(&m, 240.0, "local links");
         assert_eq!(svg.matches("<rect").count(), 1 + 9); // background + 3x3
         assert!(svg.contains("local links"));
@@ -195,8 +215,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "aggregate links")]
-    fn terminals_rejected() {
-        MatrixView::build(&ds(), EntityKind::Terminal, Field::RouterRank, Field::Traffic);
+    fn unbuildable_combinations_are_none_not_panics() {
+        // Terminals have no link matrix, `Traffic` is not a key, and
+        // `GroupId` is not a metric: all refused without unwinding.
+        assert!(MatrixView::build(&ds(), EntityKind::Terminal, Field::RouterRank, Field::Traffic)
+            .is_none());
+        assert!(MatrixView::build(&ds(), EntityKind::LocalLink, Field::Traffic, Field::Traffic)
+            .is_none());
+        assert!(MatrixView::build(&ds(), EntityKind::LocalLink, Field::RouterRank, Field::GroupId)
+            .is_none());
     }
 }

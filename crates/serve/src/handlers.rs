@@ -121,12 +121,16 @@ impl App {
     /// file via temp + rename (new inode, new mtime), which invalidates
     /// the cached value immediately — the paging 409 contract holds.
     fn generation(&self) -> u64 {
-        let mut cache = self.generations.lock().unwrap_or_else(PoisonError::into_inner);
         let shards = self.store.shard_count();
+        // Stat every GENERATION file *before* taking the cache lock: the
+        // filesystem round-trips must not serialize concurrent requests.
+        let ids: Vec<GenFileId> = (0..shards)
+            .map(|shard| GenFileId::stat(&self.store.shard_root(shard).join("GENERATION")))
+            .collect();
+        let mut cache = self.generations.lock().unwrap_or_else(PoisonError::into_inner);
         cache.resize(shards as usize, (GenFileId::Missing, 0));
         let mut total = 0u64;
-        for (shard, slot) in (0..shards).zip(cache.iter_mut()) {
-            let id = GenFileId::stat(&self.store.shard_root(shard).join("GENERATION"));
+        for ((shard, id), slot) in (0..shards).zip(ids).zip(cache.iter_mut()) {
             if id != slot.0 {
                 *slot = (id, self.store.shard_generation(shard));
             }

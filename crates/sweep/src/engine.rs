@@ -221,6 +221,7 @@ impl SweepEngine {
             let record = |run: &str, state: RunState, new_attempt: bool| {
                 let mut j = journal.lock().unwrap_or_else(|p| p.into_inner());
                 j.record(run, state, new_attempt);
+                // lint:allow(blocking_under_lock, reason="record+persist must be atomic: persist snapshots the whole journal, and a persist outside the lock could rename an older snapshot over a newer one (temp+rename is last-writer-wins)")
                 j.persist(&self.store)
             };
             let pool = ThreadPoolBuilder::new()
@@ -286,6 +287,7 @@ impl SweepEngine {
             }
             j.pending_generation = 0;
             j.pending_shards.clear();
+            // lint:allow(blocking_under_lock, reason="the worker pool has drained: this final persist retires the generation intent with no contending thread, and it must see the journal it just mutated")
             j.persist(&self.store)?;
         }
         let retries = retries.into_inner();

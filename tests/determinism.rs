@@ -41,7 +41,7 @@ fn dragonfly_bytes() -> String {
 
 /// One full Fat-Tree run rendered to bytes.
 fn fattree_bytes() -> String {
-    let cfg = FatTreeConfig::new(4); // 16 hosts
+    let cfg = FatTreeConfig::try_new(4).expect("valid k"); // 16 hosts
     let mut sim = FatTreeSim::new(cfg, UpRouting::Adaptive);
     let terminals: Vec<_> = (0..cfg.num_hosts()).map(TerminalId).collect();
     let meta = JobMeta { name: "ur".into(), terminals };
