@@ -42,8 +42,8 @@ use hrviz_pdes::SimTime;
 use hrviz_render::{render_radial, render_radial_row, RadialLayout};
 use hrviz_serve::{install_signal_shutdown, ServeConfig, Server};
 use hrviz_sweep::{
-    dragonfly_of, FaultAxis, RunStore, StoredManifest, SweepEngine, SweepOptions, SweepSpec,
-    TopologyAxis,
+    dragonfly_of, read_progress, read_slices, AbortSpec, FaultAxis, RunStore, StoredManifest,
+    StreamOptions, SweepEngine, SweepOptions, SweepSpec, TopologyAxis,
 };
 use hrviz_workloads::{generate_synthetic, load_trace, SyntheticConfig, TrafficPattern};
 use std::collections::BTreeMap;
@@ -149,7 +149,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, HrvizError> {
 
 /// Usage text.
 pub const USAGE: &str =
-    "usage: hrviz <view|trace|compare|sweep|serve|fsck|bench-gate|check> [options]
+    "usage: hrviz <view|trace|compare|sweep|serve|fsck|watch|bench-gate|check> [options]
   view    --terminals N --pattern P --routing R [--msgs N] [--bytes N]
           [--period-us N] [--script FILE] [--svg FILE] [--seed N]
           [--lod 0..2] [--max-depth N] [--max-items N] [--page-size N]
@@ -170,13 +170,20 @@ pub const USAGE: &str =
            directories with independent generation counters)]
           [--resume (skip completed runs, retry failed/orphaned ones with
            deterministic seeded backoff — safe after a kill -9)]
+          [--slice-every-us N (live telemetry: seal a counter slice per N
+           microseconds of virtual time into each run's slices/ dir)]
+          [--abort-policy saturation[:PERMILLE:WINDOWS] (cancel runs the
+           policy judges saturated; implies --slice-every-us 5)]
           (--faults FILE sweeps a faulty axis point next to the healthy one)
   fsck    --store DIR (run the store recovery pass and print its JSON
           report; a dirty store — quarantines, orphans, failures — exits 7)
+  watch   --store DIR --run ID [--poll-ms N] [--max-s N]
+          (tail a streamed run's sealed slices until it turns terminal)
   serve   --store DIR [--addr HOST:PORT] [--workers N] [--queue-depth N]
           [--max-conns N] [--timeout-ms N] [--keepalive-requests N]
           (HTTP endpoints: /runs /runs/{id}/columns/{field} /views /compare
-           /healthz /metricsz; SIGINT drains and exits 0)
+           /runs/{id}/progress /runs/{id}/stream /healthz /metricsz;
+           SIGINT drains and exits 0)
   bench-gate [--out DIR] [--tolerance F] [--window N]
           (judge out/BENCH_*.json against out/PERF_HISTORY.jsonl and append;
            a tracked metric past tolerance vs the rolling baseline exits 7)
@@ -257,8 +264,11 @@ fn allowed_flags(command: &str) -> Option<&'static [&'static str]> {
             "name",
             "resume",
             "shards",
+            "slice-every-us",
+            "abort-policy",
         ]),
         "fsck" => Some(&["store"]),
+        "watch" => Some(&["store", "run", "poll-ms", "max-s"]),
         "serve" => Some(&[
             "store",
             "addr",
@@ -685,6 +695,29 @@ fn run_metrics(out: RunOutput, run: &RunData) -> RunOutput {
         .metric("rerouted_packets", run.total_rerouted() as f64)
 }
 
+/// `--slice-every-us` / `--abort-policy` → [`StreamOptions`]. Either flag
+/// enables streaming; an abort policy without an explicit window defaults
+/// to 5 µs slices (a policy needs slices to observe).
+fn stream_options_of(cli: &Cli) -> Result<Option<StreamOptions>, HrvizError> {
+    let window_us = cli
+        .options
+        .get("slice-every-us")
+        .map(|w| {
+            w.parse::<u64>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| HrvizError::usage("--slice-every-us must be a positive number"))
+        })
+        .transpose()?;
+    let abort = cli.options.get("abort-policy").map(|p| AbortSpec::parse(p)).transpose()?;
+    Ok(match (window_us, abort) {
+        (None, None) => None,
+        (window_us, abort) => {
+            Some(StreamOptions { window: SimTime::micros(window_us.unwrap_or(5)), abort })
+        }
+    })
+}
+
 /// Run a parsed command.
 pub fn run(cli: &Cli) -> Result<RunOutput, HrvizError> {
     validate_flags(cli)?;
@@ -809,7 +842,9 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
                 None => RunStore::open(&store_dir)?,
             };
             let engine = SweepEngine::new(store).with_workers(workers);
-            let opts = if resume { SweepOptions::resume() } else { SweepOptions::default() };
+            let stream = stream_options_of(cli)?;
+            let base = if resume { SweepOptions::resume() } else { SweepOptions::default() };
+            let opts = SweepOptions { stream, ..base };
             let outcome = engine.run_with(&spec, &opts)?;
             let report_dir = cli.options.get("report").cloned().unwrap_or_else(|| "out".into());
             let report = outcome.write(std::path::Path::new(&report_dir))?;
@@ -830,6 +865,10 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
                     outcome.resumed_runs, outcome.retries,
                 ));
             }
+            if stream.is_some() || outcome.aborted > 0 {
+                summary
+                    .push_str(&format!("stream: {} run(s) aborted by policy\n", outcome.aborted));
+            }
             Ok(RunOutput::text(summary)
                 .artifact(report)
                 .artifact(store_dir)
@@ -838,6 +877,7 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
                 .metric("store_misses", outcome.store_misses as f64)
                 .metric("resumed_runs", outcome.resumed_runs as f64)
                 .metric("retries", outcome.retries as f64)
+                .metric("aborted", outcome.aborted as f64)
                 .metric("events_simulated", outcome.events_simulated as f64))
         }
         "fsck" => {
@@ -869,6 +909,56 @@ fn dispatch(cli: &Cli) -> Result<RunOutput, HrvizError> {
                 .metric("completed", report.completed as f64)
                 .metric("quarantined", report.quarantined.len() as f64)
                 .metric("tmp_removed", report.tmp_removed as f64))
+        }
+        "watch" => {
+            let Some(store_dir) = cli.options.get("store") else {
+                return err("watch needs --store DIR (a sweep run store)");
+            };
+            let Some(run) = cli.options.get("run") else {
+                return err("watch needs --run ID (16 hex digits)");
+            };
+            let poll_ms = u64_opt(cli, "poll-ms", 200)?.max(1);
+            let max_s = u64_opt(cli, "max-s", 60)?.max(1);
+            let store = RunStore::open(store_dir)?;
+            let dir = store.run_dir(run);
+            let mut next_seq = 0u64;
+            let mut out = String::new();
+            // Bounded by iteration count, not a wall-clock deadline: the
+            // watch always terminates even against a stalled producer.
+            let mut rounds_left = max_s.saturating_mul(1000) / poll_ms;
+            let last = loop {
+                let Some(progress) = read_progress(&dir)? else {
+                    return err(format!(
+                        "run {run:?} has no live telemetry (batch-mode run, or not in {store_dir}); \
+                         sweep with --slice-every-us to stream it"
+                    ));
+                };
+                for slice in read_slices(&dir, next_seq)? {
+                    out.push_str(&format!(
+                        "slice {:>4}  t [{:>10}..{:>10}) ns  injected {:>9} B  \
+                         delivered {:>9} B  dropped {:>4}\n",
+                        slice.seq,
+                        slice.t_start_ns,
+                        slice.t_end_ns,
+                        slice.injected_bytes,
+                        slice.delivered_bytes,
+                        slice.dropped_packets,
+                    ));
+                    next_seq = slice.seq + 1;
+                }
+                if (progress.is_terminal() && next_seq >= progress.sealed) || rounds_left == 0 {
+                    break progress;
+                }
+                rounds_left -= 1;
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+            };
+            out.push_str(&format!(
+                "run {run}: {} — {} slice(s) sealed, virtual time {} ns\n",
+                last.state, last.sealed, last.virtual_ns
+            ));
+            Ok(RunOutput::text(out)
+                .metric("slices", next_seq as f64)
+                .metric("terminal", if last.is_terminal() { 1.0 } else { 0.0 }))
         }
         "serve" => {
             let Some(store_dir) = cli.options.get("store") else {
@@ -1462,6 +1552,93 @@ mod tests {
         assert_eq!(warm.metric_value("events_simulated"), Some(0.0));
         let text = std::fs::read_to_string(&report_file).unwrap();
         assert!(text.contains("\"store_misses\":0"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_streams_slices_then_watch_tails_them() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_stream_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.join("store");
+        let argv = args(&[
+            "sweep",
+            "--terminals",
+            "72",
+            "--routings",
+            "minimal",
+            "--msgs",
+            "2",
+            "--bytes",
+            "1024",
+            "--slice-every-us",
+            "5",
+            "--store",
+            store.to_str().unwrap(),
+            "--report",
+            dir.join("reports").to_str().unwrap(),
+        ]);
+        let out = run(&parse_args(&argv).unwrap()).unwrap();
+        assert_eq!(out.metric_value("aborted"), Some(0.0));
+        assert!(out.to_string().contains("0 run(s) aborted"), "{out}");
+
+        let run_id = RunStore::open(&store).unwrap().runs().unwrap().remove(0);
+        let watch =
+            args(&["watch", "--store", store.to_str().unwrap(), "--run", &run_id, "--max-s", "5"]);
+        let watched = run(&parse_args(&watch).unwrap()).unwrap();
+        assert_eq!(watched.metric_value("terminal"), Some(1.0), "{watched}");
+        assert!(watched.metric_value("slices").unwrap() >= 1.0, "{watched}");
+        assert!(watched.to_string().contains("completed"), "{watched}");
+
+        // Watching a run that never streamed is a usage error, not a hang.
+        let batch_store = dir.join("batch");
+        let mut batch_argv = argv.clone();
+        let pos = batch_argv.iter().position(|a| a == "--slice-every-us").unwrap();
+        batch_argv.drain(pos..pos + 2);
+        let pos = batch_argv.iter().position(|a| a == "--store").unwrap();
+        batch_argv[pos + 1] = batch_store.to_str().unwrap().into();
+        run(&parse_args(&batch_argv).unwrap()).unwrap();
+        let batch_run = RunStore::open(&batch_store).unwrap().runs().unwrap().remove(0);
+        let watch_batch =
+            args(&["watch", "--store", batch_store.to_str().unwrap(), "--run", &batch_run]);
+        let e = run(&parse_args(&watch_batch).unwrap()).unwrap_err();
+        assert!(e.to_string().contains("no live telemetry"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_abort_policy_cancels_and_reports() {
+        let dir = std::env::temp_dir().join(format!("hrviz_cli_abort_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = dir.join("store");
+        let argv = args(&[
+            "sweep",
+            "--terminals",
+            "72",
+            "--routings",
+            "minimal,adaptive",
+            "--msgs",
+            "2",
+            "--bytes",
+            "1024",
+            // One 200 ns window with an impossible delivery bar: every
+            // run aborts on its first slice.
+            "--abort-policy",
+            "saturation:1000:1",
+            "--slice-every-us",
+            "1",
+            "--store",
+            store.to_str().unwrap(),
+            "--report",
+            dir.join("reports").to_str().unwrap(),
+        ]);
+        let out = run(&parse_args(&argv).unwrap()).unwrap();
+        assert_eq!(out.metric_value("aborted"), Some(2.0), "{out}");
+        assert!(out.to_string().contains("2 run(s) aborted"), "{out}");
+        // Aborted runs never become servable completions.
+        assert!(RunStore::open(&store).unwrap().runs().unwrap().is_empty());
+
+        let bad = args(&["sweep", "--terminals", "72", "--abort-policy", "nonsense"]);
+        assert!(run(&parse_args(&bad).unwrap()).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,6 +10,8 @@
 
 use crate::dataset::DataSet;
 use crate::entity::{AggRule, EntityKind, Field};
+use crate::live::LiveAggregate;
+use hrviz_stream::Slice;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -176,6 +178,10 @@ pub struct DataKey {
 pub struct AggregateCache {
     groups: CacheMap<Vec<AggregateItem>>,
     trees: CacheMap<AggregateTree>,
+    /// Live per-run aggregates, keyed by run hash; each entry carries its
+    /// own watermark, so a lookup for `(run, watermark)` is a hit exactly
+    /// when the stored aggregate has folded that many slices.
+    live: Mutex<HashMap<u64, Arc<LiveAggregate>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -283,8 +289,50 @@ impl AggregateCache {
         made
     }
 
+    /// Fold one newly sealed slice into `run`'s live aggregate *in place*
+    /// — the incremental alternative to invalidate-and-rebuild while a
+    /// run is still streaming. Returns the updated aggregate when `slice`
+    /// is the next expected sequence number for the cached entry (a hit),
+    /// or `None` on a gap/replay (a miss — the caller should rebuild from
+    /// the full sealed prefix via [`AggregateCache::live_rebuild`]).
+    pub fn merge_slice(&self, run: u64, slice: &Slice) -> Option<Arc<LiveAggregate>> {
+        let _span = hrviz_obs::get().span_on_lane("core/agg_cache", "core/agg_cache");
+        let mut live = self.live.lock().expect("cache poisoned");
+        let mut agg: LiveAggregate = live.get(&run).map(|a| (**a).clone()).unwrap_or_default();
+        if !agg.merge_slice(slice) {
+            self.record(false);
+            return None;
+        }
+        self.record(true);
+        let agg = Arc::new(agg);
+        live.insert(run, agg.clone());
+        Some(agg)
+    }
+
+    /// Cold-rebuild `run`'s live aggregate from a contiguous slice prefix
+    /// and cache the result. Returns `None` (leaving any cached entry in
+    /// place) when the slices are not contiguous from sequence 0.
+    pub fn live_rebuild(&self, run: u64, slices: &[Slice]) -> Option<Arc<LiveAggregate>> {
+        let agg = Arc::new(LiveAggregate::rebuild(slices)?);
+        self.record(false);
+        self.live.lock().expect("cache poisoned").insert(run, agg.clone());
+        Some(agg)
+    }
+
+    /// The cached live aggregate for `run`, if any.
+    pub fn live_aggregate(&self, run: u64) -> Option<Arc<LiveAggregate>> {
+        self.live.lock().expect("cache poisoned").get(&run).cloned()
+    }
+
+    /// Drop `run`'s live aggregate — called when the run reaches a
+    /// terminal state and the batch dataset takes over.
+    pub fn drop_live(&self, run: u64) {
+        self.live.lock().expect("cache poisoned").remove(&run);
+    }
+
     /// Drop every entry from a generation other than `generation` —
-    /// invalidation after the backing store changed.
+    /// invalidation after the backing store changed. Live aggregates are
+    /// watermark-keyed, not generation-keyed, and survive.
     pub fn retain_generation(&self, generation: u64) {
         self.groups.lock().expect("cache poisoned").retain(|(k, _), _| k.generation == generation);
         self.trees.lock().expect("cache poisoned").retain(|(k, _), _| k.generation == generation);
@@ -490,6 +538,37 @@ mod tests {
         cache.retain_generation(2);
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cache_merge_slice_is_incremental_and_watermark_keyed() {
+        let cache = AggregateCache::new();
+        let mk = |seq: u64| Slice {
+            seq,
+            t_start_ns: seq * 100,
+            t_end_ns: (seq + 1) * 100,
+            delivered_packets: 2,
+            delivered_bytes: 1024,
+            ..Slice::default()
+        };
+        let run = 0xfeed;
+        let a = cache.merge_slice(run, &mk(0)).expect("seq 0 folds into fresh entry");
+        assert_eq!((a.watermark, a.delivered_bytes), (1, 1024));
+        assert!(cache.merge_slice(run, &mk(0)).is_none(), "replay is a miss");
+        assert!(cache.merge_slice(run, &mk(2)).is_none(), "gap is a miss");
+        let b = cache.merge_slice(run, &mk(1)).expect("next slice folds");
+        assert_eq!((b.watermark, b.delivered_bytes), (2, 2048));
+        // Misses left the cached entry untouched.
+        assert_eq!(cache.live_aggregate(run).expect("cached").watermark, 2);
+        // Cold rebuild over the same prefix is identical.
+        let cold = cache.live_rebuild(run, &[mk(0), mk(1)]).expect("contiguous");
+        assert_eq!(*cold, *b);
+        assert_eq!(cold.to_json().render(), b.to_json().render());
+        // Generation invalidation leaves live entries alone; drop_live removes.
+        cache.retain_generation(99);
+        assert!(cache.live_aggregate(run).is_some());
+        cache.drop_live(run);
+        assert!(cache.live_aggregate(run).is_none());
     }
 
     #[test]

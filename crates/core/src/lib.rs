@@ -51,6 +51,7 @@ pub mod dataset;
 pub mod detail;
 pub mod entity;
 pub mod graph;
+pub mod live;
 pub mod projection;
 pub mod request;
 pub mod script;
@@ -71,6 +72,7 @@ pub use graph::{
     hex16, legacy_envelope, legacy_view_json, Cursor, CursorError, GraphNode, ProjectionGraph,
     RenderPolicy, LEGACY_SCHEMA_VERSION, SCHEMA_VERSION, SECTION_NAMES,
 };
+pub use live::LiveAggregate;
 pub use projection::{
     build_view, build_view_cached, build_view_scaled, build_view_scaled_cached, compute_scales,
     compute_scales_cached, ArcSegment, ProjectionView, Ribbon, Ring, ScaleSet, VisualItem,

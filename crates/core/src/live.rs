@@ -1,0 +1,191 @@
+//! Incremental (in-flight) aggregates over streamed run slices.
+//!
+//! A live run seals [`Slice`]s of counter deltas as virtual time advances
+//! (see `hrviz-stream`). This module folds those deltas into a running
+//! [`LiveAggregate`] — the in-flight analog of a completed run's scalar
+//! summary — so watchers see up-to-date totals without re-reading every
+//! sealed slice on each poll. All fields are integers, so the incremental
+//! fold is *byte-identical* to a cold rebuild over the same slices at
+//! every watermark: [`LiveAggregate::merge_slice`] applied slice-by-slice
+//! renders exactly the same JSON as [`LiveAggregate::rebuild`] over the
+//! prefix, which is what makes watermark-keyed HTTP caching of live views
+//! sound.
+
+use crate::graph::{hex16, SCHEMA_VERSION};
+use hrviz_obs::Json;
+use hrviz_stream::{Slice, LATENCY_BINS};
+
+/// Running totals over the sealed slices of one in-flight run.
+///
+/// `watermark` is the number of slices folded so far — equivalently the
+/// next expected [`Slice::seq`]. Folding is pure integer addition, so two
+/// aggregates at the same watermark over the same slice prefix are equal
+/// field-by-field and render to byte-identical JSON.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LiveAggregate {
+    /// Slices folded so far (= next expected slice `seq`).
+    pub watermark: u64,
+    /// Virtual time covered: `t_end_ns` of the last folded slice.
+    pub virtual_ns: u64,
+    /// Packets delivered to their destination terminal.
+    pub delivered_packets: u64,
+    /// Payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Packets injected by source terminals.
+    pub injected_packets: u64,
+    /// Payload bytes injected.
+    pub injected_bytes: u64,
+    /// Packets dropped at routers.
+    pub dropped_packets: u64,
+    /// Sum of per-terminal delivery latencies (ns).
+    pub latency_sum_ns: u64,
+    /// Log₂-microsecond latency histogram (see `hrviz-stream`).
+    pub latency_hist: [u64; LATENCY_BINS],
+    /// Total virtual-channel saturation time across router ports (ns).
+    pub vc_sat_ns: u64,
+}
+
+impl LiveAggregate {
+    /// An empty aggregate at watermark 0.
+    pub fn new() -> LiveAggregate {
+        LiveAggregate::default()
+    }
+
+    /// Fold one newly sealed slice into the totals. Returns `false` —
+    /// leaving the aggregate untouched — when `slice.seq` is not the next
+    /// expected sequence number (a gap or a replay); the caller should
+    /// fall back to [`LiveAggregate::rebuild`] over the full prefix.
+    pub fn merge_slice(&mut self, slice: &Slice) -> bool {
+        if slice.seq != self.watermark {
+            return false;
+        }
+        self.watermark += 1;
+        self.virtual_ns = slice.t_end_ns;
+        self.delivered_packets += slice.delivered_packets;
+        self.delivered_bytes += slice.delivered_bytes;
+        self.injected_packets += slice.injected_packets;
+        self.injected_bytes += slice.injected_bytes;
+        self.dropped_packets += slice.dropped_packets;
+        self.latency_sum_ns += slice.latency_sum_ns;
+        for (acc, d) in self.latency_hist.iter_mut().zip(slice.latency_hist.iter()) {
+            *acc += d;
+        }
+        self.vc_sat_ns += slice.vc_sat_ns;
+        true
+    }
+
+    /// Cold batch build: fold a contiguous slice prefix (seq 0, 1, …) from
+    /// scratch. Returns `None` when the slices are not contiguous from 0.
+    pub fn rebuild(slices: &[Slice]) -> Option<LiveAggregate> {
+        let mut agg = LiveAggregate::new();
+        for s in slices {
+            if !agg.merge_slice(s) {
+                return None;
+            }
+        }
+        Some(agg)
+    }
+
+    /// Mean delivery latency so far, in nanoseconds (0 before the first
+    /// delivery). Derived from integer sums, so it is identical however
+    /// the aggregate was built.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.delivered_packets == 0 {
+            0.0
+        } else {
+            self.latency_sum_ns as f64 / self.delivered_packets as f64
+        }
+    }
+
+    /// Canonical JSON body (fixed key order, integers only).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("watermark", Json::U64(self.watermark)),
+            ("virtual_ns", Json::U64(self.virtual_ns)),
+            ("delivered_packets", Json::U64(self.delivered_packets)),
+            ("delivered_bytes", Json::U64(self.delivered_bytes)),
+            ("injected_packets", Json::U64(self.injected_packets)),
+            ("injected_bytes", Json::U64(self.injected_bytes)),
+            ("dropped_packets", Json::U64(self.dropped_packets)),
+            ("latency_sum_ns", Json::U64(self.latency_sum_ns)),
+            ("latency_hist", Json::Arr(self.latency_hist.iter().map(|&v| Json::U64(v)).collect())),
+            ("vc_sat_ns", Json::U64(self.vc_sat_ns)),
+        ])
+    }
+
+    /// The schema-2 wire envelope for a live aggregate: the same
+    /// `schema_version` / `source_hash` header every view/compare response
+    /// carries, with the run id and watermark binding the payload to one
+    /// exact slice prefix.
+    pub fn envelope(&self, run: &str, source_hash: u64) -> Json {
+        Json::obj([
+            ("schema_version", Json::U64(u64::from(SCHEMA_VERSION))),
+            ("source_hash", Json::Str(hex16(source_hash))),
+            ("run", Json::Str(run.to_string())),
+            ("live", self.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice(seq: u64, base: u64) -> Slice {
+        let mut hist = [0u64; LATENCY_BINS];
+        hist[(seq as usize) % LATENCY_BINS] = base;
+        Slice {
+            seq,
+            t_start_ns: seq * 1000,
+            t_end_ns: (seq + 1) * 1000,
+            delivered_packets: base,
+            delivered_bytes: base * 512,
+            injected_packets: base + 1,
+            injected_bytes: (base + 1) * 512,
+            dropped_packets: seq % 2,
+            latency_sum_ns: base * 700,
+            latency_hist: hist,
+            vc_sat_ns: base * 3,
+        }
+    }
+
+    #[test]
+    fn incremental_fold_matches_cold_rebuild_bytewise() {
+        let slices: Vec<Slice> = (0..9).map(|i| slice(i, i * 11 + 2)).collect();
+        let mut inc = LiveAggregate::new();
+        for (n, s) in slices.iter().enumerate() {
+            assert!(inc.merge_slice(s));
+            let cold = LiveAggregate::rebuild(&slices[..=n]).expect("contiguous");
+            assert_eq!(inc, cold);
+            assert_eq!(inc.to_json().render(), cold.to_json().render());
+            assert_eq!(
+                inc.envelope("abcd", 7).render(),
+                cold.envelope("abcd", 7).render(),
+                "envelopes identical at watermark {}",
+                n + 1
+            );
+        }
+        assert_eq!(inc.watermark, 9);
+        assert_eq!(inc.virtual_ns, 9000);
+    }
+
+    #[test]
+    fn gaps_and_replays_are_rejected_without_mutation() {
+        let mut agg = LiveAggregate::new();
+        assert!(agg.merge_slice(&slice(0, 5)));
+        let before = agg.clone();
+        assert!(!agg.merge_slice(&slice(0, 5)), "replay rejected");
+        assert!(!agg.merge_slice(&slice(2, 5)), "gap rejected");
+        assert_eq!(agg, before, "failed merge must not mutate");
+        assert!(LiveAggregate::rebuild(&[slice(1, 3)]).is_none());
+    }
+
+    #[test]
+    fn envelope_is_schema_2() {
+        let agg = LiveAggregate::new();
+        let body = agg.envelope("deadbeefdeadbeef", 0x1234).render();
+        assert!(body.starts_with("{\"schema_version\":2,"), "{body}");
+        assert!(body.contains("\"run\":\"deadbeefdeadbeef\""), "{body}");
+        assert!(body.contains("\"live\":{\"watermark\":0,"), "{body}");
+    }
+}

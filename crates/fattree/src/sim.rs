@@ -11,7 +11,8 @@ use hrviz_network::topology::TerminalId;
 use hrviz_network::traffic::{JobMeta, MsgInjection};
 use hrviz_network::NO_JOB;
 use hrviz_obs::Json;
-use hrviz_pdes::{Ctx, Engine, Lp, SimTime, WatchdogConfig};
+use hrviz_pdes::{Ctx, Engine, Lp, RunOutcome, SimTime, WatchdogConfig};
+use hrviz_stream::{CumulativeTotals, SliceControl, SliceCursor, SliceSink, StreamedOutcome};
 
 // Hosts dominate the node population; keep the flat in-place layout rather
 // than boxing (same trade-off as `hrviz_network::NetNode`).
@@ -140,9 +141,11 @@ impl FatTreeSim {
         }
     }
 
-    /// Run to completion, converting watchdog trips and credit-audit
-    /// failures into structured errors instead of panicking.
-    pub fn try_run(mut self) -> Result<FatTreeRun, HrvizError> {
+    /// Build the LP population and engine (shared by the batch and
+    /// streamed run paths). Fault broadcasts are scheduled here.
+    fn assemble(
+        mut self,
+    ) -> (FatTreeConfig, Vec<JobMeta>, Engine<NetEvent, FtNode>, hrviz_obs::Collector) {
         let cfg = self.cfg;
         let mut nodes = Vec::with_capacity(cfg.num_lps() as usize);
         for hst in 0..cfg.num_hosts() {
@@ -177,7 +180,6 @@ impl FatTreeSim {
         let lookahead =
             self.links.host.latency.min(self.links.pod.latency).min(self.links.core.latency);
         let collector = hrviz_obs::get();
-        let span = collector.span("sim/fattree_run");
         let mut engine = Engine::new(nodes, lookahead);
         engine.set_collector(collector.clone());
         if let Some(wd) = self.watchdog {
@@ -199,12 +201,20 @@ impl FatTreeSim {
             }
             collector.counter_add("net/fault_events", self.faults.len() as u64);
         }
+        (cfg, self.jobs, engine, collector)
+    }
+
+    /// Run to completion, converting watchdog trips and credit-audit
+    /// failures into structured errors instead of panicking.
+    pub fn try_run(self) -> Result<FatTreeRun, HrvizError> {
+        let (cfg, jobs, mut engine, collector) = self.assemble();
+        let span = collector.span("sim/fattree_run");
         engine.try_run_to_completion()?;
         let stats = engine.stats();
         span.end();
         let run = FatTreeRun {
             cfg,
-            jobs: self.jobs,
+            jobs,
             nodes: engine.into_lps(),
             end_time: stats.end_time,
             events_processed: stats.events_processed,
@@ -213,6 +223,96 @@ impl FatTreeSim {
         collector.counter_add("net/packets_rerouted", run.rerouted_packets());
         Ok(run)
     }
+
+    /// Run to completion, sealing one [`hrviz_stream::Slice`] of counter
+    /// deltas into `sink` at every absolute multiple of `window` plus a
+    /// final partial slice. The sink may abort the run; a completed run
+    /// is bit-identical to [`FatTreeSim::try_run`].
+    pub fn try_run_streamed(
+        self,
+        window: SimTime,
+        sink: SliceSink<'_>,
+    ) -> Result<StreamedOutcome<FatTreeRun>, HrvizError> {
+        let every = window.as_nanos();
+        if every == 0 {
+            return Err(HrvizError::config("slice window must be positive"));
+        }
+        let (cfg, jobs, mut engine, collector) = self.assemble();
+        let span = collector.span("sim/fattree_run");
+        let hosts = cfg.num_hosts() as usize;
+        let mut cursor = SliceCursor::new(hosts);
+        // Absolute-multiple grid, matching the Dragonfly streamed path.
+        let mut next = engine.now().as_nanos() / every + 1;
+        loop {
+            let bound = next.saturating_mul(every);
+            let outcome = engine.try_run_until(SimTime(bound))?;
+            if outcome != RunOutcome::TimeBound {
+                // Finalize (on_finish + drain audit) before the last cut.
+                engine.try_run_to_completion()?;
+                let t_end = engine.now().as_nanos();
+                if let Some(slice) = cursor.cut(t_end, ft_totals(engine.lps(), hosts)) {
+                    if let SliceControl::Abort(reason) = sink(&slice)? {
+                        span.end();
+                        return Ok(StreamedOutcome::Aborted {
+                            reason,
+                            at_ns: t_end,
+                            slices: cursor.slices(),
+                        });
+                    }
+                }
+                break;
+            }
+            if let Some(slice) = cursor.cut(bound, ft_totals(engine.lps(), hosts)) {
+                if let SliceControl::Abort(reason) = sink(&slice)? {
+                    span.end();
+                    return Ok(StreamedOutcome::Aborted {
+                        reason,
+                        at_ns: bound,
+                        slices: cursor.slices(),
+                    });
+                }
+            }
+            next = (engine.now().as_nanos() / every + 1).max(next + 1);
+        }
+        let stats = engine.stats();
+        span.end();
+        let run = FatTreeRun {
+            cfg,
+            jobs,
+            nodes: engine.into_lps(),
+            end_time: stats.end_time,
+            events_processed: stats.events_processed,
+        };
+        collector.counter_add("net/packets_dropped", run.dropped_packets());
+        collector.counter_add("net/packets_rerouted", run.rerouted_packets());
+        Ok(StreamedOutcome::Completed(run))
+    }
+}
+
+/// Cumulative totals from the live fat-tree LP population.
+fn ft_totals<'a>(nodes: impl Iterator<Item = &'a FtNode>, hosts: usize) -> CumulativeTotals {
+    let mut cur =
+        CumulativeTotals { per_terminal: vec![(0, 0); hosts], ..CumulativeTotals::default() };
+    for node in nodes {
+        match node {
+            FtNode::Host(h) => {
+                cur.delivered_packets += h.stats.packets_finished;
+                cur.delivered_bytes += h.stats.recv_bytes;
+                cur.injected_packets += h.stats.packets_sent;
+                cur.injected_bytes += h.stats.injected_bytes;
+                if let Some(slot) = cur.per_terminal.get_mut(h.id.0 as usize) {
+                    *slot = (h.stats.latency_sum_ns, h.stats.packets_finished);
+                }
+            }
+            FtNode::Switch(s) => {
+                cur.dropped_packets += s.drops().total();
+                for port in s.ports() {
+                    cur.vc_sat_ns += port.sat_ns;
+                }
+            }
+        }
+    }
+    cur
 }
 
 /// Results of a Fat-Tree run.
@@ -446,6 +546,82 @@ mod tests {
             }
             let run = sim.run();
             assert_eq!(run.delivered_bytes(), expect, "{}", routing.name());
+        }
+    }
+
+    #[test]
+    fn streamed_run_matches_batch_on_fat_tree() {
+        let build = || {
+            let cfg = FatTreeConfig::try_new(4).expect("valid k");
+            let mut sim = FatTreeSim::new(cfg, UpRouting::Adaptive);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let n = cfg.num_hosts();
+            for src in 0..n {
+                for k in 0..12u64 {
+                    let dst = (src + 1 + rng.gen_range(0..n - 1)) % n;
+                    sim.inject(msg(k * 700, src, dst, 2048));
+                }
+            }
+            sim
+        };
+        let batch = build().try_run().expect("batch run");
+        let mut slices = Vec::new();
+        let mut sink = |s: &hrviz_stream::Slice| {
+            slices.push(s.clone());
+            Ok(SliceControl::Continue)
+        };
+        let streamed = build()
+            .try_run_streamed(SimTime(5_000), &mut sink)
+            .expect("streamed run")
+            .completed()
+            .expect("ran to completion");
+        assert_eq!(streamed.end_time, batch.end_time);
+        assert_eq!(streamed.events_processed, batch.events_processed);
+        assert_eq!(streamed.delivered_bytes(), batch.delivered_bytes());
+        assert_eq!(streamed.dropped_packets(), batch.dropped_packets());
+        let (a, b) = (streamed.to_dataset(), batch.to_dataset());
+        for (x, y) in a.terminals.iter().zip(b.terminals.iter()) {
+            assert_eq!(x.avg_latency, y.avg_latency);
+            assert_eq!(x.data_size, y.data_size);
+        }
+        // Slices are contiguous, cover the run, and sum to the totals.
+        assert!(slices.len() >= 2, "expected several slices, got {}", slices.len());
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+        }
+        for w in slices.windows(2) {
+            assert_eq!(w[0].t_end_ns, w[1].t_start_ns);
+        }
+        assert_eq!(slices.last().expect("nonempty").t_end_ns, batch.end_time.as_nanos());
+        let delivered: u64 = slices.iter().map(|s| s.delivered_bytes).sum();
+        assert_eq!(delivered, batch.delivered_bytes());
+        let hist: u64 = slices.iter().map(|s| s.latency_hist.iter().sum::<u64>()).sum();
+        let pkts: u64 = slices.iter().map(|s| s.delivered_packets).sum();
+        assert_eq!(hist, pkts);
+    }
+
+    #[test]
+    fn streamed_fat_tree_run_can_be_aborted() {
+        let cfg = FatTreeConfig::try_new(4).expect("valid k");
+        let mut sim = FatTreeSim::new(cfg, UpRouting::Ecmp);
+        for k in 0..200u64 {
+            sim.inject(msg(k * 1_000, 0, 15, 4096));
+        }
+        let mut seen = 0u64;
+        let mut sink = |_: &hrviz_stream::Slice| {
+            seen += 1;
+            if seen >= 2 {
+                Ok(SliceControl::Abort("test".into()))
+            } else {
+                Ok(SliceControl::Continue)
+            }
+        };
+        match sim.try_run_streamed(SimTime(10_000), &mut sink).expect("streamed run") {
+            StreamedOutcome::Aborted { reason, slices, .. } => {
+                assert_eq!(reason, "test");
+                assert_eq!(slices, 2);
+            }
+            StreamedOutcome::Completed(_) => panic!("expected abort"),
         }
     }
 

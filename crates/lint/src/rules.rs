@@ -152,7 +152,8 @@ pub struct Finding {
 }
 
 /// Crates whose non-test code must be deterministic.
-const SIM_CRATES: &[&str] = &["pdes", "network", "fattree", "workloads", "faults", "sweep"];
+const SIM_CRATES: &[&str] =
+    &["pdes", "network", "fattree", "workloads", "faults", "sweep", "stream"];
 
 /// The crate a workspace-relative path belongs to (`crates/pdes/…` →
 /// `pdes`; the root `src/` is the `hrviz` facade).

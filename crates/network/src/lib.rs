@@ -59,6 +59,7 @@ pub mod traffic;
 
 pub use config::{DragonflyConfig, LinkClass, LinkClassParams, NetworkSpec, SamplingConfig};
 pub use hrviz_faults::{FaultEvent, FaultSchedule, FaultView, HrvizError, TimedFault};
+pub use hrviz_stream::{Slice, SliceControl, SliceSink, StreamedOutcome};
 pub use metrics::{ClassSeries, JobStats, LinkRecord, RouterRecord, RunData, TerminalRecord};
 pub use packet::{JobId, Packet, RoutePlan, NO_JOB};
 pub use router::DropCounters;

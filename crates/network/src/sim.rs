@@ -18,6 +18,7 @@ use hrviz_faults::{FaultSchedule, HrvizError};
 use hrviz_obs::{Collector, Json};
 use hrviz_pdes::wire::SnapshotError;
 use hrviz_pdes::{Engine, LpId, ParallelEngine, RunOutcome, SimTime, WatchdogConfig};
+use hrviz_stream::{CumulativeTotals, SliceControl, SliceCursor, SliceSink, StreamedOutcome};
 use std::sync::Arc;
 
 /// Receives each checkpoint a [`Simulation::try_run_checkpointed`] run
@@ -336,6 +337,94 @@ impl Simulation {
         Ok(run)
     }
 
+    /// Run on the sequential engine, sealing one [`hrviz_stream::Slice`]
+    /// of counter deltas into `sink` at every absolute multiple of
+    /// `window` (plus a final partial slice at completion). The sink may
+    /// abort the run mid-flight; the slice grid is absolute, so two runs
+    /// of the same seed cut byte-identical slices regardless of when a
+    /// watcher attached. Slicing is read-only observation of LP state:
+    /// the completed [`RunData`] is bit-identical to [`Simulation::try_run`].
+    pub fn try_run_streamed(
+        mut self,
+        window: SimTime,
+        sink: SliceSink<'_>,
+    ) -> Result<StreamedOutcome<RunData>, HrvizError> {
+        let every = window.as_nanos();
+        if every == 0 {
+            return Err(HrvizError::config("slice window must be positive"));
+        }
+        let collector = self.collector.clone();
+        let span = collector.span("sim/run");
+        let nodes = self.build_nodes();
+        let terminals = self.spec.topology.num_terminals() as usize;
+        let mut engine = Engine::new(nodes, self.spec.lookahead());
+        engine.set_collector(collector.clone());
+        engine.set_event_budget(self.event_budget);
+        if let Some(w) = self.watchdog {
+            engine.set_watchdog(w);
+        }
+        self.broadcast_faults(|t, lp, ev| engine.schedule(t, lp, ev));
+        let mut cursor = SliceCursor::new(terminals);
+        // Same absolute-multiple grid as the checkpoint path: the grid
+        // never shifts, so every observer of this config sees the same
+        // window boundaries.
+        let mut next = engine.now().as_nanos() / every + 1;
+        loop {
+            let bound = next.saturating_mul(every);
+            let capped = SimTime(bound) >= self.horizon;
+            let until = if capped { self.horizon } else { SimTime(bound) };
+            let outcome = engine.try_run_until(until)?;
+            let drained = outcome != RunOutcome::TimeBound;
+            if drained || capped {
+                // Finalize exactly as the batch paths do (on_finish, plus
+                // the drain audit when unbounded) *before* cutting the
+                // final partial slice, so it sees post-finish counters.
+                if self.horizon == SimTime::MAX {
+                    engine.try_run_to_completion()?;
+                } else {
+                    let now = engine.now();
+                    for i in 0..engine.num_lps() {
+                        use hrviz_pdes::Lp;
+                        engine.lp_mut(LpId(i as u32)).on_finish(now);
+                    }
+                }
+                let t_end = engine.now().as_nanos();
+                if let Some(slice) = cursor.cut(t_end, net_totals(engine.lps(), terminals)) {
+                    if let SliceControl::Abort(reason) = sink(&slice)? {
+                        span.end();
+                        return Ok(StreamedOutcome::Aborted {
+                            reason,
+                            at_ns: t_end,
+                            slices: cursor.slices(),
+                        });
+                    }
+                }
+                break;
+            }
+            let t_end = until.as_nanos();
+            if let Some(slice) = cursor.cut(t_end, net_totals(engine.lps(), terminals)) {
+                if let SliceControl::Abort(reason) = sink(&slice)? {
+                    span.end();
+                    return Ok(StreamedOutcome::Aborted {
+                        reason,
+                        at_ns: t_end,
+                        slices: cursor.slices(),
+                    });
+                }
+            }
+            next = (engine.now().as_nanos() / every + 1).max(next + 1);
+        }
+        let stats = engine.stats();
+        let nodes = engine.into_lps();
+        let run = {
+            let _extract = collector.span("sim/extract");
+            RunData::extract(&self.spec, self.jobs, &nodes, stats)
+        };
+        report_network(&collector, &nodes, &run);
+        span.end();
+        Ok(StreamedOutcome::Completed(run))
+    }
+
     /// Run on the conservative parallel engine with `partitions` workers.
     /// Produces results identical to [`Simulation::run`].
     pub fn run_parallel(self, partitions: usize) -> RunData {
@@ -409,6 +498,30 @@ fn report_network(c: &Collector, nodes: &[NetNode], run: &RunData) {
         }
     }
     c.counter_add("net/credit_stalls", stalls);
+}
+
+/// Cumulative network totals from the live LP population (read-only; the
+/// slice cursor turns successive snapshots into window deltas).
+fn net_totals<'a>(nodes: impl Iterator<Item = &'a NetNode>, terminals: usize) -> CumulativeTotals {
+    let mut cur =
+        CumulativeTotals { per_terminal: vec![(0, 0); terminals], ..CumulativeTotals::default() };
+    for node in nodes {
+        if let Some(t) = node.as_terminal() {
+            cur.delivered_packets += t.stats.packets_finished;
+            cur.delivered_bytes += t.stats.recv_bytes;
+            cur.injected_packets += t.stats.packets_sent;
+            cur.injected_bytes += t.stats.injected_bytes;
+            if let Some(slot) = cur.per_terminal.get_mut(t.id.0 as usize) {
+                *slot = (t.stats.latency_sum_ns, t.stats.packets_finished);
+            }
+        } else if let Some(r) = node.as_router() {
+            cur.dropped_packets += r.drops().total();
+            for port in r.ports() {
+                cur.vc_sat_ns += port.sat_ns;
+            }
+        }
+    }
+    cur
 }
 
 #[cfg(test)]
@@ -512,6 +625,95 @@ mod tests {
         }
         for (a, b) in seq.global_links.iter().zip(&par.global_links) {
             assert_eq!(a.traffic, b.traffic);
+        }
+    }
+
+    #[test]
+    fn streamed_run_matches_batch_and_slices_replay() {
+        let build = || {
+            let mut sim = Simulation::new(small_spec());
+            for src in 0..72u32 {
+                for k in 0..4u64 {
+                    sim.inject(msg(k * 2_000, src, (src + 17) % 72, 8192));
+                }
+            }
+            sim
+        };
+        let batch = build().try_run().expect("batch run");
+        let mut slices = Vec::new();
+        let outcome = build()
+            .try_run_streamed(SimTime(5_000), &mut |s: &hrviz_stream::Slice| {
+                slices.push(s.clone());
+                Ok(SliceControl::Continue)
+            })
+            .expect("streamed run");
+        let streamed = match outcome {
+            StreamedOutcome::Completed(run) => run,
+            StreamedOutcome::Aborted { .. } => panic!("unexpected abort"),
+        };
+        // Slicing is read-only: extraction is bit-identical to batch.
+        assert_eq!(batch.end_time, streamed.end_time);
+        assert_eq!(batch.events_processed, streamed.events_processed);
+        assert_eq!(batch.total_delivered(), streamed.total_delivered());
+        for (a, b) in batch.terminals.iter().zip(&streamed.terminals) {
+            assert_eq!(a.packets_finished, b.packets_finished);
+            assert_eq!(a.avg_latency_ns, b.avg_latency_ns);
+            assert_eq!(a.sat_ns, b.sat_ns);
+        }
+        // Multiple windows sealed, covering the full run contiguously.
+        assert!(slices.len() >= 2, "expected several windows, got {}", slices.len());
+        for (i, s) in slices.iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+            if i > 0 {
+                assert_eq!(s.t_start_ns, slices[i - 1].t_end_ns);
+            }
+        }
+        assert_eq!(slices.last().map(|s| s.t_end_ns), Some(batch.end_time.as_nanos()));
+        // Slice deltas sum back to the run totals.
+        let delivered: u64 = slices.iter().map(|s| s.delivered_bytes).sum();
+        assert_eq!(delivered, batch.total_delivered());
+        let pkts: u64 = slices.iter().map(|s| s.delivered_packets).sum();
+        assert_eq!(pkts, batch.terminals.iter().map(|t| t.packets_finished).sum::<u64>());
+        let hist_total: u64 = slices.iter().flat_map(|s| s.latency_hist).sum();
+        assert_eq!(hist_total, pkts, "every delivered packet lands in one latency bin");
+        // Replays cut byte-identical slices.
+        let mut again = Vec::new();
+        build()
+            .try_run_streamed(SimTime(5_000), &mut |s: &hrviz_stream::Slice| {
+                again.push(s.to_json());
+                Ok(SliceControl::Continue)
+            })
+            .expect("replay");
+        let first: Vec<String> = slices.iter().map(|s| s.to_json()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn streamed_run_can_be_aborted_mid_flight() {
+        let mut sim = Simulation::new(small_spec());
+        for src in 0..72u32 {
+            for k in 0..8u64 {
+                sim.inject(msg(k * 2_000, src, (src + 31) % 72, 16 * 1024));
+            }
+        }
+        let mut seen = 0u64;
+        let outcome = sim
+            .try_run_streamed(SimTime(3_000), &mut |_s: &hrviz_stream::Slice| {
+                seen += 1;
+                if seen == 2 {
+                    Ok(SliceControl::Abort("test: stop after two windows".into()))
+                } else {
+                    Ok(SliceControl::Continue)
+                }
+            })
+            .expect("streamed run");
+        match outcome {
+            StreamedOutcome::Aborted { reason, at_ns, slices } => {
+                assert!(reason.contains("stop after two"));
+                assert_eq!(slices, 2);
+                assert!(at_ns > 0);
+            }
+            StreamedOutcome::Completed(_) => panic!("abort was ignored"),
         }
     }
 

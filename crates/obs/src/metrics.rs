@@ -100,6 +100,10 @@ pub const METRICS: &[MetricDef] = &[
     c("store/fsck_runs", "runs examined by fsck"),
     c("store/fsck_tmp_removed", "abandoned temp files removed by fsck"),
     c("store/quarantined", "torn runs moved to quarantine"),
+    c("stream/runs_aborted", "runs cancelled by an early-abort policy"),
+    c("stream/slices_sealed", "telemetry slices sealed into run stores"),
+    c("stream/sse_events", "SSE frames (slices + terminal events) sent to watchers"),
+    c("stream/sse_watchers", "SSE watcher connections handed to the stream hub"),
     c("sweep/generation_recovered", "store generation counters rebuilt after crash"),
     c("sweep/resumed_runs", "runs skipped by --resume because the store had them"),
     c("sweep/retries", "sweep runs retried after a worker failure"),

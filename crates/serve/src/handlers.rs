@@ -25,12 +25,14 @@ use hrviz_core::{
 use hrviz_faults::HrvizError;
 use hrviz_obs::{fingerprint64, Json};
 use hrviz_render::{render_radial, render_radial_row, RadialLayout};
-use hrviz_sweep::{RunStore, StoredManifest, StoredRun};
+use hrviz_stream::read_progress;
+use hrviz_sweep::{RunHealth, RunState, RunStore, StoredManifest, StoredRun};
 
 use crate::cache::{etag, CachedBody, ResponseCache};
 use crate::http::{Request, Response};
 use crate::router::{route, Route};
 use crate::singleflight::{Role, SingleFlight};
+use crate::stream::{end_frame, sse_frame, StreamHub, Watcher, SSE_PREAMBLE};
 
 /// Parsed datasets kept hot, keyed by `(run id, generation)`.
 const DATASET_CACHE_CAP: usize = 8;
@@ -81,6 +83,24 @@ impl GenFileId {
             Err(_) => GenFileId::Missing,
         }
     }
+
+    /// Fold the identity into a u64 for stamp fingerprints.
+    fn stamp(&self) -> u64 {
+        let ns = |t: &Option<std::time::SystemTime>| {
+            t.and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0)
+        };
+        match self {
+            GenFileId::Missing => 0,
+            #[cfg(unix)]
+            GenFileId::File(ino, len, mtime) => {
+                ino.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ len.rotate_left(32) ^ ns(mtime)
+            }
+            #[cfg(not(unix))]
+            GenFileId::File(len, mtime) => len.rotate_left(32) ^ ns(mtime),
+        }
+    }
 }
 
 /// Shared application state: everything a worker needs to answer a
@@ -93,6 +113,7 @@ pub struct App {
     graphs: Mutex<GraphCache>,
     flights: SingleFlight<CachedBody>,
     generations: Mutex<Vec<(GenFileId, u64)>>,
+    hub: StreamHub,
 }
 
 impl App {
@@ -107,12 +128,18 @@ impl App {
             graphs: Mutex::new(GraphCache { map: BTreeMap::new(), order: VecDeque::new() }),
             flights: SingleFlight::new(),
             generations: Mutex::new(Vec::new()),
+            hub: StreamHub::new(),
         }
     }
 
     /// The store being served.
     pub fn store(&self) -> &RunStore {
         &self.store
+    }
+
+    /// The SSE hub holding handed-over watcher sockets.
+    pub fn hub(&self) -> &StreamHub {
+        &self.hub
     }
 
     /// The store generation, through a stat-validated per-shard cache:
@@ -137,6 +164,23 @@ impl App {
             total += slot.1;
         }
         total
+    }
+
+    /// A fingerprint over every run's `progress.json` file identity —
+    /// stat-only, no reads. The generation counter only moves when a
+    /// sweep finishes, so responses that enumerate runs must also fold
+    /// this in: a streamed run sealing slices (or turning terminal)
+    /// rewrites its watermark via temp + rename, changing the stamp and
+    /// invalidating warm cache entries mid-sweep.
+    fn progress_stamp(&self) -> u64 {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        let names = self.store.run_dir_names().unwrap_or_default();
+        for name in names {
+            let id = GenFileId::stat(&self.store.run_dir(&name).join("progress.json"));
+            acc = acc.wrapping_mul(0x100_0000_01b3) ^ fingerprint64(&name);
+            acc = acc.wrapping_mul(0x100_0000_01b3) ^ id.stamp();
+        }
+        acc
     }
 
     /// Handle one parsed request, with request-level telemetry. The
@@ -193,6 +237,8 @@ impl App {
             Route::Tracez => tracez(),
             Route::Runs => self.runs(req),
             Route::Columns { run, field } => self.columns(req, &run, &field),
+            Route::Progress { run } => self.progress(req, &run),
+            Route::Stream { run } => self.stream_snapshot(req, &run),
             Route::Views => self.views(req),
             Route::Compare => self.compare(req),
             Route::MethodNotAllowed(allow) => {
@@ -277,10 +323,46 @@ impl App {
     }
 
     fn runs(&self, req: &Request) -> Response {
+        let filter = match req.query.get("state").map(String::as_str) {
+            None => None,
+            Some(raw) => match RunState::parse(raw) {
+                Some(state) => Some(state),
+                None => {
+                    return structured_error(
+                        400,
+                        "state",
+                        "bad_state",
+                        &format!(
+                            "unknown state {raw:?} (one of queued, running, completed, \
+                             failed, aborted)"
+                        ),
+                    );
+                }
+            },
+        };
         let generation = self.generation().to_string();
-        let tag = etag(&["runs", &generation]);
+        // The progress stamp keys mid-sweep changes: sealed slices and
+        // lifecycle flips rewrite progress.json without moving the
+        // generation counter.
+        let stamp = format!("{:016x}", self.progress_stamp());
+        let filter_part = filter.map(|s| s.name()).unwrap_or("");
+        let tag = etag(&["runs", &generation, &stamp, filter_part]);
         self.cached(req, &tag, "application/json", || {
-            let ids = self.store.runs().map_err(|e| Response::error(500, &e.to_string()))?;
+            // Default listing: complete runs only, exactly the set
+            // `/views` and `/compare` accept. A `?state=` filter surfaces
+            // the rest of the lifecycle (including `aborted`, which stays
+            // out of comparisons unless asked for).
+            let ids: Vec<String> = match filter {
+                None => self.store.runs().map_err(|e| Response::error(500, &e.to_string()))?,
+                Some(state) => self
+                    .store
+                    .runs_by_state()
+                    .map_err(|e| Response::error(500, &e.to_string()))?
+                    .into_iter()
+                    .filter(|(_, s)| *s == state)
+                    .map(|(id, _)| id)
+                    .collect(),
+            };
             let mut entries = Vec::with_capacity(ids.len());
             for id in &ids {
                 let m = self
@@ -291,10 +373,138 @@ impl App {
             }
             let body = Json::obj([
                 ("generation", Json::Str(generation.clone())),
+                ("state", Json::Str(filter.map(|s| s.name()).unwrap_or("complete").to_string())),
                 ("runs", Json::Arr(entries)),
             ]);
             Ok(body.render().into_bytes())
         })
+    }
+
+    /// `GET /runs/{id}/progress?since=N&wait_ms=M`: the run's live
+    /// watermark, long-polled. Without `since` it answers immediately;
+    /// with it, the request parks (bounded by `wait_ms`, default 2 s,
+    /// cap 10 s) until the watermark passes `since` or the run turns
+    /// terminal. Uncacheable by design — it *is* the freshness signal.
+    fn progress(&self, req: &Request, run: &str) -> Response {
+        let since: Option<u64> = match req.query.get("since") {
+            None => None,
+            Some(raw) => match raw.parse() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    return structured_error(
+                        400,
+                        "since",
+                        "bad_since",
+                        "since must be a slice count",
+                    );
+                }
+            },
+        };
+        let wait_ms: u64 =
+            req.query.get("wait_ms").and_then(|w| w.parse().ok()).unwrap_or(2_000).min(10_000);
+        let dir = self.store.run_dir(run);
+        let deadline = Instant::now() + std::time::Duration::from_millis(wait_ms);
+        loop {
+            match read_progress(&dir) {
+                Ok(Some(p)) => {
+                    let fresh = since.is_none_or(|s| p.sealed > s) || p.is_terminal();
+                    if fresh || Instant::now() >= deadline {
+                        return Response::json(p.to_json()).header("Cache-Control", "no-store");
+                    }
+                }
+                Ok(None) => {
+                    return match self.store.health(run) {
+                        RunHealth::Missing => {
+                            Response::error(404, &format!("no run {run:?} in the store"))
+                        }
+                        _ => Response::error(
+                            404,
+                            &format!("run {run:?} has no live telemetry (batch-mode run)"),
+                        ),
+                    };
+                }
+                Err(e) => return Response::error(500, &e.to_string()),
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+    }
+
+    /// The dispatch fallback for `GET /runs/{id}/stream`: the sealed
+    /// slices from `since` as SSE frames in a bounded body (plus the
+    /// terminal event when the run is done). The real endpoint hands the
+    /// socket to the [`StreamHub`] before dispatch and tails live runs;
+    /// this path serves direct callers and completed runs identically.
+    fn stream_snapshot(&self, req: &Request, run: &str) -> Response {
+        let since = req.query.get("since").and_then(|s| s.parse().ok()).unwrap_or(0u64);
+        let dir = self.store.run_dir(run);
+        let progress = match read_progress(&dir) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                return match self.store.health(run) {
+                    RunHealth::Missing => {
+                        Response::error(404, &format!("no run {run:?} in the store"))
+                    }
+                    _ => Response::error(
+                        404,
+                        &format!("run {run:?} has no live telemetry (batch-mode run)"),
+                    ),
+                };
+            }
+            Err(e) => return Response::error(500, &e.to_string()),
+        };
+        let slices = match hrviz_stream::read_slices(&dir, since) {
+            Ok(s) => s,
+            Err(e) => return Response::error(500, &e.to_string()),
+        };
+        let obs = hrviz_obs::get();
+        let mut body = String::new();
+        for slice in &slices {
+            body.push_str(&sse_frame("slice", &slice.to_json()));
+            obs.counter_add("stream/sse_events", 1);
+        }
+        if progress.is_terminal() {
+            body.push_str(&end_frame(run, &progress.state, progress.sealed));
+            obs.counter_add("stream/sse_events", 1);
+        }
+        Response::new(200)
+            .header("Content-Type", "text/event-stream")
+            .header("Cache-Control", "no-store")
+            .with_body(body.into_bytes())
+    }
+
+    /// Hand an accepted connection over to the SSE hub: validate the
+    /// run, write the SSE preamble on the worker (so errors still answer
+    /// as plain HTTP), then register the watcher and return the worker
+    /// to the pool. Replay-from-`since` and the live tail both happen on
+    /// the hub thread.
+    pub fn sse_attach(&self, req: &Request, run: &str, mut stream: std::net::TcpStream) {
+        use std::io::Write as _;
+        let dir = self.store.run_dir(run);
+        match read_progress(&dir) {
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                let resp = match self.store.health(run) {
+                    RunHealth::Missing => {
+                        Response::error(404, &format!("no run {run:?} in the store"))
+                    }
+                    _ => Response::error(
+                        404,
+                        &format!("run {run:?} has no live telemetry (batch-mode run)"),
+                    ),
+                };
+                let _ = resp.write_to(&mut stream, true);
+                return;
+            }
+            Err(e) => {
+                let _ = Response::error(500, &e.to_string()).write_to(&mut stream, true);
+                return;
+            }
+        }
+        if stream.write_all(SSE_PREAMBLE.as_bytes()).is_err() {
+            return;
+        }
+        let since = req.query.get("since").and_then(|s| s.parse().ok()).unwrap_or(0u64);
+        self.hub.attach(Watcher::new(stream, run.to_string(), dir, since));
     }
 
     fn columns(&self, req: &Request, run: &str, field_name: &str) -> Response {
@@ -669,6 +879,8 @@ fn manifest_json(m: &StoredManifest) -> Json {
         ("canonical", Json::Str(m.canonical.clone())),
         ("label", Json::Str(m.label.clone())),
         ("seed", Json::U64(m.seed)),
+        ("state", Json::Str(m.state.name().to_string())),
+        ("error", Json::Str(m.error.clone())),
         ("events_processed", Json::U64(m.events_processed)),
         ("events_scheduled", Json::U64(m.events_scheduled)),
         ("end_time_ns", Json::U64(m.end_time_ns)),

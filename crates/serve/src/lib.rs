@@ -5,8 +5,12 @@
 //! workflow of the paper implies: analysts iterate on Fig.-5 scripts
 //! against stored sweep output without re-running the CLI per view.
 //!
-//! * `GET /runs` — manifest listing.
+//! * `GET /runs` — manifest listing (`?state=` filters by lifecycle).
 //! * `GET /runs/{id}/columns/{field}` — raw columnar slices.
+//! * `GET /runs/{id}/progress` — live slice watermark, bounded
+//!   long-poll via `?since=N&wait_ms=M`.
+//! * `GET /runs/{id}/stream` — SSE: sealed slices replayed from
+//!   `?since=`, then a live tail on a shared hub thread.
 //! * `POST /views?run={id}` — script body → paged projection-graph
 //!   envelope (schema 2), the legacy monolithic payload via `?schema=1`
 //!   (answered with a `Deprecation` header), or SVG when
@@ -55,6 +59,7 @@ pub mod pool;
 pub mod router;
 pub mod server;
 pub mod singleflight;
+pub mod stream;
 
 pub use cache::ResponseCache;
 pub use handlers::App;
@@ -62,3 +67,4 @@ pub use http::{Request, Response};
 pub use pool::{SubmitError, WorkerPool};
 pub use router::Route;
 pub use server::{install_signal_shutdown, ServeConfig, ServeReport, Server, ServerHandle};
+pub use stream::StreamHub;

@@ -24,6 +24,18 @@ pub enum Route {
         /// Field script name.
         field: String,
     },
+    /// `GET /runs/{id}/progress?since=N` — bounded long-poll on the
+    /// run's live watermark.
+    Progress {
+        /// Run id (16 hex digits).
+        run: String,
+    },
+    /// `GET /runs/{id}/stream?since=N` — SSE replay of sealed slices
+    /// followed by a live tail.
+    Stream {
+        /// Run id (16 hex digits).
+        run: String,
+    },
     /// `POST /views?run={id}`, script in the body.
     Views,
     /// `POST /compare?runs={a},{b}`, script in the body.
@@ -46,11 +58,17 @@ pub fn route(req: &Request) -> Route {
         ["runs", run, "columns", field] if get => {
             Route::Columns { run: (*run).to_string(), field: (*field).to_string() }
         }
+        ["runs", run, "progress"] if get => Route::Progress { run: (*run).to_string() },
+        ["runs", run, "stream"] if get => Route::Stream { run: (*run).to_string() },
         ["views"] if req.method == "POST" => Route::Views,
         ["compare"] if req.method == "POST" => Route::Compare,
-        ["healthz"] | ["metricsz"] | ["tracez"] | ["runs"] | ["runs", _, "columns", _] => {
-            Route::MethodNotAllowed("GET")
-        }
+        ["healthz"]
+        | ["metricsz"]
+        | ["tracez"]
+        | ["runs"]
+        | ["runs", _, "columns", _]
+        | ["runs", _, "progress"]
+        | ["runs", _, "stream"] => Route::MethodNotAllowed("GET"),
         ["views"] | ["compare"] => Route::MethodNotAllowed("POST"),
         _ => Route::NotFound,
     }
@@ -84,11 +102,21 @@ mod tests {
         );
         assert_eq!(route(&req("POST", "/views")), Route::Views);
         assert_eq!(route(&req("POST", "/compare")), Route::Compare);
+        assert_eq!(
+            route(&req("GET", "/runs/0011223344556677/progress")),
+            Route::Progress { run: "0011223344556677".into() }
+        );
+        assert_eq!(
+            route(&req("GET", "/runs/0011223344556677/stream")),
+            Route::Stream { run: "0011223344556677".into() }
+        );
     }
 
     #[test]
     fn wrong_method_is_405_and_unknown_path_404() {
         assert_eq!(route(&req("POST", "/runs")), Route::MethodNotAllowed("GET"));
+        assert_eq!(route(&req("POST", "/runs/a/stream")), Route::MethodNotAllowed("GET"));
+        assert_eq!(route(&req("DELETE", "/runs/a/progress")), Route::MethodNotAllowed("GET"));
         assert_eq!(route(&req("POST", "/tracez")), Route::MethodNotAllowed("GET"));
         assert_eq!(route(&req("GET", "/views")), Route::MethodNotAllowed("POST"));
         assert_eq!(route(&req("DELETE", "/compare")), Route::MethodNotAllowed("POST"));

@@ -23,6 +23,7 @@ use hrviz_sweep::RunStore;
 use crate::handlers::App;
 use crate::http::{read_request, Response};
 use crate::pool::WorkerPool;
+use crate::router::{route, Route};
 
 /// Server tunables, mirroring the CLI flags.
 #[derive(Clone, Debug)]
@@ -212,6 +213,10 @@ impl Server {
         // already accepted. Drain ends with a final snapshot + sink
         // flush so a SIGINT-initiated shutdown never loses trace lines.
         pool.shutdown();
+        // Close any SSE watchers still tailing: their sockets belong to
+        // the hub thread, not the pool, so the drain above cannot see
+        // them.
+        self.app.hub().shutdown();
         if let Err(e) = obs.finalize() {
             obs.log(hrviz_obs::LogLevel::Warn, &format!("trace flush on shutdown failed: {e}"));
         }
@@ -296,6 +301,18 @@ fn handle_connection(app: &App, stream: TcpStream, max_requests: usize, stop: &A
     for n in 1..=max_requests {
         match read_request(&mut reader) {
             Ok(Some(req)) => {
+                // An SSE request takes over the socket: flush whatever
+                // pipelined responses precede it, hand the connection to
+                // the stream hub, and return this worker to the pool.
+                // The SSE preamble says `Connection: close`, so nothing
+                // after it on this connection will be answered.
+                if let Route::Stream { run } = route(&req) {
+                    if !out.is_empty() && (&stream).write_all(&out).is_err() {
+                        return served;
+                    }
+                    app.sse_attach(&req, &run, stream);
+                    return served + 1;
+                }
                 let close = !req.keep_alive || n == max_requests || stop.load(Ordering::SeqCst);
                 let resp = app.handle(&req);
                 let _ = resp.write_to(&mut out, close); // Vec writes are infallible

@@ -1,0 +1,229 @@
+//! Live run telemetry over SSE: one tailer thread for every watcher.
+//!
+//! `GET /runs/{id}/stream` hands its socket to the [`StreamHub`] instead
+//! of holding a worker: the worker writes the SSE preamble, registers a
+//! [`Watcher`], and returns to the pool. A single hub thread then owns
+//! every watcher socket, polling each run's `progress.json` watermark,
+//! replaying sealed slices from the watcher's `since` cursor (`event:
+//! slice`), and closing with a terminal `event: end` once the run stops
+//! producing. Eight watchers on one run cost eight sockets and zero
+//! additional threads.
+//!
+//! Slow or dead watchers are dropped by the socket write timeout the
+//! accept loop already set — a stuck peer can delay only its own events,
+//! never another watcher's, and never a request worker.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hrviz_stream::{read_progress, read_slices};
+
+/// How often the tailer thread re-checks every watcher's watermark.
+const POLL: Duration = Duration::from_millis(25);
+/// Poll rounds between `: hb` keep-alive comments on an idle watcher
+/// (~2 s at [`POLL`]), so dead sockets surface between slices.
+const HEARTBEAT_ROUNDS: u32 = 80;
+
+/// One attached SSE client.
+pub struct Watcher {
+    /// The handed-over socket (write timeout already set).
+    pub stream: TcpStream,
+    /// Run id, echoed in the terminal event.
+    pub run: String,
+    /// The run directory holding `progress.json` + `slices/`.
+    pub dir: PathBuf,
+    /// Next slice sequence number to send (the `since` cursor).
+    pub next_seq: u64,
+    rounds_idle: u32,
+}
+
+impl Watcher {
+    /// A watcher starting at slice `since`.
+    pub fn new(stream: TcpStream, run: String, dir: PathBuf, since: u64) -> Watcher {
+        Watcher { stream, run, dir, next_seq: since, rounds_idle: 0 }
+    }
+}
+
+/// The response head an SSE hand-over writes before registering its
+/// watcher: no `Content-Length` (the body is open-ended), explicitly
+/// uncacheable, and `Connection: close` since the stream is the rest of
+/// the connection's life.
+pub const SSE_PREAMBLE: &str = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+     Cache-Control: no-store\r\nConnection: close\r\n\r\n";
+
+/// Render one SSE frame.
+pub fn sse_frame(event: &str, data: &str) -> String {
+    format!("event: {event}\ndata: {data}\n\n")
+}
+
+/// The terminal frame for a run: its lifecycle state and final watermark.
+pub fn end_frame(run: &str, state: &str, sealed: u64) -> String {
+    sse_frame("end", &format!("{{\"run\":\"{run}\",\"state\":\"{state}\",\"sealed\":{sealed}}}"))
+}
+
+struct Shared {
+    watchers: Mutex<Vec<Watcher>>,
+    stop: AtomicBool,
+}
+
+/// Owns every SSE watcher; see the module docs.
+pub struct StreamHub {
+    shared: Arc<Shared>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Default for StreamHub {
+    fn default() -> StreamHub {
+        StreamHub::new()
+    }
+}
+
+impl StreamHub {
+    /// An empty hub; the tailer thread spawns on the first attach.
+    pub fn new() -> StreamHub {
+        StreamHub {
+            shared: Arc::new(Shared {
+                watchers: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+            }),
+            thread: Mutex::new(None),
+        }
+    }
+
+    /// Register a watcher (the SSE preamble must already be on the wire)
+    /// and make sure the tailer thread is running.
+    pub fn attach(&self, watcher: Watcher) {
+        hrviz_obs::get().counter_add("stream/sse_watchers", 1);
+        self.shared.watchers.lock().unwrap_or_else(PoisonError::into_inner).push(watcher);
+        let mut slot = self.thread.lock().unwrap_or_else(PoisonError::into_inner);
+        let respawn = match slot.as_ref() {
+            None => true,
+            Some(handle) => handle.is_finished(),
+        };
+        if respawn && !self.shared.stop.load(Ordering::SeqCst) {
+            let shared = Arc::clone(&self.shared);
+            *slot = std::thread::Builder::new()
+                .name("sse-tailer".into())
+                // lint:allow(blocking_under_lock, reason="tail_loop runs on the spawned thread, not inside this lock region; spawn itself only allocates")
+                .spawn(move || tail_loop(&shared))
+                .ok();
+        }
+    }
+
+    /// Watchers currently attached (drained ones are gone).
+    pub fn watchers(&self) -> usize {
+        self.shared.watchers.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Stop the tailer thread and close every remaining watcher socket.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let handle = self.thread.lock().unwrap_or_else(PoisonError::into_inner).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        self.shared.watchers.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    }
+}
+
+impl Drop for StreamHub {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The tailer thread: poll, replay, tail, close.
+fn tail_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        let mut batch = {
+            let mut guard = shared.watchers.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *guard)
+        };
+        let mut keep = Vec::with_capacity(batch.len());
+        for watcher in batch.drain(..) {
+            if let Some(watcher) = advance(watcher) {
+                keep.push(watcher);
+            }
+        }
+        shared.watchers.lock().unwrap_or_else(PoisonError::into_inner).append(&mut keep);
+        std::thread::sleep(POLL);
+    }
+}
+
+/// Send everything newly sealed to one watcher. `None` means the watcher
+/// is finished (terminal event sent) or its socket is gone.
+fn advance(mut w: Watcher) -> Option<Watcher> {
+    let progress = match read_progress(&w.dir) {
+        Ok(Some(p)) => p,
+        // The watermark vanished or tore mid-read (quarantine, manual
+        // deletion): nothing further to say, close the stream.
+        Ok(None) | Err(_) => return None,
+    };
+    let obs = hrviz_obs::get();
+    let mut sent = false;
+    if progress.sealed > w.next_seq {
+        let slices = match read_slices(&w.dir, w.next_seq) {
+            Ok(s) => s,
+            Err(_) => return None,
+        };
+        for slice in &slices {
+            if w.stream.write_all(sse_frame("slice", &slice.to_json()).as_bytes()).is_err() {
+                return None;
+            }
+            w.next_seq = slice.seq + 1;
+            sent = true;
+            obs.counter_add("stream/sse_events", 1);
+        }
+    }
+    if progress.is_terminal() && w.next_seq >= progress.sealed {
+        let frame = end_frame(&w.run, &progress.state, progress.sealed);
+        let _ = w.stream.write_all(frame.as_bytes());
+        obs.counter_add("stream/sse_events", 1);
+        let _ = w.stream.shutdown(Shutdown::Both);
+        return None;
+    }
+    if sent {
+        w.rounds_idle = 0;
+    } else {
+        w.rounds_idle += 1;
+        if w.rounds_idle >= HEARTBEAT_ROUNDS {
+            w.rounds_idle = 0;
+            // Comment frame: keeps intermediaries open and surfaces dead
+            // sockets between slices.
+            if w.stream.write_all(b": hb\n\n").is_err() {
+                return None;
+            }
+        }
+    }
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_sse_shaped() {
+        assert_eq!(sse_frame("slice", "{\"seq\":0}"), "event: slice\ndata: {\"seq\":0}\n\n");
+        let end = end_frame("00c0ffee00c0ffee", "completed", 7);
+        assert_eq!(
+            end,
+            "event: end\ndata: {\"run\":\"00c0ffee00c0ffee\",\"state\":\"completed\",\"sealed\":7}\n\n"
+        );
+        assert!(SSE_PREAMBLE.ends_with("\r\n\r\n"));
+        assert!(!SSE_PREAMBLE.contains("Content-Length"));
+    }
+
+    #[test]
+    fn hub_starts_empty_and_shuts_down_idempotently() {
+        let hub = StreamHub::new();
+        assert_eq!(hub.watchers(), 0);
+        hub.shutdown();
+        hub.shutdown();
+    }
+}

@@ -1,0 +1,215 @@
+//! Loopback tests for the live-streaming surfaces: `/runs/{id}/progress`
+//! long-poll, `/runs/{id}/stream` SSE hand-over (replay + terminal
+//! event, fan-out to concurrent watchers), the `?state=` lifecycle
+//! filter on `/runs`, and the watermark-stamped `/runs` cache.
+
+mod common;
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use hrviz_network::RoutingAlgorithm;
+use hrviz_pdes::SimTime;
+use hrviz_serve::ServeConfig;
+use hrviz_sweep::{
+    AbortSpec, RunStore, StreamOptions, SweepEngine, SweepOptions, SweepSpec, TopologyAxis,
+};
+
+use common::{get, raw, start_with_store};
+
+/// A store holding two streamed (completed) Dragonfly runs, built once
+/// per process.
+fn streamed_store() -> &'static (PathBuf, Vec<String>) {
+    static STORE: OnceLock<(PathBuf, Vec<String>)> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("hrviz-serve-stream-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = RunStore::open(&dir).expect("open store");
+        let spec = SweepSpec::new("stream-it", TopologyAxis::Dragonfly { terminals: 72 })
+            .routings(vec![RoutingAlgorithm::Minimal, RoutingAlgorithm::adaptive_default()])
+            .msgs_per_rank(2)
+            .msg_bytes(1024)
+            .period(SimTime::micros(1));
+        let opts = SweepOptions {
+            stream: Some(StreamOptions { window: SimTime::micros(5), abort: None }),
+            ..SweepOptions::default()
+        };
+        let engine = SweepEngine::new(store).with_workers(1);
+        engine.run_with(&spec, &opts).expect("streamed sweep");
+        let runs = engine.store().runs().expect("list runs");
+        assert_eq!(runs.len(), 2);
+        (dir, runs)
+    })
+}
+
+#[test]
+fn progress_endpoint_serves_the_watermark() {
+    let (dir, runs) = streamed_store();
+    let server = start_with_store(ServeConfig::default(), dir);
+    let addr = server.addr;
+
+    let p = get(addr, &format!("/runs/{}/progress", runs[0]), &[]);
+    assert_eq!(p.status, 200, "body: {}", p.text());
+    assert_eq!(p.header("Cache-Control"), Some("no-store"));
+    assert!(p.text().contains("\"state\":\"completed\""), "body: {}", p.text());
+    assert!(p.text().contains("\"sealed\":"), "body: {}", p.text());
+
+    // A terminal run answers a long-poll immediately even when `since`
+    // is ahead of the watermark.
+    let parked = get(addr, &format!("/runs/{}/progress?since=9999&wait_ms=10000", runs[0]), &[]);
+    assert_eq!(parked.status, 200, "terminal run returns without waiting");
+
+    assert_eq!(get(addr, "/runs/ffffffffffffffff/progress", &[]).status, 404);
+    let bad = get(addr, &format!("/runs/{}/progress?since=banana", runs[0]), &[]);
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("bad_since"), "body: {}", bad.text());
+
+    server.stop();
+}
+
+#[test]
+fn sse_stream_replays_slices_and_ends() {
+    let (dir, runs) = streamed_store();
+    let server = start_with_store(ServeConfig::default(), dir);
+    let addr = server.addr;
+
+    let req =
+        format!("GET /runs/{}/stream HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n", runs[0]);
+    let reply = raw(addr, req.as_bytes());
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("Content-Type"), Some("text/event-stream"));
+    assert!(reply.header("Content-Length").is_none(), "SSE body is not length-framed");
+    let body = reply.text();
+    let slices = body.matches("event: slice\n").count();
+    assert!(slices >= 1, "at least one slice replayed, body:\n{body}");
+    assert_eq!(body.matches("event: end\n").count(), 1, "exactly one terminal event:\n{body}");
+    assert!(body.contains("\"state\":\"completed\""), "terminal event names the state:\n{body}");
+
+    // `since` skips already-seen slices but still ends the stream.
+    let req = format!(
+        "GET /runs/{}/stream?since={} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        runs[0], slices
+    );
+    let tail = raw(addr, req.as_bytes()).text();
+    assert_eq!(tail.matches("event: slice\n").count(), 0, "nothing re-replayed:\n{tail}");
+    assert_eq!(tail.matches("event: end\n").count(), 1);
+
+    // Unknown run: a plain HTTP 404, not a stream.
+    let req = "GET /runs/ffffffffffffffff/stream HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    assert_eq!(raw(addr, req.as_bytes()).status, 404);
+
+    let report = server.stop();
+    assert!(report.requests >= 3, "SSE hand-overs are counted: {report:?}");
+}
+
+#[test]
+fn sse_fans_out_to_concurrent_watchers_identically() {
+    let (dir, runs) = streamed_store();
+    let server = start_with_store(ServeConfig::default(), dir);
+    let addr = server.addr;
+
+    let req =
+        format!("GET /runs/{}/stream HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n", runs[0]);
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let req = req.clone();
+            std::thread::spawn(move || raw(addr, req.as_bytes()))
+        })
+        .collect();
+    let replies: Vec<_> = threads.into_iter().map(|t| t.join().expect("watcher")).collect();
+    let first = replies[0].text();
+    assert!(first.contains("event: end\n"), "stream terminated:\n{first}");
+    for reply in &replies[1..] {
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.text(), first, "every watcher sees the same event sequence");
+    }
+    server.stop();
+}
+
+#[test]
+fn runs_listing_filters_by_lifecycle_state() {
+    // A fresh store where an aggressive abort policy cancels every run.
+    let dir = std::env::temp_dir().join(format!("hrviz-serve-abortit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = RunStore::open(&dir).expect("open store");
+    let spec = SweepSpec::new("abort-it", TopologyAxis::Dragonfly { terminals: 72 })
+        .routings(vec![RoutingAlgorithm::Minimal])
+        .msgs_per_rank(2)
+        .msg_bytes(1024)
+        .period(SimTime::micros(1));
+    let opts = SweepOptions {
+        stream: Some(StreamOptions {
+            window: SimTime(200),
+            abort: Some(AbortSpec::parse("saturation:1000:1").expect("valid policy")),
+        }),
+        ..SweepOptions::default()
+    };
+    let engine = SweepEngine::new(store).with_workers(1);
+    let outcome = engine.run_with(&spec, &opts).expect("aborting sweep");
+    assert_eq!(outcome.aborted, 1, "the policy cancelled the run");
+
+    let server = start_with_store(ServeConfig::default(), &dir);
+    let addr = server.addr;
+
+    // Default listing: complete runs only, so aborted runs are invisible.
+    let listing = get(addr, "/runs", &[]);
+    assert_eq!(listing.status, 200);
+    assert!(listing.text().contains("\"runs\":[]"), "body: {}", listing.text());
+
+    let aborted = get(addr, "/runs?state=aborted", &[]);
+    assert_eq!(aborted.status, 200);
+    assert!(aborted.text().contains("\"state\":\"aborted\""), "body: {}", aborted.text());
+    assert!(aborted.text().contains("saturation"), "manifest error surfaces: {}", aborted.text());
+
+    let none = get(addr, "/runs?state=completed", &[]);
+    assert!(none.text().contains("\"runs\":[]"), "body: {}", none.text());
+
+    let bad = get(addr, "/runs?state=exploded", &[]);
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("bad_state"), "body: {}", bad.text());
+
+    server.stop();
+}
+
+#[test]
+fn runs_cache_invalidates_when_a_watermark_moves() {
+    // Private store: other tests must not see the progress file we plant.
+    let dir = std::env::temp_dir().join(format!("hrviz-serve-stamp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = RunStore::open(&dir).expect("open store");
+    let spec = SweepSpec::new("stamp-it", TopologyAxis::Dragonfly { terminals: 72 })
+        .routings(vec![RoutingAlgorithm::Minimal])
+        .msgs_per_rank(2)
+        .msg_bytes(1024)
+        .period(SimTime::micros(1));
+    let opts = SweepOptions {
+        stream: Some(StreamOptions { window: SimTime::micros(5), abort: None }),
+        ..SweepOptions::default()
+    };
+    let engine = SweepEngine::new(store).with_workers(1);
+    engine.run_with(&spec, &opts).expect("streamed sweep");
+    let runs = engine.store().runs().expect("list");
+    let run_dir = engine.store().run_dir(&runs[0]);
+
+    let server = start_with_store(ServeConfig::default(), &dir);
+    let addr = server.addr;
+
+    let first = get(addr, "/runs", &[]);
+    let tag = first.header("ETag").expect("listing carries an ETag").to_string();
+    let warm = get(addr, "/runs", &[("If-None-Match", &tag)]);
+    assert_eq!(warm.status, 304, "unchanged watermark revalidates");
+
+    // Rewrite the run's watermark (as a live sweep sealing a slice
+    // would). The generation counter does not move, but the stamp in the
+    // ETag must — the stale tag no longer revalidates.
+    let progress = run_dir.join("progress.json");
+    let text = std::fs::read_to_string(&progress).expect("read watermark");
+    std::thread::sleep(std::time::Duration::from_millis(20)); // distinct mtime
+    std::fs::write(&progress, text.replace("\"sealed\":", "\"sealed\":1")).expect("rewrite");
+
+    let after = get(addr, "/runs", &[("If-None-Match", &tag)]);
+    assert_eq!(after.status, 200, "moved watermark invalidates the cached listing");
+    assert_ne!(after.header("ETag"), Some(tag.as_str()));
+
+    server.stop();
+}

@@ -1,0 +1,174 @@
+//! Early-abort policies over the live slice stream.
+//!
+//! A policy sees every sealed [`Slice`] of one run and may declare the
+//! run doomed; the sweep engine then records it `aborted` (a first-class
+//! terminal lifecycle state) instead of burning the rest of its virtual
+//! time. Policies are described by a cloneable [`AbortSpec`] — parsed
+//! once from the CLI — and instantiated fresh per run, so per-run state
+//! (consecutive-window streaks) never leaks across the grid.
+
+use crate::slice::Slice;
+use crate::SliceControl;
+use hrviz_faults::HrvizError;
+
+/// A per-run early-abort decision procedure.
+pub trait AbortPolicy: Send {
+    /// Observe one sealed slice; returning [`SliceControl::Abort`] stops
+    /// the run.
+    fn observe(&mut self, slice: &Slice) -> SliceControl;
+}
+
+/// Serializable description of an abort policy (one per sweep, built
+/// fresh per run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortSpec {
+    /// Abort when delivered/injected bytes stay below a threshold for K
+    /// consecutive windows — the saturation signature of a doomed config.
+    Saturation {
+        /// Minimum delivered/injected ratio, in permille.
+        min_delivered_permille: u32,
+        /// Consecutive below-threshold windows before aborting.
+        consecutive: u32,
+    },
+}
+
+impl AbortSpec {
+    /// Parse a CLI policy string: `saturation` (defaults: 500‰ for 3
+    /// windows) or `saturation:<permille>:<windows>`.
+    pub fn parse(text: &str) -> Result<AbortSpec, HrvizError> {
+        let mut parts = text.split(':');
+        match parts.next() {
+            Some("saturation") => {
+                let permille = match parts.next() {
+                    None => 500,
+                    Some(raw) => raw.parse::<u32>().map_err(|_| {
+                        HrvizError::usage(format!("bad abort-policy permille `{raw}`"))
+                    })?,
+                };
+                let consecutive = match parts.next() {
+                    None => 3,
+                    Some(raw) => raw.parse::<u32>().map_err(|_| {
+                        HrvizError::usage(format!("bad abort-policy window count `{raw}`"))
+                    })?,
+                };
+                if parts.next().is_some() {
+                    return Err(HrvizError::usage(format!("bad abort-policy `{text}`")));
+                }
+                if permille > 1000 || consecutive == 0 {
+                    return Err(HrvizError::usage(
+                        "abort-policy wants permille <= 1000 and windows >= 1",
+                    ));
+                }
+                Ok(AbortSpec::Saturation { min_delivered_permille: permille, consecutive })
+            }
+            _ => Err(HrvizError::usage(format!(
+                "unknown abort-policy `{text}` (try `saturation` or \
+                 `saturation:<permille>:<windows>`)"
+            ))),
+        }
+    }
+
+    /// Canonical string form (inverse of [`AbortSpec::parse`]).
+    pub fn render(&self) -> String {
+        match self {
+            AbortSpec::Saturation { min_delivered_permille, consecutive } => {
+                format!("saturation:{min_delivered_permille}:{consecutive}")
+            }
+        }
+    }
+
+    /// Instantiate the per-run policy.
+    pub fn build(&self) -> Box<dyn AbortPolicy> {
+        match *self {
+            AbortSpec::Saturation { min_delivered_permille, consecutive } => {
+                Box::new(SaturationAbort::new(min_delivered_permille, consecutive))
+            }
+        }
+    }
+}
+
+/// Aborts a run whose delivered/injected byte ratio stays below a
+/// threshold for K consecutive windows with traffic offered.
+pub struct SaturationAbort {
+    min_delivered_permille: u32,
+    consecutive: u32,
+    streak: u32,
+}
+
+impl SaturationAbort {
+    /// New policy with the given threshold (permille) and window count.
+    pub fn new(min_delivered_permille: u32, consecutive: u32) -> SaturationAbort {
+        SaturationAbort { min_delivered_permille, consecutive, streak: 0 }
+    }
+}
+
+impl AbortPolicy for SaturationAbort {
+    fn observe(&mut self, slice: &Slice) -> SliceControl {
+        // Idle windows (nothing offered) say nothing about saturation.
+        if slice.injected_bytes == 0 {
+            self.streak = 0;
+            return SliceControl::Continue;
+        }
+        let delivered_permille = slice.delivered_bytes.saturating_mul(1000) / slice.injected_bytes;
+        if delivered_permille < u64::from(self.min_delivered_permille) {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        if self.streak >= self.consecutive {
+            SliceControl::Abort(format!(
+                "saturation: delivered/injected below {}‰ for {} consecutive windows",
+                self.min_delivered_permille, self.consecutive
+            ))
+        } else {
+            SliceControl::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slice(injected: u64, delivered: u64) -> Slice {
+        Slice { injected_bytes: injected, delivered_bytes: delivered, ..Slice::default() }
+    }
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        assert_eq!(
+            AbortSpec::parse("saturation").unwrap(),
+            AbortSpec::Saturation { min_delivered_permille: 500, consecutive: 3 }
+        );
+        let spec = AbortSpec::parse("saturation:250:2").unwrap();
+        assert_eq!(spec.render(), "saturation:250:2");
+        assert_eq!(AbortSpec::parse(&spec.render()).unwrap(), spec);
+        for bad in
+            ["", "nope", "saturation:x", "saturation:2000:1", "saturation:1:0", "saturation:1:2:3"]
+        {
+            assert!(AbortSpec::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn aborts_after_consecutive_starved_windows_only() {
+        let mut p = SaturationAbort::new(500, 3);
+        // Two starved windows, then a healthy one: streak resets.
+        assert_eq!(p.observe(&slice(1000, 100)), SliceControl::Continue);
+        assert_eq!(p.observe(&slice(1000, 100)), SliceControl::Continue);
+        assert_eq!(p.observe(&slice(1000, 900)), SliceControl::Continue);
+        // Three in a row trips it.
+        assert_eq!(p.observe(&slice(1000, 100)), SliceControl::Continue);
+        assert_eq!(p.observe(&slice(1000, 100)), SliceControl::Continue);
+        assert!(matches!(p.observe(&slice(1000, 100)), SliceControl::Abort(_)));
+    }
+
+    #[test]
+    fn idle_windows_reset_the_streak() {
+        let mut p = SaturationAbort::new(500, 2);
+        assert_eq!(p.observe(&slice(1000, 0)), SliceControl::Continue);
+        assert_eq!(p.observe(&slice(0, 0)), SliceControl::Continue);
+        assert_eq!(p.observe(&slice(1000, 0)), SliceControl::Continue);
+        assert!(matches!(p.observe(&slice(1000, 0)), SliceControl::Abort(_)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Turning cumulative simulator counters into per-window slices.
+//!
+//! Simulator LPs carry *cumulative* totals (bytes delivered since t=0);
+//! a slice wants the *delta* over one window. [`SliceCursor`] holds the
+//! previous boundary's totals and cuts the difference, including the
+//! per-terminal latency deltas that feed the window's log₂ histogram —
+//! pure integer math, so replays cut byte-identical slices.
+
+use crate::slice::{Slice, LATENCY_BINS};
+
+/// Cumulative network totals at one virtual-time boundary, gathered by
+/// the topology crate from its live LP population.
+#[derive(Clone, Debug, Default)]
+pub struct CumulativeTotals {
+    /// Packets delivered to terminals since t=0.
+    pub delivered_packets: u64,
+    /// Payload bytes delivered since t=0.
+    pub delivered_bytes: u64,
+    /// Packets injected since t=0.
+    pub injected_packets: u64,
+    /// Payload bytes injected since t=0.
+    pub injected_bytes: u64,
+    /// Packets dropped since t=0.
+    pub dropped_packets: u64,
+    /// VC saturation time summed over all router ports (ns).
+    pub vc_sat_ns: u64,
+    /// Per-terminal `(latency_sum_ns, packets_finished)`, indexed by
+    /// terminal id.
+    pub per_terminal: Vec<(u64, u64)>,
+}
+
+/// Cuts successive [`Slice`]s from a stream of cumulative totals.
+pub struct SliceCursor {
+    seq: u64,
+    prev_t: u64,
+    prev: CumulativeTotals,
+}
+
+impl SliceCursor {
+    /// A cursor at t=0 with all-zero totals for `terminals` terminals.
+    pub fn new(terminals: usize) -> SliceCursor {
+        SliceCursor {
+            seq: 0,
+            prev_t: 0,
+            prev: CumulativeTotals {
+                per_terminal: vec![(0, 0); terminals],
+                ..CumulativeTotals::default()
+            },
+        }
+    }
+
+    /// Slices cut so far.
+    pub fn slices(&self) -> u64 {
+        self.seq
+    }
+
+    /// Cut the window `(prev boundary, t_end_ns]`. Returns `None` (and
+    /// stays put) when no virtual time elapsed — a drained run sitting
+    /// exactly on the previous boundary has nothing to report.
+    pub fn cut(&mut self, t_end_ns: u64, cur: CumulativeTotals) -> Option<Slice> {
+        if t_end_ns <= self.prev_t && self.seq > 0 {
+            return None;
+        }
+        let mut latency_hist = [0u64; LATENCY_BINS];
+        let mut latency_sum_ns = 0u64;
+        for (i, &(lat, pkts)) in cur.per_terminal.iter().enumerate() {
+            let (plat, ppkts) = self.prev.per_terminal.get(i).copied().unwrap_or((0, 0));
+            let d_pkts = pkts.saturating_sub(ppkts);
+            let d_lat = lat.saturating_sub(plat);
+            latency_sum_ns += d_lat;
+            if d_pkts > 0 {
+                latency_hist[Slice::latency_bucket(d_lat / d_pkts)] += d_pkts;
+            }
+        }
+        let slice = Slice {
+            seq: self.seq,
+            t_start_ns: self.prev_t,
+            t_end_ns,
+            delivered_packets: cur.delivered_packets.saturating_sub(self.prev.delivered_packets),
+            delivered_bytes: cur.delivered_bytes.saturating_sub(self.prev.delivered_bytes),
+            injected_packets: cur.injected_packets.saturating_sub(self.prev.injected_packets),
+            injected_bytes: cur.injected_bytes.saturating_sub(self.prev.injected_bytes),
+            dropped_packets: cur.dropped_packets.saturating_sub(self.prev.dropped_packets),
+            latency_sum_ns,
+            latency_hist,
+            vc_sat_ns: cur.vc_sat_ns.saturating_sub(self.prev.vc_sat_ns),
+        };
+        self.seq += 1;
+        self.prev_t = t_end_ns;
+        self.prev = cur;
+        Some(slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals(delivered: u64, lat: &[(u64, u64)]) -> CumulativeTotals {
+        CumulativeTotals {
+            delivered_packets: delivered,
+            delivered_bytes: delivered * 2048,
+            injected_packets: delivered + 2,
+            injected_bytes: (delivered + 2) * 2048,
+            dropped_packets: 0,
+            vc_sat_ns: delivered * 10,
+            per_terminal: lat.to_vec(),
+        }
+    }
+
+    #[test]
+    fn deltas_and_histogram_come_from_per_terminal_diffs() {
+        let mut c = SliceCursor::new(2);
+        let s0 = c.cut(1_000, totals(4, &[(8_000, 4), (0, 0)])).unwrap();
+        assert_eq!((s0.seq, s0.t_start_ns, s0.t_end_ns), (0, 0, 1_000));
+        assert_eq!(s0.delivered_packets, 4);
+        assert_eq!(s0.latency_sum_ns, 8_000);
+        // Window mean 2000ns = 2µs → bucket 2, weight 4.
+        assert_eq!(s0.latency_hist[2], 4);
+        let s1 = c.cut(2_000, totals(10, &[(8_000, 4), (3_000, 6)])).unwrap();
+        assert_eq!(s1.delivered_packets, 6);
+        assert_eq!(s1.latency_sum_ns, 3_000);
+        // Terminal 1 window mean 500ns → bucket 0.
+        assert_eq!(s1.latency_hist[0], 6);
+        assert_eq!(s1.vc_sat_ns, 60);
+    }
+
+    #[test]
+    fn zero_duration_cut_is_skipped() {
+        let mut c = SliceCursor::new(1);
+        assert!(c.cut(1_000, totals(1, &[(100, 1)])).is_some());
+        assert!(c.cut(1_000, totals(1, &[(100, 1)])).is_none());
+        assert_eq!(c.slices(), 1);
+    }
+
+    #[test]
+    fn slice_sums_reconstruct_the_run_totals() {
+        let mut c = SliceCursor::new(1);
+        let steps = [(1_000u64, 3u64), (2_000, 3), (3_000, 9)];
+        let mut sum = 0;
+        for &(t, d) in &steps {
+            let s = c.cut(t, totals(d, &[(d * 700, d)])).unwrap();
+            sum += s.delivered_packets;
+        }
+        assert_eq!(sum, 9);
+    }
+}

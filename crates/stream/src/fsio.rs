@@ -1,0 +1,59 @@
+//! The crash-safe write primitive the live path shares with the store.
+//!
+//! Same contract the run store established: a reader either sees the old
+//! bytes or the new bytes, never a torn file, and after a crash the only
+//! debris possible is an abandoned `*.tmp` (which fsck reaps).
+
+use hrviz_faults::HrvizError;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// `<file>` → `<file>.tmp` in the same directory (same filesystem, so the
+/// rename is atomic).
+pub fn tmp_path_of(path: &Path) -> Result<PathBuf, HrvizError> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| HrvizError::config(format!("unwritable path {}", path.display())))?;
+    Ok(path.with_file_name(format!("{name}.tmp")))
+}
+
+/// Write `bytes` to `path` atomically: temp file + fsync + rename +
+/// best-effort parent-directory fsync. Readers never observe a torn file.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), HrvizError> {
+    let tmp = tmp_path_of(path)?;
+    let io_err = |e: std::io::Error| HrvizError::io(path.display().to_string(), e);
+    {
+        let mut f = fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    fs::rename(&tmp, path).map_err(io_err)?;
+    // Make the rename itself durable. Directory fsync is best-effort: not
+    // every platform lets us open a directory read-only for syncing.
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("hrviz-fsio-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.json");
+        atomic_write(&path, b"one").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"one");
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"two");
+        assert!(!tmp_path_of(&path).unwrap().exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

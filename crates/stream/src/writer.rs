@@ -1,0 +1,225 @@
+//! Slice segments and the progress watermark inside a run directory.
+//!
+//! Layout, per run:
+//!
+//! ```text
+//! <run>/slices/0000.jsonl   slices 0..31, one canonical JSON line each
+//! <run>/slices/0001.jsonl   slices 32..63, …
+//! <run>/progress.json       {run, state, sealed, virtual_ns, window_ns}
+//! ```
+//!
+//! Every seal atomically rewrites the current segment *then* the
+//! watermark, so `sealed` never points past durable data. Segment files
+//! are bounded (32 slices) to keep the rewrite cost constant.
+
+use crate::fsio::atomic_write;
+use crate::slice::{Progress, Slice};
+use hrviz_faults::HrvizError;
+use hrviz_obs::Collector;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Slices per `NNNN.jsonl` segment file.
+pub const SLICES_PER_SEGMENT: u64 = 32;
+
+fn segment_path(dir: &Path, segment: u64) -> PathBuf {
+    dir.join("slices").join(format!("{segment:04}.jsonl"))
+}
+
+/// Appends sealed slices to a run directory and maintains its watermark.
+pub struct SliceWriter {
+    dir: PathBuf,
+    run: String,
+    window_ns: u64,
+    collector: Collector,
+    /// Lines of the segment currently being filled.
+    segment: Vec<String>,
+    sealed: u64,
+    virtual_ns: u64,
+}
+
+impl SliceWriter {
+    /// Create the `slices/` directory and an initial `running` watermark.
+    pub fn create(
+        run_dir: &Path,
+        run: &str,
+        window_ns: u64,
+        collector: Collector,
+    ) -> Result<SliceWriter, HrvizError> {
+        let slices = run_dir.join("slices");
+        fs::create_dir_all(&slices).map_err(|e| HrvizError::io(slices.display().to_string(), e))?;
+        let mut w = SliceWriter {
+            dir: run_dir.to_path_buf(),
+            run: run.to_string(),
+            window_ns,
+            collector,
+            segment: Vec::new(),
+            sealed: 0,
+            virtual_ns: 0,
+        };
+        w.write_progress("running")?;
+        Ok(w)
+    }
+
+    /// Slices sealed so far (the watermark).
+    pub fn sealed(&self) -> u64 {
+        self.sealed
+    }
+
+    /// Seal one slice: rewrite its segment atomically, then advance the
+    /// watermark. `slice.seq` must equal the current watermark.
+    pub fn seal(&mut self, slice: &Slice) -> Result<(), HrvizError> {
+        if slice.seq != self.sealed {
+            return Err(HrvizError::config(format!(
+                "slice seq {} does not match watermark {}",
+                slice.seq, self.sealed
+            )));
+        }
+        if slice.seq.is_multiple_of(SLICES_PER_SEGMENT) {
+            self.segment.clear();
+        }
+        self.segment.push(slice.to_json());
+        let mut bytes = self.segment.join("\n");
+        bytes.push('\n');
+        atomic_write(&segment_path(&self.dir, slice.seq / SLICES_PER_SEGMENT), bytes.as_bytes())?;
+        self.sealed += 1;
+        self.virtual_ns = slice.t_end_ns;
+        self.write_progress("running")?;
+        self.collector.counter_add("stream/slices_sealed", 1);
+        Ok(())
+    }
+
+    /// Write the terminal watermark (`completed`, `failed` or `aborted`).
+    pub fn finish(mut self, state: &str) -> Result<(), HrvizError> {
+        self.write_progress(state)
+    }
+
+    fn write_progress(&mut self, state: &str) -> Result<(), HrvizError> {
+        let p = Progress {
+            run: self.run.clone(),
+            state: state.to_string(),
+            sealed: self.sealed,
+            virtual_ns: self.virtual_ns,
+            window_ns: self.window_ns,
+        };
+        atomic_write(&self.dir.join("progress.json"), p.to_json().as_bytes())
+    }
+}
+
+/// Read a run's watermark, if it has one (batch runs do not).
+pub fn read_progress(run_dir: &Path) -> Result<Option<Progress>, HrvizError> {
+    let path = run_dir.join("progress.json");
+    match fs::read_to_string(&path) {
+        Ok(text) => Progress::from_json(&text).map(Some),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(HrvizError::io(path.display().to_string(), e)),
+    }
+}
+
+/// Read every sealed slice with `seq >= from_seq`, in order. Missing
+/// segments (no slices yet) read as empty.
+pub fn read_slices(run_dir: &Path, from_seq: u64) -> Result<Vec<Slice>, HrvizError> {
+    let mut out = Vec::new();
+    let mut segment = from_seq / SLICES_PER_SEGMENT;
+    loop {
+        let path = segment_path(run_dir, segment);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+            Err(e) => return Err(HrvizError::io(path.display().to_string(), e)),
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let s = Slice::from_json(line)?;
+            if s.seq >= from_seq {
+                out.push(s);
+            }
+        }
+        segment += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hrviz_obs::Collector;
+
+    fn slice(seq: u64, window: u64) -> Slice {
+        Slice {
+            seq,
+            t_start_ns: seq * window,
+            t_end_ns: (seq + 1) * window,
+            delivered_packets: seq + 1,
+            delivered_bytes: (seq + 1) * 2048,
+            ..Slice::default()
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hrviz-writer-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn seals_advance_watermark_and_round_trip() {
+        let dir = tmp_dir("seal");
+        let mut w =
+            SliceWriter::create(&dir, "deadbeefdeadbeef", 50_000, Collector::disabled()).unwrap();
+        for seq in 0..5 {
+            w.seal(&slice(seq, 50_000)).unwrap();
+        }
+        let p = read_progress(&dir).unwrap().unwrap();
+        assert_eq!((p.sealed, p.state.as_str(), p.virtual_ns), (5, "running", 250_000));
+        let all = read_slices(&dir, 0).unwrap();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[4], slice(4, 50_000));
+        // Tail reads start mid-stream.
+        let tail = read_slices(&dir, 3).unwrap();
+        assert_eq!(tail.iter().map(|s| s.seq).collect::<Vec<_>>(), vec![3, 4]);
+        w.finish("completed").unwrap();
+        assert!(read_progress(&dir).unwrap().unwrap().is_terminal());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_roll_over_at_the_boundary() {
+        let dir = tmp_dir("roll");
+        let mut w =
+            SliceWriter::create(&dir, "deadbeefdeadbeef", 1_000, Collector::disabled()).unwrap();
+        for seq in 0..(SLICES_PER_SEGMENT + 3) {
+            w.seal(&slice(seq, 1_000)).unwrap();
+        }
+        assert!(segment_path(&dir, 0).exists());
+        assert!(segment_path(&dir, 1).exists());
+        let all = read_slices(&dir, 0).unwrap();
+        assert_eq!(all.len() as u64, SLICES_PER_SEGMENT + 3);
+        // Second segment holds only the overflow.
+        let second = fs::read_to_string(segment_path(&dir, 1)).unwrap();
+        assert_eq!(second.lines().count(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn out_of_order_seal_is_rejected() {
+        let dir = tmp_dir("order");
+        let mut w =
+            SliceWriter::create(&dir, "deadbeefdeadbeef", 1_000, Collector::disabled()).unwrap();
+        w.seal(&slice(0, 1_000)).unwrap();
+        assert!(w.seal(&slice(2, 1_000)).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn absent_run_reads_as_empty() {
+        let dir = tmp_dir("absent");
+        assert!(read_progress(&dir).unwrap().is_none());
+        assert!(read_slices(&dir, 0).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

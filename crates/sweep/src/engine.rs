@@ -31,10 +31,25 @@ use rayon::ThreadPoolBuilder;
 use crate::journal::SweepJournal;
 use crate::spec::{RunConfig, RunResult, SweepSpec};
 use crate::store::{Provenance, RunHealth, RunState, RunStore};
+use hrviz_pdes::SimTime;
+use hrviz_stream::{AbortSpec, Slice, SliceControl, SliceWriter, StreamedOutcome};
 
-/// One parallel run's outcome plus the optional `(start_us, dur_us)`
-/// timing of its Chrome-trace lane and the retries it consumed.
-type RunOutcome = (Result<RunResult, HrvizError>, Option<(u64, u64)>, u64);
+/// One parallel run's outcome (`Ok(None)` = aborted by policy) plus the
+/// optional `(start_us, dur_us)` timing of its Chrome-trace lane and the
+/// retries it consumed.
+type RunOutcome = (Result<Option<RunResult>, HrvizError>, Option<(u64, u64)>, u64);
+
+/// Live-telemetry configuration for a sweep: every run seals one
+/// counter-delta [`Slice`] per `window` of virtual time into its run
+/// directory (`slices/*.jsonl` + a `progress.json` watermark), and an
+/// optional [`AbortSpec`] policy may cancel runs it judges doomed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Virtual-time width of each telemetry slice.
+    pub window: SimTime,
+    /// Early-abort policy evaluated per sealed slice (`None` = never).
+    pub abort: Option<AbortSpec>,
+}
 
 /// How a sweep handles prior state and failures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,11 +63,20 @@ pub struct SweepOptions {
     pub backoff_base_ms: u64,
     /// Backoff ceiling in milliseconds.
     pub backoff_max_ms: u64,
+    /// Live slice telemetry (`None` = classic batch mode: no slice files,
+    /// no progress watermark, byte-identical to pre-streaming stores).
+    pub stream: Option<StreamOptions>,
 }
 
 impl Default for SweepOptions {
     fn default() -> SweepOptions {
-        SweepOptions { resume: false, max_attempts: 1, backoff_base_ms: 25, backoff_max_ms: 1000 }
+        SweepOptions {
+            resume: false,
+            max_attempts: 1,
+            backoff_base_ms: 25,
+            backoff_max_ms: 1000,
+            stream: None,
+        }
     }
 }
 
@@ -129,13 +153,16 @@ impl SweepEngine {
         );
         let prov = Provenance { sweep_id: sweep_id.clone() };
 
-        // Classify the grid against the store's lifecycle states.
+        // Classify the grid against the store's lifecycle states. Aborted
+        // is terminal and intentional: resume never retries those runs.
         let mut hits: Vec<&RunConfig> = Vec::new();
         let mut misses: Vec<&RunConfig> = Vec::new();
+        let mut prior_aborted: Vec<&RunConfig> = Vec::new();
         let mut resumed_runs = 0usize;
         for cfg in &configs {
             match self.store.health(&cfg.run_id()) {
                 RunHealth::Complete => hits.push(cfg),
+                RunHealth::Pending(RunState::Aborted) => prior_aborted.push(cfg),
                 RunHealth::Pending(_) => {
                     if opts.resume {
                         resumed_runs += 1;
@@ -152,6 +179,9 @@ impl SweepEngine {
             .unwrap_or_else(|| SweepJournal::new(sweep_id.clone(), spec.name.clone()));
         for cfg in &hits {
             journal.record(&cfg.run_id(), RunState::Completed, false);
+        }
+        for cfg in &prior_aborted {
+            journal.record(&cfg.run_id(), RunState::Aborted, false);
         }
         for cfg in &misses {
             journal.record(&cfg.run_id(), RunState::Queued, false);
@@ -203,16 +233,18 @@ impl SweepEngine {
         obs.log(
             hrviz_obs::LogLevel::Info,
             &format!(
-                "sweep {:?} ({sweep_id}): {} configs, {} cached, {} to run{}",
+                "sweep {:?} ({sweep_id}): {} configs, {} cached, {} aborted earlier, {} to run{}",
                 spec.name,
                 configs.len(),
                 hits.len(),
+                prior_aborted.len(),
                 misses.len(),
                 if opts.resume { format!(", {resumed_runs} resumed") } else { String::new() },
             ),
         );
 
         let mut stats = EngineStats::default();
+        let mut aborted_now = 0usize;
         let retries = AtomicU64::new(0);
         if !misses.is_empty() {
             let work: Vec<(&RunConfig, u64)> =
@@ -251,7 +283,7 @@ impl SweepEngine {
             let mut first_err = None;
             for (cfg, (result, lane, _)) in misses.iter().zip(results) {
                 match result {
-                    Ok(result) => {
+                    Ok(Some(result)) => {
                         if let Some((start_us, dur_us)) = lane {
                             obs.record_span(
                                 &format!("sweep/{}", cfg.run_id()),
@@ -266,6 +298,9 @@ impl SweepEngine {
                         }
                         stats.accumulate(&result.stats);
                     }
+                    // Aborted by policy: persisted as terminal `aborted`,
+                    // nothing to fold into the aggregate counters.
+                    Ok(None) => aborted_now += 1,
                     Err(e) => {
                         if first_err.is_none() {
                             first_err = Some(e);
@@ -302,6 +337,7 @@ impl SweepEngine {
             configs: configs.len(),
             store_hits: hits.len(),
             store_misses: misses.len(),
+            aborted: prior_aborted.len() + aborted_now,
             resumed_runs,
             retries,
             events_simulated: stats.events_processed,
@@ -313,8 +349,9 @@ impl SweepEngine {
     }
 
     /// Simulate one config with bounded retries, persisting lifecycle
-    /// transitions as they happen. Returns the result and how many retry
-    /// attempts (beyond the first) were consumed.
+    /// transitions as they happen. Returns the result (`None` when an
+    /// abort policy cancelled the run — terminal, never retried) and how
+    /// many retry attempts (beyond the first) were consumed.
     fn attempt_run(
         &self,
         cfg: &RunConfig,
@@ -322,7 +359,7 @@ impl SweepEngine {
         opts: &SweepOptions,
         prior_attempts: u64,
         record: &(dyn Fn(&str, RunState, bool) -> Result<(), HrvizError> + Sync),
-    ) -> (Result<RunResult, HrvizError>, u64) {
+    ) -> (Result<Option<RunResult>, HrvizError>, u64) {
         let run_id = cfg.run_id();
         let mut last_err = None;
         let mut used = 0u64;
@@ -337,11 +374,19 @@ impl SweepEngine {
             }
             let step = record(&run_id, RunState::Running, true)
                 .and_then(|()| self.store.mark_running(cfg, prov))
-                .and_then(|()| cfg.execute())
-                .and_then(|result| {
-                    self.store.save_with(cfg, &result, prov)?;
-                    record(&run_id, RunState::Completed, false)?;
-                    Ok(result)
+                .and_then(|()| self.simulate(cfg, opts))
+                .and_then(|outcome| match outcome {
+                    StreamedOutcome::Completed(result) => {
+                        self.store.save_with(cfg, &result, prov)?;
+                        record(&run_id, RunState::Completed, false)?;
+                        Ok(Some(result))
+                    }
+                    StreamedOutcome::Aborted { reason, .. } => {
+                        self.store.mark_aborted(cfg, prov, &reason)?;
+                        record(&run_id, RunState::Aborted, false)?;
+                        hrviz_obs::get().counter_add("stream/runs_aborted", 1);
+                        Ok(None)
+                    }
                 });
             match step {
                 Ok(result) => return (Ok(result), used),
@@ -354,6 +399,43 @@ impl SweepEngine {
         }
         let err = last_err.unwrap_or_else(|| HrvizError::config("no attempts made"));
         (Err(err), used)
+    }
+
+    /// Run one config, streamed or not. Batch mode (`opts.stream` none)
+    /// is exactly the classic path: no slice files, no progress
+    /// watermark. Streamed mode seals slices into the run directory as
+    /// the simulation crosses window boundaries and leaves a terminal
+    /// watermark (`completed` / `aborted`) behind.
+    fn simulate(
+        &self,
+        cfg: &RunConfig,
+        opts: &SweepOptions,
+    ) -> Result<StreamedOutcome<RunResult>, HrvizError> {
+        let stream = match opts.stream {
+            None => return cfg.execute().map(StreamedOutcome::Completed),
+            Some(s) => s,
+        };
+        let run_id = cfg.run_id();
+        let mut writer = SliceWriter::create(
+            &self.store.run_dir(&run_id),
+            &run_id,
+            stream.window.as_nanos(),
+            hrviz_obs::get(),
+        )?;
+        let mut policy = stream.abort.as_ref().map(AbortSpec::build);
+        let mut sink = |slice: &Slice| -> Result<SliceControl, HrvizError> {
+            writer.seal(slice)?;
+            Ok(match policy.as_mut() {
+                Some(p) => p.observe(slice),
+                None => SliceControl::Continue,
+            })
+        };
+        let outcome = cfg.execute_streamed(stream.window, &mut sink)?;
+        match &outcome {
+            StreamedOutcome::Completed(_) => writer.finish("completed")?,
+            StreamedOutcome::Aborted { .. } => writer.finish("aborted")?,
+        }
+        Ok(outcome)
     }
 
     fn effective_workers(&self) -> usize {
@@ -380,6 +462,9 @@ pub struct SweepOutcome {
     pub store_hits: usize,
     /// Configs that had to be simulated.
     pub store_misses: usize,
+    /// Configs cancelled by an early-abort policy — this sweep's plus
+    /// prior terminal `aborted` runs in the grid (never re-simulated).
+    pub aborted: usize,
     /// Misses that were retries of failed/orphaned runs (resume mode).
     pub resumed_runs: usize,
     /// In-process retry attempts consumed beyond each run's first.
@@ -408,6 +493,7 @@ impl SweepOutcome {
             ("configs", Json::U64(self.configs as u64)),
             ("store_hits", Json::U64(self.store_hits as u64)),
             ("store_misses", Json::U64(self.store_misses as u64)),
+            ("aborted", Json::U64(self.aborted as u64)),
             ("resumed_runs", Json::U64(self.resumed_runs as u64)),
             ("retries", Json::U64(self.retries)),
             ("events_simulated", Json::U64(self.events_simulated)),
@@ -686,6 +772,99 @@ mod tests {
             );
         }
         let _ = std::fs::remove_dir_all(&clean_root);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn streamed_sweep_matches_batch_store_bytes() {
+        let batch_root = tmp("stream-batch");
+        let batch = SweepEngine::new(RunStore::open(&batch_root).unwrap()).with_workers(1);
+        batch.run(&grid()).unwrap();
+
+        let live_root = tmp("stream-live");
+        let live = SweepEngine::new(RunStore::open(&live_root).unwrap()).with_workers(2);
+        let opts = SweepOptions {
+            stream: Some(StreamOptions { window: SimTime::micros(5), abort: None }),
+            ..SweepOptions::default()
+        };
+        let out = live.run_with(&grid(), &opts).unwrap();
+        assert_eq!(out.store_misses, 4);
+        assert_eq!(out.aborted, 0);
+
+        // Streaming is pure observation: every persisted artifact the
+        // batch sweep wrote is byte-identical under the live sweep.
+        let runs = live.store().runs().unwrap();
+        assert_eq!(runs, batch.store().runs().unwrap());
+        for run in &runs {
+            for file in ["manifest.json", "columns.jsonl"] {
+                let a = std::fs::read(batch_root.join(run).join(file)).unwrap();
+                let b = std::fs::read(live_root.join(run).join(file)).unwrap();
+                assert_eq!(a, b, "{run}/{file} diverged under streaming");
+            }
+            // Plus the live-only surfaces: a terminal watermark over ≥ 1
+            // sealed slice, replayable from disk.
+            let dir = live.store().run_dir(run);
+            let progress = hrviz_stream::read_progress(&dir).unwrap().unwrap();
+            assert_eq!(progress.state, "completed");
+            assert!(progress.sealed >= 1, "{run}: no slices sealed");
+            let slices = hrviz_stream::read_slices(&dir, 0).unwrap();
+            assert_eq!(slices.len() as u64, progress.sealed);
+            // Batch mode never grows these files.
+            assert!(!batch_root.join(run).join("progress.json").exists());
+        }
+
+        // The streamed store reopens fsck-clean.
+        let reopened = RunStore::open(&live_root).unwrap();
+        assert!(reopened.last_fsck().unwrap().is_clean());
+        let _ = std::fs::remove_dir_all(&batch_root);
+        let _ = std::fs::remove_dir_all(&live_root);
+    }
+
+    #[test]
+    fn abort_policy_cancels_runs_and_resume_never_retries_them() {
+        let root = tmp("stream-abort");
+        let engine = SweepEngine::new(RunStore::open(&root).unwrap()).with_workers(2);
+        // With 200ns windows the first injections are still in flight at
+        // the first boundary, so a demand for delivered == injected in
+        // one window cancels every run almost immediately.
+        let opts = SweepOptions {
+            stream: Some(StreamOptions {
+                window: SimTime(200),
+                abort: Some(AbortSpec::parse("saturation:1000:1").unwrap()),
+            }),
+            ..SweepOptions::default()
+        };
+        let out = engine.run_with(&grid(), &opts).unwrap();
+        assert_eq!(out.aborted, 4, "every run should be cancelled");
+        assert_eq!(out.events_simulated, 0, "aborted runs fold no stats");
+
+        // Aborted runs are terminal: manifests carry the reason, the
+        // store holds no columns for them, and fsck stays clean.
+        for (run, state) in engine.store().runs_by_state().unwrap() {
+            assert_eq!(state, RunState::Aborted);
+            assert!(!engine.store().contains(&run));
+            let m = engine.store().load_manifest(&run).unwrap();
+            assert!(m.error.contains("saturation"), "reason missing: {}", m.error);
+            let progress =
+                hrviz_stream::read_progress(&engine.store().run_dir(&run)).unwrap().unwrap();
+            assert_eq!(progress.state, "aborted");
+        }
+        let reopened = RunStore::open(&root).unwrap();
+        {
+            let report = reopened.last_fsck().unwrap();
+            assert!(report.is_clean(), "aborted runs must not dirty fsck");
+            assert_eq!(report.aborted.len(), 4);
+        }
+
+        // A resume pass re-simulates nothing: aborted is not a miss.
+        let resumed = SweepEngine::new(reopened)
+            .with_workers(1)
+            .run_with(&grid(), &SweepOptions { stream: opts.stream, ..SweepOptions::resume() })
+            .unwrap();
+        assert_eq!(resumed.store_misses, 0);
+        assert_eq!(resumed.aborted, 4);
+        assert_eq!(resumed.resumed_runs, 0);
+        assert_eq!(resumed.events_simulated, 0);
         let _ = std::fs::remove_dir_all(&root);
     }
 

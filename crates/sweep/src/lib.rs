@@ -48,7 +48,11 @@ pub mod journal;
 pub mod spec;
 pub mod store;
 
-pub use engine::{SweepEngine, SweepOptions, SweepOutcome};
+pub use engine::{StreamOptions, SweepEngine, SweepOptions, SweepOutcome};
+pub use hrviz_stream::{
+    read_progress, read_slices, AbortSpec, Progress, Slice, SliceControl, SliceSink,
+    StreamedOutcome,
+};
 pub use journal::{JournalEntry, SweepJournal};
 pub use spec::{
     dragonfly_of, routing_name, FaultAxis, PlacementAxis, RunConfig, RunResult, SweepSpec,

@@ -9,12 +9,13 @@
 //! content-addresses the run in the [store](crate::store::RunStore).
 
 use hrviz_core::DataSet;
-use hrviz_fattree::{FatTreeConfig, FatTreeSim, UpRouting};
+use hrviz_fattree::{FatTreeConfig, FatTreeRun, FatTreeSim, UpRouting};
 use hrviz_network::{
-    DragonflyConfig, FaultSchedule, HrvizError, JobMeta, NetworkSpec, RoutingAlgorithm, Simulation,
-    TerminalId, Topology,
+    DragonflyConfig, FaultSchedule, HrvizError, JobMeta, NetworkSpec, RoutingAlgorithm, RunData,
+    Simulation, TerminalId, Topology,
 };
 use hrviz_pdes::{EngineStats, SimTime};
+use hrviz_stream::{SliceSink, StreamedOutcome};
 use hrviz_workloads::{
     generate_synthetic, Allocator, PlacementPolicy, PlacementRequest, SyntheticConfig,
     TrafficPattern,
@@ -335,6 +336,42 @@ impl RunConfig {
         }
     }
 
+    /// Simulate this configuration with live slice telemetry: one
+    /// [`Slice`](hrviz_stream::Slice) of counter deltas lands in `sink`
+    /// per absolute `window` boundary, and the sink may abort the run
+    /// mid-flight. A completed streamed run produces the same
+    /// [`RunResult`] bytes as [`RunConfig::execute`].
+    pub fn execute_streamed(
+        &self,
+        window: SimTime,
+        sink: SliceSink<'_>,
+    ) -> Result<StreamedOutcome<RunResult>, HrvizError> {
+        match self.topology {
+            TopologyAxis::Dragonfly { terminals } => {
+                let sim = self.dragonfly_sim(terminals)?;
+                Ok(match sim.with_collector(hrviz_obs::get()).try_run_streamed(window, sink)? {
+                    StreamedOutcome::Completed(run) => {
+                        StreamedOutcome::Completed(dragonfly_result(&run))
+                    }
+                    StreamedOutcome::Aborted { reason, at_ns, slices } => {
+                        StreamedOutcome::Aborted { reason, at_ns, slices }
+                    }
+                })
+            }
+            TopologyAxis::FatTree { k } => {
+                let sim = self.fattree_sim(k)?;
+                Ok(match sim.try_run_streamed(window, sink)? {
+                    StreamedOutcome::Completed(run) => {
+                        StreamedOutcome::Completed(fattree_result(&run))
+                    }
+                    StreamedOutcome::Aborted { reason, at_ns, slices } => {
+                        StreamedOutcome::Aborted { reason, at_ns, slices }
+                    }
+                })
+            }
+        }
+    }
+
     fn synthetic(&self) -> SyntheticConfig {
         SyntheticConfig {
             pattern: self.pattern,
@@ -347,6 +384,20 @@ impl RunConfig {
     }
 
     fn execute_dragonfly(&self, terminals: u32) -> Result<RunResult, HrvizError> {
+        let sim = self.dragonfly_sim(terminals)?;
+        let run = sim.with_collector(hrviz_obs::get()).try_run()?;
+        Ok(dragonfly_result(&run))
+    }
+
+    fn execute_fattree(&self, k: u32) -> Result<RunResult, HrvizError> {
+        let sim = self.fattree_sim(k)?;
+        let run = sim.try_run()?;
+        Ok(fattree_result(&run))
+    }
+
+    /// Build the Dragonfly simulation with faults, placement, and the
+    /// synthetic workload injected — ready for either run path.
+    fn dragonfly_sim(&self, terminals: u32) -> Result<Simulation, HrvizError> {
         let cfg = dragonfly_of(terminals)?;
         let spec = NetworkSpec::new(cfg).with_routing(self.routing).with_seed(self.seed);
         let mut sim = Simulation::try_new(spec)?;
@@ -368,23 +419,11 @@ impl RunConfig {
         };
         let job = sim.add_job(meta.clone());
         sim.inject_all(generate_synthetic(job, &meta, &self.synthetic()));
-        let run = sim.with_collector(hrviz_obs::get()).try_run()?;
-        Ok(RunResult {
-            dataset: DataSet::builder(&run).build(),
-            stats: EngineStats {
-                events_processed: run.events_processed,
-                events_scheduled: run.events_scheduled,
-                end_time: run.end_time,
-                peak_queue_depth: run.peak_queue_depth,
-            },
-            delivered: run.total_delivered(),
-            injected: run.total_injected(),
-            dropped: run.total_dropped(),
-            rerouted: run.total_rerouted(),
-        })
+        Ok(sim)
     }
 
-    fn execute_fattree(&self, k: u32) -> Result<RunResult, HrvizError> {
+    /// Build the fat-tree simulation with faults and workload injected.
+    fn fattree_sim(&self, k: u32) -> Result<FatTreeSim, HrvizError> {
         if self.placement.policy.is_some() {
             return Err(HrvizError::config("placement-policy sweeps require a Dragonfly topology"));
         }
@@ -405,22 +444,43 @@ impl RunConfig {
         };
         let job = sim.add_job(meta.clone());
         sim.inject_all(generate_synthetic(job, &meta, &self.synthetic()));
-        let run = sim.try_run()?;
-        Ok(RunResult {
-            dataset: run.to_dataset(),
-            stats: EngineStats {
-                events_processed: run.events_processed,
-                // The fat-tree runner does not report scheduling stats;
-                // counters it lacks stay zero rather than being faked.
-                events_scheduled: 0,
-                end_time: run.end_time,
-                peak_queue_depth: 0,
-            },
-            delivered: run.delivered_bytes(),
-            injected: run.injected_bytes(),
-            dropped: run.dropped_packets(),
-            rerouted: run.rerouted_packets(),
-        })
+        Ok(sim)
+    }
+}
+
+/// Fold a completed Dragonfly run into the store-facing result shape.
+fn dragonfly_result(run: &RunData) -> RunResult {
+    RunResult {
+        dataset: DataSet::builder(run).build(),
+        stats: EngineStats {
+            events_processed: run.events_processed,
+            events_scheduled: run.events_scheduled,
+            end_time: run.end_time,
+            peak_queue_depth: run.peak_queue_depth,
+        },
+        delivered: run.total_delivered(),
+        injected: run.total_injected(),
+        dropped: run.total_dropped(),
+        rerouted: run.total_rerouted(),
+    }
+}
+
+/// Fold a completed fat-tree run into the store-facing result shape.
+fn fattree_result(run: &FatTreeRun) -> RunResult {
+    RunResult {
+        dataset: run.to_dataset(),
+        stats: EngineStats {
+            events_processed: run.events_processed,
+            // The fat-tree runner does not report scheduling stats;
+            // counters it lacks stay zero rather than being faked.
+            events_scheduled: 0,
+            end_time: run.end_time,
+            peak_queue_depth: 0,
+        },
+        delivered: run.delivered_bytes(),
+        injected: run.injected_bytes(),
+        dropped: run.dropped_packets(),
+        rerouted: run.rerouted_packets(),
     }
 }
 

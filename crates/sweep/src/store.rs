@@ -50,7 +50,6 @@
 //! has.
 
 use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -60,6 +59,7 @@ use hrviz_faults::json::{self, Value};
 use hrviz_faults::HrvizError;
 use hrviz_obs::Json;
 use hrviz_pdes::SimTime;
+use hrviz_stream::fsio::{atomic_write, tmp_path_of};
 
 use crate::spec::{RunConfig, RunResult};
 
@@ -88,6 +88,10 @@ pub enum RunState {
     Completed,
     /// The simulation or persist step failed; the manifest carries the error.
     Failed,
+    /// Cancelled mid-run by an early-abort policy; the manifest's error
+    /// field carries the reason. Terminal: never retried by `--resume`
+    /// and excluded from comparisons by default.
+    Aborted,
 }
 
 impl RunState {
@@ -98,6 +102,7 @@ impl RunState {
             RunState::Running => "running",
             RunState::Completed => "completed",
             RunState::Failed => "failed",
+            RunState::Aborted => "aborted",
         }
     }
 
@@ -108,6 +113,7 @@ impl RunState {
             "running" => Some(RunState::Running),
             "completed" => Some(RunState::Completed),
             "failed" => Some(RunState::Failed),
+            "aborted" => Some(RunState::Aborted),
             _ => None,
         }
     }
@@ -212,6 +218,10 @@ pub struct FsckReport {
     pub running_orphans: Vec<String>,
     /// Runs marked `failed`, retried by `sweep --resume`.
     pub failed: Vec<String>,
+    /// Runs cancelled by an early-abort policy. Terminal and intentional:
+    /// they never dirty [`FsckReport::is_clean`] and `--resume` leaves
+    /// them alone.
+    pub aborted: Vec<String>,
     /// `(run, reason)` for every directory moved to `<store>/quarantine/`.
     pub quarantined: Vec<(String, String)>,
     /// Stray `.tmp` files removed.
@@ -244,6 +254,7 @@ impl FsckReport {
             ("queued", strs(&self.queued)),
             ("running_orphans", strs(&self.running_orphans)),
             ("failed", strs(&self.failed)),
+            ("aborted", strs(&self.aborted)),
             (
                 "quarantined",
                 Json::Arr(
@@ -312,37 +323,6 @@ impl CrashPlan {
     pub fn ops_seen(&self) -> u64 {
         self.seen.load(Ordering::SeqCst)
     }
-}
-
-/// `<file>` → `<file>.tmp` in the same directory (same filesystem, so the
-/// rename is atomic).
-fn tmp_path_of(path: &Path) -> Result<PathBuf, HrvizError> {
-    let name = path
-        .file_name()
-        .and_then(|n| n.to_str())
-        .ok_or_else(|| HrvizError::config(format!("unwritable path {}", path.display())))?;
-    Ok(path.with_file_name(format!("{name}.tmp")))
-}
-
-/// Write `bytes` to `path` atomically: temp file + fsync + rename +
-/// best-effort parent-directory fsync. Readers never observe a torn file.
-fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), HrvizError> {
-    let tmp = tmp_path_of(path)?;
-    let io_err = |e: std::io::Error| HrvizError::io(path.display().to_string(), e);
-    {
-        let mut f = fs::File::create(&tmp).map_err(io_err)?;
-        f.write_all(bytes).map_err(io_err)?;
-        f.sync_all().map_err(io_err)?;
-    }
-    fs::rename(&tmp, path).map_err(io_err)?;
-    // Make the rename itself durable. Directory fsync is best-effort: not
-    // every platform lets us open a directory read-only for syncing.
-    if let Some(parent) = path.parent() {
-        if let Ok(d) = fs::File::open(parent) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
 }
 
 /// Whether `name` looks like a run directory (16 lowercase hex digits).
@@ -461,7 +441,11 @@ impl RunStore {
         }
     }
 
-    fn run_dir(&self, run_id: &str) -> PathBuf {
+    /// The directory a run lives (or would live) in. Streamed runs keep
+    /// their `slices/` segments and `progress.json` watermark here next to
+    /// the manifest, so live readers (serve, `hrviz watch`) resolve paths
+    /// through this.
+    pub fn run_dir(&self, run_id: &str) -> PathBuf {
         self.shard_root(self.shard_of(run_id)).join(run_id)
     }
 
@@ -608,6 +592,38 @@ impl RunStore {
         Ok(out)
     }
 
+    /// Names of every run-shaped directory across all shards, sorted.
+    /// Reads nothing but directory listings, so callers can
+    /// stat-validate live surfaces (progress watermarks) without
+    /// parsing a single manifest.
+    pub fn run_dir_names(&self) -> Result<Vec<String>, HrvizError> {
+        let mut out = Vec::new();
+        for shard in 0..self.shards {
+            out.extend(self.run_dirs_in(&self.shard_root(shard))?);
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Every manifested run with its lifecycle state, sorted by id across
+    /// all shards. Runs whose manifest is torn or missing are skipped —
+    /// this is the listing surface for serve's `?state=` filter, not a
+    /// recovery pass.
+    pub fn runs_by_state(&self) -> Result<Vec<(String, RunState)>, HrvizError> {
+        let mut out = Vec::new();
+        for shard in 0..self.shards {
+            for name in self.run_dirs_in(&self.shard_root(shard))? {
+                match self.health(&name) {
+                    RunHealth::Complete => out.push((name, RunState::Completed)),
+                    RunHealth::Pending(state) => out.push((name, state)),
+                    RunHealth::Missing | RunHealth::Corrupt(_) => {}
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+
     /// Names of run-shaped directories directly under `dir` (empty when
     /// the directory does not exist yet).
     fn run_dirs_in(&self, dir: &Path) -> Result<Vec<String>, HrvizError> {
@@ -667,6 +683,17 @@ impl RunStore {
         error: &str,
     ) -> Result<(), HrvizError> {
         self.write_lifecycle(cfg, prov, RunState::Failed, error)
+    }
+
+    /// Record that an early-abort policy cancelled `cfg` mid-run, with the
+    /// policy's reason. Aborted is terminal: `--resume` never retries it.
+    pub fn mark_aborted(
+        &self,
+        cfg: &RunConfig,
+        prov: &Provenance,
+        reason: &str,
+    ) -> Result<(), HrvizError> {
+        self.write_lifecycle(cfg, prov, RunState::Aborted, reason)
     }
 
     fn write_lifecycle(
@@ -742,6 +769,12 @@ impl RunStore {
             for run in self.run_dirs_in(&sroot)? {
                 let dir = sroot.join(&run);
                 report.tmp_removed += self.reap_tmp(&dir)?;
+                // Streamed runs keep slice segments in a subdirectory; a
+                // crash mid-seal leaves its stray tmp there.
+                let slices = dir.join("slices");
+                if slices.is_dir() {
+                    report.tmp_removed += self.reap_tmp(&slices)?;
+                }
                 report.scanned += 1;
                 if self.run_dir(&run) != dir {
                     // Manually moved into a shard the hash does not map to:
@@ -758,6 +791,7 @@ impl RunStore {
                     RunHealth::Pending(RunState::Queued) => report.queued.push(run),
                     RunHealth::Pending(RunState::Running) => report.running_orphans.push(run),
                     RunHealth::Pending(RunState::Failed) => report.failed.push(run),
+                    RunHealth::Pending(RunState::Aborted) => report.aborted.push(run),
                     RunHealth::Pending(RunState::Completed) => {}
                     RunHealth::Corrupt(reason) => self.quarantine(&run, reason, &mut report)?,
                 }

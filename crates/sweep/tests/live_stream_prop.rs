@@ -1,0 +1,112 @@
+//! Property: the incremental live-aggregate fold is **byte-identical** to
+//! a cold rebuild at *every* watermark, over slices produced by real
+//! streamed simulations of both topologies (Dragonfly and Fat-Tree).
+//!
+//! This is the contract that makes watermark-keyed caching of live views
+//! sound: a server that folds slice N into yesterday's aggregate must
+//! serve exactly the bytes a server that re-read slices 0..=N would.
+
+use hrviz_core::LiveAggregate;
+use hrviz_network::RoutingAlgorithm;
+use hrviz_pdes::SimTime;
+use hrviz_sweep::{Slice, SliceControl, StreamedOutcome, SweepSpec, TopologyAxis};
+use hrviz_workloads::TrafficPattern;
+use proptest::prelude::*;
+
+/// Run one config streamed, collecting every sealed slice, and return
+/// `(run id, slices, completed result's (delivered, injected, dropped))`.
+fn streamed_slices(
+    topo: TopologyAxis,
+    pattern: TrafficPattern,
+    seed: u64,
+    window_us: u64,
+) -> (String, Vec<Slice>, (u64, u64, u64)) {
+    let spec = SweepSpec::new("live-prop", topo)
+        .routings([RoutingAlgorithm::Minimal])
+        .patterns([pattern])
+        .seeds(vec![seed])
+        .msgs_per_rank(2)
+        .msg_bytes(1024)
+        .period(SimTime::micros(1));
+    let cfg = spec.expand().expect("grid expands").remove(0);
+    let mut slices: Vec<Slice> = Vec::new();
+    let mut sink = |s: &Slice| {
+        slices.push(s.clone());
+        Ok(SliceControl::Continue)
+    };
+    let outcome = cfg
+        .execute_streamed(SimTime::micros(window_us), &mut sink)
+        .expect("streamed run completes");
+    let StreamedOutcome::Completed(result) = outcome else {
+        panic!("no abort policy, so the run must complete");
+    };
+    (cfg.run_id(), slices, (result.delivered, result.injected, result.dropped))
+}
+
+/// Fold incrementally, and at each watermark compare field-for-field and
+/// byte-for-byte (JSON + schema-2 envelope) against a cold rebuild of the
+/// same prefix.
+fn assert_fold_matches_rebuild(run: &str, slices: &[Slice]) -> LiveAggregate {
+    let mut inc = LiveAggregate::new();
+    for (n, slice) in slices.iter().enumerate() {
+        assert_eq!(slice.seq, n as u64, "writer seals a contiguous sequence");
+        assert!(inc.merge_slice(slice), "contiguous merge is accepted");
+        let cold = LiveAggregate::rebuild(&slices[..=n]).expect("contiguous prefix rebuilds");
+        assert_eq!(inc, cold, "fold vs rebuild diverged at watermark {}", n + 1);
+        assert_eq!(inc.to_json().render(), cold.to_json().render());
+        assert_eq!(
+            inc.envelope(run, 0xfeed).render(),
+            cold.envelope(run, 0xfeed).render(),
+            "schema-2 envelopes diverged at watermark {}",
+            n + 1
+        );
+    }
+    inc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    /// Dragonfly: randomized seed / pattern / slice width. The final
+    /// aggregate's totals equal the completed run's counters — no bytes
+    /// are lost between the last slice and the terminal state.
+    #[test]
+    fn dragonfly_fold_is_byte_identical_at_every_watermark(
+        seed in 0u64..(1u64 << 40),
+        window_us in 1u64..=10,
+        tornado in 0u64..2,
+    ) {
+        let pattern =
+            if tornado == 1 { TrafficPattern::Tornado } else { TrafficPattern::UniformRandom };
+        let (run, slices, (delivered, injected, dropped)) = streamed_slices(
+            TopologyAxis::Dragonfly { terminals: 72 },
+            pattern,
+            seed,
+            window_us,
+        );
+        prop_assert!(!slices.is_empty(), "a completed run seals at least one slice");
+        let agg = assert_fold_matches_rebuild(&run, &slices);
+        prop_assert_eq!(agg.delivered_bytes, delivered);
+        prop_assert_eq!(agg.injected_bytes, injected);
+        prop_assert_eq!(agg.dropped_packets, dropped);
+    }
+
+    /// Fat-Tree: the same contract holds for the second topology's
+    /// emitter.
+    #[test]
+    fn fattree_fold_is_byte_identical_at_every_watermark(
+        seed in 0u64..(1u64 << 40),
+        window_us in 1u64..=10,
+    ) {
+        let (run, slices, (delivered, injected, dropped)) = streamed_slices(
+            TopologyAxis::FatTree { k: 4 },
+            TrafficPattern::UniformRandom,
+            seed,
+            window_us,
+        );
+        prop_assert!(!slices.is_empty(), "a completed run seals at least one slice");
+        let agg = assert_fold_matches_rebuild(&run, &slices);
+        prop_assert_eq!(agg.delivered_bytes, delivered);
+        prop_assert_eq!(agg.injected_bytes, injected);
+        prop_assert_eq!(agg.dropped_packets, dropped);
+    }
+}
